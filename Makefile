@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments traces cover fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus the substrate micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper artefact at full scale (takes several minutes).
+experiments:
+	$(GO) run ./cmd/mcexp -exp all
+
+# Persist the benchmark traces (the MEET measurement campaign).
+traces:
+	$(GO) run ./cmd/tracegen -out traces
+
+cover:
+	$(GO) test -cover ./...
+
+fmt:
+	gofmt -w .

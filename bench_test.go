@@ -1,0 +1,198 @@
+// Benchmarks regenerating the paper's evaluation artefacts, one per table
+// and figure. Each iteration runs the experiment at a reduced but
+// representative scale so `go test -bench=.` finishes in minutes; the
+// cmd/mcexp binary runs the full paper-sized versions.
+package chebymc_test
+
+import (
+	"testing"
+
+	"chebymc/internal/experiment"
+	"chebymc/internal/ga"
+)
+
+// benchTraceCfg keeps per-iteration trace collection modest: 2000 samples
+// per kernel (100 for qsort-10000).
+func benchTraceCfg(seed int64) experiment.TraceConfig {
+	return experiment.TraceConfig{
+		DefaultSamples: 2000,
+		Samples:        map[string]int{"qsort-10000": 100},
+		Seed:           seed,
+	}
+}
+
+// BenchmarkTable1 regenerates Table I: ACET vs WCET^pes and overrun
+// percentages for naive WCET^opt choices across the seven benchmarks.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTable1(benchTraceCfg(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 7 {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II: analysis bound vs measured overrun
+// rate for n = 0..4.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTable2(benchTraceCfg(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.BoundHolds() {
+			b.Fatal("Theorem 1 bound violated")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Fig. 2: the uniform-n sweep on the example
+// task set with U_HC^HI = 0.85.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig2(experiment.Fig2Config{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3: P_sys^MS, max U_LC^LO and the
+// objective over the U_HC^HI × n grid (100 sets per point per iteration;
+// the paper uses 1000).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig3(experiment.Fig3Config{Sets: 100, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (and Fig. 5's inputs): the policy
+// comparison across utilisations, 30 sets per point per iteration.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig45(experiment.Fig45Config{
+			Sets: 30,
+			GA:   ga.Config{PopSize: 30, Generations: 40},
+			Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) == 0 {
+			b.Fatal("fig 4 empty")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5: the Eq. 13 objective per policy; the
+// proposed scheme must dominate (the result's Verify check).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig45(experiment.Fig45Config{
+			Sets: 30,
+			GA:   ga.Config{PopSize: 30, Generations: 40},
+			Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6: acceptance ratios for Baruah's and
+// Liu's approaches with and without the proposed scheme, 200 sets per
+// bound per iteration.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig6(experiment.Fig6Config{Sets: 200, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadline regenerates the abstract's two numbers (utilisation
+// improvement, worst-case P_sys^MS) from the Fig. 4/5 sweep.
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig45(experiment.Fig45Config{
+			Sets: 30,
+			GA:   ga.Config{PopSize: 30, Generations: 40},
+			Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := res.Headline()
+		if h.UtilImprovementPct <= 0 {
+			b.Fatal("no headline improvement")
+		}
+	}
+}
+
+// BenchmarkAblationBounds regenerates the bounds ablation (A1): the
+// distribution-free Cantelli budget vs fitted pWCET quantiles.
+func BenchmarkAblationBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunAblationBounds(benchTraceCfg(int64(i+1)), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ChebyshevNeverViolates() {
+			b.Fatal("Chebyshev budget violated its claim")
+		}
+	}
+}
+
+// BenchmarkConvergence regenerates the sample-size study.
+func BenchmarkConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunConvergence(experiment.ConvergenceConfig{
+			Trace:  experiment.TraceConfig{Seed: int64(i + 1)},
+			Counts: []int{50, 200, 1000},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty convergence result")
+		}
+	}
+}
+
+// BenchmarkExtension regenerates the multi-level (future-work) evaluation
+// at reduced scale.
+func BenchmarkExtension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunExtension(experiment.ExtensionConfig{
+			UBounds: []float64{0.5, 0.9},
+			Sets:    30,
+			GA:      ga.Config{PopSize: 20, Generations: 25},
+			Seed:    int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

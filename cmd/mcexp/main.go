@@ -1,0 +1,231 @@
+// Command mcexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mcexp -exp table1,table2,fig2,fig3,fig45,fig6,headline [-sets N] [-samples N] [-seed S] [-csv] [-plot]
+//
+// With -exp all (the default) every experiment runs. -sets and -samples
+// scale the task-set counts and trace sample counts; the defaults are the
+// paper-sized values (1000 sets, 20000 samples), which take a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chebymc/internal/experiment"
+	"chebymc/internal/ga"
+)
+
+func main() {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2,fig3,fig45,fig6,headline,ablation,ext,convergence or all")
+		sets    = flag.Int("sets", 0, "task sets per sweep point (0 = paper default 1000)")
+		samples = flag.Int("samples", 0, "trace samples per benchmark (0 = paper default 20000)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot    = flag.Bool("plot", true, "emit ASCII plots for figures")
+		outdir  = flag.String("outdir", "", "also write each artefact's CSV into this directory")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	if err := run(want, all, *sets, *samples, *seed, *csv, *plot, *outdir); err != nil {
+		fmt.Fprintln(os.Stderr, "mcexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(want map[string]bool, all bool, sets, samples int, seed int64, csv, plot bool, outdir string) error {
+	if outdir != "" {
+		if err := os.MkdirAll(outdir, 0o755); err != nil {
+			return err
+		}
+	}
+	emitNamed := func(name string, tb interface {
+		String() string
+		CSV() string
+	}) error {
+		if csv {
+			fmt.Print(tb.CSV())
+		} else {
+			fmt.Print(tb.String())
+		}
+		fmt.Println()
+		if outdir != "" {
+			path := filepath.Join(outdir, name+".csv")
+			if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+		}
+		return nil
+	}
+
+	if all || want["table1"] || want["table2"] {
+		cfg := experiment.TraceConfig{Seed: seed}
+		if samples > 0 {
+			cfg.DefaultSamples = samples
+		}
+		t1, t2, err := experiment.RunTables1And2(cfg)
+		if err != nil {
+			return err
+		}
+		if all || want["table1"] {
+			if err := emitNamed("table1", t1.Table()); err != nil {
+				return err
+			}
+		}
+		if all || want["table2"] {
+			if err := emitNamed("table2", t2.Table()); err != nil {
+				return err
+			}
+			fmt.Printf("Theorem 1 bound holds on all measurements: %v\n\n", t2.BoundHolds())
+		}
+	}
+
+	if all || want["fig2"] {
+		res, err := experiment.RunFig2(experiment.Fig2Config{Seed: seed})
+		if err != nil {
+			return err
+		}
+		if err := emitNamed("fig2", res.Table()); err != nil {
+			return err
+		}
+		if plot {
+			s, err := res.Plot()
+			if err != nil {
+				return err
+			}
+			fmt.Println(s)
+		}
+		fmt.Printf("Fig. 2 optimum: n=%g  P_sys^MS=%.4f  max U_LC^LO=%.4f\n\n",
+			res.OptN, res.OptPoint.PMS, res.OptPoint.MaxULCLO)
+	}
+
+	if all || want["fig3"] {
+		cfg := experiment.Fig3Config{Seed: seed}
+		if sets > 0 {
+			cfg.Sets = sets
+		}
+		res, err := experiment.RunFig3(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emitNamed("fig3", res.Table()); err != nil {
+			return err
+		}
+		if plot {
+			s, err := res.Plot()
+			if err != nil {
+				return err
+			}
+			fmt.Println(s)
+		}
+	}
+
+	var fig45 *experiment.Fig45Result
+	if all || want["fig45"] || want["fig4"] || want["fig5"] || want["headline"] {
+		cfg := experiment.Fig45Config{Seed: seed, GA: ga.Config{}}
+		if sets > 0 {
+			cfg.Sets = sets
+		}
+		res, err := experiment.RunFig45(cfg)
+		if err != nil {
+			return err
+		}
+		fig45 = res
+		if all || want["fig45"] || want["fig4"] || want["fig5"] {
+			if err := emitNamed("fig45", res.Table()); err != nil {
+				return err
+			}
+			if plot {
+				s, err := res.Plot()
+				if err != nil {
+					return err
+				}
+				fmt.Println(s)
+			}
+		}
+	}
+
+	if (all || want["headline"]) && fig45 != nil {
+		h := fig45.Headline()
+		fmt.Printf("Headline: utilisation improvement up to %.2f%% (vs %s at U_HC^HI=%.2f); worst-case P_sys^MS %.2f%%\n",
+			h.UtilImprovementPct, h.AgainstPolicy, h.AtUHCHI, h.WorstPMSPct)
+		fmt.Printf("Paper:    utilisation improvement up to 85.29%%; worst-case P_sys^MS 9.11%%\n\n")
+	}
+
+	if all || want["ablation"] {
+		tcfg := experiment.TraceConfig{Seed: seed}
+		if samples > 0 {
+			tcfg.DefaultSamples = samples
+		}
+		ab, err := experiment.RunAblationBounds(tcfg, nil)
+		if err != nil {
+			return err
+		}
+		if err := emitNamed("ablation_bounds", ab.Table()); err != nil {
+			return err
+		}
+		fmt.Printf("Chebyshev budget never violates its claim: %v; some fitted budget violates: %v\n\n",
+			ab.ChebyshevNeverViolates(), ab.AnyFitViolates())
+		if err := emitNamed("ablation_cantelli", experiment.CantelliTable(experiment.RunAblationCantelli(nil))); err != nil {
+			return err
+		}
+	}
+
+	if all || want["convergence"] {
+		cfg := experiment.ConvergenceConfig{Trace: experiment.TraceConfig{Seed: seed}}
+		res, err := experiment.RunConvergence(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emitNamed("convergence", res.Table()); err != nil {
+			return err
+		}
+	}
+
+	if all || want["ext"] {
+		cfg := experiment.ExtensionConfig{Seed: seed}
+		if sets > 0 {
+			cfg.Sets = sets
+		}
+		res, err := experiment.RunExtension(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emitNamed("extension", res.Table()); err != nil {
+			return err
+		}
+	}
+
+	if all || want["fig6"] {
+		cfg := experiment.Fig6Config{Seed: seed}
+		if sets > 0 {
+			cfg.Sets = sets
+		}
+		res, err := experiment.RunFig6(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emitNamed("fig6", res.Table()); err != nil {
+			return err
+		}
+		if plot {
+			s, err := res.Plot()
+			if err != nil {
+				return err
+			}
+			fmt.Println(s)
+		}
+	}
+	return nil
+}

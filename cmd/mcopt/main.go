@@ -1,0 +1,141 @@
+// Command mcopt optimises the optimistic WCETs of one task set: it reads a
+// task-set JSON file (see internal/mc), runs the proposed Chebyshev+GA
+// scheme (or a uniform-n / λ baseline), prints the assignment report and
+// optionally writes the rewritten task set back out.
+//
+// Usage:
+//
+//	mcopt -in taskset.json [-policy ga|uniform|lambda] [-n 10] [-lambda 0.25]
+//	      [-out optimised.json] [-seed S] [-simulate horizon]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"chebymc/internal/core"
+	"chebymc/internal/dist"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/mc"
+	"chebymc/internal/policy"
+	"chebymc/internal/sim"
+	"chebymc/internal/texttable"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input task-set JSON (required)")
+		polName  = flag.String("policy", "ga", "assignment policy: ga, uniform, lambda")
+		n        = flag.Float64("n", 10, "uniform n (policy=uniform)")
+		lambda   = flag.Float64("lambda", 0.25, "λ fraction (policy=lambda)")
+		out      = flag.String("out", "", "write the optimised task set to this JSON file")
+		seed     = flag.Int64("seed", 1, "random seed")
+		simulate = flag.Float64("simulate", 0, "also run the EDF-VD simulator for this horizon (0 = skip)")
+	)
+	flag.Parse()
+
+	if err := run(*in, *polName, *n, *lambda, *out, *seed, *simulate); err != nil {
+		fmt.Fprintln(os.Stderr, "mcopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, polName string, n, lambda float64, out string, seed int64, horizon float64) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	ts, err := mc.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	var pol policy.Policy
+	switch polName {
+	case "ga":
+		pol = policy.ChebyshevGA{}
+	case "uniform":
+		pol = policy.ChebyshevUniform{N: n}
+	case "lambda":
+		pol = policy.LambdaFixed{Lambda: lambda}
+	default:
+		return fmt.Errorf("unknown policy %q", polName)
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	a, err := pol.Assign(ts, r)
+	if err != nil {
+		return err
+	}
+
+	tb := texttable.New(
+		fmt.Sprintf("Assignment by %s", pol.Name()),
+		"task", "crit", "period", "ACET", "sigma", "n", "C^LO", "C^HI", "P_overrun<=",
+	)
+	i := 0
+	for _, t := range a.TaskSet.Tasks {
+		if t.Crit != mc.HC {
+			continue
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d(%s)", t.ID, t.Name),
+			t.Crit.String(),
+			fmt.Sprintf("%.4g", t.Period),
+			fmt.Sprintf("%.4g", t.Profile.ACET),
+			fmt.Sprintf("%.4g", t.Profile.Sigma),
+			fmt.Sprintf("%.3g", a.NS[i]),
+			fmt.Sprintf("%.4g", t.CLO),
+			fmt.Sprintf("%.4g", t.CHI),
+			fmt.Sprintf("%.4f", core.OverrunBound(a.NS[i])),
+		)
+		i++
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nP_sys^MS <= %.4f   max U_LC^LO = %.4f   objective = %.4f\n",
+		a.PMS, a.MaxULCLO, a.Objective)
+	an := edfvd.Schedulable(a.TaskSet)
+	fmt.Printf("EDF-VD: %s\n", an)
+
+	if horizon > 0 {
+		exec := make(map[int]dist.Dist)
+		for _, t := range a.TaskSet.Tasks {
+			if t.Crit != mc.HC || t.Profile.Sigma <= 0 {
+				continue
+			}
+			d, derr := dist.NewTruncNormal(t.Profile.ACET, t.Profile.Sigma, 0, t.CHI)
+			if derr != nil {
+				continue
+			}
+			exec[t.ID] = d
+		}
+		s, serr := sim.New(a.TaskSet, sim.Config{Horizon: horizon, Exec: exec, Seed: seed})
+		if serr != nil {
+			return serr
+		}
+		m := s.Run()
+		fmt.Printf("Simulated %g time units: switches=%d overrun-rate=%.4f HC-misses=%d LC-service=%.3f util=%.3f\n",
+			horizon, m.ModeSwitches, m.OverrunRate(), m.HCMisses, m.LCServiceRate(), m.Utilisation())
+	}
+
+	if out != "" {
+		g, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		werr := a.TaskSet.WriteJSON(g)
+		if cerr := g.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote optimised task set to %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTaskSet(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ts.json")
+	data := `{"tasks":[
+  {"id":1,"name":"ctl","crit":"HC","c_lo":20,"c_hi":60,"period":100,"profile":{"acet":15,"sigma":2.5}},
+  {"id":2,"name":"log","crit":"LC","c_lo":10,"c_hi":10,"period":50}
+]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDropPolicy(t *testing.T) {
+	path := writeTaskSet(t)
+	if err := run(path, 50000, "drop", 0.5, "truncnormal", 1, true, 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDegradeLognormal(t *testing.T) {
+	path := writeTaskSet(t)
+	if err := run(path, 50000, "degrade", 0.5, "lognormal", 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTaskSet(t)
+	if err := run("", 1000, "drop", 0.5, "truncnormal", 1, false, 0); err == nil {
+		t.Error("missing -in must error")
+	}
+	if err := run(path+"nope", 1000, "drop", 0.5, "truncnormal", 1, false, 0); err == nil {
+		t.Error("missing file must error")
+	}
+	if err := run(path, 1000, "bogus", 0.5, "truncnormal", 1, false, 0); err == nil {
+		t.Error("unknown policy must error")
+	}
+	if err := run(path, 1000, "drop", 0.5, "cauchy", 1, false, 0); err == nil {
+		t.Error("unknown distribution must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, 1000, "drop", 0.5, "truncnormal", 1, false, 0); err == nil {
+		t.Error("malformed json must error")
+	}
+}

@@ -1,0 +1,88 @@
+// Command tracegen measures the benchmark kernels on the vmcpu substrate
+// and writes one trace file per application (CSV or JSON), the equivalent
+// of the paper's MEET measurement campaign.
+//
+// Usage:
+//
+//	tracegen [-out DIR] [-samples N] [-seed S] [-format csv|json] [-apps a,b]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chebymc/internal/experiment"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "traces", "output directory")
+		samples = flag.Int("samples", 0, "samples per app (0 = paper defaults)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		format  = flag.String("format", "csv", "output format: csv or json")
+		apps    = flag.String("apps", "", "comma-separated app filter (default: all)")
+	)
+	flag.Parse()
+
+	if err := run(*out, *samples, *seed, *format, *apps); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, samples int, seed int64, format, apps string) error {
+	if format != "csv" && format != "json" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	filter := map[string]bool{}
+	if apps != "" {
+		for _, a := range strings.Split(apps, ",") {
+			filter[strings.TrimSpace(a)] = true
+		}
+	}
+
+	cfg := experiment.TraceConfig{Seed: seed}
+	if samples > 0 {
+		cfg.DefaultSamples = samples
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	traces, bounds, err := experiment.BenchTraces(cfg)
+	if err != nil {
+		return err
+	}
+
+	for _, p := range experiment.BenchApps() {
+		name := p.Name()
+		if len(filter) > 0 && !filter[name] {
+			continue
+		}
+		tr := traces[name]
+		path := filepath.Join(out, name+"."+format)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		var werr error
+		if format == "csv" {
+			werr = tr.WriteCSV(f)
+		} else {
+			werr = tr.WriteJSON(f)
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", path, werr)
+		}
+		s := tr.Summary()
+		fmt.Printf("%-12s n=%d  ACET=%.4g  sigma=%.4g  max=%.4g  WCET^pes=%.4g  -> %s\n",
+			name, s.N, s.Mean, s.StdDev, s.Max, bounds[name], path)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chebymc/internal/trace"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 30, 1, "csv", "edge,qsort-10"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"edge.csv", "qsort-10.csv"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		tr, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Samples) != 30 {
+			t.Errorf("%s: %d samples, want 30", name, len(tr.Samples))
+		}
+	}
+	// Unfiltered apps must be absent.
+	if _, err := os.Stat(filepath.Join(dir, "smooth.csv")); !os.IsNotExist(err) {
+		t.Error("filter ignored")
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 10, 1, "json", "epic"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "epic.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.App != "epic" || len(tr.Samples) != 10 {
+		t.Errorf("round trip wrong: %s/%d", tr.App, len(tr.Samples))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(t.TempDir(), 5, 1, "xml", ""); err == nil {
+		t.Error("unknown format must error")
+	}
+}

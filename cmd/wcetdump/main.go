@@ -1,0 +1,78 @@
+// Command wcetdump inspects the static WCET models: it prints each
+// kernel's bound and, on request, the loop-annotated CFG in Graphviz dot
+// syntax — the debugging view a WCET-analysis user expects from tools in
+// the OTAWA class.
+//
+// Usage:
+//
+//	wcetdump [-app qsort-100|corner|edge|smooth|fft|matmul|crc|all] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chebymc/internal/ipet"
+	"chebymc/internal/texttable"
+	"chebymc/internal/vmcpu"
+)
+
+// dumpable lists the kernels with single-CFG models, keyed by app name.
+func dumpable() []vmcpu.Program {
+	return []vmcpu.Program{
+		vmcpu.QSort{K: 10},
+		vmcpu.QSort{K: 100},
+		vmcpu.QSort{K: 10000},
+		vmcpu.Corner{},
+		vmcpu.Edge{},
+		vmcpu.Smooth{},
+		vmcpu.FFT{},
+		vmcpu.MatMul{},
+		vmcpu.CRC{},
+	}
+}
+
+func main() {
+	app := flag.String("app", "all", "kernel to dump, or all")
+	dot := flag.Bool("dot", false, "emit the CFG in Graphviz dot syntax")
+	flag.Parse()
+
+	if err := run(*app, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "wcetdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, dot bool) error {
+	costs := vmcpu.DefaultCosts()
+	found := false
+	tb := texttable.New("Static WCET bounds (IPET over loop-annotated CFGs)",
+		"app", "WCET^pes (cycles)")
+	for _, p := range dumpable() {
+		if app != "all" && p.Name() != app {
+			continue
+		}
+		found = true
+		w, err := ipet.KernelWCET(p, costs)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(p.Name(), fmt.Sprintf("%.6g", w))
+		if dot {
+			g, err := ipet.KernelCFG(p, costs)
+			if err != nil {
+				return err
+			}
+			fmt.Print(g.DOT(p.Name()))
+			fmt.Println()
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown app %q", app)
+	}
+	if !dot {
+		fmt.Print(tb.String())
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunAllTable(t *testing.T) {
+	if err := run("all", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleDOT(t *testing.T) {
+	if err := run("qsort-100", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if err := run("nonesuch", false); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}

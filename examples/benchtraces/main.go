@@ -1,0 +1,74 @@
+// Benchtraces: Table I/II-style analysis of the benchmark kernels.
+//
+// It measures the five benchmark kernels (plus the three qsort sizes) on
+// the vmcpu cost-model CPU, bounds each with the IPET static analyser, and
+// prints (1) the ACET/WCET^pes gap per application and (2) the measured
+// overrun rate at ACET + n·σ against the Theorem 1 bound — a compact rerun
+// of the paper's motivational evidence on freshly generated traces.
+//
+// Run with: go run ./examples/benchtraces [-samples 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"chebymc/internal/experiment"
+	"chebymc/internal/stats"
+	"chebymc/internal/texttable"
+)
+
+func main() {
+	samples := flag.Int("samples", 2000, "trace samples per app (qsort-10000 capped at 300)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := experiment.TraceConfig{DefaultSamples: *samples, Seed: *seed}
+	traces, bounds, err := experiment.BenchTraces(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gapTable := texttable.New(
+		"ACET vs static WCET bound (vmcpu + IPET)",
+		"app", "samples", "ACET", "sigma", "max-seen", "WCET^pes", "gap(pes/ACET)",
+	)
+	for _, p := range experiment.BenchApps() {
+		tr := traces[p.Name()]
+		s := tr.Summary()
+		gapTable.AddRow(
+			p.Name(),
+			fmt.Sprintf("%d", s.N),
+			fmt.Sprintf("%.4g", s.Mean),
+			fmt.Sprintf("%.4g", s.StdDev),
+			fmt.Sprintf("%.4g", s.Max),
+			fmt.Sprintf("%.4g", bounds[p.Name()]),
+			fmt.Sprintf("%.1fx", bounds[p.Name()]/s.Mean),
+		)
+	}
+	fmt.Print(gapTable.String())
+	fmt.Println()
+
+	ovTable := texttable.New(
+		"Overrun rate at ACET + n*sigma vs Theorem 1 bound",
+		"n", "bound", "qsort-100", "corner", "edge", "smooth", "epic",
+	)
+	apps := []string{"qsort-100", "corner", "edge", "smooth", "epic"}
+	for n := 0; n <= 4; n++ {
+		cells := []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f%%", 100*stats.CantelliBound(float64(n))),
+		}
+		for _, app := range apps {
+			rate := traces[app].OverrunRateAtN(float64(n))
+			if rate > stats.CantelliBound(float64(n)) {
+				log.Fatalf("%s violates Theorem 1 at n=%d", app, n)
+			}
+			cells = append(cells, fmt.Sprintf("%.2f%%", 100*rate))
+		}
+		ovTable.AddRow(cells...)
+	}
+	fmt.Print(ovTable.String())
+	fmt.Println("\nEvery measured rate is below the distribution-free bound, as Theorem 1 guarantees.")
+}

@@ -1,0 +1,73 @@
+// Energy: the DVFS extension (related work [21]) — pick the LO-mode core
+// speed minimising expected power while EDF-VD schedulability (Eq. 8)
+// holds with the speed-scaled budgets, and show how the Chebyshev
+// assignment lowers the feasible-speed floor relative to pessimistic
+// budgets.
+//
+// Run with: go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"chebymc/internal/energy"
+	"chebymc/internal/mc"
+	"chebymc/internal/policy"
+	"chebymc/internal/taskgen"
+	"chebymc/internal/texttable"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(4))
+	ts, err := taskgen.Mixed(r, taskgen.Config{}, 0.55)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d tasks (%d HC / %d LC), U_bound=%.2f\n\n",
+		len(ts.Tasks), ts.NumHC(), ts.NumLC(), taskgen.UBound(ts))
+
+	model := energy.Model{PStat: 0.08}
+	tb := texttable.New("DVFS under two budget assignments (P = s^3 + 0.08 static)",
+		"budgets", "min feasible s", "optimal s", "power density", "savings vs s=1")
+
+	designs := []struct {
+		label string
+		set   func() *mc.TaskSet
+	}{
+		{"pessimistic (C^LO = WCET^pes)", func() *mc.TaskSet { return ts }},
+		{"Chebyshev n=4", func() *mc.TaskSet {
+			a, err := policy.ChebyshevUniform{N: 4}.Assign(ts, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return a.TaskSet
+		}},
+	}
+
+	var floors []float64
+	for _, d := range designs {
+		set := d.set()
+		res, err := energy.OptimalSpeed(set, model)
+		if err != nil {
+			log.Fatalf("%s: %v", d.label, err)
+		}
+		floors = append(floors, res.MinFeasible)
+		tb.AddRow(
+			d.label,
+			fmt.Sprintf("%.3f", res.MinFeasible),
+			fmt.Sprintf("%.3f", res.Speed),
+			fmt.Sprintf("%.4f", res.PowerDensity),
+			fmt.Sprintf("%.1f%%", res.SavingsPct),
+		)
+	}
+	fmt.Print(tb.String())
+
+	if floors[1] > floors[0]+1e-9 {
+		log.Fatal("Chebyshev budgets must not raise the feasible-speed floor")
+	}
+	fmt.Println("\nSmaller LO budgets buy schedulability headroom that DVFS converts into energy:")
+	fmt.Println("the scheme's floor sits at or below the pessimistic one, widening the speed range")
+	fmt.Println("the energy optimiser may exploit.")
+}

@@ -1,0 +1,152 @@
+// Fromfiles: the file-based workflow end to end — the shape a real
+// measurement campaign takes when measurement, analysis and design happen
+// in separate steps (or on separate machines).
+//
+//  1. Measure the benchmark kernels and persist one CSV trace per app
+//     (what cmd/tracegen does).
+//  2. Re-load the traces, derive (ACET, σ) profiles and build a task-set
+//     JSON with WCET^pes from the static analyser.
+//  3. Re-load the task set, optimise it with the GA policy, and persist
+//     the optimised set (what cmd/mcopt does).
+//
+// Every artefact crosses a file boundary, exercising the whole
+// serialisation surface.
+//
+// Run with: go run ./examples/fromfiles [-dir /tmp/mcflow]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"chebymc/internal/core"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/ipet"
+	"chebymc/internal/mc"
+	"chebymc/internal/policy"
+	"chebymc/internal/trace"
+	"chebymc/internal/vmcpu"
+)
+
+func main() {
+	dir := flag.String("dir", "", "working directory (default: a temp dir)")
+	samples := flag.Int("samples", 800, "trace samples per app")
+	flag.Parse()
+
+	workDir := *dir
+	if workDir == "" {
+		var err error
+		workDir, err = os.MkdirTemp("", "mcflow")
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if err := os.MkdirAll(workDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("working directory: %s\n\n", workDir)
+
+	// Step 1: measurement campaign → CSV files.
+	costs := vmcpu.DefaultCosts()
+	machine := vmcpu.NewMachine(costs, vmcpu.DefaultCache())
+	r := rand.New(rand.NewSource(1))
+	progs := []vmcpu.Program{vmcpu.Edge{}, vmcpu.Smooth{}, vmcpu.Epic{}}
+	for _, p := range progs {
+		tr, err := trace.Collect(p, machine, *samples, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(workDir, p.Name()+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("measured %-8s -> %s (%d samples)\n", p.Name(), path, *samples)
+	}
+
+	// Step 2: traces + static bounds → task-set JSON.
+	periods := map[string]float64{"edge": 4e6, "smooth": 9e6, "epic": 3e6}
+	var tasks []mc.Task
+	id := 1
+	for _, p := range progs {
+		f, err := os.Open(filepath.Join(workDir, p.Name()+".csv"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pes, err := ipet.KernelWCET(p, costs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tasks = append(tasks, mc.Task{
+			ID: id, Name: tr.App, Crit: mc.HC,
+			CLO: pes, CHI: pes, Period: periods[tr.App],
+			Profile: tr.Profile(),
+		})
+		id++
+	}
+	tasks = append(tasks, mc.Task{
+		ID: id, Name: "housekeeping", Crit: mc.LC,
+		CLO: 5e5, CHI: 5e5, Period: 2e6,
+	})
+	ts, err := mc.NewTaskSet(tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tsPath := filepath.Join(workDir, "taskset.json")
+	f, err := os.Create(tsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ts.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("\nwrote task set -> %s\n", tsPath)
+
+	// Step 3: load, optimise, persist.
+	f, err = os.Open(tsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := mc.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := (policy.ChebyshevGA{RequireLC: true}).Assign(loaded, rand.New(rand.NewSource(2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	outPath := filepath.Join(workDir, "optimised.json")
+	f, err = os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.TaskSet.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	fmt.Printf("optimised      -> %s\n\n", outPath)
+	for i, t := range a.TaskSet.ByCrit(mc.HC) {
+		fmt.Printf("  %-8s C^LO %.4g of C^HI %.4g (n=%.1f, per-job overrun <= %.2f%%)\n",
+			t.Name, t.CLO, t.CHI, a.NS[i], 100*core.OverrunBound(a.NS[i]))
+	}
+	an := edfvd.Schedulable(a.TaskSet)
+	fmt.Printf("\nP_sys^MS <= %.4f   max U_LC^LO = %.4f   EDF-VD: %v\n", a.PMS, a.MaxULCLO, an.Schedulable)
+	if !an.Schedulable {
+		log.Fatal("optimised set must be schedulable")
+	}
+}

@@ -1,0 +1,98 @@
+// Sweep: design-space exploration on synthetic task sets.
+//
+// For a synthetic HC task set at a chosen utilisation, the example sweeps
+// the uniform n (Fig. 2's view), runs the per-task GA (Figs. 4–5's view),
+// and plots mode-switch probability against admissible LC utilisation so
+// the trade-off the paper optimises is visible in one terminal screen.
+//
+// Run with: go run ./examples/sweep [-u 0.7] [-sets 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"chebymc/internal/policy"
+	"chebymc/internal/stats"
+	"chebymc/internal/taskgen"
+	"chebymc/internal/textplot"
+	"chebymc/internal/texttable"
+)
+
+func main() {
+	u := flag.Float64("u", 0.7, "target U_HC^HI of the synthetic sets")
+	sets := flag.Int("sets", 50, "number of random task sets to average")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	r := rand.New(rand.NewSource(*seed))
+
+	// Uniform-n sweep averaged over the sets.
+	ns := []float64{0, 2, 4, 6, 8, 10, 14, 18, 22, 26, 30}
+	pms := make([]stats.Online, len(ns))
+	maxU := make([]stats.Online, len(ns))
+	obj := make([]stats.Online, len(ns))
+	var gaObj, gaPMS, gaU stats.Online
+
+	for s := 0; s < *sets; s++ {
+		ts, err := taskgen.HCOnly(r, taskgen.Config{}, *u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, n := range ns {
+			a, err := policy.ChebyshevUniform{N: n}.Assign(ts, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pms[i].Add(a.PMS)
+			maxU[i].Add(a.MaxULCLO)
+			obj[i].Add(a.Objective)
+		}
+		a, err := policy.ChebyshevGA{}.Assign(ts, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gaObj.Add(a.Objective)
+		gaPMS.Add(a.PMS)
+		gaU.Add(a.MaxULCLO)
+	}
+
+	tb := texttable.New(
+		fmt.Sprintf("Uniform-n sweep at U_HC^HI=%.2f (%d sets)", *u, *sets),
+		"n", "P_sys^MS", "max U_LC^LO", "objective",
+	)
+	var xs, ys1, ys2 []float64
+	bestN, bestObj := 0.0, -1.0
+	for i, n := range ns {
+		tb.AddRow(
+			fmt.Sprintf("%.0f", n),
+			fmt.Sprintf("%.4f", pms[i].Mean()),
+			fmt.Sprintf("%.4f", maxU[i].Mean()),
+			fmt.Sprintf("%.4f", obj[i].Mean()),
+		)
+		xs = append(xs, n)
+		ys1 = append(ys1, pms[i].Mean())
+		ys2 = append(ys2, maxU[i].Mean())
+		if obj[i].Mean() > bestObj {
+			bestObj, bestN = obj[i].Mean(), n
+		}
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nbest uniform n = %g (mean objective %.4f)\n", bestN, bestObj)
+	fmt.Printf("per-task GA     : mean objective %.4f (P_sys^MS %.4f, max U_LC^LO %.4f)\n\n",
+		gaObj.Mean(), gaPMS.Mean(), gaU.Mean())
+	if gaObj.Mean() < bestObj-0.02 {
+		log.Fatal("per-task GA should not lose to the best uniform n")
+	}
+
+	p := textplot.New("trade-off: P_sys^MS (falls) vs max U_LC^LO (falls slower)", 62, 14)
+	if err := p.Add(textplot.Series{Name: "P_sys^MS", X: xs, Y: ys1}); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Add(textplot.Series{Name: "max U_LC^LO", X: xs, Y: ys2}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(p.String())
+}

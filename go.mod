@@ -1,0 +1,3 @@
+module chebymc
+
+go 1.22

@@ -1,0 +1,169 @@
+// End-to-end integration tests spanning the whole pipeline: measure on
+// the cost-model CPU → profile → static bound → Chebyshev assignment →
+// schedulability → runtime simulation. These are the cross-module checks
+// the paper's methodology implies but its per-artefact tables cannot
+// express.
+package chebymc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/core"
+	"chebymc/internal/dist"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/ga"
+	"chebymc/internal/ipet"
+	"chebymc/internal/mc"
+	"chebymc/internal/policy"
+	"chebymc/internal/sim"
+	"chebymc/internal/stats"
+	"chebymc/internal/trace"
+	"chebymc/internal/vmcpu"
+)
+
+// TestMeasureToRuntimePipeline builds a task set whose HC profiles come
+// from real vmcpu measurements and whose pessimistic WCETs come from the
+// IPET analyser, optimises it with the GA policy and replays it in the
+// simulator. Every analytical guarantee must hold at runtime.
+func TestMeasureToRuntimePipeline(t *testing.T) {
+	costs := vmcpu.DefaultCosts()
+	m := vmcpu.NewMachine(costs, vmcpu.DefaultCache())
+	r := rand.New(rand.NewSource(1))
+
+	// 1. Measurement campaign on two kernels.
+	progs := []vmcpu.Program{vmcpu.Edge{}, vmcpu.Epic{}}
+	var tasks []mc.Task
+	exec := map[int]dist.Dist{}
+	// Periods chosen so the HI-mode utilisation stays schedulable.
+	periods := []float64{4e6, 3e6}
+	for i, p := range progs {
+		tr, err := trace.Collect(p, m, 500, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := tr.Profile()
+		pes, err := ipet.KernelWCET(p, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, mc.Task{
+			ID: i + 1, Name: p.Name(), Crit: mc.HC,
+			CLO: pes, CHI: pes, Period: periods[i], Profile: prof,
+		})
+		emp, err := dist.NewEmpirical(tr.Samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec[i+1] = emp
+	}
+	tasks = append(tasks, mc.Task{
+		ID: 10, Name: "telemetry", Crit: mc.LC, CLO: 6e5, CHI: 6e5, Period: 2e6,
+	})
+	ts, err := mc.NewTaskSet(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Assignment by the paper's GA scheme, honouring the actual LC
+	// load.
+	pol := policy.ChebyshevGA{
+		Config:    ga.Config{PopSize: 30, Generations: 40},
+		RequireLC: true,
+	}
+	a, err := pol.Assign(ts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Design-time guarantees.
+	an := edfvd.Schedulable(a.TaskSet)
+	if !an.Schedulable {
+		t.Fatalf("GA assignment not schedulable: %v", an)
+	}
+	for i, task := range a.TaskSet.ByCrit(mc.HC) {
+		if task.CLO > task.CHI+1e-9 {
+			t.Fatalf("Eq. 9 violated for %s", task.Name)
+		}
+		if got := core.WCETOpt(task.Profile, a.NS[i]); got < task.CLO-1e-6 || got > task.CHI*(1+1e-9) {
+			t.Fatalf("Eq. 6 inconsistent for %s: %g vs CLO %g", task.Name, got, task.CLO)
+		}
+	}
+
+	// 4. Runtime replay with bootstrap-resampled measured execution
+	// times.
+	s, err := sim.New(a.TaskSet, sim.Config{
+		Horizon: 2e9,
+		Policy:  sim.DropAll,
+		Exec:    exec,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := s.Run()
+	if metrics.HCMisses != 0 {
+		t.Fatalf("HC deadline misses at runtime: %d", metrics.HCMisses)
+	}
+	// Per-task overrun rates below their Theorem 1 bounds.
+	for i, task := range a.TaskSet.ByCrit(mc.HC) {
+		tm, ok := s.TaskMetricsFor(task.ID)
+		if !ok {
+			t.Fatalf("missing metrics for %s", task.Name)
+		}
+		bound := stats.CantelliBound(a.NS[i])
+		if tm.OverrunRate() > bound+0.02 {
+			t.Errorf("%s: observed overrun %g above bound %g", task.Name, tm.OverrunRate(), bound)
+		}
+	}
+	// System mode-switch *rate per HC job* bounded by the analytical
+	// P_sys^MS (which bounds the chance that a round of jobs switches).
+	if metrics.HCReleased > 0 {
+		rate := float64(metrics.ModeSwitches) / float64(metrics.HCReleased)
+		if rate > a.PMS+0.02 {
+			t.Errorf("switch rate %g above analytical bound %g", rate, a.PMS)
+		}
+	}
+}
+
+// TestProfilesAreReproducible pins the determinism contract across the
+// measurement substrate: same seed, same machine → identical profiles.
+func TestProfilesAreReproducible(t *testing.T) {
+	m := vmcpu.NewDefaultMachine()
+	collect := func() mc.Profile {
+		r := rand.New(rand.NewSource(42))
+		tr, err := trace.Collect(vmcpu.Smooth{}, m, 200, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Profile()
+	}
+	if a, b := collect(), collect(); a != b {
+		t.Fatalf("profiles differ across identical runs: %+v vs %+v", a, b)
+	}
+}
+
+// TestStaticBoundsDominateAllKernels sweeps every kernel (paper set and
+// extended set) and asserts the IPET bound dominates the measured maximum
+// — the soundness contract between the two substrates.
+func TestStaticBoundsDominateAllKernels(t *testing.T) {
+	costs := vmcpu.DefaultCosts()
+	m := vmcpu.NewMachine(costs, vmcpu.DefaultCache())
+	progs := []vmcpu.Program{
+		vmcpu.QSort{K: 10}, vmcpu.QSort{K: 100},
+		vmcpu.Corner{}, vmcpu.Edge{}, vmcpu.Smooth{}, vmcpu.Epic{},
+		vmcpu.FFT{}, vmcpu.MatMul{}, vmcpu.CRC{},
+	}
+	for _, p := range progs {
+		bound, err := ipet.KernelWCET(p, costs)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		r := rand.New(rand.NewSource(9))
+		for _, x := range vmcpu.Collect(p, m, 200, r) {
+			if x > bound {
+				t.Fatalf("%s: measurement %g above static bound %g", p.Name(), x, bound)
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package amc
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/mc"
+	"chebymc/internal/policy"
+	"chebymc/internal/taskgen"
+)
+
+func set(t *testing.T, tasks ...mc.Task) *mc.TaskSet {
+	t.Helper()
+	ts, err := mc.NewTaskSet(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestClassicRTAExample(t *testing.T) {
+	// Single-criticality sanity: the classic three-task RM example.
+	// T=(7,12,20), C=(3,3,5): R1=3, R2=6, R3=20 — all meet implicit
+	// deadlines (R3 exactly at 20).
+	ts := set(t,
+		mc.Task{ID: 1, Crit: mc.HC, CLO: 3, CHI: 3, Period: 7},
+		mc.Task{ID: 2, Crit: mc.HC, CLO: 3, CHI: 3, Period: 12},
+		mc.Task{ID: 3, Crit: mc.HC, CLO: 5, CHI: 5, Period: 20},
+	)
+	a := Schedulable(ts)
+	if !a.Schedulable {
+		t.Fatalf("classic set must pass: %v", a)
+	}
+	if a.RLO[1] != 3 {
+		t.Errorf("R1 = %g, want 3", a.RLO[1])
+	}
+	if a.RLO[2] != 6 {
+		t.Errorf("R2 = %g, want 6", a.RLO[2])
+	}
+	if a.RLO[3] != 20 {
+		t.Errorf("R3 = %g, want 20", a.RLO[3])
+	}
+}
+
+func TestLOOverloadFails(t *testing.T) {
+	ts := set(t,
+		mc.Task{ID: 1, Crit: mc.HC, CLO: 6, CHI: 6, Period: 10},
+		mc.Task{ID: 2, Crit: mc.LC, CLO: 6, CHI: 6, Period: 10},
+	)
+	a := Schedulable(ts)
+	if a.Schedulable {
+		t.Fatal("overloaded LO mode accepted")
+	}
+	if a.FailedTask != 2 {
+		t.Errorf("failed task = %d, want the lower-priority 2", a.FailedTask)
+	}
+	if !math.IsInf(a.RLO[2], 1) {
+		t.Errorf("diverged response must be +Inf, got %g", a.RLO[2])
+	}
+	if !strings.Contains(a.String(), "unschedulable") {
+		t.Error("report wrong")
+	}
+}
+
+func TestTransitionBudgetMatters(t *testing.T) {
+	// A set that fits in LO mode and in steady HI mode but fails the
+	// AMC-rtb transition: the HC task pays LC interference accumulated
+	// before the switch plus its full C^HI after.
+	base := []mc.Task{
+		{ID: 1, Crit: mc.LC, CLO: 4, CHI: 4, Period: 10},
+		{ID: 2, Crit: mc.HC, CLO: 4, CHI: 11, Period: 20},
+	}
+	ts := set(t, base...)
+	a := Schedulable(ts)
+	// LO: R2 = 4 + ⌈8/10⌉·4 = 8 ≤ 20 ✓;
+	// transition: R* = 11 + ⌈8/10⌉·4 = 15 ≤ 20 ✓.
+	if !a.Schedulable {
+		t.Fatalf("should pass: %+v", a)
+	}
+	if a.RLO[2] != 8 {
+		t.Errorf("R_LO(2) = %g, want 8", a.RLO[2])
+	}
+	if a.RStar[2] != 15 {
+		t.Errorf("R*_2 = %g, want 15", a.RStar[2])
+	}
+	// Raise C^HI so the transition fails while steady HI alone would
+	// pass (17 ≤ 20): R* = 17 + ⌈8/10⌉·4 = 21 > 20.
+	base[1].CHI = 17
+	a = Schedulable(set(t, base...))
+	if a.Schedulable {
+		t.Fatalf("transition overload accepted: %+v", a)
+	}
+}
+
+func TestHigherPriorityHCInterferenceAtCHI(t *testing.T) {
+	ts := set(t,
+		mc.Task{ID: 1, Crit: mc.HC, CLO: 2, CHI: 6, Period: 10},
+		mc.Task{ID: 2, Crit: mc.HC, CLO: 3, CHI: 8, Period: 30},
+	)
+	a := Schedulable(ts)
+	if !a.Schedulable {
+		t.Fatalf("should pass: %+v", a)
+	}
+	// R*_2 = 8 + ⌈R/10⌉·6 → 8 → 14 → 20 → fixed point 20 ≤ 30.
+	if a.RStar[2] != 20 {
+		t.Errorf("R*_2 = %g, want 20", a.RStar[2])
+	}
+}
+
+// Property: the Chebyshev scheme (smaller C^LO) never hurts AMC
+// acceptance — shrinking LO budgets only reduces interference terms.
+func TestSchemeMonotoneForAMC(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts, err := taskgen.Mixed(r, taskgen.Config{}, 0.9)
+		if err != nil {
+			return false
+		}
+		if Schedulable(ts).Schedulable {
+			// Pessimistic budgets pass: the scheme's smaller budgets
+			// must too.
+			a, err := policy.ChebyshevUniform{N: 3}.Assign(ts, nil)
+			if err != nil {
+				return false
+			}
+			return Schedulable(a.TaskSet).Schedulable
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The scheme improves AMC acceptance at high load, mirroring Fig. 6's
+// EDF-VD result on the second scheduler.
+func TestSchemeImprovesAMCAcceptance(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const sets = 80
+	baseOK, schemeOK := 0, 0
+	for i := 0; i < sets; i++ {
+		ts, err := taskgen.Mixed(r, taskgen.Config{}, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := policy.LambdaRange{Lo: 0.25, Hi: 1}.Assign(ts, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Schedulable(base.TaskSet).Schedulable {
+			baseOK++
+		}
+		ours, err := policy.ChebyshevUniform{N: 0}.Assign(ts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Schedulable(ours.TaskSet).Schedulable {
+			schemeOK++
+		}
+	}
+	if schemeOK < baseOK {
+		t.Errorf("scheme acceptance %d below baseline %d", schemeOK, baseOK)
+	}
+	if schemeOK == 0 {
+		t.Error("scheme accepted nothing at U=1.0")
+	}
+}
+
+func TestPriorityOrderDeadlineMonotonic(t *testing.T) {
+	ts := set(t,
+		mc.Task{ID: 9, Crit: mc.LC, CLO: 1, CHI: 1, Period: 50},
+		mc.Task{ID: 3, Crit: mc.HC, CLO: 1, CHI: 2, Period: 10},
+		mc.Task{ID: 7, Crit: mc.HC, CLO: 1, CHI: 2, Period: 10},
+	)
+	ordered := byPriority(ts)
+	if ordered[0].ID != 3 || ordered[1].ID != 7 || ordered[2].ID != 9 {
+		t.Errorf("priority order wrong: %v, %v, %v", ordered[0].ID, ordered[1].ID, ordered[2].ID)
+	}
+}

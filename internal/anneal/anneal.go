@@ -1,0 +1,146 @@
+// Package anneal provides a simulated-annealing optimiser over bounded
+// real vectors — an alternative to the paper's genetic algorithm for the
+// Eq. 13 search, used by the optimizer ablation (is the GA pulling its
+// weight, or would any stochastic search do?).
+//
+// The interface mirrors internal/ga: same Problem shape (bounds +
+// fitness, maximised), deterministic under a seed.
+package anneal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chebymc/internal/ga"
+)
+
+// Config tunes the annealer. Zero values select sensible defaults.
+type Config struct {
+	// Iterations is the number of proposal steps. Default 5000.
+	Iterations int
+	// TStart and TEnd bound the geometric cooling schedule. Defaults
+	// 1.0 and 1e-3 (fitness-scale temperatures).
+	TStart, TEnd float64
+	// StepFrac scales proposals: each step perturbs one coordinate by a
+	// normal with σ = StepFrac·(Hi−Lo). Default 0.1.
+	StepFrac float64
+	// Restarts runs independent chains and keeps the best. Default 3.
+	Restarts int
+	// Seed seeds the run.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iterations == 0 {
+		c.Iterations = 5000
+	}
+	if c.TStart == 0 {
+		c.TStart = 1.0
+	}
+	if c.TEnd == 0 {
+		c.TEnd = 1e-3
+	}
+	if c.StepFrac == 0 {
+		c.StepFrac = 0.1
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 3
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Iterations < 1:
+		return fmt.Errorf("anneal: iterations %d must be ≥ 1", c.Iterations)
+	case c.TStart <= 0 || c.TEnd <= 0 || c.TEnd > c.TStart:
+		return fmt.Errorf("anneal: temperatures (%g, %g) invalid", c.TStart, c.TEnd)
+	case c.StepFrac <= 0 || c.StepFrac > 1:
+		return fmt.Errorf("anneal: step fraction %g out of (0, 1]", c.StepFrac)
+	case c.Restarts < 1:
+		return fmt.Errorf("anneal: restarts %d must be ≥ 1", c.Restarts)
+	}
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Best        []float64
+	BestFitness float64
+}
+
+// Run maximises p.Fitness with simulated annealing. The problem type is
+// shared with the GA so callers can swap optimisers.
+func Run(p ga.Problem, cfg Config) (Result, error) {
+	if len(p.Bounds) == 0 {
+		return Result{}, errors.New("anneal: empty genome")
+	}
+	if p.Fitness == nil {
+		return Result{}, errors.New("anneal: nil fitness")
+	}
+	for i, b := range p.Bounds {
+		if !(b.Lo <= b.Hi) || math.IsNaN(b.Lo) || math.IsNaN(b.Hi) {
+			return Result{}, fmt.Errorf("anneal: gene %d has invalid bounds [%g, %g]", i, b.Lo, b.Hi)
+		}
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	eval := func(g []float64) float64 {
+		return p.Fitness(append([]float64(nil), g...))
+	}
+	clamp := func(i int, v float64) float64 {
+		b := p.Bounds[i]
+		if v < b.Lo {
+			return b.Lo
+		}
+		if v > b.Hi {
+			return b.Hi
+		}
+		return v
+	}
+
+	var best []float64
+	bestFit := math.Inf(-1)
+
+	cool := math.Pow(cfg.TEnd/cfg.TStart, 1/float64(cfg.Iterations))
+	for chain := 0; chain < cfg.Restarts; chain++ {
+		cur := make([]float64, len(p.Bounds))
+		for i, b := range p.Bounds {
+			cur[i] = b.Lo + r.Float64()*(b.Hi-b.Lo)
+		}
+		curFit := eval(cur)
+		if curFit > bestFit {
+			bestFit = curFit
+			best = append([]float64(nil), cur...)
+		}
+		temp := cfg.TStart
+		for it := 0; it < cfg.Iterations; it++ {
+			i := r.Intn(len(cur))
+			old := cur[i]
+			span := p.Bounds[i].Hi - p.Bounds[i].Lo
+			cur[i] = clamp(i, old+r.NormFloat64()*cfg.StepFrac*span)
+			newFit := eval(cur)
+			accept := newFit >= curFit
+			if !accept && !math.IsInf(newFit, -1) {
+				accept = r.Float64() < math.Exp((newFit-curFit)/temp)
+			}
+			if accept {
+				curFit = newFit
+				if curFit > bestFit {
+					bestFit = curFit
+					best = append([]float64(nil), cur...)
+				}
+			} else {
+				cur[i] = old
+			}
+			temp *= cool
+		}
+	}
+	return Result{Best: best, BestFitness: bestFit}, nil
+}

@@ -1,0 +1,153 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/core"
+	"chebymc/internal/ga"
+	"chebymc/internal/mc"
+	"chebymc/internal/taskgen"
+)
+
+func TestRunValidation(t *testing.T) {
+	ok := ga.Problem{
+		Bounds:  []ga.Bound{{Lo: 0, Hi: 1}},
+		Fitness: func(g []float64) float64 { return -g[0] },
+	}
+	if _, err := Run(ga.Problem{}, Config{}); err == nil {
+		t.Error("empty genome must error")
+	}
+	if _, err := Run(ga.Problem{Bounds: ok.Bounds}, Config{}); err == nil {
+		t.Error("nil fitness must error")
+	}
+	bad := ok
+	bad.Bounds = []ga.Bound{{Lo: 2, Hi: 1}}
+	if _, err := Run(bad, Config{}); err == nil {
+		t.Error("inverted bounds must error")
+	}
+	if _, err := Run(ok, Config{Iterations: -1}); err == nil {
+		t.Error("negative iterations must error")
+	}
+	if _, err := Run(ok, Config{TStart: 1, TEnd: 2}); err == nil {
+		t.Error("TEnd > TStart must error")
+	}
+	if _, err := Run(ok, Config{StepFrac: 2}); err == nil {
+		t.Error("step fraction > 1 must error")
+	}
+	if _, err := Run(ok, Config{Restarts: -1}); err == nil {
+		t.Error("negative restarts must error")
+	}
+}
+
+func TestRunFindsQuadraticOptimum(t *testing.T) {
+	p := ga.Problem{
+		Bounds: []ga.Bound{{Lo: -10, Hi: 10}, {Lo: -10, Hi: 10}},
+		Fitness: func(g []float64) float64 {
+			return -(g[0]-3)*(g[0]-3) - (g[1]+2)*(g[1]+2)
+		},
+	}
+	res, err := Run(p, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Best[0]-3) > 0.5 || math.Abs(res.Best[1]+2) > 0.5 {
+		t.Errorf("best = %v, want ≈ (3, −2)", res.Best)
+	}
+}
+
+func TestRunRespectsBounds(t *testing.T) {
+	p := ga.Problem{
+		Bounds:  []ga.Bound{{Lo: 1, Hi: 2}},
+		Fitness: func(g []float64) float64 { return g[0] }, // pushes up
+	}
+	res, err := Run(p, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best[0] < 1 || res.Best[0] > 2 {
+		t.Errorf("best %g out of bounds", res.Best[0])
+	}
+	if res.Best[0] < 1.95 {
+		t.Errorf("best %g, want near upper bound 2", res.Best[0])
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := ga.Problem{
+		Bounds:  []ga.Bound{{Lo: 0, Hi: 5}},
+		Fitness: func(g []float64) float64 { return -math.Abs(g[0] - 1) },
+	}
+	a, err := Run(p, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness {
+		t.Error("same seed must reproduce")
+	}
+}
+
+func TestRunHandlesInfeasibleRegions(t *testing.T) {
+	p := ga.Problem{
+		Bounds: []ga.Bound{{Lo: -1, Hi: 1}},
+		Fitness: func(g []float64) float64 {
+			if g[0] < 0 {
+				return math.Inf(-1)
+			}
+			return -math.Abs(g[0] - 0.5)
+		},
+	}
+	res, err := Run(p, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Best[0]-0.5) > 0.2 {
+		t.Errorf("best %g, want ≈ 0.5", res.Best[0])
+	}
+}
+
+// Optimizer ablation on the paper's actual objective: on Eq. 13 over a
+// real task set, SA must land in the same ballpark as the GA — evidence
+// that the surface is benign and the GA choice is about convention, not
+// necessity (DESIGN.md §5).
+func TestAnnealMatchesGAOnEq13(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ts, err := taskgen.HCOnly(r, taskgen.Config{}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcs := ts.ByCrit(mc.HC)
+	bounds := make([]ga.Bound, len(hcs))
+	for i, task := range hcs {
+		hi := core.NMax(task)
+		if hi > 50 {
+			hi = 50
+		}
+		bounds[i] = ga.Bound{Lo: 0, Hi: hi}
+	}
+	fitness := func(g []float64) float64 {
+		a, err := core.Apply(ts, g)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return a.Objective
+	}
+	p := ga.Problem{Bounds: bounds, Fitness: fitness}
+
+	gaRes, err := ga.Run(p, ga.Config{Seed: 6, PopSize: 40, Generations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saRes, err := Run(p, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saRes.BestFitness < gaRes.BestFitness-0.03 {
+		t.Errorf("SA %g far below GA %g on Eq. 13", saRes.BestFitness, gaRes.BestFitness)
+	}
+}

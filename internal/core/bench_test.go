@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/mc"
+	"chebymc/internal/taskgen"
+)
+
+func benchSet(b *testing.B) *mc.TaskSet {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	ts, err := taskgen.HCOnly(r, taskgen.Config{}, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts
+}
+
+// BenchmarkApply measures one full assignment evaluation — the inner loop
+// of every optimiser in the repository.
+func BenchmarkApply(b *testing.B) {
+	ts := benchSet(b)
+	ns := make([]float64, ts.NumHC())
+	for i := range ns {
+		ns[i] = 5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(ts, ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSystemMSProb measures the Eq. 10 product.
+func BenchmarkSystemMSProb(b *testing.B) {
+	ns := make([]float64, 32)
+	for i := range ns {
+		ns[i] = float64(i%20) + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SystemMSProb(ns)
+	}
+}
+
+// BenchmarkProfileFromSamples measures Eqs. 3–4 over a 20000-sample trace.
+func BenchmarkProfileFromSamples(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.Float64() * 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProfileFromSamples(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package core implements the paper's primary contribution: determining
+// the optimistic WCETs of high-criticality tasks from their execution-time
+// statistics via the one-sided Chebyshev (Cantelli) inequality, and the
+// associated optimisation objective.
+//
+// The pieces map to the paper as follows:
+//
+//   - WCETOpt          — Eq. 6:  C^LO_i = ACET_i + n_i·σ_i
+//   - OverrunBound     — Theorem 1:  P^MS_i ≤ 1/(1+n_i²)
+//   - SystemMSProb     — Eq. 10:  P^MS_sys = 1 − Π (1 − 1/(1+n_i²))
+//   - MaxULCLO         — Eqs. 11–12: the LC utilisation admissible under
+//     the EDF-VD schedulability conditions of Eq. 8
+//   - ObjectiveValue   — Eq. 13:  (1 − P^MS_sys) · max(U^LO_LC)
+//   - Apply            — assembles an Assignment for an n-vector, checking
+//     the execution-time constraint of Eq. 9
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"chebymc/internal/mc"
+	"chebymc/internal/stats"
+)
+
+// WCETOpt returns the optimistic WCET of Eq. 6 for a task with profile p:
+// ACET + n·σ. n must be ≥ 0 (the paper's n is a positive integer, but the
+// optimiser treats it as continuous).
+func WCETOpt(p mc.Profile, n float64) float64 {
+	return p.ACET + n*p.Sigma
+}
+
+// OverrunBound returns the Theorem 1 bound 1/(1+n²) on the probability
+// that one job exceeds WCETOpt(p, n). It is distribution-free.
+func OverrunBound(n float64) float64 { return stats.CantelliBound(n) }
+
+// NMax returns the largest n satisfying the execution-time constraint of
+// Eq. 9 for task t: ACET + n·σ ≤ C^HI. It returns +Inf when σ = 0 and the
+// ACET already fits, and a negative value when even n = 0 violates the
+// constraint (ACET > C^HI, an inconsistent profile).
+func NMax(t mc.Task) float64 {
+	if t.Profile.Sigma == 0 {
+		if t.Profile.ACET <= t.CHI {
+			return math.Inf(1)
+		}
+		return -1
+	}
+	return (t.CHI - t.Profile.ACET) / t.Profile.Sigma
+}
+
+// SystemMSProb returns the system mode-switching probability of Eq. 10 for
+// the per-task parameters ns: the probability that at least one HC task
+// overruns its optimistic WCET, with tasks independent. Each bound is the
+// per-task Theorem 1 bound, so the result is itself an upper bound.
+func SystemMSProb(ns []float64) float64 {
+	noSwitch := 1.0
+	for _, n := range ns {
+		noSwitch *= 1 - stats.CantelliBound(n)
+	}
+	return 1 - noSwitch
+}
+
+// MaxULCLO returns the maximum LC utilisation admissible in LO mode under
+// the EDF-VD schedulability conditions of Eq. 8, i.e. the tighter of
+// Eq. 11 (LO-mode capacity) and Eq. 12 (mode-switch guarantee):
+//
+//	U ≤ 1 − U^LO_HC
+//	U ≤ (1 − U^HI_HC) / (1 − U^HI_HC + U^LO_HC)
+//
+// uHCLO and uHCHI are the HC utilisations in LO and HI mode. The result is
+// clamped to [0, 1]; it is 0 when the HC tasks alone are unschedulable
+// (U^LO_HC ≥ 1 or U^HI_HC ≥ 1).
+func MaxULCLO(uHCLO, uHCHI float64) float64 {
+	if uHCLO >= 1 || uHCHI >= 1 {
+		return 0
+	}
+	eq11 := 1 - uHCLO
+	eq12 := (1 - uHCHI) / (1 - uHCHI + uHCLO)
+	u := math.Min(eq11, eq12)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// ObjectiveValue returns the paper's optimisation objective (Eq. 13):
+// (1 − P^MS_sys) · max(U^LO_LC).
+func ObjectiveValue(pms, maxULCLO float64) float64 {
+	return (1 - pms) * maxULCLO
+}
+
+// Assignment is the result of applying an n-vector to the HC tasks of a
+// task set: the rewritten task set plus the analytical properties the
+// paper's experiments report.
+type Assignment struct {
+	// NS is the per-HC-task n vector, in HC task order.
+	NS []float64
+	// TaskSet is the input set with each HC task's C^LO set to
+	// ACET + n·σ.
+	TaskSet *mc.TaskSet
+	// PMS is the system mode-switch probability bound (Eq. 10).
+	PMS float64
+	// MaxULCLO is the admissible LC utilisation (Eqs. 11–12).
+	MaxULCLO float64
+	// Objective is the Eq. 13 value.
+	Objective float64
+}
+
+// Apply computes the Assignment for the HC tasks of ts under the per-task
+// parameters ns (matched positionally against the HC tasks in order). It
+// returns an error when the vector length is wrong, an n is negative, or
+// the execution-time constraint of Eq. 9 (C^LO ≤ C^HI) is violated.
+func Apply(ts *mc.TaskSet, ns []float64) (Assignment, error) {
+	hcs := ts.ByCrit(mc.HC)
+	if len(ns) != len(hcs) {
+		return Assignment{}, fmt.Errorf("core: %d parameters for %d HC tasks", len(ns), len(hcs))
+	}
+	clo := make([]float64, len(hcs))
+	for i, t := range hcs {
+		n := ns[i]
+		if n < 0 {
+			return Assignment{}, fmt.Errorf("core: task %d: negative n %g", t.ID, n)
+		}
+		w := WCETOpt(t.Profile, n)
+		if w > t.CHI {
+			// Tolerate the one-ulp overshoot a clamped n = NMax can
+			// produce; reject genuine Eq. 9 violations.
+			if w <= t.CHI*(1+1e-12) {
+				w = t.CHI
+			} else {
+				return Assignment{}, fmt.Errorf("core: task %d: WCET^opt %g exceeds WCET^pes %g (Eq. 9)", t.ID, w, t.CHI)
+			}
+		}
+		if w <= 0 {
+			return Assignment{}, fmt.Errorf("core: task %d: non-positive WCET^opt %g", t.ID, w)
+		}
+		clo[i] = w
+	}
+	out, err := ts.WithCLO(clo)
+	if err != nil {
+		return Assignment{}, err
+	}
+	pms := SystemMSProb(ns)
+	maxU := MaxULCLO(out.UHCLO(), out.UHCHI())
+	return Assignment{
+		NS:        append([]float64(nil), ns...),
+		TaskSet:   out,
+		PMS:       pms,
+		MaxULCLO:  maxU,
+		Objective: ObjectiveValue(pms, maxU),
+	}, nil
+}
+
+// ApplyUniform is Apply with the same n for every HC task — the
+// configuration of the paper's Fig. 2 and Fig. 3 sweeps.
+func ApplyUniform(ts *mc.TaskSet, n float64) (Assignment, error) {
+	ns := make([]float64, ts.NumHC())
+	for i := range ns {
+		ns[i] = n
+	}
+	return Apply(ts, ns)
+}
+
+// ClampNS clamps each ns[i] into [0, NMax] of the corresponding HC task,
+// making an arbitrary vector feasible w.r.t. Eq. 9. It returns an error
+// when the vector length is wrong or a task's profile is inconsistent
+// (ACET > C^HI).
+func ClampNS(ts *mc.TaskSet, ns []float64) ([]float64, error) {
+	hcs := ts.ByCrit(mc.HC)
+	if len(ns) != len(hcs) {
+		return nil, fmt.Errorf("core: %d parameters for %d HC tasks", len(ns), len(hcs))
+	}
+	out := make([]float64, len(ns))
+	for i, t := range hcs {
+		hi := NMax(t)
+		if hi < 0 {
+			return nil, fmt.Errorf("core: task %d: ACET %g exceeds WCET^pes %g", t.ID, t.Profile.ACET, t.CHI)
+		}
+		n := ns[i]
+		if n < 0 {
+			n = 0
+		}
+		if n > hi {
+			n = hi
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// FromCLO computes the Assignment induced by explicit C^LO budgets (for
+// the HC tasks, in order) rather than an n-vector. It inverts Eq. 6 to
+// recover the implied n_i = (C^LO_i − ACET_i)/σ_i, which Section V-C uses
+// to score the λ-fraction baseline policies: budgets below the ACET imply
+// a vacuous bound (overrun probability 1), budgets with σ = 0 imply a
+// certain pass (n = +Inf) when at or above the ACET.
+func FromCLO(ts *mc.TaskSet, clo []float64) (Assignment, error) {
+	hcs := ts.ByCrit(mc.HC)
+	if len(clo) != len(hcs) {
+		return Assignment{}, fmt.Errorf("core: %d budgets for %d HC tasks", len(clo), len(hcs))
+	}
+	ns := make([]float64, len(hcs))
+	for i, t := range hcs {
+		c := clo[i]
+		if c <= 0 {
+			return Assignment{}, fmt.Errorf("core: task %d: non-positive C^LO %g", t.ID, c)
+		}
+		if c > t.CHI {
+			return Assignment{}, fmt.Errorf("core: task %d: C^LO %g exceeds C^HI %g (Eq. 9)", t.ID, c, t.CHI)
+		}
+		switch {
+		case t.Profile.Sigma > 0:
+			n := (c - t.Profile.ACET) / t.Profile.Sigma
+			if n < 0 {
+				n = 0 // Cantelli bound is vacuous (=1) below the mean
+			}
+			ns[i] = n
+		case c >= t.Profile.ACET:
+			ns[i] = math.Inf(1)
+		default:
+			ns[i] = 0
+		}
+	}
+	out, err := ts.WithCLO(clo)
+	if err != nil {
+		return Assignment{}, err
+	}
+	pms := SystemMSProb(ns)
+	maxU := MaxULCLO(out.UHCLO(), out.UHCHI())
+	return Assignment{
+		NS:        ns,
+		TaskSet:   out,
+		PMS:       pms,
+		MaxULCLO:  maxU,
+		Objective: ObjectiveValue(pms, maxU),
+	}, nil
+}
+
+// ProfileFromSamples derives a Profile from measured execution times using
+// Eqs. 3 and 4 (mean and population standard deviation).
+func ProfileFromSamples(xs []float64) (mc.Profile, error) {
+	s, err := stats.Summarize(xs)
+	if err != nil {
+		return mc.Profile{}, err
+	}
+	return mc.Profile{ACET: s.Mean, Sigma: s.StdDev}, nil
+}

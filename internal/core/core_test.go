@@ -1,0 +1,407 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/dist"
+	"chebymc/internal/mc"
+	"chebymc/internal/stats"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func twoHCOneLC() *mc.TaskSet {
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 10, CHI: 40, Period: 100, Profile: mc.Profile{ACET: 8, Sigma: 1}},
+		{ID: 2, Crit: mc.HC, CLO: 20, CHI: 90, Period: 300, Profile: mc.Profile{ACET: 15, Sigma: 2.5}},
+		{ID: 3, Crit: mc.LC, CLO: 10, CHI: 10, Period: 100},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+func TestWCETOpt(t *testing.T) {
+	p := mc.Profile{ACET: 100, Sigma: 7}
+	if got := WCETOpt(p, 0); got != 100 {
+		t.Errorf("WCETOpt(n=0) = %g, want 100", got)
+	}
+	if got := WCETOpt(p, 3); got != 121 {
+		t.Errorf("WCETOpt(n=3) = %g, want 121", got)
+	}
+}
+
+func TestOverrunBoundMatchesTableII(t *testing.T) {
+	// Analysis column of Table II.
+	want := map[float64]float64{0: 1, 1: 0.5, 2: 0.2, 3: 0.1, 4: 1.0 / 17.0}
+	for n, w := range want {
+		if got := OverrunBound(n); !almost(got, w, 1e-12) {
+			t.Errorf("OverrunBound(%g) = %g, want %g", n, got, w)
+		}
+	}
+}
+
+func TestNMax(t *testing.T) {
+	task := mc.Task{ID: 1, Crit: mc.HC, CLO: 10, CHI: 40, Period: 100,
+		Profile: mc.Profile{ACET: 10, Sigma: 3}}
+	if got := NMax(task); got != 10 {
+		t.Errorf("NMax = %g, want 10", got)
+	}
+	task.Profile.Sigma = 0
+	if !math.IsInf(NMax(task), 1) {
+		t.Error("σ=0 with fitting ACET must give +Inf")
+	}
+	task.Profile.ACET = 50 // above CHI
+	if NMax(task) >= 0 {
+		t.Error("ACET > CHI with σ=0 must give a negative NMax")
+	}
+}
+
+func TestSystemMSProb(t *testing.T) {
+	// Single task: equals the per-task bound.
+	if got := SystemMSProb([]float64{2}); !almost(got, 0.2, 1e-12) {
+		t.Errorf("single-task PMS = %g, want 0.2", got)
+	}
+	// Two tasks at n=1: 1 − 0.5·0.5 = 0.75.
+	if got := SystemMSProb([]float64{1, 1}); !almost(got, 0.75, 1e-12) {
+		t.Errorf("two-task PMS = %g, want 0.75", got)
+	}
+	// No HC tasks: no switching.
+	if got := SystemMSProb(nil); got != 0 {
+		t.Errorf("empty PMS = %g, want 0", got)
+	}
+}
+
+func TestSystemMSProbMonotone(t *testing.T) {
+	// Increasing any n must not increase PMS; adding a task must not
+	// decrease it.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ns := make([]float64, len(raw))
+		for i, v := range raw {
+			ns[i] = float64(v%30) / 2
+		}
+		base := SystemMSProb(ns)
+		bumped := append([]float64(nil), ns...)
+		bumped[0] += 1
+		if SystemMSProb(bumped) > base+1e-12 {
+			return false
+		}
+		grown := append(append([]float64(nil), ns...), 1)
+		return SystemMSProb(grown) >= base-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxULCLO(t *testing.T) {
+	tests := []struct {
+		uLO, uHI, want float64
+	}{
+		// Capacity-bound (Eq. 11) dominant: tiny HI utilisation.
+		{0.5, 0.55, math.Min(0.5, (1-0.55)/(1-0.55+0.5))},
+		// HC alone infeasible.
+		{1.0, 0.5, 0},
+		{0.5, 1.0, 0},
+		// No HC tasks at all: the whole processor for LC.
+		{0, 0, 1},
+	}
+	for _, tc := range tests {
+		if got := MaxULCLO(tc.uLO, tc.uHI); !almost(got, tc.want, 1e-12) {
+			t.Errorf("MaxULCLO(%g, %g) = %g, want %g", tc.uLO, tc.uHI, got, tc.want)
+		}
+	}
+}
+
+func TestMaxULCLOMonotoneInULO(t *testing.T) {
+	// Raising U^LO_HC (larger n) must never raise the admissible LC
+	// utilisation — the trade-off at the heart of the paper.
+	uHI := 0.85
+	prev := math.Inf(1)
+	for uLO := 0.05; uLO < uHI; uLO += 0.05 {
+		got := MaxULCLO(uLO, uHI)
+		if got > prev+1e-12 {
+			t.Fatalf("MaxULCLO not monotone at uLO=%g: %g > %g", uLO, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestEq8ConsistencyWithMaxULCLO(t *testing.T) {
+	// Setting U^LO_LC = MaxULCLO must satisfy both conditions of Eq. 8
+	// with equality or slack.
+	f := func(a, b uint8) bool {
+		uLO := float64(a%90)/100 + 0.05
+		uHI := uLO + float64(b)/255*(0.99-uLO)
+		if uHI >= 1 || uHI < uLO {
+			return true
+		}
+		u := MaxULCLO(uLO, uHI)
+		cond1 := uLO+u <= 1+1e-9
+		cond2 := uHI+uLO*u/(1-u) <= 1+1e-9
+		return cond1 && cond2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectiveValue(t *testing.T) {
+	if got := ObjectiveValue(0.2, 0.5); !almost(got, 0.4, 1e-12) {
+		t.Errorf("ObjectiveValue = %g, want 0.4", got)
+	}
+	// PMS = 1 (always in HI): objective must be 0.
+	if got := ObjectiveValue(1, 0.9); got != 0 {
+		t.Errorf("ObjectiveValue(PMS=1) = %g, want 0", got)
+	}
+}
+
+func TestApply(t *testing.T) {
+	ts := twoHCOneLC()
+	a, err := Apply(ts, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C^LO rewritten per Eq. 6.
+	hcs := a.TaskSet.ByCrit(mc.HC)
+	if !almost(hcs[0].CLO, 8+2*1, 1e-12) {
+		t.Errorf("task 1 CLO = %g, want 10", hcs[0].CLO)
+	}
+	if !almost(hcs[1].CLO, 15+4*2.5, 1e-12) {
+		t.Errorf("task 2 CLO = %g, want 25", hcs[1].CLO)
+	}
+	// PMS per Eq. 10.
+	wantPMS := 1 - (1-stats.CantelliBound(2))*(1-stats.CantelliBound(4))
+	if !almost(a.PMS, wantPMS, 1e-12) {
+		t.Errorf("PMS = %g, want %g", a.PMS, wantPMS)
+	}
+	// Objective consistency.
+	if !almost(a.Objective, (1-a.PMS)*a.MaxULCLO, 1e-12) {
+		t.Error("objective != (1−PMS)·maxULCLO")
+	}
+	// Original set untouched.
+	if ts.Tasks[0].CLO != 10 {
+		t.Error("Apply must not mutate its input")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	ts := twoHCOneLC()
+	if _, err := Apply(ts, []float64{1}); err == nil {
+		t.Error("wrong vector length must error")
+	}
+	if _, err := Apply(ts, []float64{-1, 1}); err == nil {
+		t.Error("negative n must error")
+	}
+	// n large enough to break Eq. 9: task 1 NMax = (40−8)/1 = 32.
+	if _, err := Apply(ts, []float64{33, 1}); err == nil {
+		t.Error("Eq. 9 violation must error")
+	}
+}
+
+func TestApplyUniform(t *testing.T) {
+	ts := twoHCOneLC()
+	a, err := ApplyUniform(ts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range a.NS {
+		if n != 3 {
+			t.Fatalf("uniform NS = %v", a.NS)
+		}
+	}
+}
+
+func TestClampNS(t *testing.T) {
+	ts := twoHCOneLC()
+	// Task 1 NMax = 32, task 2 NMax = (90−15)/2.5 = 30.
+	got, err := ClampNS(ts, []float64{100, -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 32 || got[1] != 0 {
+		t.Errorf("ClampNS = %v, want [32 0]", got)
+	}
+	if _, err := ClampNS(ts, []float64{1}); err == nil {
+		t.Error("wrong length must error")
+	}
+}
+
+func TestProfileFromSamples(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	p, err := ProfileFromSamples(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p.ACET, 5, 1e-12) || !almost(p.Sigma, 2, 1e-12) {
+		t.Errorf("profile = %+v, want ACET 5 σ 2", p)
+	}
+	if _, err := ProfileFromSamples(nil); err == nil {
+		t.Error("empty samples must error")
+	}
+}
+
+// End-to-end statistical check of Theorem 1 through the public API: for a
+// task whose execution times follow an arbitrary skewed distribution, the
+// measured overrun rate of WCETOpt(p, n) stays below OverrunBound(n).
+func TestTheorem1EndToEnd(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	d, err := dist.LogNormalFromMoments(40, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = d.Sample(r)
+	}
+	p, err := ProfileFromSamples(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0.5; n <= 6; n += 0.5 {
+		rate := stats.ExceedRate(xs, WCETOpt(p, n))
+		if rate > OverrunBound(n)+1e-9 {
+			t.Errorf("n=%g: measured overrun %g violates bound %g", n, rate, OverrunBound(n))
+		}
+	}
+}
+
+// Property: the objective as a function of uniform n is zero at both
+// extremes' limits (PMS→1 at n=0 gives small objective only if multiple
+// tasks; maxU→small at huge n) and positive in between, so an interior
+// optimum exists — the shape of Fig. 2b.
+func TestObjectiveInteriorOptimum(t *testing.T) {
+	ts := twoHCOneLC()
+	best, bestN := -1.0, -1.0
+	var at0, atBig float64
+	for n := 0.0; n <= 30; n += 0.5 {
+		ns, err := ClampNS(ts, []float64{n, n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Apply(ts, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			at0 = a.Objective
+		}
+		atBig = a.Objective
+		if a.Objective > best {
+			best, bestN = a.Objective, n
+		}
+	}
+	if !(best > at0 && best > atBig) {
+		t.Fatalf("no interior optimum: best %g at n=%g, endpoints %g / %g", best, bestN, at0, atBig)
+	}
+	if bestN <= 0 {
+		t.Fatalf("optimum at boundary n=%g", bestN)
+	}
+}
+
+func TestFromCLO(t *testing.T) {
+	ts := twoHCOneLC()
+	a, err := FromCLO(ts, []float64{12, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcs := a.TaskSet.ByCrit(mc.HC)
+	if hcs[0].CLO != 12 || hcs[1].CLO != 25 {
+		t.Errorf("budgets not applied: %g, %g", hcs[0].CLO, hcs[1].CLO)
+	}
+	// Implied n for task 1: (12−8)/1 = 4; task 2: (25−15)/2.5 = 4.
+	if !almost(a.NS[0], 4, 1e-12) || !almost(a.NS[1], 4, 1e-12) {
+		t.Errorf("implied n = %v, want [4 4]", a.NS)
+	}
+	wantPMS := SystemMSProb([]float64{4, 4})
+	if !almost(a.PMS, wantPMS, 1e-12) {
+		t.Errorf("PMS = %g, want %g", a.PMS, wantPMS)
+	}
+}
+
+func TestFromCLOBelowACET(t *testing.T) {
+	// Budgets below the mean imply a vacuous bound: n clamps to 0 and
+	// the per-task probability is 1.
+	ts := twoHCOneLC()
+	a, err := FromCLO(ts, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NS[0] != 0 || a.NS[1] != 0 {
+		t.Errorf("sub-ACET budgets must imply n=0, got %v", a.NS)
+	}
+	if a.PMS < 0.999 {
+		t.Errorf("PMS = %g, want 1", a.PMS)
+	}
+}
+
+func TestFromCLOSigmaZero(t *testing.T) {
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 10, CHI: 40, Period: 100,
+			Profile: mc.Profile{ACET: 10, Sigma: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget at/above the deterministic ACET: certain pass (n = +Inf).
+	a, err := FromCLO(ts, []float64{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a.NS[0], 1) {
+		t.Errorf("n = %g, want +Inf", a.NS[0])
+	}
+	if a.PMS != 0 {
+		t.Errorf("PMS = %g, want 0", a.PMS)
+	}
+	// Budget below the deterministic ACET: certain overrun.
+	a, err = FromCLO(ts, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NS[0] != 0 || a.PMS != 1 {
+		t.Errorf("sub-ACET deterministic: n=%g PMS=%g", a.NS[0], a.PMS)
+	}
+}
+
+func TestFromCLOErrors(t *testing.T) {
+	ts := twoHCOneLC()
+	if _, err := FromCLO(ts, []float64{12}); err == nil {
+		t.Error("wrong length must error")
+	}
+	if _, err := FromCLO(ts, []float64{0, 10}); err == nil {
+		t.Error("non-positive budget must error")
+	}
+	if _, err := FromCLO(ts, []float64{50, 10}); err == nil {
+		t.Error("budget above C^HI must error (Eq. 9)")
+	}
+}
+
+func TestMaxULCLONearUnityForTinyHCLoad(t *testing.T) {
+	// Vanishing HC load: nearly the whole processor is admissible for LC
+	// work, approaching 1 from below.
+	got := MaxULCLO(1e-9, 1e-9)
+	if got <= 0.999999 || got > 1 {
+		t.Errorf("MaxULCLO = %g, want just below 1", got)
+	}
+}
+
+func TestApplyNonPositiveBudget(t *testing.T) {
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 10, CHI: 40, Period: 100,
+			Profile: mc.Profile{ACET: 0, Sigma: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(ts, []float64{0}); err == nil {
+		t.Error("zero budget (ACET=σ=0, n=0) must error")
+	}
+}

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"fmt"
+
+	"chebymc/internal/core"
+	"chebymc/internal/mc"
+)
+
+// ExampleApplyUniform shows the basic Eq. 6 assignment: measured profile
+// in, budgets and guarantees out.
+func ExampleApplyUniform() {
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Name: "control", Crit: mc.HC, CLO: 40, CHI: 40, Period: 100,
+			Profile: mc.Profile{ACET: 10, Sigma: 2}},
+		{ID: 2, Name: "logging", Crit: mc.LC, CLO: 20, CHI: 20, Period: 100},
+	})
+	if err != nil {
+		panic(err)
+	}
+	a, err := core.ApplyUniform(ts, 4) // C^LO = ACET + 4σ
+	if err != nil {
+		panic(err)
+	}
+	hc := a.TaskSet.ByCrit(mc.HC)[0]
+	fmt.Printf("C^LO = %.0f\n", hc.CLO)
+	fmt.Printf("per-job overrun bound = %.4f\n", core.OverrunBound(4))
+	fmt.Printf("P_sys^MS = %.4f\n", a.PMS)
+	// Output:
+	// C^LO = 18
+	// per-job overrun bound = 0.0588
+	// P_sys^MS = 0.0588
+}
+
+// ExampleMaxULCLO shows the Eqs. 11–12 bound on the LC utilisation the
+// EDF-VD conditions admit.
+func ExampleMaxULCLO() {
+	fmt.Printf("%.4f\n", core.MaxULCLO(0.2, 0.6))
+	// Output:
+	// 0.6667
+}
+
+// ExampleFromCLO shows how a λ-fraction baseline budget is scored: the
+// implied n comes from inverting Eq. 6.
+func ExampleFromCLO() {
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 40, CHI: 40, Period: 100,
+			Profile: mc.Profile{ACET: 10, Sigma: 2}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	a, err := core.FromCLO(ts, []float64{20}) // λ = 1/2 of WCET^pes
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("implied n = %.0f, P_sys^MS = %.1f\n", a.NS[0], a.PMS)
+	// Output:
+	// implied n = 5, P_sys^MS = 0.0
+}

@@ -1,0 +1,267 @@
+package dbf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/edfvd"
+	"chebymc/internal/mc"
+)
+
+func TestTaskValidate(t *testing.T) {
+	bad := []Task{
+		{C: 0, D: 5, T: 10},
+		{C: 6, D: 5, T: 10},
+		{C: 3, D: 12, T: 10},
+		{C: -1, D: 5, T: 10},
+	}
+	for i, task := range bad {
+		if task.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if (Task{C: 3, D: 5, T: 10}).Validate() != nil {
+		t.Error("valid task rejected")
+	}
+}
+
+func TestDBFKnownValues(t *testing.T) {
+	task := Task{C: 2, D: 5, T: 10}
+	tests := []struct{ ell, want float64 }{
+		{0, 0},
+		{4.9, 0},
+		{5, 2},
+		{14.9, 2},
+		{15, 4},
+		{25, 6},
+	}
+	for _, tc := range tests {
+		if got := task.DBF(tc.ell); got != tc.want {
+			t.Errorf("DBF(%g) = %g, want %g", tc.ell, got, tc.want)
+		}
+	}
+}
+
+func TestDBFStaircaseMonotone(t *testing.T) {
+	f := func(a, b, c uint8, l1, l2 uint16) bool {
+		task := Task{C: 1 + float64(a%20), D: 0, T: 0}
+		task.D = task.C + float64(b%50)
+		task.T = task.D + float64(c%50)
+		e1, e2 := float64(l1%2000), float64(l2%2000)
+		if e1 > e2 {
+			e1, e2 = e2, e1
+		}
+		return task.DBF(e1) <= task.DBF(e2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeasibleUtilizationBoundary(t *testing.T) {
+	// Implicit deadlines: feasible iff U ≤ 1 (Liu & Layland exact).
+	ok, err := Feasible([]Task{{C: 5, D: 10, T: 10}, {C: 5, D: 10, T: 10}})
+	if err != nil || !ok {
+		t.Errorf("U=1 implicit deadlines must be feasible (err %v)", err)
+	}
+	ok, err = Feasible([]Task{{C: 6, D: 10, T: 10}, {C: 5, D: 10, T: 10}})
+	if err != nil || ok {
+		t.Errorf("U=1.1 must be infeasible (err %v)", err)
+	}
+}
+
+func TestFeasibleConstrainedDeadlines(t *testing.T) {
+	// Classic: two tasks that pass the utilisation test but fail the
+	// demand test with constrained deadlines.
+	infeasible := []Task{
+		{C: 4, D: 4, T: 10},
+		{C: 3, D: 5, T: 10},
+	}
+	ok, err := Feasible(infeasible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("dbf(5) = 7 > 5 must be infeasible")
+	}
+	feasible := []Task{
+		{C: 2, D: 4, T: 10},
+		{C: 2, D: 5, T: 10},
+	}
+	ok, err = Feasible(feasible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("light constrained set must be feasible")
+	}
+}
+
+func TestFeasibleEmptyAndInvalid(t *testing.T) {
+	if ok, err := Feasible(nil); err != nil || !ok {
+		t.Error("empty system must be trivially feasible")
+	}
+	if _, err := Feasible([]Task{{C: 0, D: 1, T: 1}}); err == nil {
+		t.Error("invalid task must error")
+	}
+}
+
+// bruteForceFeasible checks dbf(t) ≤ t at every absolute deadline up to
+// the analysis bound — the specification QPA accelerates.
+func bruteForceFeasible(tasks []Task) bool {
+	if TotalUtil(tasks) > 1 {
+		return false
+	}
+	l := analysisBound(tasks)
+	for _, task := range tasks {
+		for d := task.D; d <= l; d += task.T {
+			if TotalDBF(tasks, d) > d {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: QPA agrees with the brute-force demand check.
+func TestQPAMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tt := 10 + float64(r.Intn(90))
+			d := tt * (0.4 + 0.6*r.Float64())
+			c := d * (0.1 + 0.5*r.Float64())
+			tasks[i] = Task{C: c, D: d, T: tt}
+		}
+		if TotalUtil(tasks) >= 1 {
+			return true // QPA trivial path; brute force bound diverges
+		}
+		got, err := Feasible(tasks)
+		if err != nil {
+			return false
+		}
+		return got == bruteForceFeasible(tasks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dualSet(t *testing.T) *mc.TaskSet {
+	t.Helper()
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 10, CHI: 30, Period: 100},
+		{ID: 2, Crit: mc.LC, CLO: 20, CHI: 20, Period: 80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestLOTasksConversion(t *testing.T) {
+	ts := dualSet(t)
+	tasks, err := LOTasks(ts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 {
+		t.Fatal("wrong task count")
+	}
+	// HC task: C^LO with virtual deadline 50; LC: full deadline.
+	if tasks[0].C != 10 || tasks[0].D != 50 || tasks[0].T != 100 {
+		t.Errorf("HC conversion wrong: %+v", tasks[0])
+	}
+	if tasks[1].C != 20 || tasks[1].D != 80 {
+		t.Errorf("LC conversion wrong: %+v", tasks[1])
+	}
+	if _, err := LOTasks(ts, 0); err == nil {
+		t.Error("x=0 must error")
+	}
+	if _, err := LOTasks(ts, 0.05); err == nil {
+		t.Error("virtual deadline below C^LO must error")
+	}
+}
+
+func TestHITasksConversion(t *testing.T) {
+	tasks := HITasks(dualSet(t))
+	if len(tasks) != 1 || tasks[0].C != 30 || tasks[0].D != 100 {
+		t.Errorf("HI conversion wrong: %+v", tasks)
+	}
+}
+
+func TestSteadyModes(t *testing.T) {
+	ts := dualSet(t)
+	an, err := SteadyModes(ts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.LOFeasible || !an.HIFeasible {
+		t.Errorf("light dual set must pass both steady checks: %+v", an)
+	}
+	if an.X != 0.5 {
+		t.Error("x not echoed")
+	}
+}
+
+// Any Eq. 8-schedulable set must pass the steady-mode exact checks with
+// the Eq. 8 virtual-deadline factor (the DBF checks are necessary
+// conditions; Eq. 8 is sufficient, so acceptance by Eq. 8 implies both).
+func TestSteadyModesConsistentWithEq8(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		uHCLO := 0.05 + float64(a%50)/100
+		uHCHI := uHCLO + float64(b%30)/100
+		uLCLO := 0.05 + float64(c%50)/100
+		if uHCHI >= 1 {
+			return true
+		}
+		ts, err := mc.NewTaskSet([]mc.Task{
+			{ID: 1, Crit: mc.HC, CLO: uHCLO * 100, CHI: uHCHI * 100, Period: 100},
+			{ID: 2, Crit: mc.LC, CLO: uLCLO * 200, CHI: uLCLO * 200, Period: 200},
+		})
+		if err != nil {
+			return true
+		}
+		an := edfvd.Schedulable(ts)
+		if !an.Schedulable || an.X <= 0 {
+			return true
+		}
+		steady, err := SteadyModes(ts, an.X)
+		if err != nil {
+			// The Eq. 8 x can undercut C^LO for heavy single tasks;
+			// that is a reportable config, not a failure.
+			return true
+		}
+		return steady.LOFeasible && steady.HIFeasible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDeadlineBefore(t *testing.T) {
+	tasks := []Task{{C: 1, D: 5, T: 10}, {C: 1, D: 7, T: 20}}
+	if got := maxDeadlineBefore(tasks, 30); got != 27 {
+		t.Errorf("maxDeadlineBefore(30) = %g, want 27", got)
+	}
+	if got := maxDeadlineBefore(tasks, 5); got != 0 {
+		t.Errorf("maxDeadlineBefore(5) = %g, want 0", got)
+	}
+	if got := maxDeadlineBefore(tasks, 5.5); got != 5 {
+		t.Errorf("maxDeadlineBefore(5.5) = %g, want 5", got)
+	}
+}
+
+func TestAnalysisBoundImplicitDeadlines(t *testing.T) {
+	tasks := []Task{{C: 2, D: 10, T: 10}, {C: 3, D: 30, T: 30}}
+	if got := analysisBound(tasks); got != 30 {
+		t.Errorf("bound = %g, want max deadline 30", got)
+	}
+	if math.IsNaN(analysisBound(tasks)) {
+		t.Error("bound must be finite for U < 1")
+	}
+}

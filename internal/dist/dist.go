@@ -1,0 +1,552 @@
+// Package dist provides the execution-time distribution substrate: a small
+// library of continuous distributions with analytically known mean and
+// standard deviation, used to synthesise per-job execution times in the
+// runtime simulator and to generate the task profiles (ACET_i, σ_i) that
+// the Chebyshev assignment consumes.
+//
+// Every distribution exposes Sample(*rand.Rand) so that all randomness in
+// the repository flows through explicitly seeded generators and experiments
+// stay reproducible.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a continuous probability distribution over execution times.
+// Implementations must be safe for concurrent use as long as callers do
+// not share the *rand.Rand.
+type Dist interface {
+	// Sample draws one variate using r as the randomness source.
+	Sample(r *rand.Rand) float64
+	// Mean returns the analytical expected value E[X].
+	Mean() float64
+	// StdDev returns the analytical standard deviation of X.
+	StdDev() float64
+}
+
+// Deterministic is the degenerate distribution concentrated at Value.
+type Deterministic struct{ Value float64 }
+
+// NewDeterministic returns the point mass at v.
+func NewDeterministic(v float64) Deterministic { return Deterministic{Value: v} }
+
+// Sample implements Dist.
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.Value }
+
+// Mean implements Dist.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// StdDev implements Dist.
+func (d Deterministic) StdDev() float64 { return 0 }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// NewUniform returns a Uniform on [lo, hi). It returns an error when
+// hi < lo.
+func NewUniform(lo, hi float64) (Uniform, error) {
+	if hi < lo {
+		return Uniform{}, fmt.Errorf("dist: uniform needs hi ≥ lo, got [%g, %g)", lo, hi)
+	}
+	return Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *rand.Rand) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// StdDev implements Dist.
+func (u Uniform) StdDev() float64 { return (u.Hi - u.Lo) / math.Sqrt(12) }
+
+// Normal is the Gaussian distribution with mean Mu and standard deviation
+// Sigma. Execution times cannot be negative, so prefer TruncNormal when the
+// left tail crosses zero.
+type Normal struct{ Mu, Sigma float64 }
+
+// NewNormal returns a Normal(mu, sigma). It returns an error for sigma < 0.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if sigma < 0 {
+		return Normal{}, fmt.Errorf("dist: normal needs sigma ≥ 0, got %g", sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(r *rand.Rand) float64 { return n.Mu + n.Sigma*r.NormFloat64() }
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// StdDev implements Dist.
+func (n Normal) StdDev() float64 { return n.Sigma }
+
+// TruncNormal is a Normal(Mu, Sigma) truncated to [Lo, Hi] by rejection.
+// Mean and StdDev are computed analytically from the doubly truncated
+// normal formulas.
+type TruncNormal struct {
+	Mu, Sigma float64
+	Lo, Hi    float64
+}
+
+// NewTruncNormal returns a truncated normal. It returns an error when
+// hi ≤ lo or sigma ≤ 0 or the window [lo, hi] is further than 8σ from mu
+// (rejection would practically never terminate).
+func NewTruncNormal(mu, sigma, lo, hi float64) (TruncNormal, error) {
+	if sigma <= 0 {
+		return TruncNormal{}, fmt.Errorf("dist: truncnormal needs sigma > 0, got %g", sigma)
+	}
+	if hi <= lo {
+		return TruncNormal{}, fmt.Errorf("dist: truncnormal needs hi > lo, got [%g, %g]", lo, hi)
+	}
+	if (lo-mu)/sigma > 8 || (mu-hi)/sigma > 8 {
+		return TruncNormal{}, fmt.Errorf("dist: truncnormal window [%g, %g] too far from mu=%g (σ=%g)", lo, hi, mu, sigma)
+	}
+	return TruncNormal{Mu: mu, Sigma: sigma, Lo: lo, Hi: hi}, nil
+}
+
+// Sample implements Dist by rejection sampling.
+func (t TruncNormal) Sample(r *rand.Rand) float64 {
+	for {
+		x := t.Mu + t.Sigma*r.NormFloat64()
+		if x >= t.Lo && x <= t.Hi {
+			return x
+		}
+	}
+}
+
+func stdNormPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// Mean implements Dist using the doubly truncated normal mean.
+func (t TruncNormal) Mean() float64 {
+	a := (t.Lo - t.Mu) / t.Sigma
+	b := (t.Hi - t.Mu) / t.Sigma
+	z := stdNormCDF(b) - stdNormCDF(a)
+	return t.Mu + t.Sigma*(stdNormPDF(a)-stdNormPDF(b))/z
+}
+
+// StdDev implements Dist using the doubly truncated normal variance.
+func (t TruncNormal) StdDev() float64 {
+	a := (t.Lo - t.Mu) / t.Sigma
+	b := (t.Hi - t.Mu) / t.Sigma
+	z := stdNormCDF(b) - stdNormCDF(a)
+	d := (stdNormPDF(a) - stdNormPDF(b)) / z
+	v := 1 + (a*stdNormPDF(a)-b*stdNormPDF(b))/z - d*d
+	if v < 0 { // numerical guard for very narrow windows
+		v = 0
+	}
+	return t.Sigma * math.Sqrt(v)
+}
+
+// LogNormal is the distribution of exp(N(MuLog, SigmaLog)). Execution-time
+// measurements are frequently lognormal-ish: positively skewed with a long
+// right tail.
+type LogNormal struct{ MuLog, SigmaLog float64 }
+
+// NewLogNormal returns a lognormal with the given log-space parameters. It
+// returns an error for sigmaLog < 0.
+func NewLogNormal(muLog, sigmaLog float64) (LogNormal, error) {
+	if sigmaLog < 0 {
+		return LogNormal{}, fmt.Errorf("dist: lognormal needs sigmaLog ≥ 0, got %g", sigmaLog)
+	}
+	return LogNormal{MuLog: muLog, SigmaLog: sigmaLog}, nil
+}
+
+// LogNormalFromMoments builds a LogNormal whose real-space mean and
+// standard deviation are the given values. It returns an error for
+// mean ≤ 0 or sd < 0.
+func LogNormalFromMoments(mean, sd float64) (LogNormal, error) {
+	if mean <= 0 {
+		return LogNormal{}, fmt.Errorf("dist: lognormal moments need mean > 0, got %g", mean)
+	}
+	if sd < 0 {
+		return LogNormal{}, fmt.Errorf("dist: lognormal moments need sd ≥ 0, got %g", sd)
+	}
+	cv2 := (sd / mean) * (sd / mean)
+	s2 := math.Log(1 + cv2)
+	return LogNormal{
+		MuLog:    math.Log(mean) - s2/2,
+		SigmaLog: math.Sqrt(s2),
+	}, nil
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(l.MuLog + l.SigmaLog*r.NormFloat64())
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() float64 {
+	return math.Exp(l.MuLog + l.SigmaLog*l.SigmaLog/2)
+}
+
+// StdDev implements Dist.
+func (l LogNormal) StdDev() float64 {
+	s2 := l.SigmaLog * l.SigmaLog
+	return l.Mean() * math.Sqrt(math.Exp(s2)-1)
+}
+
+// Exponential is the exponential distribution with rate Lambda.
+type Exponential struct{ Lambda float64 }
+
+// NewExponential returns an Exponential with the given rate. It returns an
+// error for lambda ≤ 0.
+func NewExponential(lambda float64) (Exponential, error) {
+	if lambda <= 0 {
+		return Exponential{}, fmt.Errorf("dist: exponential needs lambda > 0, got %g", lambda)
+	}
+	return Exponential{Lambda: lambda}, nil
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() / e.Lambda }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+// StdDev implements Dist.
+func (e Exponential) StdDev() float64 { return 1 / e.Lambda }
+
+// Weibull is the Weibull distribution with shape K and scale Lambda.
+type Weibull struct{ K, Lambda float64 }
+
+// NewWeibull returns a Weibull(k, lambda). It returns an error unless both
+// parameters are positive.
+func NewWeibull(k, lambda float64) (Weibull, error) {
+	if k <= 0 || lambda <= 0 {
+		return Weibull{}, fmt.Errorf("dist: weibull needs k, lambda > 0, got %g, %g", k, lambda)
+	}
+	return Weibull{K: k, Lambda: lambda}, nil
+}
+
+// Sample implements Dist by inverse-CDF sampling.
+func (w Weibull) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 { // avoid log(0)
+		u = r.Float64()
+	}
+	return w.Lambda * math.Pow(-math.Log(u), 1/w.K)
+}
+
+// Mean implements Dist.
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+
+// StdDev implements Dist.
+func (w Weibull) StdDev() float64 {
+	g1 := math.Gamma(1 + 1/w.K)
+	g2 := math.Gamma(1 + 2/w.K)
+	v := w.Lambda * w.Lambda * (g2 - g1*g1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Gumbel is the Gumbel (type-I extreme value) distribution with location
+// Mu and scale Beta. Extreme-value theory (EVT) approaches to probabilistic
+// WCET (Section II of the paper) model measured maxima as Gumbel.
+type Gumbel struct{ Mu, Beta float64 }
+
+// NewGumbel returns a Gumbel(mu, beta). It returns an error for beta ≤ 0.
+func NewGumbel(mu, beta float64) (Gumbel, error) {
+	if beta <= 0 {
+		return Gumbel{}, fmt.Errorf("dist: gumbel needs beta > 0, got %g", beta)
+	}
+	return Gumbel{Mu: mu, Beta: beta}, nil
+}
+
+// Sample implements Dist by inverse-CDF sampling.
+func (g Gumbel) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 || u == 1 {
+		u = r.Float64()
+	}
+	return g.Mu - g.Beta*math.Log(-math.Log(u))
+}
+
+const eulerMascheroni = 0.5772156649015328606
+
+// Mean implements Dist.
+func (g Gumbel) Mean() float64 { return g.Mu + g.Beta*eulerMascheroni }
+
+// StdDev implements Dist.
+func (g Gumbel) StdDev() float64 { return g.Beta * math.Pi / math.Sqrt(6) }
+
+// Triangular is the triangular distribution on [Lo, Hi] with mode Mode.
+type Triangular struct{ Lo, Mode, Hi float64 }
+
+// NewTriangular returns a Triangular(lo, mode, hi). It returns an error
+// unless lo ≤ mode ≤ hi and lo < hi.
+func NewTriangular(lo, mode, hi float64) (Triangular, error) {
+	if !(lo <= mode && mode <= hi && lo < hi) {
+		return Triangular{}, fmt.Errorf("dist: triangular needs lo ≤ mode ≤ hi and lo < hi, got %g, %g, %g", lo, mode, hi)
+	}
+	return Triangular{Lo: lo, Mode: mode, Hi: hi}, nil
+}
+
+// Sample implements Dist by inverse-CDF sampling.
+func (t Triangular) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	fc := (t.Mode - t.Lo) / (t.Hi - t.Lo)
+	if u < fc {
+		return t.Lo + math.Sqrt(u*(t.Hi-t.Lo)*(t.Mode-t.Lo))
+	}
+	return t.Hi - math.Sqrt((1-u)*(t.Hi-t.Lo)*(t.Hi-t.Mode))
+}
+
+// Mean implements Dist.
+func (t Triangular) Mean() float64 { return (t.Lo + t.Mode + t.Hi) / 3 }
+
+// StdDev implements Dist.
+func (t Triangular) StdDev() float64 {
+	a, c, b := t.Lo, t.Mode, t.Hi
+	v := (a*a + b*b + c*c - a*b - a*c - b*c) / 18
+	return math.Sqrt(v)
+}
+
+// Beta is the Beta(Alpha, Beta) distribution scaled to [Lo, Hi]. A
+// right-skewed Beta on [ACET floor, WCET^pes] is a common execution-time
+// shape: bounded above by the static bound with most mass near the mean.
+type Beta struct {
+	Alpha, BetaP float64
+	Lo, Hi       float64
+}
+
+// NewBeta returns a scaled Beta distribution. It returns an error unless
+// alpha, beta > 0 and hi > lo.
+func NewBeta(alpha, beta, lo, hi float64) (Beta, error) {
+	if alpha <= 0 || beta <= 0 {
+		return Beta{}, fmt.Errorf("dist: beta needs alpha, beta > 0, got %g, %g", alpha, beta)
+	}
+	if hi <= lo {
+		return Beta{}, fmt.Errorf("dist: beta needs hi > lo, got [%g, %g]", lo, hi)
+	}
+	return Beta{Alpha: alpha, BetaP: beta, Lo: lo, Hi: hi}, nil
+}
+
+// sampleGamma draws from Gamma(shape, 1) using Marsaglia–Tsang for
+// shape ≥ 1 and the boost trick for shape < 1.
+func sampleGamma(r *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return sampleGamma(r, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Sample implements Dist via two Gamma draws.
+func (b Beta) Sample(r *rand.Rand) float64 {
+	x := sampleGamma(r, b.Alpha)
+	y := sampleGamma(r, b.BetaP)
+	return b.Lo + (b.Hi-b.Lo)*x/(x+y)
+}
+
+// Mean implements Dist.
+func (b Beta) Mean() float64 {
+	return b.Lo + (b.Hi-b.Lo)*b.Alpha/(b.Alpha+b.BetaP)
+}
+
+// StdDev implements Dist.
+func (b Beta) StdDev() float64 {
+	ab := b.Alpha + b.BetaP
+	v := b.Alpha * b.BetaP / (ab * ab * (ab + 1))
+	return (b.Hi - b.Lo) * math.Sqrt(v)
+}
+
+// Shifted wraps a distribution, adding Offset to every draw.
+type Shifted struct {
+	D      Dist
+	Offset float64
+}
+
+// Sample implements Dist.
+func (s Shifted) Sample(r *rand.Rand) float64 { return s.D.Sample(r) + s.Offset }
+
+// Mean implements Dist.
+func (s Shifted) Mean() float64 { return s.D.Mean() + s.Offset }
+
+// StdDev implements Dist.
+func (s Shifted) StdDev() float64 { return s.D.StdDev() }
+
+// Scaled wraps a distribution, multiplying every draw by Factor ≥ 0.
+type Scaled struct {
+	D      Dist
+	Factor float64
+}
+
+// Sample implements Dist.
+func (s Scaled) Sample(r *rand.Rand) float64 { return s.D.Sample(r) * s.Factor }
+
+// Mean implements Dist.
+func (s Scaled) Mean() float64 { return s.D.Mean() * s.Factor }
+
+// StdDev implements Dist.
+func (s Scaled) StdDev() float64 { return s.D.StdDev() * math.Abs(s.Factor) }
+
+// ClampedAbove wraps a distribution, clamping every draw to at most Max.
+// Mean and StdDev report the *wrapped* distribution's moments (the clamp is
+// meant as a rare safety bound, e.g. never exceeding WCET^pes), so the
+// reported moments are approximations when clamping is frequent.
+type ClampedAbove struct {
+	D   Dist
+	Max float64
+}
+
+// Sample implements Dist.
+func (c ClampedAbove) Sample(r *rand.Rand) float64 {
+	x := c.D.Sample(r)
+	if x > c.Max {
+		return c.Max
+	}
+	return x
+}
+
+// Mean implements Dist.
+func (c ClampedAbove) Mean() float64 { return c.D.Mean() }
+
+// StdDev implements Dist.
+func (c ClampedAbove) StdDev() float64 { return c.D.StdDev() }
+
+// Component is one weighted branch of a Mixture.
+type Component struct {
+	Weight float64
+	D      Dist
+}
+
+// Mixture draws from one of its components, chosen with probability
+// proportional to the weights. Bimodal execution times (e.g. a cache-warm
+// fast path and a cache-cold slow path) are modelled as mixtures.
+type Mixture struct {
+	comps []Component
+	total float64
+}
+
+// NewMixture returns a mixture over the given components. It returns an
+// error when no component is given, a weight is negative, or all weights
+// are zero.
+func NewMixture(comps ...Component) (*Mixture, error) {
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("dist: mixture needs at least one component")
+	}
+	total := 0.0
+	for i, c := range comps {
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("dist: mixture component %d has negative weight %g", i, c.Weight)
+		}
+		if c.D == nil {
+			return nil, fmt.Errorf("dist: mixture component %d has nil distribution", i)
+		}
+		total += c.Weight
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("dist: mixture weights sum to zero")
+	}
+	cs := make([]Component, len(comps))
+	copy(cs, comps)
+	return &Mixture{comps: cs, total: total}, nil
+}
+
+// Sample implements Dist.
+func (m *Mixture) Sample(r *rand.Rand) float64 {
+	u := r.Float64() * m.total
+	acc := 0.0
+	for _, c := range m.comps {
+		acc += c.Weight
+		if u < acc {
+			return c.D.Sample(r)
+		}
+	}
+	return m.comps[len(m.comps)-1].D.Sample(r)
+}
+
+// Mean implements Dist (weighted mean of component means).
+func (m *Mixture) Mean() float64 {
+	mu := 0.0
+	for _, c := range m.comps {
+		mu += c.Weight / m.total * c.D.Mean()
+	}
+	return mu
+}
+
+// StdDev implements Dist using the law of total variance.
+func (m *Mixture) StdDev() float64 {
+	mu := m.Mean()
+	v := 0.0
+	for _, c := range m.comps {
+		w := c.Weight / m.total
+		sd := c.D.StdDev()
+		d := c.D.Mean() - mu
+		v += w * (sd*sd + d*d)
+	}
+	return math.Sqrt(v)
+}
+
+// Empirical resamples uniformly from a fixed set of observations
+// (bootstrap sampling). Mean and StdDev are the sample moments.
+type Empirical struct {
+	xs     []float64
+	mean   float64
+	stddev float64
+}
+
+// NewEmpirical copies xs into an Empirical distribution. It returns an
+// error for an empty sample.
+func NewEmpirical(xs []float64) (*Empirical, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("dist: empirical needs at least one sample")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	mean := 0.0
+	for _, x := range s {
+		mean += x
+	}
+	mean /= float64(len(s))
+	ss := 0.0
+	for _, x := range s {
+		d := x - mean
+		ss += d * d
+	}
+	return &Empirical{xs: s, mean: mean, stddev: math.Sqrt(ss / float64(len(s)))}, nil
+}
+
+// Sample implements Dist.
+func (e *Empirical) Sample(r *rand.Rand) float64 { return e.xs[r.Intn(len(e.xs))] }
+
+// Mean implements Dist.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// StdDev implements Dist.
+func (e *Empirical) StdDev() float64 { return e.stddev }
+
+// N reports the number of underlying observations.
+func (e *Empirical) N() int { return len(e.xs) }

@@ -1,0 +1,429 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/stats"
+)
+
+// checkMoments draws n samples from d and asserts the sample mean and
+// standard deviation agree with the analytical moments within tol relative
+// error (absolute when the analytical value is near zero).
+func checkMoments(t *testing.T, name string, d Dist, n int, tol float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	var o stats.Online
+	for i := 0; i < n; i++ {
+		o.Add(d.Sample(r))
+	}
+	relErr := func(got, want float64) float64 {
+		if math.Abs(want) < 1e-9 {
+			return math.Abs(got - want)
+		}
+		return math.Abs(got-want) / math.Abs(want)
+	}
+	if e := relErr(o.Mean(), d.Mean()); e > tol {
+		t.Errorf("%s: sample mean %g vs analytical %g (rel err %g)", name, o.Mean(), d.Mean(), e)
+	}
+	if e := relErr(o.StdDev(), d.StdDev()); e > tol {
+		t.Errorf("%s: sample sd %g vs analytical %g (rel err %g)", name, o.StdDev(), d.StdDev(), e)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := NewDeterministic(7)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if d.Sample(r) != 7 {
+			t.Fatal("deterministic sample != 7")
+		}
+	}
+	if d.Mean() != 7 || d.StdDev() != 0 {
+		t.Error("deterministic moments wrong")
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	u, err := NewUniform(10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, "uniform", u, 200000, 0.02)
+}
+
+func TestUniformRange(t *testing.T) {
+	u, _ := NewUniform(-5, 5)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		x := u.Sample(r)
+		if x < -5 || x >= 5 {
+			t.Fatalf("uniform sample %g out of [-5, 5)", x)
+		}
+	}
+}
+
+func TestUniformInvalid(t *testing.T) {
+	if _, err := NewUniform(2, 1); err == nil {
+		t.Error("hi < lo must error")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	n, err := NewNormal(100, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, "normal", n, 200000, 0.02)
+}
+
+func TestNormalInvalid(t *testing.T) {
+	if _, err := NewNormal(0, -1); err == nil {
+		t.Error("negative sigma must error")
+	}
+}
+
+func TestTruncNormalMoments(t *testing.T) {
+	tn, err := NewTruncNormal(50, 20, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, "truncnormal", tn, 200000, 0.02)
+}
+
+func TestTruncNormalRespectsBounds(t *testing.T) {
+	tn, _ := NewTruncNormal(10, 30, 0, 25)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		x := tn.Sample(r)
+		if x < 0 || x > 25 {
+			t.Fatalf("truncnormal sample %g out of [0, 25]", x)
+		}
+	}
+}
+
+func TestTruncNormalInvalid(t *testing.T) {
+	cases := []struct{ mu, sigma, lo, hi float64 }{
+		{0, 0, 0, 1},     // sigma = 0
+		{0, 1, 2, 2},     // hi = lo
+		{0, 1, 100, 200}, // window 100σ away
+	}
+	for _, c := range cases {
+		if _, err := NewTruncNormal(c.mu, c.sigma, c.lo, c.hi); err == nil {
+			t.Errorf("NewTruncNormal(%v) must error", c)
+		}
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	l, err := NewLogNormal(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, "lognormal", l, 400000, 0.03)
+}
+
+func TestLogNormalFromMoments(t *testing.T) {
+	l, err := LogNormalFromMoments(1000, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l.Mean(), 1000, 1e-9) {
+		t.Errorf("Mean = %g, want 1000", l.Mean())
+	}
+	if !almost(l.StdDev(), 250, 1e-9) {
+		t.Errorf("StdDev = %g, want 250", l.StdDev())
+	}
+}
+
+func TestLogNormalFromMomentsInvalid(t *testing.T) {
+	if _, err := LogNormalFromMoments(0, 1); err == nil {
+		t.Error("mean ≤ 0 must error")
+	}
+	if _, err := LogNormalFromMoments(1, -1); err == nil {
+		t.Error("sd < 0 must error")
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	e, err := NewExponential(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, "exponential", e, 200000, 0.02)
+}
+
+func TestExponentialInvalid(t *testing.T) {
+	if _, err := NewExponential(0); err == nil {
+		t.Error("lambda = 0 must error")
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	w, err := NewWeibull(1.8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, "weibull", w, 200000, 0.02)
+}
+
+func TestWeibullInvalid(t *testing.T) {
+	if _, err := NewWeibull(0, 1); err == nil {
+		t.Error("k = 0 must error")
+	}
+	if _, err := NewWeibull(1, 0); err == nil {
+		t.Error("lambda = 0 must error")
+	}
+}
+
+func TestGumbelMoments(t *testing.T) {
+	g, err := NewGumbel(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, "gumbel", g, 300000, 0.02)
+}
+
+func TestGumbelInvalid(t *testing.T) {
+	if _, err := NewGumbel(0, 0); err == nil {
+		t.Error("beta = 0 must error")
+	}
+}
+
+func TestTriangularMoments(t *testing.T) {
+	tr, err := NewTriangular(10, 12, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, "triangular", tr, 200000, 0.02)
+}
+
+func TestTriangularRange(t *testing.T) {
+	tr, _ := NewTriangular(0, 1, 10)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		x := tr.Sample(r)
+		if x < 0 || x > 10 {
+			t.Fatalf("triangular sample %g out of [0, 10]", x)
+		}
+	}
+}
+
+func TestTriangularInvalid(t *testing.T) {
+	if _, err := NewTriangular(5, 4, 10); err == nil {
+		t.Error("mode < lo must error")
+	}
+	if _, err := NewTriangular(1, 1, 1); err == nil {
+		t.Error("lo = hi must error")
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	b, err := NewBeta(2, 5, 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, "beta", b, 200000, 0.02)
+}
+
+func TestBetaShapeBelow1(t *testing.T) {
+	b, err := NewBeta(0.5, 0.5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, "beta(0.5,0.5)", b, 300000, 0.03)
+}
+
+func TestBetaRange(t *testing.T) {
+	b, _ := NewBeta(2, 3, 5, 7)
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		x := b.Sample(r)
+		if x < 5 || x > 7 {
+			t.Fatalf("beta sample %g out of [5, 7]", x)
+		}
+	}
+}
+
+func TestBetaInvalid(t *testing.T) {
+	if _, err := NewBeta(0, 1, 0, 1); err == nil {
+		t.Error("alpha = 0 must error")
+	}
+	if _, err := NewBeta(1, 1, 1, 1); err == nil {
+		t.Error("lo = hi must error")
+	}
+}
+
+func TestShiftedScaled(t *testing.T) {
+	base, _ := NewUniform(0, 10)
+	s := Shifted{D: base, Offset: 100}
+	if !almost(s.Mean(), 105, 1e-12) {
+		t.Errorf("shifted mean = %g, want 105", s.Mean())
+	}
+	if !almost(s.StdDev(), base.StdDev(), 1e-12) {
+		t.Error("shift must not change sd")
+	}
+	sc := Scaled{D: base, Factor: 3}
+	if !almost(sc.Mean(), 15, 1e-12) {
+		t.Errorf("scaled mean = %g, want 15", sc.Mean())
+	}
+	if !almost(sc.StdDev(), 3*base.StdDev(), 1e-12) {
+		t.Error("scale must multiply sd")
+	}
+	checkMoments(t, "shifted", s, 100000, 0.02)
+	checkMoments(t, "scaled", sc, 100000, 0.02)
+}
+
+func TestClampedAbove(t *testing.T) {
+	base, _ := NewNormal(10, 5)
+	c := ClampedAbove{D: base, Max: 12}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		if x := c.Sample(r); x > 12 {
+			t.Fatalf("clamped sample %g > 12", x)
+		}
+	}
+	if c.Mean() != base.Mean() || c.StdDev() != base.StdDev() {
+		t.Error("ClampedAbove reports the wrapped moments")
+	}
+}
+
+func TestMixtureMoments(t *testing.T) {
+	fast, _ := NewNormal(100, 5)
+	slow, _ := NewNormal(300, 20)
+	m, err := NewMixture(
+		Component{Weight: 0.8, D: fast},
+		Component{Weight: 0.2, D: slow},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.8*100 + 0.2*300
+	if !almost(m.Mean(), wantMean, 1e-9) {
+		t.Errorf("mixture mean = %g, want %g", m.Mean(), wantMean)
+	}
+	checkMoments(t, "mixture", m, 300000, 0.02)
+}
+
+func TestMixtureInvalid(t *testing.T) {
+	n, _ := NewNormal(0, 1)
+	if _, err := NewMixture(); err == nil {
+		t.Error("empty mixture must error")
+	}
+	if _, err := NewMixture(Component{Weight: -1, D: n}); err == nil {
+		t.Error("negative weight must error")
+	}
+	if _, err := NewMixture(Component{Weight: 0, D: n}); err == nil {
+		t.Error("all-zero weights must error")
+	}
+	if _, err := NewMixture(Component{Weight: 1, D: nil}); err == nil {
+		t.Error("nil component must error")
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	e, err := NewEmpirical(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d, want 4", e.N())
+	}
+	if !almost(e.Mean(), 2.5, 1e-12) {
+		t.Errorf("mean = %g, want 2.5", e.Mean())
+	}
+	r := rand.New(rand.NewSource(8))
+	seen := map[float64]bool{}
+	for i := 0; i < 1000; i++ {
+		x := e.Sample(r)
+		seen[x] = true
+		found := false
+		for _, v := range xs {
+			if v == x {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("empirical sample %g not in source data", x)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("only %d distinct values resampled, want 4", len(seen))
+	}
+}
+
+func TestEmpiricalInvalid(t *testing.T) {
+	if _, err := NewEmpirical(nil); err == nil {
+		t.Error("empty empirical must error")
+	}
+}
+
+func TestEmpiricalIsolatedFromCaller(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	e, _ := NewEmpirical(xs)
+	xs[0] = 999
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		if e.Sample(r) == 999 {
+			t.Fatal("Empirical must copy its input")
+		}
+	}
+}
+
+// Property: every distribution's samples obey the one-sided Chebyshev
+// bound against its own analytical moments — the foundation of the paper's
+// Theorem 1, checked across the whole substrate.
+func TestCantelliAcrossDistributions(t *testing.T) {
+	mk := func() []Dist {
+		u, _ := NewUniform(5, 50)
+		n, _ := NewNormal(100, 12)
+		tn, _ := NewTruncNormal(40, 25, 0, 200)
+		l, _ := LogNormalFromMoments(500, 120)
+		ex, _ := NewExponential(0.01)
+		w, _ := NewWeibull(2, 30)
+		g, _ := NewGumbel(60, 6)
+		tr, _ := NewTriangular(10, 15, 90)
+		b, _ := NewBeta(2, 8, 100, 900)
+		return []Dist{u, n, tn, l, ex, w, g, tr, b}
+	}
+	r := rand.New(rand.NewSource(11))
+	for di, d := range mk() {
+		xs := make([]float64, 20000)
+		for i := range xs {
+			xs[i] = d.Sample(r)
+		}
+		for _, nv := range []float64{1, 2, 3, 4} {
+			rate := stats.ExceedRate(xs, d.Mean()+nv*d.StdDev())
+			bound := stats.CantelliBound(nv)
+			// Allow a small sampling slack over the analytical bound.
+			if rate > bound+0.01 {
+				t.Errorf("dist %d: exceed rate %g at n=%g violates Cantelli bound %g", di, rate, nv, bound)
+			}
+		}
+	}
+}
+
+// Property: non-negative distributions produce non-negative samples.
+func TestNonNegativeSamples(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l, _ := LogNormalFromMoments(100, 30)
+		ex, _ := NewExponential(0.5)
+		w, _ := NewWeibull(1.5, 10)
+		b, _ := NewBeta(2, 2, 0, 10)
+		for i := 0; i < 200; i++ {
+			if l.Sample(r) < 0 || ex.Sample(r) < 0 || w.Sample(r) < 0 || b.Sample(r) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }

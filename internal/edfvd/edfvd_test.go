@@ -1,0 +1,168 @@
+package edfvd
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/core"
+	"chebymc/internal/mc"
+)
+
+// set builds a two-task system with the given utilisations via unit
+// periods.
+func set(t *testing.T, uHCLO, uHCHI, uLCLO float64) *mc.TaskSet {
+	t.Helper()
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: uHCLO * 100, CHI: uHCHI * 100, Period: 100},
+		{ID: 2, Crit: mc.LC, CLO: uLCLO * 100, CHI: uLCLO * 100, Period: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestSchedulableAccepts(t *testing.T) {
+	// U^LO_HC = 0.2, U^HI_HC = 0.5, U^LO_LC = 0.4:
+	// cond1: 0.6 ≤ 1 ✓; cond2: 0.5 + 0.2·0.4/0.6 = 0.633 ≤ 1 ✓.
+	a := Schedulable(set(t, 0.2, 0.5, 0.4))
+	if !a.Schedulable || !a.CondLO || !a.CondHI {
+		t.Fatalf("expected schedulable, got %v", a)
+	}
+	if a.X <= 0 || a.X > 1 {
+		t.Errorf("x = %g out of (0,1]", a.X)
+	}
+}
+
+func TestSchedulableRejectsLOOverload(t *testing.T) {
+	a := Schedulable(set(t, 0.7, 0.8, 0.4))
+	if a.CondLO {
+		t.Error("cond LO must fail at U^LO total 1.1")
+	}
+	if a.Schedulable {
+		t.Error("must be unschedulable")
+	}
+}
+
+func TestSchedulableRejectsHIOverload(t *testing.T) {
+	// cond1 passes (0.4+0.5=0.9) but cond2: 0.9 + 0.4·0.5/0.5 = 1.3 > 1.
+	a := Schedulable(set(t, 0.4, 0.9, 0.5))
+	if !a.CondLO {
+		t.Error("cond LO should pass")
+	}
+	if a.CondHI {
+		t.Error("cond HI must fail")
+	}
+	if a.Schedulable {
+		t.Error("must be unschedulable")
+	}
+}
+
+func TestVDFactor(t *testing.T) {
+	if got := VDFactor(0.3, 0.4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("x = %g, want 0.5", got)
+	}
+	if got := VDFactor(0.5, 1.0); got != 1 {
+		t.Errorf("saturated denominator: x = %g, want 1", got)
+	}
+	if got := VDFactor(2.0, 0.5); got != 1 {
+		t.Errorf("x must clamp to 1, got %g", got)
+	}
+}
+
+func TestDegradedReducesToBaruahAtRhoZero(t *testing.T) {
+	ts := set(t, 0.3, 0.7, 0.35)
+	a := Schedulable(ts)
+	b := SchedulableDegraded(ts, 0)
+	if a != b {
+		t.Fatalf("rho=0 must equal Baruah's test: %v vs %v", a, b)
+	}
+}
+
+func TestDegradedIsHarderThanDropping(t *testing.T) {
+	// Keeping LC work in HI mode can only hurt the HI condition:
+	// any set schedulable at rho must be schedulable at rho'< rho.
+	f := func(a, b, c, r uint8) bool {
+		uHCLO := 0.05 + float64(a%60)/100
+		uHCHI := uHCLO + float64(b%30)/100
+		uLCLO := 0.05 + float64(c%60)/100
+		if uHCHI >= 1 || uHCLO+uLCLO >= 1.5 {
+			return true
+		}
+		ts, err := mc.NewTaskSet([]mc.Task{
+			{ID: 1, Crit: mc.HC, CLO: uHCLO * 100, CHI: uHCHI * 100, Period: 100},
+			{ID: 2, Crit: mc.LC, CLO: uLCLO * 100, CHI: uLCLO * 100, Period: 100},
+		})
+		if err != nil {
+			return true
+		}
+		rho := float64(r%100) / 100
+		hi := SchedulableDegraded(ts, rho)
+		lo := SchedulableDegraded(ts, rho/2)
+		if hi.Schedulable && !lo.Schedulable {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlainEDF(t *testing.T) {
+	if !PlainEDF(set(t, 0.2, 0.5, 0.4)) {
+		t.Error("total HI utilisation 0.9 must pass plain EDF")
+	}
+	if PlainEDF(set(t, 0.2, 0.7, 0.4)) {
+		t.Error("total HI utilisation 1.1 must fail plain EDF")
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	s := Schedulable(set(t, 0.2, 0.5, 0.4)).String()
+	if !strings.Contains(s, "schedulable=true") || !strings.Contains(s, "x=") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// Cross-check with core.MaxULCLO: a task set whose LC utilisation equals
+// the Eq. 11–12 bound must pass Eq. 8, and slightly above must fail.
+func TestConsistencyWithMaxULCLO(t *testing.T) {
+	f := func(a, b uint8) bool {
+		uHCLO := 0.05 + float64(a%80)/100
+		uHCHI := uHCLO + float64(b)/255*(0.97-uHCLO)
+		if uHCHI >= 1 {
+			return true
+		}
+		bound := core.MaxULCLO(uHCLO, uHCHI)
+		if bound <= 0.01 {
+			return true
+		}
+		at := Schedulable(setRaw(uHCLO, uHCHI, bound*0.999))
+		above := Schedulable(setRaw(uHCLO, uHCHI, math.Min(bound*1.05, 0.99)))
+		if !at.Schedulable {
+			return false
+		}
+		// Slightly above the bound must fail whenever it really is above.
+		if bound*1.05 < 0.99 && above.Schedulable {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func setRaw(uHCLO, uHCHI, uLCLO float64) *mc.TaskSet {
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: uHCLO * 100, CHI: uHCHI * 100, Period: 100},
+		{ID: 2, Crit: mc.LC, CLO: uLCLO * 100, CHI: uLCLO * 100, Period: 100},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}

@@ -1,0 +1,199 @@
+// Package energy extends the scheme towards the energy optimisation of
+// Bhuiyan et al. [21] in the paper's related work: pick the core speed
+// for LO-mode operation that minimises expected energy while the EDF-VD
+// guarantees (Eq. 8) still hold with the speed-scaled budgets.
+//
+// Model: a DVFS core runs at speed s ∈ (0, 1] (1 = nominal); executing w
+// work units takes w/s time; power is P(s) = s^3 + Pstat, so the energy
+// of the work is
+//
+//	E(w, s) = w·s² + Pstat·w/s
+//
+// — the classic cubic-dynamic-plus-static trade-off: slowing down saves
+// dynamic energy until static leakage (burned for longer) wins. All
+// execution budgets scale by 1/s, so utilisations scale the same way and
+// schedulability is monotone in s; the minimum feasible speed follows by
+// bisection.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"chebymc/internal/edfvd"
+	"chebymc/internal/mc"
+)
+
+// Model holds the platform's power parameters.
+type Model struct {
+	// PStat is the static (leakage) power relative to nominal dynamic
+	// power at s = 1. Typical embedded cores sit around 0.05–0.3.
+	PStat float64
+	// SMin is the lowest supported speed, in (0, 1]. Default 0.1.
+	SMin float64
+}
+
+func (m Model) withDefaults() Model {
+	if m.SMin == 0 {
+		m.SMin = 0.1
+	}
+	return m
+}
+
+func (m Model) validate() error {
+	if m.PStat < 0 {
+		return fmt.Errorf("energy: static power %g must be ≥ 0", m.PStat)
+	}
+	if m.SMin <= 0 || m.SMin > 1 {
+		return fmt.Errorf("energy: minimum speed %g out of (0, 1]", m.SMin)
+	}
+	return nil
+}
+
+// Scale returns a copy of the task set with every execution budget
+// divided by s (slower core → longer budgets). It returns an error when a
+// scaled budget exceeds its period (the configuration is infeasible at
+// that speed).
+func Scale(ts *mc.TaskSet, s float64) (*mc.TaskSet, error) {
+	if s <= 0 || s > 1 {
+		return nil, fmt.Errorf("energy: speed %g out of (0, 1]", s)
+	}
+	out := ts.Clone()
+	for i := range out.Tasks {
+		out.Tasks[i].CLO /= s
+		out.Tasks[i].CHI /= s
+		// Profiles scale with the budgets: measured times stretch by 1/s.
+		out.Tasks[i].Profile.ACET /= s
+		out.Tasks[i].Profile.Sigma /= s
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("energy: infeasible at speed %g: %w", s, err)
+	}
+	return out, nil
+}
+
+// FeasibleAt reports whether the task set stays Eq. 8-schedulable when
+// the core runs at speed s.
+func FeasibleAt(ts *mc.TaskSet, s float64) bool {
+	scaled, err := Scale(ts, s)
+	if err != nil {
+		return false
+	}
+	return edfvd.Schedulable(scaled).Schedulable
+}
+
+// MinFeasibleSpeed returns the lowest speed in [m.SMin, 1] keeping the
+// set schedulable, found by bisection (feasibility is monotone in s). It
+// returns an error when even s = 1 is infeasible.
+func MinFeasibleSpeed(ts *mc.TaskSet, m Model) (float64, error) {
+	m = m.withDefaults()
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	if !FeasibleAt(ts, 1) {
+		return 0, fmt.Errorf("energy: set unschedulable even at nominal speed")
+	}
+	if FeasibleAt(ts, m.SMin) {
+		return m.SMin, nil
+	}
+	lo, hi := m.SMin, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if FeasibleAt(ts, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// ExpectedPowerDensity returns the expected energy per unit time in LO
+// mode at speed s: the expected utilisation of the core is
+// Σ ACET_i/(T_i·s) (work arrives at its nominal rate, each unit costing
+// E(1, s)), idle time costing only static power.
+func ExpectedPowerDensity(ts *mc.TaskSet, s float64, m Model) (float64, error) {
+	m = m.withDefaults()
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	if s <= 0 || s > 1 {
+		return 0, fmt.Errorf("energy: speed %g out of (0, 1]", s)
+	}
+	workRate := 0.0 // expected work per unit time at nominal speed
+	for _, t := range ts.Tasks {
+		acet := t.Profile.ACET
+		if acet == 0 {
+			acet = t.CLO // LC tasks: budget as the expected demand
+		}
+		workRate += acet / t.Period
+	}
+	busyFrac := workRate / s
+	if busyFrac > 1 {
+		return 0, fmt.Errorf("energy: overloaded at speed %g (busy %g)", s, busyFrac)
+	}
+	// Busy: dynamic s³ + static; idle: static only.
+	return busyFrac*s*s*s + m.PStat, nil
+}
+
+// Result is an energy optimisation outcome.
+type Result struct {
+	// Speed is the chosen LO-mode speed.
+	Speed float64
+	// MinFeasible is the schedulability floor.
+	MinFeasible float64
+	// PowerDensity is the expected energy per unit time at Speed.
+	PowerDensity float64
+	// SavingsPct is the relative saving vs running at nominal speed.
+	SavingsPct float64
+}
+
+// OptimalSpeed picks the speed in [MinFeasibleSpeed, 1] minimising the
+// expected power density by golden-section search (the objective is
+// unimodal in s: cubic dynamic term falls, stretched static term rises as
+// s drops).
+func OptimalSpeed(ts *mc.TaskSet, m Model) (Result, error) {
+	m = m.withDefaults()
+	floor, err := MinFeasibleSpeed(ts, m)
+	if err != nil {
+		return Result{}, err
+	}
+	f := func(s float64) float64 {
+		p, err := ExpectedPowerDensity(ts, s, m)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return p
+	}
+	lo, hi := floor, 1.0
+	const phi = 0.6180339887498949
+	a := hi - phi*(hi-lo)
+	b := lo + phi*(hi-lo)
+	fa, fb := f(a), f(b)
+	for i := 0; i < 100 && hi-lo > 1e-9; i++ {
+		if fa < fb {
+			hi, b, fb = b, a, fa
+			a = hi - phi*(hi-lo)
+			fa = f(a)
+		} else {
+			lo, a, fa = a, b, fb
+			b = lo + phi*(hi-lo)
+			fb = f(b)
+		}
+	}
+	s := (lo + hi) / 2
+	ps, err := ExpectedPowerDensity(ts, s, m)
+	if err != nil {
+		return Result{}, err
+	}
+	p1, err := ExpectedPowerDensity(ts, 1, m)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Speed:        s,
+		MinFeasible:  floor,
+		PowerDensity: ps,
+		SavingsPct:   100 * (p1 - ps) / p1,
+	}, nil
+}

@@ -1,0 +1,222 @@
+package energy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/mc"
+	"chebymc/internal/policy"
+	"chebymc/internal/taskgen"
+)
+
+func lightSet(t *testing.T) *mc.TaskSet {
+	t.Helper()
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 10, CHI: 25, Period: 100,
+			Profile: mc.Profile{ACET: 8, Sigma: 1}},
+		{ID: 2, Crit: mc.LC, CLO: 15, CHI: 15, Period: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestScale(t *testing.T) {
+	ts := lightSet(t)
+	half, err := Scale(ts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Tasks[0].CLO != 20 || half.Tasks[0].CHI != 50 {
+		t.Errorf("budgets not doubled: %+v", half.Tasks[0])
+	}
+	if half.Tasks[0].Profile.ACET != 16 {
+		t.Errorf("profile not scaled: %+v", half.Tasks[0].Profile)
+	}
+	if ts.Tasks[0].CLO != 10 {
+		t.Error("Scale must not mutate the input")
+	}
+	if _, err := Scale(ts, 0); err == nil {
+		t.Error("speed 0 must error")
+	}
+	if _, err := Scale(ts, 1.5); err == nil {
+		t.Error("speed > 1 must error")
+	}
+	// Too slow: budgets exceed periods.
+	if _, err := Scale(ts, 0.1); err == nil {
+		t.Error("infeasible scaling must error")
+	}
+}
+
+func TestFeasibleAtMonotone(t *testing.T) {
+	ts := lightSet(t)
+	prev := false
+	for s := 0.2; s <= 1.0; s += 0.05 {
+		now := FeasibleAt(ts, s)
+		if prev && !now {
+			t.Fatalf("feasibility not monotone at s=%g", s)
+		}
+		prev = now
+	}
+	if !FeasibleAt(ts, 1) {
+		t.Fatal("light set must be feasible at nominal speed")
+	}
+}
+
+func TestMinFeasibleSpeed(t *testing.T) {
+	ts := lightSet(t)
+	s, err := MinFeasibleSpeed(ts, Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 || s > 1 {
+		t.Fatalf("floor %g out of range", s)
+	}
+	if !FeasibleAt(ts, s) {
+		t.Error("floor itself must be feasible")
+	}
+	if s > 0.11 && FeasibleAt(ts, s-0.01) {
+		t.Errorf("floor %g not tight", s)
+	}
+	// An unschedulable set errors.
+	heavy, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 90, CHI: 99, Period: 100},
+		{ID: 2, Crit: mc.LC, CLO: 50, CHI: 50, Period: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinFeasibleSpeed(heavy, Model{}); err == nil {
+		t.Error("unschedulable set must error")
+	}
+	if _, err := MinFeasibleSpeed(ts, Model{SMin: 2}); err == nil {
+		t.Error("bad model must error")
+	}
+}
+
+func TestExpectedPowerDensity(t *testing.T) {
+	ts := lightSet(t)
+	// Work rate: 8/100 + 15/100 = 0.23.
+	p1, err := ExpectedPowerDensity(ts, 1, Model{PStat: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.23 + 0.1
+	if math.Abs(p1-want) > 1e-9 {
+		t.Errorf("power at s=1: %g, want %g", p1, want)
+	}
+	// Half speed: busy 0.46, dynamic s³ = 0.125.
+	pHalf, err := ExpectedPowerDensity(ts, 0.5, Model{PStat: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHalf := 0.46*0.125 + 0.1
+	if math.Abs(pHalf-wantHalf) > 1e-9 {
+		t.Errorf("power at s=0.5: %g, want %g", pHalf, wantHalf)
+	}
+	if pHalf >= p1 {
+		t.Error("slowing down must save energy here")
+	}
+	// Overload detection.
+	if _, err := ExpectedPowerDensity(ts, 0.2, Model{}); err == nil {
+		t.Error("busy > 1 must error")
+	}
+	if _, err := ExpectedPowerDensity(ts, 0, Model{}); err == nil {
+		t.Error("speed 0 must error")
+	}
+	if _, err := ExpectedPowerDensity(ts, 1, Model{PStat: -1}); err == nil {
+		t.Error("negative static power must error")
+	}
+}
+
+func TestOptimalSpeed(t *testing.T) {
+	ts := lightSet(t)
+	res, err := OptimalSpeed(ts, Model{PStat: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speed < res.MinFeasible-1e-9 || res.Speed > 1 {
+		t.Fatalf("speed %g outside [%g, 1]", res.Speed, res.MinFeasible)
+	}
+	if res.SavingsPct <= 0 {
+		t.Errorf("no savings (%g%%) on a light set", res.SavingsPct)
+	}
+	// The optimum beats both endpoints.
+	p1, _ := ExpectedPowerDensity(ts, 1, Model{PStat: 0.05})
+	pf, _ := ExpectedPowerDensity(ts, res.MinFeasible, Model{PStat: 0.05})
+	if res.PowerDensity > p1+1e-9 {
+		t.Error("optimum worse than nominal")
+	}
+	if !math.IsInf(pf, 0) && res.PowerDensity > pf+1e-9 {
+		t.Error("optimum worse than the schedulability floor")
+	}
+}
+
+func TestHighLeakagePrefersFasterSpeed(t *testing.T) {
+	// With heavy static power the race-to-idle effect pushes the optimal
+	// speed up.
+	ts := lightSet(t)
+	low, err := OptimalSpeed(ts, Model{PStat: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := OptimalSpeed(ts, Model{PStat: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Speed < low.Speed-1e-6 {
+		t.Errorf("leaky platform chose slower speed: %g vs %g", high.Speed, low.Speed)
+	}
+}
+
+// Property: on random schedulable sets the optimiser returns a feasible
+// speed that never increases expected power relative to nominal, and the
+// Chebyshev assignment (smaller budgets) never raises the floor.
+func TestOptimalSpeedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts, err := taskgen.Mixed(r, taskgen.Config{}, 0.6)
+		if err != nil {
+			return false
+		}
+		a, err := policy.ChebyshevUniform{N: 4}.Assign(ts, nil)
+		if err != nil {
+			return false
+		}
+		if !FeasibleAt(a.TaskSet, 1) {
+			return true
+		}
+		res, err := OptimalSpeed(a.TaskSet, Model{PStat: 0.1})
+		if err != nil {
+			return false
+		}
+		if !FeasibleAt(a.TaskSet, res.Speed) {
+			return false
+		}
+		if res.SavingsPct < -1e-9 {
+			return false
+		}
+		// Pessimistic budgets cannot have a lower floor than the
+		// scheme's smaller budgets.
+		if FeasibleAt(ts, 1) {
+			floorPes, err := MinFeasibleSpeed(ts, Model{})
+			if err != nil {
+				return false
+			}
+			floorOurs, err := MinFeasibleSpeed(a.TaskSet, Model{})
+			if err != nil {
+				return false
+			}
+			if floorOurs > floorPes+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

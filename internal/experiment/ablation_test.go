@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chebymc/internal/ga"
+	"chebymc/internal/ipet"
+	"chebymc/internal/stats"
+	"chebymc/internal/trace"
+	"chebymc/internal/vmcpu"
+)
+
+func TestAblationBounds(t *testing.T) {
+	res, err := RunAblationBounds(quickTraceCfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 apps × 2 default targets.
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(res.Rows))
+	}
+	// The paper's central robustness claim: the distribution-free budget
+	// never breaks its guarantee.
+	if !res.ChebyshevNeverViolates() {
+		t.Error("Chebyshev budget violated its claim")
+	}
+	for _, row := range res.Rows {
+		if len(row.Methods) < 3 {
+			t.Fatalf("%s: only %d methods", row.App, len(row.Methods))
+		}
+		for _, m := range row.Methods {
+			if m.Budget <= 0 {
+				t.Errorf("%s/%s: non-positive budget", row.App, m.Name)
+			}
+		}
+		// The Chebyshev budget is the most conservative or close to it:
+		// it must be ≥ the best-fitting parametric quantile (the price
+		// of distribution freedom).
+		var cheby, minFit float64
+		minFit = math.Inf(1)
+		for _, m := range row.Methods {
+			if m.Name == "chebyshev" {
+				cheby = m.Budget
+			} else if m.Budget < minFit {
+				minFit = m.Budget
+			}
+		}
+		if cheby < minFit*0.8 {
+			t.Errorf("%s: Chebyshev budget %g suspiciously below fitted %g", row.App, cheby, minFit)
+		}
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "chebyshev") || !strings.Contains(out, "evt-gumbel") {
+		t.Error("table missing methods")
+	}
+}
+
+func TestAblationCantelli(t *testing.T) {
+	rows := RunAblationCantelli(nil)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.N > 1 && r.OneSided >= r.TwoSided {
+			t.Errorf("n=%g: one-sided %g not tighter than two-sided %g", r.N, r.OneSided, r.TwoSided)
+		}
+		if math.Abs(r.TightnessGain-(r.TwoSided-r.OneSided)) > 1e-12 {
+			t.Error("gain inconsistent")
+		}
+	}
+	if !strings.Contains(CantelliTable(rows).String(), "Cantelli") {
+		t.Error("table title missing")
+	}
+}
+
+func TestEquivalentN(t *testing.T) {
+	for _, p := range []float64{0.5, 0.1, 0.01} {
+		one, two := EquivalentN(p)
+		if one >= two {
+			t.Errorf("p=%g: one-sided n %g not smaller than two-sided %g", p, one, two)
+		}
+	}
+}
+
+func TestFig45BootstrapCI(t *testing.T) {
+	res, err := RunFig45(Fig45Config{
+		UHCHIs: []float64{0.6},
+		Sets:   20,
+		GA:     ga.Config{PopSize: 16, Generations: 15},
+		Seed:   9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := res.Policies()[0]
+	lo, hi, err := res.MaxUCI(name, 0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := res.Point(name, 0.6)
+	if !(lo <= pt.MaxULCLO && pt.MaxULCLO <= hi) {
+		t.Errorf("CI [%g, %g] does not contain mean %g", lo, hi, pt.MaxULCLO)
+	}
+	if _, _, err := res.MaxUCI("nope", 0.6, 1); err == nil {
+		t.Error("unknown policy must error")
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	res, err := RunConvergence(ConvergenceConfig{
+		Trace:  TraceConfig{Seed: 3},
+		Counts: []int{50, 200, 800},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(Table2Apps) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(Table2Apps))
+	}
+	for _, row := range res.Rows {
+		if row.Drift < 0 || row.Drift > 1 {
+			t.Errorf("%s: drift %g implausible", row.App, row.Drift)
+		}
+		last := row.BudgetRelErr[len(row.BudgetRelErr)-1]
+		if last > 1e-9 {
+			t.Errorf("%s: full-prefix error %g, want 0", row.App, last)
+		}
+		if row.SettledAt == 0 {
+			t.Errorf("%s: budget never settled below 5%%", row.App)
+		}
+	}
+	if res.Table().NumRows() != len(res.Rows) {
+		t.Error("table rows mismatch")
+	}
+}
+
+// Cross-machine robustness: Theorem 1 and the bound-dominance contract
+// must hold on every cost model, not just the default — the scheme is
+// platform-agnostic.
+func TestBoundsHoldAcrossMachines(t *testing.T) {
+	models := map[string]vmcpu.Costs{
+		"arm9-class":    vmcpu.DefaultCosts(),
+		"cortexm-class": vmcpu.CostsCortexM(),
+		"dsp-class":     vmcpu.CostsDSP(),
+	}
+	progs := []vmcpu.Program{vmcpu.QSort{K: 100}, vmcpu.Edge{}}
+	for name, costs := range models {
+		m := vmcpu.NewMachine(costs, vmcpu.DefaultCache())
+		for _, p := range progs {
+			r := rand.New(rand.NewSource(3))
+			tr, err := trace.Collect(p, m, 400, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := ipet.KernelWCET(p, costs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := tr.Summary()
+			if s.Max > bound {
+				t.Errorf("%s/%s: max %g above bound %g", name, p.Name(), s.Max, bound)
+			}
+			if bound < 2*s.Mean {
+				t.Errorf("%s/%s: bound %g not pessimistic vs mean %g", name, p.Name(), bound, s.Mean)
+			}
+			for _, n := range []float64{1, 2, 3} {
+				if rate := tr.OverrunRateAtN(n); rate > stats.CantelliBound(n)+0.01 {
+					t.Errorf("%s/%s: Theorem 1 violated at n=%g (%g)", name, p.Name(), n, rate)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+
+	"chebymc/internal/texttable"
+)
+
+// ConvergenceConfig scales the sample-size study: how many measurements
+// the scheme needs before its Eq. 6 budgets stabilise — the question the
+// paper's Section II raises against measurement-based approaches, answered
+// here for the proposed scheme's own inputs.
+type ConvergenceConfig struct {
+	// Trace scales the underlying collection; the largest Counts entry
+	// bounds the per-app sample need.
+	Trace TraceConfig
+	// Counts are the ascending prefix sizes. Default
+	// {50, 100, 250, 500, 1000, 2500, 5000}.
+	Counts []int
+	// RefN is the Eq. 6 parameter for the budget error. Default 5.
+	RefN float64
+	// DriftChunks is the chunk count for the stationarity diagnostic.
+	// Default 8.
+	DriftChunks int
+}
+
+func (c ConvergenceConfig) withDefaults() ConvergenceConfig {
+	if len(c.Counts) == 0 {
+		c.Counts = []int{50, 100, 250, 500, 1000, 2500, 5000}
+	}
+	if c.RefN == 0 {
+		c.RefN = 5
+	}
+	if c.DriftChunks == 0 {
+		c.DriftChunks = 8
+	}
+	return c
+}
+
+// ConvergenceRow is one application's study.
+type ConvergenceRow struct {
+	App string
+	// Drift is the across-chunk stationarity diagnostic.
+	Drift float64
+	// BudgetRelErr[i] is the Eq. 6 budget's relative error at
+	// Counts[i] samples vs the full trace.
+	BudgetRelErr []float64
+	// SettledAt is the smallest count whose error is below 5 %, or 0
+	// when none is.
+	SettledAt int
+}
+
+// ConvergenceResult answers "how many samples does the scheme need".
+type ConvergenceResult struct {
+	Rows   []ConvergenceRow
+	Counts []int
+}
+
+// RunConvergence executes the study over the Table II application set.
+func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
+	cfg = cfg.withDefaults()
+	maxCount := cfg.Counts[len(cfg.Counts)-1]
+	tcfg := cfg.Trace
+	if tcfg.DefaultSamples == 0 || tcfg.DefaultSamples < maxCount {
+		tcfg.DefaultSamples = maxCount
+	}
+	if tcfg.Samples == nil {
+		tcfg.Samples = map[string]int{}
+	}
+	if _, ok := tcfg.Samples["qsort-10000"]; !ok {
+		// qsort-10000 is too slow for the large prefixes; cap it and
+		// trim the counts for that app below.
+		tcfg.Samples["qsort-10000"] = 300
+	}
+	traces, _, err := BenchTraces(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &ConvergenceResult{Counts: cfg.Counts}
+	for _, app := range Table2Apps {
+		tr := traces[app]
+		counts := cfg.Counts
+		for len(counts) > 0 && counts[len(counts)-1] > len(tr.Samples) {
+			counts = counts[:len(counts)-1]
+		}
+		if len(counts) == 0 {
+			continue
+		}
+		pts, err := tr.Convergence(counts, cfg.RefN)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: convergence %s: %w", app, err)
+		}
+		drift, err := tr.Drift(cfg.DriftChunks)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: drift %s: %w", app, err)
+		}
+		row := ConvergenceRow{App: app, Drift: drift}
+		for _, p := range pts {
+			row.BudgetRelErr = append(row.BudgetRelErr, p.BudgetRelErr)
+			if row.SettledAt == 0 && p.BudgetRelErr < 0.05 {
+				row.SettledAt = p.N
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the study.
+func (r *ConvergenceResult) Table() *texttable.Table {
+	header := []string{"app", "drift"}
+	for _, c := range r.Counts {
+		header = append(header, fmt.Sprintf("err@%d", c))
+	}
+	header = append(header, "settled at")
+	tb := texttable.New("Convergence: Eq. 6 budget error vs sample count (ref n=5)", header...)
+	for _, row := range r.Rows {
+		cells := []string{row.App, fmt.Sprintf("%.3f", row.Drift)}
+		for i := range r.Counts {
+			if i < len(row.BudgetRelErr) {
+				cells = append(cells, fmt.Sprintf("%.3f", row.BudgetRelErr[i]))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		settled := "-"
+		if row.SettledAt > 0 {
+			settled = fmt.Sprintf("%d", row.SettledAt)
+		}
+		cells = append(cells, settled)
+		tb.AddRow(cells...)
+	}
+	return tb
+}

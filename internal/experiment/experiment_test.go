@@ -1,0 +1,317 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"chebymc/internal/ga"
+)
+
+// quickTraceCfg keeps trace-based tests fast.
+func quickTraceCfg() TraceConfig {
+	return TraceConfig{
+		Samples: map[string]int{"*": 400, "qsort-10000": 30},
+		Seed:    1,
+	}
+}
+
+func TestTraceConfigSampleCounts(t *testing.T) {
+	var c TraceConfig
+	if got := c.samplesFor("edge"); got != 20000 {
+		t.Errorf("default samples = %d, want 20000", got)
+	}
+	if got := c.samplesFor("qsort-10000"); got != 300 {
+		t.Errorf("qsort-10000 default = %d, want 300", got)
+	}
+	c.DefaultSamples = 500
+	if got := c.samplesFor("edge"); got != 500 {
+		t.Errorf("override default = %d, want 500", got)
+	}
+	if got := c.samplesFor("qsort-10000"); got != 300 {
+		t.Errorf("qsort-10000 with higher default = %d, want 300", got)
+	}
+	c.DefaultSamples = 100
+	if got := c.samplesFor("qsort-10000"); got != 100 {
+		t.Errorf("qsort-10000 with lower default = %d, want 100", got)
+	}
+	c.Samples = map[string]int{"edge": 7}
+	if got := c.samplesFor("edge"); got != 7 {
+		t.Errorf("explicit sample count = %d, want 7", got)
+	}
+}
+
+func TestBenchTraces(t *testing.T) {
+	traces, bounds, err := BenchTraces(quickTraceCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != len(BenchApps()) || len(bounds) != len(BenchApps()) {
+		t.Fatalf("got %d traces / %d bounds, want %d", len(traces), len(bounds), len(BenchApps()))
+	}
+	for app, tr := range traces {
+		s := tr.Summary()
+		if s.Max > bounds[app] {
+			t.Errorf("%s: measured max %g exceeds static bound %g", app, s.Max, bounds[app])
+		}
+		if bounds[app] < 2*s.Mean {
+			t.Errorf("%s: bound %g not pessimistic vs mean %g", app, bounds[app], s.Mean)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res, err := RunTable1(quickTraceCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ACET <= 0 || row.WCETPes <= row.ACET {
+			t.Errorf("%s: ACET %g / WCET^pes %g implausible", row.App, row.ACET, row.WCETPes)
+		}
+		// Overrun at the ACET must be near 50% for a unimodal-ish
+		// distribution (the paper measures 44–55%).
+		if row.OverrunACET < 15 || row.OverrunACET > 85 {
+			t.Errorf("%s: overrun at ACET = %.1f%%, want mid-range", row.App, row.OverrunACET)
+		}
+		// Fractions of WCET^pes give monotonically increasing overrun as
+		// the fraction shrinks.
+		for i := 1; i < len(row.OverrunFrac); i++ {
+			if row.OverrunFrac[i] < row.OverrunFrac[i-1]-1e-9 {
+				t.Errorf("%s: overrun%% not monotone across shrinking fractions: %v",
+					row.App, row.OverrunFrac)
+			}
+		}
+		// WCET^pes/4 never overruns in the paper; allow a whisker.
+		if row.OverrunFrac[0] > 5 {
+			t.Errorf("%s: overrun at WCET^pes/4 = %.2f%%, want ≈ 0", row.App, row.OverrunFrac[0])
+		}
+	}
+	out := res.Table().String()
+	for _, app := range []string{"qsort-10", "epic", "smooth"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("table output missing %s:\n%s", app, out)
+		}
+	}
+}
+
+func TestTable1GapGrowsWithQsortSize(t *testing.T) {
+	res, err := RunTable1(quickTraceCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := map[string]float64{}
+	for _, row := range res.Rows {
+		gap[row.App] = row.WCETPes / row.ACET
+	}
+	if !(gap["qsort-10"] < gap["qsort-100"] && gap["qsort-100"] < gap["qsort-10000"]) {
+		t.Errorf("qsort gaps not increasing: %v, %v, %v",
+			gap["qsort-10"], gap["qsort-100"], gap["qsort-10000"])
+	}
+}
+
+func TestTable2(t *testing.T) {
+	res, err := RunTable2(quickTraceCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (n=0..4)", len(res.Rows))
+	}
+	if !res.BoundHolds() {
+		t.Error("measured overrun rates violate the Theorem 1 bound")
+	}
+	// n=0 analysis = 100%, n=4 ≈ 5.88%.
+	if res.Rows[0].AnalysisPct != 100 {
+		t.Errorf("analysis at n=0 = %g, want 100", res.Rows[0].AnalysisPct)
+	}
+	if res.Rows[4].AnalysisPct < 5.8 || res.Rows[4].AnalysisPct > 5.9 {
+		t.Errorf("analysis at n=4 = %g, want ≈ 5.88", res.Rows[4].AnalysisPct)
+	}
+	// Measured rates decrease with n for every app.
+	for _, app := range Table2Apps {
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i].MeasuredPct[app] > res.Rows[i-1].MeasuredPct[app]+1e-9 {
+				t.Errorf("%s: measured overrun rose from n=%d to n=%d", app, i-1, i)
+			}
+		}
+	}
+	if !strings.Contains(res.Table().String(), "analysis") {
+		t.Error("table output malformed")
+	}
+}
+
+func TestRunTables1And2SharedPass(t *testing.T) {
+	t1, t2, err := RunTables1And2(quickTraceCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Rows) != 7 || len(t2.Rows) != 5 {
+		t.Fatalf("shared pass produced %d/%d rows", len(t1.Rows), len(t2.Rows))
+	}
+}
+
+func TestFig2(t *testing.T) {
+	res, err := RunFig2(Fig2Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 31 {
+		t.Fatalf("points = %d, want 31", len(res.Points))
+	}
+	// Paper's qualitative anchors: optimum in the low tens, with
+	// P_sys^MS below ~20% and max U_LC^LO still high.
+	if res.OptN < 5 || res.OptN > 30 {
+		t.Errorf("optimum n = %g, want interior low tens", res.OptN)
+	}
+	if res.OptPoint.PMS > 0.3 {
+		t.Errorf("optimum PMS = %g, want < 0.3", res.OptPoint.PMS)
+	}
+	if res.OptPoint.MaxULCLO < 0.5 {
+		t.Errorf("optimum maxU = %g, want > 0.5", res.OptPoint.MaxULCLO)
+	}
+	if _, err := res.Plot(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Table().NumRows() != 31 {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	cfg := Fig3Config{
+		UHCHIs:      []float64{0.4, 0.6, 0.8},
+		Ns:          []float64{5, 10, 20},
+		Sets:        40,
+		OptSweepMax: 30,
+		Seed:        3,
+	}
+	res, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper trend: optimum n decreases as utilisation grows.
+	if !(res.OptN[0.8] <= res.OptN[0.4]+1) {
+		t.Errorf("opt n did not trend down: %v", res.OptN)
+	}
+	if _, err := res.Plot(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Table().NumRows() != 9 {
+		t.Errorf("table rows = %d, want 9", res.Table().NumRows())
+	}
+	if _, ok := res.Cell(0.4, 5); !ok {
+		t.Error("Cell lookup failed")
+	}
+	if _, ok := res.Cell(0.99, 5); ok {
+		t.Error("Cell lookup must miss for absent points")
+	}
+}
+
+func TestFig45(t *testing.T) {
+	cfg := Fig45Config{
+		UHCHIs: []float64{0.4, 0.8},
+		Sets:   15,
+		GA:     ga.Config{PopSize: 24, Generations: 30},
+		Seed:   4,
+	}
+	res, err := RunFig45(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies()) != 5 {
+		t.Fatalf("policies = %d, want 5", len(res.Policies()))
+	}
+	h := res.Headline()
+	if h.UtilImprovementPct <= 0 {
+		t.Errorf("headline improvement = %g, want positive", h.UtilImprovementPct)
+	}
+	if h.WorstPMSPct <= 0 || h.WorstPMSPct > 100 {
+		t.Errorf("headline worst PMS = %g out of range", h.WorstPMSPct)
+	}
+	if _, err := res.Plot(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Table().NumRows() != 10 {
+		t.Errorf("table rows = %d, want 10", res.Table().NumRows())
+	}
+	if _, ok := res.Point("chebyshev-ga", 0.4); !ok {
+		t.Error("Point lookup failed for proposed scheme")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	cfg := Fig6Config{
+		UBounds: []float64{0.6, 0.9, 1.1, 1.3},
+		Sets:    60,
+		Seed:    5,
+	}
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The scheme must extend schedulability at the high end: strictly
+	// better than the baseline somewhere past 0.9.
+	gained := false
+	for _, ub := range []float64{0.9, 1.1, 1.3} {
+		b, _ := res.Point("baruah", ub)
+		bs, _ := res.Point("baruah+scheme", ub)
+		if bs.Acceptance > b.Acceptance+0.05 {
+			gained = true
+		}
+	}
+	if !gained {
+		t.Error("scheme shows no acceptance gain at high bounds")
+	}
+	// Everything is schedulable at 0.6 under the scheme.
+	bs, _ := res.Point("baruah+scheme", 0.6)
+	if bs.Acceptance < 0.99 {
+		t.Errorf("scheme acceptance at 0.6 = %g, want ≈ 1", bs.Acceptance)
+	}
+	if _, err := res.Plot(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Table().NumRows() != 4 {
+		t.Errorf("table rows = %d, want 4", res.Table().NumRows())
+	}
+}
+
+func TestExtension(t *testing.T) {
+	cfg := ExtensionConfig{
+		UBounds: []float64{0.5, 0.9},
+		Sets:    20,
+		GA:      ga.Config{PopSize: 20, Generations: 20},
+		Seed:    6,
+	}
+	res, err := RunExtension(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	// At a light load everything is accepted under the scheme.
+	if res.Points[0].AcceptScheme < 0.95 {
+		t.Errorf("scheme acceptance at 0.5 = %g, want ≈ 1", res.Points[0].AcceptScheme)
+	}
+	if res.Table().NumRows() != 2 {
+		t.Error("table rows wrong")
+	}
+}

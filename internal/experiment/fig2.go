@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chebymc/internal/mc"
+	"chebymc/internal/policy"
+	"chebymc/internal/taskgen"
+	"chebymc/internal/textplot"
+	"chebymc/internal/texttable"
+)
+
+// Fig2Config scales the Fig. 2 uniform-n sweep.
+type Fig2Config struct {
+	// UHCHI is the example task set's HI-mode HC utilisation. The
+	// paper's running text uses 0.85. Default 0.85.
+	UHCHI float64
+	// NMaxSweep is the largest uniform n swept. Default 30.
+	NMaxSweep int
+	// Seed seeds task-set generation.
+	Seed int64
+}
+
+func (c Fig2Config) withDefaults() Fig2Config {
+	if c.UHCHI == 0 {
+		c.UHCHI = 0.85
+	}
+	if c.NMaxSweep == 0 {
+		c.NMaxSweep = 30
+	}
+	return c
+}
+
+// Fig2Point is one sweep sample.
+type Fig2Point struct {
+	N         float64
+	PMS       float64
+	MaxULCLO  float64
+	Objective float64
+}
+
+// Fig2Result reproduces Fig. 2: the effect of a uniform n on P^MS_sys and
+// max(U^LO_LC) (a) and on the Eq. 13 objective with its optimum (b), for
+// one example task set.
+type Fig2Result struct {
+	TaskSet *mc.TaskSet
+	Points  []Fig2Point
+	// OptN and OptPoint locate the objective maximum over the sweep.
+	OptN     float64
+	OptPoint Fig2Point
+}
+
+// RunFig2 executes the Fig. 2 sweep.
+func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	// Smaller per-task utilisations give the many-task example set the
+	// paper's Fig. 2 sweeps (its optimum sits near n = 18, implying a few
+	// dozen HC tasks at U^HI_HC = 0.85).
+	gen := taskgen.Config{UtilLo: 0.02, UtilHi: 0.06}
+	ts, err := taskgen.HCOnly(r, gen, cfg.UHCHI)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{TaskSet: ts, OptN: -1}
+	for n := 0; n <= cfg.NMaxSweep; n++ {
+		a, err := policy.ChebyshevUniform{N: float64(n)}.Assign(ts, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig2 n=%d: %w", n, err)
+		}
+		pt := Fig2Point{N: float64(n), PMS: a.PMS, MaxULCLO: a.MaxULCLO, Objective: a.Objective}
+		res.Points = append(res.Points, pt)
+		if res.OptN < 0 || pt.Objective > res.OptPoint.Objective {
+			res.OptN, res.OptPoint = pt.N, pt
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep rows.
+func (r *Fig2Result) Table() *texttable.Table {
+	tb := texttable.New(
+		fmt.Sprintf("Fig. 2: uniform-n sweep (U_HC^HI=%.2f, %d HC tasks); optimum n=%g",
+			r.TaskSet.UHCHI(), r.TaskSet.NumHC(), r.OptN),
+		"n", "P_sys^MS", "max U_LC^LO", "objective (Eq.13)",
+	)
+	for _, p := range r.Points {
+		tb.AddRow(
+			fmt.Sprintf("%.0f", p.N),
+			fmt.Sprintf("%.4f", p.PMS),
+			fmt.Sprintf("%.4f", p.MaxULCLO),
+			fmt.Sprintf("%.4f", p.Objective),
+		)
+	}
+	return tb
+}
+
+// Plot renders both panels as ASCII charts.
+func (r *Fig2Result) Plot() (string, error) {
+	xs := make([]float64, len(r.Points))
+	pms := make([]float64, len(r.Points))
+	maxU := make([]float64, len(r.Points))
+	obj := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		xs[i], pms[i], maxU[i], obj[i] = p.N, p.PMS, p.MaxULCLO, p.Objective
+	}
+	a := textplot.New("Fig. 2a: P_sys^MS and max U_LC^LO vs n", 60, 14)
+	if err := a.Add(textplot.Series{Name: "P_sys^MS", X: xs, Y: pms}); err != nil {
+		return "", err
+	}
+	if err := a.Add(textplot.Series{Name: "max U_LC^LO", X: xs, Y: maxU}); err != nil {
+		return "", err
+	}
+	b := textplot.New("Fig. 2b: objective (1-P_sys^MS)*maxU vs n", 60, 14)
+	if err := b.Add(textplot.Series{Name: "objective", X: xs, Y: obj}); err != nil {
+		return "", err
+	}
+	return a.String() + "\n" + b.String(), nil
+}
+
+// Verify checks the structural properties the paper reads off Fig. 2:
+// PMS and maxU are non-increasing in n, and the optimum is interior.
+func (r *Fig2Result) Verify() error {
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].PMS > r.Points[i-1].PMS+1e-9 {
+			return fmt.Errorf("experiment: fig2: PMS increased at n=%g", r.Points[i].N)
+		}
+		if r.Points[i].MaxULCLO > r.Points[i-1].MaxULCLO+1e-9 {
+			return fmt.Errorf("experiment: fig2: maxU increased at n=%g", r.Points[i].N)
+		}
+	}
+	last := r.Points[len(r.Points)-1]
+	if !(r.OptPoint.Objective > r.Points[0].Objective && r.OptPoint.Objective >= last.Objective) {
+		return fmt.Errorf("experiment: fig2: optimum not interior (n=%g)", r.OptN)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chebymc/internal/policy"
+	"chebymc/internal/stats"
+	"chebymc/internal/taskgen"
+	"chebymc/internal/textplot"
+	"chebymc/internal/texttable"
+)
+
+// Fig3Config scales the Fig. 3 grid sweep.
+type Fig3Config struct {
+	// UHCHIs are the HC HI-utilisation points. Default 0.4..0.9 step 0.1.
+	UHCHIs []float64
+	// Ns are the uniform-n lines. Default {5, 10, 15, 20, 25, 30}.
+	Ns []float64
+	// Sets is the number of random task sets per grid point. The paper
+	// runs 1000. Default 1000.
+	Sets int
+	// OptSweepMax bounds the per-set uniform-n search for the Fig. 3c
+	// optimum. Default 40.
+	OptSweepMax int
+	// Seed seeds generation.
+	Seed int64
+}
+
+func (c Fig3Config) withDefaults() Fig3Config {
+	if len(c.UHCHIs) == 0 {
+		c.UHCHIs = []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	if len(c.Ns) == 0 {
+		c.Ns = []float64{5, 10, 15, 20, 25, 30}
+	}
+	if c.Sets == 0 {
+		c.Sets = 1000
+	}
+	if c.OptSweepMax == 0 {
+		c.OptSweepMax = 40
+	}
+	return c
+}
+
+// Fig3Cell is the mean outcome at one (U^HI_HC, n) grid point.
+type Fig3Cell struct {
+	UHCHI     float64
+	N         float64
+	PMS       float64 // mean P_sys^MS
+	MaxULCLO  float64 // mean max U_LC^LO
+	Objective float64 // mean Eq. 13 value
+}
+
+// Fig3Result reproduces Fig. 3: the effect of n and the HC utilisation on
+// P_sys^MS (a), max U_LC^LO (b) and the objective (c), plus the mean
+// objective-optimal n per utilisation.
+type Fig3Result struct {
+	Cells []Fig3Cell
+	// OptN maps each U^HI_HC to the mean objective-optimal uniform n.
+	OptN map[float64]float64
+	cfg  Fig3Config
+}
+
+// RunFig3 executes the grid sweep, averaging cfg.Sets random task sets at
+// each utilisation point.
+func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig3Result{OptN: make(map[float64]float64), cfg: cfg}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	for _, u := range cfg.UHCHIs {
+		accPMS := make([]stats.Online, len(cfg.Ns))
+		accU := make([]stats.Online, len(cfg.Ns))
+		accObj := make([]stats.Online, len(cfg.Ns))
+		var accOptN stats.Online
+
+		for s := 0; s < cfg.Sets; s++ {
+			ts, err := taskgen.HCOnly(r, taskgen.Config{}, u)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fig3 u=%g: %w", u, err)
+			}
+			for i, n := range cfg.Ns {
+				a, err := policy.ChebyshevUniform{N: n}.Assign(ts, nil)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: fig3 u=%g n=%g: %w", u, n, err)
+				}
+				accPMS[i].Add(a.PMS)
+				accU[i].Add(a.MaxULCLO)
+				accObj[i].Add(a.Objective)
+			}
+			// Per-set optimum over the fine sweep.
+			bestN, bestObj := 0.0, -1.0
+			for n := 0; n <= cfg.OptSweepMax; n++ {
+				a, err := policy.ChebyshevUniform{N: float64(n)}.Assign(ts, nil)
+				if err != nil {
+					return nil, err
+				}
+				if a.Objective > bestObj {
+					bestObj, bestN = a.Objective, float64(n)
+				}
+			}
+			accOptN.Add(bestN)
+		}
+
+		for i, n := range cfg.Ns {
+			res.Cells = append(res.Cells, Fig3Cell{
+				UHCHI:     u,
+				N:         n,
+				PMS:       accPMS[i].Mean(),
+				MaxULCLO:  accU[i].Mean(),
+				Objective: accObj[i].Mean(),
+			})
+		}
+		res.OptN[u] = accOptN.Mean()
+	}
+	return res, nil
+}
+
+// Cell returns the grid cell at (u, n), or false when absent.
+func (r *Fig3Result) Cell(u, n float64) (Fig3Cell, bool) {
+	for _, c := range r.Cells {
+		if c.UHCHI == u && c.N == n {
+			return c, true
+		}
+	}
+	return Fig3Cell{}, false
+}
+
+// Table renders the grid with one row per (U, n).
+func (r *Fig3Result) Table() *texttable.Table {
+	tb := texttable.New(
+		fmt.Sprintf("Fig. 3: P_sys^MS / max U_LC^LO / objective over U_HC^HI × n (%d sets per point)", r.cfg.Sets),
+		"U_HC^HI", "n", "P_sys^MS", "max U_LC^LO", "objective", "mean opt n",
+	)
+	for _, c := range r.Cells {
+		opt := ""
+		if c.N == r.cfg.Ns[0] {
+			opt = fmt.Sprintf("%.1f", r.OptN[c.UHCHI])
+		}
+		tb.AddRow(
+			fmt.Sprintf("%.2f", c.UHCHI),
+			fmt.Sprintf("%.0f", c.N),
+			fmt.Sprintf("%.4f", c.PMS),
+			fmt.Sprintf("%.4f", c.MaxULCLO),
+			fmt.Sprintf("%.4f", c.Objective),
+			opt,
+		)
+	}
+	return tb
+}
+
+// Plot renders the three panels: one line per n across utilisations.
+func (r *Fig3Result) Plot() (string, error) {
+	panel := func(title string, pick func(Fig3Cell) float64) (string, error) {
+		p := textplot.New(title, 60, 12)
+		for _, n := range r.cfg.Ns {
+			var xs, ys []float64
+			for _, u := range r.cfg.UHCHIs {
+				c, ok := r.Cell(u, n)
+				if !ok {
+					continue
+				}
+				xs = append(xs, u)
+				ys = append(ys, pick(c))
+			}
+			if err := p.Add(textplot.Series{Name: fmt.Sprintf("n=%g", n), X: xs, Y: ys}); err != nil {
+				return "", err
+			}
+		}
+		return p.String(), nil
+	}
+	a, err := panel("Fig. 3a: P_sys^MS vs U_HC^HI", func(c Fig3Cell) float64 { return c.PMS })
+	if err != nil {
+		return "", err
+	}
+	b, err := panel("Fig. 3b: max U_LC^LO vs U_HC^HI", func(c Fig3Cell) float64 { return c.MaxULCLO })
+	if err != nil {
+		return "", err
+	}
+	cc, err := panel("Fig. 3c: objective vs U_HC^HI", func(c Fig3Cell) float64 { return c.Objective })
+	if err != nil {
+		return "", err
+	}
+	hm, err := r.Heatmap()
+	if err != nil {
+		return "", err
+	}
+	return a + "\n" + b + "\n" + cc + "\n" + hm, nil
+}
+
+// Heatmap renders the objective grid as a shaded map (n rows ×
+// utilisation columns), the closest terminal analogue of the paper's
+// Fig. 3c surface.
+func (r *Fig3Result) Heatmap() (string, error) {
+	xLabels := make([]string, len(r.cfg.UHCHIs))
+	for i, u := range r.cfg.UHCHIs {
+		xLabels[i] = fmt.Sprintf("%.2f", u)
+	}
+	yLabels := make([]string, len(r.cfg.Ns))
+	for i, n := range r.cfg.Ns {
+		yLabels[i] = fmt.Sprintf("n=%g", n)
+	}
+	hm, err := textplot.NewHeatmap("Fig. 3c (heatmap): objective over n × U_HC^HI", xLabels, yLabels)
+	if err != nil {
+		return "", err
+	}
+	for i, n := range r.cfg.Ns {
+		for j, u := range r.cfg.UHCHIs {
+			if c, ok := r.Cell(u, n); ok {
+				if err := hm.Set(i, j, c.Objective); err != nil {
+					return "", err
+				}
+			}
+		}
+	}
+	return hm.String(), nil
+}
+
+// Verify checks the trends the paper reads off Fig. 3: at fixed n, PMS
+// grows and maxU shrinks with utilisation; at fixed utilisation, PMS
+// shrinks with n.
+func (r *Fig3Result) Verify() error {
+	for _, n := range r.cfg.Ns {
+		var prev *Fig3Cell
+		for _, u := range r.cfg.UHCHIs {
+			c, ok := r.Cell(u, n)
+			if !ok {
+				return fmt.Errorf("experiment: fig3: missing cell (%g, %g)", u, n)
+			}
+			if prev != nil {
+				if c.PMS < prev.PMS-1e-6 {
+					return fmt.Errorf("experiment: fig3: PMS fell with utilisation at n=%g u=%g", n, u)
+				}
+				if c.MaxULCLO > prev.MaxULCLO+1e-6 {
+					return fmt.Errorf("experiment: fig3: maxU rose with utilisation at n=%g u=%g", n, u)
+				}
+			}
+			cc := c
+			prev = &cc
+		}
+	}
+	for _, u := range r.cfg.UHCHIs {
+		var prev *Fig3Cell
+		for _, n := range r.cfg.Ns {
+			c, _ := r.Cell(u, n)
+			if prev != nil && c.PMS > prev.PMS+1e-6 {
+				return fmt.Errorf("experiment: fig3: PMS rose with n at u=%g n=%g", u, n)
+			}
+			cc := c
+			prev = &cc
+		}
+	}
+	return nil
+}

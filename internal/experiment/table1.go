@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+
+	"chebymc/internal/texttable"
+	"chebymc/internal/trace"
+)
+
+// Table1Fractions are the WCET^pes fractions of the paper's Table I, in
+// column order: 1/4, 1/8, 1/16, 1/32, 1/64.
+var Table1Fractions = []float64{1.0 / 4, 1.0 / 8, 1.0 / 16, 1.0 / 32, 1.0 / 64}
+
+// Table1Row is one application's line of Table I.
+type Table1Row struct {
+	App     string
+	ACET    float64
+	WCETPes float64
+	Sigma   float64
+	// OverrunACET is the percentage of samples above the ACET.
+	OverrunACET float64
+	// OverrunFrac[i] is the percentage of samples above
+	// Table1Fractions[i] · WCET^pes.
+	OverrunFrac []float64
+}
+
+// Table1Result reproduces Table I: ACET vs WCET^pes and the overrun
+// percentage when WCET^opt is set to the ACET or a fraction of WCET^pes.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 executes the Table I experiment: measure every benchmark on
+// the vmcpu substrate, bound it with the IPET analyser, and score the
+// naive WCET^opt candidates.
+func RunTable1(cfg TraceConfig) (*Table1Result, error) {
+	traces, bounds, err := BenchTraces(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return table1From(traces, bounds)
+}
+
+// table1From derives Table I rows from already-collected traces; split out
+// so Table II can share one collection pass.
+func table1From(traces trace.Set, bounds map[string]float64) (*Table1Result, error) {
+	var res Table1Result
+	for _, p := range BenchApps() {
+		tr, ok := traces[p.Name()]
+		if !ok {
+			return nil, fmt.Errorf("experiment: missing trace for %s", p.Name())
+		}
+		prof := tr.Profile()
+		pes := bounds[p.Name()]
+		row := Table1Row{
+			App:         p.Name(),
+			ACET:        prof.ACET,
+			WCETPes:     pes,
+			Sigma:       prof.Sigma,
+			OverrunACET: 100 * tr.OverrunRate(prof.ACET),
+		}
+		for _, f := range Table1Fractions {
+			row.OverrunFrac = append(row.OverrunFrac, 100*tr.OverrunRate(f*pes))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return &res, nil
+}
+
+// Table renders the result in the paper's layout.
+func (r *Table1Result) Table() *texttable.Table {
+	tb := texttable.New(
+		"Table I: ACET vs WCET^pes and overrun % per WCET^opt choice",
+		"app", "ACET(cyc)", "WCET^pes(cyc)", "sigma(cyc)",
+		"%>ACET", "%>pes/4", "%>pes/8", "%>pes/16", "%>pes/32", "%>pes/64",
+	)
+	for _, row := range r.Rows {
+		cells := []string{
+			row.App,
+			fmt.Sprintf("%.3g", row.ACET),
+			fmt.Sprintf("%.3g", row.WCETPes),
+			fmt.Sprintf("%.3g", row.Sigma),
+			fmt.Sprintf("%.2f", row.OverrunACET),
+		}
+		for _, v := range row.OverrunFrac {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		tb.AddRow(cells...)
+	}
+	return tb
+}

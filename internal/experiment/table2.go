@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"fmt"
+
+	"chebymc/internal/stats"
+	"chebymc/internal/texttable"
+	"chebymc/internal/trace"
+)
+
+// Table2Apps are the applications of the paper's Table II (a subset of
+// Table I, in its column order).
+var Table2Apps = []string{"qsort-100", "corner", "edge", "smooth", "epic"}
+
+// Table2Row is one n-level line: the analytical bound and the measured
+// overrun percentage per application.
+type Table2Row struct {
+	N int
+	// AnalysisPct is 100·1/(1+n²), the Theorem 1 bound.
+	AnalysisPct float64
+	// MeasuredPct maps app name → measured percentage of samples above
+	// ACET + n·σ.
+	MeasuredPct map[string]float64
+}
+
+// Table2Result reproduces Table II: the effect of n on task overrunning,
+// analysis vs experiment.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// RunTable2 executes the Table II experiment for n = 0..4.
+func RunTable2(cfg TraceConfig) (*Table2Result, error) {
+	traces, _, err := BenchTraces(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return table2From(traces)
+}
+
+func table2From(traces trace.Set) (*Table2Result, error) {
+	var res Table2Result
+	for n := 0; n <= 4; n++ {
+		row := Table2Row{
+			N:           n,
+			AnalysisPct: 100 * stats.CantelliBound(float64(n)),
+			MeasuredPct: make(map[string]float64, len(Table2Apps)),
+		}
+		for _, app := range Table2Apps {
+			tr, ok := traces[app]
+			if !ok {
+				return nil, fmt.Errorf("experiment: missing trace for %s", app)
+			}
+			row.MeasuredPct[app] = 100 * tr.OverrunRateAtN(float64(n))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return &res, nil
+}
+
+// RunTables1And2 shares one trace-collection pass between both tables.
+func RunTables1And2(cfg TraceConfig) (*Table1Result, *Table2Result, error) {
+	traces, bounds, err := BenchTraces(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	t1, err := table1From(traces, bounds)
+	if err != nil {
+		return nil, nil, err
+	}
+	t2, err := table2From(traces)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t1, t2, nil
+}
+
+// Table renders the result in the paper's layout.
+func (r *Table2Result) Table() *texttable.Table {
+	header := append([]string{"n", "analysis"}, Table2Apps...)
+	tb := texttable.New("Table II: effect of n on task overrunning (%)", header...)
+	for _, row := range r.Rows {
+		cells := []string{
+			fmt.Sprintf("n=%d", row.N),
+			fmt.Sprintf("%.2f%%", row.AnalysisPct),
+		}
+		for _, app := range Table2Apps {
+			cells = append(cells, fmt.Sprintf("%.2f%%", row.MeasuredPct[app]))
+		}
+		tb.AddRow(cells...)
+	}
+	return tb
+}
+
+// BoundHolds reports whether every measured rate is at or below its
+// analytical bound — the property Table II demonstrates.
+func (r *Table2Result) BoundHolds() bool {
+	for _, row := range r.Rows {
+		for _, m := range row.MeasuredPct {
+			if m > row.AnalysisPct+1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,259 @@
+// Package fit estimates parametric execution-time models from traces:
+// the measurement-based probabilistic WCET (pWCET) alternatives the
+// paper's Section II discusses (EVT/Gumbel fits [17]–[20], lognormal and
+// normal moment fits) together with goodness-of-fit testing.
+//
+// The paper argues that such fits are fragile — they need
+// representativity assumptions the Chebyshev bound does not. This package
+// exists to make that comparison concrete: the ablation in
+// internal/experiment quantifies how fitted-quantile budgets behave next
+// to the distribution-free ACET + n·σ rule when the fitted family is
+// wrong.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"chebymc/internal/dist"
+	"chebymc/internal/stats"
+)
+
+// ErrTooFewSamples is returned when a fit needs more data.
+var ErrTooFewSamples = errors.New("fit: too few samples")
+
+// Model is a fitted execution-time model that can answer quantile
+// queries: Quantile(p) returns the budget that the model claims is
+// exceeded with probability 1−p.
+type Model interface {
+	// Name identifies the family, e.g. "gumbel".
+	Name() string
+	// Quantile returns the p-quantile of the fitted distribution.
+	// p must be in (0, 1).
+	Quantile(p float64) float64
+	// Dist exposes the fitted distribution for sampling.
+	Dist() dist.Dist
+}
+
+// NormalFit fits a Normal by moments.
+type NormalFit struct{ N dist.Normal }
+
+// FitNormal estimates a Normal(μ, σ) from xs by moment matching.
+func FitNormal(xs []float64) (*NormalFit, error) {
+	if len(xs) < 2 {
+		return nil, ErrTooFewSamples
+	}
+	s := stats.MustSummarize(xs)
+	n, err := dist.NewNormal(s.Mean, s.StdDev)
+	if err != nil {
+		return nil, err
+	}
+	return &NormalFit{N: n}, nil
+}
+
+// Name implements Model.
+func (f *NormalFit) Name() string { return "normal" }
+
+// Quantile implements Model using the probit function.
+func (f *NormalFit) Quantile(p float64) float64 {
+	return f.N.Mu + f.N.Sigma*probit(p)
+}
+
+// Dist implements Model.
+func (f *NormalFit) Dist() dist.Dist { return f.N }
+
+// LogNormalFit fits a LogNormal by moments of the logs.
+type LogNormalFit struct{ L dist.LogNormal }
+
+// FitLogNormal estimates a LogNormal from xs via log-space moments. All
+// samples must be positive.
+func FitLogNormal(xs []float64) (*LogNormalFit, error) {
+	if len(xs) < 2 {
+		return nil, ErrTooFewSamples
+	}
+	var o stats.Online
+	for _, x := range xs {
+		if x <= 0 {
+			return nil, fmt.Errorf("fit: lognormal needs positive samples, got %g", x)
+		}
+		o.Add(math.Log(x))
+	}
+	l, err := dist.NewLogNormal(o.Mean(), o.StdDev())
+	if err != nil {
+		return nil, err
+	}
+	return &LogNormalFit{L: l}, nil
+}
+
+// Name implements Model.
+func (f *LogNormalFit) Name() string { return "lognormal" }
+
+// Quantile implements Model.
+func (f *LogNormalFit) Quantile(p float64) float64 {
+	return math.Exp(f.L.MuLog + f.L.SigmaLog*probit(p))
+}
+
+// Dist implements Model.
+func (f *LogNormalFit) Dist() dist.Dist { return f.L }
+
+// GumbelFit fits a Gumbel (EVT type I) distribution — the family
+// measurement-based pWCET methods fit to block maxima.
+type GumbelFit struct{ G dist.Gumbel }
+
+// FitGumbel estimates a Gumbel(μ, β) from xs by the method of moments:
+// β = σ·√6/π, μ = mean − γ·β.
+func FitGumbel(xs []float64) (*GumbelFit, error) {
+	if len(xs) < 2 {
+		return nil, ErrTooFewSamples
+	}
+	s := stats.MustSummarize(xs)
+	if s.StdDev == 0 {
+		return nil, fmt.Errorf("fit: gumbel needs spread, got constant sample")
+	}
+	beta := s.StdDev * math.Sqrt(6) / math.Pi
+	const gamma = 0.5772156649015328606
+	g, err := dist.NewGumbel(s.Mean-gamma*beta, beta)
+	if err != nil {
+		return nil, err
+	}
+	return &GumbelFit{G: g}, nil
+}
+
+// Name implements Model.
+func (f *GumbelFit) Name() string { return "gumbel" }
+
+// Quantile implements Model via the closed-form inverse CDF.
+func (f *GumbelFit) Quantile(p float64) float64 {
+	return f.G.Mu - f.G.Beta*math.Log(-math.Log(p))
+}
+
+// Dist implements Model.
+func (f *GumbelFit) Dist() dist.Dist { return f.G }
+
+// BlockMaxima reduces xs to per-block maxima of the given block size —
+// the preprocessing step of EVT-based pWCET estimation. Trailing partial
+// blocks are dropped.
+func BlockMaxima(xs []float64, block int) ([]float64, error) {
+	if block < 1 {
+		return nil, fmt.Errorf("fit: block size %d must be ≥ 1", block)
+	}
+	n := len(xs) / block
+	if n == 0 {
+		return nil, ErrTooFewSamples
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m := xs[i*block]
+		for j := 1; j < block; j++ {
+			if v := xs[i*block+j]; v > m {
+				m = v
+			}
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// PWCET estimates a probabilistic WCET at exceedance probability eps
+// (e.g. 1e-3) the EVT way: fit a Gumbel to block maxima and take its
+// (1−eps)-quantile. This is the pipeline of [17]–[20] the paper contrasts
+// with.
+func PWCET(xs []float64, block int, eps float64) (float64, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("fit: exceedance probability %g out of (0, 1)", eps)
+	}
+	maxima, err := BlockMaxima(xs, block)
+	if err != nil {
+		return 0, err
+	}
+	g, err := FitGumbel(maxima)
+	if err != nil {
+		return 0, err
+	}
+	return g.Quantile(1 - eps), nil
+}
+
+// KSStatistic computes the Kolmogorov–Smirnov statistic between the
+// empirical CDF of xs and the model's CDF approximated by sampling the
+// model's quantile function — sup |F_emp(x) − F_model(x)| evaluated at
+// the sample points.
+func KSStatistic(xs []float64, m Model) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrTooFewSamples
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	// Invert the model CDF numerically at each sample by bisection over
+	// quantiles.
+	modelCDF := func(x float64) float64 {
+		lo, hi := 0.0, 1.0
+		for i := 0; i < 60; i++ {
+			mid := (lo + hi) / 2
+			if m.Quantile(clampP(mid)) < x {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return (lo + hi) / 2
+	}
+	worst := 0.0
+	n := float64(len(sorted))
+	for i, x := range sorted {
+		fm := modelCDF(x)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		d := math.Max(math.Abs(fm-lo), math.Abs(fm-hi))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+func clampP(p float64) float64 {
+	const eps = 1e-9
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+// probit is the standard normal quantile function (Acklam's rational
+// approximation, |relative error| < 1.15e-9).
+func probit(p float64) float64 {
+	p = clampP(p)
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

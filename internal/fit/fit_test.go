@@ -1,0 +1,236 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/dist"
+	"chebymc/internal/stats"
+)
+
+func draw(t *testing.T, d dist.Dist, n int, seed int64) []float64 {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(r)
+	}
+	return xs
+}
+
+func TestProbitKnownValues(t *testing.T) {
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1},
+		{0.9772498680518208, 2},
+		{0.15865525393145707, -1},
+		{0.001, -3.0902},
+		{0.999, 3.0902},
+	} {
+		if got := probit(tc.p); math.Abs(got-tc.want) > 1e-3 {
+			t.Errorf("probit(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestProbitMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p1 := float64(a%9999+1) / 10001
+		p2 := float64(b%9999+1) / 10001
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return probit(p1) <= probit(p2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitNormalRecoversParameters(t *testing.T) {
+	want, _ := dist.NewNormal(100, 15)
+	xs := draw(t, want, 50000, 1)
+	f, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.N.Mu-100) > 0.5 || math.Abs(f.N.Sigma-15) > 0.5 {
+		t.Errorf("fitted Normal(%g, %g), want (100, 15)", f.N.Mu, f.N.Sigma)
+	}
+	// Quantiles: median = μ.
+	if math.Abs(f.Quantile(0.5)-f.N.Mu) > 1e-9 {
+		t.Error("median must equal μ")
+	}
+	if f.Name() != "normal" {
+		t.Error("name wrong")
+	}
+}
+
+func TestFitLogNormalRecoversParameters(t *testing.T) {
+	want, _ := dist.NewLogNormal(3, 0.4)
+	xs := draw(t, want, 50000, 2)
+	f, err := FitLogNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.L.MuLog-3) > 0.05 || math.Abs(f.L.SigmaLog-0.4) > 0.05 {
+		t.Errorf("fitted LogNormal(%g, %g), want (3, 0.4)", f.L.MuLog, f.L.SigmaLog)
+	}
+	if f.Name() != "lognormal" {
+		t.Error("name wrong")
+	}
+}
+
+func TestFitLogNormalRejectsNonPositive(t *testing.T) {
+	if _, err := FitLogNormal([]float64{1, 2, -3}); err == nil {
+		t.Error("negative sample must error")
+	}
+	if _, err := FitLogNormal([]float64{1}); err != ErrTooFewSamples {
+		t.Error("single sample must be ErrTooFewSamples")
+	}
+}
+
+func TestFitGumbelRecoversParameters(t *testing.T) {
+	want, _ := dist.NewGumbel(500, 40)
+	xs := draw(t, want, 50000, 3)
+	f, err := FitGumbel(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.G.Mu-500) > 5 || math.Abs(f.G.Beta-40) > 3 {
+		t.Errorf("fitted Gumbel(%g, %g), want (500, 40)", f.G.Mu, f.G.Beta)
+	}
+	// Closed-form quantile inverts the CDF: F(Q(p)) = p.
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.999} {
+		x := f.Quantile(p)
+		cdf := math.Exp(-math.Exp(-(x - f.G.Mu) / f.G.Beta))
+		if math.Abs(cdf-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, cdf)
+		}
+	}
+}
+
+func TestFitGumbelConstantSample(t *testing.T) {
+	if _, err := FitGumbel([]float64{5, 5, 5, 5}); err == nil {
+		t.Error("constant sample must error")
+	}
+}
+
+func TestBlockMaxima(t *testing.T) {
+	xs := []float64{1, 5, 2, 9, 3, 4, 7}
+	got, err := BlockMaxima(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 9, 4} // trailing 7 dropped
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := BlockMaxima(xs, 0); err == nil {
+		t.Error("block 0 must error")
+	}
+	if _, err := BlockMaxima(xs[:1], 5); err != ErrTooFewSamples {
+		t.Error("insufficient samples must be ErrTooFewSamples")
+	}
+}
+
+func TestPWCETPipeline(t *testing.T) {
+	// Execution times with a moderate tail.
+	base, _ := dist.LogNormalFromMoments(1000, 150)
+	xs := draw(t, base, 20000, 4)
+	p, err := PWCET(xs, 50, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pWCET at 1e-3 must sit above virtually all samples but below
+	// absurdity (10× the mean).
+	rate := stats.ExceedRate(xs, p)
+	if rate > 0.005 {
+		t.Errorf("pWCET %g exceeded by %.4f of samples", p, rate)
+	}
+	if p > 10000 {
+		t.Errorf("pWCET %g absurdly large", p)
+	}
+	if _, err := PWCET(xs, 50, 0); err == nil {
+		t.Error("eps=0 must error")
+	}
+	if _, err := PWCET(xs, 50, 1); err == nil {
+		t.Error("eps=1 must error")
+	}
+}
+
+func TestKSDistinguishesFamilies(t *testing.T) {
+	// Data from a heavy-tailed lognormal: the lognormal fit must have a
+	// smaller KS statistic than the normal fit.
+	base, _ := dist.NewLogNormal(2, 0.8)
+	xs := draw(t, base, 4000, 5)
+	ln, err := FitLogNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksLN, err := KSStatistic(xs, ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksNM, err := KSStatistic(xs, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ksLN >= ksNM {
+		t.Errorf("KS(lognormal)=%g not better than KS(normal)=%g on lognormal data", ksLN, ksNM)
+	}
+	if ksLN > 0.05 {
+		t.Errorf("KS of the true family = %g, want small", ksLN)
+	}
+	if _, err := KSStatistic(nil, ln); err == nil {
+		t.Error("empty sample must error")
+	}
+}
+
+// The ablation the package exists for: when the fitted family is wrong,
+// the fitted quantile can *under*-estimate the needed budget (measured
+// exceedance above the claimed probability), while the Chebyshev budget's
+// bound still holds by construction.
+func TestWrongFamilyUnderestimatesWhereChebyshevHolds(t *testing.T) {
+	// Truth: bimodal mixture (cache-warm fast path + slow path) — no
+	// standard family fits.
+	fast, _ := dist.NewNormal(100, 5)
+	slow, _ := dist.NewNormal(260, 10)
+	truth, _ := dist.NewMixture(
+		dist.Component{Weight: 0.9, D: fast},
+		dist.Component{Weight: 0.1, D: slow},
+	)
+	xs := draw(t, truth, 30000, 6)
+
+	// Normal fit claims its 0.99 quantile is exceeded 1% of the time.
+	nm, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := 0.01
+	budget := nm.Quantile(1 - claimed)
+	actual := stats.ExceedRate(xs, budget)
+	if actual <= claimed {
+		t.Skip("normal fit happened to be conservative on this seed")
+	}
+
+	// Chebyshev at the same target probability: n = sqrt(1/p − 1).
+	s := stats.MustSummarize(xs)
+	n := stats.NForBound(claimed)
+	chebyBudget := s.Mean + n*s.StdDev
+	chebyActual := stats.ExceedRate(xs, chebyBudget)
+	if chebyActual > claimed {
+		t.Errorf("Chebyshev budget exceeded %.4f > claimed %.4f — bound broken", chebyActual, claimed)
+	}
+}

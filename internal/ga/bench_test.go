@@ -1,0 +1,75 @@
+package ga
+
+import (
+	"math"
+	"testing"
+)
+
+// Operator-setting ablation (DESIGN.md §5): the paper's parameters
+// (two-point crossover 0.8, single-point mutation 0.2, tournament 5)
+// against alternatives on a rugged multimodal surface. Run with
+// `go test -bench=. ./internal/ga/`; the benchmark reports achieved
+// fitness per configuration through the `fitness` metric.
+
+// rastrigin is a classic rugged test surface (maximum 0 at the origin).
+func rastrigin(g []float64) float64 {
+	s := 10.0 * float64(len(g))
+	for _, x := range g {
+		s += x*x - 10*math.Cos(2*math.Pi*x)
+	}
+	return -s
+}
+
+func rastriginProblem(dim int) Problem {
+	bounds := make([]Bound, dim)
+	for i := range bounds {
+		bounds[i] = Bound{Lo: -5.12, Hi: 5.12}
+	}
+	return Problem{Bounds: bounds, Fitness: rastrigin}
+}
+
+func benchConfig(b *testing.B, cfg Config) {
+	b.Helper()
+	p := rastriginProblem(8)
+	total := 0.0
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := Run(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.BestFitness
+	}
+	b.ReportMetric(total/float64(b.N), "fitness")
+}
+
+// BenchmarkPaperOperators uses the paper's settings.
+func BenchmarkPaperOperators(b *testing.B) {
+	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.2, TournamentK: 5})
+}
+
+// BenchmarkLowMutation halves exploration.
+func BenchmarkLowMutation(b *testing.B) {
+	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.05, TournamentK: 5})
+}
+
+// BenchmarkHighMutation approaches random search.
+func BenchmarkHighMutation(b *testing.B) {
+	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.8, TournamentK: 5})
+}
+
+// BenchmarkNoCrossover disables recombination.
+func BenchmarkNoCrossover(b *testing.B) {
+	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.001, MutProb: 0.2, TournamentK: 5})
+}
+
+// BenchmarkWeakSelection uses binary tournaments.
+func BenchmarkWeakSelection(b *testing.B) {
+	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.2, TournamentK: 2})
+}
+
+// BenchmarkGreedySelection uses size-20 tournaments (heavy selection
+// pressure, premature convergence risk).
+func BenchmarkGreedySelection(b *testing.B) {
+	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.2, TournamentK: 20})
+}

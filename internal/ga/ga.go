@@ -1,0 +1,245 @@
+// Package ga is the optimisation substrate: a from-scratch genetic
+// algorithm with exactly the operators and parameters the paper uses via
+// DEAP [25] — two-point crossover (p = 0.8), single-point mutation
+// (p = 0.2) and tournament selection with five participants. Genomes are
+// fixed-length real vectors with per-gene bounds; runs are deterministic
+// given a seed.
+package ga
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Bound is the closed interval [Lo, Hi] a gene may take.
+type Bound struct{ Lo, Hi float64 }
+
+// Problem describes an optimisation problem. Fitness is maximised; return
+// math.Inf(-1) for infeasible genomes.
+type Problem struct {
+	// Bounds gives the per-gene domains and fixes the genome length.
+	Bounds []Bound
+	// Fitness scores a genome. It must not retain or mutate the slice.
+	Fitness func(genome []float64) float64
+}
+
+// Config tunes the algorithm. Zero values select the paper's defaults.
+type Config struct {
+	// PopSize is the population size. Default 60.
+	PopSize int
+	// Generations is the number of generations. Default 120.
+	Generations int
+	// CrossProb is the two-point crossover probability. Default 0.8.
+	CrossProb float64
+	// MutProb is the single-point mutation probability. Default 0.2.
+	MutProb float64
+	// TournamentK is the tournament size. Default 5.
+	TournamentK int
+	// Elites is the number of best individuals copied unchanged into the
+	// next generation. Default 1.
+	Elites int
+	// Seed seeds the run.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PopSize == 0 {
+		c.PopSize = 60
+	}
+	if c.Generations == 0 {
+		c.Generations = 120
+	}
+	if c.CrossProb == 0 {
+		c.CrossProb = 0.8
+	}
+	if c.MutProb == 0 {
+		c.MutProb = 0.2
+	}
+	if c.TournamentK == 0 {
+		c.TournamentK = 5
+	}
+	if c.Elites == 0 {
+		c.Elites = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.PopSize < 2:
+		return fmt.Errorf("ga: population %d must be ≥ 2", c.PopSize)
+	case c.Generations < 1:
+		return fmt.Errorf("ga: generations %d must be ≥ 1", c.Generations)
+	case c.CrossProb < 0 || c.CrossProb > 1:
+		return fmt.Errorf("ga: crossover probability %g out of [0, 1]", c.CrossProb)
+	case c.MutProb < 0 || c.MutProb > 1:
+		return fmt.Errorf("ga: mutation probability %g out of [0, 1]", c.MutProb)
+	case c.TournamentK < 1:
+		return fmt.Errorf("ga: tournament size %d must be ≥ 1", c.TournamentK)
+	case c.Elites < 0 || c.Elites >= c.PopSize:
+		return fmt.Errorf("ga: elites %d out of [0, population)", c.Elites)
+	}
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Best is the best genome found across all generations.
+	Best []float64
+	// BestFitness is its fitness.
+	BestFitness float64
+	// History records the best fitness per generation.
+	History []float64
+}
+
+type individual struct {
+	genome  []float64
+	fitness float64
+}
+
+// Run maximises p.Fitness. It returns an error for an invalid problem or
+// configuration.
+func Run(p Problem, cfg Config) (Result, error) {
+	if len(p.Bounds) == 0 {
+		return Result{}, errors.New("ga: empty genome")
+	}
+	for i, b := range p.Bounds {
+		if !(b.Lo <= b.Hi) || math.IsNaN(b.Lo) || math.IsNaN(b.Hi) {
+			return Result{}, fmt.Errorf("ga: gene %d has invalid bounds [%g, %g]", i, b.Lo, b.Hi)
+		}
+	}
+	if p.Fitness == nil {
+		return Result{}, errors.New("ga: nil fitness function")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	dim := len(p.Bounds)
+
+	sample := func(i int) float64 {
+		b := p.Bounds[i]
+		if b.Hi == b.Lo {
+			return b.Lo
+		}
+		return b.Lo + r.Float64()*(b.Hi-b.Lo)
+	}
+	eval := func(g []float64) float64 {
+		copyG := append([]float64(nil), g...)
+		return p.Fitness(copyG)
+	}
+
+	pop := make([]individual, cfg.PopSize)
+	for i := range pop {
+		g := make([]float64, dim)
+		for k := range g {
+			g[k] = sample(k)
+		}
+		pop[i] = individual{genome: g, fitness: eval(g)}
+	}
+
+	best := pop[0]
+	for _, ind := range pop[1:] {
+		if ind.fitness > best.fitness {
+			best = ind
+		}
+	}
+	best = clone(best)
+
+	res := Result{History: make([]float64, 0, cfg.Generations)}
+
+	tournament := func() individual {
+		winner := pop[r.Intn(len(pop))]
+		for i := 1; i < cfg.TournamentK; i++ {
+			c := pop[r.Intn(len(pop))]
+			if c.fitness > winner.fitness {
+				winner = c
+			}
+		}
+		return winner
+	}
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([]individual, 0, cfg.PopSize)
+
+		// Elitism: carry the current best few unchanged.
+		sorted := append([]individual(nil), pop...)
+		sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].fitness > sorted[b].fitness })
+		for i := 0; i < cfg.Elites; i++ {
+			next = append(next, clone(sorted[i]))
+		}
+
+		for len(next) < cfg.PopSize {
+			a := clone(tournament())
+			b := clone(tournament())
+			if r.Float64() < cfg.CrossProb {
+				twoPointCrossover(r, a.genome, b.genome)
+			}
+			if r.Float64() < cfg.MutProb {
+				mutateOne(r, a.genome, p.Bounds)
+			}
+			if r.Float64() < cfg.MutProb {
+				mutateOne(r, b.genome, p.Bounds)
+			}
+			a.fitness = eval(a.genome)
+			next = append(next, a)
+			if len(next) < cfg.PopSize {
+				b.fitness = eval(b.genome)
+				next = append(next, b)
+			}
+		}
+		pop = next
+
+		for _, ind := range pop {
+			if ind.fitness > best.fitness {
+				best = clone(ind)
+			}
+		}
+		res.History = append(res.History, best.fitness)
+	}
+
+	res.Best = best.genome
+	res.BestFitness = best.fitness
+	return res, nil
+}
+
+func clone(ind individual) individual {
+	return individual{
+		genome:  append([]float64(nil), ind.genome...),
+		fitness: ind.fitness,
+	}
+}
+
+// twoPointCrossover swaps the gene segment between two cut points of a and
+// b in place. For genomes of length 1 it degenerates to a full swap.
+func twoPointCrossover(r *rand.Rand, a, b []float64) {
+	n := len(a)
+	if n == 1 {
+		a[0], b[0] = b[0], a[0]
+		return
+	}
+	i, j := r.Intn(n), r.Intn(n)
+	if i > j {
+		i, j = j, i
+	}
+	for k := i; k <= j; k++ {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// mutateOne re-samples one uniformly chosen gene within its bounds —
+// single-point mutation.
+func mutateOne(r *rand.Rand, g []float64, bounds []Bound) {
+	i := r.Intn(len(g))
+	b := bounds[i]
+	if b.Hi == b.Lo {
+		g[i] = b.Lo
+		return
+	}
+	g[i] = b.Lo + r.Float64()*(b.Hi-b.Lo)
+}

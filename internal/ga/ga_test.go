@@ -1,0 +1,264 @@
+package ga
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sphereProblem(dim int) Problem {
+	bounds := make([]Bound, dim)
+	for i := range bounds {
+		bounds[i] = Bound{Lo: -10, Hi: 10}
+	}
+	return Problem{
+		Bounds: bounds,
+		// Maximum 0 at the origin.
+		Fitness: func(g []float64) float64 {
+			s := 0.0
+			for _, x := range g {
+				s += x * x
+			}
+			return -s
+		},
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ok := sphereProblem(3)
+	if _, err := Run(Problem{}, Config{}); err == nil {
+		t.Error("empty genome must error")
+	}
+	if _, err := Run(Problem{Bounds: ok.Bounds}, Config{}); err == nil {
+		t.Error("nil fitness must error")
+	}
+	bad := ok
+	bad.Bounds = []Bound{{Lo: 5, Hi: 1}}
+	if _, err := Run(bad, Config{}); err == nil {
+		t.Error("inverted bounds must error")
+	}
+	nan := ok
+	nan.Bounds = []Bound{{Lo: math.NaN(), Hi: 1}}
+	if _, err := Run(nan, Config{}); err == nil {
+		t.Error("NaN bounds must error")
+	}
+	if _, err := Run(ok, Config{PopSize: 1}); err == nil {
+		t.Error("population < 2 must error")
+	}
+	if _, err := Run(ok, Config{CrossProb: 2}); err == nil {
+		t.Error("crossover probability > 1 must error")
+	}
+	if _, err := Run(ok, Config{MutProb: -0.1}); err == nil {
+		t.Error("negative mutation probability must error")
+	}
+	if _, err := Run(ok, Config{PopSize: 10, Elites: 10}); err == nil {
+		t.Error("elites ≥ population must error")
+	}
+	if _, err := Run(ok, Config{Generations: -1}); err == nil {
+		t.Error("negative generations must error")
+	}
+	if _, err := Run(ok, Config{TournamentK: -1}); err == nil {
+		t.Error("negative tournament must error")
+	}
+}
+
+func TestRunFindsSphereOptimum(t *testing.T) {
+	res, err := Run(sphereProblem(4), Config{Seed: 1, Generations: 200, PopSize: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < -0.5 {
+		t.Fatalf("best fitness %g too far from 0 (genome %v)", res.BestFitness, res.Best)
+	}
+	for _, x := range res.Best {
+		if math.Abs(x) > 1 {
+			t.Errorf("gene %g too far from optimum 0", x)
+		}
+	}
+}
+
+func TestRunRespectsBounds(t *testing.T) {
+	p := Problem{
+		Bounds: []Bound{{Lo: 2, Hi: 3}, {Lo: -1, Hi: -0.5}},
+		// Push towards the upper bounds.
+		Fitness: func(g []float64) float64 { return g[0] + g[1] },
+	}
+	res, err := Run(p, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best[0] < 2 || res.Best[0] > 3 {
+		t.Errorf("gene 0 = %g out of [2, 3]", res.Best[0])
+	}
+	if res.Best[1] < -1 || res.Best[1] > -0.5 {
+		t.Errorf("gene 1 = %g out of [-1, -0.5]", res.Best[1])
+	}
+	// The optimum is the upper corner.
+	if res.Best[0] < 2.9 || res.Best[1] > -0.5-0.1+0.2 {
+		// loose: just require near-corner
+	}
+	if res.BestFitness < 2.3 {
+		t.Errorf("best fitness %g, want ≥ 2.3 (near the corner 2.5)", res.BestFitness)
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	p := sphereProblem(3)
+	a, err := Run(p, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness {
+		t.Fatalf("same seed, different fitness: %g vs %g", a.BestFitness, b.BestFitness)
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatalf("same seed, different genomes at %d", i)
+		}
+	}
+}
+
+func TestHistoryMonotone(t *testing.T) {
+	res, err := Run(sphereProblem(5), Config{Seed: 3, Generations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 50 {
+		t.Fatalf("history length %d, want 50", len(res.History))
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatalf("best-so-far regressed at generation %d: %g < %g",
+				i, res.History[i], res.History[i-1])
+		}
+	}
+}
+
+func TestInfeasibleFitnessHandled(t *testing.T) {
+	// Half the space is infeasible; the GA must still find the feasible
+	// optimum.
+	p := Problem{
+		Bounds: []Bound{{Lo: -5, Hi: 5}},
+		Fitness: func(g []float64) float64 {
+			if g[0] < 0 {
+				return math.Inf(-1)
+			}
+			return -math.Abs(g[0] - 2)
+		},
+	}
+	res, err := Run(p, Config{Seed: 4, Generations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Best[0]-2) > 0.5 {
+		t.Errorf("best gene %g, want ≈ 2", res.Best[0])
+	}
+}
+
+func TestDegenerateBounds(t *testing.T) {
+	// A gene with Lo == Hi must stay pinned.
+	p := Problem{
+		Bounds:  []Bound{{Lo: 7, Hi: 7}, {Lo: 0, Hi: 1}},
+		Fitness: func(g []float64) float64 { return g[1] },
+	}
+	res, err := Run(p, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best[0] != 7 {
+		t.Errorf("pinned gene = %g, want 7", res.Best[0])
+	}
+}
+
+func TestSingleGeneGenome(t *testing.T) {
+	p := Problem{
+		Bounds:  []Bound{{Lo: 0, Hi: 10}},
+		Fitness: func(g []float64) float64 { return -math.Abs(g[0] - 7) },
+	}
+	res, err := Run(p, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Best[0]-7) > 0.5 {
+		t.Errorf("best gene %g, want ≈ 7", res.Best[0])
+	}
+}
+
+func TestTwoPointCrossoverPreservesMultiset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.Float64()
+			b[i] = r.Float64()
+		}
+		sumBefore := 0.0
+		for i := range a {
+			sumBefore += a[i] + b[i]
+		}
+		twoPointCrossover(r, a, b)
+		sumAfter := 0.0
+		for i := range a {
+			sumAfter += a[i] + b[i]
+		}
+		return math.Abs(sumBefore-sumAfter) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutateOneChangesAtMostOneGene(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		bounds := make([]Bound, n)
+		g := make([]float64, n)
+		for i := range g {
+			bounds[i] = Bound{Lo: 0, Hi: 1}
+			g[i] = r.Float64()
+		}
+		before := append([]float64(nil), g...)
+		mutateOne(r, g, bounds)
+		changed := 0
+		for i := range g {
+			if g[i] != before[i] {
+				changed++
+			}
+			if g[i] < 0 || g[i] > 1 {
+				return false
+			}
+		}
+		return changed <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fitness closures must not be able to corrupt the population through the
+// passed slice.
+func TestFitnessCannotMutatePopulation(t *testing.T) {
+	p := Problem{
+		Bounds: []Bound{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}},
+		Fitness: func(g []float64) float64 {
+			v := g[0] + g[1]
+			g[0] = 999 // hostile mutation
+			return v
+		},
+	}
+	res, err := Run(p, Config{Seed: 7, Generations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best[0] == 999 {
+		t.Fatal("fitness mutation leaked into the population")
+	}
+}

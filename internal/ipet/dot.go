@@ -1,0 +1,95 @@
+package ipet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the CFG in Graphviz dot syntax for inspection: blocks with
+// their costs, edges, loop annotations as dashed cluster labels, entry and
+// exit highlighted. The output is deterministic (sorted) so it can be
+// golden-tested and diffed.
+func (g *CFG) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  node [shape=box fontname=\"monospace\"];\n")
+
+	ids := make([]string, 0, len(g.blocks))
+	for id := range g.blocks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	loopOf := func(id string) string {
+		// Innermost loop containing the block, for labelling.
+		best := ""
+		bestLen := int(^uint(0) >> 1)
+		for _, l := range g.loops {
+			for _, m := range l.Blocks {
+				if m == id && len(l.Blocks) < bestLen {
+					best, bestLen = l.Header, len(l.Blocks)
+				}
+			}
+		}
+		return best
+	}
+
+	for _, id := range ids {
+		blk := g.blocks[id]
+		attrs := fmt.Sprintf("label=\"%s\\ncost=%g\"", id, blk.Cost)
+		switch id {
+		case g.entry:
+			attrs += " style=filled fillcolor=palegreen"
+		case g.exit:
+			attrs += " style=filled fillcolor=lightblue"
+		}
+		if h := loopOf(id); h != "" {
+			attrs += fmt.Sprintf(" color=red xlabel=\"loop(%s)\"", h)
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", id, attrs)
+	}
+
+	froms := make([]string, 0, len(g.succs))
+	for from := range g.succs {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		tos := append([]string(nil), g.succs[from]...)
+		sort.Strings(tos)
+		for _, to := range tos {
+			style := ""
+			if g.isBackEdge(from, to) {
+				style = " [style=dashed color=red]"
+			}
+			fmt.Fprintf(&b, "  %q -> %q%s;\n", from, to, style)
+		}
+	}
+
+	// Loop bound legend.
+	loops := append([]Loop(nil), g.loops...)
+	sort.SliceStable(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+	for i, l := range loops {
+		fmt.Fprintf(&b, "  legend%d [shape=note label=\"loop %s: bound %d over %d blocks\"];\n",
+			i, l.Header, l.Bound, len(l.Blocks))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// isBackEdge reports whether from → to closes a declared loop (to is the
+// header of a loop containing from).
+func (g *CFG) isBackEdge(from, to string) bool {
+	for _, l := range g.loops {
+		if l.Header != to {
+			continue
+		}
+		for _, m := range l.Blocks {
+			if m == from {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package ipet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTRendersStructure(t *testing.T) {
+	g := NewCFG()
+	g.MustAddBlock("entry", 1)
+	g.MustAddBlock("body", 10)
+	g.MustAddBlock("exit", 2)
+	g.MustAddEdge("entry", "body")
+	g.MustAddEdge("body", "body")
+	g.MustAddEdge("body", "exit")
+	g.MustAddLoop(Loop{Header: "body", Blocks: []string{"body"}, Bound: 5})
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+
+	dot := g.DOT("demo")
+	for _, want := range []string{
+		`digraph "demo"`,
+		`"entry"`,
+		`cost=10`,
+		`"body" -> "body" [style=dashed color=red]`, // back edge
+		`"body" -> "exit";`,
+		`bound 5`,
+		`palegreen`, // entry highlight
+		`lightblue`, // exit highlight
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	build := func() *CFG {
+		g := NewCFG()
+		for _, id := range []string{"z", "a", "m", "entry", "exit"} {
+			g.MustAddBlock(id, 1)
+		}
+		g.MustAddEdge("entry", "z")
+		g.MustAddEdge("entry", "a")
+		g.MustAddEdge("z", "m")
+		g.MustAddEdge("a", "m")
+		g.MustAddEdge("m", "exit")
+		must(g.SetEntry("entry"))
+		must(g.SetExit("exit"))
+		return g
+	}
+	if build().DOT("x") != build().DOT("x") {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+func TestDOTForKernelModelsParses(t *testing.T) {
+	// Smoke: the kernel model CFGs must render without panicking and
+	// contain their loop legends. Reuse the qsort model's graph by
+	// rebuilding a small one here (the builders return only the WCET);
+	// the point is that DOT handles nested annotated loops.
+	g := NewCFG()
+	g.MustAddBlock("entry", 0)
+	g.MustAddBlock("outer", 1)
+	g.MustAddBlock("inner", 2)
+	g.MustAddBlock("exit", 0)
+	g.MustAddEdge("entry", "outer")
+	g.MustAddEdge("outer", "inner")
+	g.MustAddEdge("inner", "inner")
+	g.MustAddEdge("inner", "outer")
+	g.MustAddEdge("outer", "exit")
+	g.MustAddLoop(Loop{Header: "inner", Blocks: []string{"inner"}, Bound: 3})
+	g.MustAddLoop(Loop{Header: "outer", Blocks: []string{"outer", "inner"}, Bound: 4})
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+	dot := g.DOT("nested")
+	if strings.Count(dot, "shape=note") != 2 {
+		t.Errorf("expected 2 loop legends:\n%s", dot)
+	}
+	// Inner block labelled with its innermost loop.
+	if !strings.Contains(dot, `loop(inner)`) {
+		t.Errorf("innermost loop label missing:\n%s", dot)
+	}
+}

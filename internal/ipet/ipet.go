@@ -1,0 +1,369 @@
+// Package ipet is the static WCET-analysis substrate, substituting for the
+// OTAWA toolbox [8] the paper uses to obtain pessimistic WCETs. It
+// implements a structural implicit-path-style analysis over loop-annotated
+// control-flow graphs: innermost loops are collapsed into summary blocks
+// whose cost is the loop bound times the longest path through the body,
+// and the resulting acyclic graph is solved by longest-path dynamic
+// programming.
+//
+// The analysis is conservative in the same structural ways OTAWA is when
+// run without value analysis: every loop executes its declared bound,
+// every memory access misses the cache and every branch mispredicts. That
+// conservatism — not any particular absolute number — is what produces the
+// large ACET/WCET^pes gap the paper's Table I documents.
+package ipet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BasicBlock is a straight-line region with a fixed worst-case cost in
+// cycles.
+type BasicBlock struct {
+	ID   string
+	Cost float64
+}
+
+// Loop annotates a natural loop of the CFG: the set of member blocks, its
+// header and the maximum number of iterations the body can execute.
+type Loop struct {
+	// Header is the loop entry block; it must be a member of Blocks.
+	Header string
+	// Blocks lists every block inside the loop, including Header and
+	// including the blocks of any nested loop.
+	Blocks []string
+	// Bound is the maximum iteration count. It must be ≥ 0; a bound of
+	// zero means the body never executes.
+	Bound int
+}
+
+// CFG is a control-flow graph under construction. Build it with AddBlock,
+// AddEdge, AddLoop, SetEntry and SetExit, then call WCET.
+type CFG struct {
+	blocks map[string]*BasicBlock
+	succs  map[string][]string
+	loops  []Loop
+	entry  string
+	exit   string
+}
+
+// NewCFG returns an empty CFG.
+func NewCFG() *CFG {
+	return &CFG{
+		blocks: make(map[string]*BasicBlock),
+		succs:  make(map[string][]string),
+	}
+}
+
+// AddBlock adds a basic block. It returns an error on duplicate IDs or
+// negative costs.
+func (g *CFG) AddBlock(id string, cost float64) error {
+	if id == "" {
+		return fmt.Errorf("ipet: empty block id")
+	}
+	if _, dup := g.blocks[id]; dup {
+		return fmt.Errorf("ipet: duplicate block %q", id)
+	}
+	if cost < 0 {
+		return fmt.Errorf("ipet: block %q has negative cost %g", id, cost)
+	}
+	g.blocks[id] = &BasicBlock{ID: id, Cost: cost}
+	return nil
+}
+
+// MustAddBlock is AddBlock that panics on error; used by the kernel-model
+// builders where the structure is static.
+func (g *CFG) MustAddBlock(id string, cost float64) {
+	if err := g.AddBlock(id, cost); err != nil {
+		panic(err)
+	}
+}
+
+// AddEdge adds a directed edge from → to. Both blocks must already exist.
+func (g *CFG) AddEdge(from, to string) error {
+	if _, ok := g.blocks[from]; !ok {
+		return fmt.Errorf("ipet: edge from unknown block %q", from)
+	}
+	if _, ok := g.blocks[to]; !ok {
+		return fmt.Errorf("ipet: edge to unknown block %q", to)
+	}
+	g.succs[from] = append(g.succs[from], to)
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (g *CFG) MustAddEdge(from, to string) {
+	if err := g.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// AddLoop declares a loop annotation. Loops may nest; a nested loop's
+// block set must be a strict subset of its parent's.
+func (g *CFG) AddLoop(l Loop) error {
+	if l.Bound < 0 {
+		return fmt.Errorf("ipet: loop %q has negative bound %d", l.Header, l.Bound)
+	}
+	found := false
+	for _, b := range l.Blocks {
+		if _, ok := g.blocks[b]; !ok {
+			return fmt.Errorf("ipet: loop %q references unknown block %q", l.Header, b)
+		}
+		if b == l.Header {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("ipet: loop header %q not among its blocks", l.Header)
+	}
+	g.loops = append(g.loops, l)
+	return nil
+}
+
+// MustAddLoop is AddLoop that panics on error.
+func (g *CFG) MustAddLoop(l Loop) {
+	if err := g.AddLoop(l); err != nil {
+		panic(err)
+	}
+}
+
+// SetEntry declares the entry block.
+func (g *CFG) SetEntry(id string) error {
+	if _, ok := g.blocks[id]; !ok {
+		return fmt.Errorf("ipet: unknown entry block %q", id)
+	}
+	g.entry = id
+	return nil
+}
+
+// SetExit declares the exit block.
+func (g *CFG) SetExit(id string) error {
+	if _, ok := g.blocks[id]; !ok {
+		return fmt.Errorf("ipet: unknown exit block %q", id)
+	}
+	g.exit = id
+	return nil
+}
+
+// WCET computes the worst-case execution time of the CFG: it collapses
+// loops innermost-first into summary blocks (bound × longest body path)
+// and then takes the longest entry→exit path of the acyclic residue. It
+// returns an error when entry/exit are unset, when a cycle is not covered
+// by a loop annotation, or when the annotations are inconsistent.
+func (g *CFG) WCET() (float64, error) {
+	if g.entry == "" || g.exit == "" {
+		return 0, fmt.Errorf("ipet: entry/exit not set")
+	}
+	// Work on copies so WCET is repeatable and non-destructive.
+	cost := make(map[string]float64, len(g.blocks))
+	for id, b := range g.blocks {
+		cost[id] = b.Cost
+	}
+	succs := make(map[string][]string, len(g.succs))
+	for from, tos := range g.succs {
+		succs[from] = append([]string(nil), tos...)
+	}
+
+	// Sort loops innermost-first (smaller block sets first); verify
+	// proper nesting.
+	loops := append([]Loop(nil), g.loops...)
+	sort.SliceStable(loops, func(i, j int) bool {
+		return len(loops[i].Blocks) < len(loops[j].Blocks)
+	})
+	for i := range loops {
+		for j := i + 1; j < len(loops); j++ {
+			if err := checkNesting(loops[i], loops[j]); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// alias maps original block IDs to the summary node now representing
+	// them (loop collapse retargets members to the summary).
+	alias := make(map[string]string)
+	resolve := func(id string) string {
+		for {
+			a, ok := alias[id]
+			if !ok {
+				return id
+			}
+			id = a
+		}
+	}
+
+	for li, l := range loops {
+		members := make(map[string]bool, len(l.Blocks))
+		for _, b := range l.Blocks {
+			members[resolve(b)] = true
+		}
+		header := resolve(l.Header)
+		if !members[header] {
+			return 0, fmt.Errorf("ipet: loop %q header collapsed away", l.Header)
+		}
+
+		// Longest path through one iteration: header → any member, along
+		// member-internal edges, ignoring back edges into the header.
+		body, err := longestPathWithin(header, members, succs, cost)
+		if err != nil {
+			return 0, fmt.Errorf("ipet: loop %q: %w", l.Header, err)
+		}
+
+		// Collapse: one summary node costing Bound iterations.
+		sum := fmt.Sprintf("loop#%d(%s)", li, l.Header)
+		cost[sum] = float64(l.Bound) * body
+		// Successors of the summary: all edges leaving the member set.
+		var out []string
+		seenOut := map[string]bool{}
+		for m := range members {
+			for _, t := range succs[m] {
+				rt := resolve(t)
+				if !members[rt] && !seenOut[rt] {
+					seenOut[rt] = true
+					out = append(out, rt)
+				}
+			}
+			delete(succs, m)
+		}
+		sort.Strings(out) // determinism
+		succs[sum] = out
+		for m := range members {
+			alias[m] = sum
+		}
+		// Retarget edges pointing into the collapsed region.
+		for from, tos := range succs {
+			for i, t := range tos {
+				if members[resolve(t)] || resolve(t) == sum {
+					tos[i] = sum
+				}
+			}
+			succs[from] = dedup(tos)
+		}
+	}
+
+	entry, exit := resolve(g.entry), resolve(g.exit)
+	return longestPathDAG(entry, exit, succs, cost)
+}
+
+func dedup(ss []string) []string {
+	seen := make(map[string]bool, len(ss))
+	out := ss[:0]
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// checkNesting verifies inner (smaller) and outer loops either nest or are
+// disjoint.
+func checkNesting(inner, outer Loop) error {
+	in := make(map[string]bool, len(inner.Blocks))
+	for _, b := range inner.Blocks {
+		in[b] = true
+	}
+	shared, covered := 0, 0
+	for _, b := range outer.Blocks {
+		if in[b] {
+			shared++
+		}
+	}
+	covered = shared
+	if covered != 0 && covered != len(inner.Blocks) {
+		return fmt.Errorf("ipet: loops %q and %q overlap without nesting", inner.Header, outer.Header)
+	}
+	return nil
+}
+
+// longestPathWithin computes the longest path starting at header staying
+// inside members, ignoring edges back to header (the loop back edge). An
+// in-body cycle (an unannotated nested loop) is reported as an error.
+func longestPathWithin(header string, members map[string]bool, succs map[string][]string, cost map[string]float64) (float64, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(members))
+	memo := make(map[string]float64, len(members))
+	var dfs func(n string) (float64, error)
+	dfs = func(n string) (float64, error) {
+		switch color[n] {
+		case gray:
+			return 0, fmt.Errorf("unannotated cycle through %q", n)
+		case black:
+			return memo[n], nil
+		}
+		color[n] = gray
+		best := 0.0
+		for _, t := range succs[n] {
+			if t == header || !members[t] {
+				continue
+			}
+			v, err := dfs(t)
+			if err != nil {
+				return 0, err
+			}
+			if v > best {
+				best = v
+			}
+		}
+		color[n] = black
+		memo[n] = cost[n] + best
+		return memo[n], nil
+	}
+	return dfs(header)
+}
+
+// longestPathDAG computes the longest entry→exit path; any remaining cycle
+// means a loop was left unannotated.
+func longestPathDAG(entry, exit string, succs map[string][]string, cost map[string]float64) (float64, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	memo := make(map[string]float64)
+	reaches := make(map[string]bool)
+	var dfs func(n string) (float64, error)
+	dfs = func(n string) (float64, error) {
+		switch color[n] {
+		case gray:
+			return 0, fmt.Errorf("ipet: cycle through %q not covered by a loop annotation", n)
+		case black:
+			return memo[n], nil
+		}
+		color[n] = gray
+		best := 0.0
+		ok := n == exit
+		for _, t := range succs[n] {
+			v, err := dfs(t)
+			if err != nil {
+				return 0, err
+			}
+			if reaches[t] {
+				ok = true
+				if v > best {
+					best = v
+				}
+			}
+		}
+		color[n] = black
+		reaches[n] = ok
+		if ok {
+			memo[n] = cost[n] + best
+		}
+		return memo[n], nil
+	}
+	v, err := dfs(entry)
+	if err != nil {
+		return 0, err
+	}
+	if !reaches[entry] {
+		return 0, fmt.Errorf("ipet: exit %q unreachable from entry %q", exit, entry)
+	}
+	return v, nil
+}

@@ -1,0 +1,345 @@
+package ipet
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chebymc/internal/vmcpu"
+)
+
+// straightLine builds entry(1) → a(10) → exit(2).
+func straightLine(t *testing.T) *CFG {
+	t.Helper()
+	g := NewCFG()
+	g.MustAddBlock("entry", 1)
+	g.MustAddBlock("a", 10)
+	g.MustAddBlock("exit", 2)
+	g.MustAddEdge("entry", "a")
+	g.MustAddEdge("a", "exit")
+	if err := g.SetEntry("entry"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetExit("exit"); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWCETStraightLine(t *testing.T) {
+	g := straightLine(t)
+	got, err := g.WCET()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 13 {
+		t.Fatalf("WCET = %g, want 13", got)
+	}
+}
+
+func TestWCETBranchTakesMax(t *testing.T) {
+	g := NewCFG()
+	g.MustAddBlock("entry", 1)
+	g.MustAddBlock("then", 100)
+	g.MustAddBlock("else", 7)
+	g.MustAddBlock("exit", 1)
+	g.MustAddEdge("entry", "then")
+	g.MustAddEdge("entry", "else")
+	g.MustAddEdge("then", "exit")
+	g.MustAddEdge("else", "exit")
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+	got, err := g.WCET()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 102 {
+		t.Fatalf("WCET = %g, want 102 (longest path)", got)
+	}
+}
+
+func TestWCETSimpleLoop(t *testing.T) {
+	g := NewCFG()
+	g.MustAddBlock("entry", 5)
+	g.MustAddBlock("body", 10)
+	g.MustAddBlock("exit", 5)
+	g.MustAddEdge("entry", "body")
+	g.MustAddEdge("body", "body")
+	g.MustAddEdge("body", "exit")
+	g.MustAddLoop(Loop{Header: "body", Blocks: []string{"body"}, Bound: 20})
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+	got, err := g.WCET()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5+20*10+5 {
+		t.Fatalf("WCET = %g, want 210", got)
+	}
+}
+
+func TestWCETNestedLoops(t *testing.T) {
+	// entry → outer{head, inner{in}, tail} → exit
+	g := NewCFG()
+	g.MustAddBlock("entry", 0)
+	g.MustAddBlock("head", 2)
+	g.MustAddBlock("in", 3)
+	g.MustAddBlock("tail", 1)
+	g.MustAddBlock("exit", 0)
+	g.MustAddEdge("entry", "head")
+	g.MustAddEdge("head", "in")
+	g.MustAddEdge("in", "in")
+	g.MustAddEdge("in", "tail")
+	g.MustAddEdge("tail", "head") // outer back edge
+	g.MustAddEdge("tail", "exit")
+	g.MustAddLoop(Loop{Header: "in", Blocks: []string{"in"}, Bound: 4})
+	g.MustAddLoop(Loop{Header: "head", Blocks: []string{"head", "in", "tail"}, Bound: 5})
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+	got, err := g.WCET()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per outer iteration: head(2) + 4·in(3) + tail(1) = 15; ×5 = 75.
+	if got != 75 {
+		t.Fatalf("WCET = %g, want 75", got)
+	}
+}
+
+func TestWCETZeroBoundLoop(t *testing.T) {
+	g := NewCFG()
+	g.MustAddBlock("entry", 1)
+	g.MustAddBlock("body", 99)
+	g.MustAddBlock("exit", 1)
+	g.MustAddEdge("entry", "body")
+	g.MustAddEdge("body", "body")
+	g.MustAddEdge("body", "exit")
+	g.MustAddLoop(Loop{Header: "body", Blocks: []string{"body"}, Bound: 0})
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+	got, err := g.WCET()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("WCET = %g, want 2 (zero-bound loop contributes nothing)", got)
+	}
+}
+
+func TestWCETUnannotatedCycleRejected(t *testing.T) {
+	g := NewCFG()
+	g.MustAddBlock("entry", 1)
+	g.MustAddBlock("a", 1)
+	g.MustAddBlock("exit", 1)
+	g.MustAddEdge("entry", "a")
+	g.MustAddEdge("a", "a") // no Loop annotation
+	g.MustAddEdge("a", "exit")
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+	if _, err := g.WCET(); err == nil {
+		t.Fatal("unannotated cycle must be rejected")
+	}
+}
+
+func TestWCETEntryExitUnset(t *testing.T) {
+	g := NewCFG()
+	g.MustAddBlock("a", 1)
+	if _, err := g.WCET(); err == nil {
+		t.Fatal("missing entry/exit must be rejected")
+	}
+}
+
+func TestWCETUnreachableExit(t *testing.T) {
+	// Entry has no path to exit.
+	g := NewCFG()
+	g.MustAddBlock("entry", 1)
+	g.MustAddBlock("exit", 1)
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+	if _, err := g.WCET(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("unreachable exit must be rejected, got %v", err)
+	}
+}
+
+func TestCFGBuildErrors(t *testing.T) {
+	g := NewCFG()
+	if err := g.AddBlock("", 1); err == nil {
+		t.Error("empty id must error")
+	}
+	if err := g.AddBlock("a", -1); err == nil {
+		t.Error("negative cost must error")
+	}
+	must(g.AddBlock("a", 1))
+	if err := g.AddBlock("a", 2); err == nil {
+		t.Error("duplicate block must error")
+	}
+	if err := g.AddEdge("a", "nope"); err == nil {
+		t.Error("edge to unknown block must error")
+	}
+	if err := g.AddEdge("nope", "a"); err == nil {
+		t.Error("edge from unknown block must error")
+	}
+	if err := g.AddLoop(Loop{Header: "a", Blocks: []string{"a"}, Bound: -1}); err == nil {
+		t.Error("negative bound must error")
+	}
+	if err := g.AddLoop(Loop{Header: "x", Blocks: []string{"a"}, Bound: 1}); err == nil {
+		t.Error("header outside blocks must error")
+	}
+	if err := g.AddLoop(Loop{Header: "a", Blocks: []string{"a", "ghost"}, Bound: 1}); err == nil {
+		t.Error("loop over unknown block must error")
+	}
+	if err := g.SetEntry("ghost"); err == nil {
+		t.Error("unknown entry must error")
+	}
+	if err := g.SetExit("ghost"); err == nil {
+		t.Error("unknown exit must error")
+	}
+}
+
+func TestWCETOverlappingLoopsRejected(t *testing.T) {
+	g := NewCFG()
+	for _, id := range []string{"entry", "a", "b", "c", "exit"} {
+		g.MustAddBlock(id, 1)
+	}
+	g.MustAddEdge("entry", "a")
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "a")
+	g.MustAddEdge("b", "c")
+	g.MustAddEdge("c", "b")
+	g.MustAddEdge("c", "exit")
+	g.MustAddLoop(Loop{Header: "a", Blocks: []string{"a", "b"}, Bound: 3})
+	g.MustAddLoop(Loop{Header: "b", Blocks: []string{"b", "c"}, Bound: 3})
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+	if _, err := g.WCET(); err == nil {
+		t.Fatal("overlapping non-nesting loops must be rejected")
+	}
+}
+
+func TestWCETRepeatable(t *testing.T) {
+	g := straightLine(t)
+	a, err := g.WCET()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.WCET()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("WCET not repeatable: %g then %g", a, b)
+	}
+}
+
+func TestQSortWCETGrowsQuadratically(t *testing.T) {
+	c := vmcpu.DefaultCosts()
+	w10, err := QSortWCET(10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w100, err := QSortWCET(100, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10× the input must cost ≈100× the bound (quadratic scan dominates).
+	ratio := w100 / w10
+	if ratio < 50 || ratio > 150 {
+		t.Fatalf("WCET(100)/WCET(10) = %g, want roughly quadratic (~100)", ratio)
+	}
+	if _, err := QSortWCET(0, c); err == nil {
+		t.Error("k=0 must error")
+	}
+}
+
+func TestKernelBoundsExceedMeasurements(t *testing.T) {
+	// The static bound must dominate every measured execution — the
+	// defining property of a WCET analysis. This is the reproduction's
+	// safety check tying vmcpu and ipet together.
+	costs := vmcpu.DefaultCosts()
+	m := vmcpu.NewMachine(costs, vmcpu.DefaultCache())
+	progs := []vmcpu.Program{
+		vmcpu.QSort{K: 10},
+		vmcpu.QSort{K: 100},
+		vmcpu.Corner{},
+		vmcpu.Edge{},
+		vmcpu.Smooth{},
+		vmcpu.Epic{},
+	}
+	for _, p := range progs {
+		bound, err := KernelWCET(p, costs)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		r := rand.New(rand.NewSource(13))
+		xs := vmcpu.Collect(p, m, 100, r)
+		for _, x := range xs {
+			if x > bound {
+				t.Errorf("%s: measured %g exceeds static bound %g", p.Name(), x, bound)
+			}
+		}
+		// And the bound must be *pessimistic*: well above the mean.
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		if bound < 2*mean {
+			t.Errorf("%s: bound %g suspiciously close to mean %g", p.Name(), bound, mean)
+		}
+	}
+}
+
+func TestKernelWCETUnknownProgram(t *testing.T) {
+	if _, err := KernelWCET(fakeProgram{}, vmcpu.DefaultCosts()); err == nil {
+		t.Fatal("unknown program must error")
+	}
+}
+
+type fakeProgram struct{}
+
+func (fakeProgram) Name() string                           { return "fake" }
+func (fakeProgram) Run(*vmcpu.Machine, *rand.Rand) float64 { return 0 }
+
+func TestKernelModelValidation(t *testing.T) {
+	c := vmcpu.DefaultCosts()
+	if _, err := CornerWCET(2, 2, c); err == nil {
+		t.Error("corner w<3 must error")
+	}
+	if _, err := EdgeWCET(1, 10, c); err == nil {
+		t.Error("edge w<3 must error")
+	}
+	if _, err := SmoothWCET(0, 8, 8, c); err == nil {
+		t.Error("smooth w<1 must error")
+	}
+	if _, err := EpicWCET(1, 32, 4, c); err == nil {
+		t.Error("epic w<2 must error")
+	}
+	if _, err := EpicWCET(32, 32, 0, c); err == nil {
+		t.Error("epic levels<1 must error")
+	}
+}
+
+func TestACETWCETGapGrowsWithInputSize(t *testing.T) {
+	// Table I's central observation: WCET^pes/ACET grows with the qsort
+	// input size because the bound is quadratic and the mean is K log K.
+	costs := vmcpu.DefaultCosts()
+	m := vmcpu.NewMachine(costs, vmcpu.DefaultCache())
+	gap := func(k int) float64 {
+		bound, err := QSortWCET(k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(17))
+		xs := vmcpu.Collect(vmcpu.QSort{K: k}, m, 150, r)
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		return bound / mean
+	}
+	g10, g100 := gap(10), gap(100)
+	if g100 <= g10 {
+		t.Fatalf("gap(k=100)=%.1f not greater than gap(k=10)=%.1f", g100, g10)
+	}
+}

@@ -1,0 +1,132 @@
+package ipet
+
+import (
+	"fmt"
+
+	"chebymc/internal/vmcpu"
+)
+
+// WCET models for the extended kernel set (FFT, MatMul, CRC), mirroring
+// kernels2.go in internal/vmcpu with the usual conservative assumptions:
+// declared bounds always met, all accesses miss, all branches mispredict,
+// all data-dependent work executes.
+
+// FFTWCET returns the static WCET bound for the radix-2 FFT over n
+// points (n a power of two ≥ 2): the bit-reversal pass with every swap
+// taken, then log₂(n) stages of n/2 butterflies each.
+func FFTWCET(n int, c vmcpu.Costs) (float64, error) {
+	g, err := FFTCFG(n, c)
+	if err != nil {
+		return 0, err
+	}
+	return g.WCET()
+}
+
+// FFTCFG builds the loop-annotated CFG behind FFTWCET.
+func FFTCFG(n int, c vmcpu.Costs) (*CFG, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ipet: fft needs a power-of-two n ≥ 2, got %d", n)
+	}
+	stages := ceilLog2(n)
+
+	g := NewCFG()
+	g.MustAddBlock("entry", 0)
+	// Bit-reversal per element: bookkeeping, swap branch, full 8-access
+	// swap, and the inner bit loop charged at its log₂(n) bound.
+	rev := 2*c.WorstALU() + c.WorstBranch() + 8*c.WorstMem() +
+		float64(stages)*2*c.WorstALU() + c.WorstALU()
+	g.MustAddBlock("rev", rev)
+	// One butterfly: bookkeeping, twiddle arithmetic, 4 loads, complex
+	// multiply (4 muls + 2 adds), 4 adds, 4 stores.
+	fly := 2*c.WorstALU() + 4*c.WorstMem() + 4*c.WorstMul() + 2*c.WorstALU() +
+		4*c.WorstALU() + 4*c.WorstMem()
+	g.MustAddBlock("fly", fly)
+	g.MustAddBlock("exit", 0)
+
+	g.MustAddEdge("entry", "rev")
+	g.MustAddEdge("rev", "rev")
+	g.MustAddEdge("rev", "fly")
+	g.MustAddEdge("fly", "fly")
+	g.MustAddEdge("fly", "exit")
+	g.MustAddLoop(Loop{Header: "rev", Blocks: []string{"rev"}, Bound: n})
+	g.MustAddLoop(Loop{Header: "fly", Blocks: []string{"fly"}, Bound: stages * n / 2})
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+	return g, nil
+}
+
+// MatMulWCET returns the static WCET bound for the n×n multiply: the
+// sparse skip is conservatively never taken, so the full n³ inner-product
+// work is charged.
+func MatMulWCET(n int, c vmcpu.Costs) (float64, error) {
+	g, err := MatMulCFG(n, c)
+	if err != nil {
+		return 0, err
+	}
+	return g.WCET()
+}
+
+// MatMulCFG builds the loop-annotated CFG behind MatMulWCET.
+func MatMulCFG(n int, c vmcpu.Costs) (*CFG, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ipet: matmul needs n ≥ 1, got %d", n)
+	}
+	g := NewCFG()
+	g.MustAddBlock("entry", 0)
+	// Per (i, k): bookkeeping, A load, skip branch (never skipping).
+	g.MustAddBlock("outer", 2*c.WorstALU()+c.WorstMem()+c.WorstBranch())
+	// Per j: bookkeeping, B and C loads, MAC, C store.
+	g.MustAddBlock("inner", c.WorstALU()+2*c.WorstMem()+c.WorstMul()+c.WorstALU()+c.WorstMem())
+	g.MustAddBlock("exit", 0)
+
+	g.MustAddEdge("entry", "outer")
+	g.MustAddEdge("outer", "inner")
+	g.MustAddEdge("inner", "inner")
+	g.MustAddEdge("inner", "outer")
+	g.MustAddEdge("outer", "exit")
+	g.MustAddLoop(Loop{Header: "inner", Blocks: []string{"inner"}, Bound: n})
+	g.MustAddLoop(Loop{Header: "outer", Blocks: []string{"outer", "inner"}, Bound: n * n})
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+	return g, nil
+}
+
+// CRCWCET returns the static WCET bound for the table-driven CRC-32 with
+// messages of at most maxLen bytes. Message bytes are word-packed and
+// read sequentially, so the spatial-locality must-analysis applies to the
+// message stream; the 256-entry table fits in the cache after at most 256
+// cold misses, charged up front.
+func CRCWCET(maxLen int, c vmcpu.Costs) (float64, error) {
+	g, err := CRCCFG(maxLen, c)
+	if err != nil {
+		return 0, err
+	}
+	return g.WCET()
+}
+
+// CRCCFG builds the loop-annotated CFG behind CRCWCET.
+func CRCCFG(maxLen int, c vmcpu.Costs) (*CFG, error) {
+	if maxLen < 1 {
+		return nil, fmt.Errorf("ipet: crc needs maxLen ≥ 1, got %d", maxLen)
+	}
+	cache := vmcpu.DefaultCache()
+	// Four packed bytes share a word, and words share lines: per byte
+	// the message stream costs hit + miss/(4·wordsPerLine).
+	seqByte := c.MemHit + (c.MemMiss-c.MemHit)/float64(4*cache.WordsPerLine)
+
+	g := NewCFG()
+	// Table warm-up: 256 cold misses charged once.
+	g.MustAddBlock("entry", 256*(c.MemMiss-c.MemHit))
+	perByte := c.WorstALU() + seqByte + 2*c.WorstALU() +
+		c.MemHit + 2*c.WorstALU() + c.WorstBranch()
+	g.MustAddBlock("byte", perByte)
+	g.MustAddBlock("exit", 0)
+
+	g.MustAddEdge("entry", "byte")
+	g.MustAddEdge("byte", "byte")
+	g.MustAddEdge("byte", "exit")
+	g.MustAddLoop(Loop{Header: "byte", Blocks: []string{"byte"}, Bound: maxLen})
+	must(g.SetEntry("entry"))
+	must(g.SetExit("exit"))
+	return g, nil
+}

@@ -1,0 +1,98 @@
+package ipet
+
+import (
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/vmcpu"
+)
+
+func TestExtendedKernelBoundsExceedMeasurements(t *testing.T) {
+	costs := vmcpu.DefaultCosts()
+	m := vmcpu.NewMachine(costs, vmcpu.DefaultCache())
+	progs := []vmcpu.Program{
+		vmcpu.FFT{},
+		vmcpu.MatMul{},
+		vmcpu.CRC{},
+		vmcpu.FFT{N: 64},
+		vmcpu.MatMul{N: 12},
+		vmcpu.CRC{MaxLen: 256},
+	}
+	for _, p := range progs {
+		bound, err := KernelWCET(p, costs)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		r := rand.New(rand.NewSource(23))
+		for _, x := range vmcpu.Collect(p, m, 80, r) {
+			if x > bound {
+				t.Errorf("%s: measured %g exceeds bound %g", p.Name(), x, bound)
+			}
+		}
+	}
+}
+
+func TestExtendedModelValidation(t *testing.T) {
+	c := vmcpu.DefaultCosts()
+	if _, err := FFTWCET(3, c); err == nil {
+		t.Error("non-power-of-two fft must error")
+	}
+	if _, err := FFTWCET(0, c); err == nil {
+		t.Error("fft n=0 must error")
+	}
+	if _, err := MatMulWCET(0, c); err == nil {
+		t.Error("matmul n=0 must error")
+	}
+	if _, err := CRCWCET(0, c); err == nil {
+		t.Error("crc maxLen=0 must error")
+	}
+}
+
+func TestMatMulWCETGrowsCubically(t *testing.T) {
+	c := vmcpu.DefaultCosts()
+	w8, err := MatMulWCET(8, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w16, err := MatMulWCET(16, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := w16 / w8
+	if ratio < 6 || ratio > 10 {
+		t.Errorf("matmul bound ratio %g for 2× dimension, want ≈ 8", ratio)
+	}
+}
+
+func TestCRCWCETNearLinear(t *testing.T) {
+	c := vmcpu.DefaultCosts()
+	w1, err := CRCWCET(1000, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := CRCWCET(2000, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear in length plus the fixed table warm-up: strictly between
+	// constant (1) and perfectly linear (2).
+	if ratio := w2 / w1; ratio < 1.3 || ratio > 2.0 {
+		t.Errorf("crc bound ratio %g for 2× length, want in (1.3, 2)", ratio)
+	}
+}
+
+func TestFFTWCETNLogN(t *testing.T) {
+	c := vmcpu.DefaultCosts()
+	w256, err := FFTWCET(256, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1024, err := FFTWCET(1024, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n log n: 1024·10 / 256·8 = 5.
+	if ratio := w1024 / w256; ratio < 4 || ratio > 6.5 {
+		t.Errorf("fft bound ratio %g, want ≈ 5 (n log n)", ratio)
+	}
+}

@@ -1,0 +1,39 @@
+package mc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks that arbitrary bytes never panic the task-set
+// reader, and that everything it accepts is a valid set that survives a
+// round trip.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"tasks":[{"id":1,"crit":"HC","c_lo":1,"c_hi":2,"period":10}]}`)
+	f.Add(`{"tasks":[]}`)
+	f.Add(`{"tasks":[{"id":1,"crit":"XX","c_lo":1,"c_hi":2,"period":10}]}`)
+	f.Add(`{"tasks":[{"id":1,"crit":"LC","c_lo":5,"c_hi":2,"period":10}]}`)
+	f.Add(`{`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		ts, err := ReadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid set: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ts.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted set failed to write: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.Tasks) != len(ts.Tasks) {
+			t.Fatal("round trip changed the task count")
+		}
+	})
+}

@@ -1,0 +1,266 @@
+// Package mc defines the mixed-criticality task model of the paper
+// (Section III): dual-criticality periodic task sets with per-mode WCETs,
+// implicit deadlines and utilisation algebra, plus the execution-time
+// profiles (ACET, σ) the Chebyshev assignment consumes.
+//
+// Times are dimensionless; the experiments use milliseconds for periods
+// and the same unit for execution times.
+package mc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Crit is a criticality level. The paper restricts itself to
+// dual-criticality systems (ζ ∈ {LC, HC}); DO-178B levels A–E map onto
+// these two in the usual way (A/B → HC, C–E → LC).
+type Crit int
+
+const (
+	// LC marks a low-criticality task: dropped or degraded in HI mode.
+	LC Crit = iota
+	// HC marks a high-criticality task: guaranteed in both modes.
+	HC
+)
+
+// String implements fmt.Stringer.
+func (c Crit) String() string {
+	switch c {
+	case LC:
+		return "LC"
+	case HC:
+		return "HC"
+	}
+	return fmt.Sprintf("Crit(%d)", int(c))
+}
+
+// MarshalJSON encodes the level as its name.
+func (c Crit) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
+
+// UnmarshalJSON decodes "LC"/"HC".
+func (c *Crit) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "LC":
+		*c = LC
+	case "HC":
+		*c = HC
+	default:
+		return fmt.Errorf("mc: unknown criticality %q", s)
+	}
+	return nil
+}
+
+// Mode is a system operating mode.
+type Mode int
+
+const (
+	// LO is the low-criticality mode: every task runs, HC tasks budgeted
+	// at their optimistic WCET.
+	LO Mode = iota
+	// HI is the high-criticality mode: HC tasks budgeted at their
+	// pessimistic WCET; LC tasks dropped or degraded.
+	HI
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case LO:
+		return "LO"
+	case HI:
+		return "HI"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Profile is the measured execution-time profile of a task: the inputs to
+// Eq. 6. For HC tasks it comes from trace analysis (ACET and σ per Eqs. 3
+// and 4).
+type Profile struct {
+	// ACET is the mean execution time E[X] (Eq. 3).
+	ACET float64 `json:"acet"`
+	// Sigma is the population standard deviation σ (Eq. 4).
+	Sigma float64 `json:"sigma"`
+}
+
+// Task is one mixed-criticality periodic task
+// τ_i = (ζ_i, C^LO_i, C^HI_i, P_i, D_i) with D_i = P_i (implicit
+// deadlines, as in the paper).
+type Task struct {
+	// ID is a unique identifier within its TaskSet.
+	ID int `json:"id"`
+	// Name is an optional human-readable label.
+	Name string `json:"name,omitempty"`
+	// Crit is the criticality level ζ_i.
+	Crit Crit `json:"crit"`
+	// CLO is the LO-mode WCET budget C^LO_i (= WCET^opt for HC tasks).
+	CLO float64 `json:"c_lo"`
+	// CHI is the HI-mode WCET budget C^HI_i (= WCET^pes). For LC tasks
+	// CHI equals CLO by convention.
+	CHI float64 `json:"c_hi"`
+	// Period is P_i, the minimum inter-release separation.
+	Period float64 `json:"period"`
+	// Profile is the measured (ACET, σ) pair; meaningful for HC tasks.
+	Profile Profile `json:"profile"`
+}
+
+// Deadline returns D_i. Deadlines are implicit: D_i = P_i.
+func (t Task) Deadline() float64 { return t.Period }
+
+// ULO returns the task's LO-mode utilisation u^LO_i = C^LO_i / P_i.
+func (t Task) ULO() float64 { return t.CLO / t.Period }
+
+// UHI returns the task's HI-mode utilisation u^HI_i = C^HI_i / P_i.
+func (t Task) UHI() float64 { return t.CHI / t.Period }
+
+// Validate checks the structural invariants of a single task.
+func (t Task) Validate() error {
+	switch {
+	case t.Period <= 0:
+		return fmt.Errorf("mc: task %d: period %g must be positive", t.ID, t.Period)
+	case t.CLO <= 0:
+		return fmt.Errorf("mc: task %d: C^LO %g must be positive", t.ID, t.CLO)
+	case t.CHI < t.CLO:
+		return fmt.Errorf("mc: task %d: C^HI %g < C^LO %g", t.ID, t.CHI, t.CLO)
+	case t.CLO > t.Period:
+		return fmt.Errorf("mc: task %d: C^LO %g exceeds period %g", t.ID, t.CLO, t.Period)
+	case t.CHI > t.Period:
+		return fmt.Errorf("mc: task %d: C^HI %g exceeds period %g", t.ID, t.CHI, t.Period)
+	case t.Crit != LC && t.Crit != HC:
+		return fmt.Errorf("mc: task %d: invalid criticality %d", t.ID, int(t.Crit))
+	case t.Profile.ACET < 0 || t.Profile.Sigma < 0:
+		return fmt.Errorf("mc: task %d: negative profile (%g, %g)", t.ID, t.Profile.ACET, t.Profile.Sigma)
+	}
+	return nil
+}
+
+// TaskSet is an ordered collection of tasks sharing a uniprocessor.
+type TaskSet struct {
+	Tasks []Task `json:"tasks"`
+}
+
+// NewTaskSet copies tasks into a validated TaskSet. IDs must be unique.
+func NewTaskSet(tasks []Task) (*TaskSet, error) {
+	ts := &TaskSet{Tasks: append([]Task(nil), tasks...)}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// Validate checks every task and the uniqueness of IDs.
+func (ts *TaskSet) Validate() error {
+	if len(ts.Tasks) == 0 {
+		return errors.New("mc: empty task set")
+	}
+	seen := make(map[int]bool, len(ts.Tasks))
+	for _, t := range ts.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("mc: duplicate task id %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// ByCrit returns the tasks with criticality c, in order.
+func (ts *TaskSet) ByCrit(c Crit) []Task {
+	var out []Task
+	for _, t := range ts.Tasks {
+		if t.Crit == c {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// NumHC reports the number of HC tasks.
+func (ts *TaskSet) NumHC() int { return len(ts.ByCrit(HC)) }
+
+// NumLC reports the number of LC tasks.
+func (ts *TaskSet) NumLC() int { return len(ts.ByCrit(LC)) }
+
+// Util returns U^mode_crit: the total utilisation of tasks at criticality
+// c, with execution budgets of mode m (Eq. 7 uses Util(HC, LO) and
+// Util(HC, HI)).
+func (ts *TaskSet) Util(c Crit, m Mode) float64 {
+	u := 0.0
+	for _, t := range ts.Tasks {
+		if t.Crit != c {
+			continue
+		}
+		if m == LO {
+			u += t.ULO()
+		} else {
+			u += t.UHI()
+		}
+	}
+	return u
+}
+
+// UHCLO is shorthand for Util(HC, LO): U^LO_HC in Eq. 7.
+func (ts *TaskSet) UHCLO() float64 { return ts.Util(HC, LO) }
+
+// UHCHI is shorthand for Util(HC, HI): U^HI_HC in Eq. 7.
+func (ts *TaskSet) UHCHI() float64 { return ts.Util(HC, HI) }
+
+// ULCLO is shorthand for Util(LC, LO): U^LO_LC.
+func (ts *TaskSet) ULCLO() float64 { return ts.Util(LC, LO) }
+
+// Clone deep-copies the task set.
+func (ts *TaskSet) Clone() *TaskSet {
+	return &TaskSet{Tasks: append([]Task(nil), ts.Tasks...)}
+}
+
+// WithCLO returns a copy of the task set in which the HC tasks' C^LO
+// budgets are replaced by clo, matched by position over the HC tasks in
+// order. It returns an error when len(clo) differs from the number of HC
+// tasks or a budget violates the task invariants.
+func (ts *TaskSet) WithCLO(clo []float64) (*TaskSet, error) {
+	hcCount := ts.NumHC()
+	if len(clo) != hcCount {
+		return nil, fmt.Errorf("mc: got %d budgets for %d HC tasks", len(clo), hcCount)
+	}
+	out := ts.Clone()
+	i := 0
+	for k := range out.Tasks {
+		if out.Tasks[k].Crit != HC {
+			continue
+		}
+		out.Tasks[k].CLO = clo[i]
+		i++
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteJSON encodes the task set as indented JSON.
+func (ts *TaskSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ts)
+}
+
+// ReadJSON decodes and validates a task set from JSON.
+func ReadJSON(r io.Reader) (*TaskSet, error) {
+	var ts TaskSet
+	if err := json.NewDecoder(r).Decode(&ts); err != nil {
+		return nil, fmt.Errorf("mc: decoding task set: %w", err)
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	return &ts, nil
+}

@@ -1,0 +1,259 @@
+package mc
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validHC() Task {
+	return Task{ID: 1, Name: "hc", Crit: HC, CLO: 10, CHI: 40, Period: 100,
+		Profile: Profile{ACET: 8, Sigma: 1}}
+}
+
+func validLC() Task {
+	return Task{ID: 2, Name: "lc", Crit: LC, CLO: 5, CHI: 5, Period: 50}
+}
+
+func TestCritString(t *testing.T) {
+	if LC.String() != "LC" || HC.String() != "HC" {
+		t.Error("Crit.String() wrong")
+	}
+	if got := Crit(7).String(); !strings.Contains(got, "7") {
+		t.Errorf("unknown crit string = %q", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if LO.String() != "LO" || HI.String() != "HI" {
+		t.Error("Mode.String() wrong")
+	}
+	if got := Mode(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown mode string = %q", got)
+	}
+}
+
+func TestCritJSONRoundTrip(t *testing.T) {
+	for _, c := range []Crit{LC, HC} {
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Crit
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != c {
+			t.Errorf("round trip %v → %v", c, back)
+		}
+	}
+	var c Crit
+	if err := json.Unmarshal([]byte(`"XX"`), &c); err == nil {
+		t.Error("unknown criticality must fail to unmarshal")
+	}
+	if err := json.Unmarshal([]byte(`5`), &c); err == nil {
+		t.Error("non-string criticality must fail to unmarshal")
+	}
+}
+
+func TestTaskUtilisation(t *testing.T) {
+	task := validHC()
+	if got := task.ULO(); got != 0.1 {
+		t.Errorf("ULO = %g, want 0.1", got)
+	}
+	if got := task.UHI(); got != 0.4 {
+		t.Errorf("UHI = %g, want 0.4", got)
+	}
+	if task.Deadline() != task.Period {
+		t.Error("implicit deadline must equal period")
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Task)
+	}{
+		{"zero period", func(x *Task) { x.Period = 0 }},
+		{"negative period", func(x *Task) { x.Period = -1 }},
+		{"zero CLO", func(x *Task) { x.CLO = 0 }},
+		{"CHI below CLO", func(x *Task) { x.CHI = x.CLO - 1 }},
+		{"CLO above period", func(x *Task) { x.CLO = x.Period + 1; x.CHI = x.Period + 2 }},
+		{"CHI above period", func(x *Task) { x.CHI = x.Period * 2 }},
+		{"bad criticality", func(x *Task) { x.Crit = Crit(9) }},
+		{"negative ACET", func(x *Task) { x.Profile.ACET = -1 }},
+		{"negative sigma", func(x *Task) { x.Profile.Sigma = -1 }},
+	}
+	for _, tc := range tests {
+		task := validHC()
+		tc.mutate(&task)
+		if err := task.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted invalid task", tc.name)
+		}
+	}
+	if err := validHC().Validate(); err != nil {
+		t.Errorf("valid task rejected: %v", err)
+	}
+}
+
+func TestNewTaskSet(t *testing.T) {
+	ts, err := NewTaskSet([]Task{validHC(), validLC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Tasks) != 2 {
+		t.Fatal("task set size wrong")
+	}
+	if _, err := NewTaskSet(nil); err == nil {
+		t.Error("empty task set must error")
+	}
+	dup := validLC()
+	dup.ID = 1
+	if _, err := NewTaskSet([]Task{validHC(), dup}); err == nil {
+		t.Error("duplicate IDs must error")
+	}
+	bad := validHC()
+	bad.Period = -1
+	if _, err := NewTaskSet([]Task{bad}); err == nil {
+		t.Error("invalid member must error")
+	}
+}
+
+func TestNewTaskSetCopies(t *testing.T) {
+	src := []Task{validHC()}
+	ts, err := NewTaskSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0].Period = 12345
+	if ts.Tasks[0].Period == 12345 {
+		t.Error("NewTaskSet must copy its input")
+	}
+}
+
+func TestUtilAggregates(t *testing.T) {
+	hc1 := Task{ID: 1, Crit: HC, CLO: 10, CHI: 20, Period: 100}
+	hc2 := Task{ID: 2, Crit: HC, CLO: 30, CHI: 60, Period: 300}
+	lc := Task{ID: 3, Crit: LC, CLO: 25, CHI: 25, Period: 100}
+	ts, err := NewTaskSet([]Task{hc1, hc2, lc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ts.UHCLO(), 0.1+0.1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("UHCLO = %g, want %g", got, want)
+	}
+	if got, want := ts.UHCHI(), 0.2+0.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("UHCHI = %g, want %g", got, want)
+	}
+	if got, want := ts.ULCLO(), 0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ULCLO = %g, want %g", got, want)
+	}
+	if ts.NumHC() != 2 || ts.NumLC() != 1 {
+		t.Errorf("NumHC/NumLC = %d/%d, want 2/1", ts.NumHC(), ts.NumLC())
+	}
+	if got := len(ts.ByCrit(HC)); got != 2 {
+		t.Errorf("ByCrit(HC) len = %d, want 2", got)
+	}
+}
+
+func TestWithCLO(t *testing.T) {
+	ts, err := NewTaskSet([]Task{validHC(), validLC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ts.WithCLO([]float64{25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tasks[0].CLO != 25 {
+		t.Errorf("CLO = %g, want 25", out.Tasks[0].CLO)
+	}
+	if ts.Tasks[0].CLO != 10 {
+		t.Error("WithCLO must not mutate the receiver")
+	}
+	// LC task untouched.
+	if out.Tasks[1].CLO != 5 {
+		t.Error("WithCLO must not touch LC tasks")
+	}
+	if _, err := ts.WithCLO([]float64{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	// Budget above CHI violates C^HI ≥ C^LO.
+	if _, err := ts.WithCLO([]float64{41}); err == nil {
+		t.Error("C^LO above C^HI must error")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ts, err := NewTaskSet([]Task{validHC(), validLC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tasks) != 2 || back.Tasks[0] != ts.Tasks[0] || back.Tasks[1] != ts.Tasks[1] {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", back.Tasks, ts.Tasks)
+	}
+}
+
+func TestReadJSONInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("malformed JSON must error")
+	}
+	// Structurally valid JSON, semantically invalid task set.
+	bad := `{"tasks":[{"id":1,"crit":"HC","c_lo":5,"c_hi":2,"period":10}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("invalid task set must error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ts, _ := NewTaskSet([]Task{validHC()})
+	c := ts.Clone()
+	c.Tasks[0].CLO = 33
+	if ts.Tasks[0].CLO == 33 {
+		t.Error("Clone must deep-copy tasks")
+	}
+}
+
+// Property: utilisation aggregates are consistent — Util(HC,LO) +
+// Util(LC,LO) equals the sum over all tasks' LO utilisations.
+func TestUtilPartitionProperty(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		tasks := make([]Task, 0, len(seeds))
+		for i, s := range seeds {
+			crit := LC
+			if s%2 == 0 {
+				crit = HC
+			}
+			clo := 1 + float64(s%10)
+			chi := clo + float64(s%20)
+			period := chi + 10 + float64(s)
+			tasks = append(tasks, Task{ID: i, Crit: crit, CLO: clo, CHI: chi, Period: period})
+		}
+		ts, err := NewTaskSet(tasks)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, task := range ts.Tasks {
+			total += task.ULO()
+		}
+		return math.Abs(ts.UHCLO()+ts.ULCLO()-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

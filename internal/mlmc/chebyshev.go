@@ -1,0 +1,221 @@
+package mlmc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chebymc/internal/ga"
+	"chebymc/internal/stats"
+)
+
+// This file applies the paper's scheme per mode: for a task of
+// criticality ζ the budgets below the top level are C[m] = ACET + n[m]·σ
+// with n non-decreasing, and C[ζ] stays the pessimistic WCET. Theorem 1
+// bounds each job's probability of exceeding C[m] by 1/(1 + n[m]²), so
+// the per-transition escalation probability follows Eq. 10 over the
+// surviving tasks.
+
+// Assignment is the result of applying an n-matrix to a system.
+type Assignment struct {
+	// System is the rewritten system.
+	System *System
+	// NS[i] holds task i's n-vector (length ζ_i; empty for level-0
+	// tasks, whose only budget is their WCET^pes).
+	NS [][]float64
+	// PEscalate[m] bounds the probability that a given job round
+	// escalates m → m+1 (length Levels−1).
+	PEscalate []float64
+	// MaxLevel0 is the admissible level-0 utilisation under the ladder
+	// test.
+	MaxLevel0 float64
+	// Objective generalises Eq. 13: the probability of remaining in
+	// mode 0 times the admissible level-0 utilisation.
+	Objective float64
+}
+
+// Apply rewrites the sub-pessimistic budgets of every task from ns:
+// ns[i][m] is the Chebyshev parameter for task i (system order) at mode
+// m < ζ_i. It returns an error when the matrix shape is wrong, an entry
+// is negative or decreasing, or a budget would exceed the task's
+// pessimistic WCET (the Eq. 9 analogue).
+func Apply(s *System, ns [][]float64) (Assignment, error) {
+	if len(ns) != len(s.Tasks) {
+		return Assignment{}, fmt.Errorf("mlmc: %d n-vectors for %d tasks", len(ns), len(s.Tasks))
+	}
+	out := s.Clone()
+	for i := range out.Tasks {
+		t := &out.Tasks[i]
+		nv := ns[i]
+		if len(nv) != t.Crit {
+			return Assignment{}, fmt.Errorf("mlmc: task %d: %d parameters for criticality %d", t.ID, len(nv), t.Crit)
+		}
+		pes := t.C[t.Crit]
+		prev := -math.MaxFloat64
+		for m, n := range nv {
+			if n < 0 {
+				return Assignment{}, fmt.Errorf("mlmc: task %d: negative n[%d]", t.ID, m)
+			}
+			if n < prev {
+				return Assignment{}, fmt.Errorf("mlmc: task %d: n must be non-decreasing at mode %d", t.ID, m)
+			}
+			prev = n
+			c := t.Profile.ACET + n*t.Profile.Sigma
+			if c > pes {
+				if c <= pes*(1+1e-12) {
+					c = pes
+				} else {
+					return Assignment{}, fmt.Errorf("mlmc: task %d: budget %g exceeds WCET^pes %g at mode %d", t.ID, c, pes, m)
+				}
+			}
+			if c <= 0 {
+				return Assignment{}, fmt.Errorf("mlmc: task %d: non-positive budget at mode %d", t.ID, m)
+			}
+			t.C[m] = c
+		}
+	}
+	if err := revalidate(out); err != nil {
+		return Assignment{}, err
+	}
+
+	a := Assignment{System: out, NS: cloneMatrix(ns)}
+	for m := 0; m < s.Levels-1; m++ {
+		stay := 1.0
+		for i, t := range out.Tasks {
+			if t.Crit <= m {
+				continue // dropped at or before this mode, or no budget below pes
+			}
+			stay *= 1 - stats.CantelliBound(ns[i][m])
+		}
+		a.PEscalate = append(a.PEscalate, 1-stay)
+	}
+	a.MaxLevel0 = MaxLevel0Util(out)
+	a.Objective = (1 - a.PEscalate[0]) * a.MaxLevel0
+	return a, nil
+}
+
+func revalidate(s *System) error {
+	for _, t := range s.Tasks {
+		if err := t.Validate(s.Levels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cloneMatrix(ns [][]float64) [][]float64 {
+	out := make([][]float64, len(ns))
+	for i, v := range ns {
+		out[i] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// NMax returns the largest admissible n for task t (any mode): the Eq. 9
+// analogue (ACET + n·σ ≤ WCET^pes). It returns +Inf for σ = 0 profiles
+// that fit, and a negative value for inconsistent profiles.
+func NMax(t Task) float64 {
+	pes := t.C[t.Crit]
+	if t.Profile.Sigma == 0 {
+		if t.Profile.ACET <= pes {
+			return math.Inf(1)
+		}
+		return -1
+	}
+	return (pes - t.Profile.ACET) / t.Profile.Sigma
+}
+
+// Uniform builds the n-matrix that uses base + m·step at mode m for every
+// task, clamped per task to NMax — the multi-level analogue of the
+// uniform-n sweeps.
+func Uniform(s *System, base, step float64) [][]float64 {
+	ns := make([][]float64, len(s.Tasks))
+	for i, t := range s.Tasks {
+		hi := NMax(t)
+		v := make([]float64, t.Crit)
+		for m := range v {
+			n := base + float64(m)*step
+			if n < 0 {
+				n = 0
+			}
+			if n > hi {
+				n = hi
+			}
+			v[m] = n
+		}
+		ns[i] = v
+	}
+	return ns
+}
+
+// OptimizeGA searches per-task, per-mode parameters with the paper's GA.
+// The genome encodes, for each task, the mode-0 parameter plus
+// non-negative increments per higher mode, which enforces monotonicity by
+// construction. Fitness is the generalised objective; assignments whose
+// ladder test fails score −Inf when requireSched is true.
+func OptimizeGA(s *System, cfg ga.Config, requireSched bool, r *rand.Rand) (Assignment, error) {
+	// Genome layout: for each task i with ζ_i > 0: ζ_i genes
+	// (base, δ_1, ..., δ_{ζ_i−1}).
+	var bounds []ga.Bound
+	const nCap = 50.0
+	for _, t := range s.Tasks {
+		if t.Crit == 0 {
+			continue
+		}
+		hi := NMax(t)
+		if hi < 0 {
+			return Assignment{}, fmt.Errorf("mlmc: task %d: ACET exceeds WCET^pes", t.ID)
+		}
+		hi = math.Min(hi, nCap)
+		for m := 0; m < t.Crit; m++ {
+			bounds = append(bounds, ga.Bound{Lo: 0, Hi: hi})
+		}
+	}
+	if len(bounds) == 0 {
+		ns := make([][]float64, len(s.Tasks))
+		for i := range ns {
+			ns[i] = nil
+		}
+		return Apply(s, ns)
+	}
+
+	decode := func(g []float64) [][]float64 {
+		ns := make([][]float64, len(s.Tasks))
+		k := 0
+		for i, t := range s.Tasks {
+			v := make([]float64, t.Crit)
+			acc := 0.0
+			for m := 0; m < t.Crit; m++ {
+				acc += g[k]
+				k++
+				n := acc
+				if hi := NMax(t); n > hi {
+					n = hi
+				}
+				v[m] = n
+			}
+			ns[i] = v
+		}
+		return ns
+	}
+
+	fitness := func(g []float64) float64 {
+		a, err := Apply(s, decode(g))
+		if err != nil {
+			return math.Inf(-1)
+		}
+		if requireSched && !Schedulable(a.System).Schedulable {
+			return math.Inf(-1)
+		}
+		return a.Objective
+	}
+	cfg.Seed = r.Int63()
+	res, err := ga.Run(ga.Problem{Bounds: bounds, Fitness: fitness}, cfg)
+	if err != nil {
+		return Assignment{}, err
+	}
+	if math.IsInf(res.BestFitness, -1) {
+		return Assignment{}, fmt.Errorf("mlmc: no feasible assignment found")
+	}
+	return Apply(s, decode(res.Best))
+}

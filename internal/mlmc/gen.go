@@ -1,0 +1,131 @@
+package mlmc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chebymc/internal/mc"
+)
+
+// GenConfig tunes random multi-level system generation, mirroring the
+// dual-criticality protocol of internal/taskgen (periods in [100, 900],
+// benchmark-like ACET/WCET^pes gaps).
+type GenConfig struct {
+	// Levels is the number of criticality levels. Default 3.
+	Levels int
+	// PeriodLo, PeriodHi bound the period draw. Defaults 100, 900.
+	PeriodLo, PeriodHi float64
+	// UtilLo, UtilHi bound each task's top-mode utilisation. Defaults
+	// 0.02, 0.15.
+	UtilLo, UtilHi float64
+	// GapLo, GapHi bound WCET^pes/ACET. Defaults 8, 64.
+	GapLo, GapHi float64
+	// SigmaFracLo, SigmaFracHi bound σ/ACET. Defaults 0.05, 0.30.
+	SigmaFracLo, SigmaFracHi float64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Levels == 0 {
+		c.Levels = 3
+	}
+	if c.PeriodLo == 0 {
+		c.PeriodLo = 100
+	}
+	if c.PeriodHi == 0 {
+		c.PeriodHi = 900
+	}
+	if c.UtilLo == 0 {
+		c.UtilLo = 0.02
+	}
+	if c.UtilHi == 0 {
+		c.UtilHi = 0.15
+	}
+	if c.GapLo == 0 {
+		c.GapLo = 8
+	}
+	if c.GapHi == 0 {
+		c.GapHi = 64
+	}
+	if c.SigmaFracLo == 0 {
+		c.SigmaFracLo = 0.05
+	}
+	if c.SigmaFracHi == 0 {
+		c.SigmaFracHi = 0.30
+	}
+	return c
+}
+
+func (c GenConfig) validate() error {
+	switch {
+	case c.Levels < 2:
+		return fmt.Errorf("mlmc: need ≥ 2 levels, got %d", c.Levels)
+	case !(0 < c.PeriodLo && c.PeriodLo <= c.PeriodHi):
+		return fmt.Errorf("mlmc: period range [%g, %g] invalid", c.PeriodLo, c.PeriodHi)
+	case !(0 < c.UtilLo && c.UtilLo <= c.UtilHi && c.UtilHi <= 1):
+		return fmt.Errorf("mlmc: util range [%g, %g] invalid", c.UtilLo, c.UtilHi)
+	case !(1 <= c.GapLo && c.GapLo <= c.GapHi):
+		return fmt.Errorf("mlmc: gap range [%g, %g] invalid", c.GapLo, c.GapHi)
+	case !(0 < c.SigmaFracLo && c.SigmaFracLo <= c.SigmaFracHi):
+		return fmt.Errorf("mlmc: sigma range [%g, %g] invalid", c.SigmaFracLo, c.SigmaFracHi)
+	}
+	return nil
+}
+
+// Generate builds a random multi-level system whose top-mode utilisation
+// (every task charged its pessimistic budget) reaches uBound. Criticality
+// levels are drawn uniformly; provisional sub-pessimistic budgets equal
+// the pessimistic one (assignments rewrite them).
+func Generate(r *rand.Rand, cfg GenConfig, uBound float64) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if uBound <= 0 {
+		return nil, fmt.Errorf("mlmc: target utilisation %g must be positive", uBound)
+	}
+	var tasks []Task
+	remaining := uBound
+	id := 1
+	for remaining > 1e-9 {
+		u := cfg.UtilLo + r.Float64()*(cfg.UtilHi-cfg.UtilLo)
+		if u > remaining {
+			u = remaining
+		}
+		period := cfg.PeriodLo + r.Float64()*(cfg.PeriodHi-cfg.PeriodLo)
+		pes := u * period
+		crit := r.Intn(cfg.Levels)
+		budgets := make([]float64, crit+1)
+		for m := range budgets {
+			budgets[m] = pes
+		}
+		t := Task{
+			ID:     id,
+			Name:   fmt.Sprintf("t%d", id),
+			Crit:   crit,
+			C:      budgets,
+			Period: period,
+		}
+		if crit > 0 {
+			gap := cfg.GapLo + r.Float64()*(cfg.GapHi-cfg.GapLo)
+			acet := pes / gap
+			t.Profile = mc.Profile{
+				ACET:  acet,
+				Sigma: acet * (cfg.SigmaFracLo + r.Float64()*(cfg.SigmaFracHi-cfg.SigmaFracLo)),
+			}
+		}
+		tasks = append(tasks, t)
+		remaining -= u
+		id++
+	}
+	return NewSystem(cfg.Levels, tasks)
+}
+
+// TopUtil reports the generation target: total utilisation with every
+// task at its pessimistic budget.
+func TopUtil(s *System) float64 {
+	u := 0.0
+	for _, t := range s.Tasks {
+		u += t.C[t.Crit] / t.Period
+	}
+	return u
+}

@@ -1,0 +1,100 @@
+package mlmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateHitsTarget(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, target := range []float64{0.4, 0.8, 1.2} {
+		s, err := Generate(r, GenConfig{}, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := TopUtil(s); math.Abs(got-target) > 1e-6 {
+			t.Errorf("TopUtil = %g, want %g", got, target)
+		}
+		if s.Levels != 3 {
+			t.Errorf("levels = %d, want default 3", s.Levels)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	if _, err := Generate(r, GenConfig{}, 0); err == nil {
+		t.Error("target 0 must error")
+	}
+	if _, err := Generate(r, GenConfig{Levels: 1}, 0.5); err == nil {
+		t.Error("levels < 2 must error")
+	}
+	if _, err := Generate(r, GenConfig{PeriodLo: 10, PeriodHi: 5}, 0.5); err == nil {
+		t.Error("bad period range must error")
+	}
+	if _, err := Generate(r, GenConfig{UtilLo: 0.5, UtilHi: 0.1}, 0.5); err == nil {
+		t.Error("bad util range must error")
+	}
+	if _, err := Generate(r, GenConfig{GapLo: 0.5, GapHi: 0.1}, 0.5); err == nil {
+		t.Error("bad gap range must error")
+	}
+	if _, err := Generate(r, GenConfig{SigmaFracLo: 0.5, SigmaFracHi: 0.1}, 0.5); err == nil {
+		t.Error("bad sigma range must error")
+	}
+}
+
+// Property: generated systems validate, tasks above level 0 carry
+// positive profiles, and provisional budgets equal the pessimistic one.
+func TestGenerateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, err := Generate(r, GenConfig{Levels: 4}, 0.9)
+		if err != nil {
+			return false
+		}
+		for _, task := range s.Tasks {
+			if task.Validate(s.Levels) != nil {
+				return false
+			}
+			for _, c := range task.C {
+				if c != task.C[task.Crit] {
+					return false
+				}
+			}
+			if task.Crit > 0 && (task.Profile.ACET <= 0 || task.Profile.Sigma <= 0) {
+				return false
+			}
+			if task.Crit > 0 {
+				gap := task.C[task.Crit] / task.Profile.ACET
+				if gap < 8-1e-9 || gap > 64+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateUsesAllLevels(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	seen := map[int]bool{}
+	for i := 0; i < 30; i++ {
+		s, err := Generate(r, GenConfig{Levels: 3}, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range s.Tasks {
+			seen[task.Crit] = true
+		}
+	}
+	for l := 0; l < 3; l++ {
+		if !seen[l] {
+			t.Errorf("level %d never generated", l)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package mlmc extends the paper's scheme to systems with more than two
+// criticality levels — the extension its Conclusion names as future work
+// ("we would extend our scheme for systems with more than two criticality
+// levels").
+//
+// Model (Vestal-style, generalising Section III):
+//
+//   - The system has L ≥ 2 criticality levels 0..L−1 (e.g. DO-178B E..A
+//     collapse onto these) and operates in a mode ladder m = 0..L−1.
+//   - A task τ_i of criticality ζ_i carries budgets C_i[0..ζ_i], with
+//     C_i[m] non-decreasing in m and C_i[ζ_i] = WCET^pes.
+//   - In mode m, tasks with ζ_i < m are dropped; a live task executes
+//     against budget C_i[min(m, ζ_i)].
+//   - The system escalates m → m+1 when a live task with ζ_i > m exceeds
+//     C_i[m]; it returns to mode 0 when no ready job remains.
+//
+// The Chebyshev scheme applies per level: C_i[m] = ACET_i + n_i[m]·σ_i
+// with n_i non-decreasing, so the probability that a job drives the
+// escalation m → m+1 is bounded by 1/(1 + n_i[m]²) (Theorem 1), and the
+// per-transition system escalation probability follows Eq. 10.
+package mlmc
+
+import (
+	"errors"
+	"fmt"
+
+	"chebymc/internal/mc"
+)
+
+// Task is a multi-level mixed-criticality periodic task.
+type Task struct {
+	// ID is unique within its System.
+	ID int
+	// Name is an optional label.
+	Name string
+	// Crit is the criticality level ζ ∈ [0, L).
+	Crit int
+	// C holds the per-mode budgets C[0..Crit]; C[m] ≤ C[m+1] and
+	// C[Crit] is the pessimistic WCET.
+	C []float64
+	// Period is the minimum inter-release separation; deadlines are
+	// implicit.
+	Period float64
+	// Profile is the measured (ACET, σ) pair used by the Chebyshev
+	// assignment.
+	Profile mc.Profile
+}
+
+// Budget returns the execution budget of the task in mode m: C[min(m,
+// ζ)]. It panics for a negative mode.
+func (t Task) Budget(m int) float64 {
+	if m < 0 {
+		panic("mlmc: negative mode")
+	}
+	if m > t.Crit {
+		m = t.Crit
+	}
+	return t.C[m]
+}
+
+// Util returns the task's utilisation in mode m.
+func (t Task) Util(m int) float64 { return t.Budget(m) / t.Period }
+
+// Validate checks the structural invariants of one task against the
+// system's level count.
+func (t Task) Validate(levels int) error {
+	switch {
+	case t.Crit < 0 || t.Crit >= levels:
+		return fmt.Errorf("mlmc: task %d: criticality %d out of [0, %d)", t.ID, t.Crit, levels)
+	case len(t.C) != t.Crit+1:
+		return fmt.Errorf("mlmc: task %d: %d budgets for criticality %d", t.ID, len(t.C), t.Crit)
+	case t.Period <= 0:
+		return fmt.Errorf("mlmc: task %d: period %g must be positive", t.ID, t.Period)
+	case t.Profile.ACET < 0 || t.Profile.Sigma < 0:
+		return fmt.Errorf("mlmc: task %d: negative profile", t.ID)
+	}
+	prev := 0.0
+	for m, c := range t.C {
+		if c <= 0 {
+			return fmt.Errorf("mlmc: task %d: budget C[%d]=%g must be positive", t.ID, m, c)
+		}
+		if c < prev {
+			return fmt.Errorf("mlmc: task %d: budgets must be non-decreasing, C[%d]=%g < C[%d]=%g",
+				t.ID, m, c, m-1, prev)
+		}
+		if c > t.Period {
+			return fmt.Errorf("mlmc: task %d: budget C[%d]=%g exceeds period %g", t.ID, m, c, t.Period)
+		}
+		prev = c
+	}
+	return nil
+}
+
+// System is a multi-level mixed-criticality task system on one processor.
+type System struct {
+	// Levels is the number of criticality levels L ≥ 2.
+	Levels int
+	// Tasks are the member tasks.
+	Tasks []Task
+}
+
+// NewSystem validates and returns a System (tasks are copied).
+func NewSystem(levels int, tasks []Task) (*System, error) {
+	if levels < 2 {
+		return nil, fmt.Errorf("mlmc: need ≥ 2 levels, got %d", levels)
+	}
+	if len(tasks) == 0 {
+		return nil, errors.New("mlmc: empty system")
+	}
+	s := &System{Levels: levels, Tasks: append([]Task(nil), tasks...)}
+	seen := make(map[int]bool, len(tasks))
+	for _, t := range s.Tasks {
+		if err := t.Validate(levels); err != nil {
+			return nil, err
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("mlmc: duplicate task id %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return s, nil
+}
+
+// ByCrit returns the tasks at exactly criticality c.
+func (s *System) ByCrit(c int) []Task {
+	var out []Task
+	for _, t := range s.Tasks {
+		if t.Crit == c {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AboveCrit returns the tasks with criticality strictly above c.
+func (s *System) AboveCrit(c int) []Task {
+	var out []Task
+	for _, t := range s.Tasks {
+		if t.Crit > c {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// UtilAt returns the total utilisation, in mode m, of the tasks selected
+// by keep. Dropped tasks (ζ < m) contribute nothing regardless of keep.
+func (s *System) UtilAt(m int, keep func(Task) bool) float64 {
+	u := 0.0
+	for _, t := range s.Tasks {
+		if t.Crit < m {
+			continue
+		}
+		if keep != nil && !keep(t) {
+			continue
+		}
+		u += t.Util(m)
+	}
+	return u
+}
+
+// ModeUtil returns the total utilisation of all live tasks in mode m.
+func (s *System) ModeUtil(m int) float64 { return s.UtilAt(m, nil) }
+
+// Clone deep-copies the system, including budget slices.
+func (s *System) Clone() *System {
+	out := &System{Levels: s.Levels, Tasks: make([]Task, len(s.Tasks))}
+	for i, t := range s.Tasks {
+		t.C = append([]float64(nil), t.C...)
+		out.Tasks[i] = t
+	}
+	return out
+}

@@ -1,0 +1,419 @@
+package mlmc
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/dist"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/ga"
+	"chebymc/internal/mc"
+	"chebymc/internal/stats"
+)
+
+// triSystem builds a schedulable three-level system: one task per level.
+func triSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(3, []Task{
+		{ID: 1, Name: "lo", Crit: 0, C: []float64{10}, Period: 100},
+		{ID: 2, Name: "mid", Crit: 1, C: []float64{12, 30}, Period: 100,
+			Profile: mc.Profile{ACET: 10, Sigma: 1}},
+		{ID: 3, Name: "hi", Crit: 2, C: []float64{15, 25, 60}, Period: 200,
+			Profile: mc.Profile{ACET: 12, Sigma: 1.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	ok := Task{ID: 1, Crit: 0, C: []float64{10}, Period: 100}
+	if _, err := NewSystem(1, []Task{ok}); err == nil {
+		t.Error("levels < 2 must error")
+	}
+	if _, err := NewSystem(2, nil); err == nil {
+		t.Error("empty system must error")
+	}
+	dup := ok
+	if _, err := NewSystem(2, []Task{ok, dup}); err == nil {
+		t.Error("duplicate ids must error")
+	}
+	cases := []Task{
+		{ID: 1, Crit: 2, C: []float64{1, 2, 3}, Period: 100}, // crit ≥ levels
+		{ID: 1, Crit: 1, C: []float64{1}, Period: 100},       // wrong budget count
+		{ID: 1, Crit: 0, C: []float64{10}, Period: 0},        // bad period
+		{ID: 1, Crit: 1, C: []float64{5, 3}, Period: 100},    // decreasing budgets
+		{ID: 1, Crit: 0, C: []float64{0}, Period: 100},       // zero budget
+		{ID: 1, Crit: 0, C: []float64{200}, Period: 100},     // budget > period
+		{ID: 1, Crit: 0, C: []float64{10}, Period: 100, Profile: mc.Profile{ACET: -1}},
+	}
+	for i, bad := range cases {
+		if _, err := NewSystem(2, []Task{bad}); err == nil {
+			t.Errorf("case %d: invalid task accepted", i)
+		}
+	}
+}
+
+func TestBudgetAndUtil(t *testing.T) {
+	task := Task{ID: 1, Crit: 2, C: []float64{10, 20, 40}, Period: 100}
+	if task.Budget(0) != 10 || task.Budget(1) != 20 || task.Budget(2) != 40 {
+		t.Error("budgets wrong")
+	}
+	// Modes above the criticality cap at the pessimistic budget.
+	if task.Budget(5) != 40 {
+		t.Error("budget above crit must cap at WCET^pes")
+	}
+	if task.Util(1) != 0.2 {
+		t.Errorf("Util(1) = %g, want 0.2", task.Util(1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative mode must panic")
+		}
+	}()
+	task.Budget(-1)
+}
+
+func TestUtilAggregates(t *testing.T) {
+	s := triSystem(t)
+	// Mode 0: all tasks live at their C[0]: 0.1 + 0.12 + 0.075.
+	if got := s.ModeUtil(0); math.Abs(got-0.295) > 1e-12 {
+		t.Errorf("ModeUtil(0) = %g, want 0.295", got)
+	}
+	// Mode 1: task 1 dropped; 30/100 + 25/200.
+	if got := s.ModeUtil(1); math.Abs(got-0.425) > 1e-12 {
+		t.Errorf("ModeUtil(1) = %g, want 0.425", got)
+	}
+	// Mode 2: only task 3 at 60/200.
+	if got := s.ModeUtil(2); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("ModeUtil(2) = %g, want 0.3", got)
+	}
+	if len(s.ByCrit(1)) != 1 || len(s.AboveCrit(0)) != 2 {
+		t.Error("criticality selectors wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := triSystem(t)
+	c := s.Clone()
+	c.Tasks[1].C[0] = 999
+	if s.Tasks[1].C[0] == 999 {
+		t.Error("Clone must deep-copy budget slices")
+	}
+}
+
+func TestLadderSchedulable(t *testing.T) {
+	s := triSystem(t)
+	an := Schedulable(s)
+	if !an.Schedulable {
+		t.Fatalf("tri system must be schedulable:\n%s", an)
+	}
+	if len(an.Rungs) != 2 {
+		t.Fatalf("rungs = %d, want 2", len(an.Rungs))
+	}
+	if !strings.Contains(an.String(), "rung 0->1") {
+		t.Error("report missing rung detail")
+	}
+}
+
+func TestLadderRejectsOverload(t *testing.T) {
+	s, err := NewSystem(3, []Task{
+		{ID: 1, Crit: 0, C: []float64{60}, Period: 100},
+		{ID: 2, Crit: 1, C: []float64{50, 90}, Period: 100},
+		{ID: 3, Crit: 2, C: []float64{40, 60, 95}, Period: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Schedulable(s).Schedulable {
+		t.Fatal("overloaded ladder accepted")
+	}
+}
+
+// For L = 2 the ladder test must agree with the paper's Eq. 8 test in
+// internal/edfvd.
+func TestLadderReducesToEq8(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		uHCLO := 0.05 + float64(a%70)/100
+		uHCHI := uHCLO + float64(b%25)/100
+		uLCLO := 0.05 + float64(c%70)/100
+		if uHCHI >= 1 {
+			return true
+		}
+		dual, err := mc.NewTaskSet([]mc.Task{
+			{ID: 1, Crit: mc.HC, CLO: uHCLO * 100, CHI: uHCHI * 100, Period: 100},
+			{ID: 2, Crit: mc.LC, CLO: uLCLO * 100, CHI: uLCLO * 100, Period: 100},
+		})
+		if err != nil {
+			return true
+		}
+		ladder, err := NewSystem(2, []Task{
+			{ID: 1, Crit: 1, C: []float64{uHCLO * 100, uHCHI * 100}, Period: 100},
+			{ID: 2, Crit: 0, C: []float64{uLCLO * 100}, Period: 100},
+		})
+		if err != nil {
+			return true
+		}
+		return edfvd.Schedulable(dual).Schedulable == Schedulable(ladder).Schedulable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxLevel0UtilBinds(t *testing.T) {
+	s := triSystem(t)
+	u := MaxLevel0Util(s)
+	if u <= 0 || u > 1 {
+		t.Fatalf("MaxLevel0Util = %g out of (0, 1]", u)
+	}
+	// Replacing the level-0 task with one at the bound must stay
+	// schedulable; slightly above must fail rung 0.
+	at := s.Clone()
+	at.Tasks[0].C[0] = (u - 1e-9) * at.Tasks[0].Period
+	if !Schedulable(at).Schedulable {
+		t.Error("system at the level-0 bound must be schedulable")
+	}
+	above := s.Clone()
+	above.Tasks[0].C[0] = math.Min((u+0.05)*above.Tasks[0].Period, above.Tasks[0].Period)
+	if u+0.05 < 1 && Schedulable(above).Schedulable {
+		t.Error("system above the level-0 bound must fail")
+	}
+}
+
+func TestApplyChebyshev(t *testing.T) {
+	s := triSystem(t)
+	ns := [][]float64{
+		nil,    // level-0 task: no sub-pessimistic budget
+		{3},    // mid task: one budget below pes
+		{2, 4}, // hi task: two budgets below pes
+	}
+	a, err := Apply(s, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budgets rewritten per Eq. 6.
+	if got := a.System.Tasks[1].C[0]; math.Abs(got-(10+3*1)) > 1e-12 {
+		t.Errorf("mid C[0] = %g, want 13", got)
+	}
+	if got := a.System.Tasks[2].C[0]; math.Abs(got-(12+2*1.5)) > 1e-12 {
+		t.Errorf("hi C[0] = %g, want 15", got)
+	}
+	if got := a.System.Tasks[2].C[1]; math.Abs(got-(12+4*1.5)) > 1e-12 {
+		t.Errorf("hi C[1] = %g, want 18", got)
+	}
+	// Pessimistic budgets untouched.
+	if a.System.Tasks[1].C[1] != 30 || a.System.Tasks[2].C[2] != 60 {
+		t.Error("WCET^pes must stay")
+	}
+	// Escalation bound for rung 0: both surviving tasks contribute.
+	want := 1 - (1-stats.CantelliBound(3))*(1-stats.CantelliBound(2))
+	if math.Abs(a.PEscalate[0]-want) > 1e-12 {
+		t.Errorf("PEscalate[0] = %g, want %g", a.PEscalate[0], want)
+	}
+	// Rung 1: only the hi task survives past mode 1.
+	want1 := stats.CantelliBound(4)
+	if math.Abs(a.PEscalate[1]-want1) > 1e-12 {
+		t.Errorf("PEscalate[1] = %g, want %g", a.PEscalate[1], want1)
+	}
+	if a.Objective <= 0 {
+		t.Error("objective must be positive for this system")
+	}
+	// Input untouched.
+	if s.Tasks[1].C[0] != 12 {
+		t.Error("Apply must not mutate its input")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	s := triSystem(t)
+	if _, err := Apply(s, [][]float64{nil, {1}}); err == nil {
+		t.Error("wrong outer length must error")
+	}
+	if _, err := Apply(s, [][]float64{nil, {1, 2}, {1, 2}}); err == nil {
+		t.Error("wrong inner length must error")
+	}
+	if _, err := Apply(s, [][]float64{nil, {-1}, {1, 2}}); err == nil {
+		t.Error("negative n must error")
+	}
+	if _, err := Apply(s, [][]float64{nil, {1}, {3, 2}}); err == nil {
+		t.Error("decreasing n must error")
+	}
+	// Budget above pes: mid NMax = (30−10)/1 = 20.
+	if _, err := Apply(s, [][]float64{nil, {21}, {1, 2}}); err == nil {
+		t.Error("budget above WCET^pes must error")
+	}
+}
+
+func TestNMaxLadder(t *testing.T) {
+	s := triSystem(t)
+	if got := NMax(s.Tasks[1]); got != 20 {
+		t.Errorf("NMax(mid) = %g, want 20", got)
+	}
+	sigma0 := Task{ID: 9, Crit: 1, C: []float64{5, 10}, Period: 100,
+		Profile: mc.Profile{ACET: 5, Sigma: 0}}
+	if !math.IsInf(NMax(sigma0), 1) {
+		t.Error("σ=0 fitting profile must give +Inf")
+	}
+	sigma0.Profile.ACET = 20
+	if NMax(sigma0) >= 0 {
+		t.Error("inconsistent profile must give negative NMax")
+	}
+}
+
+func TestUniformMatrix(t *testing.T) {
+	s := triSystem(t)
+	ns := Uniform(s, 2, 3)
+	if len(ns[0]) != 0 || len(ns[1]) != 1 || len(ns[2]) != 2 {
+		t.Fatalf("matrix shape wrong: %v", ns)
+	}
+	if ns[1][0] != 2 || ns[2][0] != 2 || ns[2][1] != 5 {
+		t.Errorf("matrix values wrong: %v", ns)
+	}
+	// Clamp: mid NMax = 20 → base 100 clamps.
+	clamped := Uniform(s, 100, 1)
+	if clamped[1][0] != 20 {
+		t.Errorf("clamped = %v, want 20", clamped[1][0])
+	}
+}
+
+func TestOptimizeGA(t *testing.T) {
+	s := triSystem(t)
+	r := rand.New(rand.NewSource(1))
+	a, err := OptimizeGA(s, ga.Config{PopSize: 30, Generations: 40}, true, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Schedulable(a.System).Schedulable {
+		t.Fatal("GA assignment not schedulable")
+	}
+	// Must beat a mediocre uniform assignment.
+	uni, err := Apply(s, Uniform(s, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective < uni.Objective-0.02 {
+		t.Errorf("GA objective %g below uniform %g", a.Objective, uni.Objective)
+	}
+	// Monotone n per task.
+	for _, nv := range a.NS {
+		for m := 1; m < len(nv); m++ {
+			if nv[m] < nv[m-1]-1e-9 {
+				t.Fatalf("GA produced decreasing n: %v", nv)
+			}
+		}
+	}
+}
+
+func TestSimulateNoEscalationWhenDeterministic(t *testing.T) {
+	s := triSystem(t)
+	m, err := Simulate(s, SimConfig{Horizon: 50000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Escalations {
+		if e != 0 {
+			t.Fatalf("deterministic run escalated: %v", m.Escalations)
+		}
+	}
+	for c, miss := range m.Misses {
+		if miss != 0 {
+			t.Errorf("level %d misses = %d", c, miss)
+		}
+	}
+	if m.TimeInMode[0] < 0.99*m.Horizon {
+		t.Errorf("mode-0 dwell = %g of %g", m.TimeInMode[0], m.Horizon)
+	}
+}
+
+func TestSimulateLadderEscalatesAndRecovers(t *testing.T) {
+	s := triSystem(t)
+	a, err := Apply(s, [][]float64{nil, {2}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := dist.NewTruncNormal(10, 1, 0, 30)
+	d3, _ := dist.NewTruncNormal(12, 1.5, 0, 60)
+	m, err := Simulate(a.System, SimConfig{
+		Horizon: 400000,
+		Exec:    map[int]dist.Dist{2: d2, 3: d3},
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Escalations[0] == 0 {
+		t.Fatal("expected rung-0 escalations with tailed distributions")
+	}
+	// Survivors never miss: criticality ≥ 1 deadline misses must be 0 in
+	// a ladder-schedulable system.
+	if m.Misses[1] != 0 || m.Misses[2] != 0 {
+		t.Errorf("surviving-level misses: %v", m.Misses)
+	}
+	// The system spends most time in mode 0 (recovery works).
+	if m.TimeInMode[0] < m.Horizon/2 {
+		t.Errorf("mode-0 dwell only %g of %g", m.TimeInMode[0], m.Horizon)
+	}
+	// Observed rung-0 escalation rate is below the analytical bound.
+	if rate := m.EscalationRate(); rate > a.PEscalate[0]+0.02 {
+		t.Errorf("escalation rate %g above bound %g", rate, a.PEscalate[0])
+	}
+	// Level-0 work gets dropped during escalations.
+	if m.Dropped[0] == 0 {
+		t.Error("expected dropped level-0 jobs")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	s := triSystem(t)
+	if _, err := Simulate(s, SimConfig{Horizon: 0}); err == nil {
+		t.Error("zero horizon must error")
+	}
+}
+
+func TestSimulateDeterministicSeeds(t *testing.T) {
+	s := triSystem(t)
+	d, _ := dist.NewTruncNormal(10, 1, 0, 30)
+	cfg := SimConfig{Horizon: 50000, Exec: map[int]dist.Dist{2: d}, Seed: 9}
+	a, err := Simulate(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BusyTime != b.BusyTime || a.Escalations[0] != b.Escalations[0] {
+		t.Error("same seed must reproduce the run")
+	}
+}
+
+// Property: escalation probabilities are monotone — raising every n
+// lowers every rung bound.
+func TestEscalationBoundMonotone(t *testing.T) {
+	s := triSystem(t)
+	f := func(raw uint8) bool {
+		base := float64(raw%10) / 2
+		lo, err := Apply(s, Uniform(s, base, 1))
+		if err != nil {
+			return false
+		}
+		hi, err := Apply(s, Uniform(s, base+1, 1))
+		if err != nil {
+			return false
+		}
+		for m := range lo.PEscalate {
+			if hi.PEscalate[m] > lo.PEscalate[m]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

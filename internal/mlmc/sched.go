@@ -1,0 +1,101 @@
+package mlmc
+
+import "fmt"
+
+// This file generalises the Eq. 8 schedulability test to the mode ladder.
+// For every transition m → m+1 the dual-criticality test of [1] is
+// applied with "LC" = the tasks that die at the transition (ζ = m) and
+// "HC" = the tasks that survive it (ζ > m), each charged its mode-m
+// budget before the switch and its mode-(m+1) budget after:
+//
+//	cond LO(m):  U_{ζ>m}(m) + U_{ζ=m}(m) ≤ 1
+//	cond HI(m):  U_{ζ>m}(m+1) + U_{ζ>m}(m)·U_{ζ=m}(m)/(1 − U_{ζ=m}(m)) ≤ 1
+//
+// For L = 2 this is exactly Eq. 8. For L > 2 it is a sufficient ladder
+// condition: each transition in isolation satisfies the pairwise EDF-VD
+// guarantee, and because budgets are non-decreasing in the mode, demand
+// after a transition is dominated by the pairwise analysis of the next
+// rung. The runtime simulator (sim.go) validates the test empirically:
+// systems accepted here run without deadline misses of surviving tasks.
+
+// LadderAnalysis is the outcome of the multi-level test.
+type LadderAnalysis struct {
+	// Schedulable reports whether every rung passed.
+	Schedulable bool
+	// Rungs holds the per-transition detail, indexed by the mode m of
+	// the transition m → m+1 (length Levels−1).
+	Rungs []RungAnalysis
+}
+
+// RungAnalysis is the Eq. 8-style outcome of one transition.
+type RungAnalysis struct {
+	Mode   int     // the transition is Mode → Mode+1
+	CondLO bool    // pre-switch capacity condition
+	CondHI bool    // post-switch guarantee condition
+	X      float64 // virtual-deadline factor for the surviving tasks
+	USurv  float64 // U_{ζ>m}(m): survivors at pre-switch budgets
+	UDying float64 // U_{ζ=m}(m): tasks dropped by the transition
+	UNext  float64 // U_{ζ>m}(m+1): survivors at post-switch budgets
+}
+
+// Schedulable runs the ladder test.
+func Schedulable(s *System) LadderAnalysis {
+	out := LadderAnalysis{Schedulable: true}
+	for m := 0; m < s.Levels-1; m++ {
+		surv := s.UtilAt(m, func(t Task) bool { return t.Crit > m })
+		dying := s.UtilAt(m, func(t Task) bool { return t.Crit == m })
+		next := s.UtilAt(m+1, func(t Task) bool { return t.Crit > m })
+
+		r := RungAnalysis{Mode: m, USurv: surv, UDying: dying, UNext: next, X: 1}
+		r.CondLO = surv+dying <= 1
+		if dying < 1 {
+			r.X = surv / (1 - dying)
+			if r.X > 1 {
+				r.X = 1
+			}
+			r.CondHI = next+surv*dying/(1-dying) <= 1
+		}
+		if !r.CondLO || !r.CondHI {
+			out.Schedulable = false
+		}
+		out.Rungs = append(out.Rungs, r)
+	}
+	return out
+}
+
+// String renders a compact multi-line report.
+func (a LadderAnalysis) String() string {
+	s := fmt.Sprintf("schedulable=%v\n", a.Schedulable)
+	for _, r := range a.Rungs {
+		s += fmt.Sprintf("  rung %d->%d: condLO=%v condHI=%v x=%.3f (surv=%.3f dying=%.3f next=%.3f)\n",
+			r.Mode, r.Mode+1, r.CondLO, r.CondHI, r.X, r.USurv, r.UDying, r.UNext)
+	}
+	return s
+}
+
+// MaxLevel0Util returns the largest utilisation of level-0 (lowest
+// criticality) tasks that the rung-0 conditions admit, given the rest of
+// the system — the multi-level analogue of Eqs. 11–12. Level-0 tasks
+// appear only in rung 0 (they are dropped at the first escalation), so
+// only that rung binds them.
+func MaxLevel0Util(s *System) float64 {
+	surv := s.UtilAt(0, func(t Task) bool { return t.Crit > 0 })
+	next := s.UtilAt(1, func(t Task) bool { return t.Crit > 0 })
+	if surv >= 1 || next >= 1 {
+		return 0
+	}
+	// cond LO: u ≤ 1 − surv;  cond HI: next + surv·u/(1−u) ≤ 1.
+	eqLO := 1 - surv
+	eqHI := (1 - next) / (1 - next + surv)
+	u := eqLO
+	if eqHI < u {
+		u = eqHI
+	}
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}

@@ -1,0 +1,262 @@
+package mlmc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chebymc/internal/dist"
+)
+
+// This file is the mode-ladder runtime: a discrete-event EDF-VD simulator
+// generalising internal/sim to L modes. In mode m, tasks below the mode
+// are dropped, live tasks run against their mode-m budgets with virtual
+// deadlines x_m·D (x from the rung analysis), escalation happens when a
+// surviving task exhausts its current budget, and the system resets to
+// mode 0 when the processor idles.
+
+// SimConfig parameterises a ladder simulation.
+type SimConfig struct {
+	// Horizon is the simulated span. Must be positive.
+	Horizon float64
+	// Exec maps task ID → execution-time distribution; draws are clamped
+	// to [0, WCET^pes]. Tasks without an entry run for exactly their
+	// mode-0 budget.
+	Exec map[int]dist.Dist
+	// Seed seeds the run.
+	Seed int64
+}
+
+// SimMetrics aggregates a ladder run.
+type SimMetrics struct {
+	// Released / Completed / Misses / Dropped count jobs per criticality
+	// level (length Levels).
+	Released, Completed, Misses, Dropped []int
+	// Escalations[m] counts m → m+1 transitions (length Levels−1).
+	Escalations []int
+	// TimeInMode[m] is the dwell time per mode (length Levels).
+	TimeInMode []float64
+	// BusyTime is the total processing time.
+	BusyTime float64
+	// Horizon echoes the configured span.
+	Horizon float64
+}
+
+// EscalationRate reports Escalations[0] per released job of criticality
+// above 0 — comparable to the dual-criticality overrun rate.
+func (m SimMetrics) EscalationRate() float64 {
+	above := 0
+	for c := 1; c < len(m.Released); c++ {
+		above += m.Released[c]
+	}
+	if above == 0 {
+		return 0
+	}
+	return float64(m.Escalations[0]) / float64(above)
+}
+
+type ladderJob struct {
+	task      *Task
+	absDL     float64
+	virtDL    float64
+	execTotal float64
+	remaining float64
+	consumed  float64
+}
+
+// Simulate runs the mode-ladder system and returns its metrics. The
+// virtual-deadline factors per mode come from the rung analysis (clamped
+// into (0, 1]).
+func Simulate(s *System, cfg SimConfig) (SimMetrics, error) {
+	if cfg.Horizon <= 0 {
+		return SimMetrics{}, fmt.Errorf("mlmc: horizon %g must be positive", cfg.Horizon)
+	}
+	an := Schedulable(s)
+	xs := make([]float64, s.Levels) // x per mode; top mode uses 1
+	for m := range xs {
+		xs[m] = 1
+	}
+	for _, r := range an.Rungs {
+		x := r.X
+		if x <= 0 || x > 1 {
+			x = 1
+		}
+		xs[r.Mode] = x
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	m := SimMetrics{
+		Released:    make([]int, s.Levels),
+		Completed:   make([]int, s.Levels),
+		Misses:      make([]int, s.Levels),
+		Dropped:     make([]int, s.Levels),
+		Escalations: make([]int, s.Levels-1),
+		TimeInMode:  make([]float64, s.Levels),
+		Horizon:     cfg.Horizon,
+	}
+
+	mode := 0
+	modeSince := 0.0
+	now := 0.0
+	var ready []*ladderJob
+	next := make([]float64, len(s.Tasks))
+
+	drawExec := func(t *Task) float64 {
+		d, ok := cfg.Exec[t.ID]
+		if !ok {
+			return t.Budget(0)
+		}
+		x := d.Sample(r)
+		if x < 0 {
+			x = 0
+		}
+		if pes := t.C[t.Crit]; x > pes {
+			x = pes
+		}
+		return x
+	}
+
+	release := func(i int, at float64) {
+		t := &s.Tasks[i]
+		next[i] = at + t.Period
+		m.Released[t.Crit]++
+		if t.Crit < mode {
+			m.Dropped[t.Crit]++
+			return
+		}
+		j := &ladderJob{
+			task:      t,
+			absDL:     at + t.Period,
+			execTotal: drawExec(t),
+		}
+		j.remaining = j.execTotal
+		j.virtDL = at + t.Period
+		if t.Crit > mode {
+			j.virtDL = at + xs[mode]*t.Period
+		}
+		ready = append(ready, j)
+	}
+
+	pick := func() *ladderJob {
+		var best *ladderJob
+		for _, j := range ready {
+			if best == nil || j.virtDL < best.virtDL ||
+				(j.virtDL == best.virtDL && j.task.ID < best.task.ID) {
+				best = j
+			}
+		}
+		return best
+	}
+
+	remove := func(target *ladderJob) {
+		for i, j := range ready {
+			if j == target {
+				ready[i] = ready[len(ready)-1]
+				ready = ready[:len(ready)-1]
+				return
+			}
+		}
+	}
+
+	setMode := func(newMode int) {
+		m.TimeInMode[mode] += now - modeSince
+		modeSince = now
+		mode = newMode
+		// Re-evaluate the ready queue under the new mode.
+		var kept []*ladderJob
+		for _, j := range ready {
+			if j.task.Crit < mode {
+				m.Dropped[j.task.Crit]++
+				continue
+			}
+			if j.task.Crit > mode {
+				j.virtDL = j.absDL - (1-xs[mode])*j.task.Period
+				if j.virtDL < now {
+					j.virtDL = j.absDL
+				}
+			} else {
+				j.virtDL = j.absDL
+			}
+			kept = append(kept, j)
+		}
+		ready = kept
+	}
+
+	for now < cfg.Horizon {
+		for i := range next {
+			for next[i] <= now && next[i] < cfg.Horizon {
+				release(i, next[i])
+			}
+		}
+		run := pick()
+
+		nextRel := math.Inf(1)
+		for i := range next {
+			if next[i] > now && next[i] < nextRel && next[i] < cfg.Horizon {
+				nextRel = next[i]
+			}
+		}
+
+		if run == nil {
+			if mode != 0 {
+				setMode(0) // processor idle: reset the ladder
+			}
+			if math.IsInf(nextRel, 1) {
+				break
+			}
+			now = nextRel
+			continue
+		}
+
+		milestone := run.remaining
+		escalate := false
+		if run.task.Crit > mode {
+			budgetLeft := run.task.Budget(mode) - run.consumed
+			if budgetLeft < milestone {
+				milestone = budgetLeft
+				escalate = true
+			}
+		}
+		end := now + milestone
+		if end > nextRel {
+			delta := nextRel - now
+			run.remaining -= delta
+			run.consumed += delta
+			m.BusyTime += delta
+			now = nextRel
+			continue
+		}
+		if end > cfg.Horizon {
+			delta := cfg.Horizon - now
+			run.remaining -= delta
+			run.consumed += delta
+			m.BusyTime += delta
+			now = cfg.Horizon
+			break
+		}
+
+		run.remaining -= milestone
+		run.consumed += milestone
+		m.BusyTime += milestone
+		now = end
+
+		if escalate && run.remaining > 1e-12 {
+			m.Escalations[mode]++
+			setMode(mode + 1)
+			continue
+		}
+		if run.remaining <= 1e-12 {
+			remove(run)
+			c := run.task.Crit
+			m.Completed[c]++
+			if now > run.absDL+1e-9 {
+				m.Misses[c]++
+			}
+			if len(ready) == 0 && mode != 0 {
+				setMode(0)
+			}
+		}
+	}
+	m.TimeInMode[mode] += cfg.Horizon - modeSince
+	return m, nil
+}

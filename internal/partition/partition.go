@@ -1,0 +1,208 @@
+// Package partition extends the uniprocessor scheme to partitioned
+// multiprocessors, the direction of Gu et al. [12] in the paper's related
+// work: tasks are statically assigned to cores by a bin-packing heuristic
+// and each core runs its own EDF-VD schedule, tested per core with Eq. 8.
+// The Chebyshev assignment composes cleanly — budgets are chosen before
+// partitioning, and each core's mode switches independently.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"chebymc/internal/edfvd"
+	"chebymc/internal/mc"
+)
+
+// Heuristic selects the bin-packing rule.
+type Heuristic int
+
+const (
+	// FirstFit places each task on the lowest-indexed core that stays
+	// schedulable.
+	FirstFit Heuristic = iota
+	// BestFit places each task on the schedulable core with the least
+	// remaining capacity (tightest fit).
+	BestFit
+	// WorstFit places each task on the schedulable core with the most
+	// remaining capacity (load balancing).
+	WorstFit
+)
+
+// String implements fmt.Stringer.
+func (h Heuristic) String() string {
+	switch h {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	}
+	return fmt.Sprintf("Heuristic(%d)", int(h))
+}
+
+// Test decides whether one core's task set is schedulable. The default is
+// the Eq. 8 EDF-VD test.
+type Test func(*mc.TaskSet) bool
+
+// DefaultTest is Eq. 8 (Baruah's EDF-VD conditions).
+func DefaultTest(ts *mc.TaskSet) bool { return edfvd.Schedulable(ts).Schedulable }
+
+// Result is a partitioning outcome.
+type Result struct {
+	// OK reports whether every task was placed.
+	OK bool
+	// CoreOf maps task ID → core index for placed tasks.
+	CoreOf map[int]int
+	// Cores holds the per-core task sets (entries may be nil for unused
+	// cores when OK is false).
+	Cores []*mc.TaskSet
+	// FailedTask is the ID of the first unplaceable task when !OK.
+	FailedTask int
+}
+
+// Partition assigns the tasks of ts to the given number of cores using
+// the heuristic, sorting tasks by decreasing max-mode utilisation first
+// (decreasing variants of the classical heuristics). test defaults to
+// DefaultTest when nil.
+func Partition(ts *mc.TaskSet, cores int, h Heuristic, test Test) (Result, error) {
+	if ts == nil {
+		return Result{}, errors.New("partition: nil task set")
+	}
+	if err := ts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cores < 1 {
+		return Result{}, fmt.Errorf("partition: need ≥ 1 core, got %d", cores)
+	}
+	if h != FirstFit && h != BestFit && h != WorstFit {
+		return Result{}, fmt.Errorf("partition: unknown heuristic %d", int(h))
+	}
+	if test == nil {
+		test = DefaultTest
+	}
+
+	// Decreasing max-mode utilisation: heavy tasks first.
+	order := append([]mc.Task(nil), ts.Tasks...)
+	sort.SliceStable(order, func(i, j int) bool {
+		return maxUtil(order[i]) > maxUtil(order[j])
+	})
+
+	bins := make([][]mc.Task, cores)
+	res := Result{CoreOf: make(map[int]int, len(order))}
+
+	fits := func(core int, t mc.Task) bool {
+		candidate := append(append([]mc.Task(nil), bins[core]...), t)
+		set, err := mc.NewTaskSet(candidate)
+		if err != nil {
+			return false
+		}
+		return test(set)
+	}
+	load := func(core int) float64 {
+		u := 0.0
+		for _, t := range bins[core] {
+			u += maxUtil(t)
+		}
+		return u
+	}
+
+	for _, t := range order {
+		chosen := -1
+		switch h {
+		case FirstFit:
+			for c := 0; c < cores; c++ {
+				if fits(c, t) {
+					chosen = c
+					break
+				}
+			}
+		case BestFit:
+			bestLoad := -1.0
+			for c := 0; c < cores; c++ {
+				if !fits(c, t) {
+					continue
+				}
+				if l := load(c); l > bestLoad {
+					bestLoad, chosen = l, c
+				}
+			}
+		case WorstFit:
+			bestLoad := 2.0
+			for c := 0; c < cores; c++ {
+				if !fits(c, t) {
+					continue
+				}
+				if l := load(c); l < bestLoad {
+					bestLoad, chosen = l, c
+				}
+			}
+		}
+		if chosen < 0 {
+			res.FailedTask = t.ID
+			res.Cores = buildSets(bins)
+			return res, nil
+		}
+		bins[chosen] = append(bins[chosen], t)
+		res.CoreOf[t.ID] = chosen
+	}
+	res.OK = true
+	res.Cores = buildSets(bins)
+	return res, nil
+}
+
+func maxUtil(t mc.Task) float64 {
+	u := t.ULO()
+	if hi := t.UHI(); hi > u {
+		u = hi
+	}
+	return u
+}
+
+func buildSets(bins [][]mc.Task) []*mc.TaskSet {
+	out := make([]*mc.TaskSet, len(bins))
+	for i, b := range bins {
+		if len(b) == 0 {
+			continue
+		}
+		set, err := mc.NewTaskSet(b)
+		if err == nil {
+			out[i] = set
+		}
+	}
+	return out
+}
+
+// Validate cross-checks a successful Result against its input: every task
+// placed exactly once and every non-empty core schedulable under test.
+func (r Result) Validate(ts *mc.TaskSet, test Test) error {
+	if !r.OK {
+		return errors.New("partition: result not OK")
+	}
+	if test == nil {
+		test = DefaultTest
+	}
+	if len(r.CoreOf) != len(ts.Tasks) {
+		return fmt.Errorf("partition: %d placed of %d tasks", len(r.CoreOf), len(ts.Tasks))
+	}
+	for _, t := range ts.Tasks {
+		c, ok := r.CoreOf[t.ID]
+		if !ok {
+			return fmt.Errorf("partition: task %d unplaced", t.ID)
+		}
+		if c < 0 || c >= len(r.Cores) || r.Cores[c] == nil {
+			return fmt.Errorf("partition: task %d on invalid core %d", t.ID, c)
+		}
+	}
+	for i, set := range r.Cores {
+		if set == nil {
+			continue
+		}
+		if !test(set) {
+			return fmt.Errorf("partition: core %d not schedulable", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/mc"
+	"chebymc/internal/policy"
+	"chebymc/internal/taskgen"
+)
+
+func heavySet(t *testing.T, n int, u float64) *mc.TaskSet {
+	t.Helper()
+	tasks := make([]mc.Task, n)
+	for i := range tasks {
+		tasks[i] = mc.Task{
+			ID: i + 1, Crit: mc.HC,
+			CLO: u * 100 / 2, CHI: u * 100, Period: 100,
+			Profile: mc.Profile{ACET: u * 100 / 4, Sigma: u * 2},
+		}
+	}
+	ts, err := mc.NewTaskSet(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestPartitionValidation(t *testing.T) {
+	ts := heavySet(t, 2, 0.4)
+	if _, err := Partition(nil, 2, FirstFit, nil); err == nil {
+		t.Error("nil set must error")
+	}
+	if _, err := Partition(ts, 0, FirstFit, nil); err == nil {
+		t.Error("0 cores must error")
+	}
+	if _, err := Partition(ts, 2, Heuristic(9), nil); err == nil {
+		t.Error("unknown heuristic must error")
+	}
+}
+
+func TestHeuristicStrings(t *testing.T) {
+	if FirstFit.String() != "first-fit" || BestFit.String() != "best-fit" || WorstFit.String() != "worst-fit" {
+		t.Error("heuristic names wrong")
+	}
+	if Heuristic(9).String() == "" {
+		t.Error("unknown heuristic must render")
+	}
+}
+
+func TestSingleCoreMatchesDirectTest(t *testing.T) {
+	// On one core, partitioning succeeds iff the whole set passes the
+	// test.
+	light := heavySet(t, 2, 0.3) // total UHI 0.6
+	res, err := Partition(light, 1, FirstFit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Error("light set must fit one core")
+	}
+	if err := res.Validate(light, nil); err != nil {
+		t.Error(err)
+	}
+	heavy := heavySet(t, 4, 0.4) // total UHI 1.6
+	res, err = Partition(heavy, 1, FirstFit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Error("overloaded set must not fit one core")
+	}
+	if res.FailedTask == 0 {
+		t.Error("failed task must be reported")
+	}
+}
+
+func TestMoreCoresFitMore(t *testing.T) {
+	ts := heavySet(t, 6, 0.4) // total UHI 2.4: needs ≥ 3 cores
+	if res, _ := Partition(ts, 2, FirstFit, nil); res.OK {
+		t.Error("2.4 utilisation must not fit 2 cores")
+	}
+	res, err := Partition(ts, 3, FirstFit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Error("2.4 utilisation must fit 3 cores")
+	}
+	if err := res.Validate(ts, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorstFitBalances(t *testing.T) {
+	ts := heavySet(t, 4, 0.3)
+	res, err := Partition(ts, 2, WorstFit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("must fit")
+	}
+	// Worst-fit spreads 4 equal tasks 2/2.
+	count := map[int]int{}
+	for _, c := range res.CoreOf {
+		count[c]++
+	}
+	if count[0] != 2 || count[1] != 2 {
+		t.Errorf("worst-fit placement %v, want 2/2", count)
+	}
+}
+
+func TestBestFitPacks(t *testing.T) {
+	// Best-fit concentrates load: 3 light tasks on 3 cores go to the
+	// fullest feasible core, leaving cores empty.
+	ts := heavySet(t, 3, 0.2)
+	res, err := Partition(ts, 3, BestFit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("must fit")
+	}
+	used := map[int]bool{}
+	for _, c := range res.CoreOf {
+		used[c] = true
+	}
+	if len(used) != 1 {
+		t.Errorf("best-fit used %d cores, want 1", len(used))
+	}
+}
+
+func TestCustomTest(t *testing.T) {
+	// A capacity-only test (ΣU^HI ≤ 1) accepts what Eq. 8 may reject.
+	calls := 0
+	capOnly := func(ts *mc.TaskSet) bool {
+		calls++
+		u := 0.0
+		for _, t := range ts.Tasks {
+			u += t.UHI()
+		}
+		return u <= 1
+	}
+	ts := heavySet(t, 2, 0.5)
+	res, err := Partition(ts, 1, FirstFit, capOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Error("capacity test must accept ΣU=1")
+	}
+	if calls == 0 {
+		t.Error("custom test not invoked")
+	}
+}
+
+// Property: a successful partition is always internally consistent, for
+// random mixed sets across heuristics and core counts.
+func TestPartitionConsistencyProperty(t *testing.T) {
+	f := func(seed int64, hRaw, coresRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts, err := taskgen.Mixed(r, taskgen.Config{}, 1.2)
+		if err != nil {
+			return false
+		}
+		// Chebyshev budgets first, then partition — the composition the
+		// package exists for.
+		a, err := policy.ChebyshevUniform{N: 5}.Assign(ts, nil)
+		if err != nil {
+			return false
+		}
+		h := Heuristic(int(hRaw) % 3)
+		cores := 1 + int(coresRaw)%4
+		res, err := Partition(a.TaskSet, cores, h, nil)
+		if err != nil {
+			return false
+		}
+		if !res.OK {
+			return true // not placeable is a legal outcome
+		}
+		return res.Validate(a.TaskSet, nil) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Partitioned acceptance grows with cores for a fixed workload.
+func TestAcceptanceScalesWithCores(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	accept := func(cores int) int {
+		ok := 0
+		rr := rand.New(rand.NewSource(7))
+		for i := 0; i < 40; i++ {
+			ts, err := taskgen.Mixed(rr, taskgen.Config{}, 1.6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := policy.ChebyshevUniform{N: 5}.Assign(ts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Partition(a.TaskSet, cores, FirstFit, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.OK {
+				ok++
+			}
+		}
+		return ok
+	}
+	_ = r
+	a2, a4 := accept(2), accept(4)
+	if a4 < a2 {
+		t.Errorf("acceptance fell with cores: %d@2 vs %d@4", a2, a4)
+	}
+	if a4 < 35 {
+		t.Errorf("4 cores should absorb U=1.6 almost always, got %d/40", a4)
+	}
+}

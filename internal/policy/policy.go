@@ -1,0 +1,172 @@
+// Package policy collects the WCET^opt assignment policies the paper
+// compares in Section V-C: the proposed Chebyshev scheme with a uniform n
+// (Figs. 2–3), the proposed scheme with per-task n_i found by the genetic
+// algorithm (Figs. 4–5), and the state-of-the-art λ-fraction baselines
+// that set WCET^opt as a share of WCET^pes (Baruah [1], Liu [9], Guo [4]).
+package policy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chebymc/internal/core"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/ga"
+	"chebymc/internal/mc"
+)
+
+// Policy assigns optimistic WCETs to the HC tasks of a task set. The
+// *rand.Rand parameterises stochastic policies (per-task λ ranges, GA);
+// deterministic policies ignore it.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Assign produces the Assignment for ts.
+	Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, error)
+}
+
+// ChebyshevUniform applies Eq. 6 with a single n for every HC task,
+// clamped per task to the Eq. 9 maximum — the configuration of the uniform
+// sweeps in Figs. 2 and 3.
+type ChebyshevUniform struct {
+	// N is the shared parameter.
+	N float64
+}
+
+// Name implements Policy.
+func (p ChebyshevUniform) Name() string { return fmt.Sprintf("chebyshev-n=%g", p.N) }
+
+// Assign implements Policy.
+func (p ChebyshevUniform) Assign(ts *mc.TaskSet, _ *rand.Rand) (core.Assignment, error) {
+	ns := make([]float64, ts.NumHC())
+	for i := range ns {
+		ns[i] = p.N
+	}
+	clamped, err := core.ClampNS(ts, ns)
+	if err != nil {
+		return core.Assignment{}, err
+	}
+	return core.Apply(ts, clamped)
+}
+
+// ChebyshevGA searches per-task n_i with the paper's genetic algorithm,
+// maximising the Eq. 13 objective subject to Eq. 9 (via gene bounds) — the
+// proposed scheme of Figs. 4 and 5.
+type ChebyshevGA struct {
+	// Config tunes the GA; zero values select the paper's parameters
+	// (two-point crossover 0.8, single-point mutation 0.2, tournament 5).
+	Config ga.Config
+	// NCap bounds the per-task search range [0, min(NMax, NCap)];
+	// defaults to 50 when zero. Without a cap the bound-free tasks
+	// (σ → 0) would make the search space needlessly wide.
+	NCap float64
+	// RequireLC, when true, makes assignments that cannot also schedule
+	// the task set's *actual* LC load (Eq. 8 with the set's U^LO_LC)
+	// infeasible — the acceptance-ratio configuration of Fig. 6.
+	RequireLC bool
+}
+
+// Name implements Policy.
+func (p ChebyshevGA) Name() string { return "chebyshev-ga" }
+
+// Assign implements Policy.
+func (p ChebyshevGA) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, error) {
+	hcs := ts.ByCrit(mc.HC)
+	if len(hcs) == 0 {
+		return core.Apply(ts, nil)
+	}
+	nCap := p.NCap
+	if nCap == 0 {
+		nCap = 50
+	}
+	bounds := make([]ga.Bound, len(hcs))
+	for i, t := range hcs {
+		hi := core.NMax(t)
+		if hi < 0 {
+			return core.Assignment{}, fmt.Errorf("policy: task %d: ACET exceeds WCET^pes", t.ID)
+		}
+		bounds[i] = ga.Bound{Lo: 0, Hi: math.Min(hi, nCap)}
+	}
+	fitness := func(g []float64) float64 {
+		a, err := core.Apply(ts, g)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		if p.RequireLC && !edfvd.Schedulable(a.TaskSet).Schedulable {
+			return math.Inf(-1)
+		}
+		return a.Objective
+	}
+	cfg := p.Config
+	cfg.Seed = r.Int63()
+	res, err := ga.Run(ga.Problem{Bounds: bounds, Fitness: fitness}, cfg)
+	if err != nil {
+		return core.Assignment{}, err
+	}
+	if math.IsInf(res.BestFitness, -1) {
+		return core.Assignment{}, fmt.Errorf("policy: no feasible assignment found")
+	}
+	return core.Apply(ts, res.Best)
+}
+
+// LambdaFixed is the state-of-the-art baseline with a fixed fraction:
+// C^LO = λ·C^HI for every HC task (Guo [4] and Gu [12] use
+// λ ∈ {1/16, 1/8, 1/4, 1/2, 1}).
+type LambdaFixed struct {
+	// Lambda is the fraction of WCET^pes, in (0, 1].
+	Lambda float64
+}
+
+// Name implements Policy.
+func (p LambdaFixed) Name() string { return fmt.Sprintf("lambda=1/%g", 1/p.Lambda) }
+
+// Assign implements Policy.
+func (p LambdaFixed) Assign(ts *mc.TaskSet, _ *rand.Rand) (core.Assignment, error) {
+	if p.Lambda <= 0 || p.Lambda > 1 {
+		return core.Assignment{}, fmt.Errorf("policy: λ %g out of (0, 1]", p.Lambda)
+	}
+	hcs := ts.ByCrit(mc.HC)
+	clo := make([]float64, len(hcs))
+	for i, t := range hcs {
+		clo[i] = p.Lambda * t.CHI
+	}
+	return core.FromCLO(ts, clo)
+}
+
+// LambdaRange is Baruah's experimental baseline [1]: each HC task draws an
+// independent λ_i uniformly from [Lo, Hi] and sets C^LO = λ_i·C^HI. The
+// paper compares against [Lo, Hi] = [1/4, 1] and [1/8, 1].
+type LambdaRange struct {
+	// Lo, Hi bound the per-task fraction; 0 < Lo ≤ Hi ≤ 1.
+	Lo, Hi float64
+}
+
+// Name implements Policy.
+func (p LambdaRange) Name() string { return fmt.Sprintf("lambda=[1/%g,1/%g]", 1/p.Lo, 1/p.Hi) }
+
+// Assign implements Policy.
+func (p LambdaRange) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, error) {
+	if !(0 < p.Lo && p.Lo <= p.Hi && p.Hi <= 1) {
+		return core.Assignment{}, fmt.Errorf("policy: λ range [%g, %g] invalid", p.Lo, p.Hi)
+	}
+	hcs := ts.ByCrit(mc.HC)
+	clo := make([]float64, len(hcs))
+	for i, t := range hcs {
+		lambda := p.Lo + r.Float64()*(p.Hi-p.Lo)
+		clo[i] = lambda * t.CHI
+	}
+	return core.FromCLO(ts, clo)
+}
+
+// ACETOnly sets C^LO = ACET (n = 0), the naive strategy the motivational
+// example shows to switch modes on roughly half of all jobs.
+type ACETOnly struct{}
+
+// Name implements Policy.
+func (ACETOnly) Name() string { return "acet" }
+
+// Assign implements Policy.
+func (ACETOnly) Assign(ts *mc.TaskSet, _ *rand.Rand) (core.Assignment, error) {
+	return ChebyshevUniform{N: 0}.Assign(ts, nil)
+}

@@ -1,0 +1,234 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chebymc/internal/core"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/ga"
+	"chebymc/internal/mc"
+	"chebymc/internal/taskgen"
+)
+
+func testSet(t *testing.T) *mc.TaskSet {
+	t.Helper()
+	r := rand.New(rand.NewSource(1))
+	ts, err := taskgen.HCOnly(r, taskgen.Config{}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestChebyshevUniform(t *testing.T) {
+	ts := testSet(t)
+	a, err := ChebyshevUniform{N: 5}.Assign(ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcs := a.TaskSet.ByCrit(mc.HC)
+	for i, task := range hcs {
+		want := core.WCETOpt(task.Profile, a.NS[i])
+		if math.Abs(task.CLO-want) > 1e-9 {
+			t.Errorf("task %d: CLO %g, want %g", task.ID, task.CLO, want)
+		}
+		if task.CLO > task.CHI+1e-9 {
+			t.Errorf("task %d violates Eq. 9", task.ID)
+		}
+	}
+	if got := (ChebyshevUniform{N: 5}).Name(); !strings.Contains(got, "5") {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestChebyshevUniformClampsToNMax(t *testing.T) {
+	// A task whose NMax is tiny must be clamped, not rejected.
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 50, CHI: 50, Period: 100,
+			Profile: mc.Profile{ACET: 45, Sigma: 10}}, // NMax = 0.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ChebyshevUniform{N: 20}.Assign(ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NS[0] != 0.5 {
+		t.Errorf("n = %g, want clamped 0.5", a.NS[0])
+	}
+}
+
+func TestLambdaFixed(t *testing.T) {
+	ts := testSet(t)
+	a, err := LambdaFixed{Lambda: 0.25}.Assign(ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range a.TaskSet.ByCrit(mc.HC) {
+		if math.Abs(task.CLO-0.25*task.CHI) > 1e-9 {
+			t.Errorf("task %d: CLO %g, want %g", task.ID, task.CLO, 0.25*task.CHI)
+		}
+	}
+	if _, err := (LambdaFixed{Lambda: 0}).Assign(ts, nil); err == nil {
+		t.Error("λ = 0 must error")
+	}
+	if _, err := (LambdaFixed{Lambda: 1.5}).Assign(ts, nil); err == nil {
+		t.Error("λ > 1 must error")
+	}
+}
+
+func TestLambdaRange(t *testing.T) {
+	ts := testSet(t)
+	r := rand.New(rand.NewSource(2))
+	a, err := LambdaRange{Lo: 0.25, Hi: 1}.Assign(ts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range a.TaskSet.ByCrit(mc.HC) {
+		lambda := task.CLO / task.CHI
+		if lambda < 0.25-1e-9 || lambda > 1+1e-9 {
+			t.Errorf("task %d: λ %g out of [0.25, 1]", task.ID, lambda)
+		}
+	}
+	if _, err := (LambdaRange{Lo: 0, Hi: 1}).Assign(ts, r); err == nil {
+		t.Error("Lo = 0 must error")
+	}
+	if _, err := (LambdaRange{Lo: 0.5, Hi: 0.2}).Assign(ts, r); err == nil {
+		t.Error("Lo > Hi must error")
+	}
+}
+
+func TestACETOnlySwitchesConstantly(t *testing.T) {
+	ts := testSet(t)
+	a, err := ACETOnly{}.Assign(ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = 0 everywhere: the per-task bound is vacuous, so the system
+	// bound must be 1 (some HC task may always overrun).
+	if a.PMS < 0.99 {
+		t.Errorf("PMS = %g, want ≈ 1 at n = 0", a.PMS)
+	}
+	if a.Objective > 0.01 {
+		t.Errorf("objective = %g, want ≈ 0", a.Objective)
+	}
+}
+
+func TestChebyshevGABeatsUniformAndBaselines(t *testing.T) {
+	ts := testSet(t)
+	r := rand.New(rand.NewSource(3))
+	gaPol := ChebyshevGA{Config: ga.Config{PopSize: 40, Generations: 60}}
+	best, err := gaPol.Assign(ts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The GA must at least match the best uniform n on the objective.
+	for _, n := range []float64{2, 5, 10, 15, 20, 30} {
+		u, err := ChebyshevUniform{N: n}.Assign(ts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Objective < u.Objective-0.02 {
+			t.Errorf("GA objective %g below uniform n=%g objective %g",
+				best.Objective, n, u.Objective)
+		}
+	}
+	// And the λ baselines (the paper's Fig. 5 comparison).
+	for _, lam := range []float64{1.0 / 32, 1.0 / 16, 1.0 / 4} {
+		b, err := LambdaFixed{Lambda: lam}.Assign(ts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Objective < b.Objective-0.02 {
+			t.Errorf("GA objective %g below λ=%g objective %g",
+				best.Objective, lam, b.Objective)
+		}
+	}
+}
+
+func TestChebyshevGADeterministicPerSeed(t *testing.T) {
+	ts := testSet(t)
+	p := ChebyshevGA{Config: ga.Config{PopSize: 20, Generations: 20}}
+	a1, err := p.Assign(ts, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := p.Assign(ts, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Objective != a2.Objective {
+		t.Errorf("same seed, different objective: %g vs %g", a1.Objective, a2.Objective)
+	}
+}
+
+func TestChebyshevGARequireLC(t *testing.T) {
+	// A mixed set with a concrete LC load: RequireLC must produce an
+	// assignment that actually passes Eq. 8.
+	r := rand.New(rand.NewSource(4))
+	ts, err := taskgen.Mixed(r, taskgen.Config{}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NumHC() == 0 || ts.NumLC() == 0 {
+		t.Skip("degenerate draw")
+	}
+	p := ChebyshevGA{Config: ga.Config{PopSize: 30, Generations: 40}, RequireLC: true}
+	a, err := p.Assign(ts, r)
+	if err != nil {
+		t.Fatalf("no feasible assignment: %v", err)
+	}
+	if an := edfvd.Schedulable(a.TaskSet); !an.Schedulable {
+		t.Errorf("RequireLC assignment not schedulable: %v", an)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := []string{
+		ChebyshevUniform{N: 3}.Name(),
+		ChebyshevGA{}.Name(),
+		LambdaFixed{Lambda: 0.25}.Name(),
+		LambdaRange{Lo: 0.25, Hi: 1}.Name(),
+		ACETOnly{}.Name(),
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" {
+			t.Error("empty policy name")
+		}
+		if seen[n] {
+			t.Errorf("duplicate policy name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestAllPoliciesRespectEq9(t *testing.T) {
+	ts := testSet(t)
+	r := rand.New(rand.NewSource(5))
+	pols := []Policy{
+		ChebyshevUniform{N: 10},
+		ChebyshevGA{Config: ga.Config{PopSize: 20, Generations: 15}},
+		LambdaFixed{Lambda: 0.5},
+		LambdaRange{Lo: 0.125, Hi: 1},
+		ACETOnly{},
+	}
+	for _, p := range pols {
+		a, err := p.Assign(ts, r)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		for _, task := range a.TaskSet.ByCrit(mc.HC) {
+			if task.CLO > task.CHI+1e-9 {
+				t.Errorf("%s: task %d violates Eq. 9", p.Name(), task.ID)
+			}
+			if task.CLO <= 0 {
+				t.Errorf("%s: task %d has non-positive C^LO", p.Name(), task.ID)
+			}
+		}
+	}
+}

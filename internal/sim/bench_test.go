@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+
+	"chebymc/internal/dist"
+	"chebymc/internal/mc"
+)
+
+// BenchmarkRun measures the simulator's throughput on a two-task system
+// with stochastic execution times and mode switches (one million time
+// units per iteration).
+func BenchmarkRun(b *testing.B) {
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Name: "ctl", Crit: mc.HC, CLO: 20, CHI: 60, Period: 100,
+			Profile: mc.Profile{ACET: 15, Sigma: 2.5}},
+		{ID: 2, Name: "log", Crit: mc.LC, CLO: 10, CHI: 10, Period: 50},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := dist.NewTruncNormal(15, 2.5, 0, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(ts, Config{
+		Horizon: 1e6,
+		Exec:    map[int]dist.Dist{1: d},
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := s.Run()
+		if m.HCMisses != 0 {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkRunWithEvents quantifies the event-log overhead.
+func BenchmarkRunWithEvents(b *testing.B) {
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 20, CHI: 60, Period: 100,
+			Profile: mc.Profile{ACET: 15, Sigma: 2.5}},
+		{ID: 2, Crit: mc.LC, CLO: 10, CHI: 10, Period: 50},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := dist.NewTruncNormal(15, 2.5, 0, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(ts, Config{
+		Horizon:   1e6,
+		Exec:      map[int]dist.Dist{1: d},
+		Seed:      1,
+		MaxEvents: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run()
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import "fmt"
+
+// EventKind classifies schedule events.
+type EventKind int
+
+const (
+	// EvRelease marks a job release.
+	EvRelease EventKind = iota
+	// EvComplete marks a job completion (before its deadline or not —
+	// see EvMiss).
+	EvComplete
+	// EvMiss marks a completion past the absolute deadline.
+	EvMiss
+	// EvDrop marks an LC job discarded by a mode switch or released into
+	// HI mode under DropAll.
+	EvDrop
+	// EvSwitchHI marks a LO→HI transition.
+	EvSwitchHI
+	// EvSwitchLO marks the return to LO mode.
+	EvSwitchLO
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvRelease:
+		return "release"
+	case EvComplete:
+		return "complete"
+	case EvMiss:
+		return "miss"
+	case EvDrop:
+		return "drop"
+	case EvSwitchHI:
+		return "switch->HI"
+	case EvSwitchLO:
+		return "switch->LO"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one timestamped schedule event. TaskID is 0 for mode switches.
+type Event struct {
+	Time   float64
+	Kind   EventKind
+	TaskID int
+}
+
+// String renders "t=... kind task=...".
+func (e Event) String() string {
+	if e.TaskID == 0 {
+		return fmt.Sprintf("t=%-10.3f %s", e.Time, e.Kind)
+	}
+	return fmt.Sprintf("t=%-10.3f %s task=%d", e.Time, e.Kind, e.TaskID)
+}
+
+// record appends an event when logging is enabled and under the cap.
+func (s *Simulator) record(t float64, k EventKind, taskID int) {
+	if s.cfg.MaxEvents <= 0 || len(s.events) >= s.cfg.MaxEvents {
+		return
+	}
+	s.events = append(s.events, Event{Time: t, Kind: k, TaskID: taskID})
+}
+
+// Events returns the events recorded during the last Run (nil when
+// Config.MaxEvents was 0).
+func (s *Simulator) Events() []Event {
+	return append([]Event(nil), s.events...)
+}

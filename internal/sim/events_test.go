@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventsDisabledByDefault(t *testing.T) {
+	ts := mkSet(t)
+	s, err := New(ts, Config{Horizon: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if got := s.Events(); got != nil {
+		t.Fatalf("events recorded without MaxEvents: %d", len(got))
+	}
+}
+
+func TestEventsRecorded(t *testing.T) {
+	ts := mkSet(t)
+	cfg := overrunConfig(t, ts, DropAll)
+	cfg.MaxEvents = 10000
+	s, err := New(ts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Run()
+	ev := s.Events()
+	if len(ev) == 0 {
+		t.Fatal("no events recorded")
+	}
+	counts := map[EventKind]int{}
+	prev := -1.0
+	for _, e := range ev {
+		counts[e.Kind]++
+		if e.Time < prev {
+			t.Fatalf("events out of order at %v", e)
+		}
+		prev = e.Time
+	}
+	// The cap truncates the tail, so counts are lower bounds; the
+	// switch events must appear and interleave.
+	if counts[EvSwitchHI] == 0 || counts[EvRelease] == 0 || counts[EvComplete] == 0 {
+		t.Fatalf("missing event kinds: %v", counts)
+	}
+	if m.ModeSwitches > 0 && counts[EvSwitchHI] == 0 {
+		t.Error("switches not logged")
+	}
+	// Switch events carry no task.
+	for _, e := range ev {
+		if (e.Kind == EvSwitchHI || e.Kind == EvSwitchLO) && e.TaskID != 0 {
+			t.Fatalf("switch event with task id: %v", e)
+		}
+	}
+}
+
+func TestEventsCapRespected(t *testing.T) {
+	ts := mkSet(t)
+	cfg := overrunConfig(t, ts, DropAll)
+	cfg.MaxEvents = 25
+	s, err := New(ts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if got := len(s.Events()); got != 25 {
+		t.Fatalf("events = %d, want exactly the cap 25", got)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	kinds := []EventKind{EvRelease, EvComplete, EvMiss, EvDrop, EvSwitchHI, EvSwitchLO, EventKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+	e := Event{Time: 1.5, Kind: EvRelease, TaskID: 3}
+	if !strings.Contains(e.String(), "task=3") {
+		t.Errorf("event string %q", e.String())
+	}
+	sw := Event{Time: 2, Kind: EvSwitchHI}
+	if strings.Contains(sw.String(), "task=") {
+		t.Errorf("switch event string %q must omit task", sw.String())
+	}
+}
+
+func TestEventsCopiedOut(t *testing.T) {
+	ts := mkSet(t)
+	cfg := Config{Horizon: 500, Seed: 1, MaxEvents: 100}
+	s, err := New(ts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	ev := s.Events()
+	if len(ev) == 0 {
+		t.Fatal("no events")
+	}
+	ev[0].TaskID = 12345
+	if s.Events()[0].TaskID == 12345 {
+		t.Error("Events must return a copy")
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"chebymc/internal/mc"
+)
+
+// TaskMetrics aggregates per-task runtime behaviour.
+type TaskMetrics struct {
+	// ID and Crit identify the task.
+	ID   int
+	Crit mc.Crit
+	// Released, Completed, Misses, Dropped count this task's jobs.
+	Released, Completed, Misses, Dropped int
+	// Overruns counts jobs exceeding the task's C^LO (HC only).
+	Overruns int
+	// MaxResponse is the largest observed response time (completion −
+	// release) among completed jobs.
+	MaxResponse float64
+	// sumResponse accumulates response times for MeanResponse.
+	sumResponse float64
+}
+
+// MeanResponse reports the mean response time of completed jobs.
+func (t TaskMetrics) MeanResponse() float64 {
+	if t.Completed == 0 {
+		return 0
+	}
+	return t.sumResponse / float64(t.Completed)
+}
+
+// OverrunRate reports this task's per-job overrun rate — the quantity
+// Theorem 1 bounds by 1/(1+n²).
+func (t TaskMetrics) OverrunRate() float64 {
+	if t.Released == 0 {
+		return 0
+	}
+	return float64(t.Overruns) / float64(t.Released)
+}
+
+// ServiceRate reports Completed / Released.
+func (t TaskMetrics) ServiceRate() float64 {
+	if t.Released == 0 {
+		return 0
+	}
+	return float64(t.Completed) / float64(t.Released)
+}
+
+// String renders a one-line summary.
+func (t TaskMetrics) String() string {
+	return fmt.Sprintf("task %d (%s): released=%d completed=%d misses=%d dropped=%d overruns=%d maxResp=%.3g",
+		t.ID, t.Crit, t.Released, t.Completed, t.Misses, t.Dropped, t.Overruns, t.MaxResponse)
+}
+
+// PerTask returns the per-task metrics of the last Run in ascending task
+// ID order, or nil when Run has not been called.
+func (s *Simulator) PerTask() []TaskMetrics {
+	if s.perTask == nil {
+		return nil
+	}
+	out := make([]TaskMetrics, 0, len(s.perTask))
+	for _, tm := range s.perTask {
+		out = append(out, *tm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TaskMetricsFor returns the metrics of one task from the last Run.
+func (s *Simulator) TaskMetricsFor(id int) (TaskMetrics, bool) {
+	tm, ok := s.perTask[id]
+	if !ok {
+		return TaskMetrics{}, false
+	}
+	return *tm, true
+}

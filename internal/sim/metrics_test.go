@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"chebymc/internal/mc"
+	"chebymc/internal/stats"
+)
+
+func TestPerTaskBeforeRun(t *testing.T) {
+	ts := mkSet(t)
+	s, err := New(ts, Config{Horizon: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PerTask() != nil {
+		t.Error("PerTask must be nil before Run")
+	}
+}
+
+func TestPerTaskConsistentWithAggregate(t *testing.T) {
+	ts := mkSet(t)
+	s, err := New(ts, overrunConfig(t, ts, DropAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Run()
+	per := s.PerTask()
+	if len(per) != 2 {
+		t.Fatalf("per-task entries = %d, want 2", len(per))
+	}
+	var rel, comp, drop, over int
+	for _, tm := range per {
+		rel += tm.Released
+		comp += tm.Completed
+		drop += tm.Dropped
+		over += tm.Overruns
+	}
+	if rel != m.HCReleased+m.LCReleased {
+		t.Errorf("per-task released %d != aggregate %d", rel, m.HCReleased+m.LCReleased)
+	}
+	if comp != m.HCCompleted+m.LCCompleted {
+		t.Errorf("per-task completed %d != aggregate %d", comp, m.HCCompleted+m.LCCompleted)
+	}
+	if drop != m.LCDropped {
+		t.Errorf("per-task dropped %d != aggregate %d", drop, m.LCDropped)
+	}
+	if over != m.Overruns {
+		t.Errorf("per-task overruns %d != aggregate %d", over, m.Overruns)
+	}
+}
+
+func TestPerTaskResponseTimes(t *testing.T) {
+	ts := mkSet(t)
+	s, err := New(ts, Config{Horizon: 10000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	hc, ok := s.TaskMetricsFor(1)
+	if !ok {
+		t.Fatal("missing task 1 metrics")
+	}
+	// Deterministic exec = C^LO = 20; the HC task shares the core with
+	// an LC task, so responses are ≥ 20 and ≤ the period.
+	if hc.MeanResponse() < 20-1e-9 {
+		t.Errorf("mean response %g below execution time", hc.MeanResponse())
+	}
+	if hc.MaxResponse > 100 {
+		t.Errorf("max response %g above period for a schedulable set", hc.MaxResponse)
+	}
+	if hc.ServiceRate() != 1 {
+		t.Errorf("service rate %g, want 1", hc.ServiceRate())
+	}
+	if _, ok := s.TaskMetricsFor(99); ok {
+		t.Error("unknown task id must miss")
+	}
+}
+
+func TestPerTaskOverrunRateBoundedByCantelli(t *testing.T) {
+	// Per-task rates (not just the aggregate) must respect the per-task
+	// Theorem 1 bound the assignment used.
+	ts := mkSet(t)
+	s, err := New(ts, overrunConfig(t, ts, DropAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	hc, _ := s.TaskMetricsFor(1)
+	// C^LO = 20 = ACET 15 + 2σ: bound = 1/(1+4) = 0.2.
+	if hc.OverrunRate() > stats.CantelliBound(2)+0.02 {
+		t.Errorf("per-task overrun %g above bound", hc.OverrunRate())
+	}
+	if hc.Crit != mc.HC {
+		t.Error("criticality lost in metrics")
+	}
+}
+
+func TestTaskMetricsString(t *testing.T) {
+	tm := TaskMetrics{ID: 3, Crit: mc.LC, Released: 5, Completed: 4}
+	s := tm.String()
+	if s == "" || tm.MeanResponse() != 0 {
+		t.Error("string/zero-response handling wrong")
+	}
+	// Zero released: rates must be zero.
+	var z TaskMetrics
+	if z.OverrunRate() != 0 || z.ServiceRate() != 0 {
+		t.Error("zero-task rates must be 0")
+	}
+}

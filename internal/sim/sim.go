@@ -1,0 +1,442 @@
+// Package sim is the runtime substrate: a discrete-event simulator of a
+// preemptive uniprocessor scheduled by EDF-VD, implementing the paper's
+// system operational model (Section III). The system starts in LO mode;
+// when a high-criticality job exceeds its optimistic budget C^LO the
+// system switches to HI mode, low-criticality tasks are dropped (Baruah
+// [1]) or degraded (Liu [2]), and the system returns to LO mode once no
+// ready HC job remains.
+//
+// The simulator closes the loop on the paper's design-time analysis: given
+// an assignment produced by internal/core it measures the *observed*
+// overrun and mode-switch rates, LC service and deadline behaviour, which
+// the analytical bounds must dominate.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chebymc/internal/dist"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/mc"
+)
+
+// Policy selects the HI-mode treatment of LC tasks.
+type Policy int
+
+const (
+	// DropAll discards all LC jobs in HI mode (Baruah et al. [1]).
+	DropAll Policy = iota
+	// Degrade keeps LC jobs running with budgets scaled by the degrade
+	// factor (Liu et al. [2]).
+	Degrade
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case DropAll:
+		return "drop-all"
+	case Degrade:
+		return "degrade"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Horizon is the simulated time span. Must be positive.
+	Horizon float64
+	// Policy is the HI-mode LC treatment.
+	Policy Policy
+	// DegradeFactor is ρ for the Degrade policy (0 < ρ ≤ 1). Ignored by
+	// DropAll. Defaults to 0.5, the value in [2].
+	DegradeFactor float64
+	// Exec maps task ID → execution-time distribution. HC entries are
+	// clamped to [0, C^HI]; LC entries to [0, C^LO]. Tasks without an
+	// entry execute for exactly C^LO.
+	Exec map[int]dist.Dist
+	// X is the virtual-deadline factor for HC tasks in LO mode. When 0
+	// it is computed from the EDF-VD analysis.
+	X float64
+	// Seed seeds the simulation's random source.
+	Seed int64
+	// MaxEvents caps the schedule-event log; 0 disables logging.
+	MaxEvents int
+	// Jitter maps task ID → an inter-release jitter distribution:
+	// successive releases are separated by Period + max(0, draw),
+	// modelling sporadic tasks (the paper's periods are minimum
+	// separations). Tasks without an entry release strictly
+	// periodically.
+	Jitter map[int]dist.Dist
+}
+
+// Metrics aggregates what happened during a run.
+type Metrics struct {
+	// Time is the simulated span.
+	Time float64
+	// HCReleased / LCReleased count released jobs per criticality.
+	HCReleased, LCReleased int
+	// HCCompleted / LCCompleted count jobs finishing before their
+	// deadline.
+	HCCompleted, LCCompleted int
+	// HCMisses / LCMisses count deadline misses of completed jobs.
+	HCMisses, LCMisses int
+	// LCDropped counts LC jobs discarded by a mode switch or released
+	// into HI mode under DropAll.
+	LCDropped int
+	// LCDegraded counts LC jobs that ran with a degraded budget.
+	LCDegraded int
+	// Overruns counts HC jobs whose execution exceeded C^LO.
+	Overruns int
+	// ModeSwitches counts LO→HI transitions.
+	ModeSwitches int
+	// TimeInHI is the total time spent in HI mode.
+	TimeInHI float64
+	// BusyTime is the total time the processor was executing jobs.
+	BusyTime float64
+}
+
+// Utilisation reports BusyTime / Time.
+func (m Metrics) Utilisation() float64 {
+	if m.Time == 0 {
+		return 0
+	}
+	return m.BusyTime / m.Time
+}
+
+// OverrunRate reports Overruns / HCReleased, the empirical counterpart of
+// the per-job Theorem 1 bound (aggregated over tasks).
+func (m Metrics) OverrunRate() float64 {
+	if m.HCReleased == 0 {
+		return 0
+	}
+	return float64(m.Overruns) / float64(m.HCReleased)
+}
+
+// LCServiceRate reports the fraction of released LC jobs that completed.
+func (m Metrics) LCServiceRate() float64 {
+	if m.LCReleased == 0 {
+		return 0
+	}
+	return float64(m.LCCompleted) / float64(m.LCReleased)
+}
+
+type job struct {
+	task      *mc.Task
+	release   float64
+	absDL     float64 // real deadline
+	virtDL    float64 // EDF-VD priority deadline (shrunk for HC in LO)
+	remaining float64 // execution time still needed
+	execTotal float64 // drawn execution time
+	consumed  float64 // processor time received
+	degraded  bool
+	dropped   bool
+}
+
+// Simulator runs one task set. Create with New, run with Run.
+type Simulator struct {
+	ts  *mc.TaskSet
+	cfg Config
+	// perTask holds the per-task metrics of the most recent Run.
+	perTask map[int]*TaskMetrics
+	// events holds the schedule-event log of the most recent Run.
+	events []Event
+}
+
+// New validates the configuration and returns a Simulator.
+func New(ts *mc.TaskSet, cfg Config) (*Simulator, error) {
+	if ts == nil {
+		return nil, errors.New("sim: nil task set")
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon %g must be positive", cfg.Horizon)
+	}
+	if cfg.Policy != DropAll && cfg.Policy != Degrade {
+		return nil, fmt.Errorf("sim: unknown policy %d", int(cfg.Policy))
+	}
+	if cfg.DegradeFactor == 0 {
+		cfg.DegradeFactor = 0.5
+	}
+	if cfg.DegradeFactor < 0 || cfg.DegradeFactor > 1 {
+		return nil, fmt.Errorf("sim: degrade factor %g out of (0, 1]", cfg.DegradeFactor)
+	}
+	if cfg.X == 0 {
+		cfg.X = edfvd.Schedulable(ts).X
+	}
+	if cfg.X <= 0 || cfg.X > 1 {
+		return nil, fmt.Errorf("sim: virtual-deadline factor %g out of (0, 1]", cfg.X)
+	}
+	return &Simulator{ts: ts, cfg: cfg}, nil
+}
+
+// Run simulates the configured horizon and returns the metrics.
+func (s *Simulator) Run() Metrics {
+	r := rand.New(rand.NewSource(s.cfg.Seed))
+	var m Metrics
+	m.Time = s.cfg.Horizon
+
+	s.perTask = make(map[int]*TaskMetrics, len(s.ts.Tasks))
+	for _, t := range s.ts.Tasks {
+		s.perTask[t.ID] = &TaskMetrics{ID: t.ID, Crit: t.Crit}
+	}
+	s.events = nil
+
+	tasks := s.ts.Tasks
+	nextRelease := make([]float64, len(tasks))
+	mode := mc.LO
+	var ready []*job
+	now := 0.0
+	lastHIEnter := 0.0
+
+	drawExec := func(t *mc.Task) float64 {
+		d, ok := s.cfg.Exec[t.ID]
+		if !ok {
+			return t.CLO
+		}
+		x := d.Sample(r)
+		if x < 0 {
+			x = 0
+		}
+		cap := t.CHI
+		if t.Crit == mc.LC {
+			cap = t.CLO
+		}
+		if x > cap {
+			x = cap
+		}
+		return x
+	}
+
+	release := func(i int, at float64) {
+		t := &tasks[i]
+		gap := t.Period
+		if jd, ok := s.cfg.Jitter[t.ID]; ok {
+			if j := jd.Sample(r); j > 0 {
+				gap += j
+			}
+		}
+		nextRelease[i] = at + gap
+		j := &job{
+			task:      t,
+			release:   at,
+			absDL:     at + t.Period,
+			virtDL:    at + t.Period,
+			execTotal: drawExec(t),
+		}
+		j.remaining = j.execTotal
+		tm := s.perTask[t.ID]
+		tm.Released++
+		s.record(at, EvRelease, t.ID)
+		if t.Crit == mc.HC {
+			m.HCReleased++
+			if j.execTotal > t.CLO {
+				m.Overruns++
+				tm.Overruns++
+			}
+			if mode == mc.LO {
+				j.virtDL = at + s.cfg.X*t.Period
+			}
+		} else {
+			m.LCReleased++
+			if mode == mc.HI {
+				switch s.cfg.Policy {
+				case DropAll:
+					j.dropped = true
+					m.LCDropped++
+					tm.Dropped++
+					s.record(at, EvDrop, t.ID)
+					return
+				case Degrade:
+					j.degraded = true
+					m.LCDegraded++
+					j.remaining *= s.cfg.DegradeFactor
+				}
+			}
+		}
+		ready = append(ready, j)
+	}
+
+	// pick returns the ready job with the earliest virtual deadline,
+	// ties broken by task ID for determinism.
+	pick := func() *job {
+		var best *job
+		for _, j := range ready {
+			if best == nil ||
+				j.virtDL < best.virtDL ||
+				(j.virtDL == best.virtDL && j.task.ID < best.task.ID) {
+				best = j
+			}
+		}
+		return best
+	}
+
+	removeJob := func(target *job) {
+		for i, j := range ready {
+			if j == target {
+				ready[i] = ready[len(ready)-1]
+				ready = ready[:len(ready)-1]
+				return
+			}
+		}
+	}
+
+	hasReadyHC := func() bool {
+		for _, j := range ready {
+			if j.task.Crit == mc.HC {
+				return true
+			}
+		}
+		return false
+	}
+
+	enterHI := func() {
+		mode = mc.HI
+		m.ModeSwitches++
+		lastHIEnter = now
+		s.record(now, EvSwitchHI, 0)
+		// Restore real deadlines for HC jobs; handle LC jobs per policy.
+		var kept []*job
+		for _, j := range ready {
+			if j.task.Crit == mc.HC {
+				j.virtDL = j.absDL
+				kept = append(kept, j)
+				continue
+			}
+			switch s.cfg.Policy {
+			case DropAll:
+				j.dropped = true
+				m.LCDropped++
+				s.perTask[j.task.ID].Dropped++
+				s.record(now, EvDrop, j.task.ID)
+			case Degrade:
+				if !j.degraded {
+					j.degraded = true
+					m.LCDegraded++
+					j.remaining *= s.cfg.DegradeFactor
+				}
+				kept = append(kept, j)
+			}
+		}
+		ready = kept
+	}
+
+	exitHI := func() {
+		mode = mc.LO
+		m.TimeInHI += now - lastHIEnter
+		s.record(now, EvSwitchLO, 0)
+		// Future HC releases get virtual deadlines again; pending HC jobs
+		// keep their real deadlines (they were admitted under HI).
+	}
+
+	for i := range tasks {
+		nextRelease[i] = 0
+	}
+
+	for now < s.cfg.Horizon {
+		// Release everything due now.
+		for i := range tasks {
+			for nextRelease[i] <= now && nextRelease[i] < s.cfg.Horizon {
+				release(i, nextRelease[i])
+			}
+		}
+
+		run := pick()
+
+		// Next release strictly in the future.
+		nextRel := math.Inf(1)
+		for i := range tasks {
+			if nextRelease[i] > now && nextRelease[i] < nextRel && nextRelease[i] < s.cfg.Horizon {
+				nextRel = nextRelease[i]
+			}
+		}
+
+		if run == nil {
+			if math.IsInf(nextRel, 1) {
+				break
+			}
+			now = nextRel
+			continue
+		}
+
+		// Milestone: completion, or — for an HC job in LO mode — the C^LO
+		// budget exhaustion that triggers the mode switch.
+		milestone := run.remaining
+		budgetSwitch := false
+		if mode == mc.LO && run.task.Crit == mc.HC {
+			budgetLeft := run.task.CLO - run.consumed
+			if budgetLeft < milestone {
+				milestone = budgetLeft
+				budgetSwitch = true
+			}
+		}
+		end := now + milestone
+		if end > nextRel {
+			// Preemption point: run until the release, then loop.
+			delta := nextRel - now
+			run.remaining -= delta
+			run.consumed += delta
+			m.BusyTime += delta
+			now = nextRel
+			continue
+		}
+		if end > s.cfg.Horizon {
+			delta := s.cfg.Horizon - now
+			run.remaining -= delta
+			run.consumed += delta
+			m.BusyTime += delta
+			now = s.cfg.Horizon
+			break
+		}
+
+		run.remaining -= milestone
+		run.consumed += milestone
+		m.BusyTime += milestone
+		now = end
+
+		if budgetSwitch && run.remaining > 0 {
+			enterHI()
+			continue
+		}
+		if run.remaining <= 1e-12 {
+			removeJob(run)
+			tm := s.perTask[run.task.ID]
+			tm.Completed++
+			resp := now - run.release
+			tm.sumResponse += resp
+			if resp > tm.MaxResponse {
+				tm.MaxResponse = resp
+			}
+			missed := now > run.absDL+1e-9
+			if missed {
+				tm.Misses++
+				s.record(now, EvMiss, run.task.ID)
+			} else {
+				s.record(now, EvComplete, run.task.ID)
+			}
+			if run.task.Crit == mc.HC {
+				m.HCCompleted++
+				if missed {
+					m.HCMisses++
+				}
+			} else {
+				m.LCCompleted++
+				if missed {
+					m.LCMisses++
+				}
+			}
+			if mode == mc.HI && !hasReadyHC() {
+				exitHI()
+			}
+		}
+	}
+	if mode == mc.HI {
+		m.TimeInHI += s.cfg.Horizon - lastHIEnter
+	}
+	return m
+}

@@ -1,0 +1,399 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/core"
+	"chebymc/internal/dist"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/mc"
+	"chebymc/internal/policy"
+	"chebymc/internal/stats"
+	"chebymc/internal/taskgen"
+)
+
+// mkSet builds a schedulable dual-criticality set: one HC task with a wide
+// ACET/WCET gap and one LC task.
+func mkSet(t *testing.T) *mc.TaskSet {
+	t.Helper()
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Name: "ctl", Crit: mc.HC, CLO: 20, CHI: 60, Period: 100,
+			Profile: mc.Profile{ACET: 15, Sigma: 2.5}},
+		{ID: 2, Name: "log", Crit: mc.LC, CLO: 10, CHI: 10, Period: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestNewValidation(t *testing.T) {
+	ts := mkSet(t)
+	if _, err := New(nil, Config{Horizon: 10}); err == nil {
+		t.Error("nil task set must error")
+	}
+	if _, err := New(ts, Config{Horizon: 0}); err == nil {
+		t.Error("zero horizon must error")
+	}
+	if _, err := New(ts, Config{Horizon: 10, Policy: Policy(9)}); err == nil {
+		t.Error("unknown policy must error")
+	}
+	if _, err := New(ts, Config{Horizon: 10, DegradeFactor: 2}); err == nil {
+		t.Error("degrade factor > 1 must error")
+	}
+	if _, err := New(ts, Config{Horizon: 10, X: 1.5}); err == nil {
+		t.Error("x > 1 must error")
+	}
+	if _, err := New(ts, Config{Horizon: 10}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if DropAll.String() != "drop-all" || Degrade.String() != "degrade" {
+		t.Error("policy strings wrong")
+	}
+	if Policy(7).String() == "" {
+		t.Error("unknown policy must still render")
+	}
+}
+
+func TestDeterministicNoOverrunNoSwitch(t *testing.T) {
+	ts := mkSet(t)
+	// Execution always exactly C^LO: never a switch, never a miss.
+	s, err := New(ts, Config{Horizon: 10000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Run()
+	if m.ModeSwitches != 0 {
+		t.Errorf("mode switches = %d, want 0", m.ModeSwitches)
+	}
+	if m.Overruns != 0 {
+		t.Errorf("overruns = %d, want 0", m.Overruns)
+	}
+	if m.HCMisses != 0 || m.LCMisses != 0 {
+		t.Errorf("misses = %d/%d, want 0/0", m.HCMisses, m.LCMisses)
+	}
+	if m.HCReleased != 100 {
+		t.Errorf("HC released = %d, want 100", m.HCReleased)
+	}
+	if m.LCReleased != 200 {
+		t.Errorf("LC released = %d, want 200", m.LCReleased)
+	}
+	if m.HCCompleted != m.HCReleased {
+		t.Errorf("HC completed %d of %d", m.HCCompleted, m.HCReleased)
+	}
+	// Busy time: 100 jobs × 20 + 200 × 10 = 4000 over 10000.
+	if math.Abs(m.Utilisation()-0.4) > 1e-9 {
+		t.Errorf("utilisation = %g, want 0.4", m.Utilisation())
+	}
+	if m.TimeInHI != 0 {
+		t.Errorf("time in HI = %g, want 0", m.TimeInHI)
+	}
+}
+
+// overrunConfig gives the HC task a truncated-normal execution time whose
+// tail exceeds C^LO, so mode switches happen.
+func overrunConfig(t *testing.T, ts *mc.TaskSet, pol Policy) Config {
+	t.Helper()
+	d, err := dist.NewTruncNormal(15, 2.5, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := dist.NewTruncNormal(8, 1, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Horizon: 200000,
+		Policy:  pol,
+		Exec:    map[int]dist.Dist{1: d, 2: lc},
+		Seed:    7,
+	}
+}
+
+func TestOverrunsTriggerSwitchesAndRecovery(t *testing.T) {
+	ts := mkSet(t)
+	s, err := New(ts, overrunConfig(t, ts, DropAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Run()
+	if m.Overruns == 0 {
+		t.Fatal("expected overruns with a tailed distribution")
+	}
+	if m.ModeSwitches == 0 {
+		t.Fatal("expected mode switches")
+	}
+	// Every overrun triggers at most one switch and the system recovers:
+	// time in HI must be a small fraction of the horizon.
+	if m.ModeSwitches > m.Overruns {
+		t.Errorf("switches %d > overruns %d", m.ModeSwitches, m.Overruns)
+	}
+	if m.TimeInHI >= m.Time/2 {
+		t.Errorf("system stuck in HI: %g of %g", m.TimeInHI, m.Time)
+	}
+	// HC deadlines are guaranteed by EDF-VD for this schedulable set.
+	if m.HCMisses != 0 {
+		t.Errorf("HC misses = %d, want 0", m.HCMisses)
+	}
+	// Some LC jobs must have been dropped under DropAll.
+	if m.LCDropped == 0 {
+		t.Error("expected dropped LC jobs under drop-all")
+	}
+	if m.LCDegraded != 0 {
+		t.Error("drop-all must not degrade")
+	}
+}
+
+func TestDegradePolicyKeepsLCRunning(t *testing.T) {
+	ts := mkSet(t)
+	s, err := New(ts, overrunConfig(t, ts, Degrade))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Run()
+	if m.ModeSwitches == 0 {
+		t.Fatal("expected mode switches")
+	}
+	if m.LCDegraded == 0 {
+		t.Error("expected degraded LC jobs under degrade policy")
+	}
+	if m.LCDropped != 0 {
+		t.Error("degrade policy must not drop")
+	}
+	// Degrade must serve at least as many LC jobs as drop-all.
+	s2, err := New(ts, overrunConfig(t, ts, DropAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := s2.Run()
+	if m.LCServiceRate() < m2.LCServiceRate() {
+		t.Errorf("degrade LC service %g < drop-all %g", m.LCServiceRate(), m2.LCServiceRate())
+	}
+}
+
+func TestObservedOverrunRateRespectsChebyshev(t *testing.T) {
+	// Assign C^LO = ACET + n·σ via the core API and check the *observed*
+	// per-job overrun rate against the Theorem 1 bound.
+	base, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 15, CHI: 60, Period: 100,
+			Profile: mc.Profile{ACET: 15, Sigma: 2.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dist.NewTruncNormal(15, 2.5, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{1, 2, 3} {
+		a, err := core.ApplyUniform(base, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(a.TaskSet, Config{
+			Horizon: 400000,
+			Exec:    map[int]dist.Dist{1: d},
+			Seed:    11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := s.Run()
+		bound := stats.CantelliBound(n)
+		if rate := m.OverrunRate(); rate > bound+0.02 {
+			t.Errorf("n=%g: observed overrun rate %g violates bound %g", n, rate, bound)
+		}
+	}
+}
+
+func TestMetricsAccessorsZero(t *testing.T) {
+	var m Metrics
+	if m.Utilisation() != 0 || m.OverrunRate() != 0 || m.LCServiceRate() != 0 {
+		t.Error("zero metrics must report zero rates")
+	}
+}
+
+func TestBusyTimeBounded(t *testing.T) {
+	ts := mkSet(t)
+	s, err := New(ts, overrunConfig(t, ts, DropAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Run()
+	if m.BusyTime > m.Time+1e-9 {
+		t.Errorf("busy %g exceeds horizon %g", m.BusyTime, m.Time)
+	}
+	if m.TimeInHI > m.Time+1e-9 {
+		t.Errorf("HI time %g exceeds horizon %g", m.TimeInHI, m.Time)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	ts := mkSet(t)
+	cfg := overrunConfig(t, ts, DropAll)
+	s1, _ := New(ts, cfg)
+	s2, _ := New(ts, cfg)
+	if s1.Run() != s2.Run() {
+		t.Error("same seed must reproduce identical metrics")
+	}
+}
+
+func TestHCDeadlinesUnderPressure(t *testing.T) {
+	// A heavily loaded but Eq. 8-schedulable set: HC deadlines must hold
+	// even with constant overruns.
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 20, CHI: 45, Period: 100,
+			Profile: mc.Profile{ACET: 18, Sigma: 2}},
+		{ID: 2, Crit: mc.HC, CLO: 30, CHI: 80, Period: 250,
+			Profile: mc.Profile{ACET: 26, Sigma: 3}},
+		{ID: 3, Crit: mc.LC, CLO: 12, CHI: 12, Period: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := edfvd.Schedulable(ts)
+	if !an.Schedulable {
+		t.Fatalf("test set must be schedulable: %v", an)
+	}
+	d1, _ := dist.NewTruncNormal(18, 2, 0, 45)
+	d2, _ := dist.NewTruncNormal(26, 3, 0, 80)
+	s, err := New(ts, Config{
+		Horizon: 300000,
+		Exec:    map[int]dist.Dist{1: d1, 2: d2},
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Run()
+	if m.HCMisses != 0 {
+		t.Fatalf("HC deadline misses under schedulable set: %d (switches %d)", m.HCMisses, m.ModeSwitches)
+	}
+	if m.ModeSwitches == 0 {
+		t.Error("expected switches in this scenario")
+	}
+}
+
+func TestLCJobsClampedToBudget(t *testing.T) {
+	// LC execution distributions are clamped to C^LO: an LC dist far
+	// above budget must not inflate busy time beyond the schedulable
+	// envelope or cause HC misses.
+	ts := mkSet(t)
+	big, _ := dist.NewNormal(40, 5) // LC budget is 10
+	s, err := New(ts, Config{
+		Horizon: 50000,
+		Exec:    map[int]dist.Dist{2: big},
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Run()
+	if m.HCMisses != 0 {
+		t.Errorf("HC misses = %d, want 0", m.HCMisses)
+	}
+	// All LC jobs take exactly 10 (clamped), LO utilisation 0.4.
+	if math.Abs(m.Utilisation()-0.4) > 0.02 {
+		t.Errorf("utilisation = %g, want ≈0.4", m.Utilisation())
+	}
+}
+
+func TestSporadicJitterSlowsReleases(t *testing.T) {
+	ts := mkSet(t)
+	jit, err := dist.NewUniform(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ts, Config{
+		Horizon: 100000,
+		Seed:    1,
+		Jitter:  map[int]dist.Dist{1: jit},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Run()
+	// Mean separation grows from 100 to ≈125: releases drop accordingly.
+	if m.HCReleased >= 1000 || m.HCReleased < 700 {
+		t.Errorf("HC released = %d, want ≈ 800 with jitter", m.HCReleased)
+	}
+	// The un-jittered LC task stays strictly periodic.
+	if m.LCReleased != 2000 {
+		t.Errorf("LC released = %d, want 2000", m.LCReleased)
+	}
+	// Sporadic slack only helps: no misses.
+	if m.HCMisses != 0 || m.LCMisses != 0 {
+		t.Errorf("misses with jitter: %d/%d", m.HCMisses, m.LCMisses)
+	}
+}
+
+func TestNegativeJitterClamped(t *testing.T) {
+	// A distribution straddling zero must never shrink the separation
+	// below the period (the sporadic minimum).
+	ts := mkSet(t)
+	jit, err := dist.NewNormal(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ts, Config{
+		Horizon: 50000,
+		Seed:    2,
+		Jitter:  map[int]dist.Dist{1: jit},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Run()
+	// With negative draws clamped, separations ≥ 100 → at most 500
+	// releases over 50000.
+	if m.HCReleased > 500 {
+		t.Errorf("HC released = %d, exceeds the periodic maximum", m.HCReleased)
+	}
+}
+
+// The central safety property across random systems: any Eq. 8-schedulable
+// assignment, replayed with adversarially tailed execution times, never
+// misses a high-criticality deadline.
+func TestNoHCMissOnRandomSchedulableSets(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts, err := taskgen.Mixed(r, taskgen.Config{}, 0.9)
+		if err != nil {
+			return false
+		}
+		a, err := policy.ChebyshevUniform{N: 2}.Assign(ts, nil)
+		if err != nil {
+			return false
+		}
+		if !edfvd.Schedulable(a.TaskSet).Schedulable {
+			return true // unschedulable draws carry no guarantee
+		}
+		exec := map[int]dist.Dist{}
+		for _, task := range a.TaskSet.Tasks {
+			if task.Crit != mc.HC || task.Profile.Sigma <= 0 {
+				continue
+			}
+			// Heavy-tailed execution times: constant overruns.
+			d, derr := dist.LogNormalFromMoments(task.Profile.ACET, 2*task.Profile.Sigma)
+			if derr != nil {
+				return false
+			}
+			exec[task.ID] = dist.ClampedAbove{D: d, Max: task.CHI}
+		}
+		s, err := New(a.TaskSet, Config{Horizon: 30000, Exec: exec, Seed: seed})
+		if err != nil {
+			return false
+		}
+		m := s.Run()
+		return m.HCMisses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"chebymc/internal/stats"
+)
+
+// ExampleCantelliBound reproduces the analysis column of the paper's
+// Table II.
+func ExampleCantelliBound() {
+	for n := 0; n <= 4; n++ {
+		fmt.Printf("n=%d: %.2f%%\n", n, 100*stats.CantelliBound(float64(n)))
+	}
+	// Output:
+	// n=0: 100.00%
+	// n=1: 50.00%
+	// n=2: 20.00%
+	// n=3: 10.00%
+	// n=4: 5.88%
+}
+
+// ExampleNForBound inverts the bound: the n needed for a target overrun
+// probability.
+func ExampleNForBound() {
+	fmt.Printf("%.2f\n", stats.NForBound(0.1))
+	// Output:
+	// 3.00
+}
+
+// ExampleSummarize shows the Eqs. 3–4 statistics.
+func ExampleSummarize() {
+	s, err := stats.Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ACET=%.0f sigma=%.0f\n", s.Mean, s.StdDev)
+	// Output:
+	// ACET=5 sigma=2
+}

@@ -1,0 +1,392 @@
+// Package stats provides the descriptive-statistics substrate used
+// throughout the repository: sample summaries, an online (Welford)
+// accumulator, empirical CDFs, quantiles, histograms and the one-sided
+// Chebyshev (Cantelli) tail bounds that the paper's Theorem 1 rests on.
+//
+// Standard deviations are population (biased) standard deviations, dividing
+// by N rather than N-1, matching Eq. 4 of the paper.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrNoSamples is returned by operations that require at least one sample.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N      int     // number of samples
+	Mean   float64 // arithmetic mean (the ACET when samples are execution times)
+	StdDev float64 // population standard deviation (Eq. 4)
+	Var    float64 // population variance
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes the Summary of xs. It returns ErrNoSamples when xs is
+// empty.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoSamples
+	}
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	return o.Summary(), nil
+}
+
+// MustSummarize is Summarize for callers that have already guaranteed a
+// non-empty sample; it panics on an empty input.
+func MustSummarize(xs []float64) Summary {
+	s, err := Summarize(xs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// String renders the summary in a compact single-line form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Max)
+}
+
+// Online is a numerically stable streaming accumulator (Welford's
+// algorithm). The zero value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// AddAll folds every element of xs into the accumulator.
+func (o *Online) AddAll(xs []float64) {
+	for _, x := range xs {
+		o.Add(x)
+	}
+}
+
+// N reports the number of observations added so far.
+func (o *Online) N() int { return o.n }
+
+// Mean reports the running mean; it is 0 before any observation.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var reports the running population variance.
+func (o *Online) Var() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// StdDev reports the running population standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Var()) }
+
+// Min reports the smallest observation; 0 before any observation.
+func (o *Online) Min() float64 { return o.min }
+
+// Max reports the largest observation; 0 before any observation.
+func (o *Online) Max() float64 { return o.max }
+
+// Summary snapshots the accumulator into a Summary value.
+func (o *Online) Summary() Summary {
+	return Summary{
+		N:      o.n,
+		Mean:   o.mean,
+		StdDev: o.StdDev(),
+		Var:    o.Var(),
+		Min:    o.min,
+		Max:    o.max,
+	}
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs (Eq. 4), or 0 for
+// an empty slice.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// ExceedRate returns the fraction of samples strictly greater than
+// threshold. This is the empirical counterpart of the overrun probability
+// Pr[X > threshold].
+func ExceedRate(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// CantelliBound returns the one-sided Chebyshev (Cantelli) bound
+// 1/(1+n²) on Pr[X ≥ E[X] + n·σ] for n ≥ 0. This is the bound of the
+// paper's Theorem 1. Negative n is clamped to 0 (the bound is vacuous
+// below the mean).
+func CantelliBound(n float64) float64 {
+	if n < 0 {
+		n = 0
+	}
+	return 1 / (1 + n*n)
+}
+
+// TwoSidedChebyshevBound returns the classical two-sided Chebyshev bound
+// 1/n² on Pr[|X−E[X]| ≥ n·σ]. For n ≤ 1 the bound is vacuous and 1 is
+// returned. Used only for the one-sided-vs-two-sided ablation; the paper
+// uses CantelliBound.
+func TwoSidedChebyshevBound(n float64) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 / (n * n)
+}
+
+// NForBound inverts CantelliBound: it returns the smallest n such that
+// 1/(1+n²) ≤ p, i.e. n = sqrt(1/p − 1). p must be in (0, 1]; values
+// outside that range return +Inf (p ≤ 0) or 0 (p ≥ 1).
+func NForBound(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	if p >= 1 {
+		return 0
+	}
+	return math.Sqrt(1/p - 1)
+}
+
+// BootstrapCI estimates a percentile bootstrap confidence interval for
+// the mean of xs: resamples resamples with replacement using r, at
+// confidence conf (e.g. 0.95). It returns ErrNoSamples for empty input
+// and an error for invalid parameters. Experiment sweeps use it to attach
+// uncertainty to their reported means.
+func BootstrapCI(xs []float64, resamples int, conf float64, r *rand.Rand) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrNoSamples
+	}
+	if resamples < 10 {
+		return 0, 0, fmt.Errorf("stats: need ≥ 10 resamples, got %d", resamples)
+	}
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence %g out of (0, 1)", conf)
+	}
+	means := make([]float64, resamples)
+	for i := range means {
+		sum := 0.0
+		for j := 0; j < len(xs); j++ {
+			sum += xs[r.Intn(len(xs))]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	loIdx := int(alpha * float64(resamples))
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return means[loIdx], means[hiIdx], nil
+}
+
+// WelchT computes Welch's t statistic for the difference of means between
+// two independent samples (positive when xs has the larger mean) together
+// with the approximate two-sided significance level from the normal
+// approximation — adequate at the experiment sweep's sample sizes. It
+// returns ErrNoSamples unless both samples have at least two elements.
+func WelchT(xs, ys []float64) (t float64, p float64, err error) {
+	if len(xs) < 2 || len(ys) < 2 {
+		return 0, 0, ErrNoSamples
+	}
+	sx := MustSummarize(xs)
+	sy := MustSummarize(ys)
+	nx, ny := float64(sx.N), float64(sy.N)
+	// Unbiased variances from the population ones.
+	vx := sx.Var * nx / (nx - 1)
+	vy := sy.Var * ny / (ny - 1)
+	se := math.Sqrt(vx/nx + vy/ny)
+	if se == 0 {
+		if sx.Mean == sy.Mean {
+			return 0, 1, nil
+		}
+		return math.Inf(sign(sx.Mean - sy.Mean)), 0, nil
+	}
+	t = (sx.Mean - sy.Mean) / se
+	// Two-sided p from the standard normal tail.
+	p = math.Erfc(math.Abs(t) / math.Sqrt2)
+	return t, p, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// ECDF is an empirical cumulative distribution function over a fixed
+// sample. Construct it with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts xs into an ECDF. It returns ErrNoSamples for an
+// empty sample.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoSamples
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// N reports the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// P returns the empirical Pr[X ≤ x].
+func (e *ECDF) P(x float64) float64 {
+	// Number of samples ≤ x: first index with sorted[i] > x.
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Exceed returns the empirical Pr[X > x] = 1 − P(x).
+func (e *ECDF) Exceed(x float64) float64 { return 1 - e.P(x) }
+
+// Quantile returns the p-quantile using the nearest-rank method. p is
+// clamped to [0, 1].
+func (e *ECDF) Quantile(p float64) float64 {
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	rank := int(math.Ceil(p * float64(len(e.sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return e.sorted[rank-1]
+}
+
+// Min returns the smallest sample.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest sample.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Under and Over count samples falling outside [Lo, Hi).
+	Under, Over int
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins over
+// [lo, hi). It returns an error for bins < 1 or hi ≤ lo.
+func NewHistogram(xs []float64, bins int, lo, hi float64) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: bins must be ≥ 1, got %d", bins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: need hi > lo, got [%g, %g)", lo, hi)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		switch {
+		case x < lo:
+			h.Under++
+		case x >= hi:
+			h.Over++
+		default:
+			i := int((x - lo) / w)
+			if i >= bins { // guard against FP edge at hi
+				i = bins - 1
+			}
+			h.Counts[i]++
+		}
+	}
+	return h, nil
+}
+
+// Total reports the number of samples inside [Lo, Hi).
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the centre of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Mode returns the index of the fullest bin (ties broken by lowest index).
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,450 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrNoSamples {
+		t.Fatalf("Summarize(nil) err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	// Classic textbook sample: population σ = 2.
+	if !almostEqual(s.StdDev, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min,Max = %g,%g want 2,9", s.Min, s.Max)
+	}
+}
+
+func TestMustSummarizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSummarize(nil) did not panic")
+		}
+	}()
+	MustSummarize(nil)
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var o Online
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+		o.Add(xs[i])
+	}
+	if !almostEqual(o.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("online mean %g != batch mean %g", o.Mean(), Mean(xs))
+	}
+	if !almostEqual(o.StdDev(), StdDev(xs), 1e-9) {
+		t.Errorf("online sd %g != batch sd %g", o.StdDev(), StdDev(xs))
+	}
+	if o.N() != len(xs) {
+		t.Errorf("N = %d, want %d", o.N(), len(xs))
+	}
+}
+
+func TestOnlineZeroValue(t *testing.T) {
+	var o Online
+	if o.N() != 0 || o.Mean() != 0 || o.Var() != 0 || o.StdDev() != 0 {
+		t.Error("zero-value Online must report zeros")
+	}
+	o.Add(5)
+	if o.Min() != 5 || o.Max() != 5 {
+		t.Errorf("single sample min/max = %g/%g, want 5/5", o.Min(), o.Max())
+	}
+	if o.Var() != 0 {
+		t.Errorf("single sample var = %g, want 0", o.Var())
+	}
+}
+
+func TestOnlineAddAll(t *testing.T) {
+	var a, b Online
+	xs := []float64{1, 2, 3, 4}
+	a.AddAll(xs)
+	for _, x := range xs {
+		b.Add(x)
+	}
+	if a.Summary() != b.Summary() {
+		t.Errorf("AddAll summary %v != Add loop summary %v", a.Summary(), b.Summary())
+	}
+}
+
+func TestMeanStdDevEmpty(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("Mean/StdDev of empty slice must be 0")
+	}
+}
+
+func TestExceedRate(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		thr  float64
+		want float64
+	}{
+		{0, 1.0},
+		{1, 0.8},
+		{3, 0.4},
+		{5, 0.0},
+		{2.5, 0.6},
+	}
+	for _, tc := range tests {
+		if got := ExceedRate(xs, tc.thr); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("ExceedRate(%g) = %g, want %g", tc.thr, got, tc.want)
+		}
+	}
+	if ExceedRate(nil, 0) != 0 {
+		t.Error("ExceedRate of empty slice must be 0")
+	}
+}
+
+func TestCantelliBoundKnown(t *testing.T) {
+	tests := []struct {
+		n, want float64
+	}{
+		{0, 1},
+		{1, 0.5},
+		{2, 0.2},
+		{3, 0.1},
+		{4, 1.0 / 17.0}, // 5.88% in the paper's Table II
+		{-1, 1},         // clamped
+	}
+	for _, tc := range tests {
+		if got := CantelliBound(tc.n); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("CantelliBound(%g) = %g, want %g", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestTwoSidedChebyshevLooserThanCantelli(t *testing.T) {
+	// For n > 1 the Cantelli bound 1/(1+n²) is always tighter than 1/n².
+	for n := 1.1; n < 40; n += 0.7 {
+		if CantelliBound(n) >= TwoSidedChebyshevBound(n) {
+			t.Errorf("n=%g: Cantelli %g not tighter than two-sided %g",
+				n, CantelliBound(n), TwoSidedChebyshevBound(n))
+		}
+	}
+	if TwoSidedChebyshevBound(0.5) != 1 {
+		t.Error("two-sided bound must be vacuous (1) for n ≤ 1")
+	}
+}
+
+func TestNForBoundInverse(t *testing.T) {
+	for _, p := range []float64{0.9, 0.5, 0.2, 0.1, 0.01} {
+		n := NForBound(p)
+		if got := CantelliBound(n); !almostEqual(got, p, 1e-12) {
+			t.Errorf("CantelliBound(NForBound(%g)) = %g", p, got)
+		}
+	}
+	if !math.IsInf(NForBound(0), 1) {
+		t.Error("NForBound(0) must be +Inf")
+	}
+	if NForBound(1) != 0 {
+		t.Error("NForBound(1) must be 0")
+	}
+}
+
+// Property: the Cantelli bound really bounds the empirical exceed rate at
+// ACET + n·σ for arbitrary samples (Theorem 1 of the paper).
+func TestCantelliHoldsEmpirically(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Mix of distributions to stress tails.
+		xs := make([]float64, 500)
+		for i := range xs {
+			switch i % 3 {
+			case 0:
+				xs[i] = r.ExpFloat64() * 7
+			case 1:
+				xs[i] = math.Abs(r.NormFloat64()) * 3
+			default:
+				xs[i] = r.Float64() * 20
+			}
+		}
+		s := MustSummarize(xs)
+		for n := 0.5; n <= 6; n += 0.5 {
+			rate := ExceedRate(xs, s.Mean+n*s.StdDev)
+			if rate > CantelliBound(n)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{3, 1, 2, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 5 {
+		t.Errorf("N = %d, want 5", e.N())
+	}
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0},
+		{1, 0.2},
+		{2, 0.6},
+		{2.5, 0.6},
+		{5, 1},
+		{10, 1},
+	}
+	for _, tc := range tests {
+		if got := e.P(tc.x); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("P(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+		if got := e.Exceed(tc.x); !almostEqual(got, 1-tc.want, 1e-12) {
+			t.Errorf("Exceed(%g) = %g, want %g", tc.x, got, 1-tc.want)
+		}
+	}
+	if e.Min() != 1 || e.Max() != 5 {
+		t.Errorf("Min/Max = %g/%g, want 1/5", e.Min(), e.Max())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err != ErrNoSamples {
+		t.Fatalf("NewECDF(nil) err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e, _ := NewECDF([]float64{10, 20, 30, 40, 50})
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 10},
+		{0.2, 10},
+		{0.21, 20},
+		{0.5, 30},
+		{1, 50},
+		{-1, 10},
+		{2, 50},
+	}
+	for _, tc := range tests {
+		if got := e.Quantile(tc.p); got != tc.want {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+}
+
+// Property: ECDF.P is monotone and Quantile is its rough inverse.
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for x := e.Min() - 1; x <= e.Max()+1; x += (e.Max() - e.Min() + 2) / 50 {
+			p := e.P(x)
+			if p < prev-1e-12 {
+				return false
+			}
+			prev = p
+		}
+		// Quantile of P(x) must be ≥ x is not guaranteed with ties;
+		// but P(Quantile(p)) ≥ p must hold.
+		for p := 0.05; p < 1; p += 0.05 {
+			if e.P(e.Quantile(p)) < p-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, -1, 10}
+	h, err := NewHistogram(xs, 3, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bins: [0,1) [1,2) [2,3); 3 and 10 are Over; -1 is Under.
+	want := []int{2, 2, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under/Over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("BinCenter(0) = %g, want 0.5", got)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 0, 1); err == nil {
+		t.Error("bins=0 must error")
+	}
+	if _, err := NewHistogram(nil, 3, 1, 1); err == nil {
+		t.Error("hi == lo must error")
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	xs := []float64{0.1, 0.2, 1.5, 1.6, 1.7, 2.5}
+	h, err := NewHistogram(xs, 3, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Mode() != 1 {
+		t.Errorf("Mode = %d, want 1", h.Mode())
+	}
+}
+
+func TestHistogramEdgeAtHi(t *testing.T) {
+	// A value exactly at hi must be counted as Over, values just below in
+	// the last bin.
+	h, err := NewHistogram([]float64{2.999999, 3.0}, 3, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[2] != 1 || h.Over != 1 {
+		t.Errorf("got last bin=%d over=%d, want 1/1", h.Counts[2], h.Over)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 50 + 10*r.NormFloat64()
+	}
+	lo, hi, err := BootstrapCI(xs, 500, 0.95, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := Mean(xs)
+	if !(lo < mean && mean < hi) {
+		t.Errorf("CI [%g, %g] does not contain the sample mean %g", lo, hi, mean)
+	}
+	// The 95%% CI of a mean of 400 samples with σ=10 is roughly ±1.
+	if hi-lo > 4 || hi-lo <= 0 {
+		t.Errorf("CI width %g implausible", hi-lo)
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, _, err := BootstrapCI(nil, 100, 0.95, r); err != ErrNoSamples {
+		t.Error("empty sample must be ErrNoSamples")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, 5, 0.95, r); err == nil {
+		t.Error("too few resamples must error")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, 100, 1.5, r); err == nil {
+		t.Error("bad confidence must error")
+	}
+}
+
+func TestBootstrapCICoverageProperty(t *testing.T) {
+	// Repeated draws: the nominal-95%% interval should cover the true
+	// mean most of the time (loose check ≥ 80%%).
+	r := rand.New(rand.NewSource(77))
+	covered := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 120)
+		for j := range xs {
+			xs[j] = 10 + 3*r.NormFloat64()
+		}
+		lo, hi, err := BootstrapCI(xs, 300, 0.95, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo <= 10 && 10 <= hi {
+			covered++
+		}
+	}
+	if covered < trials*8/10 {
+		t.Errorf("coverage %d/%d below 80%%", covered, trials)
+	}
+}
+
+func TestWelchT(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + r.NormFloat64()
+		ys[i] = 12 + r.NormFloat64()
+	}
+	tv, p, err := WelchT(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv >= 0 {
+		t.Errorf("t = %g, want negative (ys larger)", tv)
+	}
+	if p > 1e-6 {
+		t.Errorf("p = %g, want tiny for a 2σ separation", p)
+	}
+	// Same distribution: p should be large most of the time.
+	zs := make([]float64, 200)
+	for i := range zs {
+		zs[i] = 10 + r.NormFloat64()
+	}
+	_, pSame, err := WelchT(xs, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSame < 0.001 {
+		t.Errorf("p = %g for identical distributions, want larger", pSame)
+	}
+}
+
+func TestWelchTEdgeCases(t *testing.T) {
+	if _, _, err := WelchT([]float64{1}, []float64{1, 2}); err != ErrNoSamples {
+		t.Error("tiny sample must be ErrNoSamples")
+	}
+	// Zero variance, equal means.
+	tv, p, err := WelchT([]float64{5, 5}, []float64{5, 5})
+	if err != nil || tv != 0 || p != 1 {
+		t.Errorf("degenerate equal case: t=%g p=%g err=%v", tv, p, err)
+	}
+	// Zero variance, different means.
+	tv, p, err = WelchT([]float64{5, 5}, []float64{7, 7})
+	if err != nil || !math.IsInf(tv, -1) || p != 0 {
+		t.Errorf("degenerate diff case: t=%g p=%g err=%v", tv, p, err)
+	}
+}

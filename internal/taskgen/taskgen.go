@@ -1,0 +1,188 @@
+// Package taskgen generates synthetic dual-criticality task sets following
+// the protocol of the paper's Section V (itself "in line with" [1], [10],
+// [12], [14]): tasks are added at random until the target utilisation
+// bound is reached, periods are drawn uniformly from [100, 900] ms, and a
+// task is high-criticality with probability 1/2.
+//
+// For each HC task the generator also synthesises the execution-time
+// profile the Chebyshev scheme consumes: the ACET sits a benchmark-like
+// factor below WCET^pes (Table I observes factors of roughly 8–64) and σ
+// is a modest fraction of the ACET.
+package taskgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chebymc/internal/mc"
+)
+
+// Config tunes generation. The zero value selects the paper's parameters.
+type Config struct {
+	// PeriodLo, PeriodHi bound the period draw. Defaults: 100, 900 (ms).
+	PeriodLo, PeriodHi float64
+	// UtilLo, UtilHi bound each task's own-mode utilisation draw
+	// (HI-mode utilisation for HC tasks, LO-mode for LC tasks).
+	// Defaults: 0.02, 0.20.
+	UtilLo, UtilHi float64
+	// ProbHC is the probability a generated task is high-criticality.
+	// Default 0.5 (the Fig. 6 experiment "assumes the probability that a
+	// task is an HC or LC is equal").
+	ProbHC float64
+	// GapLo, GapHi bound the WCET^pes/ACET factor. Defaults: 8, 64
+	// (the span Table I measures).
+	GapLo, GapHi float64
+	// SigmaFracLo, SigmaFracHi bound σ/ACET. Defaults: 0.05, 0.30
+	// (Table I's benchmarks range from 0.006 to 0.27).
+	SigmaFracLo, SigmaFracHi float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PeriodLo == 0 {
+		c.PeriodLo = 100
+	}
+	if c.PeriodHi == 0 {
+		c.PeriodHi = 900
+	}
+	if c.UtilLo == 0 {
+		c.UtilLo = 0.02
+	}
+	if c.UtilHi == 0 {
+		c.UtilHi = 0.20
+	}
+	if c.ProbHC == 0 {
+		c.ProbHC = 0.5
+	}
+	if c.GapLo == 0 {
+		c.GapLo = 8
+	}
+	if c.GapHi == 0 {
+		c.GapHi = 64
+	}
+	if c.SigmaFracLo == 0 {
+		c.SigmaFracLo = 0.05
+	}
+	if c.SigmaFracHi == 0 {
+		c.SigmaFracHi = 0.30
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case !(0 < c.PeriodLo && c.PeriodLo <= c.PeriodHi):
+		return fmt.Errorf("taskgen: period range [%g, %g] invalid", c.PeriodLo, c.PeriodHi)
+	case !(0 < c.UtilLo && c.UtilLo <= c.UtilHi && c.UtilHi <= 1):
+		return fmt.Errorf("taskgen: utilisation range [%g, %g] invalid", c.UtilLo, c.UtilHi)
+	case c.ProbHC < 0 || c.ProbHC > 1:
+		return fmt.Errorf("taskgen: ProbHC %g out of [0, 1]", c.ProbHC)
+	case !(1 <= c.GapLo && c.GapLo <= c.GapHi):
+		return fmt.Errorf("taskgen: gap range [%g, %g] invalid", c.GapLo, c.GapHi)
+	case !(0 < c.SigmaFracLo && c.SigmaFracLo <= c.SigmaFracHi):
+		return fmt.Errorf("taskgen: sigma range [%g, %g] invalid", c.SigmaFracLo, c.SigmaFracHi)
+	}
+	return nil
+}
+
+func uniform(r *rand.Rand, lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// hcTask synthesises one HC task with HI-mode utilisation u.
+func hcTask(r *rand.Rand, cfg Config, id int, u float64) mc.Task {
+	period := uniform(r, cfg.PeriodLo, cfg.PeriodHi)
+	chi := u * period
+	gap := uniform(r, cfg.GapLo, cfg.GapHi)
+	acet := chi / gap
+	sigma := acet * uniform(r, cfg.SigmaFracLo, cfg.SigmaFracHi)
+	return mc.Task{
+		ID:      id,
+		Name:    fmt.Sprintf("hc%d", id),
+		Crit:    mc.HC,
+		CLO:     chi, // provisional: policies overwrite via Eq. 6
+		CHI:     chi,
+		Period:  period,
+		Profile: mc.Profile{ACET: acet, Sigma: sigma},
+	}
+}
+
+// lcTask synthesises one LC task with LO-mode utilisation u.
+func lcTask(r *rand.Rand, cfg Config, id int, u float64) mc.Task {
+	period := uniform(r, cfg.PeriodLo, cfg.PeriodHi)
+	c := u * period
+	return mc.Task{
+		ID:     id,
+		Name:   fmt.Sprintf("lc%d", id),
+		Crit:   mc.LC,
+		CLO:    c,
+		CHI:    c,
+		Period: period,
+	}
+}
+
+// HCOnly generates a task set of HC tasks whose total HI-mode utilisation
+// is (nearly exactly) uHCHI: tasks are added with random utilisations and
+// the last one is scaled to land on the target. Used by the Fig. 2–5
+// experiments, where LC load enters analytically through Eqs. 11–12.
+func HCOnly(r *rand.Rand, cfg Config, uHCHI float64) (*mc.TaskSet, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if uHCHI <= 0 || uHCHI >= 1 {
+		return nil, fmt.Errorf("taskgen: target U^HI_HC %g out of (0, 1)", uHCHI)
+	}
+	var tasks []mc.Task
+	remaining := uHCHI
+	id := 1
+	for remaining > 1e-9 {
+		u := uniform(r, cfg.UtilLo, cfg.UtilHi)
+		if u > remaining {
+			u = remaining
+		}
+		tasks = append(tasks, hcTask(r, cfg, id, u))
+		remaining -= u
+		id++
+	}
+	return mc.NewTaskSet(tasks)
+}
+
+// Mixed generates a dual-criticality task set whose utilisation bound
+//
+//	U_bound = U^LO_LC + U^HI_HC
+//
+// (each criticality charged in its own dominant mode) reaches uBound.
+// Tasks are HC with probability cfg.ProbHC. Used by the Fig. 6 acceptance
+// experiment.
+func Mixed(r *rand.Rand, cfg Config, uBound float64) (*mc.TaskSet, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if uBound <= 0 {
+		return nil, fmt.Errorf("taskgen: target U_bound %g must be positive", uBound)
+	}
+	var tasks []mc.Task
+	remaining := uBound
+	id := 1
+	for remaining > 1e-9 {
+		u := uniform(r, cfg.UtilLo, cfg.UtilHi)
+		if u > remaining {
+			u = remaining
+		}
+		if r.Float64() < cfg.ProbHC {
+			tasks = append(tasks, hcTask(r, cfg, id, u))
+		} else {
+			tasks = append(tasks, lcTask(r, cfg, id, u))
+		}
+		remaining -= u
+		id++
+	}
+	return mc.NewTaskSet(tasks)
+}
+
+// UBound reports the utilisation bound U^LO_LC + U^HI_HC of a task set,
+// the quantity Mixed targets.
+func UBound(ts *mc.TaskSet) float64 {
+	return ts.ULCLO() + ts.UHCHI()
+}

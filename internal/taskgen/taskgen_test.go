@@ -1,0 +1,158 @@
+package taskgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/mc"
+)
+
+func TestHCOnlyHitsTarget(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, target := range []float64{0.4, 0.6, 0.85} {
+		ts, err := HCOnly(r, Config{}, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ts.UHCHI(); math.Abs(got-target) > 1e-6 {
+			t.Errorf("U^HI_HC = %g, want %g", got, target)
+		}
+		if ts.NumLC() != 0 {
+			t.Error("HCOnly must not generate LC tasks")
+		}
+	}
+}
+
+func TestHCOnlyValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	if _, err := HCOnly(r, Config{}, 0); err == nil {
+		t.Error("target 0 must error")
+	}
+	if _, err := HCOnly(r, Config{}, 1.2); err == nil {
+		t.Error("target ≥ 1 must error")
+	}
+	if _, err := HCOnly(r, Config{PeriodLo: 10, PeriodHi: 5}, 0.5); err == nil {
+		t.Error("invalid period range must error")
+	}
+	if _, err := HCOnly(r, Config{UtilLo: 0.5, UtilHi: 0.1}, 0.5); err == nil {
+		t.Error("invalid util range must error")
+	}
+	if _, err := HCOnly(r, Config{GapLo: 0.5, GapHi: 0.2}, 0.5); err == nil {
+		t.Error("invalid gap range must error")
+	}
+	if _, err := HCOnly(r, Config{SigmaFracLo: 0.4, SigmaFracHi: 0.1}, 0.5); err == nil {
+		t.Error("invalid sigma range must error")
+	}
+	if _, err := HCOnly(r, Config{ProbHC: 1.5}, 0.5); err == nil {
+		t.Error("invalid ProbHC must error")
+	}
+}
+
+func TestMixedHitsUBound(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, target := range []float64{0.5, 0.8, 1.0} {
+		ts, err := Mixed(r, Config{}, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := UBound(ts); math.Abs(got-target) > 1e-6 {
+			t.Errorf("U_bound = %g, want %g", got, target)
+		}
+	}
+}
+
+func TestMixedValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	if _, err := Mixed(r, Config{}, 0); err == nil {
+		t.Error("target 0 must error")
+	}
+	if _, err := Mixed(r, Config{}, -1); err == nil {
+		t.Error("negative target must error")
+	}
+}
+
+func TestMixedCriticalityBalance(t *testing.T) {
+	// With ProbHC = 0.5 over many sets, HC and LC counts must be
+	// roughly balanced.
+	r := rand.New(rand.NewSource(5))
+	hc, lc := 0, 0
+	for i := 0; i < 200; i++ {
+		ts, err := Mixed(r, Config{}, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc += ts.NumHC()
+		lc += ts.NumLC()
+	}
+	ratio := float64(hc) / float64(hc+lc)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("HC share %g, want ≈ 0.5", ratio)
+	}
+}
+
+// Property: every generated set passes validation and respects the
+// configured invariants (periods in range, gap within bounds, provisional
+// C^LO = C^HI for HC tasks, positive profiles).
+func TestGeneratedSetInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		target := 0.3 + r.Float64()*0.6
+		ts, err := HCOnly(r, Config{}, target)
+		if err != nil {
+			return false
+		}
+		if ts.Validate() != nil {
+			return false
+		}
+		for _, task := range ts.Tasks {
+			if task.Period < 100 || task.Period > 900 {
+				return false
+			}
+			if task.CLO != task.CHI {
+				return false
+			}
+			gap := task.CHI / task.Profile.ACET
+			if gap < 8-1e-9 || gap > 64+1e-9 {
+				return false
+			}
+			frac := task.Profile.Sigma / task.Profile.ACET
+			if frac < 0.05-1e-9 || frac > 0.30+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mixed sets partition their U_bound between criticalities.
+func TestMixedPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts, err := Mixed(r, Config{}, 0.9)
+		if err != nil {
+			return false
+		}
+		return math.Abs(UBound(ts)-(ts.ULCLO()+ts.UHCHI())) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCTasksHaveNoGap(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	ts, err := Mixed(r, Config{ProbHC: 0.0001}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range ts.ByCrit(mc.LC) {
+		if task.CLO != task.CHI {
+			t.Fatalf("LC task %d has C^LO %g != C^HI %g", task.ID, task.CLO, task.CHI)
+		}
+	}
+}

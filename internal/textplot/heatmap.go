@@ -1,0 +1,112 @@
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a 2-D grid of values as shaded ASCII cells — the
+// terminal counterpart of the paper's Fig. 3 colour maps.
+type Heatmap struct {
+	title   string
+	xLabels []string
+	yLabels []string
+	cells   [][]float64 // rows × cols; NaN renders blank
+}
+
+// NewHeatmap creates a rows×cols heatmap with axis labels. Label slices
+// must match the dimensions.
+func NewHeatmap(title string, xLabels, yLabels []string) (*Heatmap, error) {
+	if len(xLabels) == 0 || len(yLabels) == 0 {
+		return nil, fmt.Errorf("textplot: heatmap needs labels on both axes")
+	}
+	cells := make([][]float64, len(yLabels))
+	for i := range cells {
+		cells[i] = make([]float64, len(xLabels))
+		for j := range cells[i] {
+			cells[i][j] = math.NaN()
+		}
+	}
+	return &Heatmap{title: title, xLabels: xLabels, yLabels: yLabels, cells: cells}, nil
+}
+
+// Set assigns the value at (row, col). Out-of-range indices are an error.
+func (h *Heatmap) Set(row, col int, v float64) error {
+	if row < 0 || row >= len(h.yLabels) || col < 0 || col >= len(h.xLabels) {
+		return fmt.Errorf("textplot: cell (%d, %d) out of %d×%d", row, col, len(h.yLabels), len(h.xLabels))
+	}
+	h.cells[row][col] = v
+	return nil
+}
+
+// shades orders characters from light to dark.
+var shades = []byte{' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'}
+
+// String renders the heatmap with a shade legend.
+func (h *Heatmap) String() string {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, row := range h.cells {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+	}
+	if math.IsInf(min, 1) { // all NaN
+		min, max = 0, 1
+	}
+	if max == min {
+		max = min + 1
+	}
+
+	labelW := 0
+	for _, l := range h.yLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	cellW := 0
+	for _, l := range h.xLabels {
+		if len(l) > cellW {
+			cellW = len(l)
+		}
+	}
+	if cellW < 3 {
+		cellW = 3
+	}
+
+	var b strings.Builder
+	if h.title != "" {
+		b.WriteString(h.title)
+		b.WriteByte('\n')
+	}
+	// Header row.
+	b.WriteString(strings.Repeat(" ", labelW+1))
+	for _, l := range h.xLabels {
+		fmt.Fprintf(&b, "%*s ", cellW, l)
+	}
+	b.WriteByte('\n')
+	for i, row := range h.cells {
+		fmt.Fprintf(&b, "%*s ", labelW, h.yLabels[i])
+		for _, v := range row {
+			if math.IsNaN(v) {
+				b.WriteString(strings.Repeat(" ", cellW) + " ")
+				continue
+			}
+			idx := int((v - min) / (max - min) * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteString(strings.Repeat(string(shades[idx]), cellW) + " ")
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "shade: '%c'=%.3g .. '%c'=%.3g\n", shades[0], min, shades[len(shades)-1], max)
+	return b.String()
+}

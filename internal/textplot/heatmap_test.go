@@ -1,0 +1,73 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewHeatmapValidation(t *testing.T) {
+	if _, err := NewHeatmap("t", nil, []string{"a"}); err == nil {
+		t.Error("missing x labels must error")
+	}
+	if _, err := NewHeatmap("t", []string{"a"}, nil); err == nil {
+		t.Error("missing y labels must error")
+	}
+}
+
+func TestHeatmapSetBounds(t *testing.T) {
+	h, err := NewHeatmap("t", []string{"c0", "c1"}, []string{"r0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Set(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Set(1, 0, 1); err == nil {
+		t.Error("row out of range must error")
+	}
+	if err := h.Set(0, 2, 1); err == nil {
+		t.Error("col out of range must error")
+	}
+}
+
+func TestHeatmapRendersShades(t *testing.T) {
+	h, _ := NewHeatmap("grid", []string{"x0", "x1", "x2"}, []string{"lo", "hi"})
+	vals := [][]float64{{0, 0.5, 1}, {1, 0.5, 0}}
+	for i, row := range vals {
+		for j, v := range row {
+			if err := h.Set(i, j, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	out := h.String()
+	if !strings.Contains(out, "grid") {
+		t.Error("title missing")
+	}
+	// Extremes must use the lightest and darkest shades.
+	if !strings.Contains(out, "@") {
+		t.Errorf("max shade missing:\n%s", out)
+	}
+	if !strings.Contains(out, "shade:") {
+		t.Error("legend missing")
+	}
+	// Axis labels present.
+	for _, l := range []string{"x0", "x2", "lo", "hi"} {
+		if !strings.Contains(out, l) {
+			t.Errorf("label %s missing:\n%s", l, out)
+		}
+	}
+}
+
+func TestHeatmapHandlesEmptyAndConstant(t *testing.T) {
+	empty, _ := NewHeatmap("", []string{"a"}, []string{"b"})
+	if out := empty.String(); out == "" {
+		t.Error("all-NaN heatmap must still render")
+	}
+	flat, _ := NewHeatmap("", []string{"a", "b"}, []string{"r"})
+	flat.Set(0, 0, 5)
+	flat.Set(0, 1, 5)
+	if out := flat.String(); !strings.Contains(out, "5") {
+		t.Errorf("constant heatmap legend wrong:\n%s", out)
+	}
+}

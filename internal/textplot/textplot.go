@@ -1,0 +1,129 @@
+// Package textplot renders small ASCII line charts for the figure-shaped
+// experiment outputs — the plotting substrate of the reproduction (the
+// paper's figures are matplotlib plots; a terminal chart carries the same
+// series).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (X, Y) points. X values should be sorted
+// ascending for a meaningful plot.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Plot is a fixed-size character canvas holding one or more series.
+type Plot struct {
+	title         string
+	width, height int
+	series        []Series
+}
+
+// New returns a plot with the given title and canvas size (columns ×
+// rows). Sizes below 16×4 are clamped up.
+func New(title string, width, height int) *Plot {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Plot{title: title, width: width, height: height}
+}
+
+// Add appends a series. Series with mismatched X/Y lengths or no points
+// are rejected.
+func (p *Plot) Add(s Series) error {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return fmt.Errorf("textplot: series %q has %d/%d points", s.Name, len(s.X), len(s.Y))
+	}
+	p.series = append(p.series, s)
+	return nil
+}
+
+// markers label series in render order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// String renders the canvas with axes, per-series markers and a legend.
+func (p *Plot) String() string {
+	if len(p.series) == 0 {
+		return p.title + "\n(no series)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, p.height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", p.width))
+	}
+	for si, s := range p.series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(p.width-1))
+			row := int((s.Y[i] - minY) / (maxY - minY) * float64(p.height-1))
+			grid[p.height-1-row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	if p.title != "" {
+		b.WriteString(p.title)
+		b.WriteByte('\n')
+	}
+	yLabelHi := fmt.Sprintf("%.3g", maxY)
+	yLabelLo := fmt.Sprintf("%.3g", minY)
+	pad := len(yLabelHi)
+	if len(yLabelLo) > pad {
+		pad = len(yLabelLo)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", pad, yLabelHi)
+		}
+		if i == p.height-1 {
+			label = fmt.Sprintf("%*s", pad, yLabelLo)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", pad))
+	b.WriteString(" +")
+	b.WriteString(strings.Repeat("-", p.width))
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", pad+2))
+	xLo := fmt.Sprintf("%.3g", minX)
+	xHi := fmt.Sprintf("%.3g", maxX)
+	gap := p.width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	b.WriteString(xLo + strings.Repeat(" ", gap) + xHi)
+	b.WriteByte('\n')
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

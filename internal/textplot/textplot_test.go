@@ -1,0 +1,100 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddValidation(t *testing.T) {
+	p := New("t", 40, 10)
+	if err := p.Add(Series{Name: "bad", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("mismatched lengths must error")
+	}
+	if err := p.Add(Series{Name: "empty"}); err == nil {
+		t.Error("empty series must error")
+	}
+	if err := p.Add(Series{Name: "ok", X: []float64{1, 2}, Y: []float64{3, 4}}); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+}
+
+func TestEmptyPlot(t *testing.T) {
+	out := New("nothing", 40, 8).String()
+	if !strings.Contains(out, "no series") {
+		t.Errorf("empty plot output %q", out)
+	}
+}
+
+func TestRenderContainsMarkersAndLegend(t *testing.T) {
+	p := New("demo", 50, 10)
+	if err := p.Add(Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Series{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// Axis labels carry the ranges.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "2") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// Constant series must not divide by zero.
+	p := New("flat", 30, 6)
+	if err := p.Add(Series{Name: "c", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if out == "" || !strings.Contains(out, "*") {
+		t.Errorf("flat series not rendered:\n%s", out)
+	}
+}
+
+func TestTinyCanvasClamped(t *testing.T) {
+	p := New("tiny", 1, 1)
+	if err := p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(p.String(), "\n")
+	if len(lines) < 5 {
+		t.Errorf("canvas not clamped:\n%s", p.String())
+	}
+}
+
+func TestUpTrendRendersUpward(t *testing.T) {
+	p := New("", 20, 5)
+	if err := p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	lines := strings.Split(out, "\n")
+	// First grid row (top, max Y) must contain the marker for the high
+	// point at the right; the last grid row the low point at the left.
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 5 {
+		t.Fatalf("grid rows = %d, want 5\n%s", len(gridLines), out)
+	}
+	top, bottom := gridLines[0], gridLines[len(gridLines)-1]
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Errorf("endpoints not on extreme rows:\n%s", out)
+	}
+	if strings.Index(top, "*") <= strings.Index(bottom, "*") {
+		t.Errorf("up trend renders wrong way:\n%s", out)
+	}
+}

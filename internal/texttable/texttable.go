@@ -1,0 +1,123 @@
+// Package texttable renders aligned plain-text tables for experiment
+// output, keeping presentation out of the analysis packages.
+package texttable
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows under a fixed header. The zero value is unusable;
+// construct with New.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{title: title, header: append([]string(nil), header...)}
+}
+
+// AddRow appends a row of cells; missing cells render empty, extra cells
+// are kept (the widths adapt).
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, append([]string(nil), cells...))
+}
+
+// AddRowf appends a row formatting each value with the matching verb in
+// formats ("%s", "%.2f", ...). len(formats) must equal len(values).
+func (t *Table) AddRowf(formats []string, values ...interface{}) error {
+	if len(formats) != len(values) {
+		return fmt.Errorf("texttable: %d formats for %d values", len(formats), len(values))
+	}
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprintf(formats[i], v)
+	}
+	t.AddRow(cells...)
+	return nil
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with a title line, a header, a separator and
+// aligned columns.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header first), quoting
+// cells that contain commas or quotes.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tb := New("Title", "col", "longer-col")
+	tb.AddRow("a", "b")
+	tb.AddRow("wideish", "c")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("first line %q, want title", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "col") {
+		t.Errorf("header line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator line %q", lines[2])
+	}
+	// Data rows must align: "b" and "c" start at the same column.
+	bIdx := strings.Index(lines[3], "b")
+	cIdx := strings.Index(lines[4], "c")
+	if bIdx != cIdx {
+		t.Errorf("columns misaligned: %d vs %d\n%s", bIdx, cIdx, out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("", "name", "value")
+	if err := tb.AddRowf([]string{"%s", "%.2f"}, "pi", 3.14159); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "3.14") {
+		t.Errorf("formatted value missing:\n%s", tb.String())
+	}
+	if err := tb.AddRowf([]string{"%s"}, "a", "b"); err == nil {
+		t.Error("format/value length mismatch must error")
+	}
+	if tb.NumRows() != 1 {
+		t.Errorf("NumRows = %d, want 1", tb.NumRows())
+	}
+}
+
+func TestShortAndExtraRows(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("1")                    // short
+	tb.AddRow("1", "2", "3", "extra") // long
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("extra cell lost:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("ignored", "x", "y")
+	tb.AddRow("1", "hello, world")
+	tb.AddRow("2", `say "hi"`)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "x,y" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != `1,"hello, world"` {
+		t.Errorf("quoted comma row %q", lines[1])
+	}
+	if lines[2] != `2,"say ""hi"""` {
+		t.Errorf("quoted quote row %q", lines[2])
+	}
+}
+
+func TestEmptyTitleOmitted(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("1")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title must not emit a blank line")
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"chebymc/internal/stats"
+)
+
+// This file provides the representativity diagnostics the paper's
+// Section II identifies as an open challenge for measurement-based
+// approaches ("the required number of execution times for a sample and
+// its incomplete representativity identification"). The Chebyshev scheme
+// needs only (ACET, σ), so its exposure reduces to: are the sample
+// moments stable? Two diagnostics answer that:
+//
+//   - Drift: split the trace into chunks and compare chunk means — a
+//     trending workload (non-stationary measurement campaign) shows a
+//     large spread.
+//   - Convergence: how the running (ACET, σ) estimates settle with the
+//     sample count, reported as the relative error of the Eq. 6 budget
+//     against the full-trace value.
+
+// Drift quantifies across-chunk stability: the trace is cut into chunks
+// equal-sized chunks and the maximum relative deviation of a chunk mean
+// from the global mean is returned. Values near 0 indicate a stationary
+// campaign. It returns an error for chunks < 2 or traces shorter than
+// chunks samples.
+func (t *Trace) Drift(chunks int) (float64, error) {
+	if chunks < 2 {
+		return 0, fmt.Errorf("trace: need ≥ 2 chunks, got %d", chunks)
+	}
+	n := len(t.Samples) / chunks
+	if n == 0 {
+		return 0, fmt.Errorf("trace: %d samples cannot fill %d chunks", len(t.Samples), chunks)
+	}
+	global := stats.Mean(t.Samples[:n*chunks])
+	if global == 0 {
+		return 0, fmt.Errorf("trace: zero global mean")
+	}
+	worst := 0.0
+	for c := 0; c < chunks; c++ {
+		m := stats.Mean(t.Samples[c*n : (c+1)*n])
+		if d := math.Abs(m-global) / global; d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// ConvergencePoint reports the prefix estimates after N samples.
+type ConvergencePoint struct {
+	N int
+	// ACET and Sigma are the prefix estimates.
+	ACET, Sigma float64
+	// BudgetRelErr is the relative error of the prefix Eq. 6 budget
+	// ACET + n·σ against the full-trace budget, at the reference n.
+	BudgetRelErr float64
+}
+
+// Convergence evaluates prefix estimates at the given sample counts
+// (ascending, each ≤ len(Samples)), using refN as the Eq. 6 parameter.
+// It answers "how many measurements does the scheme need": once
+// BudgetRelErr settles below a tolerance, more samples only polish σ.
+func (t *Trace) Convergence(counts []int, refN float64) ([]ConvergencePoint, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("trace: no counts")
+	}
+	full := t.Profile()
+	fullBudget := full.ACET + refN*full.Sigma
+	if fullBudget == 0 {
+		return nil, fmt.Errorf("trace: degenerate full budget")
+	}
+	out := make([]ConvergencePoint, 0, len(counts))
+	prev := 0
+	for _, c := range counts {
+		if c <= prev || c > len(t.Samples) {
+			return nil, fmt.Errorf("trace: counts must ascend within the trace, got %d after %d (max %d)",
+				c, prev, len(t.Samples))
+		}
+		prev = c
+		s := stats.MustSummarize(t.Samples[:c])
+		budget := s.Mean + refN*s.StdDev
+		out = append(out, ConvergencePoint{
+			N:            c,
+			ACET:         s.Mean,
+			Sigma:        s.StdDev,
+			BudgetRelErr: math.Abs(budget-fullBudget) / fullBudget,
+		})
+	}
+	return out, nil
+}

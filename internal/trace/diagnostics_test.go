@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/vmcpu"
+)
+
+func TestDriftStationary(t *testing.T) {
+	// IID samples: drift stays small.
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = 100 + 10*r.NormFloat64()
+	}
+	tr, err := New("iid", absAll(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tr.Drift(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.05 {
+		t.Errorf("stationary drift = %g, want small", d)
+	}
+}
+
+func TestDriftDetectsTrend(t *testing.T) {
+	// A trending campaign (e.g. thermal throttling): drift must be large.
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = 100 + float64(i)*0.05
+	}
+	tr, err := New("trend", xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tr.Drift(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.2 {
+		t.Errorf("trending drift = %g, want large", d)
+	}
+}
+
+func TestDriftErrors(t *testing.T) {
+	tr, _ := New("x", []float64{1, 2, 3})
+	if _, err := tr.Drift(1); err == nil {
+		t.Error("chunks < 2 must error")
+	}
+	if _, err := tr.Drift(10); err == nil {
+		t.Error("too few samples must error")
+	}
+	zero, _ := New("z", []float64{0, 0, 0, 0})
+	if _, err := zero.Drift(2); err == nil {
+		t.Error("zero mean must error")
+	}
+}
+
+func TestConvergenceSettles(t *testing.T) {
+	m := vmcpu.NewDefaultMachine()
+	r := rand.New(rand.NewSource(2))
+	tr, err := Collect(vmcpu.Edge{}, m, 3000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := tr.Convergence([]int{50, 200, 1000, 3000}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	// The final prefix is the full trace: zero error by construction.
+	if pts[3].BudgetRelErr > 1e-12 {
+		t.Errorf("full-prefix error = %g, want 0", pts[3].BudgetRelErr)
+	}
+	// Errors generally shrink: the 1000-sample estimate beats the
+	// 50-sample one.
+	if pts[2].BudgetRelErr > pts[0].BudgetRelErr+0.02 {
+		t.Errorf("convergence not improving: %v", pts)
+	}
+	// Even 200 samples land the Eq. 6 budget within a few percent for a
+	// well-behaved kernel.
+	if pts[1].BudgetRelErr > 0.10 {
+		t.Errorf("200-sample budget error = %g, want < 10%%", pts[1].BudgetRelErr)
+	}
+}
+
+func TestConvergenceErrors(t *testing.T) {
+	tr, _ := New("x", []float64{1, 2, 3, 4})
+	if _, err := tr.Convergence(nil, 3); err == nil {
+		t.Error("no counts must error")
+	}
+	if _, err := tr.Convergence([]int{3, 2}, 3); err == nil {
+		t.Error("non-ascending counts must error")
+	}
+	if _, err := tr.Convergence([]int{10}, 3); err == nil {
+		t.Error("count beyond trace must error")
+	}
+	zero, _ := New("z", []float64{0, 0})
+	if _, err := zero.Convergence([]int{1}, 3); err == nil {
+		t.Error("degenerate budget must error")
+	}
+}
+
+func absAll(xs []float64) []float64 {
+	for i, x := range xs {
+		if x < 0 {
+			xs[i] = -x
+		}
+	}
+	return xs
+}

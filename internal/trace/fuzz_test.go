@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the CSV reader and
+// that accepted traces survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("edge,1.5\nedge,2\n")
+	f.Add("a,0\n")
+	f.Add("")
+	f.Add("x,notanumber\n")
+	f.Add("a,1\nb,2\n")
+	f.Add("edge,1e309\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace failed to write: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.App != tr.App || len(back.Samples) != len(tr.Samples) {
+			t.Fatalf("round trip changed the trace")
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON path the same way.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"app":"x","samples":[1,2,3]}`)
+	f.Add(`{"app":"","samples":[1]}`)
+	f.Add(`{`)
+	f.Add(`{"app":"x","samples":[-1]}`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted trace failed to write: %v", err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

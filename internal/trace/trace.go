@@ -1,0 +1,151 @@
+// Package trace handles execution-time traces: collections of per-job
+// cycle counts measured on the vmcpu substrate (the role MEET's output
+// plays in the paper), their summary statistics, overrun-rate measurement
+// and CSV/JSON persistence.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"chebymc/internal/mc"
+	"chebymc/internal/stats"
+	"chebymc/internal/vmcpu"
+)
+
+// Trace is a named sample of execution times.
+type Trace struct {
+	// App identifies the benchmark, e.g. "qsort-100".
+	App string `json:"app"`
+	// Samples are the measured execution times (cycles).
+	Samples []float64 `json:"samples"`
+}
+
+// New validates and wraps an existing sample (which is retained, not
+// copied).
+func New(app string, samples []float64) (*Trace, error) {
+	if app == "" {
+		return nil, errors.New("trace: empty app name")
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("trace: %s: no samples", app)
+	}
+	for i, s := range samples {
+		if s < 0 {
+			return nil, fmt.Errorf("trace: %s: negative sample %g at %d", app, s, i)
+		}
+	}
+	return &Trace{App: app, Samples: samples}, nil
+}
+
+// Collect measures n job instances of p on m, the vmcpu analogue of the
+// paper's "20000 instances with MEET".
+func Collect(p vmcpu.Program, m *vmcpu.Machine, n int, r *rand.Rand) (*Trace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("trace: need n ≥ 1, got %d", n)
+	}
+	return New(p.Name(), vmcpu.Collect(p, m, n, r))
+}
+
+// Summary returns the descriptive statistics of the trace.
+func (t *Trace) Summary() stats.Summary {
+	return stats.MustSummarize(t.Samples)
+}
+
+// Profile derives the (ACET, σ) pair of Eqs. 3–4.
+func (t *Trace) Profile() mc.Profile {
+	s := t.Summary()
+	return mc.Profile{ACET: s.Mean, Sigma: s.StdDev}
+}
+
+// OverrunRate measures the fraction of samples strictly above the given
+// WCET^opt candidate — the experimental column of Tables I and II.
+func (t *Trace) OverrunRate(threshold float64) float64 {
+	return stats.ExceedRate(t.Samples, threshold)
+}
+
+// OverrunRateAtN measures the overrun rate at the Eq. 6 level ACET + n·σ,
+// the quantity Theorem 1 bounds by 1/(1+n²).
+func (t *Trace) OverrunRateAtN(n float64) float64 {
+	p := t.Profile()
+	return t.OverrunRate(p.ACET + n*p.Sigma)
+}
+
+// WriteCSV writes "app,sample" rows.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, s := range t.Samples {
+		if err := cw.Write([]string{t.App, strconv.FormatFloat(s, 'g', -1, 64)}); err != nil {
+			return fmt.Errorf("trace: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads rows written by WriteCSV. All rows must share one app
+// name.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	var app string
+	var samples []float64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading csv: %w", err)
+		}
+		if app == "" {
+			app = rec[0]
+		} else if rec[0] != app {
+			return nil, fmt.Errorf("trace: mixed apps %q and %q in one file", app, rec[0])
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad sample %q: %w", rec[1], err)
+		}
+		samples = append(samples, v)
+	}
+	return New(app, samples)
+}
+
+// WriteJSON encodes the trace as JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(t)
+}
+
+// ReadJSON decodes and validates a trace from JSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding json: %w", err)
+	}
+	return New(t.App, t.Samples)
+}
+
+// Set is a collection of traces keyed by app name.
+type Set map[string]*Trace
+
+// CollectSet measures every program for n instances each.
+func CollectSet(progs []vmcpu.Program, m *vmcpu.Machine, n int, r *rand.Rand) (Set, error) {
+	out := make(Set, len(progs))
+	for _, p := range progs {
+		tr, err := Collect(p, m, n, r)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[tr.App]; dup {
+			return nil, fmt.Errorf("trace: duplicate app %q", tr.App)
+		}
+		out[tr.App] = tr
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chebymc/internal/stats"
+	"chebymc/internal/vmcpu"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", []float64{1}); err == nil {
+		t.Error("empty app must error")
+	}
+	if _, err := New("x", nil); err == nil {
+		t.Error("empty samples must error")
+	}
+	if _, err := New("x", []float64{1, -2}); err == nil {
+		t.Error("negative sample must error")
+	}
+	if _, err := New("x", []float64{1, 2}); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	m := vmcpu.NewDefaultMachine()
+	r := rand.New(rand.NewSource(1))
+	tr, err := Collect(vmcpu.QSort{K: 20}, m, 50, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.App != "qsort-20" || len(tr.Samples) != 50 {
+		t.Fatalf("got %s with %d samples", tr.App, len(tr.Samples))
+	}
+	if _, err := Collect(vmcpu.QSort{K: 20}, m, 0, r); err == nil {
+		t.Error("n = 0 must error")
+	}
+}
+
+func TestSummaryAndProfile(t *testing.T) {
+	tr, err := New("x", []float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.Profile()
+	if p.ACET != 5 || p.Sigma != 2 {
+		t.Errorf("profile = %+v, want {5 2}", p)
+	}
+	s := tr.Summary()
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestOverrunRate(t *testing.T) {
+	tr, _ := New("x", []float64{1, 2, 3, 4, 5})
+	if got := tr.OverrunRate(3); got != 0.4 {
+		t.Errorf("OverrunRate(3) = %g, want 0.4", got)
+	}
+}
+
+func TestOverrunRateAtNObeysTheorem1(t *testing.T) {
+	m := vmcpu.NewDefaultMachine()
+	r := rand.New(rand.NewSource(2))
+	tr, err := Collect(vmcpu.Edge{}, m, 2000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{0.5, 1, 2, 3, 4} {
+		if rate := tr.OverrunRateAtN(n); rate > stats.CantelliBound(n)+0.01 {
+			t.Errorf("n=%g: rate %g violates bound %g", n, rate, stats.CantelliBound(n))
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr, _ := New("edge", []float64{1.5, 2.25, 100})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != "edge" || len(back.Samples) != 3 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	for i := range back.Samples {
+		if back.Samples[i] != tr.Samples[i] {
+			t.Errorf("sample %d: %g != %g", i, back.Samples[i], tr.Samples[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,1\nb,2\n")); err == nil {
+		t.Error("mixed apps must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,notanumber\n")); err == nil {
+		t.Error("bad number must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a\n")); err == nil {
+		t.Error("wrong field count must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty file must error (no samples)")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr, _ := New("smooth", []float64{10, 20, 30})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != tr.App || len(back.Samples) != len(tr.Samples) {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestReadJSONInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("malformed json must error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"app":"", "samples":[1]}`)); err == nil {
+		t.Error("invalid trace content must error")
+	}
+}
+
+func TestCollectSet(t *testing.T) {
+	m := vmcpu.NewDefaultMachine()
+	r := rand.New(rand.NewSource(3))
+	progs := []vmcpu.Program{vmcpu.QSort{K: 10}, vmcpu.Edge{}}
+	set, err := CollectSet(progs, m, 20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("set size %d, want 2", len(set))
+	}
+	if set["qsort-10"] == nil || set["edge"] == nil {
+		t.Error("missing traces in set")
+	}
+	// Duplicate program names must be rejected.
+	if _, err := CollectSet([]vmcpu.Program{vmcpu.Edge{}, vmcpu.Edge{}}, m, 5, r); err == nil {
+		t.Error("duplicate apps must error")
+	}
+}
+
+func TestProfileMatchesManualComputation(t *testing.T) {
+	m := vmcpu.NewDefaultMachine()
+	r := rand.New(rand.NewSource(4))
+	tr, err := Collect(vmcpu.Smooth{}, m, 300, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.Profile()
+	mean := 0.0
+	for _, x := range tr.Samples {
+		mean += x
+	}
+	mean /= float64(len(tr.Samples))
+	if math.Abs(p.ACET-mean) > 1e-6*mean {
+		t.Errorf("ACET %g != mean %g", p.ACET, mean)
+	}
+	if p.Sigma <= 0 {
+		t.Error("σ must be positive for a varying kernel")
+	}
+}

@@ -1,0 +1,234 @@
+package vmcpu
+
+import "math/rand"
+
+// This file adds three kernels beyond the paper's Table I set — FFT,
+// matrix multiply and CRC-32, the staples of embedded WCET suites
+// (Mälardalen/MiBench). They broaden the measurement substrate: FFT has
+// static control flow (variance only from the memory system), the sparse
+// matrix multiply skips data-dependent work, and CRC's trip count follows
+// the message length.
+
+// Additional branch sites (continuing the iota block in kernels.go).
+const (
+	siteMatMulSkip = 100 + iota
+	siteCRCBit
+	siteFFTSwap
+)
+
+// FFT is an iterative radix-2 fixed-point FFT over N complex points.
+// Control flow is input-independent; cycle variation comes from the cache
+// and predictors only, so its σ/ACET is tiny — a useful contrast to the
+// data-dependent kernels.
+type FFT struct {
+	// N is the transform size; must be a power of two. Defaults to 256.
+	N int
+}
+
+// Name implements Program.
+func (f FFT) Name() string { return "fft" }
+
+func (f FFT) n() int {
+	if f.N == 0 {
+		return 256
+	}
+	return f.N
+}
+
+// Run implements Program.
+func (f FFT) Run(m *Machine, r *rand.Rand) float64 {
+	m.Reset()
+	n := f.n()
+	re := make([]int32, n)
+	im := make([]int32, n)
+	for i := range re {
+		re[i] = int32(r.Intn(1<<12) - 1<<11)
+		im[i] = 0
+	}
+	reBase := m.Alloc(int64(n))
+	imBase := m.Alloc(int64(n))
+
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		m.ALU(2)
+		swap := j > i
+		m.Branch(siteFFTSwap, swap)
+		if swap {
+			m.Load(reBase + int64(i))
+			m.Load(reBase + int64(j))
+			m.Store(reBase + int64(i))
+			m.Store(reBase + int64(j))
+			m.Load(imBase + int64(i))
+			m.Load(imBase + int64(j))
+			m.Store(imBase + int64(i))
+			m.Store(imBase + int64(j))
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			m.ALU(2)
+			j ^= bit
+		}
+		j |= bit
+		m.ALU(1)
+	}
+
+	// Butterfly stages with a quarter-wave integer twiddle table.
+	for length := 2; length <= n; length <<= 1 {
+		m.ALU(1)
+		half := length / 2
+		for start := 0; start < n; start += length {
+			m.ALU(1)
+			for k := 0; k < half; k++ {
+				m.ALU(2) // loop bookkeeping + twiddle index
+				// Twiddle factors approximated by shifts (scaled
+				// cos/sin from a tiny table keeps this integer-only).
+				wr := int32(1024 - (2048*k/length)*(2048*k/length)/2048)
+				wi := int32(-2048 * k / length)
+				i0 := start + k
+				i1 := start + k + half
+				m.Load(reBase + int64(i1))
+				m.Load(imBase + int64(i1))
+				m.MulOp(4) // complex multiply
+				m.ALU(2)
+				tr := (re[i1]*wr - im[i1]*wi) >> 10
+				ti := (re[i1]*wi + im[i1]*wr) >> 10
+				m.Load(reBase + int64(i0))
+				m.Load(imBase + int64(i0))
+				m.ALU(4)
+				re[i1] = re[i0] - tr
+				im[i1] = im[i0] - ti
+				re[i0] += tr
+				im[i0] += ti
+				m.Store(reBase + int64(i0))
+				m.Store(imBase + int64(i0))
+				m.Store(reBase + int64(i1))
+				m.Store(imBase + int64(i1))
+			}
+		}
+	}
+	return m.Cycles()
+}
+
+// MatMul is a sparse-aware integer matrix multiply: C = A·B over N×N
+// matrices, skipping inner-product work for zero elements of A. Input
+// sparsity varies per instance, so the cycle count is data-dependent.
+type MatMul struct {
+	// N is the matrix dimension. Defaults to 24.
+	N int
+}
+
+// Name implements Program.
+func (mm MatMul) Name() string { return "matmul" }
+
+func (mm MatMul) n() int {
+	if mm.N == 0 {
+		return 24
+	}
+	return mm.N
+}
+
+// Run implements Program.
+func (mm MatMul) Run(m *Machine, r *rand.Rand) float64 {
+	m.Reset()
+	n := mm.n()
+	a := make([]int32, n*n)
+	b := make([]int32, n*n)
+	c := make([]int32, n*n)
+	// Sparsity between 20 % and 90 % zeros, drawn per instance.
+	sparsity := 0.2 + 0.7*r.Float64()
+	for i := range a {
+		if r.Float64() >= sparsity {
+			a[i] = int32(r.Intn(256))
+		}
+		b[i] = int32(r.Intn(256))
+	}
+	aBase := m.Alloc(int64(n * n))
+	bBase := m.Alloc(int64(n * n))
+	cBase := m.Alloc(int64(n * n))
+
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			m.ALU(2)
+			m.Load(aBase + int64(i*n+k))
+			v := a[i*n+k]
+			skip := v == 0
+			m.Branch(siteMatMulSkip, skip)
+			if skip {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				m.ALU(1)
+				m.Load(bBase + int64(k*n+j))
+				m.Load(cBase + int64(i*n+j))
+				m.MulOp(1)
+				m.ALU(1)
+				c[i*n+j] += v * b[k*n+j]
+				m.Store(cBase + int64(i*n+j))
+			}
+		}
+	}
+	return m.Cycles()
+}
+
+// CRC computes a table-driven CRC-32 over a message whose length varies
+// per instance — trip-count-driven execution-time variation, the simplest
+// kind a WCET analyst meets.
+type CRC struct {
+	// MaxLen is the maximum message length in bytes; actual lengths are
+	// uniform in [MaxLen/4, MaxLen]. Defaults to 1024.
+	MaxLen int
+}
+
+// Name implements Program.
+func (c CRC) Name() string { return "crc" }
+
+func (c CRC) maxLen() int {
+	if c.MaxLen == 0 {
+		return 1024
+	}
+	return c.MaxLen
+}
+
+// crcTable is the standard IEEE CRC-32 table, built once.
+var crcTable = func() [256]uint32 {
+	var t [256]uint32
+	for i := range t {
+		crc := uint32(i)
+		for k := 0; k < 8; k++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xedb88320
+			} else {
+				crc >>= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}()
+
+// Run implements Program.
+func (c CRC) Run(m *Machine, r *rand.Rand) float64 {
+	m.Reset()
+	maxLen := c.maxLen()
+	length := maxLen/4 + r.Intn(maxLen-maxLen/4+1)
+	msg := make([]byte, length)
+	r.Read(msg)
+	msgBase := m.Alloc(int64((length + 3) / 4))
+	tabBase := m.Alloc(256)
+
+	crc := ^uint32(0)
+	for i, by := range msg {
+		m.ALU(1)                     // loop bookkeeping
+		m.Load(msgBase + int64(i/4)) // message byte (word-packed)
+		m.ALU(2)                     // xor + mask
+		idx := (crc ^ uint32(by)) & 0xff
+		m.Load(tabBase + int64(idx)) // table lookup
+		m.ALU(2)                     // shift + xor
+		crc = crc>>8 ^ crcTable[idx]
+		m.Branch(siteCRCBit, idx&1 == 1)
+	}
+	_ = crc
+	return m.Cycles()
+}

@@ -1,0 +1,97 @@
+package vmcpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/stats"
+)
+
+func TestExtendedKernelsRun(t *testing.T) {
+	m := NewDefaultMachine()
+	progs := []Program{FFT{}, MatMul{}, CRC{}}
+	for _, p := range progs {
+		r := rand.New(rand.NewSource(1))
+		xs := Collect(p, m, 40, r)
+		for _, x := range xs {
+			if x <= 0 {
+				t.Fatalf("%s: non-positive cycles", p.Name())
+			}
+		}
+	}
+}
+
+func TestExtendedKernelNames(t *testing.T) {
+	if (FFT{}).Name() != "fft" || (MatMul{}).Name() != "matmul" || (CRC{}).Name() != "crc" {
+		t.Error("names wrong")
+	}
+}
+
+func TestFFTLowVariance(t *testing.T) {
+	// FFT has static control flow: its coefficient of variation must be
+	// far below the data-dependent kernels'.
+	m := NewDefaultMachine()
+	r := rand.New(rand.NewSource(2))
+	fft := stats.MustSummarize(Collect(FFT{N: 128}, m, 60, r))
+	mmul := stats.MustSummarize(Collect(MatMul{N: 16}, m, 60, r))
+	cvFFT := fft.StdDev / fft.Mean
+	cvMM := mmul.StdDev / mmul.Mean
+	if cvFFT > cvMM/4 {
+		t.Errorf("FFT cv %g not ≪ matmul cv %g", cvFFT, cvMM)
+	}
+	if cvFFT > 0.05 {
+		t.Errorf("FFT cv %g too large for static control flow", cvFFT)
+	}
+}
+
+func TestMatMulSparsityDependence(t *testing.T) {
+	// Denser A matrices must cost more; across instances min ≪ max.
+	m := NewDefaultMachine()
+	r := rand.New(rand.NewSource(3))
+	xs := Collect(MatMul{N: 16}, m, 60, r)
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if max < 1.5*min {
+		t.Errorf("matmul too uniform: min=%g max=%g", min, max)
+	}
+}
+
+func TestCRCScalesWithLength(t *testing.T) {
+	// Longer max lengths must raise the mean roughly proportionally.
+	m := NewDefaultMachine()
+	mean := func(maxLen int) float64 {
+		r := rand.New(rand.NewSource(4))
+		return stats.MustSummarize(Collect(CRC{MaxLen: maxLen}, m, 60, r)).Mean
+	}
+	m1, m4 := mean(256), mean(1024)
+	ratio := m4 / m1
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("crc mean ratio %g for 4× length, want ≈ 4", ratio)
+	}
+}
+
+func TestCRCMatchesStdlibSemantics(t *testing.T) {
+	// The instrumented table must be the IEEE CRC-32 table.
+	if crcTable[1] != 0x77073096 || crcTable[255] != 0x2d02ef8d {
+		t.Errorf("crc table wrong: %#x %#x", crcTable[1], crcTable[255])
+	}
+}
+
+func TestFFTPreservesEnergyOrder(t *testing.T) {
+	// Smoke-check the butterfly arithmetic: running the instrumented FFT
+	// must not panic across sizes and must touch every element.
+	m := NewDefaultMachine()
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{2, 8, 64} {
+		if c := (FFT{N: n}).Run(m, r); c <= 0 {
+			t.Fatalf("fft n=%d produced %g cycles", n, c)
+		}
+	}
+}

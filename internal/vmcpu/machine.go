@@ -1,0 +1,270 @@
+// Package vmcpu is the measurement substrate of the reproduction. The paper
+// obtains 20 000 execution-time samples per benchmark from MEET [26], an
+// ARM instruction-level simulator; this package substitutes a cost-model
+// CPU: a cycle-accounting "machine" with per-operation costs, a
+// direct-mapped data cache and a 1-bit branch predictor, on which real
+// benchmark kernels (quicksort, corner detection, edge detection, Gaussian
+// smoothing and an EPIC-style pyramid coder) execute over randomised
+// inputs.
+//
+// What the paper consumes from MEET is only the *distribution* of cycle
+// counts per task (ACET, σ and tail shape). Data-dependent branches,
+// input-dependent trip counts and cache behaviour in these kernels generate
+// distributions with the same qualitative properties: unimodal bulk near
+// the ACET and a long right tail far below the static WCET bound.
+package vmcpu
+
+import "math/rand"
+
+// Costs is the per-operation cycle cost model of a Machine. The default
+// values (see DefaultCosts) are typical of a simple in-order embedded core
+// in the ARM9 class, the kind of platform MEET models.
+type Costs struct {
+	ALU        float64 // integer add/sub/logic/compare
+	Mul        float64 // integer multiply
+	Div        float64 // integer divide
+	Branch     float64 // correctly predicted branch
+	BranchMiss float64 // additional penalty on a mispredicted branch
+	Call       float64 // function call overhead
+	Ret        float64 // function return overhead
+	MemHit     float64 // load/store hitting the data cache
+	MemMiss    float64 // load/store missing the data cache (line refill)
+}
+
+// DefaultCosts returns the reference cost model used by all experiments.
+func DefaultCosts() Costs {
+	return Costs{
+		ALU:        1,
+		Mul:        3,
+		Div:        20,
+		Branch:     1,
+		BranchMiss: 4,
+		Call:       2,
+		Ret:        2,
+		MemHit:     1,
+		MemMiss:    40,
+	}
+}
+
+// CostsCortexM returns a Cortex-M-class cost model: no data cache to
+// speak of (flash wait-states make every access mildly expensive but
+// uniform), single-cycle multiply, no branch predictor beyond static.
+func CostsCortexM() Costs {
+	return Costs{
+		ALU:        1,
+		Mul:        1,
+		Div:        12,
+		Branch:     1,
+		BranchMiss: 2,
+		Call:       3,
+		Ret:        3,
+		MemHit:     2,
+		MemMiss:    6,
+	}
+}
+
+// CostsDSP returns a DSP-class cost model: single-cycle MACs, wide fast
+// local memory, expensive branches (deep pipeline).
+func CostsDSP() Costs {
+	return Costs{
+		ALU:        1,
+		Mul:        1,
+		Div:        8,
+		Branch:     1,
+		BranchMiss: 8,
+		Call:       4,
+		Ret:        4,
+		MemHit:     1,
+		MemMiss:    24,
+	}
+}
+
+// WorstMem returns the pessimistic per-access memory cost (always a miss),
+// the assumption the IPET analyser makes.
+func (c Costs) WorstMem() float64 { return c.MemMiss }
+
+// WorstBranch returns the pessimistic per-branch cost (always
+// mispredicted), the assumption the IPET analyser makes.
+func (c Costs) WorstBranch() float64 { return c.Branch + c.BranchMiss }
+
+// WorstALU returns the pessimistic per-ALU-op cost: the analyser assumes
+// no pipeline overlap, so every result stalls its consumer for a cycle.
+func (c Costs) WorstALU() float64 { return 2 * c.ALU }
+
+// WorstMul returns the pessimistic per-multiply cost under the same
+// no-overlap assumption.
+func (c Costs) WorstMul() float64 { return 2 * c.Mul }
+
+// CacheConfig describes the direct-mapped data cache of a Machine.
+type CacheConfig struct {
+	Lines        int // number of cache lines (power of two recommended)
+	WordsPerLine int // words per line; addresses are word-granular
+}
+
+// DefaultCache returns the reference cache geometry: 1024 lines × 8 words
+// (32 KiB of 4-byte words, a typical embedded L1 data cache).
+func DefaultCache() CacheConfig {
+	return CacheConfig{Lines: 1024, WordsPerLine: 8}
+}
+
+// Machine is a cycle-accounting virtual CPU. Kernels report their abstract
+// operations (ALU ops, multiplies, loads with word addresses, branches with
+// site identifiers) and the machine accumulates cycles according to its
+// cost model, cache state and branch-predictor state.
+//
+// A Machine is not safe for concurrent use; create one per goroutine.
+type Machine struct {
+	costs Costs
+	cache CacheConfig
+
+	cycles float64
+	tags   []int64
+	valid  []bool
+	pred   map[int]bool // 1-bit dynamic branch predictor, keyed by site
+
+	nextBase int64 // bump allocator for abstract array placement
+
+	// statistics
+	memAccesses int64
+	memMisses   int64
+	branches    int64
+	branchMiss  int64
+}
+
+// NewMachine returns a Machine with the given cost model and cache
+// geometry. Zero/negative cache dimensions fall back to DefaultCache.
+func NewMachine(costs Costs, cache CacheConfig) *Machine {
+	if cache.Lines <= 0 || cache.WordsPerLine <= 0 {
+		cache = DefaultCache()
+	}
+	m := &Machine{costs: costs, cache: cache}
+	m.tags = make([]int64, cache.Lines)
+	m.valid = make([]bool, cache.Lines)
+	m.pred = make(map[int]bool)
+	return m
+}
+
+// NewDefaultMachine returns a Machine with DefaultCosts and DefaultCache.
+func NewDefaultMachine() *Machine { return NewMachine(DefaultCosts(), DefaultCache()) }
+
+// Costs returns the machine's cost model.
+func (m *Machine) Costs() Costs { return m.costs }
+
+// Reset clears the cycle counter, cache, branch predictor and statistics,
+// modelling a cold start of a new job instance.
+func (m *Machine) Reset() {
+	m.cycles = 0
+	for i := range m.valid {
+		m.valid[i] = false
+	}
+	m.pred = make(map[int]bool)
+	m.nextBase = 0
+	m.memAccesses, m.memMisses = 0, 0
+	m.branches, m.branchMiss = 0, 0
+}
+
+// Cycles reports the cycles accumulated since the last Reset.
+func (m *Machine) Cycles() float64 { return m.cycles }
+
+// MissRate reports the data-cache miss rate since the last Reset, or 0
+// when no memory access happened.
+func (m *Machine) MissRate() float64 {
+	if m.memAccesses == 0 {
+		return 0
+	}
+	return float64(m.memMisses) / float64(m.memAccesses)
+}
+
+// BranchMissRate reports the branch misprediction rate since the last
+// Reset, or 0 when no branch executed.
+func (m *Machine) BranchMissRate() float64 {
+	if m.branches == 0 {
+		return 0
+	}
+	return float64(m.branchMiss) / float64(m.branches)
+}
+
+// Alloc reserves n abstract words and returns their base address. Arrays
+// of distinct kernels are placed contiguously so that cache conflicts are
+// realistic. A small pad keeps arrays from sharing a line.
+func (m *Machine) Alloc(n int64) int64 {
+	base := m.nextBase
+	pad := int64(m.cache.WordsPerLine)
+	m.nextBase += n + pad
+	return base
+}
+
+// ALU accounts for n integer ALU operations.
+func (m *Machine) ALU(n int) { m.cycles += float64(n) * m.costs.ALU }
+
+// MulOp accounts for n integer multiplies.
+func (m *Machine) MulOp(n int) { m.cycles += float64(n) * m.costs.Mul }
+
+// DivOp accounts for n integer divides.
+func (m *Machine) DivOp(n int) { m.cycles += float64(n) * m.costs.Div }
+
+// Call accounts for a function call.
+func (m *Machine) Call() { m.cycles += m.costs.Call }
+
+// Ret accounts for a function return.
+func (m *Machine) Ret() { m.cycles += m.costs.Ret }
+
+// access charges one data-cache access at the word address addr.
+func (m *Machine) access(addr int64) {
+	m.memAccesses++
+	line := addr / int64(m.cache.WordsPerLine)
+	idx := int(line % int64(m.cache.Lines))
+	if m.valid[idx] && m.tags[idx] == line {
+		m.cycles += m.costs.MemHit
+		return
+	}
+	m.valid[idx] = true
+	m.tags[idx] = line
+	m.memMisses++
+	m.cycles += m.costs.MemMiss
+}
+
+// Load accounts for a load from word address addr.
+func (m *Machine) Load(addr int64) { m.access(addr) }
+
+// Store accounts for a store to word address addr (write-allocate).
+func (m *Machine) Store(addr int64) { m.access(addr) }
+
+// Branch accounts for a conditional branch at the given static site,
+// resolving to taken. A 1-bit dynamic predictor per site charges the
+// misprediction penalty whenever the outcome differs from the last one.
+func (m *Machine) Branch(site int, taken bool) {
+	m.branches++
+	m.cycles += m.costs.Branch
+	if p, ok := m.pred[site]; ok && p != taken {
+		m.cycles += m.costs.BranchMiss
+		m.branchMiss++
+	} else if !ok && taken {
+		// Predictors initialise to not-taken; first taken branch misses.
+		m.cycles += m.costs.BranchMiss
+		m.branchMiss++
+	}
+	m.pred[site] = taken
+}
+
+// Program is a benchmark kernel runnable on a Machine. Run must generate a
+// fresh random input using r, execute the kernel, and return the cycles it
+// consumed. Implementations reset the machine themselves.
+type Program interface {
+	// Name identifies the kernel, e.g. "qsort-100".
+	Name() string
+	// Run executes one job instance on m with randomness from r and
+	// returns its cycle count.
+	Run(m *Machine, r *rand.Rand) float64
+}
+
+// Collect runs p for n job instances on m and returns the n cycle counts.
+// It is the vmcpu analogue of the paper's "execute 20000 instances with
+// MEET".
+func Collect(p Program, m *Machine, n int, r *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.Run(m, r)
+	}
+	return out
+}
