@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments traces cover fmt
+.PHONY: all build vet test test-race bench experiments traces cover fmt
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The parallel sweeps and GA fitness fan-out must stay data-race free.
+test-race:
+	$(GO) test -race ./...
 
 # One benchmark per paper table/figure plus the substrate micro-benches.
 bench:

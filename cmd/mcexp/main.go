@@ -2,11 +2,13 @@
 //
 // Usage:
 //
-//	mcexp -exp table1,table2,fig2,fig3,fig45,fig6,headline [-sets N] [-samples N] [-seed S] [-csv] [-plot]
+//	mcexp -exp table1,table2,fig2,fig3,fig45,fig6,headline [-sets N] [-samples N] [-seed S] [-workers W] [-csv] [-plot]
 //
 // With -exp all (the default) every experiment runs. -sets and -samples
 // scale the task-set counts and trace sample counts; the defaults are the
 // paper-sized values (1000 sets, 20000 samples), which take a few minutes.
+// -workers fans the sweeps out over that many goroutines (default: one
+// per CPU); results are bit-identical for every worker count.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"chebymc/internal/experiment"
@@ -26,6 +29,7 @@ func main() {
 		sets    = flag.Int("sets", 0, "task sets per sweep point (0 = paper default 1000)")
 		samples = flag.Int("samples", 0, "trace samples per benchmark (0 = paper default 20000)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines per sweep (results are identical for any value)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		plot    = flag.Bool("plot", true, "emit ASCII plots for figures")
 		outdir  = flag.String("outdir", "", "also write each artefact's CSV into this directory")
@@ -38,13 +42,13 @@ func main() {
 	}
 	all := want["all"]
 
-	if err := run(want, all, *sets, *samples, *seed, *csv, *plot, *outdir); err != nil {
+	if err := run(want, all, *sets, *samples, *seed, *workers, *csv, *plot, *outdir); err != nil {
 		fmt.Fprintln(os.Stderr, "mcexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(want map[string]bool, all bool, sets, samples int, seed int64, csv, plot bool, outdir string) error {
+func run(want map[string]bool, all bool, sets, samples int, seed int64, workers int, csv, plot bool, outdir string) error {
 	if outdir != "" {
 		if err := os.MkdirAll(outdir, 0o755); err != nil {
 			return err
@@ -70,7 +74,7 @@ func run(want map[string]bool, all bool, sets, samples int, seed int64, csv, plo
 	}
 
 	if all || want["table1"] || want["table2"] {
-		cfg := experiment.TraceConfig{Seed: seed}
+		cfg := experiment.TraceConfig{Seed: seed, Workers: workers}
 		if samples > 0 {
 			cfg.DefaultSamples = samples
 		}
@@ -111,7 +115,7 @@ func run(want map[string]bool, all bool, sets, samples int, seed int64, csv, plo
 	}
 
 	if all || want["fig3"] {
-		cfg := experiment.Fig3Config{Seed: seed}
+		cfg := experiment.Fig3Config{Seed: seed, Workers: workers}
 		if sets > 0 {
 			cfg.Sets = sets
 		}
@@ -133,7 +137,7 @@ func run(want map[string]bool, all bool, sets, samples int, seed int64, csv, plo
 
 	var fig45 *experiment.Fig45Result
 	if all || want["fig45"] || want["fig4"] || want["fig5"] || want["headline"] {
-		cfg := experiment.Fig45Config{Seed: seed, GA: ga.Config{}}
+		cfg := experiment.Fig45Config{Seed: seed, Workers: workers, GA: ga.Config{}}
 		if sets > 0 {
 			cfg.Sets = sets
 		}
@@ -164,7 +168,7 @@ func run(want map[string]bool, all bool, sets, samples int, seed int64, csv, plo
 	}
 
 	if all || want["ablation"] {
-		tcfg := experiment.TraceConfig{Seed: seed}
+		tcfg := experiment.TraceConfig{Seed: seed, Workers: workers}
 		if samples > 0 {
 			tcfg.DefaultSamples = samples
 		}
@@ -183,7 +187,7 @@ func run(want map[string]bool, all bool, sets, samples int, seed int64, csv, plo
 	}
 
 	if all || want["convergence"] {
-		cfg := experiment.ConvergenceConfig{Trace: experiment.TraceConfig{Seed: seed}}
+		cfg := experiment.ConvergenceConfig{Trace: experiment.TraceConfig{Seed: seed, Workers: workers}}
 		res, err := experiment.RunConvergence(cfg)
 		if err != nil {
 			return err
@@ -194,7 +198,7 @@ func run(want map[string]bool, all bool, sets, samples int, seed int64, csv, plo
 	}
 
 	if all || want["ext"] {
-		cfg := experiment.ExtensionConfig{Seed: seed}
+		cfg := experiment.ExtensionConfig{Seed: seed, Workers: workers}
 		if sets > 0 {
 			cfg.Sets = sets
 		}
@@ -208,7 +212,7 @@ func run(want map[string]bool, all bool, sets, samples int, seed int64, csv, plo
 	}
 
 	if all || want["fig6"] {
-		cfg := experiment.Fig6Config{Seed: seed}
+		cfg := experiment.Fig6Config{Seed: seed, Workers: workers}
 		if sets > 0 {
 			cfg.Sets = sets
 		}

@@ -12,39 +12,39 @@ import (
 // internal/experiment.
 
 func TestRunFig2Only(t *testing.T) {
-	if err := run(map[string]bool{"fig2": true}, false, 5, 50, 1, false, false, ""); err != nil {
+	if err := run(map[string]bool{"fig2": true}, false, 5, 50, 1, 2, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTablesCSV(t *testing.T) {
-	if err := run(map[string]bool{"table1": true, "table2": true}, false, 5, 60, 1, true, false, ""); err != nil {
+	if err := run(map[string]bool{"table1": true, "table2": true}, false, 5, 60, 1, 2, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig6Small(t *testing.T) {
-	if err := run(map[string]bool{"fig6": true}, false, 10, 0, 1, false, true, ""); err != nil {
+	if err := run(map[string]bool{"fig6": true}, false, 10, 0, 1, 2, false, true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunHeadlineSmall(t *testing.T) {
-	if err := run(map[string]bool{"headline": true}, false, 4, 0, 1, false, false, ""); err != nil {
+	if err := run(map[string]bool{"headline": true}, false, 4, 0, 1, 2, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperimentIsNoop(t *testing.T) {
 	// Unknown names simply select nothing; run must not fail.
-	if err := run(map[string]bool{"bogus": true}, false, 2, 50, 1, false, false, ""); err != nil {
+	if err := run(map[string]bool{"bogus": true}, false, 2, 50, 1, 2, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesOutdirCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(map[string]bool{"fig2": true}, false, 2, 50, 1, false, false, dir); err != nil {
+	if err := run(map[string]bool{"fig2": true}, false, 2, 50, 1, 2, false, false, dir); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig2.csv"))

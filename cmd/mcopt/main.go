@@ -6,7 +6,12 @@
 // Usage:
 //
 //	mcopt -in taskset.json [-policy ga|uniform|lambda] [-n 10] [-lambda 0.25]
-//	      [-out optimised.json] [-seed S] [-simulate horizon]
+//	      [-out optimised.json] [-seed S] [-workers W] [-simulate horizon] [-runs R]
+//
+// -workers parallelises the GA's fitness evaluations and the simulator
+// replications (default: one per CPU); results are identical for every
+// worker count. -runs replicates the -simulate run with independently
+// derived seeds and reports the means.
 package main
 
 import (
@@ -14,10 +19,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"chebymc/internal/core"
 	"chebymc/internal/dist"
 	"chebymc/internal/edfvd"
+	"chebymc/internal/ga"
 	"chebymc/internal/mc"
 	"chebymc/internal/policy"
 	"chebymc/internal/sim"
@@ -32,17 +39,19 @@ func main() {
 		lambda   = flag.Float64("lambda", 0.25, "λ fraction (policy=lambda)")
 		out      = flag.String("out", "", "write the optimised task set to this JSON file")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the GA search and simulation (results are identical for any value)")
 		simulate = flag.Float64("simulate", 0, "also run the EDF-VD simulator for this horizon (0 = skip)")
+		runs     = flag.Int("runs", 1, "simulator replications with derived seeds (with -simulate)")
 	)
 	flag.Parse()
 
-	if err := run(*in, *polName, *n, *lambda, *out, *seed, *simulate); err != nil {
+	if err := run(*in, *polName, *n, *lambda, *out, *seed, *workers, *simulate, *runs); err != nil {
 		fmt.Fprintln(os.Stderr, "mcopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, polName string, n, lambda float64, out string, seed int64, horizon float64) error {
+func run(in, polName string, n, lambda float64, out string, seed int64, workers int, horizon float64, runs int) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -59,7 +68,7 @@ func run(in, polName string, n, lambda float64, out string, seed int64, horizon 
 	var pol policy.Policy
 	switch polName {
 	case "ga":
-		pol = policy.ChebyshevGA{}
+		pol = policy.ChebyshevGA{Config: ga.Config{Workers: workers}}
 	case "uniform":
 		pol = policy.ChebyshevUniform{N: n}
 	case "lambda":
@@ -114,13 +123,16 @@ func run(in, polName string, n, lambda float64, out string, seed int64, horizon 
 			}
 			exec[t.ID] = d
 		}
-		s, serr := sim.New(a.TaskSet, sim.Config{Horizon: horizon, Exec: exec, Seed: seed})
+		if runs < 1 {
+			runs = 1
+		}
+		ms, serr := sim.Replicate(a.TaskSet, sim.Config{Horizon: horizon, Exec: exec, Seed: seed}, runs, workers)
 		if serr != nil {
 			return serr
 		}
-		m := s.Run()
-		fmt.Printf("Simulated %g time units: switches=%d overrun-rate=%.4f HC-misses=%d LC-service=%.3f util=%.3f\n",
-			horizon, m.ModeSwitches, m.OverrunRate(), m.HCMisses, m.LCServiceRate(), m.Utilisation())
+		sum := sim.Summarize(ms)
+		fmt.Printf("Simulated %g time units × %d runs: mean switches=%.1f overrun-rate=%.4f HC-misses=%d LC-service=%.3f util=%.3f\n",
+			horizon, sum.Runs, sum.MeanModeSwitches, sum.MeanOverrunRate, sum.TotalHCMisses, sum.MeanLCServiceRate, sum.MeanUtilisation)
 	}
 
 	if out != "" {

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"chebymc/internal/ga"
+)
+
+// BenchmarkFig45Sweep measures the policy-comparison sweep — the hot
+// path of `mcexp -exp fig45` — serial vs one worker per core. The
+// results are bit-identical per worker count; only wall-clock differs.
+func BenchmarkFig45Sweep(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := RunFig45(Fig45Config{
+					UHCHIs:  []float64{0.5, 0.8},
+					Sets:    10,
+					GA:      ga.Config{PopSize: 24, Generations: 30},
+					Seed:    1,
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBenchTraces measures the Table I/II trace-collection pass,
+// serial vs parallel across benchmark kernels.
+func BenchmarkBenchTraces(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := quickTraceCfg()
+				cfg.Workers = workers
+				if _, _, err := BenchTraces(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

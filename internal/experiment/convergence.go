@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"chebymc/internal/par"
 	"chebymc/internal/texttable"
 )
 
@@ -77,14 +78,18 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 		return nil, err
 	}
 	res := &ConvergenceResult{Counts: cfg.Counts}
-	for _, app := range Table2Apps {
+	// The prefix studies are independent per app; run them on the trace
+	// collection's worker budget, keeping rows in Table2Apps order. Apps
+	// whose trace is shorter than every prefix yield no row.
+	rows, err := par.Map(tcfg.Workers, len(Table2Apps), func(i int) (*ConvergenceRow, error) {
+		app := Table2Apps[i]
 		tr := traces[app]
 		counts := cfg.Counts
 		for len(counts) > 0 && counts[len(counts)-1] > len(tr.Samples) {
 			counts = counts[:len(counts)-1]
 		}
 		if len(counts) == 0 {
-			continue
+			return nil, nil
 		}
 		pts, err := tr.Convergence(counts, cfg.RefN)
 		if err != nil {
@@ -101,7 +106,15 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 				row.SettledAt = p.N
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return &row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if row != nil {
+			res.Rows = append(res.Rows, *row)
+		}
 	}
 	return res, nil
 }

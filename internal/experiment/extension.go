@@ -2,10 +2,11 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 
 	"chebymc/internal/ga"
 	"chebymc/internal/mlmc"
+	"chebymc/internal/par"
+	"chebymc/internal/rng"
 	"chebymc/internal/stats"
 	"chebymc/internal/texttable"
 )
@@ -26,10 +27,15 @@ type ExtensionConfig struct {
 	// Sets is the number of random systems per point. Default 200.
 	Sets int
 	// GA tunes the n-matrix search. Zero selects pop 40 / 60
-	// generations.
+	// generations. Leave GA.Workers at zero: the sweep parallelises
+	// across systems, so the inner search stays serial.
 	GA ga.Config
 	// Seed seeds generation.
 	Seed int64
+	// Workers bounds the goroutines evaluating systems concurrently. 0
+	// and 1 run serially; results are identical for every value because
+	// each system draws from its own derived stream.
+	Workers int
 }
 
 func (c ExtensionConfig) withDefaults() ExtensionConfig {
@@ -73,38 +79,65 @@ type ExtensionResult struct {
 }
 
 // RunExtension executes the multi-level acceptance/objective sweep.
+// Each system is generated and optimised from its own derived stream on
+// up to cfg.Workers goroutines; acceptance counts and means accumulate
+// in system order, so the result is identical for every worker count.
 func RunExtension(cfg ExtensionConfig) (*ExtensionResult, error) {
 	cfg = cfg.withDefaults()
-	r := rand.New(rand.NewSource(cfg.Seed))
 	res := &ExtensionResult{cfg: cfg}
 
-	for _, ub := range cfg.UBounds {
-		acceptedPes, acceptedScheme := 0, 0
-		var obj, esc stats.Online
-		for s := 0; s < cfg.Sets; s++ {
+	// setOut is one random system's outcome.
+	type setOut struct {
+		acceptPes, acceptScheme bool
+		hasGA                   bool
+		obj, esc                float64
+	}
+
+	for ubi, ub := range cfg.UBounds {
+		outs, err := par.Map(cfg.Workers, cfg.Sets, func(s int) (setOut, error) {
+			r := rng.New(cfg.Seed, streamExtension, int64(ubi), int64(s))
 			sys, err := mlmc.Generate(r, mlmc.GenConfig{Levels: cfg.Levels}, ub)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: extension ub=%g: %w", ub, err)
+				return setOut{}, fmt.Errorf("experiment: extension ub=%g: %w", ub, err)
 			}
-			if mlmc.Schedulable(sys).Schedulable {
-				acceptedPes++
-			}
+			var o setOut
+			o.acceptPes = mlmc.Schedulable(sys).Schedulable
 			// Scheme acceptance is monotone in n (smaller budgets only
 			// relax the rung conditions), so n = 0 decides it.
 			zero, err := mlmc.Apply(sys, mlmc.Uniform(sys, 0, 0))
 			if err != nil {
-				return nil, err
+				return setOut{}, err
 			}
 			if !mlmc.Schedulable(zero.System).Schedulable {
-				continue
+				return o, nil
 			}
-			acceptedScheme++
+			o.acceptScheme = true
 			a, err := mlmc.OptimizeGA(sys, cfg.GA, true, r)
 			if err != nil {
-				continue // GA found nothing better than infeasible
+				return o, nil // GA found nothing better than infeasible
 			}
-			obj.Add(a.Objective)
-			esc.Add(a.PEscalate[0])
+			o.hasGA = true
+			o.obj = a.Objective
+			o.esc = a.PEscalate[0]
+			return o, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		acceptedPes, acceptedScheme := 0, 0
+		var obj, esc stats.Online
+		for _, o := range outs {
+			if o.acceptPes {
+				acceptedPes++
+			}
+			if o.acceptScheme {
+				acceptedScheme++
+			}
+			if o.hasGA {
+				obj.Add(o.obj)
+				esc.Add(o.esc)
+			}
 		}
 		res.Points = append(res.Points, ExtensionPoint{
 			UBound:            ub,

@@ -2,9 +2,10 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 
+	"chebymc/internal/par"
 	"chebymc/internal/policy"
+	"chebymc/internal/rng"
 	"chebymc/internal/stats"
 	"chebymc/internal/taskgen"
 	"chebymc/internal/textplot"
@@ -25,6 +26,10 @@ type Fig3Config struct {
 	OptSweepMax int
 	// Seed seeds generation.
 	Seed int64
+	// Workers bounds the goroutines scoring task sets concurrently. 0
+	// and 1 run serially; results are identical for every value because
+	// each task set draws from its own derived stream.
+	Workers int
 }
 
 func (c Fig3Config) withDefaults() Fig3Config {
@@ -63,44 +68,69 @@ type Fig3Result struct {
 }
 
 // RunFig3 executes the grid sweep, averaging cfg.Sets random task sets at
-// each utilisation point.
+// each utilisation point. Task sets are generated from independently
+// derived streams and scored on up to cfg.Workers goroutines; the means
+// are accumulated in set order, so the result is identical for every
+// worker count.
 func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Fig3Result{OptN: make(map[float64]float64), cfg: cfg}
-	r := rand.New(rand.NewSource(cfg.Seed))
 
-	for _, u := range cfg.UHCHIs {
-		accPMS := make([]stats.Online, len(cfg.Ns))
-		accU := make([]stats.Online, len(cfg.Ns))
-		accObj := make([]stats.Online, len(cfg.Ns))
-		var accOptN stats.Online
+	// setOut is one task set's contribution: a sample per n plus the
+	// per-set optimal uniform n.
+	type setOut struct {
+		pms, maxU, obj []float64
+		optN           float64
+	}
 
-		for s := 0; s < cfg.Sets; s++ {
+	for ui, u := range cfg.UHCHIs {
+		outs, err := par.Map(cfg.Workers, cfg.Sets, func(s int) (setOut, error) {
+			r := rng.New(cfg.Seed, streamFig3, int64(ui), int64(s))
 			ts, err := taskgen.HCOnly(r, taskgen.Config{}, u)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: fig3 u=%g: %w", u, err)
+				return setOut{}, fmt.Errorf("experiment: fig3 u=%g: %w", u, err)
+			}
+			o := setOut{
+				pms:  make([]float64, len(cfg.Ns)),
+				maxU: make([]float64, len(cfg.Ns)),
+				obj:  make([]float64, len(cfg.Ns)),
 			}
 			for i, n := range cfg.Ns {
 				a, err := policy.ChebyshevUniform{N: n}.Assign(ts, nil)
 				if err != nil {
-					return nil, fmt.Errorf("experiment: fig3 u=%g n=%g: %w", u, n, err)
+					return setOut{}, fmt.Errorf("experiment: fig3 u=%g n=%g: %w", u, n, err)
 				}
-				accPMS[i].Add(a.PMS)
-				accU[i].Add(a.MaxULCLO)
-				accObj[i].Add(a.Objective)
+				o.pms[i], o.maxU[i], o.obj[i] = a.PMS, a.MaxULCLO, a.Objective
 			}
 			// Per-set optimum over the fine sweep.
 			bestN, bestObj := 0.0, -1.0
 			for n := 0; n <= cfg.OptSweepMax; n++ {
 				a, err := policy.ChebyshevUniform{N: float64(n)}.Assign(ts, nil)
 				if err != nil {
-					return nil, err
+					return setOut{}, err
 				}
 				if a.Objective > bestObj {
 					bestObj, bestN = a.Objective, float64(n)
 				}
 			}
-			accOptN.Add(bestN)
+			o.optN = bestN
+			return o, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		accPMS := make([]stats.Online, len(cfg.Ns))
+		accU := make([]stats.Online, len(cfg.Ns))
+		accObj := make([]stats.Online, len(cfg.Ns))
+		var accOptN stats.Online
+		for _, o := range outs {
+			for i := range cfg.Ns {
+				accPMS[i].Add(o.pms[i])
+				accU[i].Add(o.maxU[i])
+				accObj[i].Add(o.obj[i])
+			}
+			accOptN.Add(o.optN)
 		}
 
 		for i, n := range cfg.Ns {

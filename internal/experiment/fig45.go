@@ -5,7 +5,9 @@ import (
 	"math/rand"
 
 	"chebymc/internal/ga"
+	"chebymc/internal/par"
 	"chebymc/internal/policy"
+	"chebymc/internal/rng"
 	"chebymc/internal/stats"
 	"chebymc/internal/taskgen"
 	"chebymc/internal/textplot"
@@ -22,10 +24,15 @@ type Fig45Config struct {
 	Sets int
 	// GA tunes the proposed scheme's search. Zero selects small
 	// paper-parameter defaults sized for the sweep (pop 40, 60
-	// generations).
+	// generations). Leave GA.Workers at zero: the sweep parallelises
+	// across task sets, so the inner search stays serial.
 	GA ga.Config
 	// Seed seeds generation.
 	Seed int64
+	// Workers bounds the goroutines scoring task sets concurrently. 0
+	// and 1 run serially; results are identical for every value because
+	// each task set draws from its own derived stream.
+	Workers int
 }
 
 func (c Fig45Config) withDefaults() Fig45Config {
@@ -85,7 +92,10 @@ func (r *Fig45Result) MaxUCI(name string, u float64, seed int64) (lo, hi float64
 }
 
 // RunFig45 executes the comparison: the same cfg.Sets task sets per
-// utilisation point are scored under every policy.
+// utilisation point are scored under every policy. Each task set is
+// generated and scored from its own derived stream on up to cfg.Workers
+// goroutines; per-policy means and the raw max-U samples are accumulated
+// in set order, so the result is identical for every worker count.
 func RunFig45(cfg Fig45Config) (*Fig45Result, error) {
 	cfg = cfg.withDefaults()
 	pols := ComparedPolicies(cfg.GA)
@@ -94,26 +104,48 @@ func RunFig45(cfg Fig45Config) (*Fig45Result, error) {
 		res.names = append(res.names, p.Name())
 		res.rawMaxU[p.Name()] = make(map[float64][]float64)
 	}
-	r := rand.New(rand.NewSource(cfg.Seed))
 
-	for _, u := range cfg.UHCHIs {
-		accPMS := make([]stats.Online, len(pols))
-		accU := make([]stats.Online, len(pols))
-		accObj := make([]stats.Online, len(pols))
-		for s := 0; s < cfg.Sets; s++ {
+	// setOut is one task set's score under every compared policy.
+	type setOut struct {
+		pms, maxU, obj []float64
+	}
+
+	for ui, u := range cfg.UHCHIs {
+		outs, err := par.Map(cfg.Workers, cfg.Sets, func(s int) (setOut, error) {
+			// One stream per task set: generation and every stochastic
+			// policy (λ draws, the GA seed) consume from it serially.
+			r := rng.New(cfg.Seed, streamFig45, int64(ui), int64(s))
 			ts, err := taskgen.HCOnly(r, taskgen.Config{}, u)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: fig4/5 u=%g: %w", u, err)
+				return setOut{}, fmt.Errorf("experiment: fig4/5 u=%g: %w", u, err)
+			}
+			o := setOut{
+				pms:  make([]float64, len(pols)),
+				maxU: make([]float64, len(pols)),
+				obj:  make([]float64, len(pols)),
 			}
 			for i, p := range pols {
 				a, err := p.Assign(ts, r)
 				if err != nil {
-					return nil, fmt.Errorf("experiment: fig4/5 %s u=%g: %w", p.Name(), u, err)
+					return setOut{}, fmt.Errorf("experiment: fig4/5 %s u=%g: %w", p.Name(), u, err)
 				}
-				accPMS[i].Add(a.PMS)
-				accU[i].Add(a.MaxULCLO)
-				accObj[i].Add(a.Objective)
-				res.rawMaxU[p.Name()][u] = append(res.rawMaxU[p.Name()][u], a.MaxULCLO)
+				o.pms[i], o.maxU[i], o.obj[i] = a.PMS, a.MaxULCLO, a.Objective
+			}
+			return o, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		accPMS := make([]stats.Online, len(pols))
+		accU := make([]stats.Online, len(pols))
+		accObj := make([]stats.Online, len(pols))
+		for _, o := range outs {
+			for i, p := range pols {
+				accPMS[i].Add(o.pms[i])
+				accU[i].Add(o.maxU[i])
+				accObj[i].Add(o.obj[i])
+				res.rawMaxU[p.Name()][u] = append(res.rawMaxU[p.Name()][u], o.maxU[i])
 			}
 		}
 		for i, p := range pols {

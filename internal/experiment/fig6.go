@@ -2,12 +2,13 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 
 	"chebymc/internal/core"
 	"chebymc/internal/edfvd"
 	"chebymc/internal/mc"
+	"chebymc/internal/par"
 	"chebymc/internal/policy"
+	"chebymc/internal/rng"
 	"chebymc/internal/taskgen"
 	"chebymc/internal/textplot"
 	"chebymc/internal/texttable"
@@ -35,6 +36,10 @@ type Fig6Config struct {
 	DegradeRho float64
 	// Seed seeds generation.
 	Seed int64
+	// Workers bounds the goroutines testing task sets concurrently. 0
+	// and 1 run serially; results are identical for every value because
+	// each task set draws from its own derived stream.
+	Workers int
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -74,39 +79,57 @@ func schemeAssign(ts *mc.TaskSet) (core.Assignment, error) {
 	return policy.ChebyshevUniform{N: 0}.Assign(ts, nil)
 }
 
-// RunFig6 executes the acceptance sweep.
+// RunFig6 executes the acceptance sweep. Each task set is generated and
+// tested from its own derived stream on up to cfg.Workers goroutines;
+// acceptance counts are summed in set order, so the result is identical
+// for every worker count.
 func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Fig6Result{cfg: cfg}
-	r := rand.New(rand.NewSource(cfg.Seed))
 	baseline := policy.LambdaRange{Lo: 0.25, Hi: 1}
 
-	for _, ub := range cfg.UBounds {
-		accepted := make(map[string]int, len(Fig6Variants))
-		for s := 0; s < cfg.Sets; s++ {
+	// setOut records which of the four variants accepted one task set.
+	type setOut [4]bool // indexed like Fig6Variants
+
+	for ubi, ub := range cfg.UBounds {
+		outs, err := par.Map(cfg.Workers, cfg.Sets, func(s int) (setOut, error) {
+			r := rng.New(cfg.Seed, streamFig6, int64(ubi), int64(s))
 			ts, err := taskgen.Mixed(r, taskgen.Config{}, ub)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: fig6 ub=%g: %w", ub, err)
+				return setOut{}, fmt.Errorf("experiment: fig6 ub=%g: %w", ub, err)
 			}
+			var o setOut
 
 			// Baseline budgets (λ-fraction, per [1]'s protocol).
 			if base, err := baseline.Assign(ts, r); err == nil {
-				if edfvd.Schedulable(base.TaskSet).Schedulable {
-					accepted["baruah"]++
-				}
-				if edfvd.SchedulableDegraded(base.TaskSet, cfg.DegradeRho).Schedulable {
-					accepted["liu"]++
-				}
+				o[0] = edfvd.Schedulable(base.TaskSet).Schedulable
+				o[2] = edfvd.SchedulableDegraded(base.TaskSet, cfg.DegradeRho).Schedulable
 			}
 
 			// Proposed scheme budgets.
 			if ours, err := schemeAssign(ts); err == nil {
-				if edfvd.Schedulable(ours.TaskSet).Schedulable {
-					accepted["baruah+scheme"]++
-				}
-				if edfvd.SchedulableDegraded(ours.TaskSet, cfg.DegradeRho).Schedulable {
-					accepted["liu+scheme"]++
-				}
+				o[1] = edfvd.Schedulable(ours.TaskSet).Schedulable
+				o[3] = edfvd.SchedulableDegraded(ours.TaskSet, cfg.DegradeRho).Schedulable
+			}
+			return o, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		accepted := map[string]int{}
+		for _, o := range outs {
+			if o[0] {
+				accepted["baruah"]++
+			}
+			if o[1] {
+				accepted["baruah+scheme"]++
+			}
+			if o[2] {
+				accepted["liu"]++
+			}
+			if o[3] {
+				accepted["liu+scheme"]++
 			}
 		}
 		for _, v := range Fig6Variants {

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"chebymc/internal/ga"
+)
+
+// These tests pin the refactor's contract: every sweep must produce
+// bit-identical results for any worker count, because each item draws
+// from its own derived stream and accumulation happens in item order.
+
+func TestFig45WorkerInvariant(t *testing.T) {
+	run := func(workers int) *Fig45Result {
+		t.Helper()
+		res, err := RunFig45(Fig45Config{
+			UHCHIs:  []float64{0.5, 0.8},
+			Sets:    6,
+			GA:      ga.Config{PopSize: 16, Generations: 10},
+			Seed:    21,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(base.Points, got.Points) {
+			t.Errorf("workers=%d: points diverge from serial\nserial:   %+v\nparallel: %+v",
+				workers, base.Points, got.Points)
+		}
+		if !reflect.DeepEqual(base.rawMaxU, got.rawMaxU) {
+			t.Errorf("workers=%d: raw max-U samples diverge (order or values)", workers)
+		}
+	}
+}
+
+func TestTable1WorkerInvariant(t *testing.T) {
+	run := func(workers int) *Table1Result {
+		t.Helper()
+		cfg := quickTraceCfg()
+		cfg.Workers = workers
+		res, err := RunTable1(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: Table I diverges from serial", workers)
+		}
+	}
+}
+
+func TestFig3WorkerInvariant(t *testing.T) {
+	run := func(workers int) *Fig3Result {
+		t.Helper()
+		res, err := RunFig3(Fig3Config{
+			UHCHIs:      []float64{0.5, 0.7},
+			Ns:          []float64{5, 15},
+			Sets:        12,
+			OptSweepMax: 20,
+			Seed:        22,
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(base.Cells, got.Cells) || !reflect.DeepEqual(base.OptN, got.OptN) {
+			t.Errorf("workers=%d: Fig. 3 grid diverges from serial", workers)
+		}
+	}
+}
+
+func TestFig6WorkerInvariant(t *testing.T) {
+	run := func(workers int) []Fig6Point {
+		t.Helper()
+		res, err := RunFig6(Fig6Config{
+			UBounds: []float64{0.7, 1.1},
+			Sets:    30,
+			Seed:    23,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Points
+	}
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: Fig. 6 acceptance diverges from serial", workers)
+		}
+	}
+}
+
+func TestExtensionWorkerInvariant(t *testing.T) {
+	run := func(workers int) []ExtensionPoint {
+		t.Helper()
+		res, err := RunExtension(ExtensionConfig{
+			UBounds: []float64{0.6},
+			Sets:    10,
+			GA:      ga.Config{PopSize: 12, Generations: 8},
+			Seed:    24,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Points
+	}
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: extension sweep diverges from serial", workers)
+		}
+	}
+}
+
+func TestConvergenceWorkerInvariant(t *testing.T) {
+	run := func(workers int) *ConvergenceResult {
+		t.Helper()
+		tcfg := quickTraceCfg()
+		tcfg.Workers = workers
+		res, err := RunConvergence(ConvergenceConfig{
+			Trace:  tcfg,
+			Counts: []int{50, 100, 200},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	if got := run(4); !reflect.DeepEqual(base, got) {
+		t.Error("workers=4: convergence study diverges from serial")
+	}
+}

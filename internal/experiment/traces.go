@@ -5,16 +5,31 @@
 //
 // Scale knobs (sample counts, task-set counts) default to paper-sized
 // values; tests and quick runs shrink them. All randomness flows through
-// explicit seeds.
+// explicit seeds: every sweep derives one independent generator per item
+// (task set, benchmark app) via internal/rng, so items can be computed
+// on any number of workers — each config's Workers field — with
+// bit-identical results.
 package experiment
 
 import (
 	"fmt"
-	"math/rand"
 
 	"chebymc/internal/ipet"
+	"chebymc/internal/par"
+	"chebymc/internal/rng"
 	"chebymc/internal/trace"
 	"chebymc/internal/vmcpu"
+)
+
+// Top-level stream identifiers for rng.Derive. Each experiment derives
+// its per-item generators under its own stream, so adding a random
+// consumer to one sweep can never perturb another's draws.
+const (
+	streamTraces int64 = iota + 1
+	streamFig3
+	streamFig45
+	streamFig6
+	streamExtension
 )
 
 // BenchApps lists the benchmark kernels of the paper's Table I in
@@ -43,6 +58,11 @@ type TraceConfig struct {
 	DefaultSamples int
 	// Seed seeds input generation.
 	Seed int64
+	// Workers bounds the goroutines measuring benchmarks concurrently.
+	// 0 and 1 collect serially; every value produces identical traces
+	// because each app draws from its own derived stream on its own
+	// simulated machine.
+	Workers int
 }
 
 func (c TraceConfig) samplesFor(app string) int {
@@ -64,27 +84,43 @@ func (c TraceConfig) samplesFor(app string) int {
 	return 20000
 }
 
-// BenchTraces measures every Table I kernel on the default machine and
-// also returns each kernel's static WCET bound from the IPET analyser.
+// BenchTraces measures every Table I kernel and returns each kernel's
+// static WCET bound from the IPET analyser. Apps are measured on up to
+// cfg.Workers goroutines; each app gets its own machine instance (kernels
+// Reset it per run) and its own derived input stream, so the traces are
+// identical for every worker count.
 func BenchTraces(cfg TraceConfig) (trace.Set, map[string]float64, error) {
 	costs := vmcpu.DefaultCosts()
-	m := vmcpu.NewMachine(costs, vmcpu.DefaultCache())
-	r := rand.New(rand.NewSource(cfg.Seed))
+	apps := BenchApps()
 
-	traces := make(trace.Set)
-	bounds := make(map[string]float64)
-	for _, p := range BenchApps() {
+	type appOut struct {
+		tr    *trace.Trace
+		bound float64
+	}
+	outs, err := par.Map(cfg.Workers, len(apps), func(i int) (appOut, error) {
+		p := apps[i]
+		m := vmcpu.NewMachine(costs, vmcpu.DefaultCache())
+		r := rng.New(cfg.Seed, streamTraces, int64(i))
 		n := cfg.samplesFor(p.Name())
 		tr, err := trace.Collect(p, m, n, r)
 		if err != nil {
-			return nil, nil, fmt.Errorf("experiment: collecting %s: %w", p.Name(), err)
+			return appOut{}, fmt.Errorf("experiment: collecting %s: %w", p.Name(), err)
 		}
-		traces[p.Name()] = tr
 		w, err := ipet.KernelWCET(p, costs)
 		if err != nil {
-			return nil, nil, fmt.Errorf("experiment: WCET bound for %s: %w", p.Name(), err)
+			return appOut{}, fmt.Errorf("experiment: WCET bound for %s: %w", p.Name(), err)
 		}
-		bounds[p.Name()] = w
+		return appOut{tr: tr, bound: w}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	traces := make(trace.Set, len(apps))
+	bounds := make(map[string]float64, len(apps))
+	for i, p := range apps {
+		traces[p.Name()] = outs[i].tr
+		bounds[p.Name()] = outs[i].bound
 	}
 	return traces, bounds, nil
 }

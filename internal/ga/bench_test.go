@@ -1,7 +1,9 @@
 package ga
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 )
 
@@ -72,4 +74,32 @@ func BenchmarkWeakSelection(b *testing.B) {
 // pressure, premature convergence risk).
 func BenchmarkGreedySelection(b *testing.B) {
 	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.2, TournamentK: 20})
+}
+
+// BenchmarkGAParallel compares serial vs parallel population evaluation
+// on a deliberately expensive fitness (the cost profile of the paper's
+// Eq. 13 objective over a large task set). Results are identical per
+// worker count; only wall-clock differs.
+func BenchmarkGAParallel(b *testing.B) {
+	expensive := func(g []float64) float64 {
+		f := rastrigin(g)
+		// Simulate the per-genome analysis cost of a real fitness.
+		s := 0.0
+		for i := 0; i < 20000; i++ {
+			s += math.Sqrt(float64(i%97) + f*f)
+		}
+		return f - s*1e-18
+	}
+	p := rastriginProblem(8)
+	p.Fitness = expensive
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := Config{PopSize: 40, Generations: 12, Seed: int64(i + 1), Workers: workers}
+				if _, err := Run(p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -3,7 +3,9 @@
 // DEAP [25] — two-point crossover (p = 0.8), single-point mutation
 // (p = 0.2) and tournament selection with five participants. Genomes are
 // fixed-length real vectors with per-gene bounds; runs are deterministic
-// given a seed.
+// given a seed, for any Config.Workers value: breeding (every random
+// draw) stays on one serial path and only the pure fitness evaluations
+// fan out.
 package ga
 
 import (
@@ -12,6 +14,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"chebymc/internal/par"
 )
 
 // Bound is the closed interval [Lo, Hi] a gene may take.
@@ -26,23 +30,43 @@ type Problem struct {
 	Fitness func(genome []float64) float64
 }
 
-// Config tunes the algorithm. Zero values select the paper's defaults.
+// Zero-value Config fields select the paper's defaults, which makes a
+// literal zero unrequestable through the field alone. These sentinels
+// express it: CrossProb/MutProb accept ZeroProb, Elites accepts NoElites.
+const (
+	// ZeroProb requests a probability of exactly 0 for CrossProb or
+	// MutProb (disabling the operator) where 0 itself selects the default.
+	ZeroProb = -1.0
+	// NoElites requests zero elitism where Elites: 0 selects the default.
+	NoElites = -1
+)
+
+// Config tunes the algorithm. Zero values select the paper's defaults;
+// see ZeroProb and NoElites for requesting literal zeros.
 type Config struct {
 	// PopSize is the population size. Default 60.
 	PopSize int
 	// Generations is the number of generations. Default 120.
 	Generations int
-	// CrossProb is the two-point crossover probability. Default 0.8.
+	// CrossProb is the two-point crossover probability. Default 0.8;
+	// ZeroProb disables crossover.
 	CrossProb float64
-	// MutProb is the single-point mutation probability. Default 0.2.
+	// MutProb is the single-point mutation probability. Default 0.2;
+	// ZeroProb disables mutation.
 	MutProb float64
 	// TournamentK is the tournament size. Default 5.
 	TournamentK int
 	// Elites is the number of best individuals copied unchanged into the
-	// next generation. Default 1.
+	// next generation. Default 1; NoElites disables elitism.
 	Elites int
 	// Seed seeds the run.
 	Seed int64
+	// Workers bounds the goroutines evaluating fitness concurrently
+	// within one generation. 0 and 1 both evaluate serially; any value
+	// produces bit-identical results because every random draw happens
+	// on the serial breeding path and Fitness is required to be pure.
+	// Fitness must be safe for concurrent calls when Workers > 1.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -52,17 +76,29 @@ func (c Config) withDefaults() Config {
 	if c.Generations == 0 {
 		c.Generations = 120
 	}
-	if c.CrossProb == 0 {
+	switch c.CrossProb {
+	case 0:
 		c.CrossProb = 0.8
+	case ZeroProb:
+		c.CrossProb = 0
 	}
-	if c.MutProb == 0 {
+	switch c.MutProb {
+	case 0:
 		c.MutProb = 0.2
+	case ZeroProb:
+		c.MutProb = 0
 	}
 	if c.TournamentK == 0 {
 		c.TournamentK = 5
 	}
-	if c.Elites == 0 {
+	switch c.Elites {
+	case 0:
 		c.Elites = 1
+	case NoElites:
+		c.Elites = 0
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
 	}
 	return c
 }
@@ -81,6 +117,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("ga: tournament size %d must be ≥ 1", c.TournamentK)
 	case c.Elites < 0 || c.Elites >= c.PopSize:
 		return fmt.Errorf("ga: elites %d out of [0, population)", c.Elites)
+	case c.Workers < 1:
+		return fmt.Errorf("ga: workers %d must be ≥ 1", c.Workers)
 	}
 	return nil
 }
@@ -129,18 +167,30 @@ func Run(p Problem, cfg Config) (Result, error) {
 		}
 		return b.Lo + r.Float64()*(b.Hi-b.Lo)
 	}
-	eval := func(g []float64) float64 {
-		copyG := append([]float64(nil), g...)
-		return p.Fitness(copyG)
+	// evalAll scores a batch of genomes on cfg.Workers goroutines. The
+	// fitness function is documented pure and draws no randomness, so
+	// scoring order cannot affect the run: results are bit-identical for
+	// every worker count.
+	evalAll := func(genomes [][]float64) []float64 {
+		fits, _ := par.Map(cfg.Workers, len(genomes), func(i int) (float64, error) {
+			copyG := append([]float64(nil), genomes[i]...)
+			return p.Fitness(copyG), nil
+		})
+		return fits
 	}
 
-	pop := make([]individual, cfg.PopSize)
-	for i := range pop {
+	genomes := make([][]float64, cfg.PopSize)
+	for i := range genomes {
 		g := make([]float64, dim)
 		for k := range g {
 			g[k] = sample(k)
 		}
-		pop[i] = individual{genome: g, fitness: eval(g)}
+		genomes[i] = g
+	}
+	fits := evalAll(genomes)
+	pop := make([]individual, cfg.PopSize)
+	for i := range pop {
+		pop[i] = individual{genome: genomes[i], fitness: fits[i]}
 	}
 
 	best := pop[0]
@@ -174,7 +224,11 @@ func Run(p Problem, cfg Config) (Result, error) {
 			next = append(next, clone(sorted[i]))
 		}
 
-		for len(next) < cfg.PopSize {
+		// Breed the full offspring batch on the serial path — every
+		// random draw happens here, in the same order for any Workers —
+		// then score the batch concurrently.
+		offspring := make([][]float64, 0, cfg.PopSize-len(next))
+		for len(next)+len(offspring) < cfg.PopSize {
 			a := clone(tournament())
 			b := clone(tournament())
 			if r.Float64() < cfg.CrossProb {
@@ -186,12 +240,13 @@ func Run(p Problem, cfg Config) (Result, error) {
 			if r.Float64() < cfg.MutProb {
 				mutateOne(r, b.genome, p.Bounds)
 			}
-			a.fitness = eval(a.genome)
-			next = append(next, a)
-			if len(next) < cfg.PopSize {
-				b.fitness = eval(b.genome)
-				next = append(next, b)
+			offspring = append(offspring, a.genome)
+			if len(next)+len(offspring) < cfg.PopSize {
+				offspring = append(offspring, b.genome)
 			}
+		}
+		for i, f := range evalAll(offspring) {
+			next = append(next, individual{genome: offspring[i], fitness: f})
 		}
 		pop = next
 

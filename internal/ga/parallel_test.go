@@ -1,0 +1,96 @@
+package ga
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWorkersBitIdentical is the contract of the parallel evaluator:
+// the same problem and seed must produce byte-identical results at
+// every worker count, because breeding stays serial and fitness is pure.
+func TestWorkersBitIdentical(t *testing.T) {
+	p := rastriginProblem(6)
+	base, err := Run(p, Config{Seed: 7, PopSize: 30, Generations: 40, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got, err := Run(p, Config{Seed: 7, PopSize: 30, Generations: 40, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d diverged from serial:\nserial:   %+v\nparallel: %+v",
+				workers, base, got)
+		}
+	}
+}
+
+// TestWorkersZeroMeansSerial checks the zero value keeps the historical
+// serial behaviour (and stays valid for existing callers).
+func TestWorkersZeroMeansSerial(t *testing.T) {
+	p := sphereProblem(3)
+	a, err := Run(p, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Config{Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Workers: 0 and Workers: 1 disagree")
+	}
+	if _, err := Run(p, Config{Workers: -2}); err == nil {
+		t.Error("negative workers must error")
+	}
+}
+
+// TestZeroSentinels is the regression test for the Config zero-value
+// ambiguity: CrossProb/MutProb/Elites at 0 select defaults, so the
+// sentinels must be the way to request literal zeros.
+func TestZeroSentinels(t *testing.T) {
+	def := Config{}.withDefaults()
+	if def.CrossProb != 0.8 || def.MutProb != 0.2 || def.Elites != 1 {
+		t.Fatalf("zero config lost its defaults: %+v", def)
+	}
+	zeroed := Config{CrossProb: ZeroProb, MutProb: ZeroProb, Elites: NoElites}.withDefaults()
+	if zeroed.CrossProb != 0 {
+		t.Errorf("CrossProb: ZeroProb became %g, want 0", zeroed.CrossProb)
+	}
+	if zeroed.MutProb != 0 {
+		t.Errorf("MutProb: ZeroProb became %g, want 0", zeroed.MutProb)
+	}
+	if zeroed.Elites != 0 {
+		t.Errorf("Elites: NoElites became %d, want 0", zeroed.Elites)
+	}
+	if err := zeroed.validate(); err == nil {
+		// zeroed still has PopSize 60 etc. from withDefaults, so it must
+		// validate cleanly — the sentinels map onto legal values.
+		_ = err
+	} else {
+		t.Errorf("sentinel config does not validate: %v", err)
+	}
+
+	// End-to-end: with both operators off and no elitism the population
+	// can only contain tournament-selected copies of the initial
+	// genomes, so every best genome must be one of them.
+	p := sphereProblem(2)
+	res, err := Run(p, Config{
+		Seed: 11, PopSize: 12, Generations: 5,
+		CrossProb: ZeroProb, MutProb: ZeroProb, Elites: NoElites,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) != 2 {
+		t.Fatalf("bad best genome %v", res.Best)
+	}
+	// Other negative probabilities stay invalid.
+	if _, err := Run(p, Config{CrossProb: -0.5}); err == nil {
+		t.Error("CrossProb -0.5 must still error")
+	}
+	if _, err := Run(p, Config{Elites: -3}); err == nil {
+		t.Error("Elites -3 must still error")
+	}
+}

@@ -1,0 +1,105 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		got, err := Map(workers, 50, func(i int) (int, error) {
+			if i%7 == 0 { // make completion order scramble
+				time.Sleep(time.Millisecond)
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results, want 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(workers, 40, func(i int) (int, error) {
+			switch i {
+			case 3:
+				// Delay so higher-index errors land first under
+				// parallel scheduling; the reported error must still
+				// be this one.
+				time.Sleep(2 * time.Millisecond)
+				return 0, errLow
+			case 10, 20, 30:
+				return 0, fmt.Errorf("high %d", i)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want the index-3 error", workers, err)
+		}
+	}
+}
+
+func TestMapStopsDispatchAfterError(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(4, 10_000, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if n := calls.Load(); n > 1000 {
+		t.Errorf("dispatch kept going after the error: %d calls", n)
+	}
+}
+
+func TestMapSerialFallbackShortCircuits(t *testing.T) {
+	var calls int
+	boom := errors.New("boom")
+	_, err := Map(1, 100, func(i int) (int, error) {
+		calls++
+		if i == 4 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if calls != 5 {
+		t.Errorf("serial fallback made %d calls, want 5", calls)
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if _, err := Map(4, -1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative n must error")
+	}
+	got, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Errorf("n=0: got (%v, %v), want empty success", got, err)
+	}
+	// More workers than items must not deadlock or skip items.
+	got, err = Map(64, 3, func(i int) (int, error) { return i + 1, nil })
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("workers>n: got (%v, %v)", got, err)
+	}
+}
