@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench experiments traces cover fmt
+.PHONY: all build vet test test-race bench bench-json experiments traces cover fmt
+
+# The PR counter for the benchmark-trajectory file written by bench-json.
+BENCH_N ?= 2
 
 all: build vet test test-race
 
@@ -22,6 +25,14 @@ test-race:
 # One benchmark per paper table/figure plus the substrate micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable perf trajectory: runs the tier benchmarks (simulator,
+# GA, and the Fig. 4/5 sweep) and writes per-benchmark ns/op and
+# allocs/op means to BENCH_$(BENCH_N).json for cross-PR comparison.
+bench-json:
+	{ $(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sim ./internal/ga ; \
+	  $(GO) test -run '^$$' -bench 'Fig4$$' -benchmem -count 3 . ; } \
+	| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_N).json
 
 # Regenerate every paper artefact at full scale (takes several minutes).
 experiments:

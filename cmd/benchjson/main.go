@@ -1,0 +1,160 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON file, so the benchmark trajectory can be tracked
+// across PRs (BENCH_<n>.json at the repo root; see `make bench-json`).
+// Repeated -count runs of the same benchmark are aggregated into means.
+// Input lines are echoed to stdout so the tool can sit at the end of a
+// pipe without hiding the run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one aggregated benchmark result.
+type Benchmark struct {
+	Pkg         string             `json:"pkg"`
+	Name        string             `json:"name"`
+	Samples     int                `json:"samples"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// accum collects repeated samples of one benchmark.
+type accum struct {
+	pkg, name  string
+	samples    int
+	iterations int64
+	sums       map[string]float64 // unit → summed value
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON file (default stdout only)")
+	flag.Parse()
+	rep, err := parse(bufio.NewScanner(os.Stdin), os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parse consumes bench output, echoing every line to echo when non-nil.
+func parse(sc *bufio.Scanner, echo io.Writer) (Report, error) {
+	var rep Report
+	byKey := map[string]*accum{}
+	var order []string
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix go test appends when procs > 1.
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		key := pkg + " " + name
+		a := byKey[key]
+		if a == nil {
+			a = &accum{pkg: pkg, name: name, sums: map[string]float64{}}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.samples++
+		a.iterations += iters
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			a.sums[f[i+1]] += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		a := byKey[key]
+		n := float64(a.samples)
+		b := Benchmark{
+			Pkg:         a.pkg,
+			Name:        a.name,
+			Samples:     a.samples,
+			Iterations:  a.iterations,
+			NsPerOp:     a.sums["ns/op"] / n,
+			BPerOp:      a.sums["B/op"] / n,
+			AllocsPerOp: a.sums["allocs/op"] / n,
+		}
+		for unit, sum := range a.sums {
+			switch unit {
+			case "ns/op", "B/op", "allocs/op":
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = sum / n
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, nil
+}

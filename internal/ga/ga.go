@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"chebymc/internal/par"
 )
@@ -26,7 +25,10 @@ type Bound struct{ Lo, Hi float64 }
 type Problem struct {
 	// Bounds gives the per-gene domains and fixes the genome length.
 	Bounds []Bound
-	// Fitness scores a genome. It must not retain or mutate the slice.
+	// Fitness scores a genome. It must not retain or mutate the slice:
+	// the algorithm passes its internal genome storage directly (no
+	// defensive copy is made), and the same storage is reused across
+	// generations.
 	Fitness func(genome []float64) float64
 }
 
@@ -168,29 +170,43 @@ func Run(p Problem, cfg Config) (Result, error) {
 		return b.Lo + r.Float64()*(b.Hi-b.Lo)
 	}
 	// evalAll scores a batch of genomes on cfg.Workers goroutines. The
-	// fitness function is documented pure and draws no randomness, so
-	// scoring order cannot affect the run: results are bit-identical for
-	// every worker count.
+	// fitness function is documented pure — it must not retain or mutate
+	// the slice — and draws no randomness, so genomes are passed without
+	// a defensive copy and scoring order cannot affect the run: results
+	// are bit-identical for every worker count.
 	evalAll := func(genomes [][]float64) []float64 {
 		fits, _ := par.Map(cfg.Workers, len(genomes), func(i int) (float64, error) {
-			copyG := append([]float64(nil), genomes[i]...)
-			return p.Fitness(copyG), nil
+			return p.Fitness(genomes[i]), nil
 		})
 		return fits
 	}
 
-	genomes := make([][]float64, cfg.PopSize)
-	for i := range genomes {
-		g := make([]float64, dim)
+	// Genomes live in two arenas ping-ponged between generations: the
+	// current population reads from one while offspring are written into
+	// the other, so the breeding loop allocates nothing in steady state.
+	// Row PopSize is scratch for the second child of the final pair when
+	// the population size leaves no room for it (its random draws happen
+	// regardless, to keep the draw sequence identical).
+	newArena := func() [][]float64 {
+		flat := make([]float64, (cfg.PopSize+1)*dim)
+		rows := make([][]float64, cfg.PopSize+1)
+		for i := range rows {
+			rows[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+		}
+		return rows
+	}
+	cur, nxt := newArena(), newArena()
+
+	for i := 0; i < cfg.PopSize; i++ {
+		g := cur[i]
 		for k := range g {
 			g[k] = sample(k)
 		}
-		genomes[i] = g
 	}
-	fits := evalAll(genomes)
+	fits := evalAll(cur[:cfg.PopSize])
 	pop := make([]individual, cfg.PopSize)
 	for i := range pop {
-		pop[i] = individual{genome: genomes[i], fitness: fits[i]}
+		pop[i] = individual{genome: cur[i], fitness: fits[i]}
 	}
 
 	best := pop[0]
@@ -214,41 +230,75 @@ func Run(p Problem, cfg Config) (Result, error) {
 		return winner
 	}
 
-	for gen := 0; gen < cfg.Generations; gen++ {
-		next := make([]individual, 0, cfg.PopSize)
+	// Reusable per-generation buffers: the next population, the offspring
+	// batch handed to evalAll, and the elite-selection marker.
+	nextBuf := make([]individual, 0, cfg.PopSize)
+	offspring := make([][]float64, 0, cfg.PopSize)
+	var taken []bool
+	if cfg.Elites > 0 {
+		taken = make([]bool, cfg.PopSize)
+	}
 
-		// Elitism: carry the current best few unchanged.
-		sorted := append([]individual(nil), pop...)
-		sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].fitness > sorted[b].fitness })
-		for i := 0; i < cfg.Elites; i++ {
-			next = append(next, clone(sorted[i]))
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := nextBuf[:0]
+
+		// Elitism: carry the current best few unchanged. Partial top-K
+		// selection — repeatedly take the highest fitness, ties broken by
+		// the earliest position — yields exactly the prefix a stable
+		// descending sort would, in O(K·n) instead of O(n log n), and is
+		// skipped entirely when no elites are requested.
+		if cfg.Elites > 0 {
+			for i := range taken {
+				taken[i] = false
+			}
+			for e := 0; e < cfg.Elites; e++ {
+				bi := -1
+				for i := range pop {
+					if taken[i] {
+						continue
+					}
+					if bi < 0 || pop[i].fitness > pop[bi].fitness {
+						bi = i
+					}
+				}
+				taken[bi] = true
+				row := nxt[len(next)]
+				copy(row, pop[bi].genome)
+				next = append(next, individual{genome: row, fitness: pop[bi].fitness})
+			}
 		}
 
 		// Breed the full offspring batch on the serial path — every
 		// random draw happens here, in the same order for any Workers —
-		// then score the batch concurrently.
-		offspring := make([][]float64, 0, cfg.PopSize-len(next))
+		// then score the batch concurrently. Winners are copied into
+		// next-arena rows and operators mutate those copies in place.
+		offspring = offspring[:0]
 		for len(next)+len(offspring) < cfg.PopSize {
-			a := clone(tournament())
-			b := clone(tournament())
+			ra := nxt[len(next)+len(offspring)]
+			copy(ra, tournament().genome)
+			// The second child's row index tops out at PopSize — the
+			// scratch row — exactly when the child will be discarded.
+			rb := nxt[len(next)+len(offspring)+1]
+			copy(rb, tournament().genome)
 			if r.Float64() < cfg.CrossProb {
-				twoPointCrossover(r, a.genome, b.genome)
+				twoPointCrossover(r, ra, rb)
 			}
 			if r.Float64() < cfg.MutProb {
-				mutateOne(r, a.genome, p.Bounds)
+				mutateOne(r, ra, p.Bounds)
 			}
 			if r.Float64() < cfg.MutProb {
-				mutateOne(r, b.genome, p.Bounds)
+				mutateOne(r, rb, p.Bounds)
 			}
-			offspring = append(offspring, a.genome)
+			offspring = append(offspring, ra)
 			if len(next)+len(offspring) < cfg.PopSize {
-				offspring = append(offspring, b.genome)
+				offspring = append(offspring, rb)
 			}
 		}
 		for i, f := range evalAll(offspring) {
 			next = append(next, individual{genome: offspring[i], fitness: f})
 		}
-		pop = next
+		pop, nextBuf = next, pop[:0]
+		cur, nxt = nxt, cur
 
 		for _, ind := range pop {
 			if ind.fitness > best.fitness {

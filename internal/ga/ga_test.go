@@ -243,22 +243,41 @@ func TestMutateOneChangesAtMostOneGene(t *testing.T) {
 	}
 }
 
-// Fitness closures must not be able to corrupt the population through the
-// passed slice.
-func TestFitnessCannotMutatePopulation(t *testing.T) {
+// Fitness sees the exact genome the breeding loop produced — the slice
+// is passed without a defensive copy (the documented contract requires
+// Fitness not to retain or mutate it), so every gene must be inside its
+// bounds when Fitness observes it.
+func TestFitnessSeesInBoundsGenomes(t *testing.T) {
 	p := Problem{
-		Bounds: []Bound{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}},
-		Fitness: func(g []float64) float64 {
-			v := g[0] + g[1]
-			g[0] = 999 // hostile mutation
-			return v
-		},
+		Bounds: []Bound{{Lo: 0, Hi: 1}, {Lo: -2, Hi: -1}},
+	}
+	violations := 0
+	p.Fitness = func(g []float64) float64 {
+		for i, b := range p.Bounds {
+			if g[i] < b.Lo || g[i] > b.Hi {
+				violations++
+			}
+		}
+		return g[0] + g[1]
 	}
 	res, err := Run(p, Config{Seed: 7, Generations: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Best[0] == 999 {
-		t.Fatal("fitness mutation leaked into the population")
+	if violations != 0 {
+		t.Fatalf("fitness observed %d out-of-bounds genes", violations)
+	}
+	// The returned best genome is an independent copy, detached from the
+	// internal arenas: corrupting it must not be observable elsewhere.
+	if len(res.Best) != 2 {
+		t.Fatalf("best genome length %d", len(res.Best))
+	}
+	res.Best[0] = 999
+	res2, err := Run(p, Config{Seed: 7, Generations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Best[0] == 999 {
+		t.Fatal("Result.Best aliases internal state")
 	}
 }

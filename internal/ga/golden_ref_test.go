@@ -1,0 +1,120 @@
+package ga
+
+// A frozen copy of the pre-optimisation GA loop — full-population
+// stable sort for elitism, per-offspring clones, defensive genome copies
+// in evalAll — as the reference for golden_test.go. The selection fast
+// path must reproduce this implementation's Result byte for byte; the
+// value of this copy is that it does not change.
+
+import (
+	"math/rand"
+	"sort"
+
+	"chebymc/internal/par"
+)
+
+// refGARun replays the seed implementation of Run on an already-valid
+// problem and config.
+func refGARun(p Problem, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	dim := len(p.Bounds)
+
+	sample := func(i int) float64 {
+		b := p.Bounds[i]
+		if b.Hi == b.Lo {
+			return b.Lo
+		}
+		return b.Lo + r.Float64()*(b.Hi-b.Lo)
+	}
+	evalAll := func(genomes [][]float64) []float64 {
+		fits, _ := par.Map(cfg.Workers, len(genomes), func(i int) (float64, error) {
+			copyG := append([]float64(nil), genomes[i]...)
+			return p.Fitness(copyG), nil
+		})
+		return fits
+	}
+
+	genomes := make([][]float64, cfg.PopSize)
+	for i := range genomes {
+		g := make([]float64, dim)
+		for k := range g {
+			g[k] = sample(k)
+		}
+		genomes[i] = g
+	}
+	fits := evalAll(genomes)
+	pop := make([]individual, cfg.PopSize)
+	for i := range pop {
+		pop[i] = individual{genome: genomes[i], fitness: fits[i]}
+	}
+
+	best := pop[0]
+	for _, ind := range pop[1:] {
+		if ind.fitness > best.fitness {
+			best = ind
+		}
+	}
+	best = clone(best)
+
+	res := Result{History: make([]float64, 0, cfg.Generations)}
+
+	tournament := func() individual {
+		winner := pop[r.Intn(len(pop))]
+		for i := 1; i < cfg.TournamentK; i++ {
+			c := pop[r.Intn(len(pop))]
+			if c.fitness > winner.fitness {
+				winner = c
+			}
+		}
+		return winner
+	}
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([]individual, 0, cfg.PopSize)
+
+		sorted := append([]individual(nil), pop...)
+		sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].fitness > sorted[b].fitness })
+		for i := 0; i < cfg.Elites; i++ {
+			next = append(next, clone(sorted[i]))
+		}
+
+		offspring := make([][]float64, 0, cfg.PopSize-len(next))
+		for len(next)+len(offspring) < cfg.PopSize {
+			a := clone(tournament())
+			b := clone(tournament())
+			if r.Float64() < cfg.CrossProb {
+				twoPointCrossover(r, a.genome, b.genome)
+			}
+			if r.Float64() < cfg.MutProb {
+				mutateOne(r, a.genome, p.Bounds)
+			}
+			if r.Float64() < cfg.MutProb {
+				mutateOne(r, b.genome, p.Bounds)
+			}
+			offspring = append(offspring, a.genome)
+			if len(next)+len(offspring) < cfg.PopSize {
+				offspring = append(offspring, b.genome)
+			}
+		}
+		for i, f := range evalAll(offspring) {
+			next = append(next, individual{genome: offspring[i], fitness: f})
+		}
+		pop = next
+
+		for _, ind := range pop {
+			if ind.fitness > best.fitness {
+				best = clone(ind)
+			}
+		}
+		res.History = append(res.History, best.fitness)
+	}
+
+	res.Best = best.genome
+	res.BestFitness = best.fitness
+	return res, nil
+}

@@ -1,0 +1,161 @@
+package ga
+
+// Golden-equivalence suite: the selection fast path (partial top-K
+// elitism, arena-backed genomes, no defensive copies) must reproduce the
+// seed implementation (golden_ref_test.go) byte for byte — Best genome,
+// BestFitness and the full History — for every seed, elite count,
+// worker count and operator configuration.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// sphere is a smooth surface; plateau has large flat regions so many
+// individuals tie on fitness, stressing the elitism tie-break.
+func sphere(g []float64) float64 {
+	s := 0.0
+	for _, x := range g {
+		s += x * x
+	}
+	return -s
+}
+
+func plateau(g []float64) float64 {
+	s := 0.0
+	for _, x := range g {
+		s += math.Floor(math.Abs(x))
+	}
+	return -s
+}
+
+func goldenProblem(fit func([]float64) float64, dim int) Problem {
+	bounds := make([]Bound, dim)
+	for i := range bounds {
+		bounds[i] = Bound{Lo: -4, Hi: 4}
+	}
+	return Problem{Bounds: bounds, Fitness: fit}
+}
+
+func assertGAEqual(t *testing.T, p Problem, cfg Config) {
+	t.Helper()
+	want, err := refGARun(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestFitness != want.BestFitness {
+		t.Errorf("BestFitness = %v, want %v", got.BestFitness, want.BestFitness)
+	}
+	if len(got.Best) != len(want.Best) {
+		t.Fatalf("Best length %d, want %d", len(got.Best), len(want.Best))
+	}
+	for i := range got.Best {
+		if got.Best[i] != want.Best[i] {
+			t.Errorf("Best[%d] = %v, want %v", i, got.Best[i], want.Best[i])
+		}
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("History length %d, want %d", len(got.History), len(want.History))
+	}
+	for i := range got.History {
+		if got.History[i] != want.History[i] {
+			t.Fatalf("History[%d] = %v, want %v", i, got.History[i], want.History[i])
+		}
+	}
+}
+
+// TestGAGoldenEquivalenceMatrix sweeps elites × workers × seeds on both
+// surfaces, per the determinism contract at Elites 0/2 and workers 1/8.
+func TestGAGoldenEquivalenceMatrix(t *testing.T) {
+	surfaces := map[string]func([]float64) float64{"sphere": sphere, "plateau": plateau}
+	for surfName, fit := range surfaces {
+		p := goldenProblem(fit, 6)
+		for _, elites := range []int{NoElites, 1, 2, 5} {
+			for _, workers := range []int{1, 8} {
+				for seed := int64(1); seed <= 3; seed++ {
+					cfg := Config{
+						PopSize:     24,
+						Generations: 30,
+						Elites:      elites,
+						Workers:     workers,
+						Seed:        seed,
+					}
+					name := fmt.Sprintf("%s/elites=%d/workers=%d/seed=%d", surfName, elites, workers, seed)
+					t.Run(name, func(t *testing.T) {
+						assertGAEqual(t, p, cfg)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestGAGoldenEquivalencePaperConfig pins the paper's exact GA settings
+// (population 60, 120 generations, two-point crossover 0.8, single-point
+// mutation 0.2, tournament 5, one elite) on the rugged Rastrigin surface
+// used by the operator-ablation benchmarks.
+func TestGAGoldenEquivalencePaperConfig(t *testing.T) {
+	p := rastriginProblem(8)
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.2, TournamentK: 5, Seed: seed}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			assertGAEqual(t, p, cfg)
+		})
+	}
+}
+
+// TestGAGoldenEquivalenceEdges covers operator and population corners:
+// disabled operators, odd population sizes (the discarded second child of
+// the final pair), genome length 1 (crossover degenerates to a swap),
+// maximal elitism and degenerate single-value bounds.
+func TestGAGoldenEquivalenceEdges(t *testing.T) {
+	cases := map[string]struct {
+		p   Problem
+		cfg Config
+	}{
+		"odd-popsize": {
+			goldenProblem(sphere, 4),
+			Config{PopSize: 25, Generations: 20, Elites: 2, Seed: 9},
+		},
+		"no-crossover": {
+			goldenProblem(sphere, 4),
+			Config{PopSize: 20, Generations: 20, CrossProb: ZeroProb, Seed: 9},
+		},
+		"no-mutation": {
+			goldenProblem(sphere, 4),
+			Config{PopSize: 20, Generations: 20, MutProb: ZeroProb, Seed: 9},
+		},
+		"genome-length-1": {
+			goldenProblem(sphere, 1),
+			Config{PopSize: 16, Generations: 25, Elites: 2, Seed: 9},
+		},
+		"max-elites": {
+			goldenProblem(plateau, 3),
+			Config{PopSize: 10, Generations: 15, Elites: 9, Seed: 9},
+		},
+		"degenerate-bounds": {
+			Problem{
+				Bounds:  []Bound{{Lo: 2, Hi: 2}, {Lo: -1, Hi: 1}, {Lo: 0, Hi: 0}},
+				Fitness: sphere,
+			},
+			Config{PopSize: 12, Generations: 15, Elites: 2, Seed: 9},
+		},
+		"all-infeasible": {
+			Problem{
+				Bounds:  []Bound{{Lo: -1, Hi: 1}, {Lo: -1, Hi: 1}},
+				Fitness: func([]float64) float64 { return math.Inf(-1) },
+			},
+			Config{PopSize: 12, Generations: 10, Elites: 3, Seed: 9},
+		},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			assertGAEqual(t, c.p, c.cfg)
+		})
+	}
+}

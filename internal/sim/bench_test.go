@@ -40,6 +40,88 @@ func BenchmarkRun(b *testing.B) {
 	}
 }
 
+// benchSet builds a deterministic n-task dual-criticality set (every
+// third task HC) with execution-time distributions for every task and
+// inter-release jitter on every fifth, sized so the processor is busy
+// ~85% of the time in LO mode — a long ready queue that exercises the
+// scheduler's per-event data structures.
+func benchSet(b testing.TB, n int) (*mc.TaskSet, Config) {
+	b.Helper()
+	tasks := make([]mc.Task, n)
+	exec := make(map[int]dist.Dist, n)
+	jitter := make(map[int]dist.Dist)
+	for i := 0; i < n; i++ {
+		p := 100 + 37*float64(i)
+		t := mc.Task{ID: i + 1, Period: p}
+		if i%3 == 0 {
+			t.Crit = mc.HC
+			t.CLO = 0.06 * p
+			t.CHI = 0.14 * p
+			t.Profile = mc.Profile{ACET: 0.045 * p, Sigma: 0.009 * p}
+			d, err := dist.NewTruncNormal(t.Profile.ACET, t.Profile.Sigma, 0, t.CHI)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exec[t.ID] = d
+		} else {
+			t.Crit = mc.LC
+			t.CLO = 0.045 * p
+			t.CHI = t.CLO
+			d, err := dist.NewTruncNormal(0.8*t.CLO, 0.1*t.CLO, 0, t.CLO)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exec[t.ID] = d
+		}
+		if i%5 == 0 {
+			j, err := dist.NewUniform(0, 0.1*p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			jitter[t.ID] = j
+		}
+		tasks[i] = t
+	}
+	ts, err := mc.NewTaskSet(tasks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts, Config{
+		Horizon: 2e5,
+		Exec:    exec,
+		Jitter:  jitter,
+		Seed:    1,
+	}
+}
+
+// BenchmarkRun20Tasks measures per-event scheduling cost on a 20-task
+// system — the scale where linear scans over the task array and ready
+// queue dominate and the indexed heaps pay off.
+func BenchmarkRun20Tasks(b *testing.B) {
+	ts, cfg := benchSet(b, 20)
+	s, err := New(ts, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run()
+	}
+}
+
+// BenchmarkRun50Tasks scales the same workload to 50 tasks.
+func BenchmarkRun50Tasks(b *testing.B) {
+	ts, cfg := benchSet(b, 50)
+	s, err := New(ts, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run()
+	}
+}
+
 // BenchmarkRunWithEvents quantifies the event-log overhead.
 func BenchmarkRunWithEvents(b *testing.B) {
 	ts, err := mc.NewTaskSet([]mc.Task{

@@ -1,0 +1,296 @@
+package sim
+
+// This file carries a frozen copy of the pre-heap simulator event loop —
+// the seed implementation with O(n) linear scans over the ready queue and
+// the task array — as the reference for the golden-equivalence suite in
+// golden_test.go. The determinism contract of the heap rewrite is that
+// every Metrics field, every per-task metric and the complete event log
+// are byte-for-byte identical to this implementation for every seed,
+// policy, jitter configuration and virtual-deadline factor. Do not
+// "improve" this code: its value is that it does not change.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"chebymc/internal/mc"
+)
+
+// refResult bundles everything observable from one reference run.
+type refResult struct {
+	metrics Metrics
+	perTask []TaskMetrics
+	events  []Event
+}
+
+// refRun replays the seed implementation on an already-validated
+// Simulator (New normalises the config — DegradeFactor default, X from
+// the EDF-VD analysis — so the reference sees exactly what Run sees).
+func refRun(s *Simulator) refResult {
+	cfg := s.cfg
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var m Metrics
+	m.Time = cfg.Horizon
+
+	perTask := make(map[int]*TaskMetrics, len(s.ts.Tasks))
+	for _, t := range s.ts.Tasks {
+		perTask[t.ID] = &TaskMetrics{ID: t.ID, Crit: t.Crit}
+	}
+	var events []Event
+	record := func(t float64, k EventKind, taskID int) {
+		if cfg.MaxEvents <= 0 || len(events) >= cfg.MaxEvents {
+			return
+		}
+		events = append(events, Event{Time: t, Kind: k, TaskID: taskID})
+	}
+
+	tasks := s.ts.Tasks
+	nextRelease := make([]float64, len(tasks))
+	mode := mc.LO
+	var ready []*job
+	now := 0.0
+	lastHIEnter := 0.0
+
+	drawExec := func(t *mc.Task) float64 {
+		d, ok := cfg.Exec[t.ID]
+		if !ok {
+			return t.CLO
+		}
+		x := d.Sample(r)
+		if x < 0 {
+			x = 0
+		}
+		limit := t.CHI
+		if t.Crit == mc.LC {
+			limit = t.CLO
+		}
+		if x > limit {
+			x = limit
+		}
+		return x
+	}
+
+	release := func(i int, at float64) {
+		t := &tasks[i]
+		gap := t.Period
+		if jd, ok := cfg.Jitter[t.ID]; ok {
+			if j := jd.Sample(r); j > 0 {
+				gap += j
+			}
+		}
+		nextRelease[i] = at + gap
+		j := &job{
+			task:      t,
+			release:   at,
+			absDL:     at + t.Period,
+			virtDL:    at + t.Period,
+			execTotal: drawExec(t),
+		}
+		j.remaining = j.execTotal
+		tm := perTask[t.ID]
+		tm.Released++
+		record(at, EvRelease, t.ID)
+		if t.Crit == mc.HC {
+			m.HCReleased++
+			if j.execTotal > t.CLO {
+				m.Overruns++
+				tm.Overruns++
+			}
+			if mode == mc.LO {
+				j.virtDL = at + cfg.X*t.Period
+			}
+		} else {
+			m.LCReleased++
+			if mode == mc.HI {
+				switch cfg.Policy {
+				case DropAll:
+					j.dropped = true
+					m.LCDropped++
+					tm.Dropped++
+					record(at, EvDrop, t.ID)
+					return
+				case Degrade:
+					j.degraded = true
+					m.LCDegraded++
+					j.remaining *= cfg.DegradeFactor
+				}
+			}
+		}
+		ready = append(ready, j)
+	}
+
+	pick := func() *job {
+		var best *job
+		for _, j := range ready {
+			if best == nil ||
+				j.virtDL < best.virtDL ||
+				(j.virtDL == best.virtDL && j.task.ID < best.task.ID) {
+				best = j
+			}
+		}
+		return best
+	}
+
+	removeJob := func(target *job) {
+		for i, j := range ready {
+			if j == target {
+				ready[i] = ready[len(ready)-1]
+				ready = ready[:len(ready)-1]
+				return
+			}
+		}
+	}
+
+	hasReadyHC := func() bool {
+		for _, j := range ready {
+			if j.task.Crit == mc.HC {
+				return true
+			}
+		}
+		return false
+	}
+
+	enterHI := func() {
+		mode = mc.HI
+		m.ModeSwitches++
+		lastHIEnter = now
+		record(now, EvSwitchHI, 0)
+		var kept []*job
+		for _, j := range ready {
+			if j.task.Crit == mc.HC {
+				j.virtDL = j.absDL
+				kept = append(kept, j)
+				continue
+			}
+			switch cfg.Policy {
+			case DropAll:
+				j.dropped = true
+				m.LCDropped++
+				perTask[j.task.ID].Dropped++
+				record(now, EvDrop, j.task.ID)
+			case Degrade:
+				if !j.degraded {
+					j.degraded = true
+					m.LCDegraded++
+					j.remaining *= cfg.DegradeFactor
+				}
+				kept = append(kept, j)
+			}
+		}
+		ready = kept
+	}
+
+	exitHI := func() {
+		mode = mc.LO
+		m.TimeInHI += now - lastHIEnter
+		record(now, EvSwitchLO, 0)
+	}
+
+	for i := range tasks {
+		nextRelease[i] = 0
+	}
+
+	for now < cfg.Horizon {
+		for i := range tasks {
+			for nextRelease[i] <= now && nextRelease[i] < cfg.Horizon {
+				release(i, nextRelease[i])
+			}
+		}
+
+		run := pick()
+
+		nextRel := math.Inf(1)
+		for i := range tasks {
+			if nextRelease[i] > now && nextRelease[i] < nextRel && nextRelease[i] < cfg.Horizon {
+				nextRel = nextRelease[i]
+			}
+		}
+
+		if run == nil {
+			if math.IsInf(nextRel, 1) {
+				break
+			}
+			now = nextRel
+			continue
+		}
+
+		milestone := run.remaining
+		budgetSwitch := false
+		if mode == mc.LO && run.task.Crit == mc.HC {
+			budgetLeft := run.task.CLO - run.consumed
+			if budgetLeft < milestone {
+				milestone = budgetLeft
+				budgetSwitch = true
+			}
+		}
+		end := now + milestone
+		if end > nextRel {
+			delta := nextRel - now
+			run.remaining -= delta
+			run.consumed += delta
+			m.BusyTime += delta
+			now = nextRel
+			continue
+		}
+		if end > cfg.Horizon {
+			delta := cfg.Horizon - now
+			run.remaining -= delta
+			run.consumed += delta
+			m.BusyTime += delta
+			now = cfg.Horizon
+			break
+		}
+
+		run.remaining -= milestone
+		run.consumed += milestone
+		m.BusyTime += milestone
+		now = end
+
+		if budgetSwitch && run.remaining > 0 {
+			enterHI()
+			continue
+		}
+		if run.remaining <= 1e-12 {
+			removeJob(run)
+			tm := perTask[run.task.ID]
+			tm.Completed++
+			resp := now - run.release
+			tm.sumResponse += resp
+			if resp > tm.MaxResponse {
+				tm.MaxResponse = resp
+			}
+			missed := now > run.absDL+1e-9
+			if missed {
+				tm.Misses++
+				record(now, EvMiss, run.task.ID)
+			} else {
+				record(now, EvComplete, run.task.ID)
+			}
+			if run.task.Crit == mc.HC {
+				m.HCCompleted++
+				if missed {
+					m.HCMisses++
+				}
+			} else {
+				m.LCCompleted++
+				if missed {
+					m.LCMisses++
+				}
+			}
+			if mode == mc.HI && !hasReadyHC() {
+				exitHI()
+			}
+		}
+	}
+	if mode == mc.HI {
+		m.TimeInHI += cfg.Horizon - lastHIEnter
+	}
+
+	out := refResult{metrics: m, events: events}
+	for _, tm := range perTask {
+		out.perTask = append(out.perTask, *tm)
+	}
+	sort.Slice(out.perTask, func(i, j int) bool { return out.perTask[i].ID < out.perTask[j].ID })
+	return out
+}

@@ -1,0 +1,192 @@
+package sim
+
+// Indexed priority queues for the event loop. Two orderings drive the
+// simulator: which ready job runs next (EDF-VD: earliest virtual
+// deadline) and which task releases next. Both were linear scans in the
+// seed implementation; here they are binary min-heaps, making the
+// per-event cost O(log n).
+//
+// Determinism contract: the heap comparators implement exactly the
+// seed's tie-breaks — ready jobs order by (virtDL, task ID), pending
+// releases by (time, task index) — and both orders are total on every
+// reachable simulator state (two ready jobs of one task can never share
+// a virtual deadline because successive releases are ≥ one period
+// apart, and a task has at most one pending release). A total order
+// makes the heap's pop sequence independent of its internal layout, so
+// the rewrite cannot reorder events or RNG draws.
+
+// readyHeap is an index-tracked min-heap over the ready jobs. Jobs
+// record their slot in job.heapIdx, so removing an arbitrary job (a
+// completion is not always the root once mode switches rewrite
+// deadlines) is O(log n) instead of a scan.
+type readyHeap struct {
+	a []*job
+}
+
+// jobLess is the EDF-VD priority: earliest virtual deadline first, ties
+// broken by task ID — the seed's pick() ordering.
+func jobLess(x, y *job) bool {
+	if x.virtDL != y.virtDL {
+		return x.virtDL < y.virtDL
+	}
+	return x.task.ID < y.task.ID
+}
+
+func (h *readyHeap) len() int { return len(h.a) }
+
+// min returns the highest-priority ready job without removing it, or
+// nil when no job is ready.
+func (h *readyHeap) min() *job {
+	if len(h.a) == 0 {
+		return nil
+	}
+	return h.a[0]
+}
+
+func (h *readyHeap) push(j *job) {
+	j.heapIdx = len(h.a)
+	h.a = append(h.a, j)
+	h.up(j.heapIdx)
+}
+
+// remove deletes the job at slot i.
+func (h *readyHeap) remove(i int) {
+	n := len(h.a) - 1
+	last := h.a[n]
+	h.a[n] = nil
+	h.a = h.a[:n]
+	if i == n {
+		return
+	}
+	h.a[i] = last
+	last.heapIdx = i
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+// reinit rebuilds the heap from jobs in O(n) — used after a mode switch
+// rewrites every HC job's virtual deadline at once, where per-job fixes
+// would cost O(n log n).
+func (h *readyHeap) reinit(jobs []*job) {
+	h.a = append(h.a[:0], jobs...)
+	for i, j := range h.a {
+		j.heapIdx = i
+	}
+	for i := len(h.a)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *readyHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !jobLess(h.a[i], h.a[p]) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+// down sifts slot i toward the leaves and reports whether it moved.
+func (h *readyHeap) down(i int) bool {
+	i0 := i
+	n := len(h.a)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && jobLess(h.a[r], h.a[l]) {
+			m = r
+		}
+		if !jobLess(h.a[m], h.a[i]) {
+			break
+		}
+		h.swap(i, m)
+		i = m
+	}
+	return i > i0
+}
+
+func (h *readyHeap) swap(i, j int) {
+	h.a[i], h.a[j] = h.a[j], h.a[i]
+	h.a[i].heapIdx = i
+	h.a[j].heapIdx = j
+}
+
+// releaseHeap orders pending releases by (time, dense task index). Each
+// task appears at most once: it is popped when its release fires and
+// re-pushed with the next release time (releases at or beyond the
+// horizon are simply not pushed). The root therefore answers both hot
+// questions — "everything due now" (drain while root time ≤ now) and
+// "next release strictly in the future" (the root after the drain) —
+// that the seed answered with two O(tasks) scans per event.
+type releaseHeap struct {
+	idx  []int     // heap of dense task indices
+	time []float64 // next-release time per dense task index
+}
+
+// reset sizes the per-task time table and empties the heap.
+func (h *releaseHeap) reset(n int) {
+	h.idx = h.idx[:0]
+	if cap(h.time) < n {
+		h.time = make([]float64, n)
+	}
+	h.time = h.time[:n]
+}
+
+func (h *releaseHeap) len() int { return len(h.idx) }
+
+// minIdx returns the dense task index with the earliest pending
+// release; the caller reads the time from h.time. Only valid when
+// len() > 0.
+func (h *releaseHeap) minIdx() int { return h.idx[0] }
+
+func (h *releaseHeap) lessIdx(a, b int) bool {
+	ta, tb := h.time[a], h.time[b]
+	if ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
+func (h *releaseHeap) push(task int, at float64) {
+	h.time[task] = at
+	h.idx = append(h.idx, task)
+	i := len(h.idx) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.lessIdx(h.idx[i], h.idx[p]) {
+			break
+		}
+		h.idx[i], h.idx[p] = h.idx[p], h.idx[i]
+		i = p
+	}
+}
+
+func (h *releaseHeap) pop() int {
+	top := h.idx[0]
+	n := len(h.idx) - 1
+	h.idx[0] = h.idx[n]
+	h.idx = h.idx[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.lessIdx(h.idx[r], h.idx[l]) {
+			m = r
+		}
+		if !h.lessIdx(h.idx[m], h.idx[i]) {
+			break
+		}
+		h.idx[i], h.idx[m] = h.idx[m], h.idx[i]
+		i = m
+	}
+	return top
+}

@@ -60,19 +60,16 @@ func (s *Simulator) PerTask() []TaskMetrics {
 	if s.perTask == nil {
 		return nil
 	}
-	out := make([]TaskMetrics, 0, len(s.perTask))
-	for _, tm := range s.perTask {
-		out = append(out, *tm)
-	}
+	out := append([]TaskMetrics(nil), s.perTask...)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // TaskMetricsFor returns the metrics of one task from the last Run.
 func (s *Simulator) TaskMetricsFor(id int) (TaskMetrics, bool) {
-	tm, ok := s.perTask[id]
-	if !ok {
+	i, ok := s.idIndex[id]
+	if !ok || s.perTask == nil {
 		return TaskMetrics{}, false
 	}
-	return *tm, true
+	return s.perTask[i], true
 }

@@ -1,0 +1,59 @@
+package sim
+
+import "sync"
+
+// jobArena is a slab allocator with a free list for job records. A run
+// releases tens of thousands of jobs; allocating each on the Go heap
+// dominated the seed's allocation profile (one allocation per release).
+// The arena hands out slots from fixed-size slabs and recycles
+// completed or dropped jobs within the run, so steady-state releases
+// allocate nothing.
+type jobArena struct {
+	slabs [][]job
+	slab  int // slab currently being carved
+	used  int // slots handed out from that slab
+	free  []*job
+}
+
+const slabSize = 256
+
+// get returns a zeroed job.
+func (a *jobArena) get() *job {
+	if n := len(a.free); n > 0 {
+		j := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		*j = job{}
+		return j
+	}
+	if a.slab == len(a.slabs) {
+		a.slabs = append(a.slabs, make([]job, slabSize))
+	}
+	s := a.slabs[a.slab]
+	j := &s[a.used]
+	*j = job{} // slabs are recycled across runs; slots may be dirty
+	a.used++
+	if a.used == len(s) {
+		a.slab++
+		a.used = 0
+	}
+	return j
+}
+
+// put recycles a job the simulator no longer references.
+func (a *jobArena) put(j *job) {
+	a.free = append(a.free, j)
+}
+
+// reset forgets every outstanding job but keeps the slabs, readying the
+// arena for the next run.
+func (a *jobArena) reset() {
+	a.slab, a.used = 0, 0
+	a.free = a.free[:0]
+}
+
+// arenaPool shares arenas across simulator runs — in particular across
+// the Monte Carlo replications of sim.Replicate, where each replication
+// builds a fresh Simulator: the second and later replications on a
+// worker reuse the slabs of the first instead of re-growing them.
+var arenaPool = sync.Pool{New: func() any { return new(jobArena) }}

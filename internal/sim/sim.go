@@ -10,6 +10,12 @@
 // an assignment produced by internal/core it measures the *observed*
 // overrun and mode-switch rates, LC service and deadline behaviour, which
 // the analytical bounds must dominate.
+//
+// The event loop runs on indexed priority queues (see heap.go): picking
+// the next job and the next release are O(log n) per event rather than
+// linear scans, with every tie-break chosen so that results — metrics,
+// per-task metrics, event log and RNG draw order — are bit-identical to
+// the straightforward O(n) formulation (pinned by golden_test.go).
 package sim
 
 import (
@@ -126,7 +132,8 @@ func (m Metrics) LCServiceRate() float64 {
 
 type job struct {
 	task      *mc.Task
-	release   float64
+	taskIdx   int     // dense index into the task array and per-task state
+	release   float64 // release instant
 	absDL     float64 // real deadline
 	virtDL    float64 // EDF-VD priority deadline (shrunk for HC in LO)
 	remaining float64 // execution time still needed
@@ -134,16 +141,31 @@ type job struct {
 	consumed  float64 // processor time received
 	degraded  bool
 	dropped   bool
+	heapIdx   int // slot in the ready heap
+	orderIdx  int // slot in the insertion-order view of the ready set
 }
 
 // Simulator runs one task set. Create with New, run with Run.
 type Simulator struct {
 	ts  *mc.TaskSet
 	cfg Config
-	// perTask holds the per-task metrics of the most recent Run.
-	perTask map[int]*TaskMetrics
+
+	// Per-task state resolved once in New into dense slices (index =
+	// position in ts.Tasks) so the event loop never consults a map.
+	exec    []dist.Dist // nil entry → executes for exactly C^LO
+	jitter  []dist.Dist // nil entry → strictly periodic releases
+	idIndex map[int]int // task ID → dense index
+
+	// perTask holds the per-task metrics of the most recent Run in dense
+	// task order; nil until Run is called.
+	perTask []TaskMetrics
 	// events holds the schedule-event log of the most recent Run.
 	events []Event
+
+	// Event-loop state, reused across runs.
+	ready   readyHeap
+	order   []*job // ready jobs in insertion order (swap-remove on exit)
+	relHeap releaseHeap
 }
 
 // New validates the configuration and returns a Simulator.
@@ -172,7 +194,19 @@ func New(ts *mc.TaskSet, cfg Config) (*Simulator, error) {
 	if cfg.X <= 0 || cfg.X > 1 {
 		return nil, fmt.Errorf("sim: virtual-deadline factor %g out of (0, 1]", cfg.X)
 	}
-	return &Simulator{ts: ts, cfg: cfg}, nil
+	s := &Simulator{
+		ts:      ts,
+		cfg:     cfg,
+		exec:    make([]dist.Dist, len(ts.Tasks)),
+		jitter:  make([]dist.Dist, len(ts.Tasks)),
+		idIndex: make(map[int]int, len(ts.Tasks)),
+	}
+	for i, t := range ts.Tasks {
+		s.exec[i] = cfg.Exec[t.ID]
+		s.jitter[i] = cfg.Jitter[t.ID]
+		s.idIndex[t.ID] = i
+	}
+	return s, nil
 }
 
 // Run simulates the configured horizon and returns the metrics.
@@ -181,56 +215,95 @@ func (s *Simulator) Run() Metrics {
 	var m Metrics
 	m.Time = s.cfg.Horizon
 
-	s.perTask = make(map[int]*TaskMetrics, len(s.ts.Tasks))
-	for _, t := range s.ts.Tasks {
-		s.perTask[t.ID] = &TaskMetrics{ID: t.ID, Crit: t.Crit}
-	}
-	s.events = nil
-
 	tasks := s.ts.Tasks
-	nextRelease := make([]float64, len(tasks))
+	if s.perTask == nil {
+		s.perTask = make([]TaskMetrics, len(tasks))
+	}
+	for i := range tasks {
+		s.perTask[i] = TaskMetrics{ID: tasks[i].ID, Crit: tasks[i].Crit}
+	}
+	s.events = s.events[:0]
+
+	arena := arenaPool.Get().(*jobArena)
+	defer func() {
+		arena.reset()
+		arenaPool.Put(arena)
+	}()
+
 	mode := mc.LO
-	var ready []*job
+	s.order = s.order[:0]
+	s.ready.a = s.ready.a[:0]
+	s.relHeap.reset(len(tasks))
+	for i := range tasks {
+		s.relHeap.push(i, 0)
+	}
+	hcReady := 0
 	now := 0.0
 	lastHIEnter := 0.0
 
-	drawExec := func(t *mc.Task) float64 {
-		d, ok := s.cfg.Exec[t.ID]
-		if !ok {
+	drawExec := func(i int, t *mc.Task) float64 {
+		d := s.exec[i]
+		if d == nil {
 			return t.CLO
 		}
 		x := d.Sample(r)
 		if x < 0 {
 			x = 0
 		}
-		cap := t.CHI
+		limit := t.CHI
 		if t.Crit == mc.LC {
-			cap = t.CLO
+			limit = t.CLO
 		}
-		if x > cap {
-			x = cap
+		if x > limit {
+			x = limit
 		}
 		return x
+	}
+
+	addReady := func(j *job) {
+		j.orderIdx = len(s.order)
+		s.order = append(s.order, j)
+		s.ready.push(j)
+		if j.task.Crit == mc.HC {
+			hcReady++
+		}
+	}
+
+	// removeReady unlinks a job from both ready views; the caller
+	// recycles it once done with its fields.
+	removeReady := func(j *job) {
+		last := len(s.order) - 1
+		moved := s.order[last]
+		s.order[j.orderIdx] = moved
+		moved.orderIdx = j.orderIdx
+		s.order[last] = nil
+		s.order = s.order[:last]
+		s.ready.remove(j.heapIdx)
+		if j.task.Crit == mc.HC {
+			hcReady--
+		}
 	}
 
 	release := func(i int, at float64) {
 		t := &tasks[i]
 		gap := t.Period
-		if jd, ok := s.cfg.Jitter[t.ID]; ok {
+		if jd := s.jitter[i]; jd != nil {
 			if j := jd.Sample(r); j > 0 {
 				gap += j
 			}
 		}
-		nextRelease[i] = at + gap
-		j := &job{
-			task:      t,
-			release:   at,
-			absDL:     at + t.Period,
-			virtDL:    at + t.Period,
-			execTotal: drawExec(t),
+		if next := at + gap; next < s.cfg.Horizon {
+			s.relHeap.push(i, next)
 		}
+		j := arena.get()
+		j.task = t
+		j.taskIdx = i
+		j.release = at
+		j.absDL = at + t.Period
+		j.virtDL = at + t.Period
+		j.execTotal = drawExec(i, t)
 		j.remaining = j.execTotal
-		tm := s.perTask[t.ID]
+		tm := &s.perTask[i]
 		tm.Released++
 		s.record(at, EvRelease, t.ID)
 		if t.Crit == mc.HC {
@@ -247,10 +320,10 @@ func (s *Simulator) Run() Metrics {
 			if mode == mc.HI {
 				switch s.cfg.Policy {
 				case DropAll:
-					j.dropped = true
 					m.LCDropped++
 					tm.Dropped++
 					s.record(at, EvDrop, t.ID)
+					arena.put(j)
 					return
 				case Degrade:
 					j.degraded = true
@@ -259,40 +332,7 @@ func (s *Simulator) Run() Metrics {
 				}
 			}
 		}
-		ready = append(ready, j)
-	}
-
-	// pick returns the ready job with the earliest virtual deadline,
-	// ties broken by task ID for determinism.
-	pick := func() *job {
-		var best *job
-		for _, j := range ready {
-			if best == nil ||
-				j.virtDL < best.virtDL ||
-				(j.virtDL == best.virtDL && j.task.ID < best.task.ID) {
-				best = j
-			}
-		}
-		return best
-	}
-
-	removeJob := func(target *job) {
-		for i, j := range ready {
-			if j == target {
-				ready[i] = ready[len(ready)-1]
-				ready = ready[:len(ready)-1]
-				return
-			}
-		}
-	}
-
-	hasReadyHC := func() bool {
-		for _, j := range ready {
-			if j.task.Crit == mc.HC {
-				return true
-			}
-		}
-		return false
+		addReady(j)
 	}
 
 	enterHI := func() {
@@ -301,29 +341,38 @@ func (s *Simulator) Run() Metrics {
 		lastHIEnter = now
 		s.record(now, EvSwitchHI, 0)
 		// Restore real deadlines for HC jobs; handle LC jobs per policy.
-		var kept []*job
-		for _, j := range ready {
+		// Iterating the insertion-order view (not the heap) keeps the
+		// drop-event order identical to the linear formulation; one
+		// O(n) re-heapify afterwards absorbs every deadline rewrite.
+		kept := s.order[:0]
+		for _, j := range s.order {
 			if j.task.Crit == mc.HC {
 				j.virtDL = j.absDL
+				j.orderIdx = len(kept)
 				kept = append(kept, j)
 				continue
 			}
 			switch s.cfg.Policy {
 			case DropAll:
-				j.dropped = true
 				m.LCDropped++
-				s.perTask[j.task.ID].Dropped++
+				s.perTask[j.taskIdx].Dropped++
 				s.record(now, EvDrop, j.task.ID)
+				arena.put(j)
 			case Degrade:
 				if !j.degraded {
 					j.degraded = true
 					m.LCDegraded++
 					j.remaining *= s.cfg.DegradeFactor
 				}
+				j.orderIdx = len(kept)
 				kept = append(kept, j)
 			}
 		}
-		ready = kept
+		for i := len(kept); i < len(s.order); i++ {
+			s.order[i] = nil
+		}
+		s.order = kept
+		s.ready.reinit(s.order)
 	}
 
 	exitHI := func() {
@@ -334,26 +383,26 @@ func (s *Simulator) Run() Metrics {
 		// keep their real deadlines (they were admitted under HI).
 	}
 
-	for i := range tasks {
-		nextRelease[i] = 0
-	}
-
 	for now < s.cfg.Horizon {
-		// Release everything due now.
-		for i := range tasks {
-			for nextRelease[i] <= now && nextRelease[i] < s.cfg.Horizon {
-				release(i, nextRelease[i])
+		// Release everything due now, in (time, task index) order — the
+		// same order as a task-array scan, since each task has at most
+		// one pending release and all due releases share the time `now`.
+		for s.relHeap.len() > 0 {
+			i := s.relHeap.minIdx()
+			at := s.relHeap.time[i]
+			if at > now {
+				break
 			}
+			s.relHeap.pop()
+			release(i, at)
 		}
 
-		run := pick()
+		run := s.ready.min()
 
-		// Next release strictly in the future.
+		// Next release strictly in the future: the root after the drain.
 		nextRel := math.Inf(1)
-		for i := range tasks {
-			if nextRelease[i] > now && nextRelease[i] < nextRel && nextRelease[i] < s.cfg.Horizon {
-				nextRel = nextRelease[i]
-			}
+		if s.relHeap.len() > 0 {
+			nextRel = s.relHeap.time[s.relHeap.minIdx()]
 		}
 
 		if run == nil {
@@ -404,8 +453,8 @@ func (s *Simulator) Run() Metrics {
 			continue
 		}
 		if run.remaining <= 1e-12 {
-			removeJob(run)
-			tm := s.perTask[run.task.ID]
+			removeReady(run)
+			tm := &s.perTask[run.taskIdx]
 			tm.Completed++
 			resp := now - run.release
 			tm.sumResponse += resp
@@ -430,7 +479,8 @@ func (s *Simulator) Run() Metrics {
 					m.LCMisses++
 				}
 			}
-			if mode == mc.HI && !hasReadyHC() {
+			arena.put(run)
+			if mode == mc.HI && hcReady == 0 {
 				exitHI()
 			}
 		}

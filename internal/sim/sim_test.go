@@ -374,6 +374,16 @@ func TestNoHCMissOnRandomSchedulableSets(t *testing.T) {
 		if !edfvd.Schedulable(a.TaskSet).Schedulable {
 			return true // unschedulable draws carry no guarantee
 		}
+		hasHC := false
+		for _, task := range a.TaskSet.Tasks {
+			if task.Crit == mc.HC {
+				hasHC = true
+				break
+			}
+		}
+		if !hasHC {
+			return true // all-LC draws are vacuous (and EDF-VD's X is undefined)
+		}
 		exec := map[int]dist.Dist{}
 		for _, task := range a.TaskSet.Tasks {
 			if task.Crit != mc.HC || task.Profile.Sigma <= 0 {
