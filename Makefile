@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json experiments traces cover fmt
+.PHONY: all build vet test test-race bench bench-json bench-compare profile experiments traces cover fmt
 
 # The PR counter for the benchmark-trajectory file written by bench-json.
-BENCH_N ?= 2
+BENCH_N ?= 3
 
 all: build vet test test-race
 
@@ -27,12 +27,26 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable perf trajectory: runs the tier benchmarks (simulator,
-# GA, and the Fig. 4/5 sweep) and writes per-benchmark ns/op and
-# allocs/op means to BENCH_$(BENCH_N).json for cross-PR comparison.
+# GA, objective engine, and the Fig. 4/5 sweep) and writes per-benchmark
+# ns/op and allocs/op means to BENCH_$(BENCH_N).json for cross-PR
+# comparison.
 bench-json:
-	{ $(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sim ./internal/ga ; \
+	{ $(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sim ./internal/ga ./internal/objective ; \
 	  $(GO) test -run '^$$' -bench 'Fig4$$' -benchmem -count 3 . ; } \
 	| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_N).json
+
+# Gate the current tree against the previous PR's baseline. ns/op is only
+# meaningful on the same machine; CI gates on allocs alone.
+bench-compare: bench-json
+	$(GO) run ./cmd/benchjson -compare -tol 0.15 -metrics allocs \
+	  BENCH_$$(( $(BENCH_N) - 1 )).json BENCH_$(BENCH_N).json
+
+# Profile the Fig. 4/5 sweep (the repo's hottest path) at reduced scale;
+# inspect with `go tool pprof cpu.out`.
+profile: build
+	$(GO) run ./cmd/mcexp -exp fig45 -sets 30 -plot=false \
+	  -cpuprofile cpu.out -memprofile mem.out
+	@echo "wrote cpu.out and mem.out; inspect with: $(GO) tool pprof cpu.out"
 
 # Regenerate every paper artefact at full scale (takes several minutes).
 experiments:

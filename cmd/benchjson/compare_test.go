@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(pkg, name string, ns, bytes, allocs float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Samples: 1, NsPerOp: ns, BPerOp: bytes, AllocsPerOp: allocs}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA", 100, 64, 2),
+		bench("p", "BenchmarkOnlyOld", 50, 0, 0),
+	}})
+	newP := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA", 110, 70, 2), // +10% ns, +9% bytes: within 0.15
+		bench("p", "BenchmarkOnlyNew", 9999, 9999, 9999),
+	}})
+	n, err := compareFiles(oldP, newP, 0.15, []string{"ns", "allocs", "bytes"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("regressions = %d, want 0", n)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA", 100, 64, 2),
+		bench("p", "BenchmarkB", 100, 64, 2),
+	}})
+	newP := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA", 130, 64, 2), // +30% ns: out of tolerance
+		bench("p", "BenchmarkB", 100, 64, 5), // +150% allocs
+	}})
+	var out strings.Builder
+	n, err := compareFiles(oldP, newP, 0.15, []string{"ns", "allocs"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("regressions = %d, want 2\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("output lacks FAIL marker:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocsOnlyIgnoresNs(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA", 100, 64, 2),
+	}})
+	newP := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA", 500, 64, 2), // 5× slower, same allocs
+	}})
+	n, err := compareFiles(oldP, newP, 0.15, []string{"allocs"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("regressions = %d, want 0 (ns must not be gated)", n)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkZero", 100, 0, 0),
+	}})
+	// Zero → zero is fine; zero → non-zero is a regression.
+	sameP := writeReport(t, dir, "same.json", Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkZero", 100, 0, 0),
+	}})
+	worseP := writeReport(t, dir, "worse.json", Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkZero", 100, 32, 1),
+	}})
+	if n, err := compareFiles(oldP, sameP, 0.15, []string{"allocs", "bytes"}, io.Discard); err != nil || n != 0 {
+		t.Errorf("zero → zero: regressions = %d, err = %v, want 0, nil", n, err)
+	}
+	if n, err := compareFiles(oldP, worseP, 0.15, []string{"allocs", "bytes"}, io.Discard); err != nil || n != 2 {
+		t.Errorf("zero → non-zero: regressions = %d, err = %v, want 2, nil", n, err)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", Report{Benchmarks: []Benchmark{bench("p", "BenchmarkA", 1, 0, 0)}})
+	b := writeReport(t, dir, "b.json", Report{Benchmarks: []Benchmark{bench("p", "BenchmarkB", 1, 0, 0)}})
+	if _, err := compareFiles(a, b, 0.15, []string{"ns"}, io.Discard); err == nil {
+		t.Error("disjoint benchmark sets must error")
+	}
+	if _, err := compareFiles(a, a, 0.15, []string{"bogus"}, io.Discard); err == nil {
+		t.Error("unknown metric must error")
+	}
+	if _, err := compareFiles(a, filepath.Join(dir, "missing.json"), 0.15, []string{"ns"}, io.Discard); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+// TestCompareRealBaseline guards the repo's own trajectory files: the
+// latest checked-in baseline must be comparable with itself.
+func TestCompareRealBaseline(t *testing.T) {
+	matches, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Skip("no checked-in baselines")
+	}
+	for _, m := range matches {
+		if n, err := compareFiles(m, m, 0.0, []string{"ns", "allocs", "bytes"}, io.Discard); err != nil || n != 0 {
+			t.Errorf("%s vs itself: regressions = %d, err = %v", m, n, err)
+		}
+	}
+}

@@ -4,6 +4,15 @@
 // Repeated -count runs of the same benchmark are aggregated into means.
 // Input lines are echoed to stdout so the tool can sit at the end of a
 // pipe without hiding the run.
+//
+// With -compare the tool instead reads two report files and fails (exit 1)
+// when any benchmark present in both regressed by more than -tol:
+//
+//	benchjson -compare -tol 0.15 [-metrics ns,allocs] old.json new.json
+//
+// -metrics selects which per-op figures are gated: "ns" (ns/op), "allocs"
+// (allocs/op), "bytes" (B/op). CI gates on allocs only — allocation counts
+// are machine-independent, wall-clock on shared runners is not.
 package main
 
 import (
@@ -48,7 +57,26 @@ type accum struct {
 
 func main() {
 	out := flag.String("out", "", "output JSON file (default stdout only)")
+	compare := flag.Bool("compare", false, "compare two report files given as arguments instead of parsing stdin")
+	tol := flag.Float64("tol", 0.15, "with -compare: allowed relative regression per metric")
+	metrics := flag.String("metrics", "ns,allocs", "with -compare: comma-separated metrics to gate (ns, allocs, bytes)")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := compareFiles(flag.Arg(0), flag.Arg(1), *tol, strings.Split(*metrics, ","), os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond tolerance %.0f%%\n", regressions, *tol*100)
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := parse(bufio.NewScanner(os.Stdin), os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -69,6 +97,94 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// compareFiles loads two reports and reports how many (benchmark, metric)
+// pairs regressed beyond tol. Only benchmarks present in both files are
+// gated — the suites may legitimately grow or shrink between PRs — and a
+// per-metric table of common benchmarks goes to w.
+func compareFiles(oldPath, newPath string, tol float64, metrics []string, w io.Writer) (int, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	sel := map[string]func(Benchmark) float64{}
+	for _, m := range metrics {
+		switch strings.TrimSpace(m) {
+		case "ns":
+			sel["ns/op"] = func(b Benchmark) float64 { return b.NsPerOp }
+		case "allocs":
+			sel["allocs/op"] = func(b Benchmark) float64 { return b.AllocsPerOp }
+		case "bytes":
+			sel["B/op"] = func(b Benchmark) float64 { return b.BPerOp }
+		case "":
+		default:
+			return 0, fmt.Errorf("unknown metric %q (want ns, allocs, bytes)", m)
+		}
+	}
+	if len(sel) == 0 {
+		return 0, fmt.Errorf("no metrics selected")
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Pkg+" "+b.Name] = b
+	}
+	// Values below this are treated as zero: a benchmark can round a
+	// freed-up allocation to 0.33 allocs/op across -count runs.
+	const zeroEps = 1e-9
+	regressions := 0
+	compared := 0
+	var units []string
+	for u := range sel {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Pkg+" "+nb.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		for _, unit := range units {
+			oldV, newV := sel[unit](ob), sel[unit](nb)
+			if oldV <= zeroEps {
+				if newV <= zeroEps {
+					fmt.Fprintf(w, "ok    %-50s %-10s %12.4g -> %-12.4g\n", nb.Name, unit, oldV, newV)
+					continue
+				}
+				regressions++
+				fmt.Fprintf(w, "FAIL  %-50s %-10s %12.4g -> %-12.4g (was zero)\n", nb.Name, unit, oldV, newV)
+				continue
+			}
+			ratio := newV/oldV - 1
+			status := "ok   "
+			if ratio > tol {
+				status = "FAIL "
+				regressions++
+			}
+			fmt.Fprintf(w, "%s %-50s %-10s %12.4g -> %-12.4g (%+.1f%%)\n", status, nb.Name, unit, oldV, newV, ratio*100)
+		}
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	return regressions, nil
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 // parse consumes bench output, echoing every line to echo when non-nil.

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	mcexp -exp table1,table2,fig2,fig3,fig45,fig6,headline [-sets N] [-samples N] [-seed S] [-workers W] [-csv] [-plot]
+//	      [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -exp all (the default) every experiment runs. -sets and -samples
 // scale the task-set counts and trace sample counts; the defaults are the
@@ -21,6 +22,7 @@ import (
 
 	"chebymc/internal/experiment"
 	"chebymc/internal/ga"
+	"chebymc/internal/prof"
 )
 
 func main() {
@@ -33,6 +35,8 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		plot    = flag.Bool("plot", true, "emit ASCII plots for figures")
 		outdir  = flag.String("outdir", "", "also write each artefact's CSV into this directory")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -42,8 +46,17 @@ func main() {
 	}
 	all := want["all"]
 
-	if err := run(want, all, *sets, *samples, *seed, *workers, *csv, *plot, *outdir); err != nil {
+	stop, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcexp:", err)
+		os.Exit(1)
+	}
+	runErr := run(want, all, *sets, *samples, *seed, *workers, *csv, *plot, *outdir)
+	if err := stop(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "mcexp:", runErr)
 		os.Exit(1)
 	}
 }

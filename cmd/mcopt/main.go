@@ -7,6 +7,7 @@
 //
 //	mcopt -in taskset.json [-policy ga|uniform|lambda] [-n 10] [-lambda 0.25]
 //	      [-out optimised.json] [-seed S] [-workers W] [-simulate horizon] [-runs R]
+//	      [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -workers parallelises the GA's fitness evaluations and the simulator
 // replications (default: one per CPU); results are identical for every
@@ -27,6 +28,7 @@ import (
 	"chebymc/internal/ga"
 	"chebymc/internal/mc"
 	"chebymc/internal/policy"
+	"chebymc/internal/prof"
 	"chebymc/internal/sim"
 	"chebymc/internal/texttable"
 )
@@ -42,11 +44,22 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the GA search and simulation (results are identical for any value)")
 		simulate = flag.Float64("simulate", 0, "also run the EDF-VD simulator for this horizon (0 = skip)")
 		runs     = flag.Int("runs", 1, "simulator replications with derived seeds (with -simulate)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if err := run(*in, *polName, *n, *lambda, *out, *seed, *workers, *simulate, *runs); err != nil {
+	stop, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcopt:", err)
+		os.Exit(1)
+	}
+	runErr := run(*in, *polName, *n, *lambda, *out, *seed, *workers, *simulate, *runs)
+	if err := stop(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "mcopt:", runErr)
 		os.Exit(1)
 	}
 }

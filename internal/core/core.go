@@ -23,6 +23,13 @@ import (
 	"chebymc/internal/stats"
 )
 
+// Eq9Slack is the relative tolerance Apply (and the internal/objective
+// fast path, which must stay bit-identical to Apply) grants on the Eq. 9
+// constraint C^LO ≤ C^HI: a clamped n = NMax can overshoot C^HI by one
+// ulp when ACET + n·σ rounds up, and such budgets are snapped back to
+// C^HI instead of rejected.
+const Eq9Slack = 1e-12
+
 // WCETOpt returns the optimistic WCET of Eq. 6 for a task with profile p:
 // ACET + n·σ. n must be ≥ 0 (the paper's n is a positive integer, but the
 // optimiser treats it as continuous).
@@ -128,7 +135,7 @@ func Apply(ts *mc.TaskSet, ns []float64) (Assignment, error) {
 		if w > t.CHI {
 			// Tolerate the one-ulp overshoot a clamped n = NMax can
 			// produce; reject genuine Eq. 9 violations.
-			if w <= t.CHI*(1+1e-12) {
+			if w <= t.CHI*(1+Eq9Slack) {
 				w = t.CHI
 			} else {
 				return Assignment{}, fmt.Errorf("core: task %d: WCET^opt %g exceeds WCET^pes %g (Eq. 9)", t.ID, w, t.CHI)

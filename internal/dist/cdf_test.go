@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCDFQuantileRoundTrip: CDF(Quantile(p)) ≈ p for the closed-form
+// families, checked via each family's analytic inverse.
+func TestCDFQuantileRoundTrip(t *testing.T) {
+	n, _ := NewNormal(10, 3)
+	l, _ := NewLogNormal(2, 0.5)
+	g, _ := NewGumbel(50, 8)
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		// Normal quantile via erfinv-free bisection on its own CDF.
+		check := func(name string, c CDFer, q float64) {
+			t.Helper()
+			if got := c.CDF(q); !almost(got, p, 1e-9) {
+				t.Errorf("%s: CDF(Quantile(%g)) = %g", name, p, got)
+			}
+		}
+		check("gumbel", g, g.Mu-g.Beta*math.Log(-math.Log(p)))
+		// Invert Normal/LogNormal CDFs numerically for the round trip.
+		check("normal", n, bisectCDF(n, p, n.Mu-10*n.Sigma, n.Mu+10*n.Sigma))
+		check("lognormal", l, bisectCDF(l, p, 1e-12, math.Exp(l.MuLog+10*l.SigmaLog)))
+	}
+}
+
+func bisectCDF(c CDFer, p, lo, hi float64) float64 {
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if c.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TestCDFKnownValues pins a few analytically known points.
+func TestCDFKnownValues(t *testing.T) {
+	n, _ := NewNormal(0, 1)
+	if got := n.CDF(0); !almost(got, 0.5, 1e-15) {
+		t.Errorf("Φ(0) = %g, want 0.5", got)
+	}
+	if got := n.CDF(1.959963984540054); !almost(got, 0.975, 1e-9) {
+		t.Errorf("Φ(1.96) = %g, want 0.975", got)
+	}
+	l, _ := NewLogNormal(0, 1)
+	if got := l.CDF(1); !almost(got, 0.5, 1e-15) {
+		t.Errorf("lognormal CDF(1) = %g, want 0.5", got)
+	}
+	if got := l.CDF(0); got != 0 {
+		t.Errorf("lognormal CDF(0) = %g, want 0", got)
+	}
+	if got := l.CDF(-5); got != 0 {
+		t.Errorf("lognormal CDF(-5) = %g, want 0", got)
+	}
+	g, _ := NewGumbel(0, 1)
+	if got := g.CDF(0); !almost(got, math.Exp(-1), 1e-15) {
+		t.Errorf("gumbel CDF(0) = %g, want 1/e", got)
+	}
+	// Degenerate σ = 0 families behave as point masses.
+	n0, _ := NewNormal(5, 0)
+	if n0.CDF(4.9) != 0 || n0.CDF(5) != 1 {
+		t.Errorf("σ=0 normal CDF = (%g, %g), want (0, 1)", n0.CDF(4.9), n0.CDF(5))
+	}
+	l0, _ := NewLogNormal(0, 0)
+	if l0.CDF(0.9) != 0 || l0.CDF(1) != 1 {
+		t.Errorf("σ=0 lognormal CDF = (%g, %g), want (0, 1)", l0.CDF(0.9), l0.CDF(1))
+	}
+}
+
+// TestCDFMonotone: CDFs are non-decreasing and bounded to [0, 1].
+func TestCDFMonotone(t *testing.T) {
+	n, _ := NewNormal(3, 2)
+	l, _ := NewLogNormal(1, 0.8)
+	g, _ := NewGumbel(-2, 5)
+	for _, c := range []CDFer{n, l, g} {
+		prev := -1.0
+		for x := -50.0; x <= 50; x += 0.25 {
+			f := c.CDF(x)
+			if f < 0 || f > 1 {
+				t.Fatalf("CDF(%g) = %g out of [0, 1]", x, f)
+			}
+			if f < prev {
+				t.Fatalf("CDF decreases at x = %g: %g < %g", x, f, prev)
+			}
+			prev = f
+		}
+	}
+}

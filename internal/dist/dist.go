@@ -27,6 +27,15 @@ type Dist interface {
 	StdDev() float64
 }
 
+// CDFer is implemented by the distributions whose cumulative distribution
+// function has a closed form (Normal, LogNormal, Gumbel). Consumers that
+// need F(x) for an arbitrary Dist should type-assert and fall back to
+// numerical inversion of the quantile function.
+type CDFer interface {
+	// CDF returns P(X ≤ x).
+	CDF(x float64) float64
+}
+
 // Deterministic is the degenerate distribution concentrated at Value.
 type Deterministic struct{ Value float64 }
 
@@ -84,6 +93,18 @@ func (n Normal) Mean() float64 { return n.Mu }
 
 // StdDev implements Dist.
 func (n Normal) StdDev() float64 { return n.Sigma }
+
+// CDF returns P(X ≤ x). A zero-σ Normal degenerates to the point mass at
+// Mu.
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma == 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return stdNormCDF((x - n.Mu) / n.Sigma)
+}
 
 // TruncNormal is a Normal(Mu, Sigma) truncated to [Lo, Hi] by rejection.
 // Mean and StdDev are computed analytically from the doubly truncated
@@ -196,6 +217,21 @@ func (l LogNormal) StdDev() float64 {
 	return l.Mean() * math.Sqrt(math.Exp(s2)-1)
 }
 
+// CDF returns P(X ≤ x); zero for x ≤ 0, the distribution's support being
+// the positive reals.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if l.SigmaLog == 0 {
+		if math.Log(x) < l.MuLog {
+			return 0
+		}
+		return 1
+	}
+	return stdNormCDF((math.Log(x) - l.MuLog) / l.SigmaLog)
+}
+
 // Exponential is the exponential distribution with rate Lambda.
 type Exponential struct{ Lambda float64 }
 
@@ -281,6 +317,11 @@ func (g Gumbel) Mean() float64 { return g.Mu + g.Beta*eulerMascheroni }
 
 // StdDev implements Dist.
 func (g Gumbel) StdDev() float64 { return g.Beta * math.Pi / math.Sqrt(6) }
+
+// CDF returns P(X ≤ x) = exp(−exp(−(x−Mu)/Beta)).
+func (g Gumbel) CDF(x float64) float64 {
+	return math.Exp(-math.Exp(-(x - g.Mu) / g.Beta))
+}
 
 // Triangular is the triangular distribution on [Lo, Hi] with mode Mode.
 type Triangular struct{ Lo, Mode, Hi float64 }

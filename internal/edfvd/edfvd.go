@@ -73,10 +73,16 @@ func Schedulable(ts *mc.TaskSet) Analysis {
 // demand and the relinquished share (1−ρ) as carry-in, matching Eq. 8 when
 // everything is relinquished.
 func SchedulableDegraded(ts *mc.TaskSet, rho float64) Analysis {
-	uLCLO := ts.ULCLO()
-	uHCLO := ts.UHCLO()
-	uHCHI := ts.UHCHI()
+	return SchedulableUtil(ts.ULCLO(), ts.UHCLO(), ts.UHCHI(), rho)
+}
 
+// SchedulableUtil is SchedulableDegraded on pre-computed utilisations.
+// It is the allocation-free form the Eq. 13 objective engine
+// (internal/objective) evaluates once per GA fitness call: the engine
+// maintains the three utilisation sums incrementally and never
+// materialises a task set. Both entry points share this code path, so
+// their verdicts are bit-identical by construction.
+func SchedulableUtil(uLCLO, uHCLO, uHCHI, rho float64) Analysis {
 	a := Analysis{
 		ULCLO: uLCLO,
 		UHCLO: uHCLO,

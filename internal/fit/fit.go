@@ -176,28 +176,33 @@ func PWCET(xs []float64, block int, eps float64) (float64, error) {
 }
 
 // KSStatistic computes the Kolmogorov–Smirnov statistic between the
-// empirical CDF of xs and the model's CDF approximated by sampling the
-// model's quantile function — sup |F_emp(x) − F_model(x)| evaluated at
-// the sample points.
+// empirical CDF of xs and the model's CDF —
+// sup |F_emp(x) − F_model(x)| evaluated at the sample points. When the
+// fitted distribution exposes a closed-form CDF (dist.CDFer: Normal,
+// LogNormal, Gumbel) it is used directly; otherwise the model CDF is
+// inverted numerically by bisection over quantiles.
 func KSStatistic(xs []float64, m Model) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrTooFewSamples
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	// Invert the model CDF numerically at each sample by bisection over
-	// quantiles.
-	modelCDF := func(x float64) float64 {
-		lo, hi := 0.0, 1.0
-		for i := 0; i < 60; i++ {
-			mid := (lo + hi) / 2
-			if m.Quantile(clampP(mid)) < x {
-				lo = mid
-			} else {
-				hi = mid
+	var modelCDF func(x float64) float64
+	if c, ok := m.Dist().(dist.CDFer); ok {
+		modelCDF = c.CDF
+	} else {
+		modelCDF = func(x float64) float64 {
+			lo, hi := 0.0, 1.0
+			for i := 0; i < 60; i++ {
+				mid := (lo + hi) / 2
+				if m.Quantile(clampP(mid)) < x {
+					lo = mid
+				} else {
+					hi = mid
+				}
 			}
+			return (lo + hi) / 2
 		}
-		return (lo + hi) / 2
 	}
 	worst := 0.0
 	n := float64(len(sorted))
@@ -224,21 +229,27 @@ func clampP(p float64) float64 {
 	return p
 }
 
+// Acklam probit coefficients, hoisted to package level so each probit
+// call is allocation-free (Quantile sits on hot fitting loops).
+var (
+	probitA = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	probitB = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	probitC = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	probitD = [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+)
+
 // probit is the standard normal quantile function (Acklam's rational
 // approximation, |relative error| < 1.15e-9).
 func probit(p float64) float64 {
 	p = clampP(p)
-	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02,
-		-2.759285104469687e+02, 1.383577518672690e+02,
-		-3.066479806614716e+01, 2.506628277459239e+00}
-	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02,
-		-1.556989798598866e+02, 6.680131188771972e+01,
-		-1.328068155288572e+01}
-	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01,
-		-2.400758277161838e+00, -2.549732539343734e+00,
-		4.374664141464968e+00, 2.938163982698783e+00}
-	d := []float64{7.784695709041462e-03, 3.224671290700398e-01,
-		2.445134137142996e+00, 3.754408661907416e+00}
+	a, b, c, d := &probitA, &probitB, &probitC, &probitD
 
 	const pLow = 0.02425
 	switch {

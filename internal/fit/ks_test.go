@@ -1,0 +1,86 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/dist"
+)
+
+// hiddenCDF wraps a Model so its Dist no longer satisfies dist.CDFer,
+// forcing KSStatistic onto the bisection fallback.
+type hiddenCDF struct{ m Model }
+
+type plainDist struct{ d dist.Dist }
+
+func (p plainDist) Sample(r *rand.Rand) float64 { return p.d.Sample(r) }
+func (p plainDist) Mean() float64               { return p.d.Mean() }
+func (p plainDist) StdDev() float64             { return p.d.StdDev() }
+
+func (h hiddenCDF) Name() string               { return h.m.Name() }
+func (h hiddenCDF) Quantile(p float64) float64 { return h.m.Quantile(p) }
+func (h hiddenCDF) Dist() dist.Dist            { return plainDist{h.m.Dist()} }
+
+// TestKSClosedFormMatchesBisection: for the families with a closed-form
+// CDF, the fast path must agree with the numerical fallback to within the
+// bisection's own resolution.
+func TestKSClosedFormMatchesBisection(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 80 + 12*r.NormFloat64()
+	}
+	fits := []func([]float64) (Model, error){
+		func(s []float64) (Model, error) { return FitNormal(s) },
+		func(s []float64) (Model, error) { return FitLogNormal(s) },
+		func(s []float64) (Model, error) { return FitGumbel(s) },
+	}
+	for _, fitFn := range fits {
+		m, err := fitFn(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.Dist().(dist.CDFer); !ok {
+			t.Fatalf("%s: fitted distribution lost its closed-form CDF", m.Name())
+		}
+		closed, err := KSStatistic(xs, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fallback, err := KSStatistic(xs, hiddenCDF{m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The bisection inverts the quantile to ~2^-60 in p, but the
+		// quantile approximations (probit) carry ~1e-9 relative error.
+		if math.Abs(closed-fallback) > 1e-6 {
+			t.Errorf("%s: closed-form KS %g vs bisection KS %g", m.Name(), closed, fallback)
+		}
+	}
+}
+
+// TestKSEmptySample: empty input keeps returning ErrTooFewSamples.
+func TestKSEmptySample(t *testing.T) {
+	n, _ := FitNormal([]float64{1, 2, 3})
+	if _, err := KSStatistic(nil, n); err != ErrTooFewSamples {
+		t.Errorf("err = %v, want ErrTooFewSamples", err)
+	}
+}
+
+// TestProbitNoAllocs: the hoisted coefficient tables make probit (via
+// Quantile) allocation-free.
+func TestProbitNoAllocs(t *testing.T) {
+	m, err := FitNormal([]float64{3, 5, 7, 9, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = m.Quantile(0.999)
+		_ = m.Quantile(0.01)
+		_ = m.Quantile(0.5)
+	})
+	if allocs != 0 {
+		t.Errorf("Quantile allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,153 @@
+package ga
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// batchAdapter wraps a plain fitness as a BatchFitness, verifying the
+// Derived provenance contract on every genome it scores: genes outside
+// the declared [Lo, Hi] range must be byte-identical to the parent.
+type batchAdapter struct {
+	fit       func([]float64) float64
+	violation atomic.Value // stores a string on first contract violation
+	calls     atomic.Uint64
+	hits      uint64 // static counters to exercise BatchStats plumbing
+	fulls     uint64
+	deltas    uint64
+}
+
+func (a *batchAdapter) FitnessBatch(batch []Derived, out []float64, workers int) {
+	a.calls.Add(1)
+	for i, d := range batch {
+		if d.Parent != nil {
+			if len(d.Parent) != len(d.Genome) {
+				a.violation.CompareAndSwap(nil, "parent/genome length mismatch")
+			}
+			for k := range d.Genome {
+				if (k < d.Lo || k > d.Hi) && d.Genome[k] != d.Parent[k] {
+					a.violation.CompareAndSwap(nil, fmt.Sprintf(
+						"gene %d outside declared range [%d, %d] differs from parent", k, d.Lo, d.Hi))
+				}
+			}
+			a.deltas++
+		} else {
+			a.fulls++
+		}
+		out[i] = a.fit(d.Genome)
+	}
+}
+
+func (a *batchAdapter) BatchStats() (uint64, uint64, uint64) {
+	return a.hits, a.fulls, a.deltas
+}
+
+// TestBatchPathMatchesFitnessPath: a Batch scorer that evaluates each
+// genome with the plain fitness must reproduce the Fitness path run for
+// run — Best, BestFitness, History — across the golden matrix, while the
+// provenance it receives stays consistent.
+func TestBatchPathMatchesFitnessPath(t *testing.T) {
+	surfaces := map[string]func([]float64) float64{"sphere": sphere, "plateau": plateau, "rastrigin": rastrigin}
+	for surfName, fit := range surfaces {
+		for _, elites := range []int{NoElites, 1, 3} {
+			for seed := int64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%s/elites=%d/seed=%d", surfName, elites, seed)
+				t.Run(name, func(t *testing.T) {
+					p := goldenProblem(fit, 6)
+					cfg := Config{PopSize: 24, Generations: 30, Elites: elites, Seed: seed}
+					want, err := Run(p, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ad := &batchAdapter{fit: fit}
+					got, err := Run(Problem{Bounds: p.Bounds, Batch: ad}, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if v := ad.violation.Load(); v != nil {
+						t.Fatalf("Derived contract violated: %s", v)
+					}
+					if got.BestFitness != want.BestFitness {
+						t.Errorf("BestFitness = %v, want %v", got.BestFitness, want.BestFitness)
+					}
+					for i := range want.Best {
+						if got.Best[i] != want.Best[i] {
+							t.Errorf("Best[%d] = %v, want %v", i, got.Best[i], want.Best[i])
+						}
+					}
+					for i := range want.History {
+						if got.History[i] != want.History[i] {
+							t.Fatalf("History[%d] = %v, want %v", i, got.History[i], want.History[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBatchOperatorEdges covers the provenance corners: genome length 1
+// (crossover degenerates to a full swap), disabled operators (children
+// arrive as unmodified copies, Lo > Hi), and odd population sizes.
+func TestBatchOperatorEdges(t *testing.T) {
+	cases := map[string]struct {
+		dim int
+		cfg Config
+	}{
+		"genome-length-1": {1, Config{PopSize: 16, Generations: 20, Seed: 4}},
+		"no-operators":    {4, Config{PopSize: 14, Generations: 15, CrossProb: ZeroProb, MutProb: ZeroProb, Seed: 4}},
+		"odd-popsize":     {4, Config{PopSize: 15, Generations: 15, Elites: 2, Seed: 4}},
+		"crossover-only":  {5, Config{PopSize: 12, Generations: 15, MutProb: ZeroProb, Seed: 4}},
+		"mutation-only":   {5, Config{PopSize: 12, Generations: 15, CrossProb: ZeroProb, Seed: 4}},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := goldenProblem(sphere, c.dim)
+			want, err := Run(p, c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ad := &batchAdapter{fit: sphere}
+			got, err := Run(Problem{Bounds: p.Bounds, Batch: ad}, c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := ad.violation.Load(); v != nil {
+				t.Fatalf("Derived contract violated: %s", v)
+			}
+			if got.BestFitness != want.BestFitness {
+				t.Errorf("BestFitness = %v, want %v", got.BestFitness, want.BestFitness)
+			}
+		})
+	}
+}
+
+// TestBatchStatsSurfaced: Run must report per-run deltas of the
+// scorer's cumulative BatchStats counters in Result.
+func TestBatchStatsSurfaced(t *testing.T) {
+	ad := &batchAdapter{fit: sphere, hits: 100, fulls: 200, deltas: 300}
+	p := Problem{Bounds: goldenProblem(sphere, 3).Bounds, Batch: ad}
+	res, err := Run(p, Config{PopSize: 10, Generations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adapter counts fulls/deltas itself on top of the pre-seeded
+	// values; Run must have subtracted the starting snapshot.
+	wantFulls := ad.fulls - 200
+	wantDeltas := ad.deltas - 300
+	if res.MemoHits != 0 || res.FullEvals != wantFulls || res.DeltaEvals != wantDeltas {
+		t.Errorf("stats = (%d, %d, %d), want (0, %d, %d)",
+			res.MemoHits, res.FullEvals, res.DeltaEvals, wantFulls, wantDeltas)
+	}
+	if res.FullEvals == 0 || res.DeltaEvals == 0 {
+		t.Error("expected non-zero full and delta evaluation counts")
+	}
+}
+
+// TestNilFitnessAndBatch: a problem with neither scorer must error.
+func TestNilFitnessAndBatch(t *testing.T) {
+	if _, err := Run(Problem{Bounds: []Bound{{0, 1}}}, Config{}); err == nil {
+		t.Error("nil fitness and nil batch must error")
+	}
+}

@@ -30,6 +30,44 @@ type Problem struct {
 	// defensive copy is made), and the same storage is reused across
 	// generations.
 	Fitness func(genome []float64) float64
+	// Batch, when non-nil, replaces Fitness for all scoring: the run
+	// hands whole populations to it at once, annotated with the breeding
+	// provenance (parent genome and changed-gene range) the operators
+	// already know, so delta-aware evaluators can re-score children in
+	// O(changed genes). The same purity contract as Fitness applies, and
+	// the scores returned must be bit-identical to what a gene-by-gene
+	// full evaluation would produce — the run's trajectory depends on
+	// them.
+	Batch BatchFitness
+}
+
+// Derived is one genome of a batch together with its breeding
+// provenance. Parent, when non-nil, is a genome scored in an earlier
+// FitnessBatch call of the same run from which Genome was bred by
+// changing only the genes in [Lo, Hi]; genes outside that range are
+// byte-identical to Parent's. Lo > Hi means Genome is an unmodified copy
+// of Parent. Parent == nil means no provenance (the initial population).
+type Derived struct {
+	Genome []float64
+	Parent []float64
+	Lo, Hi int
+}
+
+// BatchFitness scores whole genome batches. Implementations must be pure
+// (no randomness, no retained or mutated slices), must fill out[i] with
+// the fitness of batch[i].Genome, and must be safe for workers > 1
+// concurrent scorers; results must be identical for every workers value.
+type BatchFitness interface {
+	FitnessBatch(batch []Derived, out []float64, workers int)
+}
+
+// BatchStats is optionally implemented by a BatchFitness that memoises
+// evaluations. Counters are cumulative over the evaluator's lifetime;
+// Run snapshots them so Result reports per-run deltas.
+type BatchStats interface {
+	// BatchStats reports memo-cache hits, full evaluations (misses
+	// without usable provenance) and delta re-evaluations.
+	BatchStats() (hits, fulls, deltas uint64)
 }
 
 // Zero-value Config fields select the paper's defaults, which makes a
@@ -133,6 +171,10 @@ type Result struct {
 	BestFitness float64
 	// History records the best fitness per generation.
 	History []float64
+	// MemoHits, FullEvals and DeltaEvals report this run's scoring-cache
+	// statistics when Problem.Batch implements BatchStats; all zero
+	// otherwise.
+	MemoHits, FullEvals, DeltaEvals uint64
 }
 
 type individual struct {
@@ -151,12 +193,16 @@ func Run(p Problem, cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("ga: gene %d has invalid bounds [%g, %g]", i, b.Lo, b.Hi)
 		}
 	}
-	if p.Fitness == nil {
+	if p.Fitness == nil && p.Batch == nil {
 		return Result{}, errors.New("ga: nil fitness function")
 	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
+	}
+	var statHits, statFulls, statDeltas uint64
+	if bs, ok := p.Batch.(BatchStats); ok {
+		statHits, statFulls, statDeltas = bs.BatchStats()
 	}
 
 	r := rand.New(rand.NewSource(cfg.Seed))
@@ -169,14 +215,21 @@ func Run(p Problem, cfg Config) (Result, error) {
 		}
 		return b.Lo + r.Float64()*(b.Hi-b.Lo)
 	}
-	// evalAll scores a batch of genomes on cfg.Workers goroutines. The
-	// fitness function is documented pure — it must not retain or mutate
-	// the slice — and draws no randomness, so genomes are passed without
-	// a defensive copy and scoring order cannot affect the run: results
+	// evalAll scores a batch of genomes on cfg.Workers goroutines, either
+	// through the batched delta-aware scorer or gene-by-gene via Fitness.
+	// Both are documented pure — they must not retain or mutate the
+	// slices — and draw no randomness, so genomes are passed without a
+	// defensive copy and scoring order cannot affect the run: results
 	// are bit-identical for every worker count.
-	evalAll := func(genomes [][]float64) []float64 {
-		fits, _ := par.Map(cfg.Workers, len(genomes), func(i int) (float64, error) {
-			return p.Fitness(genomes[i]), nil
+	fitsBuf := make([]float64, 0, cfg.PopSize)
+	evalAll := func(batch []Derived) []float64 {
+		if p.Batch != nil {
+			fits := fitsBuf[:len(batch)]
+			p.Batch.FitnessBatch(batch, fits, cfg.Workers)
+			return fits
+		}
+		fits, _ := par.Map(cfg.Workers, len(batch), func(i int) (float64, error) {
+			return p.Fitness(batch[i].Genome), nil
 		})
 		return fits
 	}
@@ -197,13 +250,17 @@ func Run(p Problem, cfg Config) (Result, error) {
 	}
 	cur, nxt := newArena(), newArena()
 
+	// batchBuf carries the per-genome provenance handed to Batch; it is
+	// rebuilt in place every generation.
+	batchBuf := make([]Derived, 0, cfg.PopSize)
 	for i := 0; i < cfg.PopSize; i++ {
 		g := cur[i]
 		for k := range g {
 			g[k] = sample(k)
 		}
+		batchBuf = append(batchBuf, Derived{Genome: g})
 	}
-	fits := evalAll(cur[:cfg.PopSize])
+	fits := evalAll(batchBuf)
 	pop := make([]individual, cfg.PopSize)
 	for i := range pop {
 		pop[i] = individual{genome: cur[i], fitness: fits[i]}
@@ -271,30 +328,47 @@ func Run(p Problem, cfg Config) (Result, error) {
 		// Breed the full offspring batch on the serial path — every
 		// random draw happens here, in the same order for any Workers —
 		// then score the batch concurrently. Winners are copied into
-		// next-arena rows and operators mutate those copies in place.
+		// next-arena rows and operators mutate those copies in place;
+		// each child's provenance (parent genome, changed-gene range) is
+		// recorded for the delta-aware scorer. Parent slices stay valid
+		// for the whole scoring call: they live in the cur arena, which
+		// is not recycled until the generation swap below.
 		offspring = offspring[:0]
+		batchBuf = batchBuf[:0]
 		for len(next)+len(offspring) < cfg.PopSize {
+			pa := tournament().genome
 			ra := nxt[len(next)+len(offspring)]
-			copy(ra, tournament().genome)
+			copy(ra, pa)
 			// The second child's row index tops out at PopSize — the
 			// scratch row — exactly when the child will be discarded.
+			pb := tournament().genome
 			rb := nxt[len(next)+len(offspring)+1]
-			copy(rb, tournament().genome)
+			copy(rb, pb)
+			// Changed ranges start empty (lo > hi) and grow to the union
+			// of the operator touches.
+			loA, hiA := dim, -1
+			loB, hiB := dim, -1
 			if r.Float64() < cfg.CrossProb {
-				twoPointCrossover(r, ra, rb)
+				i, j := twoPointCrossover(r, ra, rb)
+				loA, hiA = i, j
+				loB, hiB = i, j
 			}
 			if r.Float64() < cfg.MutProb {
-				mutateOne(r, ra, p.Bounds)
+				k := mutateOne(r, ra, p.Bounds)
+				loA, hiA = min(loA, k), max(hiA, k)
 			}
 			if r.Float64() < cfg.MutProb {
-				mutateOne(r, rb, p.Bounds)
+				k := mutateOne(r, rb, p.Bounds)
+				loB, hiB = min(loB, k), max(hiB, k)
 			}
 			offspring = append(offspring, ra)
+			batchBuf = append(batchBuf, Derived{Genome: ra, Parent: pa, Lo: loA, Hi: hiA})
 			if len(next)+len(offspring) < cfg.PopSize {
 				offspring = append(offspring, rb)
+				batchBuf = append(batchBuf, Derived{Genome: rb, Parent: pb, Lo: loB, Hi: hiB})
 			}
 		}
-		for i, f := range evalAll(offspring) {
+		for i, f := range evalAll(batchBuf) {
 			next = append(next, individual{genome: offspring[i], fitness: f})
 		}
 		pop, nextBuf = next, pop[:0]
@@ -310,6 +384,12 @@ func Run(p Problem, cfg Config) (Result, error) {
 
 	res.Best = best.genome
 	res.BestFitness = best.fitness
+	if bs, ok := p.Batch.(BatchStats); ok {
+		h, f, d := bs.BatchStats()
+		res.MemoHits = h - statHits
+		res.FullEvals = f - statFulls
+		res.DeltaEvals = d - statDeltas
+	}
 	return res, nil
 }
 
@@ -321,12 +401,13 @@ func clone(ind individual) individual {
 }
 
 // twoPointCrossover swaps the gene segment between two cut points of a and
-// b in place. For genomes of length 1 it degenerates to a full swap.
-func twoPointCrossover(r *rand.Rand, a, b []float64) {
+// b in place and returns the swapped range [i, j]. For genomes of length 1
+// it degenerates to a full swap without drawing randomness.
+func twoPointCrossover(r *rand.Rand, a, b []float64) (int, int) {
 	n := len(a)
 	if n == 1 {
 		a[0], b[0] = b[0], a[0]
-		return
+		return 0, 0
 	}
 	i, j := r.Intn(n), r.Intn(n)
 	if i > j {
@@ -335,16 +416,18 @@ func twoPointCrossover(r *rand.Rand, a, b []float64) {
 	for k := i; k <= j; k++ {
 		a[k], b[k] = b[k], a[k]
 	}
+	return i, j
 }
 
 // mutateOne re-samples one uniformly chosen gene within its bounds —
-// single-point mutation.
-func mutateOne(r *rand.Rand, g []float64, bounds []Bound) {
+// single-point mutation — and returns the mutated index.
+func mutateOne(r *rand.Rand, g []float64, bounds []Bound) int {
 	i := r.Intn(len(g))
 	b := bounds[i]
 	if b.Hi == b.Lo {
 		g[i] = b.Lo
-		return
+		return i
 	}
 	g[i] = b.Lo + r.Float64()*(b.Hi-b.Lo)
+	return i
 }

@@ -1,0 +1,149 @@
+package objective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/core"
+	"chebymc/internal/ga"
+	"chebymc/internal/mc"
+	"chebymc/internal/taskgen"
+)
+
+func benchSet(b *testing.B, seed int64) *mc.TaskSet {
+	b.Helper()
+	r := rand.New(rand.NewSource(seed))
+	ts, err := taskgen.HCOnly(r, taskgen.Config{}, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts
+}
+
+func benchGenomes(ts *mc.TaskSet, count int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	hcs := ts.ByCrit(mc.HC)
+	out := make([][]float64, count)
+	for i := range out {
+		g := make([]float64, len(hcs))
+		for k, t := range hcs {
+			g[k] = r.Float64() * math.Min(core.NMax(t), 50)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// BenchmarkObjective measures the engine's full-recompute path — the
+// direct replacement for the old core.Apply fitness closure
+// (BenchmarkObjectiveApply). The ISSUE acceptance bar is ≥ 3× between
+// the two.
+func BenchmarkObjective(b *testing.B) {
+	ts := benchSet(b, 1)
+	e, err := New(ts, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	genomes := benchGenomes(ts, 64, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Fitness(genomes[i%len(genomes)])
+	}
+}
+
+// BenchmarkObjectiveApply is the seed fitness path: clone + core.Apply
+// per evaluation.
+func BenchmarkObjectiveApply(b *testing.B) {
+	ts := benchSet(b, 1)
+	genomes := benchGenomes(ts, 64, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := core.Apply(ts, genomes[i%len(genomes)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = a.Objective
+	}
+}
+
+// BenchmarkObjectiveDelta measures incremental re-scoring of a
+// single-gene change against a cached parent state — the GA mutation
+// case the delta path exists for. It drives compute directly: through
+// FitnessBatch every distinct child would land in the memo, so a cycled
+// workload degenerates to cache hits after one pass.
+func BenchmarkObjectiveDelta(b *testing.B) {
+	ts := benchSet(b, 1)
+	e, err := New(ts, Options{DisableMemo: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parent := benchGenomes(ts, 1, 2)[0]
+	pst := e.scratch.Get().(*state)
+	e.compute(pst, parent, nil, 0, 0)
+	h := len(parent)
+	children := make([][]float64, 64)
+	r := rand.New(rand.NewSource(3))
+	ks := make([]int, len(children))
+	for i := range children {
+		c := append([]float64(nil), parent...)
+		k := r.Intn(h)
+		c[k] = r.Float64() * c[k]
+		children[i], ks[i] = c, k
+	}
+	st := e.scratch.Get().(*state)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(children)
+		e.compute(st, children[j], pst, ks[j], ks[j])
+		_ = e.finish(st)
+	}
+}
+
+// BenchmarkObjectiveMemoHit measures the cache-hit path: digest + probe.
+func BenchmarkObjectiveMemoHit(b *testing.B) {
+	ts := benchSet(b, 1)
+	e, err := New(ts, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	genomes := benchGenomes(ts, 64, 2)
+	out := make([]float64, 1)
+	batch := make([]ga.Derived, 1)
+	for _, g := range genomes { // prime the cache
+		batch[0] = ga.Derived{Genome: g}
+		e.FitnessBatch(batch, out, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch[0] = ga.Derived{Genome: genomes[i%len(genomes)]}
+		e.FitnessBatch(batch, out, 1)
+	}
+}
+
+// BenchmarkObjectiveBatchGA runs a whole GA search through the batched
+// engine — the end-to-end shape policy.ChebyshevGA drives.
+func BenchmarkObjectiveBatchGA(b *testing.B) {
+	ts := benchSet(b, 1)
+	hcs := ts.ByCrit(mc.HC)
+	bounds := make([]ga.Bound, len(hcs))
+	for i, t := range hcs {
+		bounds[i] = ga.Bound{Lo: 0, Hi: math.Min(core.NMax(t), 50)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(ts, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ga.Run(ga.Problem{Bounds: bounds, Batch: e},
+			ga.Config{Seed: 1, PopSize: 40, Generations: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package objective is the allocation-free evaluation engine for the
+// paper's Eq. 13 objective (1 − P^MS_sys) · max(U^LO_LC). It exists so a
+// GA fitness call never materialises an assignment: the seed path rebuilt
+// a full core.Assignment per genome — TaskSet clone, validation map,
+// ByCrit slices — for ~2,400 calls per task set, which dominated the
+// Fig. 4–6 sweeps once the simulator hot path was fixed.
+//
+// The engine exploits the closed-form structure of Eqs. 10–13: the
+// objective is a product of per-task Cantelli factors (1 − 1/(1+n_i²))
+// times a function of the running HC utilisation sum Σ (ACET_i+n_i·σ_i)/P_i.
+// An Evaluator therefore
+//
+//   - hoists the per-HC-task invariants (ACET_i, σ_i, C^HI_i, P_i) and the
+//     genome-independent utilisations (U^HI_HC, U^LO_LC) once at
+//     construction,
+//   - evaluates a genome straight into pre-sized scratch with zero
+//     per-call heap allocation (Fitness),
+//   - re-scores GA offspring incrementally from the parent's cached
+//     per-gene terms and left-to-right prefix product/sum arrays, so only
+//     the changed genes are re-derived (the ga.Derived contract), and
+//   - memoises evaluations under a genome digest, because converged late
+//     generations re-evaluate many duplicate genomes.
+//
+// Everything is bit-identical to the reference path
+// core.Apply + edfvd.Schedulable by construction: the same expressions
+// are evaluated in the same order (prefix arrays store exactly the
+// left-to-right partial results the reference loops produce, so resuming
+// a product at the first changed gene reproduces the full recomputation
+// bit for bit), and the property tests in this package pin it.
+package objective
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"chebymc/internal/core"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/ga"
+	"chebymc/internal/mc"
+	"chebymc/internal/par"
+	"chebymc/internal/stats"
+)
+
+// Options configures an Evaluator.
+type Options struct {
+	// RequireLC makes genomes whose assignment cannot also schedule the
+	// task set's actual LC load (Eq. 8) infeasible — the acceptance-ratio
+	// configuration of Fig. 6.
+	RequireLC bool
+	// DisableMemo turns the genome-digest cache off (every non-derived
+	// score is a full evaluation). Intended for the equivalence tests
+	// that pin memo-on == memo-off.
+	DisableMemo bool
+}
+
+// state is one genome's cached evaluation. All float storage lives in a
+// single flat slice so an entry costs one allocation:
+//
+//	genome | term | u | prefNS | prefU
+//
+// term[i] is the Eq. 10 factor 1 − CantelliBound(n_i) and u[i] the LO
+// utilisation (ACET_i+n_i·σ_i)/P_i of HC task i; both are NaN when gene i
+// is infeasible (Eq. 9 violation or non-positive budget). prefNS[k] and
+// prefU[k] are the exact left-to-right partial product/sum over genes
+// [0, k) — the same intermediate values core.SystemMSProb and
+// mc.TaskSet.Util produce — so prefNS[k] is valid whenever no gene < k is
+// infeasible, and a delta evaluation can resume at the first changed
+// gene.
+type state struct {
+	flat []float64
+	h    int
+	bad  int // count of infeasible genes
+	fit  float64
+}
+
+func newState(h int) *state {
+	return &state{flat: make([]float64, 5*h+2), h: h}
+}
+
+func (s *state) genome() []float64 { return s.flat[0:s.h] }
+func (s *state) term() []float64   { return s.flat[s.h : 2*s.h] }
+func (s *state) u() []float64      { return s.flat[2*s.h : 3*s.h] }
+func (s *state) prefNS() []float64 { return s.flat[3*s.h : 4*s.h+1] }
+func (s *state) prefU() []float64  { return s.flat[4*s.h+1 : 5*s.h+2] }
+
+// entry is one memo-cache record: a state plus its digest and the
+// collision chain for the digest bucket.
+type entry struct {
+	state
+	digest uint64
+	next   *entry
+}
+
+// Evaluator scores Eq. 13 for n-vectors over the HC tasks of one task
+// set. It is safe for concurrent FitnessBatch/Fitness calls. The task
+// set must not change while the Evaluator is in use.
+type Evaluator struct {
+	// Per-HC-task invariants, in task-set order (the order core.Apply
+	// matches genomes against).
+	acet, sigma, chi, period []float64
+	// uHCHI and uLCLO are the genome-independent utilisation sums of
+	// Eq. 7, accumulated with the same left-to-right loops
+	// mc.TaskSet.Util runs.
+	uHCHI, uLCLO float64
+	requireLC    bool
+
+	memo    *memoCache // nil when disabled
+	scratch sync.Pool  // *state for full evaluations outside the memo
+
+	hits, fulls, deltas atomic.Uint64
+}
+
+// New builds an Evaluator for the HC tasks of ts. It returns an error
+// for a set without HC tasks — there is nothing to optimise.
+func New(ts *mc.TaskSet, opts Options) (*Evaluator, error) {
+	e := &Evaluator{requireLC: opts.RequireLC}
+	for _, t := range ts.Tasks {
+		switch t.Crit {
+		case mc.HC:
+			e.acet = append(e.acet, t.Profile.ACET)
+			e.sigma = append(e.sigma, t.Profile.Sigma)
+			e.chi = append(e.chi, t.CHI)
+			e.period = append(e.period, t.Period)
+			e.uHCHI += t.UHI()
+		default:
+			e.uLCLO += t.ULO()
+		}
+	}
+	h := len(e.acet)
+	if h == 0 {
+		return nil, fmt.Errorf("objective: task set has no HC tasks")
+	}
+	if !opts.DisableMemo {
+		e.memo = newMemoCache(h)
+	}
+	e.scratch.New = func() any { return newState(h) }
+	return e, nil
+}
+
+// NumGenes reports the genome length the Evaluator scores: the number of
+// HC tasks.
+func (e *Evaluator) NumGenes() int { return len(e.acet) }
+
+// gene derives HC task i's term and utilisation from its n parameter,
+// replicating core.Apply's Eq. 6/Eq. 9 handling exactly: the one-ulp
+// overshoot of a clamped n = NMax snaps to C^HI, genuine violations,
+// non-positive budgets and negative n mark the gene infeasible (NaN).
+func (e *Evaluator) gene(st *state, g []float64, i int) {
+	n := g[i]
+	w := e.acet[i] + n*e.sigma[i]
+	ok := n >= 0
+	if w > e.chi[i] {
+		if w <= e.chi[i]*(1+core.Eq9Slack) {
+			w = e.chi[i]
+		} else {
+			ok = false
+		}
+	}
+	if !(w > 0) {
+		ok = false
+	}
+	if !ok {
+		st.term()[i] = math.NaN()
+		st.u()[i] = math.NaN()
+		return
+	}
+	st.term()[i] = 1 - stats.CantelliBound(n)
+	st.u()[i] = w / e.period[i]
+}
+
+// compute fills st with the evaluation of g. With a nil parent every
+// gene is derived fresh; otherwise genes outside [lo, hi] are copied
+// from parent (g is guaranteed identical there) and only the changed
+// range is re-derived. The prefix arrays are resumed at lo from the
+// parent's exact partial results, so both paths produce the same bits.
+func (e *Evaluator) compute(st *state, g []float64, parent *state, lo, hi int) {
+	h := st.h
+	if parent == nil {
+		lo, hi = 0, h-1
+	} else if lo > hi {
+		lo, hi = h, h-1 // unmodified copy: reuse everything
+	}
+	if parent != nil {
+		copy(st.genome(), g)
+		copy(st.term()[:lo], parent.term()[:lo])
+		copy(st.u()[:lo], parent.u()[:lo])
+		copy(st.prefNS()[:lo+1], parent.prefNS()[:lo+1])
+		copy(st.prefU()[:lo+1], parent.prefU()[:lo+1])
+		copy(st.term()[hi+1:], parent.term()[hi+1:])
+		copy(st.u()[hi+1:], parent.u()[hi+1:])
+		st.bad = parent.bad
+		for i := lo; i <= hi; i++ {
+			if math.IsNaN(parent.term()[i]) {
+				st.bad--
+			}
+		}
+	} else {
+		copy(st.genome(), g)
+		st.bad = 0
+		st.prefNS()[0] = 1
+		st.prefU()[0] = 0
+	}
+	for i := lo; i <= hi; i++ {
+		e.gene(st, g, i)
+		if math.IsNaN(st.term()[i]) {
+			st.bad++
+		}
+	}
+	// Resume the left-to-right Eq. 10 product and Eq. 7 sum at the first
+	// changed gene; per-gene values beyond hi are the parent's cached
+	// terms, so this loop is memory traffic, not re-derivation.
+	prefNS, prefU, term, u := st.prefNS(), st.prefU(), st.term(), st.u()
+	for i := lo; i < h; i++ {
+		prefNS[i+1] = prefNS[i] * term[i]
+		prefU[i+1] = prefU[i] + u[i]
+	}
+	st.fit = e.finish(st)
+}
+
+// finish turns a filled state into the fitness value, in the same
+// operation order as the reference path: P^MS_sys = 1 − Π(1−bound)
+// (core.SystemMSProb), max U^LO_LC from Eqs. 11–12 (core.MaxULCLO), the
+// optional Eq. 8 feasibility gate (edfvd.Schedulable), and Eq. 13 via
+// core.ObjectiveValue.
+func (e *Evaluator) finish(st *state) float64 {
+	if st.bad > 0 {
+		return math.Inf(-1)
+	}
+	h := st.h
+	pms := 1 - st.prefNS()[h]
+	uHCLO := st.prefU()[h]
+	if e.requireLC && !edfvd.SchedulableUtil(e.uLCLO, uHCLO, e.uHCHI, 0).Schedulable {
+		return math.Inf(-1)
+	}
+	return core.ObjectiveValue(pms, core.MaxULCLO(uHCLO, e.uHCHI))
+}
+
+// Fitness scores one genome by full recomputation into pooled scratch —
+// zero heap allocations per call in steady state. It satisfies the
+// ga.Problem.Fitness contract and is the reference the delta/memo paths
+// are pinned against.
+func (e *Evaluator) Fitness(g []float64) float64 {
+	st := e.scratch.Get().(*state)
+	e.compute(st, g, nil, 0, 0)
+	fit := st.fit
+	e.scratch.Put(st)
+	return fit
+}
+
+// FitnessBatch implements ga.BatchFitness: each genome is served from
+// the memo cache, re-scored incrementally from its parent's cached
+// state, or fully recomputed, in that order of preference. Scores are
+// bit-identical across the three paths and for every workers value.
+func (e *Evaluator) FitnessBatch(batch []ga.Derived, out []float64, workers int) {
+	_, _ = par.Map(workers, len(batch), func(i int) (struct{}, error) {
+		out[i] = e.score(batch[i])
+		return struct{}{}, nil
+	})
+}
+
+// score evaluates one derived genome.
+func (e *Evaluator) score(d ga.Derived) float64 {
+	if e.memo == nil {
+		e.fulls.Add(1)
+		return e.Fitness(d.Genome)
+	}
+	digest := genomeDigest(d.Genome)
+	if hit := e.memo.lookup(digest, d.Genome); hit != nil {
+		e.hits.Add(1)
+		return hit.fit
+	}
+	var parent *state
+	if d.Parent != nil {
+		if pe := e.memo.lookup(genomeDigest(d.Parent), d.Parent); pe != nil {
+			parent = &pe.state
+		}
+	}
+	st := e.scratch.Get().(*state)
+	if parent != nil {
+		e.deltas.Add(1)
+		e.compute(st, d.Genome, parent, d.Lo, d.Hi)
+	} else {
+		e.fulls.Add(1)
+		e.compute(st, d.Genome, nil, 0, 0)
+	}
+	fit := e.memo.insert(digest, st)
+	e.scratch.Put(st)
+	return fit
+}
+
+// BatchStats implements ga.BatchStats.
+func (e *Evaluator) BatchStats() (hits, fulls, deltas uint64) {
+	return e.hits.Load(), e.fulls.Load(), e.deltas.Load()
+}
+
+// memoCache maps genome digests to cached states. Digest collisions are
+// resolved by exact genome comparison — determinism may not hinge on a
+// 64-bit hash. Entries are allocated in fixed-size blocks so steady-state
+// insertion cost stays amortised; the cache only grows (an Evaluator
+// lives for one GA run, bounding the population of distinct genomes).
+type memoCache struct {
+	mu      sync.RWMutex
+	buckets map[uint64]*entry
+	block   []entry
+	flats   []float64
+	h       int
+}
+
+const memoBlock = 128
+
+func newMemoCache(h int) *memoCache {
+	return &memoCache{buckets: make(map[uint64]*entry), h: h}
+}
+
+// lookup returns the entry for genome g, or nil.
+func (c *memoCache) lookup(digest uint64, g []float64) *entry {
+	c.mu.RLock()
+	en := c.buckets[digest]
+	for en != nil && !equalGenomes(en.genome(), g) {
+		en = en.next
+	}
+	c.mu.RUnlock()
+	return en
+}
+
+// insert stores a copy of st under digest and returns the cached fitness
+// — the already-present one when another scorer raced the same genome in
+// first (the values are identical by purity; keeping the incumbent makes
+// that visible).
+func (c *memoCache) insert(digest uint64, st *state) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	head := c.buckets[digest]
+	for en := head; en != nil; en = en.next {
+		if equalGenomes(en.genome(), st.genome()) {
+			return en.fit
+		}
+	}
+	if len(c.block) == 0 {
+		c.block = make([]entry, memoBlock)
+		c.flats = make([]float64, memoBlock*(5*c.h+2))
+	}
+	en := &c.block[0]
+	c.block = c.block[1:]
+	en.flat, c.flats = c.flats[:5*c.h+2:5*c.h+2], c.flats[5*c.h+2:]
+	en.h = c.h
+	copy(en.flat, st.flat)
+	en.bad, en.fit = st.bad, st.fit
+	en.digest, en.next = digest, head
+	c.buckets[digest] = en
+	return en.fit
+}
+
+// equalGenomes compares gene vectors bit-for-bit (NaN-safe: GA genomes
+// never contain NaN, and distinct NaN payloads must not compare equal
+// for memo purposes anyway, so == per gene is exactly right).
+func equalGenomes(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// genomeDigest hashes the raw float64 bits with FNV-1a.
+func genomeDigest(g []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, x := range g {
+		b := math.Float64bits(x)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}

@@ -1,0 +1,287 @@
+package objective
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/core"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/ga"
+	"chebymc/internal/mc"
+	"chebymc/internal/taskgen"
+)
+
+// refFitness is the seed fitness path the engine replaces — the exact
+// closure policy.ChebyshevGA used before this engine existed. Every test
+// here pins the engine against it bit for bit.
+func refFitness(ts *mc.TaskSet, requireLC bool) func([]float64) float64 {
+	return func(g []float64) float64 {
+		a, err := core.Apply(ts, g)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		if requireLC && !edfvd.Schedulable(a.TaskSet).Schedulable {
+			return math.Inf(-1)
+		}
+		return a.Objective
+	}
+}
+
+// randomSet draws a task set: HC-only or mixed, varying sizes.
+func randomSet(t *testing.T, r *rand.Rand, mixed bool) *mc.TaskSet {
+	t.Helper()
+	u := 0.3 + r.Float64()*0.6
+	var (
+		ts  *mc.TaskSet
+		err error
+	)
+	if mixed {
+		ts, err = taskgen.Mixed(r, taskgen.Config{}, u)
+	} else {
+		ts, err = taskgen.HCOnly(r, taskgen.Config{}, u)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// randomGenome draws a genome inside the GA's gene bounds
+// [0, min(NMax, 50)], occasionally pinning genes to the exact bounds to
+// exercise the Eq. 9 clamp.
+func randomGenome(r *rand.Rand, ts *mc.TaskSet) []float64 {
+	hcs := ts.ByCrit(mc.HC)
+	g := make([]float64, len(hcs))
+	for i, t := range hcs {
+		hi := math.Min(core.NMax(t), 50)
+		switch r.Intn(10) {
+		case 0:
+			g[i] = 0
+		case 1:
+			g[i] = hi // exact NMax: the one-ulp clamp case
+		default:
+			g[i] = r.Float64() * hi
+		}
+	}
+	return g
+}
+
+// TestFitnessMatchesApplyPath: the engine's full evaluation must equal
+// the core.Apply + edfvd.Schedulable reference to the last bit, over
+// random task sets × genomes × RequireLC.
+func TestFitnessMatchesApplyPath(t *testing.T) {
+	for _, mixed := range []bool{false, true} {
+		for _, requireLC := range []bool{false, true} {
+			t.Run(fmt.Sprintf("mixed=%v/requireLC=%v", mixed, requireLC), func(t *testing.T) {
+				r := rand.New(rand.NewSource(11))
+				for set := 0; set < 40; set++ {
+					ts := randomSet(t, r, mixed)
+					if ts.NumHC() == 0 {
+						continue
+					}
+					ref := refFitness(ts, requireLC)
+					e, err := New(ts, Options{RequireLC: requireLC})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for trial := 0; trial < 25; trial++ {
+						g := randomGenome(r, ts)
+						want := ref(g)
+						if got := e.Fitness(g); got != want {
+							t.Fatalf("set %d trial %d: Fitness = %v, want %v (genome %v)",
+								set, trial, got, want, g)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFitnessInfeasibleGenomes: out-of-contract genomes (negative n,
+// Eq. 9 violations) must score -Inf exactly like the reference path.
+func TestFitnessInfeasibleGenomes(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ts := randomSet(t, r, false)
+	ref := refFitness(ts, false)
+	e, err := New(ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ts.NumHC()
+	cases := [][]float64{
+		make([]float64, h), // all zeros: feasible baseline
+	}
+	neg := make([]float64, h)
+	neg[0] = -1
+	cases = append(cases, neg)
+	huge := make([]float64, h)
+	for i := range huge {
+		huge[i] = 1e9 // far beyond NMax for any task with σ > 0
+	}
+	cases = append(cases, huge)
+	for ci, g := range cases {
+		want := ref(g)
+		if got := e.Fitness(g); got != want {
+			t.Errorf("case %d: Fitness = %v, want %v", ci, got, want)
+		}
+	}
+}
+
+// TestDeltaMatchesFull is the tentpole property test: incremental
+// re-scoring from a parent's cached state must equal full recomputation
+// to the last bit, over random task sets × genomes × change ranges —
+// including ranges that contain unchanged genes, empty ranges
+// (unmodified copies), and parents/children that are infeasible.
+func TestDeltaMatchesFull(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for set := 0; set < 30; set++ {
+		ts := randomSet(t, r, set%2 == 1)
+		if ts.NumHC() == 0 {
+			continue
+		}
+		requireLC := set%3 == 0
+		e, err := New(ts, Options{RequireLC: requireLC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := New(ts, Options{RequireLC: requireLC, DisableMemo: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := ts.NumHC()
+		parent := randomGenome(r, ts)
+		// A chain of derivations: each child becomes the next parent, so
+		// cached states several deltas deep are exercised too.
+		for step := 0; step < 60; step++ {
+			lo := r.Intn(h)
+			hi := lo + r.Intn(h-lo)
+			child := append([]float64(nil), parent...)
+			switch r.Intn(5) {
+			case 0:
+				// Empty range: unmodified copy.
+				lo, hi = h, -1
+			case 1:
+				// Make one gene in range infeasible.
+				child[lo] = -1
+			case 2:
+				// Re-sample only part of the declared range (the range
+				// may legally over-approximate the real change).
+				child[lo] = randomGenome(r, ts)[lo]
+			default:
+				for i := lo; i <= hi; i++ {
+					child[i] = randomGenome(r, ts)[i]
+				}
+			}
+			batch := []ga.Derived{{Genome: child, Parent: parent, Lo: lo, Hi: hi}}
+			out := make([]float64, 1)
+			e.FitnessBatch(batch, out, 1)
+			want := full.Fitness(child)
+			if out[0] != want {
+				t.Fatalf("set %d step %d [%d,%d]: delta = %v, full = %v\nparent %v\nchild  %v",
+					set, step, lo, hi, out[0], want, parent, child)
+			}
+			if lo <= hi { // keep infeasible parents too — they must chain correctly
+				parent = child
+			}
+		}
+	}
+}
+
+// TestMemoHitsDuplicates: scoring the same genome twice must hit the
+// cache and return the identical value; stats must reflect it.
+func TestMemoHitsDuplicates(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ts := randomSet(t, r, false)
+	e, err := New(ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := randomGenome(r, ts)
+	batch := []ga.Derived{{Genome: g}, {Genome: append([]float64(nil), g...)}}
+	out := make([]float64, 2)
+	e.FitnessBatch(batch, out, 1)
+	if out[0] != out[1] {
+		t.Errorf("duplicate genomes scored differently: %v vs %v", out[0], out[1])
+	}
+	hits, fulls, _ := e.BatchStats()
+	if hits != 1 || fulls != 1 {
+		t.Errorf("stats = (hits %d, fulls %d), want (1, 1)", hits, fulls)
+	}
+}
+
+// TestWorkerInvariance: batch scoring must be bit-identical for any
+// worker count, memo on or off.
+func TestWorkerInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	ts := randomSet(t, r, true)
+	if ts.NumHC() == 0 {
+		t.Skip("degenerate draw")
+	}
+	batch := make([]ga.Derived, 64)
+	for i := range batch {
+		batch[i] = ga.Derived{Genome: randomGenome(r, ts)}
+	}
+	for _, disable := range []bool{false, true} {
+		var ref []float64
+		for _, workers := range []int{1, 4, 16} {
+			e, err := New(ts, Options{DisableMemo: disable})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([]float64, len(batch))
+			e.FitnessBatch(batch, out, workers)
+			if ref == nil {
+				ref = out
+				continue
+			}
+			for i := range out {
+				if out[i] != ref[i] {
+					t.Errorf("memo=%v workers=%d: out[%d] = %v, want %v",
+						!disable, workers, i, out[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNewRejectsNoHC: a set without HC tasks has nothing to optimise.
+func TestNewRejectsNoHC(t *testing.T) {
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.LC, CLO: 1, CHI: 1, Period: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(ts, Options{}); err == nil {
+		t.Error("New must reject a set without HC tasks")
+	}
+}
+
+// TestZeroSigmaTasks: σ = 0 tasks (NMax = +Inf, budget pinned at ACET)
+// must round-trip through the engine like the reference path.
+func TestZeroSigmaTasks(t *testing.T) {
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 4, CHI: 8, Period: 20, Profile: mc.Profile{ACET: 4, Sigma: 0}},
+		{ID: 2, Crit: mc.HC, CLO: 5, CHI: 10, Period: 40, Profile: mc.Profile{ACET: 5, Sigma: 0.5}},
+		{ID: 3, Crit: mc.LC, CLO: 2, CHI: 2, Period: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refFitness(ts, true)
+	e, err := New(ts, Options{RequireLC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		g := []float64{r.Float64() * 50, r.Float64() * 10}
+		want := ref(g)
+		if got := e.Fitness(g); got != want {
+			t.Fatalf("trial %d: Fitness = %v, want %v (genome %v)", trial, got, want, g)
+		}
+	}
+}

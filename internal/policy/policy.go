@@ -11,9 +11,9 @@ import (
 	"math/rand"
 
 	"chebymc/internal/core"
-	"chebymc/internal/edfvd"
 	"chebymc/internal/ga"
 	"chebymc/internal/mc"
+	"chebymc/internal/objective"
 )
 
 // Policy assigns optimistic WCETs to the HC tasks of a task set. The
@@ -65,12 +65,19 @@ type ChebyshevGA struct {
 	// the task set's *actual* LC load (Eq. 8 with the set's U^LO_LC)
 	// infeasible — the acceptance-ratio configuration of Fig. 6.
 	RequireLC bool
+	// NoMemo disables the objective engine's genome-digest cache. The
+	// search is bit-identical either way (the equivalence tests pin it);
+	// this is a validation and debugging escape hatch, not a tuning knob.
+	NoMemo bool
 }
 
 // Name implements Policy.
 func (p ChebyshevGA) Name() string { return "chebyshev-ga" }
 
-// Assign implements Policy.
+// Assign implements Policy. Fitness evaluation runs on the incremental
+// Eq. 13 engine (internal/objective): the per-task invariants are hoisted
+// here, once, and the GA scores genomes without ever materialising an
+// assignment — core.Apply runs exactly once, on the winner.
 func (p ChebyshevGA) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, error) {
 	hcs := ts.ByCrit(mc.HC)
 	if len(hcs) == 0 {
@@ -88,19 +95,13 @@ func (p ChebyshevGA) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, erro
 		}
 		bounds[i] = ga.Bound{Lo: 0, Hi: math.Min(hi, nCap)}
 	}
-	fitness := func(g []float64) float64 {
-		a, err := core.Apply(ts, g)
-		if err != nil {
-			return math.Inf(-1)
-		}
-		if p.RequireLC && !edfvd.Schedulable(a.TaskSet).Schedulable {
-			return math.Inf(-1)
-		}
-		return a.Objective
+	eval, err := objective.New(ts, objective.Options{RequireLC: p.RequireLC, DisableMemo: p.NoMemo})
+	if err != nil {
+		return core.Assignment{}, err
 	}
 	cfg := p.Config
 	cfg.Seed = r.Int63()
-	res, err := ga.Run(ga.Problem{Bounds: bounds, Fitness: fitness}, cfg)
+	res, err := ga.Run(ga.Problem{Bounds: bounds, Batch: eval}, cfg)
 	if err != nil {
 		return core.Assignment{}, err
 	}

@@ -1,0 +1,53 @@
+// Package prof wires the standard pprof profilers into the command-line
+// tools: Start begins CPU profiling and returns a stop function that also
+// captures a heap profile, so every command exposes the same
+// -cpuprofile/-memprofile contract with three lines of code.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two file paths; either may be
+// empty to skip that profile. The returned stop function must run exactly
+// once before the process exits (defer it from main): it flushes the CPU
+// profile and writes the heap profile after a final GC.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			runtime.GC() // materialise up-to-date allocation statistics
+			werr := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("prof: %w", werr)
+			}
+		}
+		return nil
+	}, nil
+}
