@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden files under testdata were captured from the pre-registry
+// driver (commit 96705ad) at -exp all -sets 4 -samples 300 -seed 1
+// -workers 3. The refactored stack must reproduce them byte for byte:
+// same experiment order, table layout, plots, notes and spacing.
+
+func goldenOpts() options {
+	return options{exps: "all", sets: 4, samples: 300, seed: 1, workers: 3}
+}
+
+func runGolden(t *testing.T, o options, goldenFile string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("golden run takes several seconds; skipped with -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", goldenFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := run(context.Background(), &got, o); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("output differs from %s (pre-refactor driver); got %d bytes, want %d.\n--- got\n%s",
+			goldenFile, got.Len(), len(want), got.String())
+	}
+}
+
+func TestGoldenAllText(t *testing.T) {
+	o := goldenOpts()
+	o.plot = true
+	runGolden(t, o, "golden_all.txt")
+}
+
+func TestGoldenAllCSV(t *testing.T) {
+	o := goldenOpts()
+	o.csv = true
+	runGolden(t, o, "golden_all_csv.txt")
+}

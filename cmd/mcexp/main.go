@@ -2,56 +2,83 @@
 //
 // Usage:
 //
-//	mcexp -exp table1,table2,fig2,fig3,fig45,fig6,headline [-sets N] [-samples N] [-seed S] [-workers W] [-csv] [-plot]
+//	mcexp -exp table1,table2,fig2,fig3,fig45,fig6,headline [-sets N] [-samples N] [-seed S] [-workers W]
+//	      [-csv|-json] [-plot] [-outdir DIR] [-checkpoint DIR] [-resume] [-progress]
 //	      [-cpuprofile cpu.out] [-memprofile mem.out]
 //
-// With -exp all (the default) every experiment runs. -sets and -samples
-// scale the task-set counts and trace sample counts; the defaults are the
-// paper-sized values (1000 sets, 20000 samples), which take a few minutes.
-// -workers fans the sweeps out over that many goroutines (default: one
-// per CPU); results are bit-identical for every worker count.
+// With -exp all (the default) every experiment runs; -exp list prints the
+// registry. -sets and -samples scale the task-set counts and trace sample
+// counts; the defaults are the paper-sized values (1000 sets, 20000
+// samples), which take a few minutes. -workers fans the sweeps out over
+// that many goroutines (default: one per CPU); results are bit-identical
+// for every worker count. -checkpoint DIR persists each sweep point as it
+// completes and -resume skips points already on disk — a resumed run's
+// output is byte-identical to an uninterrupted one.
+//
+// The command itself is a thin loop: internal/experiment's registry
+// declares the scenarios, internal/engine runs the sweeps, and
+// internal/artifact renders whatever each scenario returns.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
+	"chebymc/internal/artifact"
+	"chebymc/internal/engine"
 	"chebymc/internal/experiment"
-	"chebymc/internal/ga"
 	"chebymc/internal/prof"
 )
 
+type options struct {
+	exps          string
+	sets, samples int
+	seed          int64
+	workers       int
+	csv, json     bool
+	plot          bool
+	outdir        string
+	checkpoint    string
+	resume        bool
+	progress      bool
+	// progressSink overrides the default stderr sink (tests).
+	progressSink engine.Sink
+}
+
 func main() {
-	var (
-		exps    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2,fig3,fig45,fig6,headline,ablation,ext,convergence or all")
-		sets    = flag.Int("sets", 0, "task sets per sweep point (0 = paper default 1000)")
-		samples = flag.Int("samples", 0, "trace samples per benchmark (0 = paper default 20000)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines per sweep (results are identical for any value)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plot    = flag.Bool("plot", true, "emit ASCII plots for figures")
-		outdir  = flag.String("outdir", "", "also write each artefact's CSV into this directory")
-		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
+	var o options
+	flag.StringVar(&o.exps, "exp", "all", "comma-separated experiment names, all, or list")
+	flag.IntVar(&o.sets, "sets", 0, "task sets per sweep point (0 = paper default 1000)")
+	flag.IntVar(&o.samples, "samples", 0, "trace samples per benchmark (0 = paper default 20000)")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "worker goroutines per sweep (results are identical for any value)")
+	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
+	flag.BoolVar(&o.json, "json", false, "emit JSON lines instead of aligned tables")
+	flag.BoolVar(&o.plot, "plot", true, "emit ASCII plots for figures")
+	flag.StringVar(&o.outdir, "outdir", "", "also write each artefact's CSV (and, with -json, JSON) into this directory")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "persist per-point sweep checkpoints into this directory")
+	flag.BoolVar(&o.resume, "resume", false, "skip sweep points already checkpointed (requires -checkpoint)")
+	flag.BoolVar(&o.progress, "progress", false, "report sweep progress on stderr")
+	cpuprof := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprof := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	want := map[string]bool{}
-	for _, e := range strings.Split(*exps, ",") {
-		want[strings.TrimSpace(e)] = true
-	}
-	all := want["all"]
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	stop, err := prof.Start(*cpuprof, *memprof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcexp:", err)
 		os.Exit(1)
 	}
-	runErr := run(want, all, *sets, *samples, *seed, *workers, *csv, *plot, *outdir)
+	runErr := run(ctx, os.Stdout, o)
 	if err := stop(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -61,188 +88,96 @@ func main() {
 	}
 }
 
-func run(want map[string]bool, all bool, sets, samples int, seed int64, workers int, csv, plot bool, outdir string) error {
-	if outdir != "" {
-		if err := os.MkdirAll(outdir, 0o755); err != nil {
-			return err
-		}
+// run resolves the requested scenarios against the registry and drives
+// each one: evaluate, render to w, mirror files under -outdir.
+func run(ctx context.Context, w io.Writer, o options) error {
+	if strings.TrimSpace(o.exps) == "list" {
+		return list(w)
 	}
-	emitNamed := func(name string, tb interface {
-		String() string
-		CSV() string
-	}) error {
-		if csv {
-			fmt.Print(tb.CSV())
-		} else {
-			fmt.Print(tb.String())
-		}
-		fmt.Println()
-		if outdir != "" {
-			path := filepath.Join(outdir, name+".csv")
-			if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
-				return fmt.Errorf("writing %s: %w", path, err)
-			}
-		}
-		return nil
+	selected, err := experiment.Resolve(strings.Split(o.exps, ","))
+	if err != nil {
+		return err
 	}
-
-	if all || want["table1"] || want["table2"] {
-		cfg := experiment.TraceConfig{Seed: seed, Workers: workers}
-		if samples > 0 {
-			cfg.DefaultSamples = samples
-		}
-		t1, t2, err := experiment.RunTables1And2(cfg)
-		if err != nil {
-			return err
-		}
-		if all || want["table1"] {
-			if err := emitNamed("table1", t1.Table()); err != nil {
+	if o.csv && o.json {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
+	}
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint DIR")
+	}
+	for _, dir := range []string{o.outdir, o.checkpoint} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
 				return err
 			}
 		}
-		if all || want["table2"] {
-			if err := emitNamed("table2", t2.Table()); err != nil {
+	}
+	ropts := artifact.Options{Mode: artifact.ModeText, Plots: o.plot}
+	switch {
+	case o.csv:
+		ropts.Mode = artifact.ModeCSV
+	case o.json:
+		ropts.Mode = artifact.ModeJSON
+	}
+	sink := o.progressSink
+	if sink == nil && o.progress {
+		sink = stderrSink
+	}
+	eopts := experiment.Options{
+		Sets: o.sets, Samples: o.samples, Seed: o.seed, Workers: o.workers,
+		Plot: o.plot && !o.json,
+		Eng: experiment.EngOpts{
+			Progress:      sink,
+			CheckpointDir: o.checkpoint,
+			Resume:        o.resume,
+		},
+		Session: experiment.NewSession(),
+	}
+	for _, sc := range experiment.Scenarios() {
+		if !selected[sc.Name] {
+			continue
+		}
+		arts, err := sc.Run(ctx, eopts)
+		if err != nil {
+			return err
+		}
+		if err := artifact.Render(w, ropts, arts...); err != nil {
+			return err
+		}
+		if o.outdir != "" {
+			if err := artifact.WriteFiles(o.outdir, ropts, arts...); err != nil {
 				return err
 			}
-			fmt.Printf("Theorem 1 bound holds on all measurements: %v\n\n", t2.BoundHolds())
-		}
-	}
-
-	if all || want["fig2"] {
-		res, err := experiment.RunFig2(experiment.Fig2Config{Seed: seed})
-		if err != nil {
-			return err
-		}
-		if err := emitNamed("fig2", res.Table()); err != nil {
-			return err
-		}
-		if plot {
-			s, err := res.Plot()
-			if err != nil {
-				return err
-			}
-			fmt.Println(s)
-		}
-		fmt.Printf("Fig. 2 optimum: n=%g  P_sys^MS=%.4f  max U_LC^LO=%.4f\n\n",
-			res.OptN, res.OptPoint.PMS, res.OptPoint.MaxULCLO)
-	}
-
-	if all || want["fig3"] {
-		cfg := experiment.Fig3Config{Seed: seed, Workers: workers}
-		if sets > 0 {
-			cfg.Sets = sets
-		}
-		res, err := experiment.RunFig3(cfg)
-		if err != nil {
-			return err
-		}
-		if err := emitNamed("fig3", res.Table()); err != nil {
-			return err
-		}
-		if plot {
-			s, err := res.Plot()
-			if err != nil {
-				return err
-			}
-			fmt.Println(s)
-		}
-	}
-
-	var fig45 *experiment.Fig45Result
-	if all || want["fig45"] || want["fig4"] || want["fig5"] || want["headline"] {
-		cfg := experiment.Fig45Config{Seed: seed, Workers: workers, GA: ga.Config{}}
-		if sets > 0 {
-			cfg.Sets = sets
-		}
-		res, err := experiment.RunFig45(cfg)
-		if err != nil {
-			return err
-		}
-		fig45 = res
-		if all || want["fig45"] || want["fig4"] || want["fig5"] {
-			if err := emitNamed("fig45", res.Table()); err != nil {
-				return err
-			}
-			if plot {
-				s, err := res.Plot()
-				if err != nil {
-					return err
-				}
-				fmt.Println(s)
-			}
-		}
-	}
-
-	if (all || want["headline"]) && fig45 != nil {
-		h := fig45.Headline()
-		fmt.Printf("Headline: utilisation improvement up to %.2f%% (vs %s at U_HC^HI=%.2f); worst-case P_sys^MS %.2f%%\n",
-			h.UtilImprovementPct, h.AgainstPolicy, h.AtUHCHI, h.WorstPMSPct)
-		fmt.Printf("Paper:    utilisation improvement up to 85.29%%; worst-case P_sys^MS 9.11%%\n\n")
-	}
-
-	if all || want["ablation"] {
-		tcfg := experiment.TraceConfig{Seed: seed, Workers: workers}
-		if samples > 0 {
-			tcfg.DefaultSamples = samples
-		}
-		ab, err := experiment.RunAblationBounds(tcfg, nil)
-		if err != nil {
-			return err
-		}
-		if err := emitNamed("ablation_bounds", ab.Table()); err != nil {
-			return err
-		}
-		fmt.Printf("Chebyshev budget never violates its claim: %v; some fitted budget violates: %v\n\n",
-			ab.ChebyshevNeverViolates(), ab.AnyFitViolates())
-		if err := emitNamed("ablation_cantelli", experiment.CantelliTable(experiment.RunAblationCantelli(nil))); err != nil {
-			return err
-		}
-	}
-
-	if all || want["convergence"] {
-		cfg := experiment.ConvergenceConfig{Trace: experiment.TraceConfig{Seed: seed, Workers: workers}}
-		res, err := experiment.RunConvergence(cfg)
-		if err != nil {
-			return err
-		}
-		if err := emitNamed("convergence", res.Table()); err != nil {
-			return err
-		}
-	}
-
-	if all || want["ext"] {
-		cfg := experiment.ExtensionConfig{Seed: seed, Workers: workers}
-		if sets > 0 {
-			cfg.Sets = sets
-		}
-		res, err := experiment.RunExtension(cfg)
-		if err != nil {
-			return err
-		}
-		if err := emitNamed("extension", res.Table()); err != nil {
-			return err
-		}
-	}
-
-	if all || want["fig6"] {
-		cfg := experiment.Fig6Config{Seed: seed, Workers: workers}
-		if sets > 0 {
-			cfg.Sets = sets
-		}
-		res, err := experiment.RunFig6(cfg)
-		if err != nil {
-			return err
-		}
-		if err := emitNamed("fig6", res.Table()); err != nil {
-			return err
-		}
-		if plot {
-			s, err := res.Plot()
-			if err != nil {
-				return err
-			}
-			fmt.Println(s)
 		}
 	}
 	return nil
+}
+
+// list prints the scenario registry.
+func list(w io.Writer) error {
+	fmt.Fprintln(w, "experiments (run with -exp name[,name...] or -exp all):")
+	for _, sc := range experiment.Scenarios() {
+		name := sc.Name
+		if len(sc.Aliases) > 0 {
+			name += " (" + strings.Join(sc.Aliases, ", ") + ")"
+		}
+		fmt.Fprintf(w, "  %-22s %s\n", name, sc.Description)
+		if len(sc.Axis) > 0 {
+			extra := ""
+			if sc.Checkpointed {
+				extra = ", checkpointable"
+			}
+			fmt.Fprintf(w, "  %-22s sweep %s over %v, %d sets/point%s\n",
+				"", sc.AxisLabel, sc.Axis, sc.DefaultSets, extra)
+		}
+	}
+	return nil
+}
+
+// stderrSink is the -progress reporter.
+func stderrSink(e engine.Event) {
+	status := fmt.Sprintf("eta %s", e.ETA.Round(1e9))
+	if e.Restored {
+		status = "restored from checkpoint"
+	}
+	fmt.Fprintf(os.Stderr, "mcexp: %s: point %d/%d (%s)\n", e.Scenario, e.Done, e.Total, status)
 }

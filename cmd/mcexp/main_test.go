@@ -1,57 +1,246 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"chebymc/internal/engine"
 )
 
 // Quick runs of each experiment path through the CLI's run() with tiny
 // scales. These are smoke tests — the numerical assertions live in
 // internal/experiment.
 
+func opts(exps string) options {
+	return options{exps: exps, sets: 5, samples: 50, seed: 1, workers: 2}
+}
+
 func TestRunFig2Only(t *testing.T) {
-	if err := run(map[string]bool{"fig2": true}, false, 5, 50, 1, 2, false, false, ""); err != nil {
+	if err := run(context.Background(), &bytes.Buffer{}, opts("fig2")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTablesCSV(t *testing.T) {
-	if err := run(map[string]bool{"table1": true, "table2": true}, false, 5, 60, 1, 2, true, false, ""); err != nil {
+	o := opts("table1,table2")
+	o.samples = 60
+	o.csv = true
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Theorem 1 bound holds") {
+		t.Errorf("table2 note missing from output")
 	}
 }
 
 func TestRunFig6Small(t *testing.T) {
-	if err := run(map[string]bool{"fig6": true}, false, 10, 0, 1, 2, false, true, ""); err != nil {
+	o := opts("fig6")
+	o.sets, o.plot = 10, true
+	if err := run(context.Background(), &bytes.Buffer{}, o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunHeadlineSmall(t *testing.T) {
-	if err := run(map[string]bool{"headline": true}, false, 4, 0, 1, 2, false, false, ""); err != nil {
+	o := opts("headline")
+	o.sets = 4
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Headline: utilisation improvement") {
+		t.Errorf("headline note missing: %q", buf.String())
 	}
 }
 
-func TestRunUnknownExperimentIsNoop(t *testing.T) {
-	// Unknown names simply select nothing; run must not fail.
-	if err := run(map[string]bool{"bogus": true}, false, 2, 50, 1, 2, false, false, ""); err != nil {
+func TestRunUnknownExperimentErrors(t *testing.T) {
+	// A typo must not silently run nothing: unknown names error and list
+	// the valid ones.
+	err := run(context.Background(), &bytes.Buffer{}, opts("bogus"))
+	if err == nil {
+		t.Fatal("run accepted unknown experiment name")
+	}
+	for _, want := range []string{`unknown experiment "bogus"`, "table1", "fig45"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestRunAliasSelectsFig45(t *testing.T) {
+	o := opts("fig4")
+	o.sets = 4
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figs. 4–5: policy comparison") {
+		t.Errorf("alias fig4 did not produce the fig45 table: %q", buf.String())
+	}
+}
+
+func TestRunConflictingModes(t *testing.T) {
+	o := opts("fig2")
+	o.csv, o.json = true, true
+	if err := run(context.Background(), &bytes.Buffer{}, o); err == nil {
+		t.Fatal("run accepted -csv together with -json")
+	}
+}
+
+func TestRunResumeRequiresCheckpoint(t *testing.T) {
+	o := opts("fig2")
+	o.resume = true
+	if err := run(context.Background(), &bytes.Buffer{}, o); err == nil {
+		t.Fatal("run accepted -resume without -checkpoint")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, options{exps: "list"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"table1", "fig45 (fig4, fig5)", "convergence", "sweep U_bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-exp list output missing %q:\n%s", want, out)
+		}
 	}
 }
 
 func TestRunWritesOutdirCSV(t *testing.T) {
-	dir := t.TempDir()
-	if err := run(map[string]bool{"fig2": true}, false, 2, 50, 1, 2, false, false, dir); err != nil {
+	o := opts("fig2")
+	o.outdir = t.TempDir()
+	if err := run(context.Background(), &bytes.Buffer{}, o); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(filepath.Join(dir, "fig2.csv"))
+	data, err := os.ReadFile(filepath.Join(o.outdir, "fig2.csv"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(string(data), "n,") {
 		t.Errorf("fig2.csv header wrong: %q", string(data[:20]))
+	}
+}
+
+func TestRunWritesOutdirJSON(t *testing.T) {
+	o := opts("fig2")
+	o.outdir = t.TempDir()
+	o.json = true
+	if err := run(context.Background(), &bytes.Buffer{}, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(o.outdir, "fig2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"artifact": "fig2"`) {
+		t.Errorf("fig2.json content wrong: %q", string(data[:40]))
+	}
+}
+
+func TestRunOutdirNotADirectory(t *testing.T) {
+	// The outdir path exists as a regular file: MkdirAll must fail and
+	// run must surface it before any experiment work.
+	path := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &bytes.Buffer{}, func() options {
+		o := opts("fig2")
+		o.outdir = path
+		return o
+	}()); err == nil {
+		t.Fatal("run accepted an outdir path that is a regular file")
+	}
+}
+
+func TestRunOutdirArtifactWriteFailure(t *testing.T) {
+	// The artefact's target path inside outdir is occupied by a
+	// directory, so the CSV write fails; run must report it.
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "fig2.csv"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	o := opts("fig2")
+	o.outdir = dir
+	err := run(context.Background(), &bytes.Buffer{}, o)
+	if err == nil {
+		t.Fatal("run ignored an artefact write failure")
+	}
+	if !strings.Contains(err.Error(), "fig2.csv") {
+		t.Errorf("error does not name the failed artefact: %v", err)
+	}
+}
+
+func TestRunCreatesCheckpointDir(t *testing.T) {
+	// The checkpoint directory need not pre-exist (regression: the first
+	// point's save failed with "no such file or directory").
+	ckdir := filepath.Join(t.TempDir(), "nested", "ck")
+	o := opts("fig6")
+	o.sets = 2
+	o.checkpoint = ckdir
+	if err := run(context.Background(), &bytes.Buffer{}, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(ckdir, "fig6.checkpoint.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCheckpointResumeByteIdentical interrupts a checkpointed sweep
+// after its first completed point, resumes it, and requires the stitched
+// output to match an uninterrupted run byte for byte.
+func TestRunCheckpointResumeByteIdentical(t *testing.T) {
+	base := opts("fig6")
+	base.sets = 4
+
+	var want bytes.Buffer
+	if err := run(context.Background(), &want, base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel as soon as the first point lands.
+	ckdir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := base
+	interrupted.checkpoint = ckdir
+	interrupted.progressSink = func(e engine.Event) {
+		if !e.Restored {
+			cancel()
+		}
+	}
+	if err := run(ctx, &bytes.Buffer{}, interrupted); err == nil {
+		t.Fatal("cancelled run reported success")
+	} else if !strings.Contains(err.Error(), "cancelled after") {
+		t.Fatalf("cancelled run returned unexpected error: %v", err)
+	}
+
+	// Resumed run: restored points must be served from the checkpoint and
+	// the full output must match the uninterrupted run.
+	restored := 0
+	resumed := base
+	resumed.checkpoint = ckdir
+	resumed.resume = true
+	resumed.progressSink = func(e engine.Event) {
+		if e.Restored {
+			restored++
+		}
+	}
+	var got bytes.Buffer
+	if err := run(context.Background(), &got, resumed); err != nil {
+		t.Fatal(err)
+	}
+	if restored == 0 {
+		t.Error("resumed run restored no points from the checkpoint")
+	}
+	if got.String() != want.String() {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", want.String(), got.String())
 	}
 }

@@ -16,11 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"chebymc/internal/core"
 	"chebymc/internal/dist"
@@ -49,12 +52,15 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	stop, err := prof.Start(*cpuprof, *memprof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcopt:", err)
 		os.Exit(1)
 	}
-	runErr := run(*in, *polName, *n, *lambda, *out, *seed, *workers, *simulate, *runs)
+	runErr := run(ctx, *in, *polName, *n, *lambda, *out, *seed, *workers, *simulate, *runs)
 	if err := stop(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -64,7 +70,7 @@ func main() {
 	}
 }
 
-func run(in, polName string, n, lambda float64, out string, seed int64, workers int, horizon float64, runs int) error {
+func run(ctx context.Context, in, polName string, n, lambda float64, out string, seed int64, workers int, horizon float64, runs int) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -139,7 +145,7 @@ func run(in, polName string, n, lambda float64, out string, seed int64, workers 
 		if runs < 1 {
 			runs = 1
 		}
-		ms, serr := sim.Replicate(a.TaskSet, sim.Config{Horizon: horizon, Exec: exec, Seed: seed}, runs, workers)
+		ms, serr := sim.ReplicateCtx(ctx, a.TaskSet, sim.Config{Horizon: horizon, Exec: exec, Seed: seed}, runs, workers)
 		if serr != nil {
 			return serr
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -24,7 +25,7 @@ func writeTaskSet(t *testing.T) string {
 func TestRunPolicies(t *testing.T) {
 	path := writeTaskSet(t)
 	for _, pol := range []string{"ga", "uniform", "lambda"} {
-		if err := run(path, pol, 5, 0.25, "", 1, 2, 0, 1); err != nil {
+		if err := run(context.Background(), path, pol, 5, 0.25, "", 1, 2, 0, 1); err != nil {
 			t.Fatalf("%s: %v", pol, err)
 		}
 	}
@@ -33,7 +34,7 @@ func TestRunPolicies(t *testing.T) {
 func TestRunWithSimulationAndOutput(t *testing.T) {
 	in := writeTaskSet(t)
 	out := filepath.Join(t.TempDir(), "opt.json")
-	if err := run(in, "uniform", 4, 0.25, out, 1, 2, 20000, 3); err != nil {
+	if err := run(context.Background(), in, "uniform", 4, 0.25, out, 1, 2, 20000, 3); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -54,13 +55,13 @@ func TestRunWithSimulationAndOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeTaskSet(t)
-	if err := run("", "ga", 5, 0.25, "", 1, 2, 0, 1); err == nil {
+	if err := run(context.Background(), "", "ga", 5, 0.25, "", 1, 2, 0, 1); err == nil {
 		t.Error("missing -in must error")
 	}
-	if err := run(path, "bogus", 5, 0.25, "", 1, 2, 0, 1); err == nil {
+	if err := run(context.Background(), path, "bogus", 5, 0.25, "", 1, 2, 0, 1); err == nil {
 		t.Error("unknown policy must error")
 	}
-	if err := run(path+"x", "ga", 5, 0.25, "", 1, 2, 0, 1); err == nil {
+	if err := run(context.Background(), path+"x", "ga", 5, 0.25, "", 1, 2, 0, 1); err == nil {
 		t.Error("missing file must error")
 	}
 }

@@ -1,0 +1,159 @@
+// Package artifact separates experiment computation from presentation.
+// An experiment run produces an ordered list of artefacts — tables,
+// plots and free-form notes — and the renderers in this package turn
+// that list into aligned text, CSV, or JSON on a writer, plus per-table
+// files in an output directory. The cmd/mcexp driver is then a thin
+// loop: run scenario, render artefacts; flags select a renderer instead
+// of branching per experiment.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"chebymc/internal/texttable"
+)
+
+// Artifact is one unit of experiment output. The concrete types are
+// Table, Plot and Note; rendering preserves their list order.
+type Artifact interface {
+	// Stem is the output-directory file stem ("" for artefacts that
+	// are only streamed, e.g. plots and notes).
+	Stem() string
+}
+
+// Table is a named result table.
+type Table struct {
+	// Name is the file stem used by WriteFiles (e.g. "fig3" →
+	// fig3.csv).
+	Name string
+	Body *texttable.Table
+}
+
+// Stem implements Artifact.
+func (t Table) Stem() string { return t.Name }
+
+// Plot is a rendered ASCII figure. Plots are streamed (behind the
+// renderer's Plots switch) and never written to the output directory.
+type Plot struct {
+	Name string
+	Text string
+}
+
+// Stem implements Artifact.
+func (Plot) Stem() string { return "" }
+
+// Note is a pre-formatted free-form line (headline numbers, claim
+// checks). The text carries its own trailing newlines so scenarios
+// control spacing exactly.
+type Note struct {
+	Text string
+}
+
+// Stem implements Artifact.
+func (Note) Stem() string { return "" }
+
+// Mode selects the stream renderer.
+type Mode int
+
+const (
+	// ModeText renders tables as aligned text — the default human
+	// output.
+	ModeText Mode = iota
+	// ModeCSV renders tables as CSV.
+	ModeCSV
+	// ModeJSON renders every artefact as one JSON object per line
+	// (tables with title/header/rows, notes as text; plots are
+	// skipped).
+	ModeJSON
+)
+
+// Options configures rendering.
+type Options struct {
+	Mode Mode
+	// Plots enables streaming Plot artefacts (ModeText and ModeCSV).
+	Plots bool
+}
+
+// jsonTable is the ModeJSON encoding of a Table.
+type jsonTable struct {
+	Artifact string     `json:"artifact"`
+	Title    string     `json:"title"`
+	Header   []string   `json:"header"`
+	Rows     [][]string `json:"rows"`
+}
+
+// jsonNote is the ModeJSON encoding of a Note.
+type jsonNote struct {
+	Artifact string `json:"artifact"`
+	Text     string `json:"text"`
+}
+
+// Render streams the artefacts to w in list order under the selected
+// mode. In ModeText and ModeCSV a table is followed by a blank line and
+// a plot by a newline — the exact byte layout the pre-registry driver
+// produced, pinned by cmd/mcexp's golden suite.
+func Render(w io.Writer, opts Options, arts ...Artifact) error {
+	enc := json.NewEncoder(w)
+	for _, a := range arts {
+		var err error
+		switch a := a.(type) {
+		case Table:
+			switch opts.Mode {
+			case ModeCSV:
+				_, err = io.WriteString(w, a.Body.CSV()+"\n")
+			case ModeJSON:
+				err = enc.Encode(jsonTable{Artifact: a.Name, Title: a.Body.Title(), Header: a.Body.Header(), Rows: a.Body.Rows()})
+			default:
+				_, err = io.WriteString(w, a.Body.String()+"\n")
+			}
+		case Plot:
+			if opts.Plots && opts.Mode != ModeJSON {
+				_, err = io.WriteString(w, a.Text+"\n")
+			}
+		case Note:
+			if opts.Mode == ModeJSON {
+				err = enc.Encode(jsonNote{Artifact: "note", Text: a.Text})
+			} else {
+				_, err = io.WriteString(w, a.Text)
+			}
+		default:
+			err = fmt.Errorf("artifact: unknown artefact type %T", a)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFiles persists each named Table under dir: always as
+// <stem>.csv, and additionally as <stem>.json when opts.Mode is
+// ModeJSON. The directory must already exist (the driver creates it
+// once up front).
+func WriteFiles(dir string, opts Options, arts ...Artifact) error {
+	for _, a := range arts {
+		t, ok := a.(Table)
+		if !ok || t.Name == "" {
+			continue
+		}
+		path := filepath.Join(dir, t.Name+".csv")
+		if err := os.WriteFile(path, []byte(t.Body.CSV()), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		if opts.Mode == ModeJSON {
+			data, err := json.MarshalIndent(jsonTable{Artifact: t.Name, Title: t.Body.Title(), Header: t.Body.Header(), Rows: t.Body.Rows()}, "", "  ")
+			if err != nil {
+				return fmt.Errorf("encoding %s: %w", t.Name, err)
+			}
+			path := filepath.Join(dir, t.Name+".json")
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chebymc/internal/texttable"
+)
+
+func sample() []Artifact {
+	tb := texttable.New("T", "a", "b")
+	tb.AddRow("1", "2")
+	return []Artifact{
+		Table{Name: "t1", Body: tb},
+		Plot{Name: "t1", Text: "PLOT"},
+		Note{Text: "note line\n\n"},
+	}
+}
+
+func TestRenderTextLayout(t *testing.T) {
+	// The byte layout the pre-registry driver produced: table, blank
+	// line, plot, newline, note verbatim.
+	var buf bytes.Buffer
+	if err := Render(&buf, Options{Mode: ModeText, Plots: true}, sample()...); err != nil {
+		t.Fatal(err)
+	}
+	tb := sample()[0].(Table)
+	want := tb.Body.String() + "\n" + "PLOT\n" + "note line\n\n"
+	if buf.String() != want {
+		t.Errorf("text layout mismatch:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
+func TestRenderPlotsSuppressed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Options{Mode: ModeText, Plots: false}, sample()...); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "PLOT") {
+		t.Error("plot rendered with Plots=false")
+	}
+}
+
+func TestRenderCSVLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Options{Mode: ModeCSV, Plots: true}, sample()...); err != nil {
+		t.Fatal(err)
+	}
+	tb := sample()[0].(Table)
+	want := tb.Body.CSV() + "\n" + "PLOT\n" + "note line\n\n"
+	if buf.String() != want {
+		t.Errorf("csv layout mismatch:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
+func TestRenderJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Options{Mode: ModeJSON, Plots: true}, sample()...); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSON lines, want 2 (table + note, no plot): %q", len(lines), buf.String())
+	}
+	var tab struct {
+		Artifact string     `json:"artifact"`
+		Title    string     `json:"title"`
+		Header   []string   `json:"header"`
+		Rows     [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &tab); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Artifact != "t1" || tab.Title != "T" || len(tab.Header) != 2 || len(tab.Rows) != 1 {
+		t.Errorf("table JSON wrong: %+v", tab)
+	}
+	var note struct {
+		Artifact string `json:"artifact"`
+		Text     string `json:"text"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &note); err != nil {
+		t.Fatal(err)
+	}
+	if note.Artifact != "note" || note.Text != "note line\n\n" {
+		t.Errorf("note JSON wrong: %+v", note)
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFiles(dir, Options{Mode: ModeText}, sample()...); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "t1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sample()[0].(Table).Body.CSV(); string(data) != want {
+		t.Errorf("t1.csv = %q, want %q", data, want)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "t1.json")); err == nil {
+		t.Error("t1.json written outside ModeJSON")
+	}
+
+	if err := WriteFiles(dir, Options{Mode: ModeJSON}, sample()...); err != nil {
+		t.Fatal(err)
+	}
+	jdata, err := os.ReadFile(filepath.Join(dir, "t1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(jdata), `"artifact": "t1"`) || !strings.HasSuffix(string(jdata), "\n") {
+		t.Errorf("t1.json content wrong: %q", jdata)
+	}
+}
+
+func TestWriteFilesFailure(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "t1.csv"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFiles(dir, Options{Mode: ModeText}, sample()...); err == nil {
+		t.Fatal("WriteFiles ignored an occupied target path")
+	}
+}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Checkpoint persists a sweep's completed points to a JSON file so an
+// interrupted run can resume without recomputing them. The file carries
+// a key fingerprinting the sweep configuration; resuming against a file
+// written for a different configuration is refused rather than silently
+// producing mixed results.
+//
+// Writes are atomic (temp file + rename in the same directory), so a
+// kill at any moment leaves either the previous or the next consistent
+// snapshot — never a torn file.
+type Checkpoint struct {
+	path   string
+	key    string
+	points map[int]json.RawMessage
+}
+
+// checkpointFile is the on-disk layout. Point indices are encoded as
+// decimal string keys (JSON objects cannot key on ints).
+type checkpointFile struct {
+	Key    string                     `json:"key"`
+	Points map[string]json.RawMessage `json:"points"`
+}
+
+// NewCheckpoint opens a checkpoint at path for a sweep fingerprinted by
+// key. With resume set, an existing file is loaded and its completed
+// points are served to the sweep; a key mismatch is an error. Without
+// resume, any existing file is ignored and overwritten by the first
+// completed point.
+func NewCheckpoint(path, key string, resume bool) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, key: key, points: make(map[int]json.RawMessage)}
+	if !resume {
+		return c, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return c, nil // nothing to resume from; start fresh
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: reading checkpoint %s: %w", path, err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("engine: parsing checkpoint %s: %w", path, err)
+	}
+	if f.Key != key {
+		return nil, fmt.Errorf("engine: checkpoint %s was written for a different configuration (%q, want %q); delete it or rerun without -resume", path, f.Key, key)
+	}
+	for k, raw := range f.Points {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 {
+			return nil, fmt.Errorf("engine: checkpoint %s: bad point index %q", path, k)
+		}
+		c.points[i] = raw
+	}
+	return c, nil
+}
+
+// Restored reports how many points the checkpoint holds.
+func (c *Checkpoint) Restored() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.points)
+}
+
+// restore returns the persisted value of point p, if any. Nil receivers
+// (checkpointing disabled) restore nothing.
+func (c *Checkpoint) restore(p int) (json.RawMessage, bool) {
+	if c == nil {
+		return nil, false
+	}
+	raw, ok := c.points[p]
+	return raw, ok
+}
+
+// save records point p's reduced value and rewrites the file. Nil
+// receivers save nothing.
+func (c *Checkpoint) save(p int, v any) error {
+	if c == nil {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("marshalling checkpoint point %d: %w", p, err)
+	}
+	c.points[p] = raw
+	f := checkpointFile{Key: c.key, Points: make(map[string]json.RawMessage, len(c.points))}
+	for i, r := range c.points {
+		f.Points[strconv.Itoa(i)] = r
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("marshalling checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("writing checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("writing checkpoint %s: %w", c.path, werr)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("writing checkpoint %s: %w", c.path, err)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package engine is the generic sweep runner behind internal/experiment.
+// Every grid experiment in this repository has the same shape: an axis
+// of sweep points (utilisation levels, bounds, ...), a number of random
+// task sets per point, a per-set evaluator drawing from its own derived
+// random stream, and a per-point reduction folding the set outcomes in
+// set order. Sweep runs that shape once, generically, and layers on the
+// operational concerns the bespoke loops never had:
+//
+//   - parallelism: sets fan out over par.MapCtx with per-item
+//     rng-derived streams, so results are bit-identical for any worker
+//     count (the contract DESIGN.md §6 pins);
+//   - cancellation: the context is honoured between items and between
+//     points, so SIGINT drains in-flight evaluations and returns;
+//   - progress: each completed point emits an Event (done/total/ETA) to
+//     an optional sink, kept off stdout so rendered artefacts stay
+//     byte-deterministic;
+//   - checkpointing: each completed point's reduced value is persisted
+//     to a JSON checkpoint file, and a resumed run loads those points
+//     instead of recomputing them. Because a point's value depends only
+//     on (seed, stream, point index, set index) — never on wall clock,
+//     worker count or other points — a resumed run is bit-identical to
+//     an uninterrupted one.
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"chebymc/internal/par"
+	"chebymc/internal/rng"
+)
+
+// Event reports sweep progress. Events are emitted after each point
+// completes (or is restored from a checkpoint), from the sweep's own
+// goroutine, in point order.
+type Event struct {
+	// Scenario is the sweep's name (Config.Scenario).
+	Scenario string
+	// Done and Total count axis points.
+	Done, Total int
+	// Restored reports whether the just-finished point was loaded from
+	// the checkpoint instead of computed.
+	Restored bool
+	// Elapsed is the wall-clock time since the sweep started. ETA
+	// extrapolates the remaining points from the computed (not
+	// restored) ones; it is zero until a point has been computed.
+	Elapsed, ETA time.Duration
+}
+
+// Sink consumes progress events. A nil sink disables reporting.
+type Sink func(Event)
+
+// Config describes one sweep.
+type Config struct {
+	// Scenario names the sweep in events and checkpoint keys.
+	Scenario string
+	// Seed and Stream root the per-item stream derivation: item
+	// (point, set) draws from rng.New(Seed, Stream, point, set) unless
+	// RNG overrides it.
+	Seed   int64
+	Stream int64
+	// Points is the axis length; Sets the items per point.
+	Points, Sets int
+	// Workers bounds the goroutines evaluating one point's sets. 0 and
+	// 1 run serially; every value produces identical results.
+	Workers int
+	// RNG, when non-nil, replaces the default stream derivation. It is
+	// called on worker goroutines and must be safe for concurrent use
+	// (returning a freshly seeded generator per call).
+	RNG func(point, set int) *rand.Rand
+	// Checkpoint, when non-nil, persists completed points and supplies
+	// restored ones.
+	Checkpoint *Checkpoint
+	// Progress receives per-point events; nil disables them.
+	Progress Sink
+}
+
+// Sweep expands the points×sets grid: for each axis point it evaluates
+// eval(point, set, r) for every set on up to cfg.Workers goroutines,
+// folds the outcomes — in set order — with reduce, and collects the
+// reduced values in point order. S is the per-set sample type; P the
+// per-point reduced type (P must round-trip through encoding/json when
+// checkpointing is enabled).
+//
+// On cancellation Sweep returns ctx.Err() wrapped in a partial-progress
+// error; points completed before the cancel are already in the
+// checkpoint (when one is configured), so a -resume rerun recomputes
+// only the remainder.
+func Sweep[S, P any](ctx context.Context, cfg Config,
+	eval func(point, set int, r *rand.Rand) (S, error),
+	reduce func(point int, outs []S) (P, error),
+) ([]P, error) {
+	if cfg.Points <= 0 {
+		return nil, fmt.Errorf("engine: %s: need at least one axis point, got %d", cfg.Scenario, cfg.Points)
+	}
+	if cfg.Sets <= 0 {
+		return nil, fmt.Errorf("engine: %s: need at least one set per point, got %d", cfg.Scenario, cfg.Sets)
+	}
+	itemRNG := cfg.RNG
+	if itemRNG == nil {
+		seed, stream := cfg.Seed, cfg.Stream
+		itemRNG = func(point, set int) *rand.Rand {
+			return rng.New(seed, stream, int64(point), int64(set))
+		}
+	}
+
+	start := time.Now()
+	res := make([]P, cfg.Points)
+	computed := 0
+	emit := func(done int, restored bool) {
+		if cfg.Progress == nil {
+			return
+		}
+		ev := Event{
+			Scenario: cfg.Scenario,
+			Done:     done,
+			Total:    cfg.Points,
+			Restored: restored,
+			Elapsed:  time.Since(start),
+		}
+		if computed > 0 && done < cfg.Points {
+			ev.ETA = time.Duration(int64(ev.Elapsed) / int64(computed) * int64(cfg.Points-done))
+		}
+		cfg.Progress(ev)
+	}
+
+	for p := 0; p < cfg.Points; p++ {
+		if raw, ok := cfg.Checkpoint.restore(p); ok {
+			if err := json.Unmarshal(raw, &res[p]); err != nil {
+				return nil, fmt.Errorf("engine: %s: corrupt checkpoint point %d: %w", cfg.Scenario, p, err)
+			}
+			emit(p+1, true)
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: %s: cancelled after %d of %d points: %w", cfg.Scenario, p, cfg.Points, err)
+		}
+		outs, err := par.MapCtx(ctx, cfg.Workers, cfg.Sets, func(s int) (S, error) {
+			return eval(p, s, itemRNG(p, s))
+		})
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, fmt.Errorf("engine: %s: cancelled after %d of %d points: %w", cfg.Scenario, p, cfg.Points, ctxErr)
+			}
+			return nil, err
+		}
+		pt, err := reduce(p, outs)
+		if err != nil {
+			return nil, err
+		}
+		res[p] = pt
+		if err := cfg.Checkpoint.save(p, pt); err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", cfg.Scenario, err)
+		}
+		computed++
+		emit(p+1, false)
+	}
+	return res, nil
+}

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// sumCfg is a tiny deterministic sweep: each item contributes a value
+// derived from its stream, each point sums its sets.
+func sumCfg(points, sets, workers int) Config {
+	return Config{Scenario: "test", Seed: 7, Stream: 42, Points: points, Sets: sets, Workers: workers}
+}
+
+func sumEval(point, set int, r *rand.Rand) (float64, error) {
+	return float64(point) + r.Float64(), nil
+}
+
+func sumReduce(point int, outs []float64) (float64, error) {
+	var s float64
+	for _, v := range outs {
+		s += v
+	}
+	return s, nil
+}
+
+func TestSweepWorkerInvariance(t *testing.T) {
+	var want []float64
+	for _, workers := range []int{1, 2, 3, 8} {
+		got, err := Sweep(context.Background(), sumCfg(5, 12, workers), sumEval, sumReduce)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from workers=1: %v vs %v", workers, got, want)
+		}
+	}
+}
+
+func TestSweepEmptyGridErrors(t *testing.T) {
+	if _, err := Sweep(context.Background(), sumCfg(0, 4, 1), sumEval, sumReduce); err == nil {
+		t.Error("zero points must error")
+	}
+	if _, err := Sweep(context.Background(), sumCfg(4, 0, 1), sumEval, sumReduce); err == nil {
+		t.Error("zero sets must error")
+	}
+}
+
+func TestSweepEvalErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Sweep(context.Background(), sumCfg(3, 4, 2),
+		func(point, set int, r *rand.Rand) (float64, error) {
+			if point == 1 && set == 2 {
+				return 0, boom
+			}
+			return 0, nil
+		}, sumReduce)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestSweepCancellationMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	events := 0
+	cfg := sumCfg(6, 4, 2)
+	cfg.Progress = func(e Event) {
+		events++
+		cancel() // cancel after the first point completes
+	}
+	_, err := Sweep(ctx, cfg, sumEval, sumReduce)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want a context.Canceled wrap", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled after") {
+		t.Errorf("error %q does not report partial progress", err)
+	}
+	if events == 0 {
+		t.Error("no progress event fired before cancellation")
+	}
+}
+
+func TestSweepProgressEvents(t *testing.T) {
+	var evs []Event
+	cfg := sumCfg(4, 3, 1)
+	cfg.Progress = func(e Event) { evs = append(evs, e) }
+	if _, err := Sweep(context.Background(), cfg, sumEval, sumReduce); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want one per point", len(evs))
+	}
+	for i, e := range evs {
+		if e.Scenario != "test" || e.Done != i+1 || e.Total != 4 || e.Restored {
+			t.Errorf("event %d = %+v, want computed point %d/4", i, e, i+1)
+		}
+	}
+	if last := evs[len(evs)-1]; last.ETA != 0 {
+		t.Errorf("final event carries a nonzero ETA: %v", last.ETA)
+	}
+}
+
+// TestSweepCheckpointResume interrupts a checkpointed sweep, then
+// resumes it and requires (a) bit-identical results, (b) no re-evaluation
+// of restored points.
+func TestSweepCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.checkpoint.json")
+	const key = "test v1"
+
+	want, err := Sweep(context.Background(), sumCfg(6, 8, 3), sumEval, sumReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel after two points land in the checkpoint.
+	ck, err := NewCheckpoint(path, key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := sumCfg(6, 8, 3)
+	cfg.Checkpoint = ck
+	cfg.Progress = func(e Event) {
+		if e.Done == 2 {
+			cancel()
+		}
+	}
+	if _, err := Sweep(ctx, cfg, sumEval, sumReduce); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep: got %v, want cancellation", err)
+	}
+
+	// Resumed run — with a different worker count, which must not matter.
+	ck2, err := NewCheckpoint(path, key, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Restored() != 2 {
+		t.Fatalf("checkpoint holds %d points, want 2", ck2.Restored())
+	}
+	var evaluated atomic.Int64
+	cfg2 := sumCfg(6, 8, 1)
+	cfg2.Checkpoint = ck2
+	got, err := Sweep(context.Background(), cfg2,
+		func(point, set int, r *rand.Rand) (float64, error) {
+			evaluated.Add(1)
+			if point < 2 {
+				t.Errorf("restored point %d was re-evaluated", point)
+			}
+			return sumEval(point, set, r)
+		}, sumReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed results differ from uninterrupted run:\n got %v\nwant %v", got, want)
+	}
+	if n := evaluated.Load(); n != 4*8 {
+		t.Errorf("resumed run evaluated %d items, want %d (4 remaining points × 8 sets)", n, 4*8)
+	}
+}
+
+func TestCheckpointKeyMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	ck, err := NewCheckpoint(path, "cfg A", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.save(0, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCheckpoint(path, "cfg B", true); err == nil {
+		t.Fatal("resume accepted a checkpoint written for a different configuration")
+	} else if !strings.Contains(err.Error(), "different configuration") {
+		t.Errorf("unhelpful mismatch error: %v", err)
+	}
+	// Same key must load cleanly.
+	ck2, err := NewCheckpoint(path, "cfg A", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Restored() != 1 {
+		t.Errorf("Restored() = %d, want 1", ck2.Restored())
+	}
+}
+
+func TestCheckpointCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCheckpoint(path, "k", true); err == nil {
+		t.Fatal("resume accepted a corrupt checkpoint file")
+	}
+}
+
+func TestCheckpointMissingFileStartsFresh(t *testing.T) {
+	ck, err := NewCheckpoint(filepath.Join(t.TempDir(), "none.json"), "k", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Restored() != 0 {
+		t.Errorf("fresh checkpoint restored %d points", ck.Restored())
+	}
+}
+
+func TestNilCheckpointIsDisabled(t *testing.T) {
+	var c *Checkpoint
+	if c.Restored() != 0 {
+		t.Error("nil checkpoint reports restored points")
+	}
+	if _, ok := c.restore(0); ok {
+		t.Error("nil checkpoint restored a point")
+	}
+	if err := c.save(0, 1); err != nil {
+		t.Errorf("nil checkpoint save errored: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"chebymc/internal/fit"
 	"chebymc/internal/stats"
 	"chebymc/internal/texttable"
+	"chebymc/internal/trace"
 )
 
 // This file holds the ablation experiments for the design choices
@@ -47,12 +48,19 @@ type AblationBoundsResult struct {
 // RunAblationBounds executes the comparison at the given target
 // exceedance probabilities (defaults to {0.1, 0.02} when empty).
 func RunAblationBounds(cfg TraceConfig, targets []float64) (*AblationBoundsResult, error) {
-	if len(targets) == 0 {
-		targets = []float64{0.1, 0.02}
-	}
 	traces, _, err := BenchTraces(cfg)
 	if err != nil {
 		return nil, err
+	}
+	return ablationBoundsFrom(traces, targets)
+}
+
+// ablationBoundsFrom derives the comparison from already-collected
+// traces; split out so the scenario registry can share one collection
+// pass with Tables I–II.
+func ablationBoundsFrom(traces trace.Set, targets []float64) (*AblationBoundsResult, error) {
+	if len(targets) == 0 {
+		targets = []float64{0.1, 0.02}
 	}
 	res := &AblationBoundsResult{}
 	for _, app := range Table2Apps {

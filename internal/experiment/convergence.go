@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"chebymc/internal/par"
@@ -59,6 +60,12 @@ type ConvergenceResult struct {
 
 // RunConvergence executes the study over the Table II application set.
 func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
+	return RunConvergenceCtx(context.Background(), cfg)
+}
+
+// RunConvergenceCtx is RunConvergence with cancellation between apps
+// and during trace collection.
+func RunConvergenceCtx(ctx context.Context, cfg ConvergenceConfig) (*ConvergenceResult, error) {
 	cfg = cfg.withDefaults()
 	maxCount := cfg.Counts[len(cfg.Counts)-1]
 	tcfg := cfg.Trace
@@ -73,7 +80,7 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 		// trim the counts for that app below.
 		tcfg.Samples["qsort-10000"] = 300
 	}
-	traces, _, err := BenchTraces(tcfg)
+	traces, _, err := BenchTracesCtx(ctx, tcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +88,7 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 	// The prefix studies are independent per app; run them on the trace
 	// collection's worker budget, keeping rows in Table2Apps order. Apps
 	// whose trace is shorter than every prefix yield no row.
-	rows, err := par.Map(tcfg.Workers, len(Table2Apps), func(i int) (*ConvergenceRow, error) {
+	rows, err := par.MapCtx(ctx, tcfg.Workers, len(Table2Apps), func(i int) (*ConvergenceRow, error) {
 		app := Table2Apps[i]
 		tr := traces[app]
 		counts := cfg.Counts

@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"path/filepath"
+
+	"chebymc/internal/engine"
+)
+
+// EngOpts carries the engine-level controls every Run*Ctx variant
+// accepts: a progress sink, and checkpoint/resume settings. The zero
+// value disables all three, making Run*Ctx(ctx, cfg, EngOpts{})
+// equivalent to the plain Run* entry point plus cancellation.
+type EngOpts struct {
+	// Progress receives per-point engine events (off stdout, so
+	// rendered artefacts stay byte-deterministic).
+	Progress engine.Sink
+	// CheckpointDir, when non-empty, persists each completed sweep
+	// point to <dir>/<scenario>.checkpoint.json. Resume additionally
+	// loads a matching existing file and skips its completed points;
+	// the resumed run is bit-identical to an uninterrupted one because
+	// points depend only on (seed, stream, point, set) — the worker
+	// count may even differ between the runs.
+	CheckpointDir string
+	Resume        bool
+}
+
+// checkpoint opens the scenario's checkpoint per the options; nil when
+// checkpointing is disabled. key must fingerprint every config field
+// that influences the sweep's numbers.
+func (e EngOpts) checkpoint(scenario, key string) (*engine.Checkpoint, error) {
+	if e.CheckpointDir == "" {
+		return nil, nil
+	}
+	return engine.NewCheckpoint(filepath.Join(e.CheckpointDir, scenario+".checkpoint.json"), key, e.Resume)
+}

@@ -1,12 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
+	"chebymc/internal/engine"
 	"chebymc/internal/ga"
 	"chebymc/internal/mlmc"
-	"chebymc/internal/par"
-	"chebymc/internal/rng"
 	"chebymc/internal/stats"
 	"chebymc/internal/texttable"
 )
@@ -78,13 +79,25 @@ type ExtensionResult struct {
 	cfg    ExtensionConfig
 }
 
+// extAxis is one utilisation target's reduced outcome. Exported fields
+// so the engine can checkpoint it as JSON.
+type extAxis struct {
+	AcceptPes, AcceptScheme int
+	MeanObj, MeanEsc        float64
+}
+
 // RunExtension executes the multi-level acceptance/objective sweep.
 // Each system is generated and optimised from its own derived stream on
 // up to cfg.Workers goroutines; acceptance counts and means accumulate
 // in system order, so the result is identical for every worker count.
 func RunExtension(cfg ExtensionConfig) (*ExtensionResult, error) {
+	return RunExtensionCtx(context.Background(), cfg, EngOpts{})
+}
+
+// RunExtensionCtx is RunExtension with engine controls: cancellation,
+// progress events and per-point checkpointing (see EngOpts).
+func RunExtensionCtx(ctx context.Context, cfg ExtensionConfig, eo EngOpts) (*ExtensionResult, error) {
 	cfg = cfg.withDefaults()
-	res := &ExtensionResult{cfg: cfg}
 
 	// setOut is one random system's outcome.
 	type setOut struct {
@@ -93,9 +106,23 @@ func RunExtension(cfg ExtensionConfig) (*ExtensionResult, error) {
 		obj, esc                float64
 	}
 
-	for ubi, ub := range cfg.UBounds {
-		outs, err := par.Map(cfg.Workers, cfg.Sets, func(s int) (setOut, error) {
-			r := rng.New(cfg.Seed, streamExtension, int64(ubi), int64(s))
+	ecfg := engine.Config{
+		Scenario: "ext",
+		Seed:     cfg.Seed, Stream: streamExtension,
+		Points: len(cfg.UBounds), Sets: cfg.Sets,
+		Workers:  cfg.Workers,
+		Progress: eo.Progress,
+	}
+	ck, err := eo.checkpoint("ext", fmt.Sprintf("ext v1 seed=%d sets=%d ubs=%v levels=%d ga=%d/%d",
+		cfg.Seed, cfg.Sets, cfg.UBounds, cfg.Levels, cfg.GA.PopSize, cfg.GA.Generations))
+	if err != nil {
+		return nil, err
+	}
+	ecfg.Checkpoint = ck
+
+	axes, err := engine.Sweep(ctx, ecfg,
+		func(point, s int, r *rand.Rand) (setOut, error) {
+			ub := cfg.UBounds[point]
 			sys, err := mlmc.Generate(r, mlmc.GenConfig{Levels: cfg.Levels}, ub)
 			if err != nil {
 				return setOut{}, fmt.Errorf("experiment: extension ub=%g: %w", ub, err)
@@ -120,31 +147,37 @@ func RunExtension(cfg ExtensionConfig) (*ExtensionResult, error) {
 			o.obj = a.Objective
 			o.esc = a.PEscalate[0]
 			return o, nil
+		},
+		func(point int, outs []setOut) (extAxis, error) {
+			var ax extAxis
+			var obj, esc stats.Online
+			for _, o := range outs {
+				if o.acceptPes {
+					ax.AcceptPes++
+				}
+				if o.acceptScheme {
+					ax.AcceptScheme++
+				}
+				if o.hasGA {
+					obj.Add(o.obj)
+					esc.Add(o.esc)
+				}
+			}
+			ax.MeanObj, ax.MeanEsc = obj.Mean(), esc.Mean()
+			return ax, nil
 		})
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
+	}
 
-		acceptedPes, acceptedScheme := 0, 0
-		var obj, esc stats.Online
-		for _, o := range outs {
-			if o.acceptPes {
-				acceptedPes++
-			}
-			if o.acceptScheme {
-				acceptedScheme++
-			}
-			if o.hasGA {
-				obj.Add(o.obj)
-				esc.Add(o.esc)
-			}
-		}
+	res := &ExtensionResult{cfg: cfg}
+	for ubi, ub := range cfg.UBounds {
 		res.Points = append(res.Points, ExtensionPoint{
 			UBound:            ub,
-			AcceptPessimistic: float64(acceptedPes) / float64(cfg.Sets),
-			AcceptScheme:      float64(acceptedScheme) / float64(cfg.Sets),
-			MeanObjective:     obj.Mean(),
-			MeanEscalate0:     esc.Mean(),
+			AcceptPessimistic: float64(axes[ubi].AcceptPes) / float64(cfg.Sets),
+			AcceptScheme:      float64(axes[ubi].AcceptScheme) / float64(cfg.Sets),
+			MeanObjective:     axes[ubi].MeanObj,
+			MeanEscalate0:     axes[ubi].MeanEsc,
 		})
 	}
 	return res, nil

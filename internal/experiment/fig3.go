@@ -1,11 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
-	"chebymc/internal/par"
+	"chebymc/internal/engine"
 	"chebymc/internal/policy"
-	"chebymc/internal/rng"
 	"chebymc/internal/stats"
 	"chebymc/internal/taskgen"
 	"chebymc/internal/textplot"
@@ -67,14 +68,27 @@ type Fig3Result struct {
 	cfg  Fig3Config
 }
 
+// fig3Axis is one utilisation point's reduced outcome: the mean of each
+// metric per n, plus the mean per-set optimal uniform n. Exported
+// fields so the engine can checkpoint it as JSON.
+type fig3Axis struct {
+	PMS, MaxU, Obj []float64
+	OptN           float64
+}
+
 // RunFig3 executes the grid sweep, averaging cfg.Sets random task sets at
 // each utilisation point. Task sets are generated from independently
 // derived streams and scored on up to cfg.Workers goroutines; the means
 // are accumulated in set order, so the result is identical for every
 // worker count.
 func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
+	return RunFig3Ctx(context.Background(), cfg, EngOpts{})
+}
+
+// RunFig3Ctx is RunFig3 with engine controls: cancellation, progress
+// events and per-point checkpointing (see EngOpts).
+func RunFig3Ctx(ctx context.Context, cfg Fig3Config, eo EngOpts) (*Fig3Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Fig3Result{OptN: make(map[float64]float64), cfg: cfg}
 
 	// setOut is one task set's contribution: a sample per n plus the
 	// per-set optimal uniform n.
@@ -83,9 +97,23 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 		optN           float64
 	}
 
-	for ui, u := range cfg.UHCHIs {
-		outs, err := par.Map(cfg.Workers, cfg.Sets, func(s int) (setOut, error) {
-			r := rng.New(cfg.Seed, streamFig3, int64(ui), int64(s))
+	ecfg := engine.Config{
+		Scenario: "fig3",
+		Seed:     cfg.Seed, Stream: streamFig3,
+		Points: len(cfg.UHCHIs), Sets: cfg.Sets,
+		Workers:  cfg.Workers,
+		Progress: eo.Progress,
+	}
+	ck, err := eo.checkpoint("fig3", fmt.Sprintf("fig3 v1 seed=%d sets=%d us=%v ns=%v opt=%d",
+		cfg.Seed, cfg.Sets, cfg.UHCHIs, cfg.Ns, cfg.OptSweepMax))
+	if err != nil {
+		return nil, err
+	}
+	ecfg.Checkpoint = ck
+
+	axes, err := engine.Sweep(ctx, ecfg,
+		func(point, s int, r *rand.Rand) (setOut, error) {
+			u := cfg.UHCHIs[point]
 			ts, err := taskgen.HCOnly(r, taskgen.Config{}, u)
 			if err != nil {
 				return setOut{}, fmt.Errorf("experiment: fig3 u=%g: %w", u, err)
@@ -115,34 +143,47 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 			}
 			o.optN = bestN
 			return o, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-
-		accPMS := make([]stats.Online, len(cfg.Ns))
-		accU := make([]stats.Online, len(cfg.Ns))
-		accObj := make([]stats.Online, len(cfg.Ns))
-		var accOptN stats.Online
-		for _, o := range outs {
-			for i := range cfg.Ns {
-				accPMS[i].Add(o.pms[i])
-				accU[i].Add(o.maxU[i])
-				accObj[i].Add(o.obj[i])
+		},
+		func(point int, outs []setOut) (fig3Axis, error) {
+			accPMS := make([]stats.Online, len(cfg.Ns))
+			accU := make([]stats.Online, len(cfg.Ns))
+			accObj := make([]stats.Online, len(cfg.Ns))
+			var accOptN stats.Online
+			for _, o := range outs {
+				for i := range cfg.Ns {
+					accPMS[i].Add(o.pms[i])
+					accU[i].Add(o.maxU[i])
+					accObj[i].Add(o.obj[i])
+				}
+				accOptN.Add(o.optN)
 			}
-			accOptN.Add(o.optN)
-		}
+			ax := fig3Axis{
+				PMS:  make([]float64, len(cfg.Ns)),
+				MaxU: make([]float64, len(cfg.Ns)),
+				Obj:  make([]float64, len(cfg.Ns)),
+				OptN: accOptN.Mean(),
+			}
+			for i := range cfg.Ns {
+				ax.PMS[i], ax.MaxU[i], ax.Obj[i] = accPMS[i].Mean(), accU[i].Mean(), accObj[i].Mean()
+			}
+			return ax, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 
+	res := &Fig3Result{OptN: make(map[float64]float64), cfg: cfg}
+	for ui, u := range cfg.UHCHIs {
 		for i, n := range cfg.Ns {
 			res.Cells = append(res.Cells, Fig3Cell{
 				UHCHI:     u,
 				N:         n,
-				PMS:       accPMS[i].Mean(),
-				MaxULCLO:  accU[i].Mean(),
-				Objective: accObj[i].Mean(),
+				PMS:       axes[ui].PMS[i],
+				MaxULCLO:  axes[ui].MaxU[i],
+				Objective: axes[ui].Obj[i],
 			})
 		}
-		res.OptN[u] = accOptN.Mean()
+		res.OptN[u] = axes[ui].OptN
 	}
 	return res, nil
 }

@@ -1,13 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"chebymc/internal/engine"
 	"chebymc/internal/ga"
-	"chebymc/internal/par"
 	"chebymc/internal/policy"
-	"chebymc/internal/rng"
 	"chebymc/internal/stats"
 	"chebymc/internal/taskgen"
 	"chebymc/internal/textplot"
@@ -91,30 +91,54 @@ func (r *Fig45Result) MaxUCI(name string, u float64, seed int64) (lo, hi float64
 	return stats.BootstrapCI(xs, 400, 0.95, rand.New(rand.NewSource(seed)))
 }
 
+// fig45Axis is one utilisation point's reduced outcome: per-policy
+// metric means plus the per-policy raw max-U samples (in set order) for
+// bootstrap confidence intervals. Exported fields so the engine can
+// checkpoint it as JSON.
+type fig45Axis struct {
+	PMS, MaxU, Obj []float64   // indexed by policy
+	RawMaxU        [][]float64 // [policy][set]
+}
+
 // RunFig45 executes the comparison: the same cfg.Sets task sets per
 // utilisation point are scored under every policy. Each task set is
 // generated and scored from its own derived stream on up to cfg.Workers
 // goroutines; per-policy means and the raw max-U samples are accumulated
 // in set order, so the result is identical for every worker count.
 func RunFig45(cfg Fig45Config) (*Fig45Result, error) {
+	return RunFig45Ctx(context.Background(), cfg, EngOpts{})
+}
+
+// RunFig45Ctx is RunFig45 with engine controls: cancellation, progress
+// events and per-point checkpointing (see EngOpts).
+func RunFig45Ctx(ctx context.Context, cfg Fig45Config, eo EngOpts) (*Fig45Result, error) {
 	cfg = cfg.withDefaults()
 	pols := ComparedPolicies(cfg.GA)
-	res := &Fig45Result{cfg: cfg, rawMaxU: make(map[string]map[float64][]float64)}
-	for _, p := range pols {
-		res.names = append(res.names, p.Name())
-		res.rawMaxU[p.Name()] = make(map[float64][]float64)
-	}
 
 	// setOut is one task set's score under every compared policy.
 	type setOut struct {
 		pms, maxU, obj []float64
 	}
 
-	for ui, u := range cfg.UHCHIs {
-		outs, err := par.Map(cfg.Workers, cfg.Sets, func(s int) (setOut, error) {
+	ecfg := engine.Config{
+		Scenario: "fig45",
+		Seed:     cfg.Seed, Stream: streamFig45,
+		Points: len(cfg.UHCHIs), Sets: cfg.Sets,
+		Workers:  cfg.Workers,
+		Progress: eo.Progress,
+	}
+	ck, err := eo.checkpoint("fig45", fmt.Sprintf("fig45 v1 seed=%d sets=%d us=%v ga=%d/%d",
+		cfg.Seed, cfg.Sets, cfg.UHCHIs, cfg.GA.PopSize, cfg.GA.Generations))
+	if err != nil {
+		return nil, err
+	}
+	ecfg.Checkpoint = ck
+
+	axes, err := engine.Sweep(ctx, ecfg,
+		func(point, s int, r *rand.Rand) (setOut, error) {
 			// One stream per task set: generation and every stochastic
 			// policy (λ draws, the GA seed) consume from it serially.
-			r := rng.New(cfg.Seed, streamFig45, int64(ui), int64(s))
+			u := cfg.UHCHIs[point]
 			ts, err := taskgen.HCOnly(r, taskgen.Config{}, u)
 			if err != nil {
 				return setOut{}, fmt.Errorf("experiment: fig4/5 u=%g: %w", u, err)
@@ -132,29 +156,48 @@ func RunFig45(cfg Fig45Config) (*Fig45Result, error) {
 				o.pms[i], o.maxU[i], o.obj[i] = a.PMS, a.MaxULCLO, a.Objective
 			}
 			return o, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-
-		accPMS := make([]stats.Online, len(pols))
-		accU := make([]stats.Online, len(pols))
-		accObj := make([]stats.Online, len(pols))
-		for _, o := range outs {
-			for i, p := range pols {
-				accPMS[i].Add(o.pms[i])
-				accU[i].Add(o.maxU[i])
-				accObj[i].Add(o.obj[i])
-				res.rawMaxU[p.Name()][u] = append(res.rawMaxU[p.Name()][u], o.maxU[i])
+		},
+		func(point int, outs []setOut) (fig45Axis, error) {
+			accPMS := make([]stats.Online, len(pols))
+			accU := make([]stats.Online, len(pols))
+			accObj := make([]stats.Online, len(pols))
+			ax := fig45Axis{
+				PMS:     make([]float64, len(pols)),
+				MaxU:    make([]float64, len(pols)),
+				Obj:     make([]float64, len(pols)),
+				RawMaxU: make([][]float64, len(pols)),
 			}
-		}
+			for _, o := range outs {
+				for i := range pols {
+					accPMS[i].Add(o.pms[i])
+					accU[i].Add(o.maxU[i])
+					accObj[i].Add(o.obj[i])
+					ax.RawMaxU[i] = append(ax.RawMaxU[i], o.maxU[i])
+				}
+			}
+			for i := range pols {
+				ax.PMS[i], ax.MaxU[i], ax.Obj[i] = accPMS[i].Mean(), accU[i].Mean(), accObj[i].Mean()
+			}
+			return ax, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig45Result{cfg: cfg, rawMaxU: make(map[string]map[float64][]float64)}
+	for _, p := range pols {
+		res.names = append(res.names, p.Name())
+		res.rawMaxU[p.Name()] = make(map[float64][]float64)
+	}
+	for ui, u := range cfg.UHCHIs {
 		for i, p := range pols {
+			res.rawMaxU[p.Name()][u] = axes[ui].RawMaxU[i]
 			res.Points = append(res.Points, Fig45Point{
 				Policy:    p.Name(),
 				UHCHI:     u,
-				PMS:       accPMS[i].Mean(),
-				MaxULCLO:  accU[i].Mean(),
-				Objective: accObj[i].Mean(),
+				PMS:       axes[ui].PMS[i],
+				MaxULCLO:  axes[ui].MaxU[i],
+				Objective: axes[ui].Obj[i],
 			})
 		}
 	}

@@ -1,14 +1,15 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"chebymc/internal/core"
 	"chebymc/internal/edfvd"
+	"chebymc/internal/engine"
 	"chebymc/internal/mc"
-	"chebymc/internal/par"
 	"chebymc/internal/policy"
-	"chebymc/internal/rng"
 	"chebymc/internal/taskgen"
 	"chebymc/internal/textplot"
 	"chebymc/internal/texttable"
@@ -79,21 +80,47 @@ func schemeAssign(ts *mc.TaskSet) (core.Assignment, error) {
 	return policy.ChebyshevUniform{N: 0}.Assign(ts, nil)
 }
 
+// fig6Axis is one bound's reduced outcome: the acceptance count per
+// variant, indexed like Fig6Variants. Exported field so the engine can
+// checkpoint it as JSON.
+type fig6Axis struct {
+	Accepted [4]int
+}
+
 // RunFig6 executes the acceptance sweep. Each task set is generated and
 // tested from its own derived stream on up to cfg.Workers goroutines;
 // acceptance counts are summed in set order, so the result is identical
 // for every worker count.
 func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
+	return RunFig6Ctx(context.Background(), cfg, EngOpts{})
+}
+
+// RunFig6Ctx is RunFig6 with engine controls: cancellation, progress
+// events and per-point checkpointing (see EngOpts).
+func RunFig6Ctx(ctx context.Context, cfg Fig6Config, eo EngOpts) (*Fig6Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Fig6Result{cfg: cfg}
 	baseline := policy.LambdaRange{Lo: 0.25, Hi: 1}
 
 	// setOut records which of the four variants accepted one task set.
 	type setOut [4]bool // indexed like Fig6Variants
 
-	for ubi, ub := range cfg.UBounds {
-		outs, err := par.Map(cfg.Workers, cfg.Sets, func(s int) (setOut, error) {
-			r := rng.New(cfg.Seed, streamFig6, int64(ubi), int64(s))
+	ecfg := engine.Config{
+		Scenario: "fig6",
+		Seed:     cfg.Seed, Stream: streamFig6,
+		Points: len(cfg.UBounds), Sets: cfg.Sets,
+		Workers:  cfg.Workers,
+		Progress: eo.Progress,
+	}
+	ck, err := eo.checkpoint("fig6", fmt.Sprintf("fig6 v1 seed=%d sets=%d ubs=%v rho=%g",
+		cfg.Seed, cfg.Sets, cfg.UBounds, cfg.DegradeRho))
+	if err != nil {
+		return nil, err
+	}
+	ecfg.Checkpoint = ck
+
+	axes, err := engine.Sweep(ctx, ecfg,
+		func(point, s int, r *rand.Rand) (setOut, error) {
+			ub := cfg.UBounds[point]
 			ts, err := taskgen.Mixed(r, taskgen.Config{}, ub)
 			if err != nil {
 				return setOut{}, fmt.Errorf("experiment: fig6 ub=%g: %w", ub, err)
@@ -112,31 +139,29 @@ func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
 				o[3] = edfvd.SchedulableDegraded(ours.TaskSet, cfg.DegradeRho).Schedulable
 			}
 			return o, nil
+		},
+		func(point int, outs []setOut) (fig6Axis, error) {
+			var ax fig6Axis
+			for _, o := range outs {
+				for v := range o {
+					if o[v] {
+						ax.Accepted[v]++
+					}
+				}
+			}
+			return ax, nil
 		})
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
+	}
 
-		accepted := map[string]int{}
-		for _, o := range outs {
-			if o[0] {
-				accepted["baruah"]++
-			}
-			if o[1] {
-				accepted["baruah+scheme"]++
-			}
-			if o[2] {
-				accepted["liu"]++
-			}
-			if o[3] {
-				accepted["liu+scheme"]++
-			}
-		}
-		for _, v := range Fig6Variants {
+	res := &Fig6Result{cfg: cfg}
+	for ubi, ub := range cfg.UBounds {
+		for v, name := range Fig6Variants {
 			res.Points = append(res.Points, Fig6Point{
-				Variant:    v,
+				Variant:    name,
 				UBound:     ub,
-				Acceptance: float64(accepted[v]) / float64(cfg.Sets),
+				Acceptance: float64(axes[ubi].Accepted[v]) / float64(cfg.Sets),
 			})
 		}
 	}

@@ -1,0 +1,374 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"chebymc/internal/artifact"
+	"chebymc/internal/ga"
+)
+
+// Options is the one knob set a driver passes to every scenario: sizing
+// (zero fields select each scenario's paper-sized defaults), the seed,
+// the worker budget, whether to build plot artefacts, engine controls
+// (progress/checkpoint/resume) and a Session for cross-scenario reuse.
+type Options struct {
+	// Sets overrides the task-set count per sweep point (0 = scenario
+	// default). Samples overrides the trace sample count per benchmark
+	// (0 = paper default).
+	Sets, Samples int
+	// Seed roots every derived stream.
+	Seed int64
+	// Workers bounds each sweep's goroutines; results are identical
+	// for every value.
+	Workers int
+	// Plot builds ASCII-plot artefacts for figure scenarios.
+	Plot bool
+	// Eng carries progress/checkpoint/resume through to the engine.
+	Eng EngOpts
+	// Session caches shared computation (the trace pass, the Fig. 4/5
+	// sweep) across scenarios of one run. Nil runs uncached.
+	Session *Session
+}
+
+// traceCfg maps the options onto a trace-collection config — the exact
+// mapping the pre-registry driver applied.
+func (o Options) traceCfg() TraceConfig {
+	cfg := TraceConfig{Seed: o.Seed, Workers: o.Workers}
+	if o.Samples > 0 {
+		cfg.DefaultSamples = o.Samples
+	}
+	return cfg
+}
+
+// session returns the run's session, or a throwaway one.
+func (o Options) session() *Session {
+	if o.Session != nil {
+		return o.Session
+	}
+	return NewSession()
+}
+
+// Scenario declares one experiment: identity, the default sweep grid,
+// and a Run evaluator producing ordered artefacts. The registry is the
+// single source of truth for -exp parsing, listing and dispatch — a new
+// experiment is one Register call, not driver plumbing.
+type Scenario struct {
+	// Name is the -exp token; Aliases are accepted equivalents
+	// (e.g. fig4 → fig45).
+	Name    string
+	Aliases []string
+	// Description is the one-line summary shown by -exp list.
+	Description string
+	// AxisLabel and Axis document the default sweep grid ("" label for
+	// scenarios that are not grid sweeps). Grid scenarios feed Axis
+	// into their config, so the registry entry is authoritative.
+	AxisLabel string
+	Axis      []float64
+	// DefaultSets is the per-point task-set count a zero Options.Sets
+	// selects (0 for scenarios without a set sweep).
+	DefaultSets int
+	// Checkpointed marks scenarios whose sweep persists per-point
+	// checkpoints under EngOpts.CheckpointDir.
+	Checkpointed bool
+	// Run executes the scenario and returns its artefacts in
+	// presentation order.
+	Run func(ctx context.Context, o Options) ([]artifact.Artifact, error)
+}
+
+// axisUHCHI is the paper's U^HI_HC axis shared by Figs. 3–5.
+var axisUHCHI = []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+// axisFig6 and axisExt are the default utilisation-bound axes of the
+// Fig. 6 and extension sweeps.
+var (
+	axisFig6 = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3}
+	axisExt  = []float64{0.4, 0.6, 0.8, 1.0, 1.2}
+)
+
+// registry lists every scenario in presentation order — the order `-exp
+// all` emits, identical to the pre-registry driver's.
+var registry = []Scenario{
+	{
+		Name:        "table1",
+		Description: "Table I: ACET vs WCET^pes and overrun % per WCET^opt choice",
+		Run:         runTable1,
+	},
+	{
+		Name:        "table2",
+		Description: "Table II: effect of n on task overrunning, analysis vs experiment",
+		Run:         runTable2,
+	},
+	{
+		Name:        "fig2",
+		Description: "Fig. 2: uniform-n sweep on one example task set",
+		AxisLabel:   "n",
+		Run:         runFig2,
+	},
+	{
+		Name:         "fig3",
+		Description:  "Fig. 3: P_sys^MS / max U_LC^LO / objective over U_HC^HI × n",
+		AxisLabel:    "U_HC^HI",
+		Axis:         axisUHCHI,
+		DefaultSets:  1000,
+		Checkpointed: true,
+		Run:          runFig3,
+	},
+	{
+		Name:         "fig45",
+		Aliases:      []string{"fig4", "fig5"},
+		Description:  "Figs. 4–5: policy comparison (proposed GA scheme vs λ baselines)",
+		AxisLabel:    "U_HC^HI",
+		Axis:         axisUHCHI,
+		DefaultSets:  1000,
+		Checkpointed: true,
+		Run:          runFig45,
+	},
+	{
+		Name:        "headline",
+		Description: "abstract-level headline numbers derived from the Fig. 4/5 sweep",
+		Run:         runHeadline,
+	},
+	{
+		Name:        "ablation",
+		Description: "ablation: distribution-free vs fitted budgets; Cantelli vs two-sided bound",
+		Run:         runAblation,
+	},
+	{
+		Name:        "convergence",
+		Description: "sample-size study: Eq. 6 budget error vs measurement count",
+		Run:         runConvergence,
+	},
+	{
+		Name:         "ext",
+		Description:  "multi-level (>2 criticality) extension: acceptance and objective",
+		AxisLabel:    "U_top",
+		Axis:         axisExt,
+		DefaultSets:  200,
+		Checkpointed: true,
+		Run:          runExtension,
+	},
+	{
+		Name:         "fig6",
+		Description:  "Fig. 6: acceptance ratio under Baruah's and Liu's tests ± the scheme",
+		AxisLabel:    "U_bound",
+		Axis:         axisFig6,
+		DefaultSets:  1000,
+		Checkpointed: true,
+		Run:          runFig6,
+	},
+}
+
+// Scenarios returns the registry in presentation order.
+func Scenarios() []Scenario { return append([]Scenario(nil), registry...) }
+
+// Names returns every scenario name in presentation order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, s := range registry {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Resolve expands "all" and aliases, validates every requested name
+// against the registry, and returns the selected canonical names.
+// Unknown names are an error listing the valid ones — a typo must not
+// silently run nothing.
+func Resolve(requested []string) (map[string]bool, error) {
+	aliases := make(map[string]string)
+	valid := make(map[string]bool)
+	for _, s := range registry {
+		valid[s.Name] = true
+		for _, a := range s.Aliases {
+			aliases[a] = s.Name
+		}
+	}
+	selected := make(map[string]bool)
+	for _, raw := range requested {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			for n := range valid {
+				selected[n] = true
+			}
+			continue
+		}
+		if canon, ok := aliases[name]; ok {
+			name = canon
+		}
+		if !valid[name] {
+			names := Names()
+			sort.Strings(names)
+			return nil, fmt.Errorf("unknown experiment %q; valid names: all, %s (aliases: fig4, fig5 → fig45)",
+				name, strings.Join(names, ", "))
+		}
+		selected[name] = true
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no experiments selected; valid names: all, %s", strings.Join(Names(), ", "))
+	}
+	return selected, nil
+}
+
+// ---- scenario evaluators ------------------------------------------------
+//
+// Each evaluator maps Options onto the experiment's config, runs it
+// (through the Session where computation is shared), and packages the
+// result as artefacts. The artefact order reproduces the pre-registry
+// driver's byte layout exactly — cmd/mcexp's golden suite pins it.
+
+func runTable1(ctx context.Context, o Options) ([]artifact.Artifact, error) {
+	traces, bounds, err := o.session().benchTraces(ctx, o.traceCfg())
+	if err != nil {
+		return nil, err
+	}
+	res, err := table1From(traces, bounds)
+	if err != nil {
+		return nil, err
+	}
+	return []artifact.Artifact{artifact.Table{Name: "table1", Body: res.Table()}}, nil
+}
+
+func runTable2(ctx context.Context, o Options) ([]artifact.Artifact, error) {
+	traces, _, err := o.session().benchTraces(ctx, o.traceCfg())
+	if err != nil {
+		return nil, err
+	}
+	res, err := table2From(traces)
+	if err != nil {
+		return nil, err
+	}
+	return []artifact.Artifact{
+		artifact.Table{Name: "table2", Body: res.Table()},
+		artifact.Note{Text: fmt.Sprintf("Theorem 1 bound holds on all measurements: %v\n\n", res.BoundHolds())},
+	}, nil
+}
+
+func runFig2(ctx context.Context, o Options) ([]artifact.Artifact, error) {
+	res, err := RunFig2(Fig2Config{Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	arts := []artifact.Artifact{artifact.Table{Name: "fig2", Body: res.Table()}}
+	if o.Plot {
+		s, err := res.Plot()
+		if err != nil {
+			return nil, err
+		}
+		arts = append(arts, artifact.Plot{Name: "fig2", Text: s})
+	}
+	arts = append(arts, artifact.Note{Text: fmt.Sprintf(
+		"Fig. 2 optimum: n=%g  P_sys^MS=%.4f  max U_LC^LO=%.4f\n\n",
+		res.OptN, res.OptPoint.PMS, res.OptPoint.MaxULCLO)})
+	return arts, nil
+}
+
+func runFig3(ctx context.Context, o Options) ([]artifact.Artifact, error) {
+	cfg := Fig3Config{UHCHIs: axisUHCHI, Seed: o.Seed, Workers: o.Workers, Sets: o.Sets}
+	res, err := RunFig3Ctx(ctx, cfg, o.Eng)
+	if err != nil {
+		return nil, err
+	}
+	arts := []artifact.Artifact{artifact.Table{Name: "fig3", Body: res.Table()}}
+	if o.Plot {
+		s, err := res.Plot()
+		if err != nil {
+			return nil, err
+		}
+		arts = append(arts, artifact.Plot{Name: "fig3", Text: s})
+	}
+	return arts, nil
+}
+
+func runFig45(ctx context.Context, o Options) ([]artifact.Artifact, error) {
+	res, err := o.session().fig45Result(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	arts := []artifact.Artifact{artifact.Table{Name: "fig45", Body: res.Table()}}
+	if o.Plot {
+		s, err := res.Plot()
+		if err != nil {
+			return nil, err
+		}
+		arts = append(arts, artifact.Plot{Name: "fig45", Text: s})
+	}
+	return arts, nil
+}
+
+func runHeadline(ctx context.Context, o Options) ([]artifact.Artifact, error) {
+	res, err := o.session().fig45Result(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	h := res.Headline()
+	return []artifact.Artifact{
+		artifact.Note{Text: fmt.Sprintf(
+			"Headline: utilisation improvement up to %.2f%% (vs %s at U_HC^HI=%.2f); worst-case P_sys^MS %.2f%%\n",
+			h.UtilImprovementPct, h.AgainstPolicy, h.AtUHCHI, h.WorstPMSPct)},
+		artifact.Note{Text: "Paper:    utilisation improvement up to 85.29%; worst-case P_sys^MS 9.11%\n\n"},
+	}, nil
+}
+
+func runAblation(ctx context.Context, o Options) ([]artifact.Artifact, error) {
+	traces, _, err := o.session().benchTraces(ctx, o.traceCfg())
+	if err != nil {
+		return nil, err
+	}
+	ab, err := ablationBoundsFrom(traces, nil)
+	if err != nil {
+		return nil, err
+	}
+	return []artifact.Artifact{
+		artifact.Table{Name: "ablation_bounds", Body: ab.Table()},
+		artifact.Note{Text: fmt.Sprintf(
+			"Chebyshev budget never violates its claim: %v; some fitted budget violates: %v\n\n",
+			ab.ChebyshevNeverViolates(), ab.AnyFitViolates())},
+		artifact.Table{Name: "ablation_cantelli", Body: CantelliTable(RunAblationCantelli(nil))},
+	}, nil
+}
+
+func runConvergence(ctx context.Context, o Options) ([]artifact.Artifact, error) {
+	res, err := RunConvergenceCtx(ctx, ConvergenceConfig{Trace: o.traceCfg()})
+	if err != nil {
+		return nil, err
+	}
+	return []artifact.Artifact{artifact.Table{Name: "convergence", Body: res.Table()}}, nil
+}
+
+func runExtension(ctx context.Context, o Options) ([]artifact.Artifact, error) {
+	res, err := RunExtensionCtx(ctx, ExtensionConfig{Seed: o.Seed, Workers: o.Workers, Sets: o.Sets}, o.Eng)
+	if err != nil {
+		return nil, err
+	}
+	return []artifact.Artifact{artifact.Table{Name: "extension", Body: res.Table()}}, nil
+}
+
+func runFig6(ctx context.Context, o Options) ([]artifact.Artifact, error) {
+	cfg := Fig6Config{Seed: o.Seed, Workers: o.Workers, Sets: o.Sets}
+	res, err := RunFig6Ctx(ctx, cfg, o.Eng)
+	if err != nil {
+		return nil, err
+	}
+	arts := []artifact.Artifact{artifact.Table{Name: "fig6", Body: res.Table()}}
+	if o.Plot {
+		s, err := res.Plot()
+		if err != nil {
+			return nil, err
+		}
+		arts = append(arts, artifact.Plot{Name: "fig6", Text: s})
+	}
+	return arts, nil
+}
+
+// fig45Config maps the options onto the Fig. 4/5 sweep config — shared
+// by the fig45 and headline evaluators so the Session cache key is
+// computed identically.
+func fig45Config(o Options) Fig45Config {
+	return Fig45Config{Seed: o.Seed, Workers: o.Workers, Sets: o.Sets, GA: ga.Config{}}
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"chebymc/internal/artifact"
+)
+
+func TestResolveAll(t *testing.T) {
+	sel, err := Resolve([]string{"all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != len(registry) {
+		t.Fatalf("all selected %d scenarios, want %d", len(sel), len(registry))
+	}
+}
+
+func TestResolveAliases(t *testing.T) {
+	for _, alias := range []string{"fig4", "fig5"} {
+		sel, err := Resolve([]string{alias})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sel["fig45"] || len(sel) != 1 {
+			t.Errorf("%s resolved to %v, want fig45 only", alias, sel)
+		}
+	}
+}
+
+func TestResolveTrimsAndSkipsEmpties(t *testing.T) {
+	sel, err := Resolve([]string{" table1 ", "", "fig2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel["table1"] || !sel["fig2"] || len(sel) != 2 {
+		t.Errorf("got %v, want table1+fig2", sel)
+	}
+}
+
+func TestResolveUnknownErrors(t *testing.T) {
+	_, err := Resolve([]string{"table1", "bogus"})
+	if err == nil {
+		t.Fatal("Resolve accepted an unknown name")
+	}
+	for _, want := range []string{`"bogus"`, "table1", "fig45", "fig6"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestResolveEmptySelectionErrors(t *testing.T) {
+	if _, err := Resolve([]string{"", "  "}); err == nil {
+		t.Fatal("Resolve accepted an empty selection")
+	}
+}
+
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range registry {
+		if s.Name == "" || s.Description == "" || s.Run == nil {
+			t.Errorf("scenario %+v incomplete", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		for _, a := range s.Aliases {
+			if seen[a] {
+				t.Errorf("alias %q collides", a)
+			}
+			seen[a] = true
+		}
+		if len(s.Axis) > 0 && s.AxisLabel == "" {
+			t.Errorf("scenario %s has an axis but no label", s.Name)
+		}
+	}
+}
+
+// TestScenarioRunMatchesDirectAPI pins that the registry evaluator is a
+// pure re-packaging of the public Run* API: same config mapping, same
+// numbers.
+func TestScenarioRunMatchesDirectAPI(t *testing.T) {
+	o := Options{Sets: 6, Seed: 3, Workers: 2}
+	var fig6Scenario *Scenario
+	for i := range registry {
+		if registry[i].Name == "fig6" {
+			fig6Scenario = &registry[i]
+		}
+	}
+	if fig6Scenario == nil {
+		t.Fatal("fig6 scenario missing from registry")
+	}
+	arts, err := fig6Scenario.Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunFig6(Fig6Config{Seed: 3, Workers: 2, Sets: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) == 0 {
+		t.Fatal("fig6 scenario returned no artefacts")
+	}
+	first, ok := arts[0].(artifact.Table)
+	if !ok {
+		t.Fatalf("first fig6 artefact is %T, want artifact.Table", arts[0])
+	}
+	if got, want := first.Body.String(), direct.Table().String(); got != want {
+		t.Errorf("registry fig6 table differs from RunFig6:\n got %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"chebymc/internal/trace"
+)
+
+// Session caches computation shared between scenarios of one driver
+// run: the benchmark trace pass (Tables I–II and the ablation consume
+// identical traces) and the Fig. 4/5 sweep (the headline numbers are a
+// view over it). Everything cached is deterministic in its config, so
+// reuse never changes results — it only removes repeated passes.
+type Session struct {
+	mu     sync.Mutex
+	traces map[string]tracePass
+	fig45  map[string]*Fig45Result
+}
+
+type tracePass struct {
+	traces trace.Set
+	bounds map[string]float64
+}
+
+// NewSession returns an empty cache.
+func NewSession() *Session {
+	return &Session{traces: make(map[string]tracePass), fig45: make(map[string]*Fig45Result)}
+}
+
+// traceKey fingerprints every TraceConfig field that influences the
+// collected traces. Workers is deliberately excluded: traces are
+// bit-identical for every worker count.
+func traceKey(cfg TraceConfig) string {
+	apps := make([]string, 0, len(cfg.Samples))
+	for app := range cfg.Samples {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d default=%d", cfg.Seed, cfg.DefaultSamples)
+	for _, app := range apps {
+		fmt.Fprintf(&b, " %s=%d", app, cfg.Samples[app])
+	}
+	return b.String()
+}
+
+// benchTraces returns the cached trace pass for cfg, collecting it on
+// first use.
+func (s *Session) benchTraces(ctx context.Context, cfg TraceConfig) (trace.Set, map[string]float64, error) {
+	key := traceKey(cfg)
+	s.mu.Lock()
+	if p, ok := s.traces[key]; ok {
+		s.mu.Unlock()
+		return p.traces, p.bounds, nil
+	}
+	s.mu.Unlock()
+	traces, bounds, err := BenchTracesCtx(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	s.traces[key] = tracePass{traces: traces, bounds: bounds}
+	s.mu.Unlock()
+	return traces, bounds, nil
+}
+
+// fig45Result returns the cached Fig. 4/5 sweep for the run's options,
+// computing it on first use — so `-exp fig45,headline` (and `-exp all`)
+// runs the sweep once, exactly like the pre-registry driver.
+func (s *Session) fig45Result(ctx context.Context, o Options) (*Fig45Result, error) {
+	cfg := fig45Config(o)
+	key := fmt.Sprintf("seed=%d sets=%d ga=%d/%d", cfg.Seed, cfg.Sets, cfg.GA.PopSize, cfg.GA.Generations)
+	s.mu.Lock()
+	if r, ok := s.fig45[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	res, err := RunFig45Ctx(ctx, cfg, o.Eng)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.fig45[key] = res
+	s.mu.Unlock()
+	return res, nil
+}

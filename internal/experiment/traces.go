@@ -12,6 +12,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"chebymc/internal/ipet"
@@ -90,6 +91,12 @@ func (c TraceConfig) samplesFor(app string) int {
 // Reset it per run) and its own derived input stream, so the traces are
 // identical for every worker count.
 func BenchTraces(cfg TraceConfig) (trace.Set, map[string]float64, error) {
+	return BenchTracesCtx(context.Background(), cfg)
+}
+
+// BenchTracesCtx is BenchTraces with cancellation: a cancelled context
+// stops dispatching apps and returns once in-flight measurements drain.
+func BenchTracesCtx(ctx context.Context, cfg TraceConfig) (trace.Set, map[string]float64, error) {
 	costs := vmcpu.DefaultCosts()
 	apps := BenchApps()
 
@@ -97,7 +104,7 @@ func BenchTraces(cfg TraceConfig) (trace.Set, map[string]float64, error) {
 		tr    *trace.Trace
 		bound float64
 	}
-	outs, err := par.Map(cfg.Workers, len(apps), func(i int) (appOut, error) {
+	outs, err := par.MapCtx(ctx, cfg.Workers, len(apps), func(i int) (appOut, error) {
 		p := apps[i]
 		m := vmcpu.NewMachine(costs, vmcpu.DefaultCache())
 		r := rng.New(cfg.Seed, streamTraces, int64(i))

@@ -1,27 +1,38 @@
 // Package par is a minimal bounded worker pool for the repository's
 // embarrassingly-parallel loops: GA population evaluation and the
-// 1000-task-set experiment sweeps. Its one primitive, Map, mirrors a
+// 1000-task-set experiment sweeps. Its primitive, MapCtx, mirrors a
 // plain `for i := 0; i < n; i++` loop — results come back in input
 // order and the error reported is the one the serial loop would have
 // hit first — so callers can switch between serial and parallel
 // execution without any observable difference beyond wall-clock.
+// Cancelling the context stops the loop between items, which keeps
+// long sweeps interruptible without abandoning in-flight work.
 package par
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
 
-// Map runs fn(0..n-1) on at most workers goroutines and returns the
+// MapCtx runs fn(0..n-1) on at most workers goroutines and returns the
 // results in input order. workers ≤ 1 runs fn inline on the caller's
-// goroutine with no synchronisation — the exact-serial fallback.
+// goroutine — the exact-serial fallback (still cancellable between
+// items).
 //
-// On error Map stops dispatching new indices, waits for in-flight calls,
-// and returns the error of the lowest failed index — the same error a
-// serial loop would return, for every worker count. fn must be safe for
-// concurrent invocation when workers > 1.
-func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+// On an fn error MapCtx stops dispatching new indices, waits for
+// in-flight calls, and returns (nil, err) with the error of the lowest
+// failed index — the same error a serial loop would return, for every
+// worker count. fn must be safe for concurrent invocation when
+// workers > 1.
+//
+// When ctx is cancelled mid-sweep, MapCtx stops dispatching, drains
+// in-flight calls, and returns the partially-filled results slice
+// together with an error wrapping ctx.Err(). Indices that never ran
+// hold zero values; callers that need completeness must treat any
+// non-nil error as "results are partial".
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("par: negative item count %d", n)
 	}
@@ -31,6 +42,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, fmt.Errorf("par: cancelled after %d of %d items: %w", i, n, err)
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -44,12 +58,14 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 
 	var (
-		next   atomic.Int64 // next index to dispatch
-		failed atomic.Bool  // stops dispatch after the first error
-		errs   = make([]error, n)
-		wg     sync.WaitGroup
+		next      atomic.Int64 // next index to dispatch
+		failed    atomic.Bool  // stops dispatch after the first error
+		completed atomic.Int64 // successfully computed items
+		errs      = make([]error, n)
+		wg        sync.WaitGroup
 	)
 	next.Store(-1)
+	done := ctx.Done()
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -59,6 +75,11 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n || failed.Load() {
 					return
 				}
+				select {
+				case <-done:
+					return
+				default:
+				}
 				v, err := fn(i)
 				if err != nil {
 					errs[i] = err
@@ -66,6 +87,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 					return
 				}
 				out[i] = v
+				completed.Add(1)
 			}
 		}()
 	}
@@ -80,5 +102,18 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil && int(completed.Load()) < n {
+		return out, fmt.Errorf("par: cancelled after %d of %d items: %w", completed.Load(), n, err)
+	}
 	return out, nil
+}
+
+// Map runs fn(0..n-1) on at most workers goroutines with no
+// cancellation point; see MapCtx for the ordering and error contract.
+//
+// Deprecated: use MapCtx so long sweeps stay interruptible. Map remains
+// for leaf call sites with no context to thread (it is exactly
+// MapCtx(context.Background(), ...)).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
 }

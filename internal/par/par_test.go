@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -101,5 +102,84 @@ func TestMapEdgeCases(t *testing.T) {
 	got, err = Map(64, 3, func(i int) (int, error) { return i + 1, nil })
 	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
 		t.Errorf("workers>n: got (%v, %v)", got, err)
+	}
+}
+
+func TestMapCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		out, err := MapCtx(ctx, workers, 1000, func(i int) (int, error) {
+			if calls.Add(1) == int64(workers) {
+				cancel() // cancel while the first wave is in flight
+			}
+			time.Sleep(time.Millisecond)
+			return i + 1, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want a context.Canceled wrap", workers, err)
+		}
+		if out == nil {
+			t.Fatalf("workers=%d: cancellation must return the partial slice", workers)
+		}
+		// In-flight items drain, but no new wave may start: at most one
+		// extra item per worker can slip in between its cancel check and
+		// the flag landing.
+		if n := calls.Load(); n > int64(2*workers) {
+			t.Errorf("workers=%d: dispatch continued after cancel: %d calls", workers, n)
+		}
+	}
+}
+
+func TestMapCtxCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	_, err := MapCtx(ctx, 4, 100, func(i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("a pre-cancelled context still dispatched %d items", calls.Load())
+	}
+}
+
+func TestMapCtxPartialResultsRecorded(t *testing.T) {
+	// Serial path: items computed before the cancel stay in the slice.
+	ctx, cancel := context.WithCancel(context.Background())
+	out, err := MapCtx(ctx, 1, 10, func(i int) (int, error) {
+		if i == 4 {
+			cancel()
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	for i := 0; i <= 4; i++ {
+		if out[i] != i+1 {
+			t.Errorf("out[%d] = %d, want %d (completed before cancel)", i, out[i], i+1)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if out[i] != 0 {
+			t.Errorf("out[%d] = %d, want zero (never ran)", i, out[i])
+		}
+	}
+}
+
+func TestMapCtxLateCancelIsSuccess(t *testing.T) {
+	// A cancel arriving after every item completed must not turn a full
+	// result set into an error.
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		out, err := MapCtx(ctx, workers, 8, func(i int) (int, error) { return i, nil })
+		cancel()
+		if err != nil || len(out) != 8 {
+			t.Fatalf("workers=%d: got (%v, %v), want full success", workers, out, err)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"chebymc/internal/mc"
@@ -15,6 +16,13 @@ import (
 // only read — and the returned metrics are in run order, identical for
 // every worker count.
 func Replicate(ts *mc.TaskSet, cfg Config, runs, workers int) ([]Metrics, error) {
+	return ReplicateCtx(context.Background(), ts, cfg, runs, workers)
+}
+
+// ReplicateCtx is Replicate with cancellation between replications: a
+// cancelled context stops dispatching runs and returns once in-flight
+// simulations drain.
+func ReplicateCtx(ctx context.Context, ts *mc.TaskSet, cfg Config, runs, workers int) ([]Metrics, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("sim: need runs ≥ 1, got %d", runs)
 	}
@@ -25,7 +33,7 @@ func Replicate(ts *mc.TaskSet, cfg Config, runs, workers int) ([]Metrics, error)
 		return nil, err
 	}
 	base := probe.cfg
-	return par.Map(workers, runs, func(i int) (Metrics, error) {
+	return par.MapCtx(ctx, workers, runs, func(i int) (Metrics, error) {
 		c := base
 		c.Seed = rng.Derive(cfg.Seed, int64(i))
 		s, err := New(ts, c)

@@ -43,6 +43,15 @@ func (t *Table) AddRowf(formats []string, values ...interface{}) error {
 // NumRows reports the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Title returns the table's title line.
+func (t *Table) Title() string { return t.title }
+
+// Header returns a copy of the column headers.
+func (t *Table) Header() []string { return append([]string(nil), t.header...) }
+
+// Rows returns a copy of the data rows (the cell slices are shared).
+func (t *Table) Rows() [][]string { return append([][]string(nil), t.rows...) }
+
 // String renders the table with a title line, a header, a separator and
 // aligned columns.
 func (t *Table) String() string {
