@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json bench-compare profile experiments traces cover fmt
+.PHONY: all build vet test test-race bench bench-json bench-compare profile profile-live experiments traces cover fmt
 
 # The PR counter for the benchmark-trajectory file written by bench-json.
 BENCH_N ?= 3
@@ -31,7 +31,7 @@ bench:
 # ns/op and allocs/op means to BENCH_$(BENCH_N).json for cross-PR
 # comparison.
 bench-json:
-	{ $(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sim ./internal/ga ./internal/objective ; \
+	{ $(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sim ./internal/ga ./internal/objective ./internal/obs ; \
 	  $(GO) test -run '^$$' -bench 'Fig4$$' -benchmem -count 3 . ; } \
 	| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_N).json
 
@@ -47,6 +47,13 @@ profile: build
 	$(GO) run ./cmd/mcexp -exp fig45 -sets 30 -plot=false \
 	  -cpuprofile cpu.out -memprofile mem.out
 	@echo "wrote cpu.out and mem.out; inspect with: $(GO) tool pprof cpu.out"
+
+# Run the Fig. 4/5 sweep with the live observability endpoint up. While it
+# runs: curl http://127.0.0.1:6060/metrics for the counters, or attach the
+# profiler with `go tool pprof http://127.0.0.1:6060/debug/pprof/profile`.
+profile-live:
+	$(GO) run ./cmd/mcexp -exp fig45 -sets 300 -plot=false -progress \
+	  -http 127.0.0.1:6060 -metrics
 
 # Regenerate every paper artefact at full scale (takes several minutes).
 experiments:

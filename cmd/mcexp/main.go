@@ -4,7 +4,7 @@
 //
 //	mcexp -exp table1,table2,fig2,fig3,fig45,fig6,headline [-sets N] [-samples N] [-seed S] [-workers W]
 //	      [-csv|-json] [-plot] [-outdir DIR] [-checkpoint DIR] [-resume] [-progress]
-//	      [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-http ADDR] [-metrics] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -exp all (the default) every experiment runs; -exp list prints the
 // registry. -sets and -samples scale the task-set counts and trace sample
@@ -14,6 +14,13 @@
 // for every worker count. -checkpoint DIR persists each sweep point as it
 // completes and -resume skips points already on disk — a resumed run's
 // output is byte-identical to an uninterrupted one.
+//
+// -http ADDR serves live observability for the duration of the run:
+// GET /metrics (Prometheus-style text), /debug/pprof/... and /debug/vars
+// on ADDR (host:port; :0 picks a free port, announced on stderr).
+// -metrics appends a "Run metrics" table of the run's counter deltas to
+// the rendered artefacts and, with -outdir, writes a manifest.json run
+// record (command, flags, seed, git revision, wall time, final counters).
 //
 // The command itself is a thin loop: internal/experiment's registry
 // declares the scenarios, internal/engine runs the sweeps, and
@@ -30,10 +37,12 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"chebymc/internal/artifact"
 	"chebymc/internal/engine"
 	"chebymc/internal/experiment"
+	"chebymc/internal/obs"
 	"chebymc/internal/prof"
 )
 
@@ -48,8 +57,13 @@ type options struct {
 	checkpoint    string
 	resume        bool
 	progress      bool
+	httpAddr      string
+	metrics       bool
 	// progressSink overrides the default stderr sink (tests).
 	progressSink engine.Sink
+	// serveAddr receives the bound -http address once the server is up
+	// (tests; -http :0 binds an unpredictable port).
+	serveAddr func(addr string)
 }
 
 func main() {
@@ -66,6 +80,8 @@ func main() {
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "persist per-point sweep checkpoints into this directory")
 	flag.BoolVar(&o.resume, "resume", false, "skip sweep points already checkpointed (requires -checkpoint)")
 	flag.BoolVar(&o.progress, "progress", false, "report sweep progress on stderr")
+	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /debug/pprof and /debug/vars on this address for the run's duration (e.g. :6060; :0 picks a free port)")
+	flag.BoolVar(&o.metrics, "metrics", false, "append a run-metrics table to the output and, with -outdir, write a manifest.json run record")
 	cpuprof := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprof := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -111,6 +127,29 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			}
 		}
 	}
+
+	// Observability: requesting either surface turns the clock-reading
+	// instrumentation on; counters are live regardless. The start
+	// snapshot makes every reported number a delta over this run, so the
+	// manifest matches the rendered tables even inside a shared process
+	// (tests).
+	start := time.Now()
+	var startSnap obs.Snapshot
+	if o.httpAddr != "" || o.metrics {
+		obs.SetEnabled(true)
+		startSnap = obs.Default.Snapshot()
+	}
+	if o.httpAddr != "" {
+		srv, err := obs.Serve(o.httpAddr, obs.Default, artifact.MetricsHandler(obs.Default))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mcexp: serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
+		if o.serveAddr != nil {
+			o.serveAddr(srv.Addr())
+		}
+	}
 	ropts := artifact.Options{Mode: artifact.ModeText, Plots: o.plot}
 	switch {
 	case o.csv:
@@ -145,6 +184,36 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		}
 		if o.outdir != "" {
 			if err := artifact.WriteFiles(o.outdir, ropts, arts...); err != nil {
+				return err
+			}
+		}
+	}
+
+	if o.metrics {
+		delta := obs.Default.Snapshot().DeltaSince(startSnap)
+		tb := artifact.MetricsTable(delta)
+		if err := artifact.Render(w, ropts, tb); err != nil {
+			return err
+		}
+		if o.outdir != "" {
+			if err := artifact.WriteFiles(o.outdir, ropts, tb); err != nil {
+				return err
+			}
+			m := artifact.Manifest{
+				Command: "mcexp",
+				Flags: map[string]string{
+					"exp":     o.exps,
+					"sets":    fmt.Sprint(o.sets),
+					"samples": fmt.Sprint(o.samples),
+					"workers": fmt.Sprint(o.workers),
+					"outdir":  o.outdir,
+					"http":    o.httpAddr,
+				},
+				Seed:        o.seed,
+				WallSeconds: time.Since(start).Seconds(),
+				Metrics:     artifact.MetricsValues(delta),
+			}
+			if err := artifact.WriteManifest(o.outdir, m); err != nil {
 				return err
 			}
 		}

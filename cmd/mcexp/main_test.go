@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -242,5 +245,81 @@ func TestRunCheckpointResumeByteIdentical(t *testing.T) {
 	}
 	if got.String() != want.String() {
 		t.Errorf("resumed output differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", want.String(), got.String())
+	}
+}
+
+// TestRunMetricsAndManifest runs a checkpointable sweep with -metrics and
+// -outdir and requires the rendered metrics table, the written metrics
+// artefact and a manifest whose engine counter matches the sweep's points
+// (fig6's default axis has 9 of them).
+func TestRunMetricsAndManifest(t *testing.T) {
+	o := opts("fig6")
+	o.sets = 2
+	o.metrics = true
+	o.outdir = t.TempDir()
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Run metrics") {
+		t.Error("run-metrics table missing from output")
+	}
+	if _, err := os.Stat(filepath.Join(o.outdir, "metrics.csv")); err != nil {
+		t.Errorf("metrics artefact not written: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(o.outdir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Command string             `json:"command"`
+		Flags   map[string]string  `json:"flags"`
+		Seed    int64              `json:"seed"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest.json invalid: %v\n%s", err, raw)
+	}
+	if m.Command != "mcexp" || m.Seed != 1 || m.Flags["exp"] != "fig6" {
+		t.Errorf("manifest identity fields wrong: %+v", m)
+	}
+	// The counters are deltas over this run, so they reflect this sweep
+	// alone even though other tests in the process also count.
+	if got := m.Metrics["engine_points_total"]; got != 9 {
+		t.Errorf("engine_points_total = %g, want 9 (fig6 default axis)", got)
+	}
+	// -metrics enables the clock-reading instrumentation, so the per-point
+	// latency histogram must have recorded every point too.
+	if got := m.Metrics["engine_point_seconds_count"]; got != 9 {
+		t.Errorf("engine_point_seconds_count = %g, want 9", got)
+	}
+}
+
+// TestRunServesLiveMetrics binds -http to a free port and fetches /metrics
+// and a pprof endpoint while the server is up (the serveAddr hook fires as
+// soon as the listener is bound, before the sweep starts).
+func TestRunServesLiveMetrics(t *testing.T) {
+	o := opts("fig2")
+	o.httpAddr = "127.0.0.1:0"
+	fetched := false
+	o.serveAddr = func(addr string) {
+		fetched = true
+		for _, path := range []string{"/metrics", "/debug/pprof/cmdline"} {
+			resp, err := http.Get("http://" + addr + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || len(body) == 0 {
+				t.Errorf("GET %s: code %d, %d bytes", path, resp.StatusCode, len(body))
+			}
+		}
+	}
+	if err := run(context.Background(), &bytes.Buffer{}, o); err != nil {
+		t.Fatal(err)
+	}
+	if !fetched {
+		t.Fatal("serveAddr hook never fired")
 	}
 }

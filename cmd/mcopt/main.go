@@ -7,12 +7,14 @@
 //
 //	mcopt -in taskset.json [-policy ga|uniform|lambda] [-n 10] [-lambda 0.25]
 //	      [-out optimised.json] [-seed S] [-workers W] [-simulate horizon] [-runs R]
-//	      [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-http ADDR] [-metrics] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -workers parallelises the GA's fitness evaluations and the simulator
 // replications (default: one per CPU); results are identical for every
 // worker count. -runs replicates the -simulate run with independently
-// derived seeds and reports the means.
+// derived seeds and reports the means. -http ADDR serves live /metrics,
+// /debug/pprof and /debug/vars for the run's duration; -metrics prints
+// the run's final counters as Prometheus-style text on exit.
 package main
 
 import (
@@ -25,11 +27,13 @@ import (
 	"runtime"
 	"syscall"
 
+	"chebymc/internal/artifact"
 	"chebymc/internal/core"
 	"chebymc/internal/dist"
 	"chebymc/internal/edfvd"
 	"chebymc/internal/ga"
 	"chebymc/internal/mc"
+	"chebymc/internal/obs"
 	"chebymc/internal/policy"
 	"chebymc/internal/prof"
 	"chebymc/internal/sim"
@@ -47,6 +51,8 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the GA search and simulation (results are identical for any value)")
 		simulate = flag.Float64("simulate", 0, "also run the EDF-VD simulator for this horizon (0 = skip)")
 		runs     = flag.Int("runs", 1, "simulator replications with derived seeds (with -simulate)")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/pprof and /debug/vars on this address for the run's duration (e.g. :6060; :0 picks a free port)")
+		metrics  = flag.Bool("metrics", false, "print the run's final counters as Prometheus-style text on exit")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -60,7 +66,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcopt:", err)
 		os.Exit(1)
 	}
+	if *httpAddr != "" || *metrics {
+		obs.SetEnabled(true)
+	}
+	if *httpAddr != "" {
+		srv, serveErr := obs.Serve(*httpAddr, obs.Default, artifact.MetricsHandler(obs.Default))
+		if serveErr != nil {
+			fmt.Fprintln(os.Stderr, "mcopt:", serveErr)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mcopt: serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
+	}
 	runErr := run(ctx, *in, *polName, *n, *lambda, *out, *seed, *workers, *simulate, *runs)
+	if *metrics && runErr == nil {
+		fmt.Print(artifact.MetricsText(obs.Default.Snapshot()))
+	}
 	if err := stop(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -87,7 +108,9 @@ func run(ctx context.Context, in, polName string, n, lambda float64, out string,
 	var pol policy.Policy
 	switch polName {
 	case "ga":
-		pol = policy.ChebyshevGA{Config: ga.Config{Workers: workers}}
+		cfg := ga.Defaults()
+		cfg.Workers = workers
+		pol = policy.ChebyshevGA{Config: cfg}
 	case "uniform":
 		pol = policy.ChebyshevUniform{N: n}
 	case "lambda":

@@ -139,7 +139,11 @@ func TestAnnealMatchesGAOnEq13(t *testing.T) {
 	}
 	p := ga.Problem{Bounds: bounds, Fitness: fitness}
 
-	gaRes, err := ga.Run(p, ga.Config{Seed: 6, PopSize: 40, Generations: 60})
+	gaCfg := ga.Defaults()
+	gaCfg.Seed = 6
+	gaCfg.PopSize = 40
+	gaCfg.Generations = 60
+	gaRes, err := ga.Run(p, gaCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,68 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+)
+
+// Manifest is the JSON run record a driver writes next to its artefacts:
+// enough to say what ran (command, flags, seed, code revision), how long
+// it took, and what the instrumented stack counted while it ran. The
+// counters are deltas over the run, so they match the rendered tables
+// even when the process did other work first (tests, sessions).
+type Manifest struct {
+	// Command is the driver name (mcexp, mcopt).
+	Command string `json:"command"`
+	// Flags records the effective flag values of the run.
+	Flags map[string]string `json:"flags,omitempty"`
+	// Seed is the run's root seed.
+	Seed int64 `json:"seed"`
+	// GitRevision is the VCS revision baked into the binary, when the
+	// build carried one ("" under plain `go test`).
+	GitRevision string `json:"git_revision,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// WallSeconds is the run's wall-clock duration.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Metrics holds the final observability counters of the run
+	// (MetricsValues of the run's snapshot delta).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// GitRevision reports the vcs.revision build setting, or "".
+func GitRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// WriteManifest fills the build-derived fields of m and writes it as
+// indented JSON to <dir>/manifest.json. The directory must exist.
+func WriteManifest(dir string, m Manifest) error {
+	if m.GoVersion == "" {
+		m.GoVersion = runtime.Version()
+	}
+	if m.GitRevision == "" {
+		m.GitRevision = GitRevision()
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("artifact: encoding manifest: %w", err)
+	}
+	path := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("artifact: writing %s: %w", path, err)
+	}
+	return nil
+}

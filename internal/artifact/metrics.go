@@ -1,0 +1,92 @@
+package artifact
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"chebymc/internal/obs"
+	"chebymc/internal/texttable"
+)
+
+// MetricsText renders a registry snapshot as Prometheus-style text
+// exposition lines: a # HELP / # TYPE pair per metric, cumulative
+// _bucket{le="..."} lines plus _sum/_count for histograms. The snapshot
+// is already name-sorted, so the rendering is deterministic.
+func MetricsText(snap obs.Snapshot) string {
+	var b strings.Builder
+	for _, m := range snap {
+		if m.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, m.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Kind)
+		switch m.Kind {
+		case obs.KindHistogram:
+			for _, bk := range m.Buckets {
+				le := "+Inf"
+				if !math.IsInf(bk.UpperBound, 1) {
+					le = formatMetricValue(bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.Name, le, bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", m.Name, formatMetricValue(m.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", m.Name, m.Count)
+		default:
+			fmt.Fprintf(&b, "%s %s\n", m.Name, formatMetricValue(m.Value))
+		}
+	}
+	return b.String()
+}
+
+// MetricsHandler serves live snapshots of reg as text — the /metrics
+// endpoint mounted by obs.Serve.
+func MetricsHandler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, MetricsText(reg.Snapshot()))
+	})
+}
+
+// MetricsTable packages a snapshot as the run's final "metrics" table
+// artefact (one name/value row per series, histograms flattened to
+// _count and _sum) — what the -metrics flag appends to a run's output.
+func MetricsTable(snap obs.Snapshot) Table {
+	tb := texttable.New("Run metrics", "metric", "type", "value")
+	for _, m := range snap {
+		switch m.Kind {
+		case obs.KindHistogram:
+			tb.AddRow(m.Name+"_count", m.Kind.String(), strconv.FormatUint(m.Count, 10))
+			tb.AddRow(m.Name+"_sum", m.Kind.String(), formatMetricValue(m.Sum))
+		default:
+			tb.AddRow(m.Name, m.Kind.String(), formatMetricValue(m.Value))
+		}
+	}
+	return Table{Name: "metrics", Body: tb}
+}
+
+// MetricsValues flattens a snapshot to the name → value map embedded in
+// the run manifest; histograms contribute _count and _sum entries.
+func MetricsValues(snap obs.Snapshot) map[string]float64 {
+	vals := make(map[string]float64, len(snap))
+	for _, m := range snap {
+		switch m.Kind {
+		case obs.KindHistogram:
+			vals[m.Name+"_count"] = float64(m.Count)
+			vals[m.Name+"_sum"] = m.Sum
+		default:
+			vals[m.Name] = m.Value
+		}
+	}
+	return vals
+}
+
+// formatMetricValue renders values the way expvar does: integers stay
+// integral, everything else is shortest-round-trip.
+func formatMetricValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

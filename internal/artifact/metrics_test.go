@@ -1,0 +1,116 @@
+package artifact
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chebymc/internal/obs"
+)
+
+func metricsFixture() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("runs_total", "completed runs").Add(3)
+	r.Gauge("best", "best objective").Set(0.125)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	return r
+}
+
+func TestMetricsText(t *testing.T) {
+	got := MetricsText(metricsFixture().Snapshot())
+	want := strings.Join([]string{
+		"# HELP best best objective",
+		"# TYPE best gauge",
+		"best 0.125",
+		"# HELP lat_seconds latency",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+		"# HELP runs_total completed runs",
+		"# TYPE runs_total counter",
+		"runs_total 3",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("MetricsText:\n%s\nwant:\n%s", got, want)
+	}
+	// Rendering is deterministic.
+	if again := MetricsText(metricsFixture().Snapshot()); again != got {
+		t.Error("two renderings of the same state differ")
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	srv := httptest.NewServer(MetricsHandler(metricsFixture()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "runs_total 3") {
+		t.Errorf("body missing counter line:\n%s", body)
+	}
+}
+
+func TestMetricsTableAndValues(t *testing.T) {
+	snap := metricsFixture().Snapshot()
+	tb := MetricsTable(snap)
+	if tb.Name != "metrics" {
+		t.Errorf("table stem %q, want metrics", tb.Name)
+	}
+	rows := tb.Body.Rows()
+	if len(rows) != 4 { // best, lat_count, lat_sum, runs_total
+		t.Fatalf("%d rows, want 4: %v", len(rows), rows)
+	}
+	vals := MetricsValues(snap)
+	if vals["runs_total"] != 3 || vals["best"] != 0.125 {
+		t.Errorf("values = %v", vals)
+	}
+	if vals["lat_seconds_count"] != 3 || vals["lat_seconds_sum"] != 5.55 {
+		t.Errorf("histogram values = %v", vals)
+	}
+}
+
+func TestWriteManifest(t *testing.T) {
+	dir := t.TempDir()
+	err := WriteManifest(dir, Manifest{
+		Command:     "mcexp",
+		Flags:       map[string]string{"exp": "fig45"},
+		Seed:        7,
+		WallSeconds: 1.5,
+		Metrics:     map[string]float64{"engine_points_total": 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v\n%s", err, raw)
+	}
+	if m.Command != "mcexp" || m.Seed != 7 || m.Metrics["engine_points_total"] != 6 {
+		t.Errorf("round-tripped manifest = %+v", m)
+	}
+	if m.GoVersion == "" {
+		t.Error("GoVersion not filled in")
+	}
+}

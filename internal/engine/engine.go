@@ -29,8 +29,22 @@ import (
 	"math/rand"
 	"time"
 
+	"chebymc/internal/obs"
 	"chebymc/internal/par"
 	"chebymc/internal/rng"
+)
+
+// Sweep telemetry, touched once per axis point (never per set).
+var (
+	obsPoints = obs.Default.Counter("engine_points_total",
+		"axis points computed across all sweeps")
+	obsPointsRestored = obs.Default.Counter("engine_points_restored_total",
+		"axis points restored from a checkpoint instead of computed")
+	obsCheckpointWrites = obs.Default.Counter("engine_checkpoint_writes_total",
+		"completed points persisted to a checkpoint file")
+	obsPointSeconds = obs.Default.Histogram("engine_point_seconds",
+		"wall-clock seconds per computed axis point (only measured while obs is enabled)",
+		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60})
 )
 
 // Event reports sweep progress. Events are emitted after each point
@@ -132,12 +146,14 @@ func Sweep[S, P any](ctx context.Context, cfg Config,
 			if err := json.Unmarshal(raw, &res[p]); err != nil {
 				return nil, fmt.Errorf("engine: %s: corrupt checkpoint point %d: %w", cfg.Scenario, p, err)
 			}
+			obsPointsRestored.Inc()
 			emit(p+1, true)
 			continue
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("engine: %s: cancelled after %d of %d points: %w", cfg.Scenario, p, cfg.Points, err)
 		}
+		span := obs.StartSpan()
 		outs, err := par.MapCtx(ctx, cfg.Workers, cfg.Sets, func(s int) (S, error) {
 			return eval(p, s, itemRNG(p, s))
 		})
@@ -155,6 +171,11 @@ func Sweep[S, P any](ctx context.Context, cfg Config,
 		if err := cfg.Checkpoint.save(p, pt); err != nil {
 			return nil, fmt.Errorf("engine: %s: %w", cfg.Scenario, err)
 		}
+		if cfg.Checkpoint != nil {
+			obsCheckpointWrites.Inc()
+		}
+		obsPoints.Inc()
+		span.ObserveInto(obsPointSeconds)
 		computed++
 		emit(p+1, false)
 	}

@@ -50,12 +50,12 @@ func (a *batchAdapter) BatchStats() (uint64, uint64, uint64) {
 func TestBatchPathMatchesFitnessPath(t *testing.T) {
 	surfaces := map[string]func([]float64) float64{"sphere": sphere, "plateau": plateau, "rastrigin": rastrigin}
 	for surfName, fit := range surfaces {
-		for _, elites := range []int{NoElites, 1, 3} {
+		for _, elites := range []int{0, 1, 3} {
 			for seed := int64(1); seed <= 3; seed++ {
 				name := fmt.Sprintf("%s/elites=%d/seed=%d", surfName, elites, seed)
 				t.Run(name, func(t *testing.T) {
 					p := goldenProblem(fit, 6)
-					cfg := Config{PopSize: 24, Generations: 30, Elites: elites, Seed: seed}
+					cfg := cfgWith(func(c *Config) { c.PopSize = 24; c.Generations = 30; c.Elites = elites; c.Seed = seed })
 					want, err := Run(p, cfg)
 					if err != nil {
 						t.Fatal(err)
@@ -95,11 +95,11 @@ func TestBatchOperatorEdges(t *testing.T) {
 		dim int
 		cfg Config
 	}{
-		"genome-length-1": {1, Config{PopSize: 16, Generations: 20, Seed: 4}},
-		"no-operators":    {4, Config{PopSize: 14, Generations: 15, CrossProb: ZeroProb, MutProb: ZeroProb, Seed: 4}},
-		"odd-popsize":     {4, Config{PopSize: 15, Generations: 15, Elites: 2, Seed: 4}},
-		"crossover-only":  {5, Config{PopSize: 12, Generations: 15, MutProb: ZeroProb, Seed: 4}},
-		"mutation-only":   {5, Config{PopSize: 12, Generations: 15, CrossProb: ZeroProb, Seed: 4}},
+		"genome-length-1": {1, cfgWith(func(c *Config) { c.PopSize = 16; c.Generations = 20; c.Seed = 4 })},
+		"no-operators":    {4, cfgWith(func(c *Config) { c.PopSize = 14; c.Generations = 15; c.CrossProb = 0; c.MutProb = 0; c.Seed = 4 })},
+		"odd-popsize":     {4, cfgWith(func(c *Config) { c.PopSize = 15; c.Generations = 15; c.Elites = 2; c.Seed = 4 })},
+		"crossover-only":  {5, cfgWith(func(c *Config) { c.PopSize = 12; c.Generations = 15; c.MutProb = 0; c.Seed = 4 })},
+		"mutation-only":   {5, cfgWith(func(c *Config) { c.PopSize = 12; c.Generations = 15; c.CrossProb = 0; c.Seed = 4 })},
 	}
 	for name, c := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -128,7 +128,7 @@ func TestBatchOperatorEdges(t *testing.T) {
 func TestBatchStatsSurfaced(t *testing.T) {
 	ad := &batchAdapter{fit: sphere, hits: 100, fulls: 200, deltas: 300}
 	p := Problem{Bounds: goldenProblem(sphere, 3).Bounds, Batch: ad}
-	res, err := Run(p, Config{PopSize: 10, Generations: 5, Seed: 1})
+	res, err := Run(p, cfgWith(func(c *Config) { c.PopSize = 10; c.Generations = 5; c.Seed = 1 }))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,33 +47,33 @@ func benchConfig(b *testing.B, cfg Config) {
 
 // BenchmarkPaperOperators uses the paper's settings.
 func BenchmarkPaperOperators(b *testing.B) {
-	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.2, TournamentK: 5})
+	benchConfig(b, Defaults())
 }
 
 // BenchmarkLowMutation halves exploration.
 func BenchmarkLowMutation(b *testing.B) {
-	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.05, TournamentK: 5})
+	benchConfig(b, cfgWith(func(c *Config) { c.MutProb = 0.05 }))
 }
 
 // BenchmarkHighMutation approaches random search.
 func BenchmarkHighMutation(b *testing.B) {
-	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.8, TournamentK: 5})
+	benchConfig(b, cfgWith(func(c *Config) { c.MutProb = 0.8 }))
 }
 
 // BenchmarkNoCrossover disables recombination.
 func BenchmarkNoCrossover(b *testing.B) {
-	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.001, MutProb: 0.2, TournamentK: 5})
+	benchConfig(b, cfgWith(func(c *Config) { c.CrossProb = 0.001 }))
 }
 
 // BenchmarkWeakSelection uses binary tournaments.
 func BenchmarkWeakSelection(b *testing.B) {
-	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.2, TournamentK: 2})
+	benchConfig(b, cfgWith(func(c *Config) { c.TournamentK = 2 }))
 }
 
 // BenchmarkGreedySelection uses size-20 tournaments (heavy selection
 // pressure, premature convergence risk).
 func BenchmarkGreedySelection(b *testing.B) {
-	benchConfig(b, Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.2, TournamentK: 20})
+	benchConfig(b, cfgWith(func(c *Config) { c.TournamentK = 20 }))
 }
 
 // BenchmarkGAParallel compares serial vs parallel population evaluation
@@ -95,7 +95,7 @@ func BenchmarkGAParallel(b *testing.B) {
 	for _, workers := range []int{1, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := Config{PopSize: 40, Generations: 12, Seed: int64(i + 1), Workers: workers}
+				cfg := cfgWith(func(c *Config) { c.PopSize = 40; c.Generations = 12; c.Seed = int64(i + 1); c.Workers = workers })
 				if _, err := Run(p, cfg); err != nil {
 					b.Fatal(err)
 				}

@@ -9,12 +9,33 @@
 package ga
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"chebymc/internal/obs"
 	"chebymc/internal/par"
+)
+
+// Search telemetry, flushed once per Run (never per generation or per
+// evaluation — the scoring hot path counts into locals).
+var (
+	obsRuns = obs.Default.Counter("ga_runs_total",
+		"completed GA runs")
+	obsGenerations = obs.Default.Counter("ga_generations_total",
+		"generations evolved across all runs")
+	obsFitnessEvals = obs.Default.Counter("ga_fitness_evals_total",
+		"genomes handed to the fitness evaluator (before memoisation)")
+	obsMemoHits = obs.Default.Counter("ga_memo_hits_total",
+		"genome scores served from the memo cache")
+	obsFullEvals = obs.Default.Counter("ga_full_evals_total",
+		"genome scores recomputed from scratch")
+	obsDeltaEvals = obs.Default.Counter("ga_delta_evals_total",
+		"genome scores recomputed incrementally from a parent's state")
+	obsBestObjective = obs.Default.Gauge("ga_best_objective",
+		"best fitness of the most recently completed GA run")
 )
 
 // Bound is the closed interval [Lo, Hi] a gene may take.
@@ -70,34 +91,32 @@ type BatchStats interface {
 	BatchStats() (hits, fulls, deltas uint64)
 }
 
-// Zero-value Config fields select the paper's defaults, which makes a
-// literal zero unrequestable through the field alone. These sentinels
-// express it: CrossProb/MutProb accept ZeroProb, Elites accepts NoElites.
-const (
-	// ZeroProb requests a probability of exactly 0 for CrossProb or
-	// MutProb (disabling the operator) where 0 itself selects the default.
-	ZeroProb = -1.0
-	// NoElites requests zero elitism where Elites: 0 selects the default.
-	NoElites = -1
-)
-
-// Config tunes the algorithm. Zero values select the paper's defaults;
-// see ZeroProb and NoElites for requesting literal zeros.
+// Config tunes the algorithm. Every field is taken literally — there are
+// no zero-means-default sentinels. Start from Defaults() and override the
+// fields you care about:
+//
+//	cfg := ga.Defaults()
+//	cfg.Seed = 42
+//	cfg.Workers = 8
+//
+// The one softening Run applies is Workers: 0, which evaluates serially
+// (identical to Workers: 1) so a Config built field-by-field does not
+// have to mention concurrency.
 type Config struct {
-	// PopSize is the population size. Default 60.
+	// PopSize is the population size (≥ 2).
 	PopSize int
-	// Generations is the number of generations. Default 120.
+	// Generations is the number of generations (≥ 1).
 	Generations int
-	// CrossProb is the two-point crossover probability. Default 0.8;
-	// ZeroProb disables crossover.
+	// CrossProb is the two-point crossover probability in [0, 1];
+	// 0 disables crossover.
 	CrossProb float64
-	// MutProb is the single-point mutation probability. Default 0.2;
-	// ZeroProb disables mutation.
+	// MutProb is the single-point mutation probability in [0, 1];
+	// 0 disables mutation.
 	MutProb float64
-	// TournamentK is the tournament size. Default 5.
+	// TournamentK is the tournament size (≥ 1).
 	TournamentK int
 	// Elites is the number of best individuals copied unchanged into the
-	// next generation. Default 1; NoElites disables elitism.
+	// next generation, in [0, PopSize); 0 disables elitism.
 	Elites int
 	// Seed seeds the run.
 	Seed int64
@@ -109,38 +128,21 @@ type Config struct {
 	Workers int
 }
 
-func (c Config) withDefaults() Config {
-	if c.PopSize == 0 {
-		c.PopSize = 60
+// Defaults returns the paper's GA parameters (DEAP configuration of
+// [25]): population 60 evolved for 120 generations, two-point crossover
+// with probability 0.8, single-point mutation with probability 0.2,
+// tournament selection over 5 participants, one elite, serial
+// evaluation. Seed is 0 — set it per run.
+func Defaults() Config {
+	return Config{
+		PopSize:     60,
+		Generations: 120,
+		CrossProb:   0.8,
+		MutProb:     0.2,
+		TournamentK: 5,
+		Elites:      1,
+		Workers:     1,
 	}
-	if c.Generations == 0 {
-		c.Generations = 120
-	}
-	switch c.CrossProb {
-	case 0:
-		c.CrossProb = 0.8
-	case ZeroProb:
-		c.CrossProb = 0
-	}
-	switch c.MutProb {
-	case 0:
-		c.MutProb = 0.2
-	case ZeroProb:
-		c.MutProb = 0
-	}
-	if c.TournamentK == 0 {
-		c.TournamentK = 5
-	}
-	switch c.Elites {
-	case 0:
-		c.Elites = 1
-	case NoElites:
-		c.Elites = 0
-	}
-	if c.Workers == 0 {
-		c.Workers = 1
-	}
-	return c
 }
 
 func (c Config) validate() error {
@@ -196,7 +198,9 @@ func Run(p Problem, cfg Config) (Result, error) {
 	if p.Fitness == nil && p.Batch == nil {
 		return Result{}, errors.New("ga: nil fitness function")
 	}
-	cfg = cfg.withDefaults()
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
@@ -222,13 +226,15 @@ func Run(p Problem, cfg Config) (Result, error) {
 	// defensive copy and scoring order cannot affect the run: results
 	// are bit-identical for every worker count.
 	fitsBuf := make([]float64, 0, cfg.PopSize)
+	var evals uint64 // flushed to obsFitnessEvals once per run
 	evalAll := func(batch []Derived) []float64 {
+		evals += uint64(len(batch))
 		if p.Batch != nil {
 			fits := fitsBuf[:len(batch)]
 			p.Batch.FitnessBatch(batch, fits, cfg.Workers)
 			return fits
 		}
-		fits, _ := par.Map(cfg.Workers, len(batch), func(i int) (float64, error) {
+		fits, _ := par.MapCtx(context.Background(), cfg.Workers, len(batch), func(i int) (float64, error) {
 			return p.Fitness(batch[i].Genome), nil
 		})
 		return fits
@@ -390,6 +396,14 @@ func Run(p Problem, cfg Config) (Result, error) {
 		res.FullEvals = f - statFulls
 		res.DeltaEvals = d - statDeltas
 	}
+
+	obsRuns.Inc()
+	obsGenerations.Add(uint64(cfg.Generations))
+	obsFitnessEvals.Add(evals)
+	obsMemoHits.Add(res.MemoHits)
+	obsFullEvals.Add(res.FullEvals)
+	obsDeltaEvals.Add(res.DeltaEvals)
+	obsBestObjective.Set(res.BestFitness)
 	return res, nil
 }
 

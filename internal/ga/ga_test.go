@@ -43,28 +43,28 @@ func TestRunValidation(t *testing.T) {
 	if _, err := Run(nan, Config{}); err == nil {
 		t.Error("NaN bounds must error")
 	}
-	if _, err := Run(ok, Config{PopSize: 1}); err == nil {
+	if _, err := Run(ok, cfgWith(func(c *Config) { c.PopSize = 1 })); err == nil {
 		t.Error("population < 2 must error")
 	}
-	if _, err := Run(ok, Config{CrossProb: 2}); err == nil {
+	if _, err := Run(ok, cfgWith(func(c *Config) { c.CrossProb = 2 })); err == nil {
 		t.Error("crossover probability > 1 must error")
 	}
-	if _, err := Run(ok, Config{MutProb: -0.1}); err == nil {
+	if _, err := Run(ok, cfgWith(func(c *Config) { c.MutProb = -0.1 })); err == nil {
 		t.Error("negative mutation probability must error")
 	}
-	if _, err := Run(ok, Config{PopSize: 10, Elites: 10}); err == nil {
+	if _, err := Run(ok, cfgWith(func(c *Config) { c.PopSize = 10; c.Elites = 10 })); err == nil {
 		t.Error("elites ≥ population must error")
 	}
-	if _, err := Run(ok, Config{Generations: -1}); err == nil {
+	if _, err := Run(ok, cfgWith(func(c *Config) { c.Generations = -1 })); err == nil {
 		t.Error("negative generations must error")
 	}
-	if _, err := Run(ok, Config{TournamentK: -1}); err == nil {
+	if _, err := Run(ok, cfgWith(func(c *Config) { c.TournamentK = -1 })); err == nil {
 		t.Error("negative tournament must error")
 	}
 }
 
 func TestRunFindsSphereOptimum(t *testing.T) {
-	res, err := Run(sphereProblem(4), Config{Seed: 1, Generations: 200, PopSize: 80})
+	res, err := Run(sphereProblem(4), cfgWith(func(c *Config) { c.Seed = 1; c.Generations = 200; c.PopSize = 80 }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestRunRespectsBounds(t *testing.T) {
 		// Push towards the upper bounds.
 		Fitness: func(g []float64) float64 { return g[0] + g[1] },
 	}
-	res, err := Run(p, Config{Seed: 2})
+	res, err := Run(p, cfgWith(func(c *Config) { c.Seed = 2 }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +105,11 @@ func TestRunRespectsBounds(t *testing.T) {
 
 func TestRunDeterministicWithSeed(t *testing.T) {
 	p := sphereProblem(3)
-	a, err := Run(p, Config{Seed: 42})
+	a, err := Run(p, cfgWith(func(c *Config) { c.Seed = 42 }))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(p, Config{Seed: 42})
+	b, err := Run(p, cfgWith(func(c *Config) { c.Seed = 42 }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestRunDeterministicWithSeed(t *testing.T) {
 }
 
 func TestHistoryMonotone(t *testing.T) {
-	res, err := Run(sphereProblem(5), Config{Seed: 3, Generations: 50})
+	res, err := Run(sphereProblem(5), cfgWith(func(c *Config) { c.Seed = 3; c.Generations = 50 }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestInfeasibleFitnessHandled(t *testing.T) {
 			return -math.Abs(g[0] - 2)
 		},
 	}
-	res, err := Run(p, Config{Seed: 4, Generations: 100})
+	res, err := Run(p, cfgWith(func(c *Config) { c.Seed = 4; c.Generations = 100 }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestDegenerateBounds(t *testing.T) {
 		Bounds:  []Bound{{Lo: 7, Hi: 7}, {Lo: 0, Hi: 1}},
 		Fitness: func(g []float64) float64 { return g[1] },
 	}
-	res, err := Run(p, Config{Seed: 5})
+	res, err := Run(p, cfgWith(func(c *Config) { c.Seed = 5 }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestSingleGeneGenome(t *testing.T) {
 		Bounds:  []Bound{{Lo: 0, Hi: 10}},
 		Fitness: func(g []float64) float64 { return -math.Abs(g[0] - 7) },
 	}
-	res, err := Run(p, Config{Seed: 6})
+	res, err := Run(p, cfgWith(func(c *Config) { c.Seed = 6 }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestFitnessSeesInBoundsGenomes(t *testing.T) {
 		}
 		return g[0] + g[1]
 	}
-	res, err := Run(p, Config{Seed: 7, Generations: 30})
+	res, err := Run(p, cfgWith(func(c *Config) { c.Seed = 7; c.Generations = 30 }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestFitnessSeesInBoundsGenomes(t *testing.T) {
 		t.Fatalf("best genome length %d", len(res.Best))
 	}
 	res.Best[0] = 999
-	res2, err := Run(p, Config{Seed: 7, Generations: 30})
+	res2, err := Run(p, cfgWith(func(c *Config) { c.Seed = 7; c.Generations = 30 }))
 	if err != nil {
 		t.Fatal(err)
 	}

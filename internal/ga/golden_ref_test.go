@@ -7,16 +7,19 @@ package ga
 // value of this copy is that it does not change.
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
 	"chebymc/internal/par"
 )
 
-// refGARun replays the seed implementation of Run on an already-valid
-// problem and config.
+// refGARun replays the seed implementation of Run on an already-valid,
+// fully specified config (callers start from Defaults()).
 func refGARun(p Problem, cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
@@ -32,7 +35,7 @@ func refGARun(p Problem, cfg Config) (Result, error) {
 		return b.Lo + r.Float64()*(b.Hi-b.Lo)
 	}
 	evalAll := func(genomes [][]float64) []float64 {
-		fits, _ := par.Map(cfg.Workers, len(genomes), func(i int) (float64, error) {
+		fits, _ := par.MapCtx(context.Background(), cfg.Workers, len(genomes), func(i int) (float64, error) {
 			copyG := append([]float64(nil), genomes[i]...)
 			return p.Fitness(copyG), nil
 		})

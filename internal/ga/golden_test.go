@@ -38,6 +38,14 @@ func goldenProblem(fit func([]float64) float64, dim int) Problem {
 	return Problem{Bounds: bounds, Fitness: fit}
 }
 
+// cfgWith is Defaults() with overrides — the test files' way of writing
+// a complete Config while spelling only the fields under test.
+func cfgWith(override func(*Config)) Config {
+	cfg := Defaults()
+	override(&cfg)
+	return cfg
+}
+
 func assertGAEqual(t *testing.T, p Problem, cfg Config) {
 	t.Helper()
 	want, err := refGARun(p, cfg)
@@ -75,16 +83,16 @@ func TestGAGoldenEquivalenceMatrix(t *testing.T) {
 	surfaces := map[string]func([]float64) float64{"sphere": sphere, "plateau": plateau}
 	for surfName, fit := range surfaces {
 		p := goldenProblem(fit, 6)
-		for _, elites := range []int{NoElites, 1, 2, 5} {
+		for _, elites := range []int{0, 1, 2, 5} {
 			for _, workers := range []int{1, 8} {
 				for seed := int64(1); seed <= 3; seed++ {
-					cfg := Config{
-						PopSize:     24,
-						Generations: 30,
-						Elites:      elites,
-						Workers:     workers,
-						Seed:        seed,
-					}
+					cfg := cfgWith(func(c *Config) {
+						c.PopSize = 24
+						c.Generations = 30
+						c.Elites = elites
+						c.Workers = workers
+						c.Seed = seed
+					})
 					name := fmt.Sprintf("%s/elites=%d/workers=%d/seed=%d", surfName, elites, workers, seed)
 					t.Run(name, func(t *testing.T) {
 						assertGAEqual(t, p, cfg)
@@ -102,7 +110,7 @@ func TestGAGoldenEquivalenceMatrix(t *testing.T) {
 func TestGAGoldenEquivalencePaperConfig(t *testing.T) {
 	p := rastriginProblem(8)
 	for seed := int64(1); seed <= 3; seed++ {
-		cfg := Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.2, TournamentK: 5, Seed: seed}
+		cfg := cfgWith(func(c *Config) { c.Seed = seed })
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			assertGAEqual(t, p, cfg)
 		})
@@ -120,37 +128,37 @@ func TestGAGoldenEquivalenceEdges(t *testing.T) {
 	}{
 		"odd-popsize": {
 			goldenProblem(sphere, 4),
-			Config{PopSize: 25, Generations: 20, Elites: 2, Seed: 9},
+			cfgWith(func(c *Config) { c.PopSize = 25; c.Generations = 20; c.Elites = 2; c.Seed = 9 }),
 		},
 		"no-crossover": {
 			goldenProblem(sphere, 4),
-			Config{PopSize: 20, Generations: 20, CrossProb: ZeroProb, Seed: 9},
+			cfgWith(func(c *Config) { c.PopSize = 20; c.Generations = 20; c.CrossProb = 0; c.Seed = 9 }),
 		},
 		"no-mutation": {
 			goldenProblem(sphere, 4),
-			Config{PopSize: 20, Generations: 20, MutProb: ZeroProb, Seed: 9},
+			cfgWith(func(c *Config) { c.PopSize = 20; c.Generations = 20; c.MutProb = 0; c.Seed = 9 }),
 		},
 		"genome-length-1": {
 			goldenProblem(sphere, 1),
-			Config{PopSize: 16, Generations: 25, Elites: 2, Seed: 9},
+			cfgWith(func(c *Config) { c.PopSize = 16; c.Generations = 25; c.Elites = 2; c.Seed = 9 }),
 		},
 		"max-elites": {
 			goldenProblem(plateau, 3),
-			Config{PopSize: 10, Generations: 15, Elites: 9, Seed: 9},
+			cfgWith(func(c *Config) { c.PopSize = 10; c.Generations = 15; c.Elites = 9; c.Seed = 9 }),
 		},
 		"degenerate-bounds": {
 			Problem{
 				Bounds:  []Bound{{Lo: 2, Hi: 2}, {Lo: -1, Hi: 1}, {Lo: 0, Hi: 0}},
 				Fitness: sphere,
 			},
-			Config{PopSize: 12, Generations: 15, Elites: 2, Seed: 9},
+			cfgWith(func(c *Config) { c.PopSize = 12; c.Generations = 15; c.Elites = 2; c.Seed = 9 }),
 		},
 		"all-infeasible": {
 			Problem{
 				Bounds:  []Bound{{Lo: -1, Hi: 1}, {Lo: -1, Hi: 1}},
 				Fitness: func([]float64) float64 { return math.Inf(-1) },
 			},
-			Config{PopSize: 12, Generations: 10, Elites: 3, Seed: 9},
+			cfgWith(func(c *Config) { c.PopSize = 12; c.Generations = 10; c.Elites = 3; c.Seed = 9 }),
 		},
 	}
 	for name, c := range cases {

@@ -10,12 +10,12 @@ import (
 // every worker count, because breeding stays serial and fitness is pure.
 func TestWorkersBitIdentical(t *testing.T) {
 	p := rastriginProblem(6)
-	base, err := Run(p, Config{Seed: 7, PopSize: 30, Generations: 40, Workers: 1})
+	base, err := Run(p, cfgWith(func(c *Config) { c.Seed = 7; c.PopSize = 30; c.Generations = 40 }))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 3, 8} {
-		got, err := Run(p, Config{Seed: 7, PopSize: 30, Generations: 40, Workers: workers})
+		got, err := Run(p, cfgWith(func(c *Config) { c.Seed = 7; c.PopSize = 30; c.Generations = 40; c.Workers = workers }))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -26,71 +26,67 @@ func TestWorkersBitIdentical(t *testing.T) {
 	}
 }
 
-// TestWorkersZeroMeansSerial checks the zero value keeps the historical
-// serial behaviour (and stays valid for existing callers).
+// TestWorkersZeroMeansSerial checks the one softening Run applies:
+// Workers 0 evaluates serially, identically to Workers 1.
 func TestWorkersZeroMeansSerial(t *testing.T) {
 	p := sphereProblem(3)
-	a, err := Run(p, Config{Seed: 3})
+	a, err := Run(p, cfgWith(func(c *Config) { c.Seed = 3; c.Workers = 0 }))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(p, Config{Seed: 3, Workers: 1})
+	b, err := Run(p, cfgWith(func(c *Config) { c.Seed = 3; c.Workers = 1 }))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("Workers: 0 and Workers: 1 disagree")
 	}
-	if _, err := Run(p, Config{Workers: -2}); err == nil {
+	if _, err := Run(p, cfgWith(func(c *Config) { c.Workers = -2 })); err == nil {
 		t.Error("negative workers must error")
 	}
 }
 
-// TestZeroSentinels is the regression test for the Config zero-value
-// ambiguity: CrossProb/MutProb/Elites at 0 select defaults, so the
-// sentinels must be the way to request literal zeros.
-func TestZeroSentinels(t *testing.T) {
-	def := Config{}.withDefaults()
-	if def.CrossProb != 0.8 || def.MutProb != 0.2 || def.Elites != 1 {
-		t.Fatalf("zero config lost its defaults: %+v", def)
+// TestDefaultsAndLiteralFields pins the Defaults() constructor to the
+// paper's parameters and checks that Config fields are now literal:
+// zero probabilities disable operators, zero elites disables elitism,
+// and an all-zero Config is invalid rather than silently defaulted.
+func TestDefaultsAndLiteralFields(t *testing.T) {
+	def := Defaults()
+	want := Config{PopSize: 60, Generations: 120, CrossProb: 0.8, MutProb: 0.2, TournamentK: 5, Elites: 1, Workers: 1}
+	if def != want {
+		t.Fatalf("Defaults() = %+v, want %+v", def, want)
 	}
-	zeroed := Config{CrossProb: ZeroProb, MutProb: ZeroProb, Elites: NoElites}.withDefaults()
-	if zeroed.CrossProb != 0 {
-		t.Errorf("CrossProb: ZeroProb became %g, want 0", zeroed.CrossProb)
+	if err := def.validate(); err != nil {
+		t.Fatalf("Defaults() does not validate: %v", err)
 	}
-	if zeroed.MutProb != 0 {
-		t.Errorf("MutProb: ZeroProb became %g, want 0", zeroed.MutProb)
-	}
-	if zeroed.Elites != 0 {
-		t.Errorf("Elites: NoElites became %d, want 0", zeroed.Elites)
-	}
-	if err := zeroed.validate(); err == nil {
-		// zeroed still has PopSize 60 etc. from withDefaults, so it must
-		// validate cleanly — the sentinels map onto legal values.
-		_ = err
-	} else {
-		t.Errorf("sentinel config does not validate: %v", err)
+
+	p := sphereProblem(2)
+	if _, err := Run(p, Config{}); err == nil {
+		t.Error("an all-zero Config must be rejected, not defaulted")
 	}
 
 	// End-to-end: with both operators off and no elitism the population
 	// can only contain tournament-selected copies of the initial
-	// genomes, so every best genome must be one of them.
-	p := sphereProblem(2)
-	res, err := Run(p, Config{
-		Seed: 11, PopSize: 12, Generations: 5,
-		CrossProb: ZeroProb, MutProb: ZeroProb, Elites: NoElites,
-	})
+	// genomes, so the run must still complete and produce a best genome.
+	res, err := Run(p, cfgWith(func(c *Config) {
+		c.Seed = 11
+		c.PopSize = 12
+		c.Generations = 5
+		c.CrossProb = 0
+		c.MutProb = 0
+		c.Elites = 0
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Best) != 2 {
 		t.Fatalf("bad best genome %v", res.Best)
 	}
-	// Other negative probabilities stay invalid.
-	if _, err := Run(p, Config{CrossProb: -0.5}); err == nil {
-		t.Error("CrossProb -0.5 must still error")
+	// Out-of-range fields stay invalid.
+	if _, err := Run(p, cfgWith(func(c *Config) { c.CrossProb = -0.5 })); err == nil {
+		t.Error("CrossProb -0.5 must error")
 	}
-	if _, err := Run(p, Config{Elites: -3}); err == nil {
-		t.Error("Elites -3 must still error")
+	if _, err := Run(p, cfgWith(func(c *Config) { c.Elites = -3 })); err == nil {
+		t.Error("Elites -3 must error")
 	}
 }

@@ -152,8 +152,29 @@ func Uniform(s *System, base, step float64) [][]float64 {
 // The genome encodes, for each task, the mode-0 parameter plus
 // non-negative increments per higher mode, which enforces monotonicity by
 // construction. Fitness is the generalised objective; assignments whose
-// ladder test fails score −Inf when requireSched is true.
+// ladder test fails score −Inf when requireSched is true. Zero cfg
+// fields are filled from ga.Defaults(), so callers override only the
+// fields they tune.
 func OptimizeGA(s *System, cfg ga.Config, requireSched bool, r *rand.Rand) (Assignment, error) {
+	def := ga.Defaults()
+	if cfg.PopSize == 0 {
+		cfg.PopSize = def.PopSize
+	}
+	if cfg.Generations == 0 {
+		cfg.Generations = def.Generations
+	}
+	if cfg.CrossProb == 0 {
+		cfg.CrossProb = def.CrossProb
+	}
+	if cfg.MutProb == 0 {
+		cfg.MutProb = def.MutProb
+	}
+	if cfg.TournamentK == 0 {
+		cfg.TournamentK = def.TournamentK
+	}
+	if cfg.Elites == 0 {
+		cfg.Elites = def.Elites
+	}
 	// Genome layout: for each task i with ζ_i > 0: ζ_i genes
 	// (base, δ_1, ..., δ_{ζ_i−1}).
 	var bounds []ga.Bound

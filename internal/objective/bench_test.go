@@ -141,8 +141,11 @@ func BenchmarkObjectiveBatchGA(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ga.Run(ga.Problem{Bounds: bounds, Batch: e},
-			ga.Config{Seed: 1, PopSize: 40, Generations: 60}); err != nil {
+		cfg := ga.Defaults()
+		cfg.Seed = 1
+		cfg.PopSize = 40
+		cfg.Generations = 60
+		if _, err := ga.Run(ga.Problem{Bounds: bounds, Batch: e}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -30,6 +30,7 @@
 package objective
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -254,7 +255,7 @@ func (e *Evaluator) Fitness(g []float64) float64 {
 // state, or fully recomputed, in that order of preference. Scores are
 // bit-identical across the three paths and for every workers value.
 func (e *Evaluator) FitnessBatch(batch []ga.Derived, out []float64, workers int) {
-	_, _ = par.Map(workers, len(batch), func(i int) (struct{}, error) {
+	_, _ = par.MapCtx(context.Background(), workers, len(batch), func(i int) (struct{}, error) {
 		out[i] = e.score(batch[i])
 		return struct{}{}, nil
 	})

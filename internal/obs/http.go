@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server exposes a registry over HTTP for the lifetime of a run:
+//
+//	/metrics            the metrics handler passed to Serve
+//	/debug/pprof/...    the standard pprof handlers (profile, heap, ...)
+//	/debug/vars         expvar, including a live view of the registry
+//
+// It binds its own mux — nothing is registered on http.DefaultServeMux —
+// so importing this package never changes a host program's routes.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarOnce guards the one-time expvar publication of the default
+// registry (expvar.Publish panics on duplicate names).
+var expvarOnce sync.Once
+
+// Serve starts serving reg on addr (host:port; port 0 picks a free one)
+// in a background goroutine and returns immediately. metrics handles
+// GET /metrics — the text rendering lives in internal/artifact, injected
+// here to keep this package dependency-free. A nil metrics leaves
+// /metrics unrouted.
+func Serve(addr string, reg *Registry, metrics http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	if reg == Default {
+		expvarOnce.Do(func() {
+			expvar.Publish("chebymc", expvar.Func(func() any { return Default.Snapshot() }))
+		})
+	}
+
+	mux := http.NewServeMux()
+	if metrics != nil {
+		mux.Handle("/metrics", metrics)
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately; in-flight handlers are cut off —
+// acceptable for a diagnostics endpoint at process exit.
+func (s *Server) Close() error { return s.srv.Close() }

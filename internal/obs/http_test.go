@@ -1,0 +1,59 @@
+package obs_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"chebymc/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("served_total", "requests served").Add(3)
+	metrics := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "served_total 3\n")
+	})
+	srv, err := obs.Serve("127.0.0.1:0", reg, metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK || !strings.Contains(body, "served_total 3") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK || len(body) == 0 {
+		t.Errorf("/debug/pprof/cmdline: code %d, %d bytes", code, len(body))
+	}
+	if code, body := get(t, base+"/debug/vars"); code != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("/debug/vars: code %d body %q", code, body[:min(len(body), 80)])
+	}
+}
+
+func TestServeNilMetricsHandler(t *testing.T) {
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, "http://"+srv.Addr()+"/metrics"); code != http.StatusNotFound {
+		t.Errorf("/metrics without a handler: code %d, want 404", code)
+	}
+}

@@ -1,0 +1,414 @@
+// Package obs is the repository's zero-dependency observability
+// substrate: atomic counters, gauges and fixed-bucket histograms
+// registered in a Registry, plus lightweight span timers. It exists so a
+// long Fig. 4/5 sweep or GA search can be watched while it runs — the
+// HTTP endpoint in http.go serves live metrics and pprof — without
+// perturbing the numbers it measures.
+//
+// The overhead contract, pinned by the bench-gate:
+//
+//   - Hot loops never call obs per event. Instrumented packages count
+//     into plain locals and flush once per natural unit of work (a
+//     simulator run, a GA generation, a sweep point), so the disabled
+//     *and* enabled costs on hot paths are zero.
+//   - A flush is a handful of uncontended atomic adds — under 10 ns per
+//     counter event (BenchmarkCounterInc pins it).
+//   - Anything that needs a clock (span timers, worker busy time) is
+//     gated on Enabled, which defaults to off: the disabled path is one
+//     atomic load.
+//
+// Metric handles are nil-tolerant: every method on a nil *Counter,
+// *Gauge or *Histogram is a no-op, so optional instrumentation needs no
+// branches at call sites.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates the clock-reading instrumentation (spans, busy-time
+// measurement). Counters are always live — they are only touched at
+// work-unit boundaries, never per event.
+var enabled atomic.Bool
+
+// SetEnabled switches the clock-reading instrumentation on or off and
+// reports the previous state. The drivers enable it when -http or
+// -metrics is requested.
+func SetEnabled(on bool) (was bool) { return enabled.Swap(on) }
+
+// Enabled reports whether clock-reading instrumentation is on.
+func Enabled() bool { return enabled.Load() }
+
+// Kind discriminates the metric types in a Snapshot.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a last-value float.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use; registry-created counters additionally appear in snapshots.
+type Counter struct {
+	v          atomic.Uint64
+	name, help string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float64, stored as atomic bits.
+type Gauge struct {
+	bits       atomic.Uint64
+	name, help string
+}
+
+// Set records v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add accumulates d into the gauge (compare-and-swap loop).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bounds are the
+// ascending upper bounds of the finite buckets; every histogram has an
+// implicit final +Inf bucket, so an observation never falls off the end.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	counts     []atomic.Uint64 // len(bounds)+1; per-bucket, not cumulative
+	count      atomic.Uint64
+	sumBits    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bucket is one cumulative histogram bucket of a Snapshot:
+// Count observations were ≤ UpperBound.
+type Bucket struct {
+	UpperBound float64 // math.Inf(1) for the final bucket
+	Count      uint64
+}
+
+// Metric is one metric's state in a Snapshot.
+type Metric struct {
+	Name string
+	Help string
+	Kind Kind
+	// Value carries a counter's count or a gauge's value.
+	Value float64
+	// Count, Sum and Buckets are filled for histograms; Buckets are
+	// cumulative in Prometheus style.
+	Count   uint64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Snapshot is a point-in-time reading of a Registry, sorted by name.
+type Snapshot []Metric
+
+// Get returns the named metric.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	for _, m := range s {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// DeltaSince subtracts an earlier snapshot of the same registry from s:
+// counters and histogram counts become the increase since prev, gauges
+// keep their current value (a last-value metric has no meaningful
+// delta). Metrics absent from prev are passed through unchanged, so a
+// zero-value prev makes DeltaSince the identity.
+func (s Snapshot) DeltaSince(prev Snapshot) Snapshot {
+	out := make(Snapshot, 0, len(s))
+	for _, m := range s {
+		if p, ok := prev.Get(m.Name); ok && p.Kind == m.Kind {
+			switch m.Kind {
+			case KindCounter:
+				m.Value -= p.Value
+			case KindHistogram:
+				m.Count -= p.Count
+				m.Sum -= p.Sum
+				bs := append([]Bucket(nil), m.Buckets...)
+				for i := range bs {
+					if i < len(p.Buckets) {
+						bs[i].Count -= p.Buckets[i].Count
+					}
+				}
+				m.Buckets = bs
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Registry holds named metrics. Registration is idempotent: asking for
+// an existing name returns the existing metric, so package-level handles
+// and tests can share one registry. Registering the same name with a
+// different kind (or different histogram bounds) panics — that is a
+// programming error, caught at init time.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any // *Counter | *Gauge | *Histogram
+}
+
+// Default is the process-wide registry the instrumented packages
+// register into and the drivers expose.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as a %T", name, m))
+		}
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.metrics[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as a %T", name, m))
+		}
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.metrics[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending finite bucket bounds on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i-1] < bounds[i]) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as a %T", name, m))
+		}
+		if len(h.bounds) != len(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+		}
+		for i := range bounds {
+			if h.bounds[i] != bounds[i] {
+				panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+			}
+		}
+		return h
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.metrics[name] = h
+	return h
+}
+
+// Snapshot reads every registered metric. The result is sorted by name,
+// so two snapshots of the same quiescent registry are identical —
+// rendering it is deterministic. Each metric is read atomically, but the
+// snapshot as a whole is not a consistent cut across metrics while
+// writers are active.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	handles := make([]any, len(names))
+	for i, name := range names {
+		handles[i] = r.metrics[name]
+	}
+	r.mu.Unlock()
+
+	snap := make(Snapshot, 0, len(names))
+	for i, name := range names {
+		switch m := handles[i].(type) {
+		case *Counter:
+			snap = append(snap, Metric{Name: name, Help: m.help, Kind: KindCounter, Value: float64(m.Value())})
+		case *Gauge:
+			snap = append(snap, Metric{Name: name, Help: m.help, Kind: KindGauge, Value: m.Value()})
+		case *Histogram:
+			met := Metric{Name: name, Help: m.help, Kind: KindHistogram, Count: m.Count(), Sum: m.Sum()}
+			var cum uint64
+			for b := range m.counts {
+				cum += m.counts[b].Load()
+				ub := math.Inf(1)
+				if b < len(m.bounds) {
+					ub = m.bounds[b]
+				}
+				met.Buckets = append(met.Buckets, Bucket{UpperBound: ub, Count: cum})
+			}
+			snap = append(snap, met)
+		}
+	}
+	return snap
+}
+
+// Span is a started wall-clock measurement. The zero value (and any span
+// started while Enabled is off) is inert: its accessors return zero
+// without reading the clock.
+type Span struct {
+	start time.Time
+}
+
+// StartSpan begins a measurement when Enabled, and returns an inert span
+// otherwise — the disabled cost is one atomic load.
+func StartSpan() Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	return Span{start: time.Now()}
+}
+
+// Seconds returns the elapsed time in seconds, or 0 for an inert span.
+func (s Span) Seconds() float64 {
+	if s.start.IsZero() {
+		return 0
+	}
+	return time.Since(s.start).Seconds()
+}
+
+// ObserveInto records the elapsed seconds into h; inert spans record
+// nothing.
+func (s Span) ObserveInto(h *Histogram) {
+	if s.start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(s.start).Seconds())
+}
+
+// AddNanosInto adds the elapsed nanoseconds to c (a *_nanoseconds_total
+// counter); inert spans add nothing.
+func (s Span) AddNanosInto(c *Counter) {
+	if s.start.IsZero() {
+		return
+	}
+	c.Add(uint64(time.Since(s.start).Nanoseconds()))
+}

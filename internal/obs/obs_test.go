@@ -1,0 +1,274 @@
+// External test package so the race test can hammer a registry through
+// par.MapCtx workers (par imports obs; an internal test would cycle).
+package obs_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"chebymc/internal/obs"
+	"chebymc/internal/par"
+)
+
+func TestCounterSemantics(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("c_total", "help")
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if again := r.Counter("c_total", "ignored"); again != c {
+		t.Fatal("re-registration must return the existing handle")
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := obs.NewRegistry()
+	g := r.Gauge("g", "help")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", g.Value())
+	}
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", g.Value())
+	}
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Fatalf("gauge = %g, want -7", g.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("h", "help", []float64{1, 5, 10})
+	// One per finite bucket boundary region plus one overflow: values at
+	// a bound land in that bound's bucket (le semantics).
+	for _, v := range []float64{0.5, 1, 3, 5, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+3+5+7+100; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	snap := r.Snapshot()
+	m, ok := snap.Get("h")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// Cumulative: ≤1 → 2, ≤5 → 4, ≤10 → 5, +Inf → 6.
+	wantCum := []uint64{2, 4, 5, 6}
+	if len(m.Buckets) != len(wantCum) {
+		t.Fatalf("%d buckets, want %d", len(m.Buckets), len(wantCum))
+	}
+	for i, b := range m.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d (≤%g) = %d, want %d", i, b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(m.Buckets[len(m.Buckets)-1].UpperBound, 1) {
+		t.Error("final bucket must be +Inf")
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *obs.Counter
+	var g *obs.Gauge
+	var h *obs.Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge must panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Histogram("h", "", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering h with different bounds must panic")
+		}
+	}()
+	r.Histogram("h", "", []float64{1, 3})
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := obs.NewRegistry()
+	// Register out of name order.
+	r.Counter("zeta", "")
+	r.Gauge("alpha", "")
+	r.Histogram("mid", "", []float64{1})
+	a, b := r.Snapshot(), r.Snapshot()
+	if len(a) != 3 {
+		t.Fatalf("%d metrics, want 3", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Name >= a[i].Name {
+			t.Fatalf("snapshot not name-sorted: %q before %q", a[i-1].Name, a[i].Name)
+		}
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Value != b[i].Value {
+			t.Fatal("two snapshots of a quiescent registry differ")
+		}
+	}
+}
+
+func TestDeltaSince(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1})
+	c.Add(10)
+	g.Set(5)
+	h.Observe(0.5)
+	prev := r.Snapshot()
+	c.Add(7)
+	g.Set(9)
+	h.Observe(2)
+	delta := r.Snapshot().DeltaSince(prev)
+	if m, _ := delta.Get("c"); m.Value != 7 {
+		t.Errorf("counter delta = %g, want 7", m.Value)
+	}
+	if m, _ := delta.Get("g"); m.Value != 9 {
+		t.Errorf("gauge must keep its current value, got %g", m.Value)
+	}
+	m, _ := delta.Get("h")
+	if m.Count != 1 || m.Sum != 2 {
+		t.Errorf("histogram delta count/sum = %d/%g, want 1/2", m.Count, m.Sum)
+	}
+	if m.Buckets[0].Count != 0 || m.Buckets[1].Count != 1 {
+		t.Errorf("histogram delta buckets = %+v", m.Buckets)
+	}
+	// Against an empty prev, DeltaSince is the identity.
+	id := r.Snapshot().DeltaSince(nil)
+	if m, _ := id.Get("c"); m.Value != 17 {
+		t.Errorf("identity delta counter = %g, want 17", m.Value)
+	}
+}
+
+func TestSetEnabledAndSpans(t *testing.T) {
+	was := obs.SetEnabled(false)
+	defer obs.SetEnabled(was)
+	r := obs.NewRegistry()
+	h := r.Histogram("h", "", []float64{1})
+	c := r.Counter("c", "")
+	span := obs.StartSpan()
+	span.ObserveInto(h)
+	span.AddNanosInto(c)
+	if span.Seconds() != 0 || h.Count() != 0 || c.Value() != 0 {
+		t.Fatal("disabled spans must be inert")
+	}
+	obs.SetEnabled(true)
+	span = obs.StartSpan()
+	span.ObserveInto(h)
+	span.AddNanosInto(c)
+	if h.Count() != 1 {
+		t.Fatal("enabled span did not record")
+	}
+}
+
+// TestRegistryConcurrentUse hammers one registry from par.MapCtx workers —
+// registration races, counter adds, observations and snapshots all
+// concurrent. Run under -race this is the registry's thread-safety proof;
+// the counts are also checked exactly.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := obs.NewRegistry()
+	const items, perItem = 64, 100
+	_, err := par.MapCtx(context.Background(), 8, items, func(i int) (struct{}, error) {
+		// Every worker re-registers the same names: idempotence under
+		// contention.
+		c := r.Counter("hits_total", "")
+		g := r.Gauge("depth", "")
+		h := r.Histogram("lat", "", []float64{0.5, 1})
+		for k := 0; k < perItem; k++ {
+			c.Inc()
+			g.Add(1)
+			h.Observe(float64(k%3) * 0.5)
+		}
+		_ = r.Snapshot() // snapshots interleave with writers
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if m, _ := snap.Get("hits_total"); m.Value != items*perItem {
+		t.Errorf("hits_total = %g, want %d", m.Value, items*perItem)
+	}
+	if m, _ := snap.Get("depth"); m.Value != items*perItem {
+		t.Errorf("depth = %g, want %d", m.Value, items*perItem)
+	}
+	if m, _ := snap.Get("lat"); m.Count != items*perItem {
+		t.Errorf("lat count = %d, want %d", m.Count, items*perItem)
+	}
+}
+
+// BenchmarkCounterInc pins the overhead contract: one counter event on
+// the enabled path must stay under 10 ns/op (uncontended atomic add).
+func BenchmarkCounterInc(b *testing.B) {
+	r := obs.NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() == 0 {
+		b.Fatal("counter did not count")
+	}
+}
+
+// BenchmarkObsOverhead measures the full per-work-unit flush an
+// instrumented package performs (several counter adds + a disabled span),
+// the cost recordRun-style boundaries pay per simulator run.
+func BenchmarkObsOverhead(b *testing.B) {
+	was := obs.SetEnabled(false)
+	defer obs.SetEnabled(was)
+	r := obs.NewRegistry()
+	runs := r.Counter("runs_total", "")
+	events := r.Counter("events_total", "")
+	g := r.Gauge("best", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		span := obs.StartSpan() // disabled: one atomic load
+		runs.Inc()
+		events.Add(1000)
+		g.Set(float64(i))
+		span.AddNanosInto(events)
+	}
+}
+
+// BenchmarkStartSpanDisabled pins the disabled clock path to a single
+// atomic load.
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	was := obs.SetEnabled(false)
+	defer obs.SetEnabled(was)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = obs.StartSpan()
+	}
+}

@@ -14,6 +14,22 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"chebymc/internal/obs"
+)
+
+// Pool telemetry. The per-batch counters are always live (a handful of
+// atomic ops per MapCtx call, never per item); busy-time measurement
+// reads the clock and is therefore gated on obs.Enabled.
+var (
+	obsBatches = obs.Default.Counter("par_batches_total",
+		"MapCtx invocations")
+	obsItems = obs.Default.Counter("par_items_total",
+		"items dispatched across all MapCtx invocations")
+	obsInflight = obs.Default.Gauge("par_inflight_batches",
+		"MapCtx invocations currently executing (queue depth)")
+	obsBusyNanos = obs.Default.Counter("par_worker_busy_nanoseconds_total",
+		"cumulative wall time worker goroutines spent executing MapCtx batches (only measured while obs is enabled)")
 )
 
 // MapCtx runs fn(0..n-1) on at most workers goroutines and returns the
@@ -39,18 +55,26 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 	if n == 0 {
 		return []T{}, nil
 	}
+	obsBatches.Inc()
+	obsItems.Add(uint64(n))
+	obsInflight.Add(1)
+	defer obsInflight.Add(-1)
 	out := make([]T, n)
 	if workers <= 1 || n == 1 {
+		span := obs.StartSpan()
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
+				span.AddNanosInto(obsBusyNanos)
 				return out, fmt.Errorf("par: cancelled after %d of %d items: %w", i, n, err)
 			}
 			v, err := fn(i)
 			if err != nil {
+				span.AddNanosInto(obsBusyNanos)
 				return nil, err
 			}
 			out[i] = v
 		}
+		span.AddNanosInto(obsBusyNanos)
 		return out, nil
 	}
 	if workers > n {
@@ -70,6 +94,8 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			span := obs.StartSpan()
+			defer span.AddNanosInto(obsBusyNanos)
 			for {
 				i := int(next.Add(1))
 				if i >= n || failed.Load() {
@@ -106,14 +132,4 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 		return out, fmt.Errorf("par: cancelled after %d of %d items: %w", completed.Load(), n, err)
 	}
 	return out, nil
-}
-
-// Map runs fn(0..n-1) on at most workers goroutines with no
-// cancellation point; see MapCtx for the ordering and error contract.
-//
-// Deprecated: use MapCtx so long sweeps stay interruptible. Map remains
-// for leaf call sites with no context to thread (it is exactly
-// MapCtx(context.Background(), ...)).
-func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
-	return MapCtx(context.Background(), workers, n, fn)
 }

@@ -9,9 +9,9 @@ import (
 	"time"
 )
 
-func TestMapPreservesOrder(t *testing.T) {
+func TestMapCtxPreservesOrder(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 16, 100} {
-		got, err := Map(workers, 50, func(i int) (int, error) {
+		got, err := MapCtx(context.Background(), workers, 50, func(i int) (int, error) {
 			if i%7 == 0 { // make completion order scramble
 				time.Sleep(time.Millisecond)
 			}
@@ -31,10 +31,10 @@ func TestMapPreservesOrder(t *testing.T) {
 	}
 }
 
-func TestMapReturnsLowestIndexError(t *testing.T) {
+func TestMapCtxReturnsLowestIndexError(t *testing.T) {
 	errLow := errors.New("low")
 	for _, workers := range []int{1, 2, 8} {
-		_, err := Map(workers, 40, func(i int) (int, error) {
+		_, err := MapCtx(context.Background(), workers, 40, func(i int) (int, error) {
 			switch i {
 			case 3:
 				// Delay so higher-index errors land first under
@@ -53,10 +53,10 @@ func TestMapReturnsLowestIndexError(t *testing.T) {
 	}
 }
 
-func TestMapStopsDispatchAfterError(t *testing.T) {
+func TestMapCtxStopsDispatchAfterError(t *testing.T) {
 	var calls atomic.Int64
 	boom := errors.New("boom")
-	_, err := Map(4, 10_000, func(i int) (int, error) {
+	_, err := MapCtx(context.Background(), 4, 10_000, func(i int) (int, error) {
 		calls.Add(1)
 		if i == 0 {
 			return 0, boom
@@ -72,10 +72,10 @@ func TestMapStopsDispatchAfterError(t *testing.T) {
 	}
 }
 
-func TestMapSerialFallbackShortCircuits(t *testing.T) {
+func TestMapCtxSerialFallbackShortCircuits(t *testing.T) {
 	var calls int
 	boom := errors.New("boom")
-	_, err := Map(1, 100, func(i int) (int, error) {
+	_, err := MapCtx(context.Background(), 1, 100, func(i int) (int, error) {
 		calls++
 		if i == 4 {
 			return 0, boom
@@ -90,16 +90,16 @@ func TestMapSerialFallbackShortCircuits(t *testing.T) {
 	}
 }
 
-func TestMapEdgeCases(t *testing.T) {
-	if _, err := Map(4, -1, func(int) (int, error) { return 0, nil }); err == nil {
+func TestMapCtxEdgeCases(t *testing.T) {
+	if _, err := MapCtx(context.Background(), 4, -1, func(int) (int, error) { return 0, nil }); err == nil {
 		t.Error("negative n must error")
 	}
-	got, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	got, err := MapCtx(context.Background(), 4, 0, func(int) (int, error) { return 0, nil })
 	if err != nil || len(got) != 0 {
 		t.Errorf("n=0: got (%v, %v), want empty success", got, err)
 	}
 	// More workers than items must not deadlock or skip items.
-	got, err = Map(64, 3, func(i int) (int, error) { return i + 1, nil })
+	got, err = MapCtx(context.Background(), 64, 3, func(i int) (int, error) { return i + 1, nil })
 	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
 		t.Errorf("workers>n: got (%v, %v)", got, err)
 	}

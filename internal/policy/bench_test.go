@@ -44,7 +44,11 @@ func BenchmarkOptimizerGA(b *testing.B) {
 	total := 0.0
 	for i := 0; i < b.N; i++ {
 		p, _ := eq13Problem(b, int64(i+1))
-		res, err := ga.Run(p, ga.Config{Seed: int64(i + 1), PopSize: 40, Generations: 60})
+		cfg := ga.Defaults()
+		cfg.Seed = int64(i + 1)
+		cfg.PopSize = 40
+		cfg.Generations = 60
+		res, err := ga.Run(p, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

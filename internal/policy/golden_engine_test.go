@@ -48,7 +48,7 @@ func refChebyshevAssign(p ChebyshevGA, ts *mc.TaskSet, r *rand.Rand) (core.Assig
 		}
 		return a.Objective
 	}
-	cfg := p.Config
+	cfg := fillGADefaults(p.Config)
 	cfg.Seed = r.Int63()
 	res, err := ga.Run(ga.Problem{Bounds: bounds, Fitness: fitness}, cfg)
 	if err != nil {

@@ -54,8 +54,12 @@ func (p ChebyshevUniform) Assign(ts *mc.TaskSet, _ *rand.Rand) (core.Assignment,
 // maximising the Eq. 13 objective subject to Eq. 9 (via gene bounds) — the
 // proposed scheme of Figs. 4 and 5.
 type ChebyshevGA struct {
-	// Config tunes the GA; zero values select the paper's parameters
-	// (two-point crossover 0.8, single-point mutation 0.2, tournament 5).
+	// Config tunes the GA. Zero fields are filled from ga.Defaults() —
+	// the paper's parameters (two-point crossover 0.8, single-point
+	// mutation 0.2, tournament 5) — so a partial Config overrides just
+	// the named fields. Callers that need literal zeros (disabled
+	// operators, no elitism) should run the search through ga.Run
+	// directly, where every field is taken literally.
 	Config ga.Config
 	// NCap bounds the per-task search range [0, min(NMax, NCap)];
 	// defaults to 50 when zero. Without a cap the bound-free tasks
@@ -99,7 +103,7 @@ func (p ChebyshevGA) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, erro
 	if err != nil {
 		return core.Assignment{}, err
 	}
-	cfg := p.Config
+	cfg := fillGADefaults(p.Config)
 	cfg.Seed = r.Int63()
 	res, err := ga.Run(ga.Problem{Bounds: bounds, Batch: eval}, cfg)
 	if err != nil {
@@ -109,6 +113,32 @@ func (p ChebyshevGA) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, erro
 		return core.Assignment{}, fmt.Errorf("policy: no feasible assignment found")
 	}
 	return core.Apply(ts, res.Best)
+}
+
+// fillGADefaults fills the zero fields of a partial GA config from
+// ga.Defaults(). The policy layer keeps the merge so experiment configs
+// can spell only the fields they tune (typically PopSize/Generations).
+func fillGADefaults(cfg ga.Config) ga.Config {
+	def := ga.Defaults()
+	if cfg.PopSize == 0 {
+		cfg.PopSize = def.PopSize
+	}
+	if cfg.Generations == 0 {
+		cfg.Generations = def.Generations
+	}
+	if cfg.CrossProb == 0 {
+		cfg.CrossProb = def.CrossProb
+	}
+	if cfg.MutProb == 0 {
+		cfg.MutProb = def.MutProb
+	}
+	if cfg.TournamentK == 0 {
+		cfg.TournamentK = def.TournamentK
+	}
+	if cfg.Elites == 0 {
+		cfg.Elites = def.Elites
+	}
+	return cfg
 }
 
 // LambdaFixed is the state-of-the-art baseline with a fixed fraction:

@@ -9,19 +9,20 @@ import (
 	"chebymc/internal/rng"
 )
 
-// Replicate runs the Monte Carlo replication loop: the same task set and
-// configuration simulated runs times, each with a seed derived from
-// cfg.Seed and the run index. Replications execute on up to workers
-// goroutines — each run builds its own Simulator, and the task set is
-// only read — and the returned metrics are in run order, identical for
-// every worker count.
+// Replicate is ReplicateCtx with context.Background() — a convenience
+// for callers with no cancellation story (tests, one-shot tools). New
+// code that runs under a driver or sweep should call ReplicateCtx.
 func Replicate(ts *mc.TaskSet, cfg Config, runs, workers int) ([]Metrics, error) {
 	return ReplicateCtx(context.Background(), ts, cfg, runs, workers)
 }
 
-// ReplicateCtx is Replicate with cancellation between replications: a
-// cancelled context stops dispatching runs and returns once in-flight
-// simulations drain.
+// ReplicateCtx runs the Monte Carlo replication loop: the same task set
+// and configuration simulated runs times, each with a seed derived from
+// cfg.Seed and the run index. Replications execute on up to workers
+// goroutines — each run builds its own Simulator, and the task set is
+// only read — and the returned metrics are in run order, identical for
+// every worker count. Cancelling ctx stops dispatching runs and returns
+// an error once in-flight simulations drain.
 func ReplicateCtx(ctx context.Context, ts *mc.TaskSet, cfg Config, runs, workers int) ([]Metrics, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("sim: need runs ≥ 1, got %d", runs)

@@ -241,6 +241,13 @@ func (s *Simulator) Run() Metrics {
 	now := 0.0
 	lastHIEnter := 0.0
 
+	// Preemption accounting for the run-level telemetry (recordRun): when
+	// a release interrupts the running job, the job is remembered and
+	// compared against the next selection. Kept out of Metrics so the
+	// golden per-run outputs are untouched.
+	var preemptions uint64
+	var interrupted *job
+
 	drawExec := func(i int, t *mc.Task) float64 {
 		d := s.exec[i]
 		if d == nil {
@@ -398,6 +405,15 @@ func (s *Simulator) Run() Metrics {
 		}
 
 		run := s.ready.min()
+		if interrupted != nil {
+			// The interrupted job is still in the ready set (releases
+			// cannot remove it), so the pointer comparison is safe: a
+			// different winner means the release preempted it.
+			if run != interrupted {
+				preemptions++
+			}
+			interrupted = nil
+		}
 
 		// Next release strictly in the future: the root after the drain.
 		nextRel := math.Inf(1)
@@ -432,6 +448,7 @@ func (s *Simulator) Run() Metrics {
 			run.consumed += delta
 			m.BusyTime += delta
 			now = nextRel
+			interrupted = run
 			continue
 		}
 		if end > s.cfg.Horizon {
@@ -488,5 +505,6 @@ func (s *Simulator) Run() Metrics {
 	if mode == mc.HI {
 		m.TimeInHI += s.cfg.Horizon - lastHIEnter
 	}
+	recordRun(m, preemptions)
 	return m
 }
