@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build vet test test-race bench bench-json bench-compare profile profile-live experiments traces cover fmt
 
 # The PR counter for the benchmark-trajectory file written by bench-json.
-BENCH_N ?= 3
+BENCH_N ?= 4
 
 all: build vet test test-race
 

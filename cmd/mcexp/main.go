@@ -3,13 +3,17 @@
 // Usage:
 //
 //	mcexp -exp table1,table2,fig2,fig3,fig45,fig6,headline [-sets N] [-samples N] [-seed S] [-workers W]
-//	      [-csv|-json] [-plot] [-outdir DIR] [-checkpoint DIR] [-resume] [-progress]
+//	      [-bound cantelli|chebyshev2|vp|moment4] [-csv|-json] [-plot] [-outdir DIR]
+//	      [-checkpoint DIR] [-resume] [-progress]
 //	      [-http ADDR] [-metrics] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -exp all (the default) every experiment runs; -exp list prints the
 // registry. -sets and -samples scale the task-set counts and trace sample
 // counts; the defaults are the paper-sized values (1000 sets, 20000
-// samples), which take a few minutes. -workers fans the sweeps out over
+// samples), which take a few minutes. -bound swaps the Eq. 10
+// concentration inequality behind every scenario's scoring (default:
+// the paper's Cantelli bound; see -exp bounds for the engines compared
+// side by side). -workers fans the sweeps out over
 // that many goroutines (default: one per CPU); results are bit-identical
 // for every worker count. -checkpoint DIR persists each sweep point as it
 // completes and -resume skips points already on disk — a resumed run's
@@ -44,6 +48,7 @@ import (
 	"chebymc/internal/experiment"
 	"chebymc/internal/obs"
 	"chebymc/internal/prof"
+	"chebymc/internal/stats"
 )
 
 type options struct {
@@ -51,6 +56,7 @@ type options struct {
 	sets, samples int
 	seed          int64
 	workers       int
+	bound         string
 	csv, json     bool
 	plot          bool
 	outdir        string
@@ -73,6 +79,7 @@ func main() {
 	flag.IntVar(&o.samples, "samples", 0, "trace samples per benchmark (0 = paper default 20000)")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "worker goroutines per sweep (results are identical for any value)")
+	flag.StringVar(&o.bound, "bound", "", "concentration bound engine: "+strings.Join(stats.BoundNames(), ", ")+" (default cantelli)")
 	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
 	flag.BoolVar(&o.json, "json", false, "emit JSON lines instead of aligned tables")
 	flag.BoolVar(&o.plot, "plot", true, "emit ASCII plots for figures")
@@ -111,6 +118,10 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		return list(w)
 	}
 	selected, err := experiment.Resolve(strings.Split(o.exps, ","))
+	if err != nil {
+		return err
+	}
+	bound, err := stats.BoundByName(o.bound)
 	if err != nil {
 		return err
 	}
@@ -163,7 +174,8 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	}
 	eopts := experiment.Options{
 		Sets: o.sets, Samples: o.samples, Seed: o.seed, Workers: o.workers,
-		Plot: o.plot && !o.json,
+		Plot:  o.plot && !o.json,
+		Bound: bound,
 		Eng: experiment.EngOpts{
 			Progress:      sink,
 			CheckpointDir: o.checkpoint,
@@ -229,7 +241,11 @@ func list(w io.Writer) error {
 		if len(sc.Aliases) > 0 {
 			name += " (" + strings.Join(sc.Aliases, ", ") + ")"
 		}
-		fmt.Fprintf(w, "  %-22s %s\n", name, sc.Description)
+		desc := sc.Description
+		if sc.OnDemand {
+			desc += " [on demand: run by name, not part of all]"
+		}
+		fmt.Fprintf(w, "  %-22s %s\n", name, desc)
 		if len(sc.Axis) > 0 {
 			extra := ""
 			if sc.Checkpointed {

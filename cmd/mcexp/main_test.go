@@ -61,6 +61,52 @@ func TestRunHeadlineSmall(t *testing.T) {
 	}
 }
 
+func TestRunBoundSwap(t *testing.T) {
+	o := opts("table2,fig45")
+	o.sets, o.samples = 3, 80
+	o.bound = "vp"
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[vp bound]", "vp bound holds on all measurements", "chebyshev-ga[vp]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-bound vp output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Theorem 1") {
+		t.Errorf("-bound vp output still claims the Theorem 1 engine")
+	}
+}
+
+func TestRunBoundsScenarioSmall(t *testing.T) {
+	o := opts("bounds")
+	o.sets, o.samples = 2, 200
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Bound engines: n for a target overrun probability",
+		"VP needs a smaller n than Cantelli at every app/target (unimodal gain): true",
+		"Bound engines in the GA scheme",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-exp bounds output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownBoundErrors(t *testing.T) {
+	o := opts("fig2")
+	o.bound = "bogus"
+	if err := run(context.Background(), &bytes.Buffer{}, o); err == nil {
+		t.Fatal("run accepted an unknown bound name")
+	}
+}
+
 func TestRunUnknownExperimentErrors(t *testing.T) {
 	// A typo must not silently run nothing: unknown names error and list
 	// the valid ones.

@@ -6,8 +6,12 @@
 // Usage:
 //
 //	mcopt -in taskset.json [-policy ga|uniform|lambda] [-n 10] [-lambda 0.25]
+//	      [-bound cantelli|chebyshev2|vp|moment4]
 //	      [-out optimised.json] [-seed S] [-workers W] [-simulate horizon] [-runs R]
 //	      [-http ADDR] [-metrics] [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -bound swaps the concentration inequality the scheme optimises and
+// reports P_overrun/P_sys^MS under (default: the paper's Cantelli bound).
 //
 // -workers parallelises the GA's fitness evaluations and the simulator
 // replications (default: one per CPU); results are identical for every
@@ -25,10 +29,10 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 
 	"chebymc/internal/artifact"
-	"chebymc/internal/core"
 	"chebymc/internal/dist"
 	"chebymc/internal/edfvd"
 	"chebymc/internal/ga"
@@ -37,6 +41,7 @@ import (
 	"chebymc/internal/policy"
 	"chebymc/internal/prof"
 	"chebymc/internal/sim"
+	"chebymc/internal/stats"
 	"chebymc/internal/texttable"
 )
 
@@ -46,6 +51,7 @@ func main() {
 		polName  = flag.String("policy", "ga", "assignment policy: ga, uniform, lambda")
 		n        = flag.Float64("n", 10, "uniform n (policy=uniform)")
 		lambda   = flag.Float64("lambda", 0.25, "λ fraction (policy=lambda)")
+		bound    = flag.String("bound", "", "concentration bound engine: "+strings.Join(stats.BoundNames(), ", ")+" (default cantelli)")
 		out      = flag.String("out", "", "write the optimised task set to this JSON file")
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the GA search and simulation (results are identical for any value)")
@@ -78,7 +84,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "mcopt: serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
 	}
-	runErr := run(ctx, *in, *polName, *n, *lambda, *out, *seed, *workers, *simulate, *runs)
+	runErr := run(ctx, *in, *polName, *n, *lambda, *bound, *out, *seed, *workers, *simulate, *runs)
 	if *metrics && runErr == nil {
 		fmt.Print(artifact.MetricsText(obs.Default.Snapshot()))
 	}
@@ -91,9 +97,13 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, in, polName string, n, lambda float64, out string, seed int64, workers int, horizon float64, runs int) error {
+func run(ctx context.Context, in, polName string, n, lambda float64, boundName, out string, seed int64, workers int, horizon float64, runs int) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	bound, err := stats.BoundByName(boundName)
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(in)
 	if err != nil {
@@ -110,11 +120,11 @@ func run(ctx context.Context, in, polName string, n, lambda float64, out string,
 	case "ga":
 		cfg := ga.Defaults()
 		cfg.Workers = workers
-		pol = policy.ChebyshevGA{Config: cfg}
+		pol = policy.ChebyshevGA{Config: cfg, Bound: bound}
 	case "uniform":
-		pol = policy.ChebyshevUniform{N: n}
+		pol = policy.ChebyshevUniform{N: n, Bound: bound}
 	case "lambda":
-		pol = policy.LambdaFixed{Lambda: lambda}
+		pol = policy.LambdaFixed{Lambda: lambda, Bound: bound}
 	default:
 		return fmt.Errorf("unknown policy %q", polName)
 	}
@@ -143,7 +153,7 @@ func run(ctx context.Context, in, polName string, n, lambda float64, out string,
 			fmt.Sprintf("%.3g", a.NS[i]),
 			fmt.Sprintf("%.4g", t.CLO),
 			fmt.Sprintf("%.4g", t.CHI),
-			fmt.Sprintf("%.4f", core.OverrunBound(a.NS[i])),
+			fmt.Sprintf("%.4f", bound.P(a.NS[i])),
 		)
 		i++
 	}

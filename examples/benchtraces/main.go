@@ -3,16 +3,20 @@
 // It measures the five benchmark kernels (plus the three qsort sizes) on
 // the vmcpu cost-model CPU, bounds each with the IPET static analyser, and
 // prints (1) the ACET/WCET^pes gap per application and (2) the measured
-// overrun rate at ACET + n·σ against the Theorem 1 bound — a compact rerun
-// of the paper's motivational evidence on freshly generated traces.
+// overrun rate at ACET + n·σ against a concentration bound — a compact
+// rerun of the paper's motivational evidence on freshly generated traces.
+// The -bound flag swaps the Theorem 1 Cantelli default for any engine
+// bound (vp, chebyshev2, moment4); note the unimodal VP claim is not
+// guaranteed for the bimodal qsort kernels at large n.
 //
-// Run with: go run ./examples/benchtraces [-samples 2000]
+// Run with: go run ./examples/benchtraces [-samples 2000] [-bound vp]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"chebymc/internal/experiment"
 	"chebymc/internal/stats"
@@ -22,7 +26,13 @@ import (
 func main() {
 	samples := flag.Int("samples", 2000, "trace samples per app (qsort-10000 capped at 300)")
 	seed := flag.Int64("seed", 1, "random seed")
+	boundName := flag.String("bound", "", "concentration bound: "+strings.Join(stats.BoundNames(), ", "))
 	flag.Parse()
+
+	bound, err := stats.BoundByName(*boundName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := experiment.TraceConfig{DefaultSamples: *samples, Seed: *seed}
 	traces, bounds, err := experiment.BenchTraces(cfg)
@@ -51,24 +61,32 @@ func main() {
 	fmt.Println()
 
 	ovTable := texttable.New(
-		"Overrun rate at ACET + n*sigma vs Theorem 1 bound",
-		"n", "bound", "qsort-100", "corner", "edge", "smooth", "epic",
+		fmt.Sprintf("Overrun rate at ACET + n*sigma vs %s bound", bound.Name()),
+		"n", bound.Name(), "qsort-100", "corner", "edge", "smooth", "epic",
 	)
 	apps := []string{"qsort-100", "corner", "edge", "smooth", "epic"}
+	violations := 0
 	for n := 0; n <= 4; n++ {
 		cells := []string{
 			fmt.Sprintf("%d", n),
-			fmt.Sprintf("%.2f%%", 100*stats.CantelliBound(float64(n))),
+			fmt.Sprintf("%.2f%%", 100*bound.P(float64(n))),
 		}
 		for _, app := range apps {
 			rate := traces[app].OverrunRateAtN(float64(n))
-			if rate > stats.CantelliBound(float64(n)) {
-				log.Fatalf("%s violates Theorem 1 at n=%d", app, n)
+			mark := ""
+			if traces[app].ViolatesBoundAtN(bound, float64(n)) {
+				violations++
+				mark = "!"
 			}
-			cells = append(cells, fmt.Sprintf("%.2f%%", 100*rate))
+			cells = append(cells, fmt.Sprintf("%.2f%%%s", 100*rate, mark))
 		}
 		ovTable.AddRow(cells...)
 	}
 	fmt.Print(ovTable.String())
-	fmt.Println("\nEvery measured rate is below the distribution-free bound, as Theorem 1 guarantees.")
+	switch {
+	case violations == 0:
+		fmt.Printf("\nEvery measured rate is below the %s bound.\n", bound.Name())
+	default:
+		fmt.Printf("\n%d rate(s) (marked !) exceed the %s claim — its distributional assumptions do not hold for those kernels.\n", violations, bound.Name())
+	}
 }

@@ -37,6 +37,12 @@ func WCETOpt(p mc.Profile, n float64) float64 {
 	return p.ACET + n*p.Sigma
 }
 
+// DefaultBound returns the concentration bound the core path uses when
+// none is supplied: the paper's Theorem 1 Cantelli bound, whose P is the
+// same function as stats.CantelliBound — so the generalised entry points
+// below are bit-identical to the historical Cantelli-only ones.
+func DefaultBound() stats.Bound { return stats.Cantelli{} }
+
 // OverrunBound returns the Theorem 1 bound 1/(1+n²) on the probability
 // that one job exceeds WCETOpt(p, n). It is distribution-free.
 func OverrunBound(n float64) float64 { return stats.CantelliBound(n) }
@@ -60,9 +66,17 @@ func NMax(t mc.Task) float64 {
 // overruns its optimistic WCET, with tasks independent. Each bound is the
 // per-task Theorem 1 bound, so the result is itself an upper bound.
 func SystemMSProb(ns []float64) float64 {
+	return SystemMSProbBound(DefaultBound(), ns)
+}
+
+// SystemMSProbBound is SystemMSProb under an arbitrary concentration
+// bound: Eq. 10 with each per-task factor 1 − b.P(n_i). With
+// DefaultBound it reproduces SystemMSProb bit for bit (same expressions,
+// same left-to-right order).
+func SystemMSProbBound(b stats.Bound, ns []float64) float64 {
 	noSwitch := 1.0
 	for _, n := range ns {
-		noSwitch *= 1 - stats.CantelliBound(n)
+		noSwitch *= 1 - b.P(n)
 	}
 	return 1 - noSwitch
 }
@@ -121,6 +135,14 @@ type Assignment struct {
 // returns an error when the vector length is wrong, an n is negative, or
 // the execution-time constraint of Eq. 9 (C^LO ≤ C^HI) is violated.
 func Apply(ts *mc.TaskSet, ns []float64) (Assignment, error) {
+	return ApplyBound(ts, ns, DefaultBound())
+}
+
+// ApplyBound is Apply under an arbitrary concentration bound b, which
+// enters only through the Eq. 10 mode-switch probability — the Eq. 6/9
+// budget arithmetic is bound-independent. ApplyBound(ts, ns,
+// DefaultBound()) is bit-identical to Apply(ts, ns).
+func ApplyBound(ts *mc.TaskSet, ns []float64, b stats.Bound) (Assignment, error) {
 	hcs := ts.ByCrit(mc.HC)
 	if len(ns) != len(hcs) {
 		return Assignment{}, fmt.Errorf("core: %d parameters for %d HC tasks", len(ns), len(hcs))
@@ -150,7 +172,7 @@ func Apply(ts *mc.TaskSet, ns []float64) (Assignment, error) {
 	if err != nil {
 		return Assignment{}, err
 	}
-	pms := SystemMSProb(ns)
+	pms := SystemMSProbBound(b, ns)
 	maxU := MaxULCLO(out.UHCLO(), out.UHCHI())
 	return Assignment{
 		NS:        append([]float64(nil), ns...),
@@ -205,6 +227,11 @@ func ClampNS(ts *mc.TaskSet, ns []float64) ([]float64, error) {
 // a vacuous bound (overrun probability 1), budgets with σ = 0 imply a
 // certain pass (n = +Inf) when at or above the ACET.
 func FromCLO(ts *mc.TaskSet, clo []float64) (Assignment, error) {
+	return FromCLOBound(ts, clo, DefaultBound())
+}
+
+// FromCLOBound is FromCLO scored under an arbitrary concentration bound.
+func FromCLOBound(ts *mc.TaskSet, clo []float64, b stats.Bound) (Assignment, error) {
 	hcs := ts.ByCrit(mc.HC)
 	if len(clo) != len(hcs) {
 		return Assignment{}, fmt.Errorf("core: %d budgets for %d HC tasks", len(clo), len(hcs))
@@ -235,7 +262,7 @@ func FromCLO(ts *mc.TaskSet, clo []float64) (Assignment, error) {
 	if err != nil {
 		return Assignment{}, err
 	}
-	pms := SystemMSProb(ns)
+	pms := SystemMSProbBound(b, ns)
 	maxU := MaxULCLO(out.UHCLO(), out.UHCHI())
 	return Assignment{
 		NS:        ns,

@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"math"
 
 	"chebymc/internal/fit"
 	"chebymc/internal/stats"
@@ -52,15 +51,20 @@ func RunAblationBounds(cfg TraceConfig, targets []float64) (*AblationBoundsResul
 	if err != nil {
 		return nil, err
 	}
-	return ablationBoundsFrom(traces, targets)
+	return ablationBoundsFrom(traces, targets, stats.Cantelli{})
 }
 
 // ablationBoundsFrom derives the comparison from already-collected
 // traces; split out so the scenario registry can share one collection
-// pass with Tables I–II.
-func ablationBoundsFrom(traces trace.Set, targets []float64) (*AblationBoundsResult, error) {
+// pass with Tables I–II. The distribution-free column uses b (the
+// historical "chebyshev" label is kept for the Cantelli default).
+func ablationBoundsFrom(traces trace.Set, targets []float64, b stats.Bound) (*AblationBoundsResult, error) {
 	if len(targets) == 0 {
 		targets = []float64{0.1, 0.02}
+	}
+	freeName := "chebyshev"
+	if b.Name() != stats.DefaultBoundName {
+		freeName = b.Name()
 	}
 	res := &AblationBoundsResult{}
 	for _, app := range Table2Apps {
@@ -69,10 +73,10 @@ func ablationBoundsFrom(traces trace.Set, targets []float64) (*AblationBoundsRes
 		for _, target := range targets {
 			row := AblationBoundsRow{App: app, Target: target}
 
-			// Chebyshev (Cantelli): n = sqrt(1/p − 1).
-			n := stats.NForBound(target)
+			// Distribution-free budget: ACET + NFor(p)·σ.
+			n := b.NFor(target)
 			chebyBudget := s.Mean + n*s.StdDev
-			row.Methods = append(row.Methods, method("chebyshev", chebyBudget, tr.OverrunRate(chebyBudget), target))
+			row.Methods = append(row.Methods, method(freeName, chebyBudget, tr.OverrunRate(chebyBudget), target))
 
 			// Normal moment fit.
 			if nm, err := fit.FitNormal(tr.Samples); err == nil {
@@ -169,8 +173,8 @@ func RunAblationCantelli(ns []float64) []AblationCantelliRow {
 	}
 	out := make([]AblationCantelliRow, 0, len(ns))
 	for _, n := range ns {
-		one := stats.CantelliBound(n)
-		two := stats.TwoSidedChebyshevBound(n)
+		one := stats.Cantelli{}.P(n)
+		two := stats.TwoSidedChebyshev{}.P(n)
 		out = append(out, AblationCantelliRow{
 			N: n, OneSided: one, TwoSided: two,
 			TightnessGain: two - one,
@@ -201,5 +205,5 @@ func CantelliTable(rows []AblationCantelliRow) *texttable.Table {
 // the paper's form always needs a (slightly) smaller n, hence a smaller
 // WCET^opt for the same guarantee.
 func EquivalentN(p float64) (oneSided, twoSided float64) {
-	return stats.NForBound(p), 1 / math.Sqrt(p)
+	return stats.Cantelli{}.NFor(p), stats.TwoSidedChebyshev{}.NFor(p)
 }

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"testing"
+
+	"chebymc/internal/stats"
+)
+
+// vpGrid is the n range over which the one-sided Vysochanskij–Petunin
+// claim is asserted against every kernel. The far tail (n ≳ 4) is
+// deliberately excluded: the qsort kernels are bimodal — a ~3% cluster of
+// adversarial inputs sits several σ above the mean — so VP's unimodality
+// precondition genuinely fails there (see TestVPUnimodalityCaveat).
+var vpGrid = []float64{0.5, 1, 1.5, 2, 2.5, 3}
+
+// TestBoundEmpiricalValidity samples each vmcpu kernel and asserts the
+// measured overrun rates never exceed what the bounds claim: Cantelli
+// (distribution-free, any n) everywhere, Vysochanskij–Petunin on the
+// central range where unimodality is a fair description of every kernel.
+func TestBoundEmpiricalValidity(t *testing.T) {
+	traces, _, err := BenchTraces(TraceConfig{Seed: 1, Workers: 4, DefaultSamples: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cantelliGrid := []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 5, 8}
+	for app, tr := range traces {
+		if err := tr.CheckBound(stats.Cantelli{}, cantelliGrid); err != nil {
+			t.Errorf("%s: %v", app, err)
+		}
+		if err := tr.CheckBound(stats.VysochanskijPetunin{}, vpGrid); err != nil {
+			t.Errorf("%s: %v", app, err)
+		}
+	}
+}
+
+// TestVPUnimodalityCaveat pins the counterexample that motivates keeping
+// Cantelli as the default: qsort-10's bimodal tail exceeds the VP claim
+// at n = 4 while the distribution-free Cantelli bound still holds. If
+// this ever stops violating, the vpGrid restriction above can be
+// revisited.
+func TestVPUnimodalityCaveat(t *testing.T) {
+	traces, _, err := BenchTraces(TraceConfig{Seed: 1, Workers: 4, DefaultSamples: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traces["qsort-10"]
+	if tr == nil {
+		t.Fatal("qsort-10 trace missing")
+	}
+	if !tr.ViolatesBoundAtN(stats.VysochanskijPetunin{}, 4) {
+		t.Error("qsort-10 no longer violates VP at n=4; the bimodality caveat may be stale")
+	}
+	if tr.ViolatesBoundAtN(stats.Cantelli{}, 4) {
+		t.Error("qsort-10 violates the distribution-free Cantelli bound at n=4")
+	}
+}

@@ -1,0 +1,405 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"chebymc/internal/core"
+	"chebymc/internal/dist"
+	"chebymc/internal/engine"
+	"chebymc/internal/ga"
+	"chebymc/internal/mc"
+	"chebymc/internal/policy"
+	"chebymc/internal/stats"
+	"chebymc/internal/taskgen"
+	"chebymc/internal/texttable"
+	"chebymc/internal/trace"
+)
+
+// This file holds the beyond-the-paper `bounds` scenario: the pluggable
+// concentration-bound engines compared head to head. Part A prices each
+// inequality on the measured benchmark kernels — the n it needs for a
+// target overrun probability against the Eq. 9 ceiling n_max, i.e. how
+// much headroom each engine leaves. Part B swaps each engine into the
+// proposed GA scheme on random task sets and checks its predicted
+// P_sys^MS against a Monte-Carlo simulation of the mode-switch rate.
+
+// HeadroomRow prices one bound on one kernel at one target overrun
+// probability.
+type HeadroomRow struct {
+	App   string
+	Bound string
+	// Target is the overrun probability the budget must certify.
+	Target float64
+	// N is the bound's NFor(Target); NMax is the Eq. 9 ceiling
+	// (WCET^pes − ACET)/σ; Headroom is their difference (negative when
+	// the bound cannot certify the target within the ceiling).
+	N, NMax, Headroom float64
+	// Budget is ACET + N·σ; Measured is the trace's exceedance rate of
+	// that budget; Holds reports Measured ≤ Target.
+	Budget   float64
+	Measured float64
+	Holds    bool
+}
+
+// BoundsHeadroom is Part A of the bounds scenario.
+type BoundsHeadroom struct {
+	Rows    []HeadroomRow
+	Targets []float64
+}
+
+// headroomFamilies builds the compared bound line-up for one trace: the
+// flag-selectable closed forms plus the two data-dependent engines
+// (sample-moment Cantelli and the ECDF tail) estimated from the trace.
+func headroomFamilies(tr *trace.Trace) ([]stats.Bound, error) {
+	m4, err := stats.NewHigherMomentCantelli(4, tr.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", tr.App, err)
+	}
+	ecdf, err := stats.NewECDFBound(tr.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", tr.App, err)
+	}
+	return []stats.Bound{
+		stats.Cantelli{},
+		stats.TwoSidedChebyshev{},
+		stats.VysochanskijPetunin{},
+		m4,
+		ecdf,
+	}, nil
+}
+
+// BoundsHeadroomFrom derives Part A from already-collected traces and
+// their IPET WCET bounds (the trace pass Tables I–II share). Targets
+// defaults to {0.1, 0.01}.
+func BoundsHeadroomFrom(traces trace.Set, wcet map[string]float64, targets []float64) (*BoundsHeadroom, error) {
+	if len(targets) == 0 {
+		targets = []float64{0.1, 0.01}
+	}
+	res := &BoundsHeadroom{Targets: targets}
+	for _, app := range Table2Apps {
+		tr, ok := traces[app]
+		if !ok {
+			return nil, fmt.Errorf("experiment: missing trace for %s", app)
+		}
+		s := tr.Summary()
+		if s.StdDev == 0 {
+			return nil, fmt.Errorf("experiment: %s: degenerate trace (σ = 0)", app)
+		}
+		fams, err := headroomFamilies(tr)
+		if err != nil {
+			return nil, err
+		}
+		nMax := (wcet[app] - s.Mean) / s.StdDev
+		for _, target := range targets {
+			for _, b := range fams {
+				n := b.NFor(target)
+				budget := s.Mean + n*s.StdDev
+				measured := tr.OverrunRate(budget)
+				res.Rows = append(res.Rows, HeadroomRow{
+					App: app, Bound: b.Name(), Target: target,
+					N: n, NMax: nMax, Headroom: nMax - n,
+					Budget:   budget,
+					Measured: measured,
+					Holds:    measured <= target+1e-9,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// VPBeatsCantelli reports whether the Vysochanskij–Petunin engine needs a
+// strictly smaller n than Cantelli — hence leaves strictly more Eq. 9
+// headroom — on every app/target pair. This is the unimodality dividend
+// the scenario demonstrates (VP ≤ Cantelli pointwise implies it
+// analytically; the table shows it on measured kernels).
+func (r *BoundsHeadroom) VPBeatsCantelli() bool {
+	type key struct {
+		app    string
+		target float64
+	}
+	cantelli := make(map[key]float64)
+	for _, row := range r.Rows {
+		if row.Bound == stats.DefaultBoundName {
+			cantelli[key{row.App, row.Target}] = row.N
+		}
+	}
+	seen := false
+	for _, row := range r.Rows {
+		if row.Bound != (stats.VysochanskijPetunin{}).Name() {
+			continue
+		}
+		c, ok := cantelli[key{row.App, row.Target}]
+		if !ok || row.N >= c {
+			return false
+		}
+		seen = true
+	}
+	return seen
+}
+
+// Table renders Part A.
+func (r *BoundsHeadroom) Table() *texttable.Table {
+	tb := texttable.New(
+		"Bound engines: n for a target overrun probability vs the Eq. 9 ceiling",
+		"app", "bound", "target", "n", "n_max", "headroom", "budget", "measured", "holds",
+	)
+	for _, row := range r.Rows {
+		tb.AddRow(
+			row.App,
+			row.Bound,
+			fmt.Sprintf("%.3f", row.Target),
+			fmt.Sprintf("%.3f", row.N),
+			fmt.Sprintf("%.2f", row.NMax),
+			fmt.Sprintf("%.2f", row.Headroom),
+			fmt.Sprintf("%.4g", row.Budget),
+			fmt.Sprintf("%.4f", row.Measured),
+			fmt.Sprintf("%v", row.Holds),
+		)
+	}
+	return tb
+}
+
+// sweepBounds is Part B's engine line-up: the flag-selectable closed-form
+// bounds (data-dependent engines need a per-task trace, which random task
+// sets do not carry).
+func sweepBounds() []stats.Bound {
+	return []stats.Bound{
+		stats.Cantelli{},
+		stats.TwoSidedChebyshev{},
+		stats.VysochanskijPetunin{},
+		stats.HigherMomentCantelli{K: 4, Moment: 3},
+	}
+}
+
+// BoundsSweepConfig scales Part B of the bounds scenario.
+type BoundsSweepConfig struct {
+	// Bounds are the compared engines. Default sweepBounds().
+	Bounds []stats.Bound
+	// UHCHI is the generated sets' HI-mode HC utilisation. Default 0.7.
+	UHCHI float64
+	// Sets is the number of random task sets per engine. Default 200.
+	Sets int
+	// Rounds is the number of Monte-Carlo mode-switch rounds per set:
+	// each round draws every HC task's execution time from a truncated
+	// normal on (ACET, σ) capped at C^HI and switches modes when any task
+	// exceeds its C^LO. Default 500.
+	Rounds int
+	// GA tunes the per-set search; zero selects the Fig. 4/5 sizing
+	// (pop 40, 60 generations).
+	GA ga.Config
+	// Seed seeds generation; Workers bounds the scoring goroutines
+	// (results are identical for every value).
+	Seed    int64
+	Workers int
+}
+
+func (c BoundsSweepConfig) withDefaults() BoundsSweepConfig {
+	if len(c.Bounds) == 0 {
+		c.Bounds = sweepBounds()
+	}
+	if c.UHCHI == 0 {
+		c.UHCHI = 0.7
+	}
+	if c.Sets == 0 {
+		c.Sets = 200
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 500
+	}
+	if c.GA.PopSize == 0 {
+		c.GA.PopSize = 40
+	}
+	if c.GA.Generations == 0 {
+		c.GA.Generations = 60
+	}
+	return c
+}
+
+// BoundsSweepRow is one engine's mean outcome over the swept task sets.
+type BoundsSweepRow struct {
+	Bound string
+	// MeanN is the mean of the per-task n_i the GA assigns.
+	MeanN float64
+	// PredPMS is the engine's Eq. 10 claim; SimPMS the Monte-Carlo
+	// mode-switch rate under truncated-normal execution times.
+	PredPMS, SimPMS float64
+	MaxU, Objective float64
+}
+
+// BoundsSweep is Part B of the bounds scenario.
+type BoundsSweep struct {
+	Rows []BoundsSweepRow
+	cfg  BoundsSweepConfig
+}
+
+// boundsAxis is one engine's reduced outcome. Exported fields so the
+// engine can checkpoint it as JSON.
+type boundsAxis struct {
+	MeanN, Pred, Sim, MaxU, Obj float64
+}
+
+// RunBoundsSweep executes Part B: for each engine, cfg.Sets random task
+// sets are optimised by the GA scoring Eq. 13 under that engine, then
+// simulated. Each set draws generation, search and simulation from its
+// own derived stream, so results are identical for every worker count.
+func RunBoundsSweep(cfg BoundsSweepConfig) (*BoundsSweep, error) {
+	return RunBoundsSweepCtx(context.Background(), cfg, EngOpts{})
+}
+
+// RunBoundsSweepCtx is RunBoundsSweep with engine controls (see EngOpts).
+func RunBoundsSweepCtx(ctx context.Context, cfg BoundsSweepConfig, eo EngOpts) (*BoundsSweep, error) {
+	cfg = cfg.withDefaults()
+
+	names := make([]string, len(cfg.Bounds))
+	for i, b := range cfg.Bounds {
+		names[i] = b.Name()
+	}
+
+	type setOut struct {
+		meanN, pred, sim, maxU, obj float64
+	}
+
+	ecfg := engine.Config{
+		Scenario: "bounds",
+		Seed:     cfg.Seed, Stream: streamBounds,
+		Points: len(cfg.Bounds), Sets: cfg.Sets,
+		Workers:  cfg.Workers,
+		Progress: eo.Progress,
+	}
+	ck, err := eo.checkpoint("bounds", fmt.Sprintf("bounds v1 seed=%d sets=%d rounds=%d u=%g ga=%d/%d engines=%v",
+		cfg.Seed, cfg.Sets, cfg.Rounds, cfg.UHCHI, cfg.GA.PopSize, cfg.GA.Generations, names))
+	if err != nil {
+		return nil, err
+	}
+	ecfg.Checkpoint = ck
+
+	axes, err := engine.Sweep(ctx, ecfg,
+		func(point, s int, r *rand.Rand) (setOut, error) {
+			b := cfg.Bounds[point]
+			ts, err := taskgen.HCOnly(r, taskgen.Config{}, cfg.UHCHI)
+			if err != nil {
+				return setOut{}, fmt.Errorf("experiment: bounds %s: %w", b.Name(), err)
+			}
+			a, err := policy.ChebyshevGA{Config: cfg.GA, Bound: b}.Assign(ts, r)
+			if err != nil {
+				return setOut{}, fmt.Errorf("experiment: bounds %s: %w", b.Name(), err)
+			}
+			sim, err := simulateSwitchRate(a, r, cfg.Rounds)
+			if err != nil {
+				return setOut{}, fmt.Errorf("experiment: bounds %s: %w", b.Name(), err)
+			}
+			meanN := 0.0
+			for _, n := range a.NS {
+				meanN += n
+			}
+			if len(a.NS) > 0 {
+				meanN /= float64(len(a.NS))
+			}
+			return setOut{meanN: meanN, pred: a.PMS, sim: sim, maxU: a.MaxULCLO, obj: a.Objective}, nil
+		},
+		func(point int, outs []setOut) (boundsAxis, error) {
+			var accN, accPred, accSim, accU, accObj stats.Online
+			for _, o := range outs {
+				accN.Add(o.meanN)
+				accPred.Add(o.pred)
+				accSim.Add(o.sim)
+				accU.Add(o.maxU)
+				accObj.Add(o.obj)
+			}
+			return boundsAxis{
+				MeanN: accN.Mean(), Pred: accPred.Mean(), Sim: accSim.Mean(),
+				MaxU: accU.Mean(), Obj: accObj.Mean(),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BoundsSweep{cfg: cfg}
+	for i, b := range cfg.Bounds {
+		res.Rows = append(res.Rows, BoundsSweepRow{
+			Bound:   b.Name(),
+			MeanN:   axes[i].MeanN,
+			PredPMS: axes[i].Pred, SimPMS: axes[i].Sim,
+			MaxU: axes[i].MaxU, Objective: axes[i].Obj,
+		})
+	}
+	return res, nil
+}
+
+// simulateSwitchRate Monte-Carlo-estimates the mode-switch probability of
+// an assignment: each round draws every HC task's execution time from a
+// truncated normal on its (ACET, σ) profile capped at C^HI — unimodal, so
+// every compared engine's validity precondition holds — and the system
+// switches when any task exceeds its C^LO. Degenerate tasks (σ = 0, or a
+// profile the truncation rejects) execute at ACET ≤ C^LO and are skipped.
+func simulateSwitchRate(a core.Assignment, r *rand.Rand, rounds int) (float64, error) {
+	if rounds <= 0 {
+		return 0, fmt.Errorf("experiment: %d simulation rounds", rounds)
+	}
+	type taskDist struct {
+		d   dist.Dist
+		clo float64
+	}
+	var tds []taskDist
+	for _, t := range a.TaskSet.ByCrit(mc.HC) {
+		if t.Profile.Sigma <= 0 {
+			continue
+		}
+		d, err := dist.NewTruncNormal(t.Profile.ACET, t.Profile.Sigma, 0, t.CHI)
+		if err != nil {
+			continue
+		}
+		tds = append(tds, taskDist{d: d, clo: t.CLO})
+	}
+	switches := 0
+	for round := 0; round < rounds; round++ {
+		overran := false
+		for _, td := range tds {
+			if td.d.Sample(r) > td.clo {
+				overran = true
+			}
+		}
+		if overran {
+			switches++
+		}
+	}
+	return float64(switches) / float64(rounds), nil
+}
+
+// PredictionsHold reports whether every engine's simulated mode-switch
+// rate stays at or below its Eq. 10 claim (within Monte-Carlo noise) —
+// the soundness check Part B exists for: under unimodal execution times
+// all four engines are valid, so none may under-claim.
+func (r *BoundsSweep) PredictionsHold() bool {
+	const mcSlack = 0.01
+	for _, row := range r.Rows {
+		if row.SimPMS > row.PredPMS+mcSlack {
+			return false
+		}
+	}
+	return len(r.Rows) > 0
+}
+
+// Table renders Part B.
+func (r *BoundsSweep) Table() *texttable.Table {
+	tb := texttable.New(
+		fmt.Sprintf("Bound engines in the GA scheme (U_HC^HI=%.2f, %d sets, %d MC rounds per set)",
+			r.cfg.UHCHI, r.cfg.Sets, r.cfg.Rounds),
+		"bound", "mean n", "P_sys^MS (claim)", "P_sys^MS (simulated)", "max U_LC^LO", "objective",
+	)
+	for _, row := range r.Rows {
+		tb.AddRow(
+			row.Bound,
+			fmt.Sprintf("%.3f", row.MeanN),
+			fmt.Sprintf("%.4f", row.PredPMS),
+			fmt.Sprintf("%.4f", row.SimPMS),
+			fmt.Sprintf("%.4f", row.MaxU),
+			fmt.Sprintf("%.4f", row.Objective),
+		)
+	}
+	return tb
+}

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"chebymc/internal/artifact"
+	"chebymc/internal/stats"
+)
+
+// TestBoundsHeadroom pins Part A's shape and its two structural claims:
+// the distribution-free default never breaks its target, and VP prices
+// every app/target strictly tighter than Cantelli.
+func TestBoundsHeadroom(t *testing.T) {
+	traces, wcet, err := BenchTraces(TraceConfig{DefaultSamples: 400, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := BoundsHeadroomFrom(traces, wcet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(Table2Apps) * len(head.Targets) * 5
+	if len(head.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(head.Rows), wantRows)
+	}
+	if !head.VPBeatsCantelli() {
+		t.Error("VP does not beat Cantelli on every app/target")
+	}
+	for _, row := range head.Rows {
+		if row.NMax <= 0 {
+			t.Errorf("%s: non-positive Eq. 9 ceiling %g", row.App, row.NMax)
+		}
+		// Cantelli is distribution-free: its budget must hold on any
+		// trace. The ECDF bound holds by construction (NFor inverts the
+		// very tail Measured re-reads).
+		if (row.Bound == stats.DefaultBoundName || row.Bound == "empirical") && !row.Holds {
+			t.Errorf("%s: %s bound broke its %.3f target (measured %.4f)",
+				row.App, row.Bound, row.Target, row.Measured)
+		}
+	}
+}
+
+// TestBoundsSweep pins Part B on a tiny grid: one row per engine in
+// line-up order, deterministic per seed, and no engine's simulated
+// mode-switch rate above its claim (all four are valid under the
+// unimodal truncated-normal execution times the simulation draws).
+func TestBoundsSweep(t *testing.T) {
+	cfg := BoundsSweepConfig{
+		Sets: 3, Rounds: 80, Seed: 5, Workers: 2,
+	}
+	cfg.GA.PopSize, cfg.GA.Generations = 8, 6
+	res, err := RunBoundsSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sweepBounds()
+	if len(res.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(want))
+	}
+	for i, row := range res.Rows {
+		if row.Bound != want[i].Name() {
+			t.Errorf("row %d is %s, want %s", i, row.Bound, want[i].Name())
+		}
+		if row.PredPMS <= 0 || row.PredPMS > 1 {
+			t.Errorf("%s: claim %g out of (0, 1]", row.Bound, row.PredPMS)
+		}
+		if row.MeanN <= 0 {
+			t.Errorf("%s: mean n %g not positive", row.Bound, row.MeanN)
+		}
+	}
+	if !res.PredictionsHold() {
+		t.Errorf("a simulated switch rate exceeds its claim: %+v", res.Rows)
+	}
+
+	again, err := RunBoundsSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if res.Rows[i] != again.Rows[i] {
+			t.Errorf("row %d not deterministic: %+v vs %+v", i, res.Rows[i], again.Rows[i])
+		}
+	}
+}
+
+// TestBoundsScenario runs the registered on-demand scenario end to end
+// at smoke scale and checks both verification notes come out true.
+func TestBoundsScenario(t *testing.T) {
+	var sc *Scenario
+	for i := range registry {
+		if registry[i].Name == "bounds" {
+			sc = &registry[i]
+		}
+	}
+	if sc == nil {
+		t.Fatal("bounds scenario missing from registry")
+	}
+	if !sc.OnDemand || !sc.Checkpointed {
+		t.Fatalf("bounds scenario flags: OnDemand=%v Checkpointed=%v", sc.OnDemand, sc.Checkpointed)
+	}
+	arts, err := sc.Run(context.Background(), Options{Sets: 2, Samples: 300, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 4 {
+		t.Fatalf("got %d artefacts, want 4", len(arts))
+	}
+	for i, want := range []string{"bounds_headroom", "", "bounds_sweep", ""} {
+		if want == "" {
+			note, ok := arts[i].(artifact.Note)
+			if !ok {
+				t.Fatalf("artefact %d is %T, want Note", i, arts[i])
+			}
+			if !strings.Contains(note.Text, "true") {
+				t.Errorf("verification note %d not true: %q", i, note.Text)
+			}
+			continue
+		}
+		tb, ok := arts[i].(artifact.Table)
+		if !ok || tb.Name != want {
+			t.Fatalf("artefact %d is %T (%v), want Table %s", i, arts[i], arts[i], want)
+		}
+	}
+}

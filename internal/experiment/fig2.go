@@ -6,6 +6,7 @@ import (
 
 	"chebymc/internal/mc"
 	"chebymc/internal/policy"
+	"chebymc/internal/stats"
 	"chebymc/internal/taskgen"
 	"chebymc/internal/textplot"
 	"chebymc/internal/texttable"
@@ -20,6 +21,8 @@ type Fig2Config struct {
 	NMaxSweep int
 	// Seed seeds task-set generation.
 	Seed int64
+	// Bound selects the Eq. 10 inequality; nil is the Cantelli default.
+	Bound stats.Bound
 }
 
 func (c Fig2Config) withDefaults() Fig2Config {
@@ -65,7 +68,7 @@ func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
 	}
 	res := &Fig2Result{TaskSet: ts, OptN: -1}
 	for n := 0; n <= cfg.NMaxSweep; n++ {
-		a, err := policy.ChebyshevUniform{N: float64(n)}.Assign(ts, nil)
+		a, err := policy.ChebyshevUniform{N: float64(n), Bound: cfg.Bound}.Assign(ts, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig2 n=%d: %w", n, err)
 		}

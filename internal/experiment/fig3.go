@@ -31,6 +31,8 @@ type Fig3Config struct {
 	// and 1 run serially; results are identical for every value because
 	// each task set draws from its own derived stream.
 	Workers int
+	// Bound selects the Eq. 10 inequality; nil is the Cantelli default.
+	Bound stats.Bound
 }
 
 func (c Fig3Config) withDefaults() Fig3Config {
@@ -104,8 +106,8 @@ func RunFig3Ctx(ctx context.Context, cfg Fig3Config, eo EngOpts) (*Fig3Result, e
 		Workers:  cfg.Workers,
 		Progress: eo.Progress,
 	}
-	ck, err := eo.checkpoint("fig3", fmt.Sprintf("fig3 v1 seed=%d sets=%d us=%v ns=%v opt=%d",
-		cfg.Seed, cfg.Sets, cfg.UHCHIs, cfg.Ns, cfg.OptSweepMax))
+	ck, err := eo.checkpoint("fig3", fmt.Sprintf("fig3 v1 seed=%d sets=%d us=%v ns=%v opt=%d%s",
+		cfg.Seed, cfg.Sets, cfg.UHCHIs, cfg.Ns, cfg.OptSweepMax, boundKeySuffix(cfg.Bound)))
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +126,7 @@ func RunFig3Ctx(ctx context.Context, cfg Fig3Config, eo EngOpts) (*Fig3Result, e
 				obj:  make([]float64, len(cfg.Ns)),
 			}
 			for i, n := range cfg.Ns {
-				a, err := policy.ChebyshevUniform{N: n}.Assign(ts, nil)
+				a, err := policy.ChebyshevUniform{N: n, Bound: cfg.Bound}.Assign(ts, nil)
 				if err != nil {
 					return setOut{}, fmt.Errorf("experiment: fig3 u=%g n=%g: %w", u, n, err)
 				}
@@ -133,7 +135,7 @@ func RunFig3Ctx(ctx context.Context, cfg Fig3Config, eo EngOpts) (*Fig3Result, e
 			// Per-set optimum over the fine sweep.
 			bestN, bestObj := 0.0, -1.0
 			for n := 0; n <= cfg.OptSweepMax; n++ {
-				a, err := policy.ChebyshevUniform{N: float64(n)}.Assign(ts, nil)
+				a, err := policy.ChebyshevUniform{N: float64(n), Bound: cfg.Bound}.Assign(ts, nil)
 				if err != nil {
 					return setOut{}, err
 				}

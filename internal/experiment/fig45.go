@@ -33,6 +33,10 @@ type Fig45Config struct {
 	// and 1 run serially; results are identical for every value because
 	// each task set draws from its own derived stream.
 	Workers int
+	// Bound selects the Eq. 10 inequality every compared policy is scored
+	// under (the GA optimises it, the λ baselines report it); nil is the
+	// Cantelli default.
+	Bound stats.Bound
 }
 
 func (c Fig45Config) withDefaults() Fig45Config {
@@ -55,12 +59,19 @@ func (c Fig45Config) withDefaults() Fig45Config {
 // GA scheme plus the λ baselines the paper cites ([1] ranges, [4]/[12]
 // fixed fractions).
 func ComparedPolicies(gaCfg ga.Config) []policy.Policy {
+	return ComparedPoliciesBound(gaCfg, nil)
+}
+
+// ComparedPoliciesBound is ComparedPolicies with every line-up member
+// scored under the same concentration bound, so a swapped engine keeps
+// the comparison apples to apples (nil keeps the Cantelli default).
+func ComparedPoliciesBound(gaCfg ga.Config, b stats.Bound) []policy.Policy {
 	return []policy.Policy{
-		policy.ChebyshevGA{Config: gaCfg},
-		policy.LambdaRange{Lo: 0.25, Hi: 1},
-		policy.LambdaRange{Lo: 0.125, Hi: 1},
-		policy.LambdaFixed{Lambda: 1.0 / 16},
-		policy.LambdaFixed{Lambda: 1.0 / 32},
+		policy.ChebyshevGA{Config: gaCfg, Bound: b},
+		policy.LambdaRange{Lo: 0.25, Hi: 1, Bound: b},
+		policy.LambdaRange{Lo: 0.125, Hi: 1, Bound: b},
+		policy.LambdaFixed{Lambda: 1.0 / 16, Bound: b},
+		policy.LambdaFixed{Lambda: 1.0 / 32, Bound: b},
 	}
 }
 
@@ -113,7 +124,7 @@ func RunFig45(cfg Fig45Config) (*Fig45Result, error) {
 // events and per-point checkpointing (see EngOpts).
 func RunFig45Ctx(ctx context.Context, cfg Fig45Config, eo EngOpts) (*Fig45Result, error) {
 	cfg = cfg.withDefaults()
-	pols := ComparedPolicies(cfg.GA)
+	pols := ComparedPoliciesBound(cfg.GA, cfg.Bound)
 
 	// setOut is one task set's score under every compared policy.
 	type setOut struct {
@@ -127,8 +138,8 @@ func RunFig45Ctx(ctx context.Context, cfg Fig45Config, eo EngOpts) (*Fig45Result
 		Workers:  cfg.Workers,
 		Progress: eo.Progress,
 	}
-	ck, err := eo.checkpoint("fig45", fmt.Sprintf("fig45 v1 seed=%d sets=%d us=%v ga=%d/%d",
-		cfg.Seed, cfg.Sets, cfg.UHCHIs, cfg.GA.PopSize, cfg.GA.Generations))
+	ck, err := eo.checkpoint("fig45", fmt.Sprintf("fig45 v1 seed=%d sets=%d us=%v ga=%d/%d%s",
+		cfg.Seed, cfg.Sets, cfg.UHCHIs, cfg.GA.PopSize, cfg.GA.Generations, boundKeySuffix(cfg.Bound)))
 	if err != nil {
 		return nil, err
 	}

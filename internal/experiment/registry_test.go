@@ -13,8 +13,29 @@ func TestResolveAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != len(registry) {
-		t.Fatalf("all selected %d scenarios, want %d", len(sel), len(registry))
+	std := 0
+	for _, s := range registry {
+		if !s.OnDemand {
+			std++
+		}
+		if sel[s.Name] == s.OnDemand {
+			t.Errorf("scenario %s (OnDemand=%v): selected by all = %v", s.Name, s.OnDemand, sel[s.Name])
+		}
+	}
+	if len(sel) != std {
+		t.Fatalf("all selected %d scenarios, want %d", len(sel), std)
+	}
+}
+
+// TestResolveOnDemandByName pins that on-demand scenarios stay reachable
+// when named explicitly even though "all" skips them.
+func TestResolveOnDemandByName(t *testing.T) {
+	sel, err := Resolve([]string{"bounds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel["bounds"] || len(sel) != 1 {
+		t.Errorf("got %v, want bounds only", sel)
 	}
 }
 

@@ -73,7 +73,8 @@ func (s *Session) benchTraces(ctx context.Context, cfg TraceConfig) (trace.Set, 
 // runs the sweep once, exactly like the pre-registry driver.
 func (s *Session) fig45Result(ctx context.Context, o Options) (*Fig45Result, error) {
 	cfg := fig45Config(o)
-	key := fmt.Sprintf("seed=%d sets=%d ga=%d/%d", cfg.Seed, cfg.Sets, cfg.GA.PopSize, cfg.GA.Generations)
+	key := fmt.Sprintf("seed=%d sets=%d ga=%d/%d%s",
+		cfg.Seed, cfg.Sets, cfg.GA.PopSize, cfg.GA.Generations, boundKeySuffix(cfg.Bound))
 	s.mu.Lock()
 	if r, ok := s.fig45[key]; ok {
 		s.mu.Unlock()

@@ -16,7 +16,8 @@ var Table2Apps = []string{"qsort-100", "corner", "edge", "smooth", "epic"}
 // overrun percentage per application.
 type Table2Row struct {
 	N int
-	// AnalysisPct is 100·1/(1+n²), the Theorem 1 bound.
+	// AnalysisPct is 100·bound.P(n) — under the default Cantelli engine
+	// the paper's Theorem 1 value 100·1/(1+n²).
 	AnalysisPct float64
 	// MeasuredPct maps app name → measured percentage of samples above
 	// ACET + n·σ.
@@ -27,6 +28,8 @@ type Table2Row struct {
 // analysis vs experiment.
 type Table2Result struct {
 	Rows []Table2Row
+	// BoundName is the analysis column's inequality.
+	BoundName string
 }
 
 // RunTable2 executes the Table II experiment for n = 0..4.
@@ -35,15 +38,15 @@ func RunTable2(cfg TraceConfig) (*Table2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return table2From(traces)
+	return table2From(traces, stats.Cantelli{})
 }
 
-func table2From(traces trace.Set) (*Table2Result, error) {
-	var res Table2Result
+func table2From(traces trace.Set, b stats.Bound) (*Table2Result, error) {
+	res := Table2Result{BoundName: b.Name()}
 	for n := 0; n <= 4; n++ {
 		row := Table2Row{
 			N:           n,
-			AnalysisPct: 100 * stats.CantelliBound(float64(n)),
+			AnalysisPct: 100 * b.P(float64(n)),
 			MeasuredPct: make(map[string]float64, len(Table2Apps)),
 		}
 		for _, app := range Table2Apps {
@@ -68,17 +71,22 @@ func RunTables1And2(cfg TraceConfig) (*Table1Result, *Table2Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	t2, err := table2From(traces)
+	t2, err := table2From(traces, stats.Cantelli{})
 	if err != nil {
 		return nil, nil, err
 	}
 	return t1, t2, nil
 }
 
-// Table renders the result in the paper's layout.
+// Table renders the result in the paper's layout. A non-default bound is
+// called out in the title so swapped-engine runs are self-describing.
 func (r *Table2Result) Table() *texttable.Table {
+	title := "Table II: effect of n on task overrunning (%)"
+	if r.BoundName != "" && r.BoundName != stats.DefaultBoundName {
+		title += fmt.Sprintf(" [%s bound]", r.BoundName)
+	}
 	header := append([]string{"n", "analysis"}, Table2Apps...)
-	tb := texttable.New("Table II: effect of n on task overrunning (%)", header...)
+	tb := texttable.New(title, header...)
 	for _, row := range r.Rows {
 		cells := []string{
 			fmt.Sprintf("n=%d", row.N),

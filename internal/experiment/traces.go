@@ -31,6 +31,7 @@ const (
 	streamFig45
 	streamFig6
 	streamExtension
+	streamBounds
 )
 
 // BenchApps lists the benchmark kernels of the paper's Table I in

@@ -1,0 +1,45 @@
+package fit
+
+import (
+	"chebymc/internal/dist"
+	"chebymc/internal/stats"
+)
+
+// TailBound wraps a fitted model's upper tail as a stats.Bound on the
+// (mean, σ) scale of the fitted distribution: P(n) = 1 − F(mean + n·σ).
+// It is the fitted-tail end of the bound spectrum the bounds experiment
+// compares against the distribution-free inequalities — only as valid as
+// the fit itself (the representativity caveat this package exists to
+// quantify). Families with a closed-form CDF (dist.CDFer) evaluate it
+// directly; others go through the numeric quantile inversion KSStatistic
+// also uses.
+func TailBound(m Model) *stats.EmpiricalTail {
+	d := m.Dist()
+	cdf := modelCDF(m)
+	return &stats.EmpiricalTail{
+		Mean:   d.Mean(),
+		Sigma:  d.StdDev(),
+		Exceed: func(x float64) float64 { return 1 - cdf(x) },
+		Label:  m.Name() + "-tail",
+	}
+}
+
+// modelCDF returns the model's CDF: the fitted distribution's own when it
+// exposes one (dist.CDFer), otherwise a 60-step bisection over Quantile.
+func modelCDF(m Model) func(x float64) float64 {
+	if c, ok := m.Dist().(dist.CDFer); ok {
+		return c.CDF
+	}
+	return func(x float64) float64 {
+		lo, hi := 0.0, 1.0
+		for i := 0; i < 60; i++ {
+			mid := (lo + hi) / 2
+			if m.Quantile(clampP(mid)) < x {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return (lo + hi) / 2
+	}
+}

@@ -1,0 +1,82 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/dist"
+)
+
+func TestTailBoundNormal(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = 500 + 40*r.NormFloat64()
+	}
+	m, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := TailBound(m)
+	if b.Name() != "normal-tail" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	// A normal fit's tail at mean + n·σ is the standard normal survival
+	// function.
+	for _, n := range []float64{0.5, 1, 2, 3} {
+		want := 0.5 * math.Erfc(n/math.Sqrt2)
+		if got := b.P(n); math.Abs(got-want) > 1e-9 {
+			t.Errorf("P(%g) = %g, want Φ̄ = %g", n, got, want)
+		}
+	}
+	// NFor reaches any positive target on an unbounded tail, and the
+	// claim at the returned n holds.
+	for _, p := range []float64{0.1, 0.01, 1e-4} {
+		n := b.NFor(p)
+		if math.IsInf(n, 1) {
+			t.Fatalf("NFor(%g) = +Inf", p)
+		}
+		if got := b.P(n); got > p*(1+1e-6) {
+			t.Errorf("P(NFor(%g)) = %g exceeds target", p, got)
+		}
+	}
+	// Far tighter than the distribution-free bounds where the fit is
+	// exact: at p = 0.01, Cantelli needs n ≈ 9.95, the normal tail ≈ 2.33.
+	if n := b.NFor(0.01); n > 3 {
+		t.Errorf("NFor(0.01) = %g, want ≈ 2.33", n)
+	}
+}
+
+// quantileOnlyModel exposes no closed-form CDF, forcing TailBound onto
+// the bisection fallback.
+type quantileOnlyModel struct{ m *NormalFit }
+
+func (q quantileOnlyModel) Name() string               { return "qonly" }
+func (q quantileOnlyModel) Quantile(p float64) float64 { return q.m.Quantile(p) }
+func (q quantileOnlyModel) Dist() dist.Dist            { return quantileOnlyDist{q.m.N} }
+
+type quantileOnlyDist struct{ n dist.Normal }
+
+func (d quantileOnlyDist) Sample(r *rand.Rand) float64 { return d.n.Sample(r) }
+func (d quantileOnlyDist) Mean() float64               { return d.n.Mean() }
+func (d quantileOnlyDist) StdDev() float64             { return d.n.StdDev() }
+
+func TestTailBoundBisectionFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = 500 + 40*r.NormFloat64()
+	}
+	m, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := TailBound(m)
+	approx := TailBound(quantileOnlyModel{m})
+	for _, n := range []float64{0.5, 1, 2, 3} {
+		if diff := math.Abs(exact.P(n) - approx.P(n)); diff > 1e-6 {
+			t.Errorf("bisection CDF off by %g at n=%g", diff, n)
+		}
+	}
+}

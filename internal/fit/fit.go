@@ -187,27 +187,11 @@ func KSStatistic(xs []float64, m Model) (float64, error) {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	var modelCDF func(x float64) float64
-	if c, ok := m.Dist().(dist.CDFer); ok {
-		modelCDF = c.CDF
-	} else {
-		modelCDF = func(x float64) float64 {
-			lo, hi := 0.0, 1.0
-			for i := 0; i < 60; i++ {
-				mid := (lo + hi) / 2
-				if m.Quantile(clampP(mid)) < x {
-					lo = mid
-				} else {
-					hi = mid
-				}
-			}
-			return (lo + hi) / 2
-		}
-	}
+	cdf := modelCDF(m)
 	worst := 0.0
 	n := float64(len(sorted))
 	for i, x := range sorted {
-		fm := modelCDF(x)
+		fm := cdf(x)
 		lo := float64(i) / n
 		hi := float64(i+1) / n
 		d := math.Max(math.Abs(fm-lo), math.Abs(fm-hi))

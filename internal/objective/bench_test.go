@@ -8,6 +8,7 @@ import (
 	"chebymc/internal/core"
 	"chebymc/internal/ga"
 	"chebymc/internal/mc"
+	"chebymc/internal/stats"
 	"chebymc/internal/taskgen"
 )
 
@@ -148,5 +149,24 @@ func BenchmarkObjectiveBatchGA(b *testing.B) {
 		if _, err := ga.Run(ga.Problem{Bounds: bounds, Batch: e}, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObjectiveBounds measures the full-recompute path under the
+// non-default Vysochanskij–Petunin bound — the same workload as
+// BenchmarkObjective, so the pair exposes what the bound-interface
+// indirection costs. The bench gate tracks its allocs alongside the
+// default path's.
+func BenchmarkObjectiveBounds(b *testing.B) {
+	ts := benchSet(b, 1)
+	e, err := New(ts, Options{Bound: stats.VysochanskijPetunin{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	genomes := benchGenomes(ts, 64, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Fitness(genomes[i%len(genomes)])
 	}
 }

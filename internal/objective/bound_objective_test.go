@@ -1,0 +1,169 @@
+package objective
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/core"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/mc"
+	"chebymc/internal/stats"
+)
+
+// refFitnessBound is refFitness generalised to an arbitrary bound — the
+// core.ApplyBound reference path the engine's bound threading is pinned
+// against.
+func refFitnessBound(ts *mc.TaskSet, requireLC bool, b stats.Bound) func([]float64) float64 {
+	return func(g []float64) float64 {
+		a, err := core.ApplyBound(ts, g, b)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		if requireLC && !edfvd.Schedulable(a.TaskSet).Schedulable {
+			return math.Inf(-1)
+		}
+		return a.Objective
+	}
+}
+
+// testBounds are the bound engines the equivalence tests sweep.
+func testBounds() []stats.Bound {
+	return []stats.Bound{
+		stats.Cantelli{},
+		stats.TwoSidedChebyshev{},
+		stats.VysochanskijPetunin{},
+		stats.HigherMomentCantelli{K: 4, Moment: 3},
+	}
+}
+
+// TestFitnessBoundMatchesApplyPath: under every bound the engine's full
+// evaluation must equal the core.ApplyBound reference to the last bit.
+func TestFitnessBoundMatchesApplyPath(t *testing.T) {
+	for _, b := range testBounds() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(23))
+			for set := 0; set < 20; set++ {
+				ts := randomSet(t, r, set%2 == 0)
+				if ts.NumHC() == 0 {
+					continue
+				}
+				ref := refFitnessBound(ts, false, b)
+				e, err := New(ts, Options{Bound: b})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for trial := 0; trial < 20; trial++ {
+					g := randomGenome(r, ts)
+					got, want := e.Fitness(g), ref(g)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("set %d trial %d: Fitness = %g, reference = %g", set, trial, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNilBoundIsCantelli: the nil default and an explicit Cantelli{} are
+// the same engine — same scores, same memo digests.
+func TestNilBoundIsCantelli(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	ts := randomSet(t, r, false)
+	eNil, err := New(ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eCan, err := New(ts, Options{Bound: stats.Cantelli{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eNil.digestSeed != eCan.digestSeed {
+		t.Fatalf("digest seeds differ: %x vs %x", eNil.digestSeed, eCan.digestSeed)
+	}
+	for trial := 0; trial < 25; trial++ {
+		g := randomGenome(r, ts)
+		a, b := eNil.Fitness(g), eCan.Fitness(g)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("trial %d: nil-bound %g != Cantelli %g", trial, a, b)
+		}
+	}
+}
+
+// TestBoundDigestSeparation: the same genome must digest differently
+// under different bounds, so memoised scores can never be confused
+// across engines.
+func TestBoundDigestSeparation(t *testing.T) {
+	g := []float64{1.5, 2.25, 0, 7.125}
+	seen := map[uint64]string{}
+	for _, b := range testBounds() {
+		d := genomeDigest(stats.BoundDigest(b), g)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("genome digest collision between %s and %s", prev, b.Name())
+		}
+		seen[d] = b.Name()
+	}
+}
+
+// TestFitnessAllocationFree asserts the hot path stays at zero heap
+// allocations per call after the bound-interface refactor, for the
+// default engine and a non-default bound alike (the bench gate watches
+// the same property over time; this pins it in-tree).
+func TestFitnessAllocationFree(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	ts := randomSet(t, r, false)
+	for _, opts := range []Options{{}, {Bound: stats.VysochanskijPetunin{}}} {
+		opts := opts
+		name := "default"
+		if opts.Bound != nil {
+			name = opts.Bound.Name()
+		}
+		t.Run(name, func(t *testing.T) {
+			e, err := New(ts, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := randomGenome(r, ts)
+			e.Fitness(g) // warm the scratch pool
+			if allocs := testing.AllocsPerRun(200, func() { e.Fitness(g) }); allocs != 0 {
+				t.Fatalf("Fitness allocates %g times per call, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestGABoundSearchDiffers is a smoke check that a non-default bound
+// actually changes what the optimiser sees: for a genome with moderate n
+// values the VP objective must exceed Cantelli's (tighter bound ⇒ lower
+// P^MS ⇒ higher Eq. 13 value).
+func TestGABoundSearchDiffers(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for set := 0; set < 10; set++ {
+		ts := randomSet(t, r, false)
+		if ts.NumHC() == 0 {
+			continue
+		}
+		eCan, err := New(ts, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eVP, err := New(ts, Options{Bound: stats.VysochanskijPetunin{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := make([]float64, ts.NumHC())
+		hcs := ts.ByCrit(mc.HC)
+		for i, task := range hcs {
+			g[i] = math.Min(2, core.NMax(task))
+		}
+		can, vp := eCan.Fitness(g), eVP.Fitness(g)
+		if math.IsInf(can, -1) || math.IsInf(vp, -1) {
+			continue
+		}
+		if vp < can {
+			t.Fatalf("set %d: VP objective %g below Cantelli %g for %s", set, vp, can, fmt.Sprint(g))
+		}
+	}
+}

@@ -6,8 +6,10 @@
 // Fig. 4–6 sweeps once the simulator hot path was fixed.
 //
 // The engine exploits the closed-form structure of Eqs. 10–13: the
-// objective is a product of per-task Cantelli factors (1 − 1/(1+n_i²))
-// times a function of the running HC utilisation sum Σ (ACET_i+n_i·σ_i)/P_i.
+// objective is a product of per-task bound factors (1 − b.P(n_i), with
+// the Cantelli 1/(1+n_i²) as the default b — Options.Bound swaps in any
+// stats.Bound) times a function of the running HC utilisation sum
+// Σ (ACET_i+n_i·σ_i)/P_i.
 // An Evaluator therefore
 //
 //   - hoists the per-HC-task invariants (ACET_i, σ_i, C^HI_i, P_i) and the
@@ -54,6 +56,12 @@ type Options struct {
 	// score is a full evaluation). Intended for the equivalence tests
 	// that pin memo-on == memo-off.
 	DisableMemo bool
+	// Bound selects the concentration inequality behind the Eq. 10
+	// per-task factor. nil selects core.DefaultBound() (Cantelli), which
+	// reproduces the historical engine bit for bit. The bound's identity
+	// is folded into the memo digest (stats.BoundDigest), so evaluators
+	// with different bounds can never share cached scores.
+	Bound stats.Bound
 }
 
 // state is one genome's cached evaluation. All float storage lives in a
@@ -61,7 +69,7 @@ type Options struct {
 //
 //	genome | term | u | prefNS | prefU
 //
-// term[i] is the Eq. 10 factor 1 − CantelliBound(n_i) and u[i] the LO
+// term[i] is the Eq. 10 factor 1 − bound.P(n_i) and u[i] the LO
 // utilisation (ACET_i+n_i·σ_i)/P_i of HC task i; both are NaN when gene i
 // is infeasible (Eq. 9 violation or non-positive budget). prefNS[k] and
 // prefU[k] are the exact left-to-right partial product/sum over genes
@@ -107,6 +115,11 @@ type Evaluator struct {
 	uHCHI, uLCLO float64
 	requireLC    bool
 
+	// bound is the Eq. 10 concentration inequality; digestSeed folds its
+	// identity into every genome digest.
+	bound      stats.Bound
+	digestSeed uint64
+
 	memo    *memoCache // nil when disabled
 	scratch sync.Pool  // *state for full evaluations outside the memo
 
@@ -116,7 +129,11 @@ type Evaluator struct {
 // New builds an Evaluator for the HC tasks of ts. It returns an error
 // for a set without HC tasks — there is nothing to optimise.
 func New(ts *mc.TaskSet, opts Options) (*Evaluator, error) {
-	e := &Evaluator{requireLC: opts.RequireLC}
+	b := opts.Bound
+	if b == nil {
+		b = core.DefaultBound()
+	}
+	e := &Evaluator{requireLC: opts.RequireLC, bound: b, digestSeed: stats.BoundDigest(b)}
 	for _, t := range ts.Tasks {
 		switch t.Crit {
 		case mc.HC:
@@ -167,7 +184,7 @@ func (e *Evaluator) gene(st *state, g []float64, i int) {
 		st.u()[i] = math.NaN()
 		return
 	}
-	st.term()[i] = 1 - stats.CantelliBound(n)
+	st.term()[i] = 1 - e.bound.P(n)
 	st.u()[i] = w / e.period[i]
 }
 
@@ -267,14 +284,14 @@ func (e *Evaluator) score(d ga.Derived) float64 {
 		e.fulls.Add(1)
 		return e.Fitness(d.Genome)
 	}
-	digest := genomeDigest(d.Genome)
+	digest := genomeDigest(e.digestSeed, d.Genome)
 	if hit := e.memo.lookup(digest, d.Genome); hit != nil {
 		e.hits.Add(1)
 		return hit.fit
 	}
 	var parent *state
 	if d.Parent != nil {
-		if pe := e.memo.lookup(genomeDigest(d.Parent), d.Parent); pe != nil {
+		if pe := e.memo.lookup(genomeDigest(e.digestSeed, d.Parent), d.Parent); pe != nil {
 			parent = &pe.state
 		}
 	}
@@ -369,13 +386,14 @@ func equalGenomes(a, b []float64) bool {
 	return true
 }
 
-// genomeDigest hashes the raw float64 bits with FNV-1a.
-func genomeDigest(g []float64) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+// genomeDigest hashes the raw float64 bits with FNV-1a, continuing from
+// seed — the evaluator's bound digest — so identical genomes scored under
+// different bounds land in different memo buckets (and, via the exact
+// genome comparison on lookup, can only ever collide within one
+// evaluator, where the bound is fixed).
+func genomeDigest(seed uint64, g []float64) uint64 {
+	const prime64 = 1099511628211
+	h := seed
 	for _, x := range g {
 		b := math.Float64bits(x)
 		for s := 0; s < 64; s += 8 {

@@ -1,0 +1,81 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chebymc/internal/core"
+	"chebymc/internal/stats"
+)
+
+// TestPolicyBoundOption pins the Bound threading: the same n vector must
+// be scored under the selected inequality (PMS = SystemMSProbBound), the
+// default must stay the historical Cantelli path bit for bit, and a
+// non-default bound must be visible in the policy name.
+func TestPolicyBoundOption(t *testing.T) {
+	ts := testSet(t)
+	vp := stats.VysochanskijPetunin{}
+
+	def, err := ChebyshevUniform{N: 3}.Assign(ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	under, err := ChebyshevUniform{N: 3, Bound: vp}.Assign(ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(def.PMS) != math.Float64bits(core.SystemMSProb(def.NS)) {
+		t.Errorf("default PMS %g is not the Cantelli score", def.PMS)
+	}
+	if math.Float64bits(under.PMS) != math.Float64bits(core.SystemMSProbBound(vp, under.NS)) {
+		t.Errorf("VP PMS %g is not the VP score", under.PMS)
+	}
+	if under.PMS >= def.PMS {
+		t.Errorf("VP PMS %g not tighter than Cantelli %g at the same n", under.PMS, def.PMS)
+	}
+	if got := (ChebyshevUniform{N: 3, Bound: vp}).Name(); got != "chebyshev-n=3[vp]" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (ChebyshevUniform{N: 3}).Name(); got != "chebyshev-n=3" {
+		t.Errorf("default Name = %q", got)
+	}
+}
+
+// TestChebyshevGABoundOption: the GA under a non-default bound is
+// deterministic per seed, reports a PMS consistent with that bound, and
+// under VP never does worse on the Eq. 13 objective than the Cantelli
+// run with the same seed (every candidate scores ≥ its Cantelli value).
+func TestChebyshevGABoundOption(t *testing.T) {
+	ts := testSet(t)
+	vp := stats.VysochanskijPetunin{}
+	ga := ChebyshevGA{Bound: vp}
+	if got := ga.Name(); got != "chebyshev-ga[vp]" {
+		t.Errorf("Name = %q", got)
+	}
+
+	a1, err := ga.Assign(ts, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := ga.Assign(ts, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.NS {
+		if a1.NS[i] != a2.NS[i] {
+			t.Fatalf("non-deterministic: NS[%d] %g vs %g", i, a1.NS[i], a2.NS[i])
+		}
+	}
+	if math.Float64bits(a1.PMS) != math.Float64bits(core.SystemMSProbBound(vp, a1.NS)) {
+		t.Errorf("PMS %g inconsistent with the VP bound", a1.PMS)
+	}
+
+	can, err := ChebyshevGA{}.Assign(ts, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Objective < can.Objective {
+		t.Errorf("VP objective %g below Cantelli %g", a1.Objective, can.Objective)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"chebymc/internal/ga"
 	"chebymc/internal/mc"
 	"chebymc/internal/objective"
+	"chebymc/internal/stats"
 )
 
 // Policy assigns optimistic WCETs to the HC tasks of a task set. The
@@ -32,10 +33,17 @@ type Policy interface {
 type ChebyshevUniform struct {
 	// N is the shared parameter.
 	N float64
+	// Bound selects the concentration inequality behind the Eq. 10
+	// mode-switch probability; nil keeps the paper's Cantelli default
+	// (and the historical output bit for bit).
+	Bound stats.Bound
 }
 
-// Name implements Policy.
-func (p ChebyshevUniform) Name() string { return fmt.Sprintf("chebyshev-n=%g", p.N) }
+// Name implements Policy. A non-default bound is spelled out so
+// experiment tables distinguish the engines.
+func (p ChebyshevUniform) Name() string {
+	return fmt.Sprintf("chebyshev-n=%g%s", p.N, boundSuffix(p.Bound))
+}
 
 // Assign implements Policy.
 func (p ChebyshevUniform) Assign(ts *mc.TaskSet, _ *rand.Rand) (core.Assignment, error) {
@@ -47,7 +55,25 @@ func (p ChebyshevUniform) Assign(ts *mc.TaskSet, _ *rand.Rand) (core.Assignment,
 	if err != nil {
 		return core.Assignment{}, err
 	}
-	return core.Apply(ts, clamped)
+	return core.ApplyBound(ts, clamped, boundOrDefault(p.Bound))
+}
+
+// boundOrDefault resolves a policy's optional bound field.
+func boundOrDefault(b stats.Bound) stats.Bound {
+	if b == nil {
+		return core.DefaultBound()
+	}
+	return b
+}
+
+// boundSuffix renders the policy-name marker for a non-default bound.
+// An explicit Cantelli is the default spelled out — no marker, so flag
+// plumbing that always resolves its bound keeps the historical names.
+func boundSuffix(b stats.Bound) string {
+	if b == nil || b.Name() == stats.DefaultBoundName {
+		return ""
+	}
+	return "[" + b.Name() + "]"
 }
 
 // ChebyshevGA searches per-task n_i with the paper's genetic algorithm,
@@ -73,10 +99,14 @@ type ChebyshevGA struct {
 	// search is bit-identical either way (the equivalence tests pin it);
 	// this is a validation and debugging escape hatch, not a tuning knob.
 	NoMemo bool
+	// Bound selects the concentration inequality the objective engine
+	// scores Eq. 10 with; nil keeps the paper's Cantelli default (and the
+	// engine goldens bit-identical).
+	Bound stats.Bound
 }
 
 // Name implements Policy.
-func (p ChebyshevGA) Name() string { return "chebyshev-ga" }
+func (p ChebyshevGA) Name() string { return "chebyshev-ga" + boundSuffix(p.Bound) }
 
 // Assign implements Policy. Fitness evaluation runs on the incremental
 // Eq. 13 engine (internal/objective): the per-task invariants are hoisted
@@ -99,7 +129,7 @@ func (p ChebyshevGA) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, erro
 		}
 		bounds[i] = ga.Bound{Lo: 0, Hi: math.Min(hi, nCap)}
 	}
-	eval, err := objective.New(ts, objective.Options{RequireLC: p.RequireLC, DisableMemo: p.NoMemo})
+	eval, err := objective.New(ts, objective.Options{RequireLC: p.RequireLC, DisableMemo: p.NoMemo, Bound: p.Bound})
 	if err != nil {
 		return core.Assignment{}, err
 	}
@@ -112,7 +142,7 @@ func (p ChebyshevGA) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, erro
 	if math.IsInf(res.BestFitness, -1) {
 		return core.Assignment{}, fmt.Errorf("policy: no feasible assignment found")
 	}
-	return core.Apply(ts, res.Best)
+	return core.ApplyBound(ts, res.Best, boundOrDefault(p.Bound))
 }
 
 // fillGADefaults fills the zero fields of a partial GA config from
@@ -147,10 +177,18 @@ func fillGADefaults(cfg ga.Config) ga.Config {
 type LambdaFixed struct {
 	// Lambda is the fraction of WCET^pes, in (0, 1].
 	Lambda float64
+	// Bound selects the inequality the assignment's P_sys^MS is reported
+	// under; nil keeps the Cantelli default. λ baselines pick budgets
+	// without consulting the bound — only the reported metrics change —
+	// but comparisons against bound-aware policies must score every
+	// line-up member under the same inequality.
+	Bound stats.Bound
 }
 
 // Name implements Policy.
-func (p LambdaFixed) Name() string { return fmt.Sprintf("lambda=1/%g", 1/p.Lambda) }
+func (p LambdaFixed) Name() string {
+	return fmt.Sprintf("lambda=1/%g%s", 1/p.Lambda, boundSuffix(p.Bound))
+}
 
 // Assign implements Policy.
 func (p LambdaFixed) Assign(ts *mc.TaskSet, _ *rand.Rand) (core.Assignment, error) {
@@ -162,7 +200,7 @@ func (p LambdaFixed) Assign(ts *mc.TaskSet, _ *rand.Rand) (core.Assignment, erro
 	for i, t := range hcs {
 		clo[i] = p.Lambda * t.CHI
 	}
-	return core.FromCLO(ts, clo)
+	return core.FromCLOBound(ts, clo, boundOrDefault(p.Bound))
 }
 
 // LambdaRange is Baruah's experimental baseline [1]: each HC task draws an
@@ -171,10 +209,14 @@ func (p LambdaFixed) Assign(ts *mc.TaskSet, _ *rand.Rand) (core.Assignment, erro
 type LambdaRange struct {
 	// Lo, Hi bound the per-task fraction; 0 < Lo ≤ Hi ≤ 1.
 	Lo, Hi float64
+	// Bound selects the reporting inequality, as in LambdaFixed.
+	Bound stats.Bound
 }
 
 // Name implements Policy.
-func (p LambdaRange) Name() string { return fmt.Sprintf("lambda=[1/%g,1/%g]", 1/p.Lo, 1/p.Hi) }
+func (p LambdaRange) Name() string {
+	return fmt.Sprintf("lambda=[1/%g,1/%g]%s", 1/p.Lo, 1/p.Hi, boundSuffix(p.Bound))
+}
 
 // Assign implements Policy.
 func (p LambdaRange) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, error) {
@@ -187,7 +229,7 @@ func (p LambdaRange) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, erro
 		lambda := p.Lo + r.Float64()*(p.Hi-p.Lo)
 		clo[i] = lambda * t.CHI
 	}
-	return core.FromCLO(ts, clo)
+	return core.FromCLOBound(ts, clo, boundOrDefault(p.Bound))
 }
 
 // ACETOnly sets C^LO = ACET (n = 0), the naive strategy the motivational

@@ -1,0 +1,267 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// closedFormBounds are the analytically invertible implementations; the
+// conformance suite holds them to the exact round-trip contract.
+func closedFormBounds() []Bound {
+	return []Bound{
+		Cantelli{},
+		TwoSidedChebyshev{},
+		VysochanskijPetunin{},
+		HigherMomentCantelli{K: 4, Moment: 3},
+		HigherMomentCantelli{K: 3, Moment: 1.5},
+	}
+}
+
+func testEmpiricalBound(t *testing.T) *EmpiricalTail {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = 100 + 20*math.Abs(r.NormFloat64())
+	}
+	b, err := NewECDFBound(xs)
+	if err != nil {
+		t.Fatalf("NewECDFBound: %v", err)
+	}
+	return b
+}
+
+// allBounds is every implementation, for the contract clauses that do not
+// need exact invertibility.
+func allBounds(t *testing.T) []Bound {
+	return append(closedFormBounds(), testEmpiricalBound(t))
+}
+
+func TestBoundConformance(t *testing.T) {
+	for _, b := range allBounds(t) {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			// Vacuity at and below the mean.
+			for _, n := range []float64{0, -0.5, -3, math.Inf(-1)} {
+				if got := b.P(n); got != 1 {
+					t.Errorf("P(%g) = %g, want 1 (vacuous at n ≤ 0)", n, got)
+				}
+			}
+			// Range and monotonicity over a dense grid.
+			prev := 1.0
+			for n := 0.0; n <= 40; n += 0.05 {
+				p := b.P(n)
+				if p < 0 || p > 1 || math.IsNaN(p) {
+					t.Fatalf("P(%g) = %g out of [0, 1]", n, p)
+				}
+				if p > prev+1e-15 {
+					t.Fatalf("P not non-increasing: P(%g) = %g > previous %g", n, p, prev)
+				}
+				prev = p
+			}
+			if got := b.P(math.Inf(1)); got != 0 {
+				t.Errorf("P(+Inf) = %g, want 0", got)
+			}
+			// NFor domain clamps.
+			for _, p := range []float64{0, -0.25, math.Inf(-1), math.NaN()} {
+				if got := b.NFor(p); !math.IsInf(got, 1) {
+					t.Errorf("NFor(%g) = %g, want +Inf", p, got)
+				}
+			}
+			for _, p := range []float64{1, 1.5, 2, math.Inf(1)} {
+				if got := b.NFor(p); got != 0 {
+					t.Errorf("NFor(%g) = %g, want 0", p, got)
+				}
+			}
+			// NFor is achieving: P(NFor(p)) ≤ p for reachable targets.
+			for _, p := range []float64{0.9, 0.5, 0.1, 0.01} {
+				n := b.NFor(p)
+				if math.IsInf(n, 1) {
+					continue // target below the bound's floor (empirical tails)
+				}
+				if got := b.P(n); got > p*(1+1e-9) {
+					t.Errorf("P(NFor(%g)) = %g exceeds target", p, got)
+				}
+			}
+		})
+	}
+}
+
+func TestBoundRoundTripExact(t *testing.T) {
+	targets := []float64{0.9, 0.6, 1.0 / 3, 1.0 / 6, 0.1, 0.05, 0.01, 1e-4, 1e-8}
+	for _, b := range closedFormBounds() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			for _, p := range targets {
+				n := b.NFor(p)
+				got := b.P(n)
+				if diff := math.Abs(got - p); diff > 1e-12 {
+					t.Errorf("P(NFor(%g)) = %g, |diff| = %g > 1e-12", p, got, diff)
+				}
+			}
+		})
+	}
+}
+
+func TestNForBoundEdges(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{math.NaN(), math.Inf(1)},
+		{-1, math.Inf(1)},
+		{0, math.Inf(1)},
+		{1, 0},
+		{2, 0},
+		{0.5, 1},
+	}
+	for _, c := range cases {
+		got := NForBound(c.p)
+		if math.IsInf(c.want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Errorf("NForBound(%g) = %g, want +Inf", c.p, got)
+			}
+		} else if got != c.want {
+			t.Errorf("NForBound(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+// TestVPTighterThanCantelli pins the property the bounds experiment
+// reports: the unimodal bound is pointwise ≤ Cantelli, so its NFor — and
+// hence the Eq. 9 headroom NMax − NFor(p) — strictly dominates for any
+// reachable target.
+func TestVPTighterThanCantelli(t *testing.T) {
+	vp, ca := VysochanskijPetunin{}, Cantelli{}
+	for n := 0.01; n <= 30; n += 0.01 {
+		if vp.P(n) > ca.P(n) {
+			t.Fatalf("VP.P(%g) = %g > Cantelli %g", n, vp.P(n), ca.P(n))
+		}
+	}
+	for _, p := range []float64{0.5, 1.0 / 3, 0.2, 0.1, 0.01, 1e-4} {
+		if nv, nc := vp.NFor(p), ca.NFor(p); nv >= nc {
+			t.Fatalf("VP.NFor(%g) = %g not below Cantelli %g", p, nv, nc)
+		}
+	}
+}
+
+func TestCantelliBitIdentity(t *testing.T) {
+	b := Cantelli{}
+	for _, n := range []float64{-1, 0, 0.5, 1, 2.7, 13, math.Inf(1)} {
+		if got, want := b.P(n), CantelliBound(n); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Cantelli.P(%g) = %x, CantelliBound = %x", n, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9} {
+		if got, want := b.NFor(p), NForBound(p); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Cantelli.NFor(%g) = %x, NForBound = %x", p, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestHigherMomentFromSamples(t *testing.T) {
+	// ±1 with equal weight: σ = 1 and every standardised absolute moment
+	// is exactly 1.
+	xs := []float64{1, -1, 1, -1}
+	b, err := NewHigherMomentCantelli(4, xs)
+	if err != nil {
+		t.Fatalf("NewHigherMomentCantelli: %v", err)
+	}
+	if b.K != 4 || math.Abs(b.Moment-1) > 1e-12 {
+		t.Fatalf("got K=%d r=%g, want K=4 r=1", b.K, b.Moment)
+	}
+	if _, err := NewHigherMomentCantelli(1, xs); err == nil {
+		t.Error("k=1 accepted, want error")
+	}
+	if _, err := NewHigherMomentCantelli(4, nil); err == nil {
+		t.Error("empty sample accepted, want error")
+	}
+	if _, err := NewHigherMomentCantelli(4, []float64{5, 5, 5}); err == nil {
+		t.Error("degenerate sample accepted, want error")
+	}
+	// Gaussian samples: r₄ estimates kurtosis ≈ 3.
+	r := rand.New(rand.NewSource(11))
+	g := make([]float64, 200000)
+	for i := range g {
+		g[i] = r.NormFloat64()
+	}
+	bg, err := NewHigherMomentCantelli(4, g)
+	if err != nil {
+		t.Fatalf("NewHigherMomentCantelli(gaussian): %v", err)
+	}
+	if bg.Moment < 2.8 || bg.Moment > 3.2 {
+		t.Fatalf("gaussian r₄ = %g, want ≈ 3", bg.Moment)
+	}
+}
+
+func TestECDFBoundMatchesData(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b, err := NewECDFBound(xs)
+	if err != nil {
+		t.Fatalf("NewECDFBound: %v", err)
+	}
+	s := MustSummarize(xs)
+	for _, n := range []float64{0.5, 1, 1.5} {
+		want := ExceedRate(xs, s.Mean+n*s.StdDev)
+		if got := b.P(n); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(%g) = %g, want exceed rate %g", n, got, want)
+		}
+	}
+	// The sample maximum caps the reachable tail: below 1/N the ECDF hits
+	// zero, so any positive target is reachable.
+	n := b.NFor(0.05)
+	if math.IsInf(n, 1) {
+		t.Fatalf("NFor(0.05) = +Inf, want finite")
+	}
+	if got := b.P(n); got > 0.05 {
+		t.Errorf("P(NFor(0.05)) = %g > 0.05", got)
+	}
+	if b.Name() != "empirical" {
+		t.Errorf("Name() = %q", b.Name())
+	}
+}
+
+func TestBoundByName(t *testing.T) {
+	for _, name := range BoundNames() {
+		b, err := BoundByName(name)
+		if err != nil {
+			t.Fatalf("BoundByName(%q): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Errorf("BoundByName(%q).Name() = %q", name, b.Name())
+		}
+	}
+	if b, err := BoundByName(""); err != nil || b.Name() != "cantelli" {
+		t.Errorf("empty name: got %v, %v; want cantelli default", b, err)
+	}
+	if b, err := BoundByName("VP"); err != nil || b.Name() != "vp" {
+		t.Errorf("case-insensitive lookup failed: %v, %v", b, err)
+	}
+	if _, err := BoundByName("bogus"); err == nil {
+		t.Error("unknown name accepted, want error")
+	}
+}
+
+func TestBoundDigest(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, b := range []Bound{
+		Cantelli{},
+		TwoSidedChebyshev{},
+		VysochanskijPetunin{},
+		HigherMomentCantelli{K: 4, Moment: 3},
+		HigherMomentCantelli{K: 4, Moment: 2.5},
+		HigherMomentCantelli{K: 3, Moment: 3},
+		&EmpiricalTail{Mean: 10, Sigma: 2, Exceed: func(float64) float64 { return 0 }},
+		&EmpiricalTail{Mean: 10, Sigma: 3, Exceed: func(float64) float64 { return 0 }},
+	} {
+		d := BoundDigest(b)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("digest collision between %s and %s", prev, b.Name())
+		}
+		seen[d] = b.Name()
+	}
+	// Equal values digest equally.
+	if BoundDigest(HigherMomentCantelli{K: 4, Moment: 3}) != BoundDigest(HigherMomentCantelli{K: 4, Moment: 3}) {
+		t.Error("equal bounds produced different digests")
+	}
+}

@@ -194,9 +194,11 @@ func TwoSidedChebyshevBound(n float64) float64 {
 
 // NForBound inverts CantelliBound: it returns the smallest n such that
 // 1/(1+n²) ≤ p, i.e. n = sqrt(1/p − 1). p must be in (0, 1]; values
-// outside that range return +Inf (p ≤ 0) or 0 (p ≥ 1).
+// outside that range clamp — +Inf for p ≤ 0 or NaN (no finite n reaches
+// an impossible target), 0 for p ≥ 1 (the bound is already ≤ 1 at the
+// mean).
 func NForBound(p float64) float64 {
-	if p <= 0 {
+	if math.IsNaN(p) || p <= 0 {
 		return math.Inf(1)
 	}
 	if p >= 1 {

@@ -76,6 +76,27 @@ func (t *Trace) OverrunRateAtN(n float64) float64 {
 	return t.OverrunRate(p.ACET + n*p.Sigma)
 }
 
+// ViolatesBoundAtN reports whether the measured overrun rate at
+// ACET + n·σ exceeds what the concentration bound b claims — the
+// empirical-validity check of Tables I/II generalised from Theorem 1 to
+// any stats.Bound.
+func (t *Trace) ViolatesBoundAtN(b stats.Bound, n float64) bool {
+	return t.OverrunRateAtN(n) > b.P(n)
+}
+
+// CheckBound validates b against the trace at every n in ns, returning an
+// error naming the first violation (or nil when the bound holds
+// everywhere).
+func (t *Trace) CheckBound(b stats.Bound, ns []float64) error {
+	for _, n := range ns {
+		if rate, claim := t.OverrunRateAtN(n), b.P(n); rate > claim {
+			return fmt.Errorf("trace: %s: measured overrun %.6g at n=%g exceeds %s bound %.6g",
+				t.App, rate, n, b.Name(), claim)
+		}
+	}
+	return nil
+}
+
 // WriteCSV writes "app,sample" rows.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
