@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build vet test test-race bench bench-json bench-compare profile profile-live experiments traces cover fmt
 
 # The PR counter for the benchmark-trajectory file written by bench-json.
-BENCH_N ?= 4
+BENCH_N ?= 5
 
 all: build vet test test-race
 
@@ -32,7 +32,7 @@ bench:
 # comparison.
 bench-json:
 	{ $(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sim ./internal/ga ./internal/objective ./internal/obs ; \
-	  $(GO) test -run '^$$' -bench 'Fig4$$' -benchmem -count 3 . ; } \
+	  $(GO) test -run '^$$' -bench 'Fig4$$|SimVal' -benchmem -count 3 . ; } \
 	| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_N).json
 
 # Gate the current tree against the previous PR's baseline. ns/op is only

@@ -148,6 +148,50 @@ func BenchmarkHeadline(b *testing.B) {
 	}
 }
 
+// benchSimValCfg is the reduced-scale DES-validation sweep shared by the
+// fixed/adaptive pair below; only the stopping rule differs.
+func benchSimValCfg(seed int64) experiment.SimValConfig {
+	return experiment.SimValConfig{
+		Ns:   []float64{2, 4},
+		Sets: 5, Runs: 2000, Seed: seed,
+	}
+}
+
+// BenchmarkSimVal runs the DES validation of Eq. 10 with the fixed
+// replication budget spent in full at every set.
+func BenchmarkSimVal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunSimVal(benchSimValCfg(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.PredictionsHold() {
+			b.Fatal("Eq. 10 claim violated in simulation")
+		}
+	}
+}
+
+// BenchmarkSimValAdaptive runs the same sweep with adaptive sampling:
+// each set stops replicating once the Wilson 95% half-width reaches
+// 0.02, so the speed-up over BenchmarkSimVal is exactly the budget the
+// allocator never spends.
+func BenchmarkSimValAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchSimValCfg(int64(i + 1))
+		cfg.CIEps = 0.02
+		res, err := experiment.RunSimVal(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.PredictionsHold() {
+			b.Fatal("Eq. 10 claim violated in simulation")
+		}
+		if res.SavedFraction() <= 0 {
+			b.Fatal("adaptive allocator saved nothing")
+		}
+	}
+}
+
 // BenchmarkAblationBounds regenerates the bounds ablation (A1): the
 // distribution-free Cantelli budget vs fitted pWCET quantiles.
 func BenchmarkAblationBounds(b *testing.B) {

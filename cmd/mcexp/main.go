@@ -57,6 +57,8 @@ type options struct {
 	seed          int64
 	workers       int
 	bound         string
+	batch         int
+	ciEps         float64
 	csv, json     bool
 	plot          bool
 	outdir        string
@@ -80,6 +82,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "worker goroutines per sweep (results are identical for any value)")
 	flag.StringVar(&o.bound, "bound", "", "concentration bound engine: "+strings.Join(stats.BoundNames(), ", ")+" (default cantelli)")
+	flag.IntVar(&o.batch, "batch", 0, "lockstep batch width for simulating scenarios (0 = auto; results are identical for any value)")
+	flag.Float64Var(&o.ciEps, "ci-eps", 0, "adaptive sampling for simulating scenarios: stop replicating once the 95% CI half-width drops to this (0 = fixed budgets)")
 	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
 	flag.BoolVar(&o.json, "json", false, "emit JSON lines instead of aligned tables")
 	flag.BoolVar(&o.plot, "plot", true, "emit ASCII plots for figures")
@@ -176,6 +180,7 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		Sets: o.sets, Samples: o.samples, Seed: o.seed, Workers: o.workers,
 		Plot:  o.plot && !o.json,
 		Bound: bound,
+		Batch: o.batch, CIEps: o.ciEps,
 		Eng: experiment.EngOpts{
 			Progress:      sink,
 			CheckpointDir: o.checkpoint,

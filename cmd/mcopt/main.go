@@ -37,6 +37,7 @@ import (
 	"chebymc/internal/edfvd"
 	"chebymc/internal/ga"
 	"chebymc/internal/mc"
+	"chebymc/internal/mlmc"
 	"chebymc/internal/obs"
 	"chebymc/internal/policy"
 	"chebymc/internal/prof"
@@ -57,6 +58,8 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the GA search and simulation (results are identical for any value)")
 		simulate = flag.Float64("simulate", 0, "also run the EDF-VD simulator for this horizon (0 = skip)")
 		runs     = flag.Int("runs", 1, "simulator replications with derived seeds (with -simulate)")
+		batch    = flag.Int("batch", 0, "lockstep batch width for the simulator (0 = auto; results are identical for any value)")
+		ciEps    = flag.Float64("ci-eps", 0, "adaptive sampling: stop replicating once the 95% CI half-width on P_sys^MS drops to this (0 = run exactly -runs)")
 		httpAddr = flag.String("http", "", "serve /metrics, /debug/pprof and /debug/vars on this address for the run's duration (e.g. :6060; :0 picks a free port)")
 		metrics  = flag.Bool("metrics", false, "print the run's final counters as Prometheus-style text on exit")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -84,7 +87,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "mcopt: serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
 	}
-	runErr := run(ctx, *in, *polName, *n, *lambda, *bound, *out, *seed, *workers, *simulate, *runs)
+	runErr := run(ctx, *in, *polName, *n, *lambda, *bound, *out, *seed, *workers, *simulate, *runs, *batch, *ciEps)
 	if *metrics && runErr == nil {
 		fmt.Print(artifact.MetricsText(obs.Default.Snapshot()))
 	}
@@ -97,7 +100,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, in, polName string, n, lambda float64, boundName, out string, seed int64, workers int, horizon float64, runs int) error {
+func run(ctx context.Context, in, polName string, n, lambda float64, boundName, out string, seed int64, workers int, horizon float64, runs, batch int, ciEps float64) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -178,13 +181,27 @@ func run(ctx context.Context, in, polName string, n, lambda float64, boundName, 
 		if runs < 1 {
 			runs = 1
 		}
-		ms, serr := sim.ReplicateCtx(ctx, a.TaskSet, sim.Config{Horizon: horizon, Exec: exec, Seed: seed}, runs, workers)
-		if serr != nil {
-			return serr
+		cfg := sim.Config{Horizon: horizon, Exec: exec, Seed: seed}
+		if ciEps > 0 {
+			// Adaptive mode: spend replications only until the mode-switch
+			// estimate is pinned to the requested precision.
+			res, serr := mlmc.AdaptiveAlloc(ctx, a.TaskSet, cfg,
+				func(m sim.Metrics) bool { return m.ModeSwitches > 0 },
+				mlmc.AdaptiveOptions{Eps: ciEps, MaxRuns: runs, Batch: batch, Workers: workers})
+			if serr != nil {
+				return serr
+			}
+			fmt.Printf("Simulated %g time units, adaptive: P[mode switch]=%.4f ±%.4f (95%% CI), spent %d of %d runs (saved %d)\n",
+				horizon, res.PHat, res.HalfWidth, res.Runs, runs, res.Saved)
+		} else {
+			ms, serr := sim.ReplicateBatchCtx(ctx, a.TaskSet, cfg, runs, workers, batch)
+			if serr != nil {
+				return serr
+			}
+			sum := sim.Summarize(ms)
+			fmt.Printf("Simulated %g time units × %d runs: mean switches=%.1f overrun-rate=%.4f HC-misses=%d LC-service=%.3f util=%.3f\n",
+				horizon, sum.Runs, sum.MeanModeSwitches, sum.MeanOverrunRate, sum.TotalHCMisses, sum.MeanLCServiceRate, sum.MeanUtilisation)
 		}
-		sum := sim.Summarize(ms)
-		fmt.Printf("Simulated %g time units × %d runs: mean switches=%.1f overrun-rate=%.4f HC-misses=%d LC-service=%.3f util=%.3f\n",
-			horizon, sum.Runs, sum.MeanModeSwitches, sum.MeanOverrunRate, sum.TotalHCMisses, sum.MeanLCServiceRate, sum.MeanUtilisation)
 	}
 
 	if out != "" {

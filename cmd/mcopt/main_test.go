@@ -26,7 +26,7 @@ func TestRunPolicies(t *testing.T) {
 	path := writeTaskSet(t)
 	for _, pol := range []string{"ga", "uniform", "lambda"} {
 		for _, bound := range []string{"", "vp"} {
-			if err := run(context.Background(), path, pol, 5, 0.25, bound, "", 1, 2, 0, 1); err != nil {
+			if err := run(context.Background(), path, pol, 5, 0.25, bound, "", 1, 2, 0, 1, 0, 0); err != nil {
 				t.Fatalf("%s (bound %q): %v", pol, bound, err)
 			}
 		}
@@ -36,7 +36,7 @@ func TestRunPolicies(t *testing.T) {
 func TestRunWithSimulationAndOutput(t *testing.T) {
 	in := writeTaskSet(t)
 	out := filepath.Join(t.TempDir(), "opt.json")
-	if err := run(context.Background(), in, "uniform", 4, 0.25, "", out, 1, 2, 20000, 3); err != nil {
+	if err := run(context.Background(), in, "uniform", 4, 0.25, "", out, 1, 2, 20000, 3, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -57,16 +57,16 @@ func TestRunWithSimulationAndOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeTaskSet(t)
-	if err := run(context.Background(), "", "ga", 5, 0.25, "", "", 1, 2, 0, 1); err == nil {
+	if err := run(context.Background(), "", "ga", 5, 0.25, "", "", 1, 2, 0, 1, 0, 0); err == nil {
 		t.Error("missing -in must error")
 	}
-	if err := run(context.Background(), path, "bogus", 5, 0.25, "", "", 1, 2, 0, 1); err == nil {
+	if err := run(context.Background(), path, "bogus", 5, 0.25, "", "", 1, 2, 0, 1, 0, 0); err == nil {
 		t.Error("unknown policy must error")
 	}
-	if err := run(context.Background(), path+"x", "ga", 5, 0.25, "", "", 1, 2, 0, 1); err == nil {
+	if err := run(context.Background(), path+"x", "ga", 5, 0.25, "", "", 1, 2, 0, 1, 0, 0); err == nil {
 		t.Error("missing file must error")
 	}
-	if err := run(context.Background(), path, "ga", 5, 0.25, "bogus", "", 1, 2, 0, 1); err == nil {
+	if err := run(context.Background(), path, "ga", 5, 0.25, "bogus", "", 1, 2, 0, 1, 0, 0); err == nil {
 		t.Error("unknown bound must error")
 	}
 }

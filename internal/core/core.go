@@ -97,7 +97,12 @@ func MaxULCLO(uHCLO, uHCHI float64) float64 {
 	}
 	eq11 := 1 - uHCLO
 	eq12 := (1 - uHCHI) / (1 - uHCHI + uHCLO)
-	u := math.Min(eq11, eq12)
+	// Explicit branch instead of math.Min: the guard above excludes the
+	// NaN/±0 cases where they differ, and math.Min does not inline.
+	u := eq11
+	if eq12 < u {
+		u = eq12
+	}
 	if u < 0 {
 		return 0
 	}

@@ -32,6 +32,7 @@ const (
 	streamFig6
 	streamExtension
 	streamBounds
+	streamSimVal
 )
 
 // BenchApps lists the benchmark kernels of the paper's Table I in

@@ -278,7 +278,11 @@ func Run(p Problem, cfg Config) (Result, error) {
 			best = ind
 		}
 	}
-	best = clone(best)
+	// best keeps a private copy of the leading genome: the population
+	// arenas are mutated in place every generation. One buffer reused
+	// across improvements avoids an allocation per new best.
+	bestBuf := append([]float64(nil), best.genome...)
+	best.genome = bestBuf
 
 	res := Result{History: make([]float64, 0, cfg.Generations)}
 
@@ -382,7 +386,8 @@ func Run(p Problem, cfg Config) (Result, error) {
 
 		for _, ind := range pop {
 			if ind.fitness > best.fitness {
-				best = clone(ind)
+				copy(bestBuf, ind.genome)
+				best.fitness = ind.fitness
 			}
 		}
 		res.History = append(res.History, best.fitness)
@@ -405,13 +410,6 @@ func Run(p Problem, cfg Config) (Result, error) {
 	obsDeltaEvals.Add(res.DeltaEvals)
 	obsBestObjective.Set(res.BestFitness)
 	return res, nil
-}
-
-func clone(ind individual) individual {
-	return individual{
-		genome:  append([]float64(nil), ind.genome...),
-		fitness: ind.fitness,
-	}
 }
 
 // twoPointCrossover swaps the gene segment between two cut points of a and

@@ -121,3 +121,12 @@ func refGARun(p Problem, cfg Config) (Result, error) {
 	res.BestFitness = best.fitness
 	return res, nil
 }
+
+// clone deep-copies an individual — the reference implementation copies
+// eagerly where the production path reuses a single best buffer.
+func clone(ind individual) individual {
+	return individual{
+		genome:  append([]float64(nil), ind.genome...),
+		fitness: ind.fitness,
+	}
+}

@@ -173,9 +173,14 @@ func (ts *TaskSet) Validate() error {
 	return nil
 }
 
-// ByCrit returns the tasks with criticality c, in order.
+// ByCrit returns the tasks with criticality c, in order. The result is
+// sized exactly (one allocation), or nil when no task matches.
 func (ts *TaskSet) ByCrit(c Crit) []Task {
-	var out []Task
+	n := ts.numCrit(c)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Task, 0, n)
 	for _, t := range ts.Tasks {
 		if t.Crit == c {
 			out = append(out, t)
@@ -184,11 +189,22 @@ func (ts *TaskSet) ByCrit(c Crit) []Task {
 	return out
 }
 
+// numCrit counts the tasks with criticality c without allocating.
+func (ts *TaskSet) numCrit(c Crit) int {
+	n := 0
+	for i := range ts.Tasks {
+		if ts.Tasks[i].Crit == c {
+			n++
+		}
+	}
+	return n
+}
+
 // NumHC reports the number of HC tasks.
-func (ts *TaskSet) NumHC() int { return len(ts.ByCrit(HC)) }
+func (ts *TaskSet) NumHC() int { return ts.numCrit(HC) }
 
 // NumLC reports the number of LC tasks.
-func (ts *TaskSet) NumLC() int { return len(ts.ByCrit(LC)) }
+func (ts *TaskSet) NumLC() int { return ts.numCrit(LC) }
 
 // Util returns U^mode_crit: the total utilisation of tasks at criticality
 // c, with execution budgets of mode m (Eq. 7 uses Util(HC, LO) and
@@ -239,9 +255,11 @@ func (ts *TaskSet) WithCLO(clo []float64) (*TaskSet, error) {
 		}
 		out.Tasks[k].CLO = clo[i]
 		i++
-	}
-	if err := out.Validate(); err != nil {
-		return nil, err
+		// Only this task changed, and only its C^LO: revalidating it alone
+		// is equivalent to out.Validate() for a set that was valid before.
+		if err := out.Tasks[k].Validate(); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -104,24 +104,28 @@ func BenchmarkObjectiveDelta(b *testing.B) {
 	}
 }
 
-// BenchmarkObjectiveMemoHit measures the cache-hit path: digest + probe.
-func BenchmarkObjectiveMemoHit(b *testing.B) {
+// BenchmarkObjectiveCopyHit measures the cache-hit path: an unmodified
+// copy (Lo > Hi) served from the parent's cached fitness. Two slices of
+// identical content alternate as parent and child so every batch after
+// the first is a hit.
+func BenchmarkObjectiveCopyHit(b *testing.B) {
 	ts := benchSet(b, 1)
 	e, err := New(ts, Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	genomes := benchGenomes(ts, 64, 2)
+	h := ts.NumHC()
+	g0 := benchGenomes(ts, 1, 2)[0]
+	g1 := append([]float64(nil), g0...)
 	out := make([]float64, 1)
 	batch := make([]ga.Derived, 1)
-	for _, g := range genomes { // prime the cache
-		batch[0] = ga.Derived{Genome: g}
-		e.FitnessBatch(batch, out, 1)
-	}
+	batch[0] = ga.Derived{Genome: g0}
+	e.FitnessBatch(batch, out, 1) // prime the cache
+	gs := [2][]float64{g1, g0}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		batch[0] = ga.Derived{Genome: genomes[i%len(genomes)]}
+		batch[0] = ga.Derived{Genome: gs[i%2], Parent: gs[(i+1)%2], Lo: h, Hi: -1}
 		e.FitnessBatch(batch, out, 1)
 	}
 }

@@ -68,7 +68,7 @@ func TestFitnessBoundMatchesApplyPath(t *testing.T) {
 }
 
 // TestNilBoundIsCantelli: the nil default and an explicit Cantelli{} are
-// the same engine — same scores, same memo digests.
+// the same engine — same scores, same inlined hot path.
 func TestNilBoundIsCantelli(t *testing.T) {
 	r := rand.New(rand.NewSource(31))
 	ts := randomSet(t, r, false)
@@ -80,8 +80,8 @@ func TestNilBoundIsCantelli(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if eNil.digestSeed != eCan.digestSeed {
-		t.Fatalf("digest seeds differ: %x vs %x", eNil.digestSeed, eCan.digestSeed)
+	if !eNil.cantelli || !eCan.cantelli {
+		t.Fatalf("cantelli fast path = (%v, %v), want both true", eNil.cantelli, eCan.cantelli)
 	}
 	for trial := 0; trial < 25; trial++ {
 		g := randomGenome(r, ts)
@@ -92,18 +92,20 @@ func TestNilBoundIsCantelli(t *testing.T) {
 	}
 }
 
-// TestBoundDigestSeparation: the same genome must digest differently
-// under different bounds, so memoised scores can never be confused
-// across engines.
-func TestBoundDigestSeparation(t *testing.T) {
-	g := []float64{1.5, 2.25, 0, 7.125}
-	seen := map[uint64]string{}
+// TestBoundSeparation: evaluators built over different bounds must not
+// share cached state — each carries its own generation cache, and only
+// the Cantelli default takes the inlined fast path.
+func TestBoundSeparation(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	ts := randomSet(t, r, false)
 	for _, b := range testBounds() {
-		d := genomeDigest(stats.BoundDigest(b), g)
-		if prev, dup := seen[d]; dup {
-			t.Fatalf("genome digest collision between %s and %s", prev, b.Name())
+		e, err := New(ts, Options{Bound: b})
+		if err != nil {
+			t.Fatal(err)
 		}
-		seen[d] = b.Name()
+		if want := b.Name() == stats.DefaultBoundName; e.cantelli != want {
+			t.Errorf("%s: cantelli fast path = %v, want %v", b.Name(), e.cantelli, want)
+		}
 	}
 }
 

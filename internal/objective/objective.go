@@ -20,8 +20,21 @@
 //   - re-scores GA offspring incrementally from the parent's cached
 //     per-gene terms and left-to-right prefix product/sum arrays, so only
 //     the changed genes are re-derived (the ga.Derived contract), and
-//   - memoises evaluations under a genome digest, because converged late
-//     generations re-evaluate many duplicate genomes.
+//   - serves unmodified copies (Lo > Hi) straight from the parent's
+//     cached fitness, with no recomputation at all.
+//
+// Parent states live in a generation cache: the states of exactly the
+// genomes scored by the most recent FitnessBatch call, indexed by the
+// address of the genome's first gene and verified by exact genome
+// comparison (a state is a pure function of genome content, so a
+// verified match can never return a stale score). That matches the GA's
+// breeding structure — parents always come from the immediately
+// preceding generation — and costs two fixed-size maps recycled every
+// batch, instead of the digest-keyed, ever-growing memo cache this
+// engine used previously: at the paper's genome lengths (4–8 HC tasks)
+// hashing plus locking plus unbounded insertion cost more than the full
+// recomputation it saved, and its allocations dominated the Fig. 4/5
+// sweep's memory profile.
 //
 // Everything is bit-identical to the reference path
 // core.Apply + edfvd.Schedulable by construction: the same expressions
@@ -52,15 +65,13 @@ type Options struct {
 	// task set's actual LC load (Eq. 8) infeasible — the acceptance-ratio
 	// configuration of Fig. 6.
 	RequireLC bool
-	// DisableMemo turns the genome-digest cache off (every non-derived
-	// score is a full evaluation). Intended for the equivalence tests
-	// that pin memo-on == memo-off.
+	// DisableMemo turns the cached-state reuse off: every genome is a
+	// full recomputation, regardless of provenance. Intended for the
+	// equivalence tests that pin cached == uncached scoring.
 	DisableMemo bool
 	// Bound selects the concentration inequality behind the Eq. 10
 	// per-task factor. nil selects core.DefaultBound() (Cantelli), which
-	// reproduces the historical engine bit for bit. The bound's identity
-	// is folded into the memo digest (stats.BoundDigest), so evaluators
-	// with different bounds can never share cached scores.
+	// reproduces the historical engine bit for bit.
 	Bound stats.Bound
 }
 
@@ -94,34 +105,33 @@ func (s *state) u() []float64      { return s.flat[2*s.h : 3*s.h] }
 func (s *state) prefNS() []float64 { return s.flat[3*s.h : 4*s.h+1] }
 func (s *state) prefU() []float64  { return s.flat[4*s.h+1 : 5*s.h+2] }
 
-// entry is one memo-cache record: a state plus its digest and the
-// collision chain for the digest bucket.
-type entry struct {
-	state
-	digest uint64
-	next   *entry
-}
-
 // Evaluator scores Eq. 13 for n-vectors over the HC tasks of one task
-// set. It is safe for concurrent FitnessBatch/Fitness calls. The task
+// set. It is safe for concurrent FitnessBatch/Fitness calls when the
+// workers argument is > 1; callers passing workers ≤ 1 promise the call
+// is externally serialised (the ga.Run evaluation loop is). The task
 // set must not change while the Evaluator is in use.
 type Evaluator struct {
-	// Per-HC-task invariants, in task-set order (the order core.Apply
-	// matches genomes against).
-	acet, sigma, chi, period []float64
+	// h is the number of HC tasks (the genome length); inv packs their
+	// invariants — ACET_i, σ_i, C^HI_i, P_i — four per task in task-set
+	// order (the order core.Apply matches genomes against), so a gene
+	// evaluation touches one cache line and one bounds check.
+	h   int
+	inv []float64
 	// uHCHI and uLCLO are the genome-independent utilisation sums of
 	// Eq. 7, accumulated with the same left-to-right loops
 	// mc.TaskSet.Util runs.
 	uHCHI, uLCLO float64
 	requireLC    bool
 
-	// bound is the Eq. 10 concentration inequality; digestSeed folds its
-	// identity into every genome digest.
-	bound      stats.Bound
-	digestSeed uint64
+	// bound is the Eq. 10 concentration inequality; cantelli marks the
+	// default engine, whose P is inlined on the hot path (same
+	// expression as stats.CantelliBound, so the devirtualisation is
+	// bit-identical).
+	bound    stats.Bound
+	cantelli bool
 
-	memo    *memoCache // nil when disabled
-	scratch sync.Pool  // *state for full evaluations outside the memo
+	gens    *genCache // previous-batch states; nil when disabled
+	scratch sync.Pool // *state for full evaluations outside the cache
 
 	hits, fulls, deltas atomic.Uint64
 }
@@ -133,25 +143,24 @@ func New(ts *mc.TaskSet, opts Options) (*Evaluator, error) {
 	if b == nil {
 		b = core.DefaultBound()
 	}
-	e := &Evaluator{requireLC: opts.RequireLC, bound: b, digestSeed: stats.BoundDigest(b)}
+	_, cantelli := b.(stats.Cantelli)
+	e := &Evaluator{requireLC: opts.RequireLC, bound: b, cantelli: cantelli}
 	for _, t := range ts.Tasks {
 		switch t.Crit {
 		case mc.HC:
-			e.acet = append(e.acet, t.Profile.ACET)
-			e.sigma = append(e.sigma, t.Profile.Sigma)
-			e.chi = append(e.chi, t.CHI)
-			e.period = append(e.period, t.Period)
+			e.inv = append(e.inv, t.Profile.ACET, t.Profile.Sigma, t.CHI, t.Period)
 			e.uHCHI += t.UHI()
 		default:
 			e.uLCLO += t.ULO()
 		}
 	}
-	h := len(e.acet)
+	h := len(e.inv) / 4
+	e.h = h
 	if h == 0 {
 		return nil, fmt.Errorf("objective: task set has no HC tasks")
 	}
 	if !opts.DisableMemo {
-		e.memo = newMemoCache(h)
+		e.gens = newGenCache()
 	}
 	e.scratch.New = func() any { return newState(h) }
 	return e, nil
@@ -159,19 +168,19 @@ func New(ts *mc.TaskSet, opts Options) (*Evaluator, error) {
 
 // NumGenes reports the genome length the Evaluator scores: the number of
 // HC tasks.
-func (e *Evaluator) NumGenes() int { return len(e.acet) }
+func (e *Evaluator) NumGenes() int { return e.h }
 
 // gene derives HC task i's term and utilisation from its n parameter,
 // replicating core.Apply's Eq. 6/Eq. 9 handling exactly: the one-ulp
 // overshoot of a clamped n = NMax snaps to C^HI, genuine violations,
 // non-positive budgets and negative n mark the gene infeasible (NaN).
-func (e *Evaluator) gene(st *state, g []float64, i int) {
-	n := g[i]
-	w := e.acet[i] + n*e.sigma[i]
+func (e *Evaluator) gene(n float64, i int) (term, u float64) {
+	v := e.inv[4*i : 4*i+4 : 4*i+4]
+	w := v[0] + n*v[1]
 	ok := n >= 0
-	if w > e.chi[i] {
-		if w <= e.chi[i]*(1+core.Eq9Slack) {
-			w = e.chi[i]
+	if chi := v[2]; w > chi {
+		if w <= chi*(1+core.Eq9Slack) {
+			w = chi
 		} else {
 			ok = false
 		}
@@ -180,12 +189,16 @@ func (e *Evaluator) gene(st *state, g []float64, i int) {
 		ok = false
 	}
 	if !ok {
-		st.term()[i] = math.NaN()
-		st.u()[i] = math.NaN()
-		return
+		return math.NaN(), math.NaN()
 	}
-	st.term()[i] = 1 - e.bound.P(n)
-	st.u()[i] = w / e.period[i]
+	if e.cantelli {
+		// Inlined stats.CantelliBound (n ≥ 0 here, so the n < 0 clamp
+		// inside the free function is dead): same expression, same bits.
+		term = 1 - 1/(1+n*n)
+	} else {
+		term = 1 - e.bound.P(n)
+	}
+	return term, w / v[3]
 }
 
 // compute fills st with the evaluation of g. With a nil parent every
@@ -200,20 +213,24 @@ func (e *Evaluator) compute(st *state, g []float64, parent *state, lo, hi int) {
 	} else if lo > hi {
 		lo, hi = h, h-1 // unmodified copy: reuse everything
 	}
+	term, u := st.term(), st.u()
 	if parent != nil {
-		copy(st.genome(), g)
-		copy(st.term()[:lo], parent.term()[:lo])
-		copy(st.u()[:lo], parent.u()[:lo])
-		copy(st.prefNS()[:lo+1], parent.prefNS()[:lo+1])
-		copy(st.prefU()[:lo+1], parent.prefU()[:lo+1])
-		copy(st.term()[hi+1:], parent.term()[hi+1:])
-		copy(st.u()[hi+1:], parent.u()[hi+1:])
+		// One flat copy beats six ranged ones at these genome lengths:
+		// the gene loop overwrites [lo, hi] and the resume loop below
+		// overwrites every prefix past lo, so copying them is harmless.
 		st.bad = parent.bad
-		for i := lo; i <= hi; i++ {
-			if math.IsNaN(parent.term()[i]) {
-				st.bad--
+		if st.bad != 0 {
+			// Un-count the parent's infeasible genes inside the re-derived
+			// range; a clean parent has none, so the scan is skipped.
+			pterm := parent.term()
+			for i := lo; i <= hi; i++ {
+				if math.IsNaN(pterm[i]) {
+					st.bad--
+				}
 			}
 		}
+		copy(st.flat, parent.flat)
+		copy(st.genome(), g)
 	} else {
 		copy(st.genome(), g)
 		st.bad = 0
@@ -221,15 +238,16 @@ func (e *Evaluator) compute(st *state, g []float64, parent *state, lo, hi int) {
 		st.prefU()[0] = 0
 	}
 	for i := lo; i <= hi; i++ {
-		e.gene(st, g, i)
-		if math.IsNaN(st.term()[i]) {
+		ti, ui := e.gene(g[i], i)
+		term[i], u[i] = ti, ui
+		if math.IsNaN(ti) {
 			st.bad++
 		}
 	}
 	// Resume the left-to-right Eq. 10 product and Eq. 7 sum at the first
 	// changed gene; per-gene values beyond hi are the parent's cached
 	// terms, so this loop is memory traffic, not re-derivation.
-	prefNS, prefU, term, u := st.prefNS(), st.prefU(), st.term(), st.u()
+	prefNS, prefU := st.prefNS(), st.prefU()
 	for i := lo; i < h; i++ {
 		prefNS[i+1] = prefNS[i] * term[i]
 		prefU[i+1] = prefU[i] + u[i]
@@ -257,7 +275,7 @@ func (e *Evaluator) finish(st *state) float64 {
 
 // Fitness scores one genome by full recomputation into pooled scratch —
 // zero heap allocations per call in steady state. It satisfies the
-// ga.Problem.Fitness contract and is the reference the delta/memo paths
+// ga.Problem.Fitness contract and is the reference the delta/copy paths
 // are pinned against.
 func (e *Evaluator) Fitness(g []float64) float64 {
 	st := e.scratch.Get().(*state)
@@ -267,45 +285,100 @@ func (e *Evaluator) Fitness(g []float64) float64 {
 	return fit
 }
 
+// score kinds, tallied per batch (serial path) or atomically (parallel
+// path) so the hot loop itself touches no shared counters.
+const (
+	scoreHit = iota // unmodified copy served from the parent's fitness
+	scoreDelta
+	scoreFull
+)
+
 // FitnessBatch implements ga.BatchFitness: each genome is served from
-// the memo cache, re-scored incrementally from its parent's cached
-// state, or fully recomputed, in that order of preference. Scores are
-// bit-identical across the three paths and for every workers value.
+// its parent's cached fitness (unmodified copies), re-scored
+// incrementally from the parent's cached state, or fully recomputed, in
+// that order of preference. Scores are bit-identical across the three
+// paths and for every workers value.
 func (e *Evaluator) FitnessBatch(batch []ga.Derived, out []float64, workers int) {
-	_, _ = par.MapCtx(context.Background(), workers, len(batch), func(i int) (struct{}, error) {
-		out[i] = e.score(batch[i])
-		return struct{}{}, nil
-	})
+	if e.gens == nil {
+		// Cached-state reuse disabled: full recomputation for everything.
+		if workers > 1 && len(batch) > 1 {
+			_, _ = par.MapCtx(context.Background(), workers, len(batch), func(i int) (struct{}, error) {
+				out[i] = e.Fitness(batch[i].Genome)
+				return struct{}{}, nil
+			})
+		} else {
+			for i := range batch {
+				out[i] = e.Fitness(batch[i].Genome)
+			}
+		}
+		e.fulls.Add(uint64(len(batch)))
+		return
+	}
+	if workers > 1 && len(batch) > 1 {
+		_, _ = par.MapCtx(context.Background(), workers, len(batch), func(i int) (struct{}, error) {
+			fit, kind := e.score(batch[i], true)
+			out[i] = fit
+			switch kind {
+			case scoreHit:
+				e.hits.Add(1)
+			case scoreDelta:
+				e.deltas.Add(1)
+			default:
+				e.fulls.Add(1)
+			}
+			return struct{}{}, nil
+		})
+	} else {
+		var hits, fulls, deltas uint64
+		for i := range batch {
+			fit, kind := e.score(batch[i], false)
+			out[i] = fit
+			switch kind {
+			case scoreHit:
+				hits++
+			case scoreDelta:
+				deltas++
+			default:
+				fulls++
+			}
+		}
+		e.hits.Add(hits)
+		e.fulls.Add(fulls)
+		e.deltas.Add(deltas)
+	}
+	// This batch's states become the next batch's parents.
+	e.gens.flip()
 }
 
-// score evaluates one derived genome.
-func (e *Evaluator) score(d ga.Derived) float64 {
-	if e.memo == nil {
-		e.fulls.Add(1)
-		return e.Fitness(d.Genome)
-	}
-	digest := genomeDigest(e.digestSeed, d.Genome)
-	if hit := e.memo.lookup(digest, d.Genome); hit != nil {
-		e.hits.Add(1)
-		return hit.fit
-	}
+// score evaluates one derived genome and records its state for the next
+// batch. conc marks calls from concurrent scorers, which must lock the
+// generation cache's mutable side.
+func (e *Evaluator) score(d ga.Derived, conc bool) (float64, int) {
 	var parent *state
 	if d.Parent != nil {
-		if pe := e.memo.lookup(genomeDigest(e.digestSeed, d.Parent), d.Parent); pe != nil {
-			parent = &pe.state
-		}
+		parent = e.gens.lookup(d.Parent)
 	}
-	st := e.scratch.Get().(*state)
+	if parent != nil && d.Lo > d.Hi {
+		// Unmodified copy: the genome is byte-identical to the parent, so
+		// the cached fitness is the full recomputation's result bit for
+		// bit. The state is still duplicated under the child's address so
+		// grandchildren can re-score incrementally.
+		st := e.gens.take(e, conc)
+		copy(st.flat, parent.flat)
+		st.bad, st.fit = parent.bad, parent.fit
+		e.gens.put(&d.Genome[0], st, conc)
+		return parent.fit, scoreHit
+	}
+	st := e.gens.take(e, conc)
+	kind := scoreFull
 	if parent != nil {
-		e.deltas.Add(1)
+		kind = scoreDelta
 		e.compute(st, d.Genome, parent, d.Lo, d.Hi)
 	} else {
-		e.fulls.Add(1)
 		e.compute(st, d.Genome, nil, 0, 0)
 	}
-	fit := e.memo.insert(digest, st)
-	e.scratch.Put(st)
-	return fit
+	e.gens.put(&d.Genome[0], st, conc)
+	return st.fit, kind
 }
 
 // BatchStats implements ga.BatchStats.
@@ -313,67 +386,91 @@ func (e *Evaluator) BatchStats() (hits, fulls, deltas uint64) {
 	return e.hits.Load(), e.fulls.Load(), e.deltas.Load()
 }
 
-// memoCache maps genome digests to cached states. Digest collisions are
-// resolved by exact genome comparison — determinism may not hinge on a
-// 64-bit hash. Entries are allocated in fixed-size blocks so steady-state
-// insertion cost stays amortised; the cache only grows (an Evaluator
-// lives for one GA run, bounding the population of distinct genomes).
-type memoCache struct {
-	mu      sync.RWMutex
-	buckets map[uint64]*entry
-	block   []entry
-	flats   []float64
-	h       int
+// genCache holds the states of the genomes scored by the most recent
+// FitnessBatch call, keyed by the address of each genome's first gene.
+// The address is an index, not the proof: lookup verifies the cached
+// genome matches the parent bit for bit, so a recycled allocation can
+// never surface a stale state (and a verified state is valid for any
+// slice with that content — states are pure functions of the genome).
+// Entries live in parallel key/state slices scanned linearly — batches
+// are population-sized (tens of genomes), where a pointer scan beats a
+// map's hashing, write barriers and iteration. Two entry sets ping-pong
+// per batch and the states they drop are recycled through a free list,
+// so steady-state batch scoring allocates nothing.
+type genCache struct {
+	mu       sync.Mutex // guards cur and free on concurrent paths
+	prevKeys []*float64
+	prevSts  []*state
+	curKeys  []*float64
+	curSts   []*state
+	free     []*state
 }
 
-const memoBlock = 128
+func newGenCache() *genCache { return &genCache{} }
 
-func newMemoCache(h int) *memoCache {
-	return &memoCache{buckets: make(map[uint64]*entry), h: h}
-}
-
-// lookup returns the entry for genome g, or nil.
-func (c *memoCache) lookup(digest uint64, g []float64) *entry {
-	c.mu.RLock()
-	en := c.buckets[digest]
-	for en != nil && !equalGenomes(en.genome(), g) {
-		en = en.next
-	}
-	c.mu.RUnlock()
-	return en
-}
-
-// insert stores a copy of st under digest and returns the cached fitness
-// — the already-present one when another scorer raced the same genome in
-// first (the values are identical by purity; keeping the incumbent makes
-// that visible).
-func (c *memoCache) insert(digest uint64, st *state) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	head := c.buckets[digest]
-	for en := head; en != nil; en = en.next {
-		if equalGenomes(en.genome(), st.genome()) {
-			return en.fit
+// lookup returns the previous batch's state for parent, or nil. The
+// previous entries are read-only between flips, so no lock is needed
+// even concurrently.
+func (c *genCache) lookup(parent []float64) *state {
+	key := &parent[0]
+	for i, k := range c.prevKeys {
+		if k == key {
+			if st := c.prevSts[i]; equalGenomes(st.genome(), parent) {
+				return st
+			}
+			return nil
 		}
 	}
-	if len(c.block) == 0 {
-		c.block = make([]entry, memoBlock)
-		c.flats = make([]float64, memoBlock*(5*c.h+2))
+	return nil
+}
+
+// take returns a recycled state for the evaluator's genome length,
+// growing the free list a block at a time when it runs dry (an
+// evaluator's working set is two batches of states; block allocation
+// keeps the object count low for the GC).
+func (c *genCache) take(e *Evaluator, conc bool) *state {
+	if conc {
+		c.mu.Lock()
+		defer c.mu.Unlock()
 	}
-	en := &c.block[0]
-	c.block = c.block[1:]
-	en.flat, c.flats = c.flats[:5*c.h+2:5*c.h+2], c.flats[5*c.h+2:]
-	en.h = c.h
-	copy(en.flat, st.flat)
-	en.bad, en.fit = st.bad, st.fit
-	en.digest, en.next = digest, head
-	c.buckets[digest] = en
-	return en.fit
+	if len(c.free) == 0 {
+		const block = 16
+		sts := make([]state, block)
+		flat := make([]float64, block*(5*e.h+2))
+		for i := range sts {
+			sts[i].flat, flat = flat[:5*e.h+2:5*e.h+2], flat[5*e.h+2:]
+			sts[i].h = e.h
+			c.free = append(c.free, &sts[i])
+		}
+	}
+	n := len(c.free)
+	st := c.free[n-1]
+	c.free = c.free[:n-1]
+	return st
+}
+
+// put records a scored genome's state under its address.
+func (c *genCache) put(key *float64, st *state, conc bool) {
+	if conc {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.curKeys = append(c.curKeys, key)
+	c.curSts = append(c.curSts, st)
+}
+
+// flip retires the previous batch's states to the free list and
+// promotes the current batch's. Called between batches, so it needs no
+// lock.
+func (c *genCache) flip() {
+	c.free = append(c.free, c.prevSts...)
+	c.prevKeys, c.curKeys = c.curKeys, c.prevKeys[:0]
+	c.prevSts, c.curSts = c.curSts, c.prevSts[:0]
 }
 
 // equalGenomes compares gene vectors bit-for-bit (NaN-safe: GA genomes
 // never contain NaN, and distinct NaN payloads must not compare equal
-// for memo purposes anyway, so == per gene is exactly right).
+// for caching purposes anyway, so == per gene is exactly right).
 func equalGenomes(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
@@ -384,22 +481,4 @@ func equalGenomes(a, b []float64) bool {
 		}
 	}
 	return true
-}
-
-// genomeDigest hashes the raw float64 bits with FNV-1a, continuing from
-// seed — the evaluator's bound digest — so identical genomes scored under
-// different bounds land in different memo buckets (and, via the exact
-// genome comparison on lookup, can only ever collide within one
-// evaluator, where the bound is fixed).
-func genomeDigest(seed uint64, g []float64) uint64 {
-	const prime64 = 1099511628211
-	h := seed
-	for _, x := range g {
-		b := math.Float64bits(x)
-		for s := 0; s < 64; s += 8 {
-			h ^= (b >> s) & 0xff
-			h *= prime64
-		}
-	}
-	return h
 }

@@ -190,9 +190,11 @@ func TestDeltaMatchesFull(t *testing.T) {
 	}
 }
 
-// TestMemoHitsDuplicates: scoring the same genome twice must hit the
-// cache and return the identical value; stats must reflect it.
-func TestMemoHitsDuplicates(t *testing.T) {
+// TestCopyHitsParentFitness: an unmodified copy (Lo > Hi) of a genome
+// scored in the previous batch must be served from the parent's cached
+// fitness — identical value, counted as a hit — and must itself be
+// usable as a parent for later deltas.
+func TestCopyHitsParentFitness(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	ts := randomSet(t, r, false)
 	e, err := New(ts, Options{})
@@ -200,15 +202,31 @@ func TestMemoHitsDuplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := randomGenome(r, ts)
-	batch := []ga.Derived{{Genome: g}, {Genome: append([]float64(nil), g...)}}
-	out := make([]float64, 2)
-	e.FitnessBatch(batch, out, 1)
-	if out[0] != out[1] {
-		t.Errorf("duplicate genomes scored differently: %v vs %v", out[0], out[1])
+	out := make([]float64, 1)
+	e.FitnessBatch([]ga.Derived{{Genome: g}}, out, 1)
+	want := out[0]
+	copyG := append([]float64(nil), g...)
+	e.FitnessBatch([]ga.Derived{{Genome: copyG, Parent: g, Lo: ts.NumHC(), Hi: -1}}, out, 1)
+	if out[0] != want {
+		t.Errorf("unmodified copy scored %v, want parent's %v", out[0], want)
 	}
 	hits, fulls, _ := e.BatchStats()
 	if hits != 1 || fulls != 1 {
 		t.Errorf("stats = (hits %d, fulls %d), want (1, 1)", hits, fulls)
+	}
+	// The copy's cached state must serve a delta in the next batch.
+	child := append([]float64(nil), copyG...)
+	child[0] = randomGenome(r, ts)[0]
+	e.FitnessBatch([]ga.Derived{{Genome: child, Parent: copyG, Lo: 0, Hi: 0}}, out, 1)
+	ref, err := New(ts, Options{DisableMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.Fitness(child); out[0] != want {
+		t.Errorf("delta from copied state = %v, want %v", out[0], want)
+	}
+	if _, _, deltas := e.BatchStats(); deltas != 1 {
+		t.Errorf("deltas = %d, want 1", deltas)
 	}
 }
 

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"chebymc/internal/dist"
@@ -119,6 +121,39 @@ func BenchmarkRun50Tasks(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Run()
+	}
+}
+
+// BenchmarkReplicateBatch measures replication throughput of the
+// batch-lockstep engine across lockstep widths on the jitter-free
+// 20-task workload (jitter forces the scalar fallback, so it is
+// stripped here to measure the SoA fast path). width=1 is lockstep
+// bookkeeping with no sharing; "scalar" is the pre-batch ReplicateCtx
+// path on the same workload. Workers are pinned to 1 so the numbers
+// isolate single-core batching gains from parallel speed-up.
+func BenchmarkReplicateBatch(b *testing.B) {
+	const runs = 128
+	ts, cfg := benchSet(b, 20)
+	cfg.Jitter = nil
+	cfg.Horizon = 2e4
+	ctx := context.Background()
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ReplicateCtx(ctx, ts, cfg, runs, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, width := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ReplicateBatchCtx(ctx, ts, cfg, runs, 1, width); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -23,6 +23,15 @@ var (
 		"HC jobs whose execution exceeded the optimistic budget C^LO")
 	obsDeadlineMisses = obs.Default.Counter("sim_deadline_misses_total",
 		"deadline misses of completed jobs, both criticalities")
+
+	// Batch-engine telemetry, flushed once per lockstep batch (never from
+	// the inner loop): how many replications went through the fast path,
+	// and at what widths.
+	obsBatchRuns = obs.Default.Counter("sim_batch_runs_total",
+		"replications simulated by the batch-lockstep engine")
+	obsBatchWidth = obs.Default.Histogram("sim_batch_width",
+		"lockstep width of completed batches",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 )
 
 // recordRun flushes one run's counts — the single obs touch point of a
