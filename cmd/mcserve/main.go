@@ -1,0 +1,104 @@
+// Command mcserve runs the WCET-assignment daemon: the paper's pipeline
+// (Chebyshev/GA optimistic-WCET assignment, EDF-VD schedulability,
+// predicted P_sys^MS) behind a long-running HTTP/JSON API with a
+// cross-request result cache, so an admission controller or CI fleet can
+// query assignments at six-figure rates instead of forking mcopt per
+// task set.
+//
+// Usage:
+//
+//	mcserve [-addr :8080] [-cache-entries 65536] [-concurrency C]
+//	        [-queue-depth 256] [-deadline 10s] [-ga-workers 1]
+//
+// Endpoints (all on one listener):
+//
+//	POST /v1/assign     task set + policy knobs → assignment JSON
+//	POST /v1/fit        execution-time trace → fitted distributions
+//	GET  /healthz       liveness ("ok", or 503 "draining")
+//	GET  /metrics       live counters (cache hits, latency histograms, ...)
+//	GET  /debug/pprof/  standard profiling handlers
+//
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503, new API
+// requests are refused with the structured "draining" error, every
+// request already in flight completes, then the process exits 0. A
+// second signal — or the drain grace period expiring — exits
+// immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chebymc/internal/artifact"
+	"chebymc/internal/obs"
+	"chebymc/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+		cacheEntries = flag.Int("cache-entries", 65536, "result-cache capacity in entries (negative disables caching)")
+		l1Entries    = flag.Int("l1-entries", 0, "exact-bytes cache capacity (0 = same as -cache-entries)")
+		concurrency  = flag.Int("concurrency", 0, "concurrent compute slots (0 = NumCPU)")
+		queueDepth   = flag.Int("queue-depth", 256, "requests allowed to wait for a slot before 429")
+		deadline     = flag.Duration("deadline", 10*time.Second, "per-request compute deadline (queue wait + search)")
+		gaWorkers    = flag.Int("ga-workers", 1, "fitness-evaluation goroutines within one GA request")
+		drainGrace   = flag.Duration("drain-grace", 30*time.Second, "how long a shutdown waits for in-flight requests")
+		maxBody      = flag.Int64("max-body", 1<<20, "request body size cap in bytes")
+	)
+	flag.Parse()
+	if err := run(*addr, serve.Config{
+		CacheEntries: *cacheEntries,
+		L1Entries:    *l1Entries,
+		Concurrency:  *concurrency,
+		QueueDepth:   *queueDepth,
+		Deadline:     *deadline,
+		GAWorkers:    *gaWorkers,
+		MaxBodyBytes: *maxBody,
+	}, *drainGrace); err != nil {
+		fmt.Fprintln(os.Stderr, "mcserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg serve.Config, drainGrace time.Duration) error {
+	obs.SetEnabled(true)
+	svc := serve.New(cfg)
+	srv, err := obs.ServeWith(addr, obs.Default, artifact.MetricsHandler(obs.Default), svc.Mount)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mcserve listening on %s\n", srv.Addr())
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Printf("mcserve: %s: draining (grace %s; signal again to exit now)\n", sig, drainGrace)
+
+	// Second signal: abandon the drain.
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "mcserve: second signal, exiting immediately")
+		os.Exit(1)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	// Refuse new API work first, then drain the HTTP layer: Shutdown
+	// closes the listener and waits for in-flight handlers, which the
+	// service-level drain has already begun flushing.
+	drainErr := svc.Drain(ctx)
+	if err := srv.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Println("mcserve: drained, bye")
+	return nil
+}

@@ -1,0 +1,252 @@
+// Loadtest drives the mcserve assignment endpoint with a closed-loop,
+// zipf-skewed workload and reports throughput, cache hit rate, and hit /
+// cold latency percentiles — the harness behind `make loadtest` and the
+// issue's ≥100k cached assignments/s acceptance number.
+//
+// By default the corpus is served in-process: each client goroutine calls
+// the handler directly through httptest-style ResponseWriters, measuring
+// the service itself (digest, cache, handler) without kernel networking —
+// the fair statement of the cache's capacity on one box. Pass -url to
+// aim the same closed loop at a live daemon over HTTP instead:
+//
+//	go run ./cmd/mcserve -addr 127.0.0.1:8080 &
+//	go run ./examples/loadtest -url http://127.0.0.1:8080
+//
+// The zipf skew is the realistic shape for an admission-control cache:
+// a few task sets (the fleet's standard configurations) dominate the
+// request stream while a long tail stays cold.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"chebymc/internal/mc"
+	"chebymc/internal/serve"
+)
+
+func main() {
+	var (
+		requests = flag.Int("requests", 300000, "total requests across all clients")
+		clients  = flag.Int("clients", 4, "closed-loop client goroutines")
+		corpus   = flag.Int("corpus", 64, "distinct task sets in the workload")
+		zipfS    = flag.Float64("zipf", 1.3, "zipf skew s > 1 (larger = hotter head)")
+		nTasks   = flag.Int("tasks", 12, "tasks per generated set")
+		policy   = flag.String("policy", "uniform", "assignment policy for the workload: uniform, lambda, acet or ga")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		url      = flag.String("url", "", "drive a live daemon at this base URL instead of in-process")
+		capacity = flag.Int("cache-entries", 65536, "in-process service cache capacity")
+	)
+	flag.Parse()
+
+	bodies := buildCorpus(*corpus, *nTasks, *policy, *seed)
+
+	var do func(body []byte) (hit bool, err error)
+	if *url == "" {
+		svc := serve.New(serve.Config{CacheEntries: *capacity})
+		mux := http.NewServeMux()
+		svc.Mount(mux)
+		do = inProcessCaller(mux)
+	} else {
+		do = httpCaller(*url + "/v1/assign")
+	}
+
+	type clientStats struct {
+		hitLat, missLat []time.Duration
+		errs            int
+	}
+	stats := make([]clientStats, *clients)
+	perClient := *requests / *clients
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(*seed + int64(c)*7919))
+			zipf := rand.NewZipf(r, *zipfS, 1, uint64(len(bodies)-1))
+			st := &stats[c]
+			st.hitLat = make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				body := bodies[zipf.Uint64()]
+				t0 := time.Now()
+				hit, err := do(body)
+				lat := time.Since(t0)
+				switch {
+				case err != nil:
+					st.errs++
+				case hit:
+					st.hitLat = append(st.hitLat, lat)
+				default:
+					st.missLat = append(st.missLat, lat)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var hits, misses []time.Duration
+	errs := 0
+	for i := range stats {
+		hits = append(hits, stats[i].hitLat...)
+		misses = append(misses, stats[i].missLat...)
+		errs += stats[i].errs
+	}
+	total := len(hits) + len(misses) + errs
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: no requests ran")
+		os.Exit(1)
+	}
+	throughput := float64(total) / elapsed.Seconds()
+	hitRate := float64(len(hits)) / float64(total) * 100
+
+	mode := "in-process"
+	if *url != "" {
+		mode = *url
+	}
+	fmt.Printf("loadtest: %s, %d clients, corpus %d (zipf s=%g), policy %s\n",
+		mode, *clients, len(bodies), *zipfS, *policy)
+	fmt.Printf("  %d requests in %v  →  %.0f req/s\n", total, elapsed.Round(time.Millisecond), throughput)
+	fmt.Printf("  cache hit rate %.1f%%  (%d hits, %d cold, %d errors)\n", hitRate, len(hits), len(misses), errs)
+	if len(hits) > 0 {
+		fmt.Printf("  hit  latency  p50 %v  p99 %v\n", pct(hits, 50), pct(hits, 99))
+	}
+	if len(misses) > 0 {
+		fmt.Printf("  cold latency  p50 %v  p99 %v\n", pct(misses, 50), pct(misses, 99))
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "loadtest: %d requests errored\n", errs)
+		os.Exit(1)
+	}
+}
+
+// buildCorpus generates the request bodies once, up front — the closed
+// loop must not spend its time marshaling JSON.
+func buildCorpus(n, tasksPer int, policy string, seed int64) [][]byte {
+	r := rand.New(rand.NewSource(seed))
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		tasks := make([]mc.Task, tasksPer)
+		for j := range tasks {
+			period := 10 + r.Float64()*90
+			acet := period * (0.05 + 0.2*r.Float64())
+			sigma := acet * (0.1 + 0.3*r.Float64())
+			chi := acet + sigma*(6+6*r.Float64())
+			if chi > period {
+				chi = period
+			}
+			if j%3 == 2 { // every third task is low-criticality
+				clo := acet
+				tasks[j] = mc.Task{ID: j, Crit: mc.LC, CLO: clo, CHI: clo, Period: period}
+				continue
+			}
+			tasks[j] = mc.Task{
+				ID: j, Crit: mc.HC, CLO: chi, CHI: chi, Period: period,
+				Profile: mc.Profile{ACET: acet, Sigma: sigma},
+			}
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, `{"policy":%q,"seed":%d`, policy, seed+int64(i))
+		switch policy {
+		case "uniform":
+			fmt.Fprintf(&buf, `,"n":%g`, 4+r.Float64()*8)
+		case "lambda":
+			fmt.Fprintf(&buf, `,"lambda":%g`, 0.25+0.5*r.Float64())
+		case "ga":
+			// Keep the cold path affordable: a small search budget still
+			// exercises the full GA machinery.
+			buf.WriteString(`,"ga":{"pop_size":16,"generations":20}`)
+		}
+		buf.WriteString(`,"tasks":[`)
+		for j, t := range tasks {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, `{"id":%d,"crit":%q,"c_lo":%g,"c_hi":%g,"period":%g,"profile":{"acet":%g,"sigma":%g}}`,
+				t.ID, t.Crit.String(), t.CLO, t.CHI, t.Period, t.Profile.ACET, t.Profile.Sigma)
+		}
+		buf.WriteString(`]}`)
+		bodies[i] = buf.Bytes()
+	}
+	return bodies
+}
+
+// nullResponseWriter is the in-process sink: it keeps headers (the
+// X-Cache classification) and discards the body without copying.
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.h }
+func (w *nullResponseWriter) WriteHeader(c int)   { w.status = c }
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return len(p), nil
+}
+
+func inProcessCaller(h http.Handler) func([]byte) (bool, error) {
+	type state struct {
+		w   nullResponseWriter
+		rdr bytes.Reader
+	}
+	pool := sync.Pool{New: func() any { return &state{w: nullResponseWriter{h: make(http.Header, 4)}} }}
+	return func(body []byte) (bool, error) {
+		st := pool.Get().(*state)
+		defer pool.Put(st)
+		st.rdr.Reset(body)
+		st.w.status = 0
+		clear(st.w.h)
+		req, err := http.NewRequest(http.MethodPost, "/v1/assign", &st.rdr)
+		if err != nil {
+			return false, err
+		}
+		h.ServeHTTP(&st.w, req)
+		if st.w.status != http.StatusOK {
+			return false, fmt.Errorf("status %d", st.w.status)
+		}
+		return st.w.h.Get("X-Cache") == "hit", nil
+	}
+}
+
+func httpCaller(url string) func([]byte) (bool, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	return func(body []byte) (bool, error) {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false, err
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 4096)
+		for {
+			if _, err := resp.Body.Read(buf); err != nil {
+				break
+			}
+		}
+		if resp.StatusCode != http.StatusOK {
+			return false, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return resp.Header.Get("X-Cache") == "hit", nil
+	}
+}
+
+// pct returns the p-th percentile latency (nearest-rank).
+func pct(lats []time.Duration, p int) time.Duration {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := len(lats) * p / 100
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	return lats[idx]
+}

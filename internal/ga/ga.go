@@ -187,6 +187,15 @@ type individual struct {
 // Run maximises p.Fitness. It returns an error for an invalid problem or
 // configuration.
 func Run(p Problem, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), p, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is checked once per
+// generation (the natural unit of work — a generation is sub-millisecond
+// at the paper's scales), and a cancelled search returns ctx's error with
+// no partial Result. An uncancelled RunCtx is bit-identical to Run: the
+// check draws no randomness and touches no GA state.
+func RunCtx(ctx context.Context, p Problem, cfg Config) (Result, error) {
 	if len(p.Bounds) == 0 {
 		return Result{}, errors.New("ga: empty genome")
 	}
@@ -307,6 +316,9 @@ func Run(p Problem, cfg Config) (Result, error) {
 	}
 
 	for gen := 0; gen < cfg.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("ga: cancelled after %d of %d generations: %w", gen, cfg.Generations, err)
+		}
 		next := nextBuf[:0]
 
 		// Elitism: carry the current best few unchanged. Partial top-K

@@ -55,9 +55,25 @@ import (
 	"chebymc/internal/edfvd"
 	"chebymc/internal/ga"
 	"chebymc/internal/mc"
+	"chebymc/internal/obs"
 	"chebymc/internal/par"
 	"chebymc/internal/stats"
 )
+
+// obsMemoEvicted counts states the generation cache dropped to stay under
+// its cap — the signal a long-running process (mcserve) watches to confirm
+// the engine's memory is bounded. Flushed at flip time, never per genome.
+var obsMemoEvicted = obs.Default.Counter("objective_memo_evicted_total",
+	"genome states evicted from the objective engine's generation cache to respect MemoCap")
+
+// DefaultMemoCap bounds the states a generation cache retains (live
+// previous-batch entries plus the recycling free list) when Options leaves
+// MemoCap zero. It sits far above the paper's population sizes (60), so
+// batch sweeps never evict — behaviour under the cap is bit-identical by
+// construction — while a pathological caller (huge populations, or a
+// daemon reusing one Evaluator across requests) stays bounded at
+// cap · (5·genes+2) floats.
+const DefaultMemoCap = 4096
 
 // Options configures an Evaluator.
 type Options struct {
@@ -73,6 +89,12 @@ type Options struct {
 	// per-task factor. nil selects core.DefaultBound() (Cantelli), which
 	// reproduces the historical engine bit for bit.
 	Bound stats.Bound
+	// MemoCap bounds the number of genome states the generation cache
+	// retains; 0 selects DefaultMemoCap, a negative value disables the
+	// cap. Evicting a state only forfeits incremental re-scoring for its
+	// descendants (they fall back to full recomputation, which is
+	// bit-identical), so the cap changes memory, never results.
+	MemoCap int
 }
 
 // state is one genome's cached evaluation. All float storage lives in a
@@ -160,7 +182,14 @@ func New(ts *mc.TaskSet, opts Options) (*Evaluator, error) {
 		return nil, fmt.Errorf("objective: task set has no HC tasks")
 	}
 	if !opts.DisableMemo {
-		e.gens = newGenCache()
+		cap := opts.MemoCap
+		if cap == 0 {
+			cap = DefaultMemoCap
+		}
+		if cap < 0 {
+			cap = 0 // unbounded
+		}
+		e.gens = newGenCache(cap)
 	}
 	e.scratch.New = func() any { return newState(h) }
 	return e, nil
@@ -404,9 +433,13 @@ type genCache struct {
 	curKeys  []*float64
 	curSts   []*state
 	free     []*state
+	// cap bounds the states retained across flips (live previous batch
+	// plus free list); 0 means unbounded. Enforced in flip, so the
+	// per-genome hot path never sees it.
+	cap int
 }
 
-func newGenCache() *genCache { return &genCache{} }
+func newGenCache(cap int) *genCache { return &genCache{cap: cap} }
 
 // lookup returns the previous batch's state for parent, or nil. The
 // previous entries are read-only between flips, so no lock is needed
@@ -461,11 +494,40 @@ func (c *genCache) put(key *float64, st *state, conc bool) {
 
 // flip retires the previous batch's states to the free list and
 // promotes the current batch's. Called between batches, so it needs no
-// lock.
+// lock. When a cap is set, the retained working set (live previous batch
+// plus free list) is trimmed here: the free list first — dropping pure
+// scratch loses nothing — then the tail of the live batch, whose
+// descendants simply fall back to full recomputation (bit-identical by
+// the engine's equivalence contract). Evictions are counted once per
+// flip, so the per-genome path never touches the counter.
 func (c *genCache) flip() {
 	c.free = append(c.free, c.prevSts...)
 	c.prevKeys, c.curKeys = c.curKeys, c.prevKeys[:0]
 	c.prevSts, c.curSts = c.curSts, c.prevSts[:0]
+	if c.cap <= 0 {
+		return
+	}
+	evicted := 0
+	if over := len(c.prevSts) + len(c.free) - c.cap; over > 0 {
+		drop := min(over, len(c.free))
+		for i := len(c.free) - drop; i < len(c.free); i++ {
+			c.free[i] = nil
+		}
+		c.free = c.free[:len(c.free)-drop]
+		evicted += drop
+	}
+	if over := len(c.prevSts) - c.cap; over > 0 {
+		keep := c.cap
+		for i := keep; i < len(c.prevSts); i++ {
+			c.prevKeys[i], c.prevSts[i] = nil, nil
+		}
+		c.prevKeys = c.prevKeys[:keep]
+		c.prevSts = c.prevSts[:keep]
+		evicted += over
+	}
+	if evicted > 0 {
+		obsMemoEvicted.Add(uint64(evicted))
+	}
 }
 
 // equalGenomes compares gene vectors bit-for-bit (NaN-safe: GA genomes

@@ -303,3 +303,73 @@ func TestZeroSigmaTasks(t *testing.T) {
 		}
 	}
 }
+
+// TestMemoCapBitIdentical: an evaluator whose generation cache is capped
+// far below the batch size must evict (the obs counter moves) yet score
+// every genome bit-identically to the uncached reference — eviction only
+// forfeits reuse, never changes results.
+func TestMemoCapBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	ts := randomSet(t, r, true)
+	for ts.NumHC() == 0 {
+		ts = randomSet(t, r, true)
+	}
+	capped, err := New(ts, Options{MemoCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(ts, Options{DisableMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obsMemoEvicted.Value()
+	const batchSize = 16
+	parents := make([][]float64, batchSize)
+	for b := 0; b < 10; b++ {
+		batch := make([]ga.Derived, batchSize)
+		for i := range batch {
+			child := randomGenome(r, ts)
+			d := ga.Derived{Genome: child, Lo: 0, Hi: len(child) - 1}
+			if parents[i] != nil {
+				// Derive from last batch's genome at the same slot; the
+				// declared range legally over-approximates the change.
+				d.Parent = parents[i]
+			}
+			batch[i] = d
+			parents[i] = child
+		}
+		out := make([]float64, batchSize)
+		capped.FitnessBatch(batch, out, 1)
+		for i, d := range batch {
+			if want := full.Fitness(d.Genome); out[i] != want {
+				t.Fatalf("batch %d genome %d: capped = %v, want %v", b, i, out[i], want)
+			}
+		}
+	}
+	if after := obsMemoEvicted.Value(); after == before {
+		t.Errorf("MemoCap 2 over %d-genome batches evicted nothing", batchSize)
+	}
+}
+
+// TestMemoCapUnderCapNoEviction: the default cap sits far above paper
+// batch sizes, so a normal GA-sized workload must never evict.
+func TestMemoCapUnderCapNoEviction(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ts := randomSet(t, r, false)
+	e, err := New(ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obsMemoEvicted.Value()
+	for b := 0; b < 20; b++ {
+		batch := make([]ga.Derived, 60) // the paper's population size
+		for i := range batch {
+			batch[i] = ga.Derived{Genome: randomGenome(r, ts)}
+		}
+		out := make([]float64, len(batch))
+		e.FitnessBatch(batch, out, 1)
+	}
+	if after := obsMemoEvicted.Value(); after != before {
+		t.Errorf("default cap evicted %d states on a population-sized workload", after-before)
+	}
+}

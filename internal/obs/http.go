@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // Server exposes a registry over HTTP for the lifetime of a run:
@@ -17,6 +19,13 @@ import (
 //
 // It binds its own mux — nothing is registered on http.DefaultServeMux —
 // so importing this package never changes a host program's routes.
+//
+// The underlying http.Server carries header/idle timeouts so a
+// long-running daemon (mcserve) is not held open by clients that dribble
+// request headers (slowloris) or park idle keep-alive connections
+// forever. Handler time itself is not capped here — request deadlines
+// are the application's business (internal/serve enforces per-request
+// deadlines with contexts).
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
@@ -32,6 +41,15 @@ var expvarOnce sync.Once
 // here to keep this package dependency-free. A nil metrics leaves
 // /metrics unrouted.
 func Serve(addr string, reg *Registry, metrics http.Handler) (*Server, error) {
+	return ServeWith(addr, reg, metrics, nil)
+}
+
+// ServeWith is Serve with an application mount hook: when non-nil, mount
+// is called with the server's mux before listening starts, so a daemon
+// can hang its own routes (mcserve's /v1/assign, /v1/fit, /healthz) off
+// the same listener as the diagnostics endpoints. The hook must not
+// register /metrics, /debug/vars or /debug/pprof/* — those are taken.
+func ServeWith(addr string, reg *Registry, metrics http.Handler, mount func(mux *http.ServeMux)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
@@ -52,9 +70,20 @@ func Serve(addr string, reg *Registry, metrics http.Handler) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if mount != nil {
+		mount(mux)
+	}
 
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
-	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler: mux,
+		// A client gets 10 s to finish sending request headers and idle
+		// keep-alive connections are reaped after 2 min — both unset
+		// before, which left a daemon one slow byte stream away from
+		// filling its connection table.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close/Shutdown
 	return s, nil
 }
 
@@ -64,3 +93,11 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close stops the server immediately; in-flight handlers are cut off —
 // acceptable for a diagnostics endpoint at process exit.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains the server gracefully: the listener closes (no new
+// connections), idle keep-alive connections are shed, and in-flight
+// handlers run to completion or until ctx expires — the SIGTERM path of
+// a serving daemon, where cutting off an in-progress response would drop
+// an accepted request. Returns ctx's error when the drain deadline
+// passes with handlers still running.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

@@ -1,10 +1,12 @@
 package obs_test
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"chebymc/internal/obs"
 )
@@ -55,5 +57,71 @@ func TestServeNilMetricsHandler(t *testing.T) {
 	defer srv.Close()
 	if code, _ := get(t, "http://"+srv.Addr()+"/metrics"); code != http.StatusNotFound {
 		t.Errorf("/metrics without a handler: code %d, want 404", code)
+	}
+}
+
+func TestServeWithMountHook(t *testing.T) {
+	srv, err := obs.ServeWith("127.0.0.1:0", obs.NewRegistry(), nil, func(mux *http.ServeMux) {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, "ok\n")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, body := get(t, "http://"+srv.Addr()+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz via mount hook: code %d body %q", code, body)
+	}
+}
+
+// TestShutdownDrainsInflight: Shutdown must let an in-flight handler
+// finish (graceful drain), unlike Close, and refuse new connections
+// afterwards.
+func TestShutdownDrainsInflight(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv, err := obs.ServeWith("127.0.0.1:0", obs.NewRegistry(), nil, func(mux *http.ServeMux) {
+		mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+			close(entered)
+			<-release
+			io.WriteString(w, "done")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		got <- string(body)
+	}()
+	<-entered
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(context.Background()) }()
+	// The drain must block on the in-flight handler, not cut it off.
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned %v with a handler still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if body := <-got; body != "done" {
+		t.Fatalf("in-flight request got %q, want %q", body, "done")
+	}
+	if _, err := http.Get("http://" + addr + "/slow"); err == nil {
+		t.Error("server accepted a connection after Shutdown")
 	}
 }

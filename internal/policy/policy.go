@@ -6,6 +6,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,6 +26,29 @@ type Policy interface {
 	Name() string
 	// Assign produces the Assignment for ts.
 	Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, error)
+}
+
+// CtxPolicy is implemented by policies whose Assign can take long enough
+// to matter for cancellation (today: the GA search). AssignCtx is Assign
+// with cooperative cancellation; an uncancelled call is bit-identical.
+type CtxPolicy interface {
+	Policy
+	// AssignCtx is Assign observing ctx.
+	AssignCtx(ctx context.Context, ts *mc.TaskSet, r *rand.Rand) (core.Assignment, error)
+}
+
+// AssignCtx runs p.Assign under ctx: policies implementing CtxPolicy are
+// cancellable mid-search, instant policies are gated by one up-front ctx
+// check. This is the entry point long-running drivers (mcserve) use so a
+// client disconnect or deadline stops the GA instead of burning a core.
+func AssignCtx(ctx context.Context, p Policy, ts *mc.TaskSet, r *rand.Rand) (core.Assignment, error) {
+	if cp, ok := p.(CtxPolicy); ok {
+		return cp.AssignCtx(ctx, ts, r)
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Assignment{}, err
+	}
+	return p.Assign(ts, r)
 }
 
 // ChebyshevUniform applies Eq. 6 with a single n for every HC task,
@@ -113,6 +137,13 @@ func (p ChebyshevGA) Name() string { return "chebyshev-ga" + boundSuffix(p.Bound
 // here, once, and the GA scores genomes without ever materialising an
 // assignment — core.Apply runs exactly once, on the winner.
 func (p ChebyshevGA) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, error) {
+	return p.AssignCtx(context.Background(), ts, r)
+}
+
+// AssignCtx implements CtxPolicy: the GA search checks ctx once per
+// generation, so a cancelled request abandons the search within one
+// generation's work instead of running all of them.
+func (p ChebyshevGA) AssignCtx(ctx context.Context, ts *mc.TaskSet, r *rand.Rand) (core.Assignment, error) {
 	hcs := ts.ByCrit(mc.HC)
 	if len(hcs) == 0 {
 		return core.Apply(ts, nil)
@@ -135,7 +166,7 @@ func (p ChebyshevGA) Assign(ts *mc.TaskSet, r *rand.Rand) (core.Assignment, erro
 	}
 	cfg := fillGADefaults(p.Config)
 	cfg.Seed = r.Int63()
-	res, err := ga.Run(ga.Problem{Bounds: bounds, Batch: eval}, cfg)
+	res, err := ga.RunCtx(ctx, ga.Problem{Bounds: bounds, Batch: eval}, cfg)
 	if err != nil {
 		return core.Assignment{}, err
 	}

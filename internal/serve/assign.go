@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"net/http"
+
+	"chebymc/internal/core"
+	"chebymc/internal/edfvd"
+	"chebymc/internal/ga"
+	"chebymc/internal/mc"
+	"chebymc/internal/obs"
+	"chebymc/internal/policy"
+	"chebymc/internal/stats"
+)
+
+// assignRequest is the POST /v1/assign body. Tasks reuse mc.Task's JSON
+// shape directly, so a task set round-trips between the experiment
+// artifacts and the API without translation. Every knob that steers the
+// computation is part of the canonical digest (digest.go); NoCache is
+// deliberately not — it changes where the answer comes from, never what
+// it is.
+type assignRequest struct {
+	Tasks []mc.Task `json:"tasks"`
+	// Policy selects the assignment scheme: "ga" (default), "uniform",
+	// "lambda", "lambda-range" or "acet".
+	Policy string `json:"policy"`
+	// N is the shared Chebyshev parameter for policy "uniform".
+	N float64 `json:"n"`
+	// Lambda is the C^LO = λ·C^HI fraction for policy "lambda".
+	Lambda float64 `json:"lambda"`
+	// LambdaLo/LambdaHi bound the per-task draw for "lambda-range".
+	LambdaLo float64 `json:"lambda_lo"`
+	LambdaHi float64 `json:"lambda_hi"`
+	// Bound names the concentration inequality (stats.BoundByName);
+	// empty keeps the paper's Cantelli default.
+	Bound string `json:"bound"`
+	// Seed fixes the randomness of stochastic policies; the same seed
+	// (with the same task set, policy and bound) yields byte-identical
+	// assignment JSON.
+	Seed int64 `json:"seed"`
+	// RequireLC makes GA assignments that cannot schedule the set's
+	// actual LC load infeasible (Fig. 6's configuration).
+	RequireLC bool `json:"require_lc"`
+	// GA overrides the search budget; nil keeps the paper's defaults.
+	GA *gaKnobs `json:"ga"`
+	// NoCache bypasses the result cache for this request — the loadtest's
+	// cold path, and an operator's way to force a recompute.
+	NoCache bool `json:"no_cache"`
+}
+
+// gaKnobs is the subset of the GA budget a client may size per request.
+// Zero fields keep the paper's defaults (population 60, 120 generations,
+// 1 elite; NCap 50).
+type gaKnobs struct {
+	PopSize     int     `json:"pop_size"`
+	Generations int     `json:"generations"`
+	Elites      int     `json:"elites"`
+	NCap        float64 `json:"n_cap"`
+}
+
+// jsonFloat marshals like float64 but renders the non-finite values JSON
+// has no literal for as strings. The n vector legitimately contains +Inf
+// (a σ = 0 task under a λ policy: any budget above the deterministic ACET
+// can never be overrun), so the response encoder must not reject it.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// edfvdJSON is the Eq. 8 verdict in the response.
+type edfvdJSON struct {
+	Schedulable bool      `json:"schedulable"`
+	X           jsonFloat `json:"x"`
+	CondLO      bool      `json:"cond_lo"`
+	CondHI      bool      `json:"cond_hi"`
+}
+
+// assignmentJSON is the cached unit: the assignment and its analysis,
+// marshaled once per digest and spliced verbatim into every response
+// envelope — which is what makes cold, cached and post-restart responses
+// byte-identical.
+type assignmentJSON struct {
+	Policy    string      `json:"policy"`
+	NS        []jsonFloat `json:"ns"`
+	TaskSet   *mc.TaskSet `json:"task_set"`
+	PMS       float64     `json:"p_ms"`
+	MaxULCLO  float64     `json:"max_u_lc_lo"`
+	Objective float64     `json:"objective"`
+	EDFVD     edfvdJSON   `json:"edfvd"`
+}
+
+func marshalAssignment(policyName string, a core.Assignment, an edfvd.Analysis) ([]byte, error) {
+	ns := make([]jsonFloat, len(a.NS))
+	for i, v := range a.NS {
+		ns[i] = jsonFloat(v)
+	}
+	return json.Marshal(assignmentJSON{
+		Policy:    policyName,
+		NS:        ns,
+		TaskSet:   a.TaskSet,
+		PMS:       a.PMS,
+		MaxULCLO:  a.MaxULCLO,
+		Objective: a.Objective,
+		EDFVD: edfvdJSON{
+			Schedulable: an.Schedulable,
+			X:           jsonFloat(an.X),
+			CondLO:      an.CondLO,
+			CondHI:      an.CondHI,
+		},
+	})
+}
+
+// normalizeTasks fills the request-side conveniences: an HC task's C^LO
+// is this service's *output*, so clients may omit it (0 → C^HI, a valid
+// placeholder the assignment overwrites); an LC task may spell only c_lo
+// (C^HI = C^LO by the model's convention).
+func normalizeTasks(tasks []mc.Task) {
+	for i := range tasks {
+		t := &tasks[i]
+		if t.Crit == mc.HC && t.CLO == 0 {
+			t.CLO = t.CHI
+		}
+		if t.Crit == mc.LC && t.CHI == 0 {
+			t.CHI = t.CLO
+		}
+	}
+}
+
+// resolvePolicy maps the request's policy selector and knobs onto a
+// policy.Policy, validating field domains up front so configuration
+// mistakes answer 400 before any compute is admitted.
+func (s *Service) resolvePolicy(req *assignRequest, bound stats.Bound) (policy.Policy, *apiError) {
+	switch req.Policy {
+	case "", "ga":
+		var cfg ga.Config
+		var nCap float64
+		if g := req.GA; g != nil {
+			if g.PopSize < 0 || g.PopSize == 1 {
+				return nil, errBadRequest("ga.pop_size %d must be ≥ 2 (or 0 for the default)", g.PopSize)
+			}
+			if g.Generations < 0 {
+				return nil, errBadRequest("ga.generations %d must be ≥ 1 (or 0 for the default)", g.Generations)
+			}
+			if g.Elites < 0 {
+				return nil, errBadRequest("ga.elites %d must be ≥ 0", g.Elites)
+			}
+			if g.NCap < 0 || math.IsNaN(g.NCap) {
+				return nil, errBadRequest("ga.n_cap %g must be ≥ 0", g.NCap)
+			}
+			cfg.PopSize = g.PopSize
+			cfg.Generations = g.Generations
+			cfg.Elites = g.Elites
+			nCap = g.NCap
+		}
+		cfg.Workers = s.cfg.GAWorkers
+		return policy.ChebyshevGA{Config: cfg, NCap: nCap, RequireLC: req.RequireLC, Bound: bound}, nil
+	case "uniform":
+		if req.N < 0 || math.IsNaN(req.N) || math.IsInf(req.N, 0) {
+			return nil, errBadRequest("n %g must be finite and ≥ 0", req.N)
+		}
+		return policy.ChebyshevUniform{N: req.N, Bound: bound}, nil
+	case "lambda":
+		if !(req.Lambda > 0 && req.Lambda <= 1) {
+			return nil, errBadRequest("lambda %g out of (0, 1]", req.Lambda)
+		}
+		return policy.LambdaFixed{Lambda: req.Lambda, Bound: bound}, nil
+	case "lambda-range":
+		if !(0 < req.LambdaLo && req.LambdaLo <= req.LambdaHi && req.LambdaHi <= 1) {
+			return nil, errBadRequest("lambda range [%g, %g] must satisfy 0 < lo ≤ hi ≤ 1", req.LambdaLo, req.LambdaHi)
+		}
+		return policy.LambdaRange{Lo: req.LambdaLo, Hi: req.LambdaHi, Bound: bound}, nil
+	case "acet":
+		return policy.ACETOnly{}, nil
+	}
+	return nil, errUnknownPolicy(req.Policy)
+}
+
+// handleAssign is POST /v1/assign. The path ordering is the performance
+// story: L1 (raw bytes) before decoding, L2 (canonical digest) after, the
+// admission gate and single-flight only in front of actual compute.
+func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w, r) {
+		return
+	}
+	defer s.exit()
+	span := obs.StartSpan()
+	s.assignReqs.Inc()
+
+	scratch := s.getBuf()
+	defer s.putBuf(scratch)
+	body, aerr := s.readBody(r, scratch)
+	if aerr != nil {
+		s.fail(w, aerr)
+		return
+	}
+
+	var l1key uint64
+	if s.l1 != nil {
+		l1key = bodyDigest(body)
+		if e, ok := s.l1.get(l1key); ok {
+			s.respondAssign(w, e, "hit", span)
+			return
+		}
+	}
+
+	var req assignRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, errBadJSON(err))
+		return
+	}
+	normalizeTasks(req.Tasks)
+	ts, err := mc.NewTaskSet(req.Tasks)
+	if err != nil {
+		s.fail(w, errInvalidTaskSet(err))
+		return
+	}
+	bound, err := stats.BoundByName(req.Bound)
+	if err != nil {
+		s.fail(w, errUnknownBound(err))
+		return
+	}
+	pol, aerr := s.resolvePolicy(&req, bound)
+	if aerr != nil {
+		s.fail(w, aerr)
+		return
+	}
+
+	key := assignDigest(&req, ts, bound)
+	cached := !req.NoCache && s.l2 != nil
+	if cached {
+		if e, ok := s.l2.get(key); ok {
+			s.l1.put(l1key, e)
+			s.respondAssign(w, e, "hit", span)
+			return
+		}
+	}
+
+	var e *entry
+	var shared bool
+	compute := func() (*entry, error) {
+		return s.computeAssign(r.Context(), &req, ts, pol, key, cached)
+	}
+	if cached {
+		// Single-flight only matters when the result will be shared.
+		e, shared, err = s.flights.do(key, compute)
+	} else {
+		e, err = compute()
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	state := "miss"
+	if shared {
+		state = "hit"
+		s.flightShared.Inc()
+	}
+	if cached {
+		s.l1.put(l1key, e)
+	}
+	s.respondAssign(w, e, state, span)
+}
+
+// computeAssign is the cold path: admission gate, per-request deadline,
+// the (deterministically seeded) policy run, EDF-VD analysis, and one
+// marshal of the result. The deadline context reaches the GA through
+// policy.AssignCtx, so an expired request abandons its search within one
+// generation instead of burning a slot to completion.
+func (s *Service) computeAssign(ctx context.Context, req *assignRequest, ts *mc.TaskSet, pol policy.Policy, key uint64, store bool) (*entry, error) {
+	cctx, cancel := context.WithTimeout(ctx, s.cfg.Deadline)
+	defer cancel()
+	if err := s.gate.acquire(cctx); err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) {
+			s.queueRejects.Inc()
+			return nil, ae
+		}
+		return nil, errDeadline() // queue wait outlived the deadline
+	}
+	defer s.gate.release()
+
+	a, err := policy.AssignCtx(cctx, pol, ts, rand.New(rand.NewSource(req.Seed)))
+	if err != nil {
+		if cctx.Err() != nil {
+			return nil, errDeadline()
+		}
+		return nil, errInfeasible(err)
+	}
+	an := edfvd.Schedulable(a.TaskSet)
+	body, err := marshalAssignment(pol.Name(), a, an)
+	if err != nil {
+		return nil, err
+	}
+	e := &entry{digestHex: digestHex(key), body: body}
+	if store {
+		s.l2.put(key, e)
+	}
+	return e, nil
+}
+
+// respondAssign splices the envelope around the cached assignment bytes
+// from pooled scratch — the hit path allocates nothing per request beyond
+// what net/http itself needs.
+func (s *Service) respondAssign(w http.ResponseWriter, e *entry, cacheState string, span obs.Span) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Cache", cacheState)
+	out := s.getBuf()
+	b := *out
+	b = append(b, `{"cache":"`...)
+	b = append(b, cacheState...)
+	b = append(b, `","digest":"`...)
+	b = append(b, e.digestHex...)
+	b = append(b, `","assignment":`...)
+	b = append(b, e.body...)
+	b = append(b, "}\n"...)
+	w.Write(b) //nolint:errcheck // client gone
+	*out = b[:0]
+	s.bufs.Put(out)
+	span.ObserveInto(s.assignSeconds)
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// benchWriter discards the response body, keeping only what the
+// benchmark asserts on — the status and the X-Cache header.
+type benchWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *benchWriter) Header() http.Header { return w.h }
+func (w *benchWriter) WriteHeader(c int)   { w.status = c }
+func (w *benchWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return len(p), nil
+}
+
+// BenchmarkServeAssignHot is the issue's headline number: one repeat
+// request through the full handler (L1 exact-bytes cache hit). The
+// inverse of ns/op is the cached assignments/s one core sustains;
+// ≥100k/s needs ≤10µs/op.
+func BenchmarkServeAssignHot(b *testing.B) {
+	_, mux := newTestMux(b, Config{})
+	w := &benchWriter{h: make(http.Header, 4)}
+	var rdr strings.Reader
+	run := func() {
+		rdr.Reset(testBody)
+		r, _ := http.NewRequest(http.MethodPost, "/v1/assign", &rdr)
+		clear(w.h)
+		w.status = 0
+		mux.ServeHTTP(w, r)
+	}
+	// Warm the cache with the one cold compute.
+	run()
+	if w.status != http.StatusOK || w.h.Get("X-Cache") != "hit" && w.h.Get("X-Cache") != "miss" {
+		b.Fatalf("warmup failed: %d %q", w.status, w.h.Get("X-Cache"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	if w.h.Get("X-Cache") != "hit" {
+		b.Fatalf("hot path was not a cache hit: %q", w.h.Get("X-Cache"))
+	}
+}
+
+// BenchmarkServeAssignCold measures the uncached path end to end for the
+// uniform policy: body decode, validation, digest, admission, Eq. 6
+// assignment, EDF-VD analysis, marshal. no_cache keeps every iteration
+// cold without growing the corpus.
+func BenchmarkServeAssignCold(b *testing.B) {
+	_, mux := newTestMux(b, Config{})
+	body := strings.Replace(testBody, `"seed":42`, `"seed":42,"no_cache":true`, 1)
+	w := &benchWriter{h: make(http.Header, 4)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _ := http.NewRequest(http.MethodPost, "/v1/assign", strings.NewReader(body))
+		clear(w.h)
+		w.status = 0
+		mux.ServeHTTP(w, r)
+	}
+	b.StopTimer()
+	if w.status != http.StatusOK || w.h.Get("X-Cache") != "miss" {
+		b.Fatalf("cold path broken: %d %q", w.status, w.h.Get("X-Cache"))
+	}
+}
+
+// BenchmarkServeCacheGet isolates the sharded LRU itself.
+func BenchmarkServeCacheGet(b *testing.B) {
+	c := newCache(1024, "serve_bench_cache")
+	e := &entry{digestHex: "x", body: []byte("{}")}
+	for i := uint64(0); i < 1024; i++ {
+		c.put(i*2654435761, e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.get(uint64(i%1024) * 2654435761)
+	}
+}
+
+// BenchmarkServeBodyDigest isolates the L1 key: FNV-1a over a realistic
+// request body.
+func BenchmarkServeBodyDigest(b *testing.B) {
+	body := []byte(testBody)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bodyDigest(body)
+	}
+}

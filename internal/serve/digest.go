@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"math"
+
+	"chebymc/internal/mc"
+	"chebymc/internal/stats"
+)
+
+// The canonical digest is the L2 cache key: an FNV-1a fold over every
+// decoded request value the response depends on. Two requests whose JSON
+// bodies differ only in formatting — field order, whitespace, "1e1" vs
+// "10" — decode to the same values and therefore collide to one cache
+// entry; that is the "near-repeat" class the L1 exact-bytes key misses.
+//
+// What goes in, and why:
+//
+//   - policy name and its knobs (n, λ range, GA budget, RequireLC, NCap),
+//     the seed, and stats.BoundDigest of the resolved bound — everything
+//     that steers the search;
+//   - per task: ID, name, criticality, period, C^HI, ACET, σ — and C^LO
+//     for LC tasks only. An HC task's C^LO is the *output* of the
+//     service (the assignment overwrites it), so two queries differing
+//     only there are the same query — the common resubmit-an-optimised-
+//     set case hits the cache. An LC task's C^LO, by contrast, feeds
+//     U^LO_LC and the schedulability verdict, and IDs and names are
+//     echoed in the response task set, so all of those must split
+//     entries.
+//
+// Floats are folded as their raw IEEE bits: the cache must distinguish
+// what the computation distinguishes, no more, no less.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+type digester uint64
+
+func newDigester() digester { return fnvOffset64 }
+
+func (d *digester) byte(b byte) {
+	*d = digester((uint64(*d) ^ uint64(b)) * fnvPrime64)
+}
+
+func (d *digester) u64(v uint64) {
+	h := uint64(*d)
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ ((v >> s) & 0xff)) * fnvPrime64
+	}
+	*d = digester(h)
+}
+
+func (d *digester) i64(v int64)   { d.u64(uint64(v)) }
+func (d *digester) f64(v float64) { d.u64(math.Float64bits(v)) }
+
+func (d *digester) boolean(v bool) {
+	if v {
+		d.byte(1)
+	} else {
+		d.byte(0)
+	}
+}
+
+func (d *digester) str(s string) {
+	d.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		d.byte(s[i])
+	}
+}
+
+// assignDigest computes the canonical digest of a decoded, validated
+// assign request. bound is the resolved engine (its BoundDigest covers
+// name and parameters).
+func assignDigest(req *assignRequest, ts *mc.TaskSet, bound stats.Bound) uint64 {
+	d := newDigester()
+	d.str(req.Policy)
+	d.f64(req.N)
+	d.f64(req.Lambda)
+	d.f64(req.LambdaLo)
+	d.f64(req.LambdaHi)
+	d.i64(req.Seed)
+	d.boolean(req.RequireLC)
+	if req.GA != nil {
+		d.i64(int64(req.GA.PopSize))
+		d.i64(int64(req.GA.Generations))
+		d.i64(int64(req.GA.Elites))
+		d.f64(req.GA.NCap)
+	} else {
+		d.byte(0xff) // distinguish "no GA block" from an all-zero one
+	}
+	d.u64(stats.BoundDigest(bound))
+	d.u64(uint64(len(ts.Tasks)))
+	for _, t := range ts.Tasks {
+		d.i64(int64(t.ID))
+		d.str(t.Name)
+		d.byte(byte(t.Crit))
+		d.f64(t.Period)
+		d.f64(t.CHI)
+		d.f64(t.Profile.ACET)
+		d.f64(t.Profile.Sigma)
+		if t.Crit == mc.LC {
+			d.f64(t.CLO)
+		}
+	}
+	return uint64(d)
+}
+
+// bodyDigest is the L1 cache key: FNV-1a over the raw request bytes.
+// The handler is a pure function of the body (given fixed server
+// configuration), so identical bytes may be answered from cache without
+// even decoding — the sub-microsecond hot path.
+func bodyDigest(body []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range body {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	return h
+}
+
+// digestHex renders a digest as fixed-width lowercase hex, the form the
+// response envelope carries.
+func digestHex(d uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = hexdigits[d&0xf]
+		d >>= 4
+	}
+	return string(buf[:])
+}

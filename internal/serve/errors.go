@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Error codes. These are the machine-readable half of the error contract:
+// a client switches on Code, a human reads Message. The HTTP status only
+// coarsely bins them (400 the request is malformed, 422 it is well-formed
+// but unservable, 429/503 try again later, 500 our bug).
+const (
+	// CodeBadJSON: the body is not valid JSON for the endpoint's schema.
+	CodeBadJSON = "bad_json"
+	// CodeBadRequest: a field value is out of its domain (negative n,
+	// λ outside (0,1], empty sample list, ...).
+	CodeBadRequest = "bad_request"
+	// CodeUnknownPolicy: the policy name is not one the service offers.
+	CodeUnknownPolicy = "unknown_policy"
+	// CodeUnknownBound: the bound name is not a stats.BoundByName engine.
+	CodeUnknownBound = "unknown_bound"
+	// CodeInvalidTaskSet: the task set fails mc.TaskSet.Validate — the
+	// request parsed, but no policy can assign budgets to it.
+	CodeInvalidTaskSet = "invalid_task_set"
+	// CodeInfeasible: the task set is valid but the policy found no
+	// feasible assignment (GA exhausted, ACET above WCET^pes, ...).
+	CodeInfeasible = "infeasible"
+	// CodeInvalidSamples: a fit request's trace cannot support the
+	// requested analysis (empty, too short for the block size, ...).
+	CodeInvalidSamples = "invalid_samples"
+	// CodeQueueFull: the admission queue is saturated; retry later.
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the server is shutting down and accepts no new work.
+	CodeDraining = "draining"
+	// CodeDeadline: the per-request compute deadline expired mid-search.
+	CodeDeadline = "deadline"
+	// CodeMethod: wrong HTTP method for the endpoint.
+	CodeMethod = "method_not_allowed"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the JSON error envelope: {"error":{"code":...,"message":...}}.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the machine-readable code and the human message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiError is an error that knows its HTTP rendering.
+type apiError struct {
+	status     int
+	code       string
+	msg        string
+	retryAfter int // seconds; > 0 emits a Retry-After header
+}
+
+func (e *apiError) Error() string { return e.code + ": " + e.msg }
+
+func errBadJSON(err error) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodeBadJSON, msg: err.Error()}
+}
+
+func errBadRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodeBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func errUnknownPolicy(name string) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodeUnknownPolicy,
+		msg: fmt.Sprintf("unknown policy %q (want ga, uniform, lambda, lambda-range or acet)", name)}
+}
+
+func errUnknownBound(err error) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodeUnknownBound, msg: err.Error()}
+}
+
+func errInvalidTaskSet(err error) *apiError {
+	return &apiError{status: http.StatusUnprocessableEntity, code: CodeInvalidTaskSet, msg: err.Error()}
+}
+
+func errInfeasible(err error) *apiError {
+	return &apiError{status: http.StatusUnprocessableEntity, code: CodeInfeasible, msg: err.Error()}
+}
+
+func errInvalidSamples(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusUnprocessableEntity, code: CodeInvalidSamples,
+		msg: fmt.Sprintf(format, args...)}
+}
+
+func errQueueFull() *apiError {
+	return &apiError{status: http.StatusTooManyRequests, code: CodeQueueFull,
+		msg: "admission queue full", retryAfter: 1}
+}
+
+func errDraining() *apiError {
+	return &apiError{status: http.StatusServiceUnavailable, code: CodeDraining,
+		msg: "server is draining", retryAfter: 2}
+}
+
+func errDeadline() *apiError {
+	return &apiError{status: http.StatusServiceUnavailable, code: CodeDeadline,
+		msg: "request deadline exceeded before the assignment finished", retryAfter: 1}
+}
+
+func errMethod(method string) *apiError {
+	return &apiError{status: http.StatusMethodNotAllowed, code: CodeMethod,
+		msg: fmt.Sprintf("method %s not allowed (use POST)", method)}
+}
+
+// writeError renders any error as the structured JSON envelope. Errors
+// that are not apiErrors are classified here: context deadline/cancel
+// from a compute path becomes the 503 deadline error (the client's
+// signal to retry), everything else is a 500 — reaching that branch is a
+// bug, which is exactly what the "internal" code tells the operator.
+func writeError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			ae = errDeadline()
+		default:
+			ae = &apiError{status: http.StatusInternalServerError, code: CodeInternal, msg: err.Error()}
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if ae.retryAfter > 0 {
+		h.Set("Retry-After", strconv.Itoa(ae.retryAfter))
+	}
+	w.WriteHeader(ae.status)
+	enc := json.NewEncoder(w)
+	enc.Encode(ErrorBody{Error: ErrorDetail{Code: ae.code, Message: ae.msg}}) //nolint:errcheck // client gone
+}

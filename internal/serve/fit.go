@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"chebymc/internal/core"
+	"chebymc/internal/fit"
+	"chebymc/internal/mc"
+	"chebymc/internal/obs"
+)
+
+// fitRequest is the POST /v1/fit body: a raw execution-time trace to
+// summarise into the paper's (ACET, σ) profile and fitted distribution
+// families. Fit responses are not cached — a trace body is large,
+// rarely repeated byte-for-byte, and the computation is O(n log n), not
+// a GA search.
+type fitRequest struct {
+	// Samples is the measured execution-time trace.
+	Samples []float64 `json:"samples"`
+	// Families selects the distribution fits; empty means all of
+	// normal, lognormal and gumbel.
+	Families []string `json:"families"`
+	// Block, when > 0, additionally computes the EVT pWCET: Gumbel over
+	// block maxima of the given block size, at exceedance Eps.
+	Block int `json:"block"`
+	// Eps is the pWCET exceedance probability, in (0, 1).
+	Eps float64 `json:"eps"`
+}
+
+// fitFamilyJSON is one family's fit: its parameters and the
+// Kolmogorov–Smirnov distance, or the reason the fit failed (a
+// degenerate trace can break one family while another still fits — a
+// per-family error keeps the rest of the response useful).
+type fitFamilyJSON struct {
+	Family string             `json:"family"`
+	Params map[string]float64 `json:"params,omitempty"`
+	KS     jsonFloat          `json:"ks"`
+	Error  string             `json:"error,omitempty"`
+}
+
+type fitResponseJSON struct {
+	N       int             `json:"n"`
+	Profile mc.Profile      `json:"profile"`
+	Fits    []fitFamilyJSON `json:"fits"`
+	PWCET   *jsonFloat      `json:"pwcet,omitempty"`
+}
+
+var defaultFamilies = []string{"normal", "lognormal", "gumbel"}
+
+// fitFamily runs one family's fit against xs.
+func fitFamily(name string, xs []float64) (fitFamilyJSON, *apiError) {
+	out := fitFamilyJSON{Family: name}
+	var m fit.Model
+	var err error
+	switch name {
+	case "normal":
+		var f *fit.NormalFit
+		if f, err = fit.FitNormal(xs); err == nil {
+			out.Params = map[string]float64{"mu": f.N.Mu, "sigma": f.N.Sigma}
+			m = f
+		}
+	case "lognormal":
+		var f *fit.LogNormalFit
+		if f, err = fit.FitLogNormal(xs); err == nil {
+			out.Params = map[string]float64{"mu_log": f.L.MuLog, "sigma_log": f.L.SigmaLog}
+			m = f
+		}
+	case "gumbel":
+		var f *fit.GumbelFit
+		if f, err = fit.FitGumbel(xs); err == nil {
+			out.Params = map[string]float64{"mu": f.G.Mu, "beta": f.G.Beta}
+			m = f
+		}
+	default:
+		return out, errBadRequest("unknown family %q (want normal, lognormal or gumbel)", name)
+	}
+	if err != nil {
+		out.Params = nil
+		out.Error = err.Error()
+		return out, nil
+	}
+	if ks, kerr := fit.KSStatistic(xs, m); kerr != nil {
+		out.Error = kerr.Error()
+	} else {
+		out.KS = jsonFloat(ks)
+	}
+	return out, nil
+}
+
+// handleFit is POST /v1/fit. Fits share the assign path's admission gate
+// — a KS pass over a million-sample trace is real compute — but not its
+// cache.
+func (s *Service) handleFit(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w, r) {
+		return
+	}
+	defer s.exit()
+	span := obs.StartSpan()
+	s.fitReqs.Inc()
+
+	scratch := s.getBuf()
+	defer s.putBuf(scratch)
+	body, aerr := s.readBody(r, scratch)
+	if aerr != nil {
+		s.fail(w, aerr)
+		return
+	}
+	var req fitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, errBadJSON(err))
+		return
+	}
+	if len(req.Samples) == 0 {
+		s.fail(w, errInvalidSamples("empty sample list"))
+		return
+	}
+
+	cctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
+	defer cancel()
+	if err := s.gate.acquire(cctx); err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) {
+			s.queueRejects.Inc()
+			s.fail(w, ae)
+			return
+		}
+		s.fail(w, errDeadline())
+		return
+	}
+	defer s.gate.release()
+
+	profile, err := core.ProfileFromSamples(req.Samples)
+	if err != nil {
+		s.fail(w, errInvalidSamples("%v", err))
+		return
+	}
+	families := req.Families
+	if len(families) == 0 {
+		families = defaultFamilies
+	}
+	resp := fitResponseJSON{N: len(req.Samples), Profile: profile}
+	for _, fam := range families {
+		out, aerr := fitFamily(fam, req.Samples)
+		if aerr != nil {
+			s.fail(w, aerr)
+			return
+		}
+		resp.Fits = append(resp.Fits, out)
+	}
+	if req.Block > 0 {
+		pw, err := fit.PWCET(req.Samples, req.Block, req.Eps)
+		if err != nil {
+			s.fail(w, errInvalidSamples("pwcet: %v", err))
+			return
+		}
+		jpw := jsonFloat(pw)
+		resp.PWCET = &jpw
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(resp); err != nil {
+		// Headers are out; nothing useful left to write.
+		_ = err
+	}
+	span.ObserveInto(s.fitSeconds)
+}

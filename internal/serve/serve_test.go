@@ -1,0 +1,609 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testBody is a well-formed /v1/assign request: two HC tasks, one LC.
+// The fragment keyword arguments let a test perturb one knob at a time.
+const testBody = `{"policy":"uniform","n":5,"seed":42,"tasks":[
+  {"id":0,"name":"nav","crit":"HC","c_hi":30,"period":100,"profile":{"acet":10,"sigma":2}},
+  {"id":1,"crit":"HC","c_hi":12,"period":40,"profile":{"acet":4,"sigma":1}},
+  {"id":2,"crit":"LC","c_lo":5,"period":50}]}`
+
+func newTestMux(t testing.TB, cfg Config) (*Service, *http.ServeMux) {
+	t.Helper()
+	svc := New(cfg)
+	mux := http.NewServeMux()
+	svc.Mount(mux)
+	return svc, mux
+}
+
+func post(mux *http.ServeMux, path, body string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	mux.ServeHTTP(w, r)
+	return w
+}
+
+// envelope mirrors the /v1/assign response for tests; Assignment stays
+// raw so byte-identity can be asserted exactly.
+type envelope struct {
+	Cache      string          `json:"cache"`
+	Digest     string          `json:"digest"`
+	Assignment json.RawMessage `json:"assignment"`
+}
+
+func decodeEnvelope(t *testing.T, w *httptest.ResponseRecorder) envelope {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	var e envelope
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("decoding envelope: %v (body %s)", err, w.Body.String())
+	}
+	return e
+}
+
+func TestAssignColdThenCachedByteIdentical(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	first := decodeEnvelope(t, post(mux, "/v1/assign", testBody))
+	if first.Cache != "miss" {
+		t.Fatalf("first request cache = %q, want miss", first.Cache)
+	}
+	second := decodeEnvelope(t, post(mux, "/v1/assign", testBody))
+	if second.Cache != "hit" {
+		t.Fatalf("second request cache = %q, want hit", second.Cache)
+	}
+	if !bytes.Equal(first.Assignment, second.Assignment) {
+		t.Fatalf("cached assignment differs from cold:\n%s\n%s", first.Assignment, second.Assignment)
+	}
+	if first.Digest != second.Digest || len(first.Digest) != 16 {
+		t.Fatalf("digests %q vs %q", first.Digest, second.Digest)
+	}
+	// The response must echo real content: an optimised task set and a
+	// verdict.
+	var a struct {
+		Policy string `json:"policy"`
+		NS     []any  `json:"ns"`
+		EDFVD  struct {
+			Schedulable bool `json:"schedulable"`
+		} `json:"edfvd"`
+	}
+	if err := json.Unmarshal(first.Assignment, &a); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.NS) != 2 || a.Policy == "" {
+		t.Fatalf("unexpected assignment %s", first.Assignment)
+	}
+}
+
+// TestAssignCanonicalDigestHit reformatted and reordered JSON of the same
+// logical request must hit the canonical (L2) cache after one decode.
+func TestAssignCanonicalDigestHit(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	first := decodeEnvelope(t, post(mux, "/v1/assign", testBody))
+	reordered := `{"seed":42,"n":5.0,"policy":"uniform","tasks":[
+	  {"period":100,"id":0,"name":"nav","crit":"HC","c_hi":30,"profile":{"sigma":2,"acet":10}},
+	  {"id":1,"crit":"HC","c_hi":12,"period":40,"profile":{"acet":4,"sigma":1}},
+	  {"id":2,"crit":"LC","c_lo":5,"period":50}]}`
+	second := decodeEnvelope(t, post(mux, "/v1/assign", reordered))
+	if second.Cache != "hit" {
+		t.Fatalf("reordered request cache = %q, want hit", second.Cache)
+	}
+	if second.Digest != first.Digest {
+		t.Fatalf("canonical digests differ: %q vs %q", first.Digest, second.Digest)
+	}
+	if !bytes.Equal(first.Assignment, second.Assignment) {
+		t.Fatal("reordered request returned different assignment bytes")
+	}
+}
+
+// TestAssignHCBudgetIsOutput two requests differing only in an HC task's
+// c_lo placeholder are the same query: the assignment overwrites it.
+func TestAssignHCBudgetIsOutput(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	withCLO := strings.Replace(testBody, `"c_hi":30`, `"c_lo":25,"c_hi":30`, 1)
+	first := decodeEnvelope(t, post(mux, "/v1/assign", testBody))
+	second := decodeEnvelope(t, post(mux, "/v1/assign", withCLO))
+	if second.Digest != first.Digest || second.Cache != "hit" {
+		t.Fatalf("HC c_lo placeholder split the cache: %q/%q vs %q", first.Digest, second.Digest, second.Cache)
+	}
+}
+
+// TestAssignRestartByteIdentical a fresh service (the drain-restart case)
+// recomputes the exact same assignment bytes.
+func TestAssignRestartByteIdentical(t *testing.T) {
+	_, mux1 := newTestMux(t, Config{})
+	_, mux2 := newTestMux(t, Config{})
+	a := decodeEnvelope(t, post(mux1, "/v1/assign", testBody))
+	b := decodeEnvelope(t, post(mux2, "/v1/assign", testBody))
+	if !bytes.Equal(a.Assignment, b.Assignment) || a.Digest != b.Digest {
+		t.Fatal("restarted service produced different assignment bytes")
+	}
+	// And the GA policy, whose determinism flows through the seeded search.
+	gaBody := strings.Replace(testBody, `"policy":"uniform"`, `"policy":"ga","ga":{"pop_size":8,"generations":6}`, 1)
+	ga1 := decodeEnvelope(t, post(mux1, "/v1/assign", gaBody))
+	ga2 := decodeEnvelope(t, post(mux2, "/v1/assign", gaBody))
+	if !bytes.Equal(ga1.Assignment, ga2.Assignment) {
+		t.Fatal("GA assignment not deterministic across service instances")
+	}
+}
+
+func TestAssignSeedAndKnobsSplitDigests(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	base := decodeEnvelope(t, post(mux, "/v1/assign", testBody))
+	for name, body := range map[string]string{
+		"seed":  strings.Replace(testBody, `"seed":42`, `"seed":43`, 1),
+		"n":     strings.Replace(testBody, `"n":5`, `"n":6`, 1),
+		"bound": strings.Replace(testBody, `"seed":42`, `"seed":42,"bound":"vp"`, 1),
+		"lc":    strings.Replace(testBody, `"c_lo":5`, `"c_lo":6`, 1),
+	} {
+		e := decodeEnvelope(t, post(mux, "/v1/assign", body))
+		if e.Digest == base.Digest {
+			t.Errorf("%s: knob change did not change the canonical digest", name)
+		}
+		if e.Cache != "miss" {
+			t.Errorf("%s: expected a cold compute, got %q", name, e.Cache)
+		}
+	}
+}
+
+func TestAssignNoCache(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	body := strings.Replace(testBody, `"seed":42`, `"seed":42,"no_cache":true`, 1)
+	first := decodeEnvelope(t, post(mux, "/v1/assign", body))
+	second := decodeEnvelope(t, post(mux, "/v1/assign", body))
+	if first.Cache != "miss" || second.Cache != "miss" {
+		t.Fatalf("no_cache requests hit the cache: %q, %q", first.Cache, second.Cache)
+	}
+	if !bytes.Equal(first.Assignment, second.Assignment) {
+		t.Fatal("recomputed assignment differs — compute is not deterministic")
+	}
+}
+
+// errorBody decodes the structured error envelope.
+func errorCode(t *testing.T, w *httptest.ResponseRecorder) string {
+	t.Helper()
+	var e ErrorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body not structured JSON: %v (%s)", err, w.Body.String())
+	}
+	if e.Error.Message == "" {
+		t.Fatalf("error envelope has no message: %s", w.Body.String())
+	}
+	return e.Error.Code
+}
+
+func TestHandlerErrors(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+		code   string
+	}{
+		{"method", http.MethodGet, "/v1/assign", "", http.StatusMethodNotAllowed, CodeMethod},
+		{"bad json", http.MethodPost, "/v1/assign", "{not json", http.StatusBadRequest, CodeBadJSON},
+		{"wrong type", http.MethodPost, "/v1/assign", `{"tasks":"nope"}`, http.StatusBadRequest, CodeBadJSON},
+		{"empty task set", http.MethodPost, "/v1/assign", `{"policy":"uniform","tasks":[]}`, http.StatusUnprocessableEntity, CodeInvalidTaskSet},
+		{"invalid task", http.MethodPost, "/v1/assign",
+			`{"policy":"uniform","tasks":[{"id":0,"crit":"HC","c_hi":30,"period":-1}]}`,
+			http.StatusUnprocessableEntity, CodeInvalidTaskSet},
+		{"duplicate ids", http.MethodPost, "/v1/assign",
+			`{"policy":"uniform","tasks":[{"id":7,"crit":"LC","c_lo":1,"period":10},{"id":7,"crit":"LC","c_lo":1,"period":10}]}`,
+			http.StatusUnprocessableEntity, CodeInvalidTaskSet},
+		{"unknown policy", http.MethodPost, "/v1/assign",
+			strings.Replace(testBody, `"policy":"uniform"`, `"policy":"magic"`, 1),
+			http.StatusBadRequest, CodeUnknownPolicy},
+		{"unknown bound", http.MethodPost, "/v1/assign",
+			strings.Replace(testBody, `"seed":42`, `"seed":42,"bound":"hoeffding"`, 1),
+			http.StatusBadRequest, CodeUnknownBound},
+		{"lambda out of range", http.MethodPost, "/v1/assign",
+			strings.Replace(testBody, `"policy":"uniform","n":5`, `"policy":"lambda","lambda":1.5`, 1),
+			http.StatusBadRequest, CodeBadRequest},
+		{"lambda range inverted", http.MethodPost, "/v1/assign",
+			strings.Replace(testBody, `"policy":"uniform","n":5`, `"policy":"lambda-range","lambda_lo":0.8,"lambda_hi":0.2`, 1),
+			http.StatusBadRequest, CodeBadRequest},
+		{"negative n", http.MethodPost, "/v1/assign",
+			strings.Replace(testBody, `"n":5`, `"n":-1`, 1),
+			http.StatusBadRequest, CodeBadRequest},
+		{"ga pop of one", http.MethodPost, "/v1/assign",
+			strings.Replace(testBody, `"policy":"uniform","n":5`, `"policy":"ga","ga":{"pop_size":1}`, 1),
+			http.StatusBadRequest, CodeBadRequest},
+		{"infeasible", http.MethodPost, "/v1/assign",
+			`{"policy":"ga","tasks":[{"id":0,"crit":"HC","c_hi":30,"period":100,"profile":{"acet":50,"sigma":2}}]}`,
+			http.StatusUnprocessableEntity, CodeInfeasible},
+		{"fit method", http.MethodGet, "/v1/fit", "", http.StatusMethodNotAllowed, CodeMethod},
+		{"fit bad json", http.MethodPost, "/v1/fit", "[", http.StatusBadRequest, CodeBadJSON},
+		{"fit empty samples", http.MethodPost, "/v1/fit", `{"samples":[]}`, http.StatusUnprocessableEntity, CodeInvalidSamples},
+		{"fit unknown family", http.MethodPost, "/v1/fit",
+			`{"samples":[1,2,3],"families":["weibull"]}`, http.StatusBadRequest, CodeBadRequest},
+		{"fit bad pwcet eps", http.MethodPost, "/v1/fit",
+			`{"samples":[1,2,3,4,5,6,7,8],"block":4,"eps":2}`, http.StatusUnprocessableEntity, CodeInvalidSamples},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := httptest.NewRecorder()
+			r := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+			mux.ServeHTTP(w, r)
+			if w.Code != tc.status {
+				t.Fatalf("status %d, want %d (body %s)", w.Code, tc.status, w.Body.String())
+			}
+			if got := errorCode(t, w); got != tc.code {
+				t.Fatalf("code %q, want %q", got, tc.code)
+			}
+			if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("error Content-Type %q", ct)
+			}
+		})
+	}
+}
+
+func TestQueueFullAnswers429(t *testing.T) {
+	// One slot, zero queue: a second concurrent cold request must be
+	// rejected with 429 + Retry-After while the first holds the slot.
+	svc, mux := newTestMux(t, Config{Concurrency: 1, QueueDepth: -1})
+	if err := svc.gate.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.gate.release()
+	w := post(mux, "/v1/assign", testBody)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (body %s)", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if code := errorCode(t, w); code != CodeQueueFull {
+		t.Fatalf("code %q, want %q", code, CodeQueueFull)
+	}
+}
+
+func TestDrainingAnswers503(t *testing.T) {
+	svc, mux := newTestMux(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	w := post(mux, "/v1/assign", testBody)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", w.Code)
+	}
+	if code := errorCode(t, w); code != CodeDraining {
+		t.Fatalf("code %q, want %q", code, CodeDraining)
+	}
+	// healthz flips too.
+	hw := httptest.NewRecorder()
+	mux.ServeHTTP(hw, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if hw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %d while draining, want 503", hw.Code)
+	}
+}
+
+func TestDeadlineCancelsGA(t *testing.T) {
+	// A microscopic deadline must abort the (deliberately huge) GA search
+	// and answer the structured deadline error, not hang.
+	_, mux := newTestMux(t, Config{Deadline: time.Millisecond})
+	body := strings.Replace(testBody, `"policy":"uniform","n":5`,
+		`"policy":"ga","ga":{"pop_size":200,"generations":100000}`, 1)
+	start := time.Now()
+	w := post(mux, "/v1/assign", body)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline did not cancel the search (took %v)", elapsed)
+	}
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %s)", w.Code, w.Body.String())
+	}
+	if code := errorCode(t, w); code != CodeDeadline {
+		t.Fatalf("code %q, want %q", code, CodeDeadline)
+	}
+}
+
+func TestFitEndpoint(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	samples := make([]float64, 0, 256)
+	for i := 0; i < 256; i++ {
+		samples = append(samples, 10+float64(i%17)*0.25)
+	}
+	body, _ := json.Marshal(map[string]any{"samples": samples, "block": 16, "eps": 0.001})
+	w := post(mux, "/v1/fit", string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		N       int `json:"n"`
+		Profile struct {
+			ACET  float64 `json:"acet"`
+			Sigma float64 `json:"sigma"`
+		} `json:"profile"`
+		Fits []struct {
+			Family string             `json:"family"`
+			Params map[string]float64 `json:"params"`
+			Error  string             `json:"error"`
+		} `json:"fits"`
+		PWCET *float64 `json:"pwcet"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 256 || resp.Profile.ACET <= 0 || resp.Profile.Sigma <= 0 {
+		t.Fatalf("bad profile: %+v", resp)
+	}
+	if len(resp.Fits) != 3 {
+		t.Fatalf("want 3 family fits, got %d", len(resp.Fits))
+	}
+	for _, f := range resp.Fits {
+		if f.Error != "" {
+			t.Fatalf("family %s errored: %s", f.Family, f.Error)
+		}
+		if len(f.Params) == 0 {
+			t.Fatalf("family %s has no params", f.Family)
+		}
+	}
+	if resp.PWCET == nil || *resp.PWCET <= 0 {
+		t.Fatalf("missing pwcet: %+v", resp.PWCET)
+	}
+}
+
+// TestInfinityNSMarshals a λ policy over a σ = 0 task produces n = +Inf,
+// which encoding/json rejects as a bare float — the jsonFloat wrapper
+// must keep the response marshalable.
+func TestInfinityNSMarshals(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	body := `{"policy":"lambda","lambda":0.5,"tasks":[
+	  {"id":0,"crit":"HC","c_hi":20,"period":100,"profile":{"acet":8,"sigma":0}},
+	  {"id":1,"crit":"LC","c_lo":5,"period":50}]}`
+	e := decodeEnvelope(t, post(mux, "/v1/assign", body))
+	if !bytes.Contains(e.Assignment, []byte(`"+Inf"`)) {
+		t.Fatalf("expected +Inf n in assignment, got %s", e.Assignment)
+	}
+}
+
+// --- concurrency (-race) -------------------------------------------------
+
+// TestConcurrentDistinctDigests hammers the handler with many goroutines
+// over distinct task sets and repeats; every repeat must be byte-identical
+// to its first answer regardless of interleaving.
+func TestConcurrentDistinctDigests(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	const (
+		workers = 8
+		bodies  = 16
+		rounds  = 6
+	)
+	reqs := make([]string, bodies)
+	for i := range reqs {
+		reqs[i] = strings.Replace(testBody, `"seed":42`, fmt.Sprintf(`"seed":%d`, 1000+i), 1)
+	}
+	var mu sync.Mutex
+	first := make([]json.RawMessage, bodies)
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*bodies*rounds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				i := (w + round) % bodies
+				rec := post(mux, "/v1/assign", reqs[i])
+				if rec.Code != http.StatusOK {
+					errc <- fmt.Errorf("body %d: status %d: %s", i, rec.Code, rec.Body.String())
+					return
+				}
+				var e envelope
+				if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+					errc <- err
+					return
+				}
+				mu.Lock()
+				if first[i] == nil {
+					first[i] = e.Assignment
+				} else if !bytes.Equal(first[i], e.Assignment) {
+					errc <- fmt.Errorf("body %d: assignment bytes diverged under concurrency", i)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestStampedeSingleFlight many concurrent cold requests for one digest:
+// exactly one compute runs (the others share it), and every caller gets
+// the same bytes.
+func TestStampedeSingleFlight(t *testing.T) {
+	svc, mux := newTestMux(t, Config{})
+	sharedBefore := svc.flightShared.Value()
+	body := strings.Replace(testBody, `"policy":"uniform","n":5`,
+		`"policy":"ga","ga":{"pop_size":16,"generations":30}`, 1)
+	const callers = 12
+	results := make([]json.RawMessage, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rec := post(mux, "/v1/assign", body)
+			if rec.Code == http.StatusOK {
+				var e envelope
+				if json.Unmarshal(rec.Body.Bytes(), &e) == nil {
+					results[c] = e.Assignment
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		if results[c] == nil {
+			t.Fatalf("caller %d failed", c)
+		}
+		if !bytes.Equal(results[0], results[c]) {
+			t.Fatalf("caller %d saw different bytes", c)
+		}
+	}
+	if shared := svc.flightShared.Value() - sharedBefore; shared == 0 {
+		t.Log("no flights were shared (all callers serialised) — legal but unusual")
+	}
+}
+
+// TestDrainUnderLoad requests accepted before the drain all complete with
+// 200 — zero dropped — while requests after the drain see 503.
+func TestDrainUnderLoad(t *testing.T) {
+	svc, mux := newTestMux(t, Config{})
+	const callers = 8
+	body := strings.Replace(testBody, `"policy":"uniform","n":5`,
+		`"policy":"ga","ga":{"pop_size":24,"generations":60}`, 1)
+	started := make(chan struct{}, callers)
+	codes := make([]int, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Distinct digests so single-flight cannot collapse the load.
+			b := strings.Replace(body, `"seed":42`, fmt.Sprintf(`"seed":%d`, 9000+c), 1)
+			started <- struct{}{}
+			rec := post(mux, "/v1/assign", b)
+			codes[c] = rec.Code
+		}(c)
+	}
+	for c := 0; c < callers; c++ {
+		<-started
+	}
+	// Give the goroutines a beat to get inside the handler, then drain.
+	time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	for c, code := range codes {
+		// Every accepted request finished with a real answer; anything
+		// that raced the drain flag got the structured 503 — never a
+		// dropped connection or empty response.
+		if code != http.StatusOK && code != http.StatusServiceUnavailable {
+			t.Fatalf("caller %d: status %d", c, code)
+		}
+	}
+	if w := post(mux, "/v1/assign", testBody); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", w.Code)
+	}
+}
+
+// --- cache + digest units ------------------------------------------------
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(cacheShards, "serve_test_cache") // one entry per shard
+	// Two keys in the same shard: the second insert evicts the first.
+	k1, k2 := uint64(0x10), uint64(0x20) // same low bits → same shard
+	c.put(k1, &entry{digestHex: "a"})
+	c.put(k2, &entry{digestHex: "b"})
+	if _, ok := c.get(k1); ok {
+		t.Fatal("evicted entry still resident")
+	}
+	if e, ok := c.get(k2); !ok || e.digestHex != "b" {
+		t.Fatal("fresh entry missing")
+	}
+}
+
+func TestCacheRecencyAndRefresh(t *testing.T) {
+	c := newCache(2*cacheShards, "serve_test_cache2") // two entries per shard
+	k := func(i uint64) uint64 { return i << 4 }      // all in shard 0
+	c.put(k(1), &entry{digestHex: "1"})
+	c.put(k(2), &entry{digestHex: "2"})
+	c.get(k(1))                         // 1 is now the most recent
+	c.put(k(3), &entry{digestHex: "3"}) // must evict 2, not 1
+	if _, ok := c.get(k(2)); ok {
+		t.Fatal("LRU evicted the recently used entry instead")
+	}
+	if _, ok := c.get(k(1)); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	c.put(k(1), &entry{digestHex: "1b"}) // refresh must not grow the shard
+	if e, _ := c.get(k(1)); e == nil || e.digestHex != "1b" {
+		t.Fatal("refresh did not replace the value")
+	}
+	if n := c.len(); n != 2 {
+		t.Fatalf("resident entries %d, want 2", n)
+	}
+}
+
+func TestCacheBounded(t *testing.T) {
+	const capacity = 64
+	c := newCache(capacity, "serve_test_cache3")
+	for i := uint64(0); i < 10*capacity; i++ {
+		c.put(i*2654435761, &entry{})
+	}
+	if n := c.len(); n > capacity+cacheShards {
+		t.Fatalf("cache grew to %d entries, bound is ~%d", n, capacity)
+	}
+}
+
+func TestFlightGroupDedup(t *testing.T) {
+	g := newFlightGroup()
+	var computes int32
+	block := make(chan struct{})
+	const callers = 8
+	results := make([]*entry, callers)
+	shared := make([]bool, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			e, sh, _ := g.do(7, func() (*entry, error) {
+				computes++
+				<-block
+				return &entry{digestHex: "x"}, nil
+			})
+			results[c], shared[c] = e, sh
+		}(c)
+	}
+	// Let every caller reach the flight group, then release the leader.
+	time.Sleep(10 * time.Millisecond)
+	close(block)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("%d computes for one key, want 1", computes)
+	}
+	leaders := 0
+	for c := 0; c < callers; c++ {
+		if results[c] == nil || results[c].digestHex != "x" {
+			t.Fatalf("caller %d got %+v", c, results[c])
+		}
+		if !shared[c] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want 1", leaders)
+	}
+}
+
+func TestBodyDigestDiffers(t *testing.T) {
+	if bodyDigest([]byte(testBody)) == bodyDigest([]byte(testBody+" ")) {
+		t.Fatal("distinct bodies collided")
+	}
+	if digestHex(0) != "0000000000000000" || digestHex(0xdeadbeef) != "00000000deadbeef" {
+		t.Fatalf("digestHex formatting wrong: %q", digestHex(0xdeadbeef))
+	}
+}
