@@ -208,10 +208,10 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var l1key uint64
+	var l1hash uint64
 	if s.l1 != nil {
-		l1key = bodyDigest(body)
-		if e, ok := s.l1.get(l1key); ok {
+		l1hash = fnv64(body)
+		if e, ok := s.l1.get(l1hash, body); ok {
 			s.respondAssign(w, e, "hit", span)
 			return
 		}
@@ -239,11 +239,12 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := assignDigest(&req, ts, bound)
+	key := assignKey(&req, ts, bound)
+	hash := fnv64(key)
 	cached := !req.NoCache && s.l2 != nil
 	if cached {
-		if e, ok := s.l2.get(key); ok {
-			s.l1.put(l1key, e)
+		if e, ok := s.l2.get(hash, key); ok {
+			s.l1.put(l1hash, body, e)
 			s.respondAssign(w, e, "hit", span)
 			return
 		}
@@ -251,14 +252,20 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 
 	var e *entry
 	var shared bool
-	compute := func() (*entry, error) {
-		return s.computeAssign(r.Context(), &req, ts, pol, key, cached)
-	}
 	if cached {
-		// Single-flight only matters when the result will be shared.
-		e, shared, err = s.flights.do(key, compute)
+		// Single-flight only matters when the result will be shared — and
+		// a shared compute must not inherit the leader's request context:
+		// if the leader's client disconnects, its cancellation would abort
+		// the GA and answer every waiting follower 503 though their own
+		// deadlines never expired. Detach (keeping request values), and
+		// let computeAssign's own deadline bound the work; the finished
+		// result lands in the cache either way.
+		cctx := context.WithoutCancel(r.Context())
+		e, shared, err = s.flights.do(key, func() (*entry, error) {
+			return s.computeAssign(cctx, &req, ts, pol, hash, key)
+		})
 	} else {
-		e, err = compute()
+		e, err = s.computeAssign(r.Context(), &req, ts, pol, hash, nil)
 	}
 	if err != nil {
 		s.fail(w, err)
@@ -270,7 +277,7 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		s.flightShared.Inc()
 	}
 	if cached {
-		s.l1.put(l1key, e)
+		s.l1.put(l1hash, body, e)
 	}
 	s.respondAssign(w, e, state, span)
 }
@@ -279,8 +286,9 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 // the (deterministically seeded) policy run, EDF-VD analysis, and one
 // marshal of the result. The deadline context reaches the GA through
 // policy.AssignCtx, so an expired request abandons its search within one
-// generation instead of burning a slot to completion.
-func (s *Service) computeAssign(ctx context.Context, req *assignRequest, ts *mc.TaskSet, pol policy.Policy, key uint64, store bool) (*entry, error) {
+// generation instead of burning a slot to completion. A non-nil key
+// stores the result in the L2 cache under (hash, key).
+func (s *Service) computeAssign(ctx context.Context, req *assignRequest, ts *mc.TaskSet, pol policy.Policy, hash uint64, key []byte) (*entry, error) {
 	cctx, cancel := context.WithTimeout(ctx, s.cfg.Deadline)
 	defer cancel()
 	if err := s.gate.acquire(cctx); err != nil {
@@ -305,9 +313,9 @@ func (s *Service) computeAssign(ctx context.Context, req *assignRequest, ts *mc.
 	if err != nil {
 		return nil, err
 	}
-	e := &entry{digestHex: digestHex(key), body: body}
-	if store {
-		s.l2.put(key, e)
+	e := &entry{digestHex: digestHex(hash), body: body}
+	if key != nil {
+		s.l2.put(hash, key, e)
 	}
 	return e, nil
 }

@@ -75,28 +75,34 @@ func BenchmarkServeAssignCold(b *testing.B) {
 	}
 }
 
-// BenchmarkServeCacheGet isolates the sharded LRU itself.
+// BenchmarkServeCacheGet isolates the sharded LRU itself, including the
+// stored-key comparison a verified hit pays.
 func BenchmarkServeCacheGet(b *testing.B) {
 	c := newCache(1024, "serve_bench_cache")
 	e := &entry{digestHex: "x", body: []byte("{}")}
-	for i := uint64(0); i < 1024; i++ {
-		c.put(i*2654435761, e)
+	keys := make([][]byte, 1024)
+	hashes := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = []byte(strings.Repeat("k", 16) + string(rune('a'+i%26)) + string(rune('a'+i/26%26)) + string(rune('a'+i/676)))
+		hashes[i] = fnv64(keys[i])
+		c.put(hashes[i], keys[i], e)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.get(uint64(i%1024) * 2654435761)
+		j := i % 1024
+		c.get(hashes[j], keys[j])
 	}
 }
 
-// BenchmarkServeBodyDigest isolates the L1 key: FNV-1a over a realistic
-// request body.
+// BenchmarkServeBodyDigest isolates the L1 locator: FNV-1a over a
+// realistic request body.
 func BenchmarkServeBodyDigest(b *testing.B) {
 	body := []byte(testBody)
 	b.SetBytes(int64(len(body)))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		bodyDigest(body)
+		fnv64(body)
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"sync"
 
 	"chebymc/internal/obs"
@@ -21,12 +22,15 @@ type entry struct {
 // of fixed overhead per cache.
 const cacheShards = 16
 
-// cache is a sharded, size-bounded LRU from uint64 digests to entries.
-// Each shard serialises on its own mutex; a Get bumps recency inside the
-// shard lock (a pointer splice, no allocation). The capacity is split
-// evenly across shards, so the bound is exact per shard and ±shards in
-// aggregate — the usual sharded-LRU tradeoff, irrelevant at the tens of
-// thousands of entries the daemon runs with.
+// cache is a sharded, size-bounded LRU from key byte strings to entries,
+// addressed by the key's 64-bit FNV-1a hash. The hash only locates the
+// shard and map slot; a hit also compares the stored key bytes, so a
+// hash collision reads as a miss rather than another key's value (see
+// digest.go). Each shard serialises on its own mutex; a Get bumps
+// recency inside the shard lock (a pointer splice, no allocation). The
+// capacity is split evenly across shards, so the bound is exact per
+// shard and ±shards in aggregate — the usual sharded-LRU tradeoff,
+// irrelevant at the tens of thousands of entries the daemon runs with.
 type cache struct {
 	shards [cacheShards]lruShard
 
@@ -44,7 +48,8 @@ type lruShard struct {
 }
 
 type lruNode struct {
-	key        uint64
+	hash       uint64
+	key        []byte
 	val        *entry
 	prev, next *lruNode
 }
@@ -71,30 +76,42 @@ func newCache(capacity int, prefix string) *cache {
 	return c
 }
 
-// get returns the cached entry for key and bumps its recency.
-func (c *cache) get(key uint64) (*entry, bool) {
-	s := &c.shards[key&(cacheShards-1)]
+// get returns the cached entry for key (hash must be fnv64(key)) and
+// bumps its recency. A node whose stored key differs — a 64-bit hash
+// collision — is a miss.
+func (c *cache) get(hash uint64, key []byte) (*entry, bool) {
+	s := &c.shards[hash&(cacheShards-1)]
+	var val *entry
 	s.mu.Lock()
-	n, ok := s.items[key]
-	if ok {
+	// n.val is written by put's refresh branch under this same lock, so
+	// the read must happen before Unlock.
+	if n, ok := s.items[hash]; ok && bytes.Equal(n.key, key) {
 		s.moveToFront(n)
+		val = n.val
 	}
 	s.mu.Unlock()
-	if ok {
+	if val != nil {
 		c.hits.Inc()
-		return n.val, true
+		return val, true
 	}
 	c.misses.Inc()
 	return nil, false
 }
 
 // put inserts (or refreshes) key → val, evicting the shard's least
-// recently used entry when full.
-func (c *cache) put(key uint64, val *entry) {
-	s := &c.shards[key&(cacheShards-1)]
+// recently used entry when full. The key bytes are copied, so callers
+// may pass slices that alias pooled scratch.
+func (c *cache) put(hash uint64, key []byte, val *entry) {
+	s := &c.shards[hash&(cacheShards-1)]
 	var evicted bool
 	s.mu.Lock()
-	if n, ok := s.items[key]; ok {
+	if n, ok := s.items[hash]; ok {
+		if !bytes.Equal(n.key, key) {
+			// Hash collision: the map slot holds one key, so last writer
+			// wins and the displaced key becomes a recurring miss — a
+			// performance degradation, never a wrong answer.
+			n.key = append([]byte(nil), key...)
+		}
 		n.val = val
 		s.moveToFront(n)
 		s.mu.Unlock()
@@ -104,12 +121,12 @@ func (c *cache) put(key uint64, val *entry) {
 		// Evict the tail. cap ≥ 1 and the key is absent, so tail != nil.
 		t := s.tail
 		s.unlink(t)
-		delete(s.items, t.key)
+		delete(s.items, t.hash)
 		s.entries--
 		evicted = true
 	}
-	n := &lruNode{key: key, val: val}
-	s.items[key] = n
+	n := &lruNode{hash: hash, key: append([]byte(nil), key...), val: val}
+	s.items[hash] = n
 	s.pushFront(n)
 	s.entries++
 	s.mu.Unlock()
@@ -166,16 +183,19 @@ func (s *lruShard) moveToFront(n *lruNode) {
 	s.pushFront(n)
 }
 
-// flightGroup deduplicates concurrent computes of the same digest
+// flightGroup deduplicates concurrent computes of the same canonical key
 // (cache-stampede protection): the first caller becomes the leader and
 // runs fn, the rest block until the leader finishes and share its
-// result. Correctness does not depend on this — the compute is a pure
-// function of the digest, so duplicate computes would return identical
-// bytes — but one GA run instead of N is the difference between a
-// thundering herd absorbing the queue and not noticing it.
+// result. The map is keyed by the full key bytes — not their hash — so a
+// hash collision can never make a request wait on (and serve) a
+// different query's compute. Correctness does not otherwise depend on
+// the dedup — the compute is a pure function of the key, so duplicate
+// computes would return identical bytes — but one GA run instead of N is
+// the difference between a thundering herd absorbing the queue and not
+// noticing it.
 type flightGroup struct {
 	mu    sync.Mutex
-	calls map[uint64]*flightCall
+	calls map[string]*flightCall
 }
 
 type flightCall struct {
@@ -185,25 +205,26 @@ type flightCall struct {
 }
 
 func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[uint64]*flightCall)}
+	return &flightGroup{calls: make(map[string]*flightCall)}
 }
 
 // do runs fn under key, or waits for the in-flight run. shared reports
 // whether the result came from another caller's run.
-func (g *flightGroup) do(key uint64, fn func() (*entry, error)) (val *entry, shared bool, err error) {
+func (g *flightGroup) do(key []byte, fn func() (*entry, error)) (val *entry, shared bool, err error) {
+	k := string(key) // one cold-path allocation; the map must own its key
 	g.mu.Lock()
-	if c, ok := g.calls[key]; ok {
+	if c, ok := g.calls[k]; ok {
 		g.mu.Unlock()
 		<-c.done
 		return c.val, true, c.err
 	}
 	c := &flightCall{done: make(chan struct{})}
-	g.calls[key] = c
+	g.calls[k] = c
 	g.mu.Unlock()
 
 	c.val, c.err = fn()
 	g.mu.Lock()
-	delete(g.calls, key)
+	delete(g.calls, k)
 	g.mu.Unlock()
 	close(c.done)
 	return c.val, false, c.err

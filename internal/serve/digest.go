@@ -7,11 +7,19 @@ import (
 	"chebymc/internal/stats"
 )
 
-// The canonical digest is the L2 cache key: an FNV-1a fold over every
-// decoded request value the response depends on. Two requests whose JSON
-// bodies differ only in formatting — field order, whitespace, "1e1" vs
-// "10" — decode to the same values and therefore collide to one cache
-// entry; that is the "near-repeat" class the L1 exact-bytes key misses.
+// Cache lookups are verified, never trusted: a cache key is the full
+// canonical byte string (fixed-width numbers, length-prefixed strings —
+// unambiguous by construction), and the 64-bit FNV-1a over those bytes
+// only picks the shard and map slot. A hit additionally compares the
+// stored key bytes, so an FNV collision — trivially constructible for a
+// 64-bit non-cryptographic hash — degrades to a cache miss, never to
+// serving another request's assignment or schedulability verdict.
+//
+// The canonical key is the L2 identity: every decoded request value the
+// response depends on. Two requests whose JSON bodies differ only in
+// formatting — field order, whitespace, "1e1" vs "10" — decode to the
+// same values and therefore share one key; that is the "near-repeat"
+// class the L1 exact-bytes key misses.
 //
 // What goes in, and why:
 //
@@ -35,20 +43,19 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
-type digester uint64
-
-func newDigester() digester { return fnvOffset64 }
-
-func (d *digester) byte(b byte) {
-	*d = digester((uint64(*d) ^ uint64(b)) * fnvPrime64)
+// digester accumulates canonical key bytes. Numbers are fixed-width
+// little-endian and strings are length-prefixed, so distinct value
+// sequences can never serialise to the same bytes.
+type digester struct {
+	buf []byte
 }
 
+func (d *digester) byte(b byte) { d.buf = append(d.buf, b) }
+
 func (d *digester) u64(v uint64) {
-	h := uint64(*d)
-	for s := 0; s < 64; s += 8 {
-		h = (h ^ ((v >> s) & 0xff)) * fnvPrime64
-	}
-	*d = digester(h)
+	d.buf = append(d.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
 
 func (d *digester) i64(v int64)   { d.u64(uint64(v)) }
@@ -64,16 +71,14 @@ func (d *digester) boolean(v bool) {
 
 func (d *digester) str(s string) {
 	d.u64(uint64(len(s)))
-	for i := 0; i < len(s); i++ {
-		d.byte(s[i])
-	}
+	d.buf = append(d.buf, s...)
 }
 
-// assignDigest computes the canonical digest of a decoded, validated
-// assign request. bound is the resolved engine (its BoundDigest covers
-// name and parameters).
-func assignDigest(req *assignRequest, ts *mc.TaskSet, bound stats.Bound) uint64 {
-	d := newDigester()
+// assignKey builds the canonical key of a decoded, validated assign
+// request. bound is the resolved engine (its BoundDigest covers name and
+// parameters).
+func assignKey(req *assignRequest, ts *mc.TaskSet, bound stats.Bound) []byte {
+	d := digester{buf: make([]byte, 0, 64+72*len(ts.Tasks))}
 	d.str(req.Policy)
 	d.f64(req.N)
 	d.f64(req.Lambda)
@@ -103,17 +108,19 @@ func assignDigest(req *assignRequest, ts *mc.TaskSet, bound stats.Bound) uint64 
 			d.f64(t.CLO)
 		}
 	}
-	return uint64(d)
+	return d.buf
 }
 
-// bodyDigest is the L1 cache key: FNV-1a over the raw request bytes.
-// The handler is a pure function of the body (given fixed server
-// configuration), so identical bytes may be answered from cache without
-// even decoding — the sub-microsecond hot path.
-func bodyDigest(body []byte) uint64 {
+// fnv64 is FNV-1a over b: the cache's shard-and-slot selector. For the
+// L1 it runs over the raw request bytes (the handler is a pure function
+// of the body given fixed server configuration, so identical bytes may
+// be answered without even decoding — the sub-microsecond hot path); for
+// the L2 it runs over the canonical key from assignKey. Either way it is
+// only a locator — the hit path compares the stored key bytes.
+func fnv64(b []byte) uint64 {
 	h := uint64(fnvOffset64)
-	for _, b := range body {
-		h = (h ^ uint64(b)) * fnvPrime64
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
 	}
 	return h
 }

@@ -6,14 +6,17 @@
 //
 // The performance core is a two-level cross-request result cache:
 //
-//   - L1 keys the raw request bytes (FNV-1a over the body). The handler
-//     is a pure function of the body given fixed server configuration,
-//     so identical bytes answer without even decoding JSON — the
-//     sub-microsecond path that serves repeat traffic at ≥100k/s on one
-//     box.
-//   - L2 keys the canonical digest of the decoded request (see
+//   - L1 keys the raw request bytes. The handler is a pure function of
+//     the body given fixed server configuration, so identical bytes
+//     answer without even decoding JSON — the sub-microsecond path that
+//     serves repeat traffic at ≥100k/s on one box.
+//   - L2 keys the canonical byte string of the decoded request (see
 //     digest.go): re-serialised, re-ordered or re-formatted repeats of
 //     the same logical query collide here after one decode.
+//
+// Either level addresses its entries by a 64-bit FNV-1a hash but
+// verifies every hit against the stored key bytes, so a hash collision
+// is a miss — never another request's cached verdict.
 //
 // Both levels are sharded, size-bounded LRUs storing the *marshaled*
 // assignment bytes, so a hit never re-encodes — and a cold, cached or
@@ -31,7 +34,9 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -243,19 +248,23 @@ func (s *Service) readBody(r *http.Request, scratch *[]byte) ([]byte, *apiError)
 	b := *scratch
 	limit := s.cfg.MaxBodyBytes
 	for {
-		if int64(len(b)) > limit {
-			*scratch = b
-			return nil, &apiError{status: http.StatusRequestEntityTooLarge, code: CodeBadRequest,
-				msg: fmt.Sprintf("request body exceeds %d bytes", limit)}
-		}
 		if len(b) == cap(b) {
 			b = append(b, 0)[:len(b)]
 		}
 		n, err := r.Body.Read(b[len(b):cap(b)])
 		b = b[:len(b)+n]
+		// The cap check must follow the append: a final Read may deliver
+		// the overflowing bytes together with io.EOF, and buffer-capacity
+		// slack would otherwise let bodies approaching 2× the limit slip
+		// through.
+		if int64(len(b)) > limit {
+			*scratch = b
+			return nil, &apiError{status: http.StatusRequestEntityTooLarge, code: CodeBadRequest,
+				msg: fmt.Sprintf("request body exceeds %d bytes", limit)}
+		}
 		if err != nil {
 			*scratch = b
-			if err.Error() == "EOF" {
+			if errors.Is(err, io.EOF) {
 				return b, nil
 			}
 			return nil, errBadRequest("reading body: %v", err)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -464,6 +465,27 @@ func TestStampedeSingleFlight(t *testing.T) {
 	}
 }
 
+// TestLeaderDisconnectDoesNotAbortSharedCompute a request whose client is
+// already gone (context canceled) leads the single-flight; because the
+// shared compute is detached from the leader's request context, the
+// answer is still computed, served, and cached — followers of the flight
+// must never inherit a 503 from someone else's disconnect.
+func TestLeaderDisconnectDoesNotAbortSharedCompute(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is gone before the handler even runs
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest(http.MethodPost, "/v1/assign", strings.NewReader(testBody)).WithContext(ctx)
+	mux.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d with canceled request context, want 200 (body %s)", w.Code, w.Body.String())
+	}
+	// The detached compute's result must be cached for everyone else.
+	if e := decodeEnvelope(t, post(mux, "/v1/assign", testBody)); e.Cache != "hit" {
+		t.Fatalf("follow-up cache = %q, want hit", e.Cache)
+	}
+}
+
 // TestDrainUnderLoad requests accepted before the drain all complete with
 // 200 — zero dropped — while requests after the drain see 503.
 func TestDrainUnderLoad(t *testing.T) {
@@ -511,35 +533,40 @@ func TestDrainUnderLoad(t *testing.T) {
 
 // --- cache + digest units ------------------------------------------------
 
+// ck derives distinct key bytes for cache unit tests; the paired hash is
+// chosen by the test to steer shard placement.
+func ck(s string) []byte { return []byte(s) }
+
 func TestCacheLRUEviction(t *testing.T) {
 	c := newCache(cacheShards, "serve_test_cache") // one entry per shard
 	// Two keys in the same shard: the second insert evicts the first.
-	k1, k2 := uint64(0x10), uint64(0x20) // same low bits → same shard
-	c.put(k1, &entry{digestHex: "a"})
-	c.put(k2, &entry{digestHex: "b"})
-	if _, ok := c.get(k1); ok {
+	h1, h2 := uint64(0x10), uint64(0x20) // same low bits → same shard
+	c.put(h1, ck("a"), &entry{digestHex: "a"})
+	c.put(h2, ck("b"), &entry{digestHex: "b"})
+	if _, ok := c.get(h1, ck("a")); ok {
 		t.Fatal("evicted entry still resident")
 	}
-	if e, ok := c.get(k2); !ok || e.digestHex != "b" {
+	if e, ok := c.get(h2, ck("b")); !ok || e.digestHex != "b" {
 		t.Fatal("fresh entry missing")
 	}
 }
 
 func TestCacheRecencyAndRefresh(t *testing.T) {
 	c := newCache(2*cacheShards, "serve_test_cache2") // two entries per shard
-	k := func(i uint64) uint64 { return i << 4 }      // all in shard 0
-	c.put(k(1), &entry{digestHex: "1"})
-	c.put(k(2), &entry{digestHex: "2"})
-	c.get(k(1))                         // 1 is now the most recent
-	c.put(k(3), &entry{digestHex: "3"}) // must evict 2, not 1
-	if _, ok := c.get(k(2)); ok {
+	h := func(i uint64) uint64 { return i << 4 }      // all in shard 0
+	k := func(i uint64) []byte { return []byte{byte(i)} }
+	c.put(h(1), k(1), &entry{digestHex: "1"})
+	c.put(h(2), k(2), &entry{digestHex: "2"})
+	c.get(h(1), k(1))                         // 1 is now the most recent
+	c.put(h(3), k(3), &entry{digestHex: "3"}) // must evict 2, not 1
+	if _, ok := c.get(h(2), k(2)); ok {
 		t.Fatal("LRU evicted the recently used entry instead")
 	}
-	if _, ok := c.get(k(1)); !ok {
+	if _, ok := c.get(h(1), k(1)); !ok {
 		t.Fatal("recently used entry evicted")
 	}
-	c.put(k(1), &entry{digestHex: "1b"}) // refresh must not grow the shard
-	if e, _ := c.get(k(1)); e == nil || e.digestHex != "1b" {
+	c.put(h(1), k(1), &entry{digestHex: "1b"}) // refresh must not grow the shard
+	if e, _ := c.get(h(1), k(1)); e == nil || e.digestHex != "1b" {
 		t.Fatal("refresh did not replace the value")
 	}
 	if n := c.len(); n != 2 {
@@ -551,10 +578,63 @@ func TestCacheBounded(t *testing.T) {
 	const capacity = 64
 	c := newCache(capacity, "serve_test_cache3")
 	for i := uint64(0); i < 10*capacity; i++ {
-		c.put(i*2654435761, &entry{})
+		c.put(i*2654435761, []byte{byte(i), byte(i >> 8)}, &entry{})
 	}
 	if n := c.len(); n > capacity+cacheShards {
 		t.Fatalf("cache grew to %d entries, bound is ~%d", n, capacity)
+	}
+}
+
+// TestCacheConcurrentGetRefresh hammers one key with refreshing puts and
+// gets — the reported race was get() reading the node's value after
+// releasing the shard lock while a refresh-put rewrote it. Run with
+// -race; every get must also observe a complete entry, never a torn one.
+func TestCacheConcurrentGetRefresh(t *testing.T) {
+	c := newCache(cacheShards, "serve_test_cache_race")
+	key := ck("contended")
+	hash := fnv64(key)
+	c.put(hash, key, &entry{digestHex: "0", body: []byte("0")})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if w%2 == 0 {
+					hex := fmt.Sprintf("%d-%d", w, i)
+					c.put(hash, key, &entry{digestHex: hex, body: []byte(hex)})
+				} else if e, ok := c.get(hash, key); ok {
+					if string(e.body) != e.digestHex {
+						t.Errorf("torn entry: digest %q body %q", e.digestHex, e.body)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestCacheCollisionIsMiss two distinct keys sharing one 64-bit hash must
+// never serve each other's entries: the colliding get is a miss, and a
+// colliding put displaces the slot rather than mixing values.
+func TestCacheCollisionIsMiss(t *testing.T) {
+	c := newCache(cacheShards*4, "serve_test_cache4")
+	const h = uint64(0xdead0) // fixed hash: a forged FNV collision
+	keyA, keyB := ck("request-A"), ck("request-B")
+	c.put(h, keyA, &entry{digestHex: "A"})
+	if _, ok := c.get(h, keyB); ok {
+		t.Fatal("colliding key was served another key's entry")
+	}
+	if e, ok := c.get(h, keyA); !ok || e.digestHex != "A" {
+		t.Fatal("original key lost")
+	}
+	c.put(h, keyB, &entry{digestHex: "B"})
+	if e, ok := c.get(h, keyB); !ok || e.digestHex != "B" {
+		t.Fatal("colliding put did not take the slot")
+	}
+	if _, ok := c.get(h, keyA); ok {
+		t.Fatal("displaced key still answered — with whose value?")
 	}
 }
 
@@ -570,7 +650,7 @@ func TestFlightGroupDedup(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			e, sh, _ := g.do(7, func() (*entry, error) {
+			e, sh, _ := g.do([]byte("seven"), func() (*entry, error) {
 				computes++
 				<-block
 				return &entry{digestHex: "x"}, nil
@@ -600,10 +680,61 @@ func TestFlightGroupDedup(t *testing.T) {
 }
 
 func TestBodyDigestDiffers(t *testing.T) {
-	if bodyDigest([]byte(testBody)) == bodyDigest([]byte(testBody+" ")) {
+	if fnv64([]byte(testBody)) == fnv64([]byte(testBody+" ")) {
 		t.Fatal("distinct bodies collided")
 	}
 	if digestHex(0) != "0000000000000000" || digestHex(0xdeadbeef) != "00000000deadbeef" {
 		t.Fatalf("digestHex formatting wrong: %q", digestHex(0xdeadbeef))
+	}
+}
+
+// --- body reading --------------------------------------------------------
+
+// eofReader returns its data together with io.EOF on the final Read —
+// the legal io.Reader behavior that used to slip oversized bodies past a
+// loop-top-only limit check. wrap additionally wraps the EOF, which
+// readBody must still recognise via errors.Is.
+type eofReader struct {
+	data []byte
+	wrap bool
+}
+
+func (r *eofReader) Read(p []byte) (int, error) {
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	if len(r.data) > 0 {
+		return n, nil
+	}
+	if r.wrap {
+		return n, fmt.Errorf("final chunk: %w", io.EOF)
+	}
+	return n, io.EOF
+}
+
+func TestReadBodyEnforcesLimit(t *testing.T) {
+	svc := New(Config{MaxBodyBytes: 64})
+	read := func(r io.Reader) ([]byte, *apiError) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/assign", io.NopCloser(r))
+		scratch := svc.getBuf()
+		defer svc.putBuf(scratch)
+		b, aerr := svc.readBody(req, scratch)
+		return append([]byte(nil), b...), aerr
+	}
+	// A body over the cap delivered as data+io.EOF in one Read must be
+	// rejected even though it fits the buffer's capacity slack.
+	if _, aerr := read(&eofReader{data: bytes.Repeat([]byte("x"), 100)}); aerr == nil {
+		t.Fatal("oversized data+EOF body accepted")
+	} else if aerr.status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", aerr.status)
+	}
+	// Exactly at the cap is fine, wrapped EOF included.
+	for _, wrap := range []bool{false, true} {
+		b, aerr := read(&eofReader{data: bytes.Repeat([]byte("y"), 64), wrap: wrap})
+		if aerr != nil {
+			t.Fatalf("wrap=%v: at-limit body rejected: %v", wrap, aerr)
+		}
+		if len(b) != 64 {
+			t.Fatalf("wrap=%v: read %d bytes, want 64", wrap, len(b))
+		}
 	}
 }
