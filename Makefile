@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build vet test test-race bench bench-json bench-compare profile profile-live experiments traces cover fmt serve loadtest
 
 # The PR counter for the benchmark-trajectory file written by bench-json.
-BENCH_N ?= 6
+BENCH_N ?= 7
 
 all: build vet test test-race
 
@@ -27,11 +27,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable perf trajectory: runs the tier benchmarks (simulator,
-# GA, objective engine, and the Fig. 4/5 sweep) and writes per-benchmark
+# GA, objective engine, multicore pipeline, and the Fig. 4/5 sweep) and
+# writes per-benchmark
 # ns/op and allocs/op means to BENCH_$(BENCH_N).json for cross-PR
 # comparison.
 bench-json:
-	{ $(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sim ./internal/ga ./internal/objective ./internal/obs ./internal/serve ; \
+	{ $(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sim ./internal/ga ./internal/objective ./internal/obs ./internal/serve ./internal/multicore ; \
 	  $(GO) test -run '^$$' -bench 'Fig4$$|SimVal' -benchmem -count 3 . ; } \
 	| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_N).json
 

@@ -47,3 +47,12 @@ func TestGoldenAllCSV(t *testing.T) {
 	o.csv = true
 	runGolden(t, o, "golden_all_csv.txt")
 }
+
+// TestGoldenCores pins the multicore scenario's full output — tables,
+// verification notes, spacing — and that it is worker-invariant.
+func TestGoldenCores(t *testing.T) {
+	for _, workers := range []int{2, 5} {
+		o := options{exps: "cores", sets: 3, seed: 1, workers: workers, cores: "1,2,4"}
+		runGolden(t, o, "golden_cores.txt")
+	}
+}

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	mcexp -exp table1,table2,fig2,fig3,fig45,fig6,headline [-sets N] [-samples N] [-seed S] [-workers W]
-//	      [-bound cantelli|chebyshev2|vp|moment4] [-csv|-json] [-plot] [-outdir DIR]
+//	      [-bound cantelli|chebyshev2|vp|moment4] [-cores 1,2,4,8,16] [-heuristic first-fit|best-fit|worst-fit]
+//	      [-csv|-json] [-plot] [-outdir DIR]
 //	      [-checkpoint DIR] [-resume] [-progress]
 //	      [-http ADDR] [-metrics] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -39,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -47,6 +49,7 @@ import (
 	"chebymc/internal/engine"
 	"chebymc/internal/experiment"
 	"chebymc/internal/obs"
+	"chebymc/internal/partition"
 	"chebymc/internal/prof"
 	"chebymc/internal/stats"
 )
@@ -57,6 +60,8 @@ type options struct {
 	seed          int64
 	workers       int
 	bound         string
+	cores         string
+	heuristic     string
 	batch         int
 	ciEps         float64
 	csv, json     bool
@@ -82,6 +87,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "worker goroutines per sweep (results are identical for any value)")
 	flag.StringVar(&o.bound, "bound", "", "concentration bound engine: "+strings.Join(stats.BoundNames(), ", ")+" (default cantelli)")
+	flag.StringVar(&o.cores, "cores", "", "comma-separated core counts for the cores scenario (default 1,2,4,8,16)")
+	flag.StringVar(&o.heuristic, "heuristic", "", "partitioning heuristic for the cores scenario: "+strings.Join(partition.HeuristicNames(), ", ")+" (default: compare all)")
 	flag.IntVar(&o.batch, "batch", 0, "lockstep batch width for simulating scenarios (0 = auto; results are identical for any value)")
 	flag.Float64Var(&o.ciEps, "ci-eps", 0, "adaptive sampling for simulating scenarios: stop replicating once the 95% CI half-width drops to this (0 = fixed budgets)")
 	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
@@ -126,6 +133,13 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		return err
 	}
 	bound, err := stats.BoundByName(o.bound)
+	if err != nil {
+		return err
+	}
+	if _, err := partition.HeuristicByName(o.heuristic); err != nil {
+		return err
+	}
+	cores, err := parseCores(o.cores)
 	if err != nil {
 		return err
 	}
@@ -180,6 +194,7 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		Sets: o.sets, Samples: o.samples, Seed: o.seed, Workers: o.workers,
 		Plot:  o.plot && !o.json,
 		Bound: bound,
+		Cores: cores, Heuristic: o.heuristic,
 		Batch: o.batch, CIEps: o.ciEps,
 		Eng: experiment.EngOpts{
 			Progress:      sink,
@@ -236,6 +251,24 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		}
 	}
 	return nil
+}
+
+// parseCores parses the -cores flag: a comma-separated list of core
+// counts, each ≥ 1.
+func parseCores(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var ms []int
+	for _, f := range strings.Split(s, ",") {
+		m, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || m < 1 {
+			return nil, fmt.Errorf("-cores: %q is not a core count ≥ 1", f)
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
 }
 
 // list prints the scenario registry.

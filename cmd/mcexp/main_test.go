@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -367,5 +368,28 @@ func TestRunServesLiveMetrics(t *testing.T) {
 	}
 	if !fetched {
 		t.Fatal("serveAddr hook never fired")
+	}
+}
+
+func TestParseCores(t *testing.T) {
+	ms, err := parseCores(" 1, 2,8 ")
+	if err != nil || !reflect.DeepEqual(ms, []int{1, 2, 8}) {
+		t.Errorf("parseCores = %v, %v", ms, err)
+	}
+	if ms, err := parseCores(""); err != nil || ms != nil {
+		t.Errorf("empty = %v, %v, want nil, nil", ms, err)
+	}
+	for _, bad := range []string{"0", "x", "2,-1", "1,,2"} {
+		if _, err := parseCores(bad); err == nil {
+			t.Errorf("parseCores(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunUnknownHeuristicErrors(t *testing.T) {
+	o := options{exps: "cores", sets: 2, seed: 1, workers: 1, heuristic: "round-robin"}
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, o); err == nil {
+		t.Fatal("unknown -heuristic must error")
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	mcopt -in taskset.json [-policy ga|uniform|lambda] [-n 10] [-lambda 0.25]
 //	      [-bound cantelli|chebyshev2|vp|moment4]
+//	      [-cores 4] [-heuristic first-fit|best-fit|worst-fit]
 //	      [-out optimised.json] [-seed S] [-workers W] [-simulate horizon] [-runs R]
 //	      [-http ADDR] [-metrics] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -38,7 +39,9 @@ import (
 	"chebymc/internal/ga"
 	"chebymc/internal/mc"
 	"chebymc/internal/mlmc"
+	"chebymc/internal/multicore"
 	"chebymc/internal/obs"
+	"chebymc/internal/partition"
 	"chebymc/internal/policy"
 	"chebymc/internal/prof"
 	"chebymc/internal/sim"
@@ -48,22 +51,24 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input task-set JSON (required)")
-		polName  = flag.String("policy", "ga", "assignment policy: ga, uniform, lambda")
-		n        = flag.Float64("n", 10, "uniform n (policy=uniform)")
-		lambda   = flag.Float64("lambda", 0.25, "λ fraction (policy=lambda)")
-		bound    = flag.String("bound", "", "concentration bound engine: "+strings.Join(stats.BoundNames(), ", ")+" (default cantelli)")
-		out      = flag.String("out", "", "write the optimised task set to this JSON file")
-		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the GA search and simulation (results are identical for any value)")
-		simulate = flag.Float64("simulate", 0, "also run the EDF-VD simulator for this horizon (0 = skip)")
-		runs     = flag.Int("runs", 1, "simulator replications with derived seeds (with -simulate)")
-		batch    = flag.Int("batch", 0, "lockstep batch width for the simulator (0 = auto; results are identical for any value)")
-		ciEps    = flag.Float64("ci-eps", 0, "adaptive sampling: stop replicating once the 95% CI half-width on P_sys^MS drops to this (0 = run exactly -runs)")
-		httpAddr = flag.String("http", "", "serve /metrics, /debug/pprof and /debug/vars on this address for the run's duration (e.g. :6060; :0 picks a free port)")
-		metrics  = flag.Bool("metrics", false, "print the run's final counters as Prometheus-style text on exit")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		in        = flag.String("in", "", "input task-set JSON (required)")
+		polName   = flag.String("policy", "ga", "assignment policy: ga, uniform, lambda")
+		n         = flag.Float64("n", 10, "uniform n (policy=uniform)")
+		lambda    = flag.Float64("lambda", 0.25, "λ fraction (policy=lambda)")
+		bound     = flag.String("bound", "", "concentration bound engine: "+strings.Join(stats.BoundNames(), ", ")+" (default cantelli)")
+		cores     = flag.Int("cores", 1, "partition the set onto this many cores, one search per core (1 = single-core paper pipeline)")
+		heuristic = flag.String("heuristic", "", "partitioning rule (with -cores > 1): "+strings.Join(partition.HeuristicNames(), ", ")+" (default worst-fit)")
+		out       = flag.String("out", "", "write the optimised task set to this JSON file")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the GA search and simulation (results are identical for any value)")
+		simulate  = flag.Float64("simulate", 0, "also run the EDF-VD simulator for this horizon (0 = skip)")
+		runs      = flag.Int("runs", 1, "simulator replications with derived seeds (with -simulate)")
+		batch     = flag.Int("batch", 0, "lockstep batch width for the simulator (0 = auto; results are identical for any value)")
+		ciEps     = flag.Float64("ci-eps", 0, "adaptive sampling: stop replicating once the 95% CI half-width on P_sys^MS drops to this (0 = run exactly -runs)")
+		httpAddr  = flag.String("http", "", "serve /metrics, /debug/pprof and /debug/vars on this address for the run's duration (e.g. :6060; :0 picks a free port)")
+		metrics   = flag.Bool("metrics", false, "print the run's final counters as Prometheus-style text on exit")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -87,7 +92,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "mcopt: serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
 	}
-	runErr := run(ctx, *in, *polName, *n, *lambda, *bound, *out, *seed, *workers, *simulate, *runs, *batch, *ciEps)
+	runErr := run(ctx, *in, *polName, *n, *lambda, *bound, *cores, *heuristic, *out, *seed, *workers, *simulate, *runs, *batch, *ciEps)
 	if *metrics && runErr == nil {
 		fmt.Print(artifact.MetricsText(obs.Default.Snapshot()))
 	}
@@ -100,11 +105,18 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, in, polName string, n, lambda float64, boundName, out string, seed int64, workers int, horizon float64, runs, batch int, ciEps float64) error {
+func run(ctx context.Context, in, polName string, n, lambda float64, boundName string, cores int, heurName, out string, seed int64, workers int, horizon float64, runs, batch int, ciEps float64) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
 	bound, err := stats.BoundByName(boundName)
+	if err != nil {
+		return err
+	}
+	if cores < 1 {
+		return fmt.Errorf("-cores %d must be ≥ 1", cores)
+	}
+	heur, err := partition.HeuristicByName(heurName)
 	if err != nil {
 		return err
 	}
@@ -130,6 +142,10 @@ func run(ctx context.Context, in, polName string, n, lambda float64, boundName, 
 		pol = policy.LambdaFixed{Lambda: lambda, Bound: bound}
 	default:
 		return fmt.Errorf("unknown policy %q", polName)
+	}
+
+	if cores > 1 {
+		return runMulticore(ctx, ts, pol, cores, heur, out, seed, workers, horizon, runs)
 	}
 
 	r := rand.New(rand.NewSource(seed))
@@ -205,18 +221,106 @@ func run(ctx context.Context, in, polName string, n, lambda float64, boundName, 
 	}
 
 	if out != "" {
-		g, err := os.Create(out)
-		if err != nil {
+		if err := writeAssignedSet(out, a.TaskSet); err != nil {
 			return err
 		}
-		werr := a.TaskSet.WriteJSON(g)
-		if cerr := g.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return werr
-		}
-		fmt.Printf("wrote optimised task set to %s\n", out)
 	}
+	return nil
+}
+
+// runMulticore is the -cores > 1 path: partition, one search per core,
+// composed verdicts, and (with -simulate) the per-core DES replication.
+func runMulticore(ctx context.Context, ts *mc.TaskSet, pol policy.Policy, cores int, heur partition.Heuristic, out string, seed int64, workers int, horizon float64, runs int) error {
+	sys, err := multicore.New(multicore.Config{Cores: cores, Heuristic: heur, Policy: pol, Workers: workers})
+	if err != nil {
+		return err
+	}
+	a, err := sys.AssignCtx(ctx, ts, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+
+	tb := texttable.New(
+		fmt.Sprintf("Assignment by %s on %d cores (%s)", pol.Name(), cores, heur),
+		"task", "crit", "core", "period", "ACET", "sigma", "C^LO", "C^HI",
+	)
+	for _, t := range a.TaskSet.Tasks {
+		tb.AddRow(
+			fmt.Sprintf("%d(%s)", t.ID, t.Name),
+			t.Crit.String(),
+			fmt.Sprintf("%d", a.CoreOf[t.ID]),
+			fmt.Sprintf("%.4g", t.Period),
+			fmt.Sprintf("%.4g", t.Profile.ACET),
+			fmt.Sprintf("%.4g", t.Profile.Sigma),
+			fmt.Sprintf("%.4g", t.CLO),
+			fmt.Sprintf("%.4g", t.CHI),
+		)
+	}
+	fmt.Print(tb.String())
+
+	ct := texttable.New("Per-core composition",
+		"core", "tasks", "P^MS", "max U_LC^LO", "objective", "EDF-VD")
+	for _, c := range a.Cores {
+		label := fmt.Sprintf("%d", len(c.Tasks))
+		if c.Empty {
+			label = "idle"
+		}
+		ct.AddRow(
+			fmt.Sprintf("%d", c.Core), label,
+			fmt.Sprintf("%.4f", c.Assignment.PMS),
+			fmt.Sprintf("%.4f", c.Assignment.MaxULCLO),
+			fmt.Sprintf("%.4f", c.Assignment.Objective),
+			fmt.Sprintf("%v", c.EDFVD.Schedulable),
+		)
+	}
+	fmt.Print("\n" + ct.String())
+	fmt.Printf("\nSystem: P_sys^MS <= %.4f   total max U_LC^LO = %.4f   objective = %.4f   schedulable = %v   cores used = %d/%d\n",
+		a.PMS, a.MaxULCLO, a.Objective, a.Schedulable, a.CoresUsed(), cores)
+
+	if horizon > 0 {
+		exec := make(map[int]dist.Dist)
+		for _, t := range a.TaskSet.Tasks {
+			if t.Crit != mc.HC || t.Profile.Sigma <= 0 {
+				continue
+			}
+			d, derr := dist.NewTruncNormal(t.Profile.ACET, t.Profile.Sigma, 0, t.CHI)
+			if derr != nil {
+				continue
+			}
+			exec[t.ID] = d
+		}
+		if runs < 1 {
+			runs = 1
+		}
+		ms, serr := sim.ReplicateSystemCtx(ctx, a.CoreSets(),
+			sim.Config{Horizon: horizon, Exec: exec, Seed: seed}, runs, workers)
+		if serr != nil {
+			return serr
+		}
+		sum := sim.SummarizeSystem(ms)
+		fmt.Printf("Simulated %g time units × %d runs × %d cores: P[any switch]=%.4f mean switches=%.1f HC-misses=%d LC-service=%.3f util=%.3f\n",
+			horizon, sum.Runs, a.CoresUsed(), sum.SwitchProb, sum.MeanModeSwitches, sum.TotalHCMisses, sum.MeanLCServiceRate, sum.MeanUtilisation)
+	}
+
+	if out != "" {
+		return writeAssignedSet(out, a.TaskSet)
+	}
+	return nil
+}
+
+// writeAssignedSet writes the optimised task set as JSON.
+func writeAssignedSet(out string, ts *mc.TaskSet) error {
+	g, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	werr := ts.WriteJSON(g)
+	if cerr := g.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("wrote optimised task set to %s\n", out)
 	return nil
 }

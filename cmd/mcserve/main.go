@@ -9,6 +9,7 @@
 //
 //	mcserve [-addr :8080] [-cache-entries 65536] [-concurrency C]
 //	        [-queue-depth 256] [-deadline 10s] [-ga-workers 1]
+//	        [-cores 1] [-heuristic first-fit|best-fit|worst-fit]
 //
 // Endpoints (all on one listener):
 //
@@ -31,11 +32,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"chebymc/internal/artifact"
 	"chebymc/internal/obs"
+	"chebymc/internal/partition"
 	"chebymc/internal/serve"
 )
 
@@ -50,8 +53,18 @@ func main() {
 		gaWorkers    = flag.Int("ga-workers", 1, "fitness-evaluation goroutines within one GA request")
 		drainGrace   = flag.Duration("drain-grace", 30*time.Second, "how long a shutdown waits for in-flight requests")
 		maxBody      = flag.Int64("max-body", 1<<20, "request body size cap in bytes")
+		cores        = flag.Int("cores", 1, "default core count for assign requests that omit \"cores\" (1 = the single-core paper pipeline)")
+		heuristic    = flag.String("heuristic", "", "default partitioning rule for multicore assignments: "+strings.Join(partition.HeuristicNames(), ", ")+" (default worst-fit)")
 	)
 	flag.Parse()
+	if *cores < 1 {
+		fmt.Fprintf(os.Stderr, "mcserve: -cores %d must be ≥ 1\n", *cores)
+		os.Exit(1)
+	}
+	if _, err := partition.HeuristicByName(*heuristic); err != nil {
+		fmt.Fprintln(os.Stderr, "mcserve:", err)
+		os.Exit(1)
+	}
 	if err := run(*addr, serve.Config{
 		CacheEntries: *cacheEntries,
 		L1Entries:    *l1Entries,
@@ -60,6 +73,8 @@ func main() {
 		Deadline:     *deadline,
 		GAWorkers:    *gaWorkers,
 		MaxBodyBytes: *maxBody,
+		Cores:        *cores,
+		Heuristic:    *heuristic,
 	}, *drainGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "mcserve:", err)
 		os.Exit(1)

@@ -1,11 +1,14 @@
-// Multicore: composing the Chebyshev assignment with partitioned
-// multiprocessor scheduling (the direction of Gu et al. [12] in the
-// paper's related work).
+// Multicore: the Chebyshev assignment on a partitioned multiprocessor
+// (the direction of Gu et al. [12] in the paper's related work), through
+// the first-class internal/multicore pipeline.
 //
-// A workload far too heavy for one core is budgeted with the proposed
-// scheme, partitioned onto m cores with three bin-packing heuristics, and
-// each core is verified with Eq. 8 and replayed in the per-core EDF-VD
-// simulator.
+// A workload far too heavy for one core is partitioned onto m cores by
+// each bin-packing heuristic, every core runs its own Eq. 13 GA search,
+// and the per-core verdicts compose into the system view: P_sys^MS =
+// 1 − Π_c (1 − P_c^MS), the summed LC capacity, and an all-cores Eq. 8
+// verdict. The worst-fit system is then replayed in the per-core EDF-VD
+// simulator (sim.ReplicateSystem), where one core's mode switch leaves
+// every other core in LO.
 //
 // Run with: go run ./examples/multicore [-cores 4] [-u 2.5]
 package main
@@ -18,6 +21,7 @@ import (
 
 	"chebymc/internal/dist"
 	"chebymc/internal/mc"
+	"chebymc/internal/multicore"
 	"chebymc/internal/partition"
 	"chebymc/internal/policy"
 	"chebymc/internal/sim"
@@ -39,78 +43,79 @@ func main() {
 	fmt.Printf("workload: %d tasks (%d HC, %d LC), U_bound=%.2f\n\n",
 		len(ts.Tasks), ts.NumHC(), ts.NumLC(), taskgen.UBound(ts))
 
-	// Budgets first (Chebyshev, uniform n = 6 here for determinism),
-	// then partitioning.
-	a, err := policy.ChebyshevUniform{N: 6}.Assign(ts, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// One system assignment per heuristic. The policy is the example's
+	// knob: uniform n = 6 keeps the run instant and deterministic; swap
+	// in policy.ChebyshevGA{} for the paper's full search.
+	pol := policy.ChebyshevUniform{N: 6}
+	root := r.Int63()
 
-	tb := texttable.New("Partitioning heuristics", "heuristic", "placed", "cores used", "per-core U_HC^HI")
-	for _, h := range []partition.Heuristic{partition.FirstFit, partition.BestFit, partition.WorstFit} {
-		res, err := partition.Partition(a.TaskSet, *cores, h, nil)
+	tb := texttable.New("Partitioning heuristics",
+		"heuristic", "placed", "cores used", "P_sys^MS", "max U_LC^LO", "schedulable")
+	var worstFit *multicore.Assignment
+	for _, h := range partition.Heuristics() {
+		sys, err := multicore.New(multicore.Config{Cores: *cores, Heuristic: h, Policy: pol})
 		if err != nil {
 			log.Fatal(err)
 		}
-		used := 0
-		var loads string
-		for _, set := range res.Cores {
-			if set == nil {
-				continue
-			}
-			used++
-			loads += fmt.Sprintf("%.2f ", set.UHCHI())
+		a, err := sys.Assign(ts, rand.New(rand.NewSource(root)))
+		if err != nil {
+			// partition.UnplacedError: this heuristic finds no feasible
+			// placement — report it and keep comparing the others.
+			tb.AddRow(h.String(), err.Error(), "-", "-", "-", "-")
+			continue
 		}
-		placed := "all"
-		if !res.OK {
-			placed = fmt.Sprintf("stuck at task %d", res.FailedTask)
+		tb.AddRow(
+			h.String(), "all",
+			fmt.Sprintf("%d", a.CoresUsed()),
+			fmt.Sprintf("%.4f", a.PMS),
+			fmt.Sprintf("%.4f", a.MaxULCLO),
+			fmt.Sprintf("%v", a.Schedulable),
+		)
+		if h == partition.WorstFit {
+			worstFit = &a
 		}
-		tb.AddRow(h.String(), placed, fmt.Sprintf("%d", used), loads)
 	}
 	fmt.Print(tb.String())
 
-	// Replay each core of the worst-fit partition at runtime.
-	res, err := partition.Partition(a.TaskSet, *cores, partition.WorstFit, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !res.OK {
+	if worstFit == nil {
 		fmt.Println("\nworkload does not fit; raise -cores")
 		return
 	}
-	if err := res.Validate(a.TaskSet, nil); err != nil {
+
+	// Replay the worst-fit system at runtime: every core its own DES over
+	// the same horizon, seeds derived per (run, core).
+	exec := map[int]dist.Dist{}
+	for _, t := range worstFit.TaskSet.Tasks {
+		if t.Crit != mc.HC || t.Profile.Sigma <= 0 {
+			continue
+		}
+		d, derr := dist.NewTruncNormal(t.Profile.ACET, t.Profile.Sigma, 0, t.CHI)
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		exec[t.ID] = d
+	}
+	ms, err := sim.ReplicateSystem(worstFit.CoreSets(),
+		sim.Config{Horizon: 200000, Exec: exec, Seed: *seed}, 1, 0)
+	if err != nil {
 		log.Fatal(err)
 	}
+	run := ms[0]
 
 	fmt.Println()
 	rt := texttable.New("Per-core runtime (worst-fit, 200k time units)",
 		"core", "tasks", "switches", "HC misses", "LC service", "util")
-	for i, set := range res.Cores {
-		if set == nil {
+	for _, ca := range worstFit.Cores {
+		if ca.Empty {
 			continue
 		}
-		exec := map[int]dist.Dist{}
-		for _, t := range set.Tasks {
-			if t.Crit != mc.HC || t.Profile.Sigma <= 0 {
-				continue
-			}
-			d, derr := dist.NewTruncNormal(t.Profile.ACET, t.Profile.Sigma, 0, t.CHI)
-			if derr != nil {
-				log.Fatal(derr)
-			}
-			exec[t.ID] = d
-		}
-		s, serr := sim.New(set, sim.Config{Horizon: 200000, Exec: exec, Seed: int64(i + 1)})
-		if serr != nil {
-			log.Fatal(serr)
-		}
-		m := s.Run()
+		m := run.Cores[ca.Core]
 		if m.HCMisses > 0 {
-			log.Fatalf("core %d missed HC deadlines", i)
+			log.Fatalf("core %d missed HC deadlines", ca.Core)
 		}
 		rt.AddRow(
-			fmt.Sprintf("%d", i),
-			fmt.Sprintf("%d", len(set.Tasks)),
+			fmt.Sprintf("%d", ca.Core),
+			fmt.Sprintf("%d", len(ca.Tasks)),
 			fmt.Sprintf("%d", m.ModeSwitches),
 			fmt.Sprintf("%d", m.HCMisses),
 			fmt.Sprintf("%.3f", m.LCServiceRate()),
@@ -118,5 +123,6 @@ func main() {
 		)
 	}
 	fmt.Print(rt.String())
-	fmt.Println("\nEvery core schedulable under Eq. 8; no HC deadline missed at runtime.")
+	fmt.Printf("\nSystem: P_sys^MS <= %.4f, LC service %.3f; every core schedulable under Eq. 8; no HC deadline missed at runtime.\n",
+		worstFit.PMS, run.LCServiceRate())
 }

@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"chebymc/internal/ga"
+)
+
+// smoke-scale cores sizing shared by the tests below.
+func coresSmoke() CoresConfig {
+	return CoresConfig{
+		Ms:   []int{1, 2, 4},
+		Sets: 5, Seed: 1, Workers: 2,
+		GA:      ga.Config{PopSize: 8, Generations: 4},
+		SimRuns: 20, SimHorizon: 5000,
+	}
+}
+
+func TestCores(t *testing.T) {
+	cfg := coresSmoke()
+	res, err := RunCores(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Axes) != len(cfg.Ms) {
+		t.Fatalf("got %d axis points, want %d", len(res.Axes), len(cfg.Ms))
+	}
+	nh := len(res.cfg.Heuristics)
+	if nh == 0 {
+		t.Fatal("defaulted heuristic list empty")
+	}
+
+	// m=1 never partitions, so every heuristic must report the identical
+	// single-core result — the determinism contract at experiment scope.
+	ax := res.Axes[0]
+	for hi := 1; hi < nh; hi++ {
+		if !reflect.DeepEqual(ax.Feasible[hi], ax.Feasible[0]) ||
+			!reflect.DeepEqual(ax.PMS[hi], ax.PMS[0]) {
+			t.Errorf("m=1 differs between heuristics 0 and %d", hi)
+		}
+	}
+
+	// The sweep is deterministic end to end.
+	again, err := RunCores(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Axes, again.Axes) || !reflect.DeepEqual(res.Sim, again.Sim) {
+		t.Error("cores sweep not deterministic")
+	}
+
+	// Structural claims at smoke scale.
+	if err := res.Verify(); err != nil {
+		t.Error(err)
+	}
+	if !res.SimNoHCMisses() {
+		t.Error("simulated HC deadline miss")
+	}
+	if !res.SimLCServiceHolds() {
+		t.Error("simulated LC service degrades with cores")
+	}
+	if res.SimSet < 0 || len(res.Sim) != len(cfg.Ms) {
+		t.Errorf("sim table: set %d, %d points", res.SimSet, len(res.Sim))
+	}
+	if res.Table() == nil || res.SimTable() == nil {
+		t.Error("missing table")
+	}
+}
+
+func TestCoresWorkerInvariance(t *testing.T) {
+	cfg := coresSmoke()
+	base, err := RunCores(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 7
+	other, err := RunCores(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Axes, other.Axes) || !reflect.DeepEqual(base.Sim, other.Sim) {
+		t.Error("cores sweep depends on worker count")
+	}
+}
+
+// TestCoresCheckpointResume pins the -resume contract: a second run over
+// an existing checkpoint directory reuses every point and reproduces both
+// the result and the checkpoint bytes exactly.
+func TestCoresCheckpointResume(t *testing.T) {
+	cfg := coresSmoke()
+	cfg.SimRuns = -1 // axis only; the sim replays outside the engine
+	dir := t.TempDir()
+
+	read := func() map[string]string {
+		files := map[string]string{}
+		err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return err
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rel, _ := filepath.Rel(dir, path)
+			files[rel] = string(b)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return files
+	}
+
+	first, err := RunCoresCtx(context.Background(), cfg, EngOpts{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := read()
+	if len(ck) == 0 {
+		t.Fatal("no checkpoints written")
+	}
+
+	second, err := RunCoresCtx(context.Background(), cfg, EngOpts{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Axes, second.Axes) {
+		t.Error("resumed run differs from original")
+	}
+	if ck2 := read(); !reflect.DeepEqual(ck, ck2) {
+		t.Error("resume rewrote checkpoint bytes")
+	}
+
+	// A different seed must key differently — stale state must not be
+	// resumed into a changed sweep.
+	cfg.Seed = 2
+	third, err := RunCoresCtx(context.Background(), cfg, EngOpts{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(first.Axes, third.Axes) {
+		t.Error("seed change resumed stale checkpoints")
+	}
+}
+
+func TestCoresValidation(t *testing.T) {
+	cfg := coresSmoke()
+	cfg.Ms = []int{1, 0}
+	if _, err := RunCores(cfg); err == nil {
+		t.Error("core count 0 must error")
+	}
+	if _, err := heuristicFilter("nope"); err == nil {
+		t.Error("unknown heuristic filter must error")
+	}
+	hs, err := heuristicFilter(" wf ")
+	if err != nil || len(hs) != 1 {
+		t.Errorf("heuristicFilter(wf) = %v, %v", hs, err)
+	}
+	if hs, err := heuristicFilter(""); err != nil || hs != nil {
+		t.Errorf("empty filter = %v, %v, want nil, nil", hs, err)
+	}
+}

@@ -33,6 +33,7 @@ const (
 	streamExtension
 	streamBounds
 	streamSimVal
+	streamCores
 )
 
 // BenchApps lists the benchmark kernels of the paper's Table I in

@@ -1,0 +1,15 @@
+package multicore
+
+import "chebymc/internal/obs"
+
+// Multicore telemetry, flushed once per system assignment (never inside
+// the per-core fan-out — the obs package's overhead contract).
+var (
+	obsAssignments = obs.Default.Counter("multicore_assignments_total",
+		"system assignments composed (single-core passthroughs included)")
+	obsPartitionRejects = obs.Default.Counter("multicore_partition_rejected_total",
+		"assignments refused because no core could take a task")
+	obsCoresUsed = obs.Default.Histogram("multicore_cores_used",
+		"cores carrying at least one task per composed assignment",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+)

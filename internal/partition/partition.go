@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"chebymc/internal/edfvd"
 	"chebymc/internal/mc"
@@ -41,6 +42,43 @@ func (h Heuristic) String() string {
 		return "worst-fit"
 	}
 	return fmt.Sprintf("Heuristic(%d)", int(h))
+}
+
+// DefaultHeuristic is the rule the multicore pipeline selects when none
+// is named: worst-fit, the load-balancing choice — spreading load evenly
+// gives every core's GA the most Eq. 11/12 headroom to trade against.
+const DefaultHeuristic = WorstFit
+
+// Heuristics lists every heuristic in presentation order.
+func Heuristics() []Heuristic { return []Heuristic{FirstFit, BestFit, WorstFit} }
+
+// HeuristicNames lists the flag-selectable names HeuristicByName accepts,
+// in presentation order (matching Heuristics).
+func HeuristicNames() []string {
+	names := make([]string, 0, 3)
+	for _, h := range Heuristics() {
+		names = append(names, h.String())
+	}
+	return names
+}
+
+// HeuristicByName resolves a -heuristic flag value to a Heuristic,
+// mirroring stats.BoundByName: names match String() (short aliases ff,
+// bf, wf are accepted), the empty string selects DefaultHeuristic, and an
+// unknown name is an error listing the valid ones.
+func HeuristicByName(name string) (Heuristic, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "":
+		return DefaultHeuristic, nil
+	case "first-fit", "ff":
+		return FirstFit, nil
+	case "best-fit", "bf":
+		return BestFit, nil
+	case "worst-fit", "wf":
+		return WorstFit, nil
+	}
+	return 0, fmt.Errorf("partition: unknown heuristic %q (want one of %s)",
+		name, strings.Join(HeuristicNames(), ", "))
 }
 
 // Test decides whether one core's task set is schedulable. The default is

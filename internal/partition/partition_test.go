@@ -2,6 +2,7 @@ package partition
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -219,5 +220,37 @@ func TestAcceptanceScalesWithCores(t *testing.T) {
 	}
 	if a4 < 35 {
 		t.Errorf("4 cores should absorb U=1.6 almost always, got %d/40", a4)
+	}
+}
+
+func TestHeuristicByName(t *testing.T) {
+	// Every canonical name round-trips, and short aliases fold onto the
+	// same value.
+	for _, h := range Heuristics() {
+		got, err := HeuristicByName(h.String())
+		if err != nil || got != h {
+			t.Errorf("HeuristicByName(%q) = %v, %v", h.String(), got, err)
+		}
+	}
+	for alias, want := range map[string]Heuristic{
+		"ff": FirstFit, "bf": BestFit, "wf": WorstFit,
+		" Worst-Fit ": WorstFit, "": DefaultHeuristic,
+	} {
+		got, err := HeuristicByName(alias)
+		if err != nil || got != want {
+			t.Errorf("HeuristicByName(%q) = %v, %v; want %v", alias, got, err, want)
+		}
+	}
+	if _, err := HeuristicByName("round-robin"); err == nil {
+		t.Fatal("unknown name must error")
+	} else {
+		for _, name := range HeuristicNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("error %q does not list valid name %q", err, name)
+			}
+		}
+	}
+	if len(HeuristicNames()) != len(Heuristics()) {
+		t.Errorf("HeuristicNames() = %v, want one per heuristic", HeuristicNames())
 	}
 }

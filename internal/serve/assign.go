@@ -7,12 +7,15 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"strings"
 
 	"chebymc/internal/core"
 	"chebymc/internal/edfvd"
 	"chebymc/internal/ga"
 	"chebymc/internal/mc"
+	"chebymc/internal/multicore"
 	"chebymc/internal/obs"
+	"chebymc/internal/partition"
 	"chebymc/internal/policy"
 	"chebymc/internal/stats"
 )
@@ -47,6 +50,15 @@ type assignRequest struct {
 	RequireLC bool `json:"require_lc"`
 	// GA overrides the search budget; nil keeps the paper's defaults.
 	GA *gaKnobs `json:"ga"`
+	// Cores partitions the set onto this many cores with one independent
+	// search per core (internal/multicore); 0 keeps the server default
+	// (1 unless mcserve -cores says otherwise). The response then carries
+	// a per-core breakdown and the composed system verdicts.
+	Cores int `json:"cores"`
+	// Heuristic names the partitioning rule (partition.HeuristicByName);
+	// empty keeps the server default (worst-fit). Ignored when the
+	// resolved core count is 1.
+	Heuristic string `json:"heuristic"`
 	// NoCache bypasses the result cache for this request — the loadtest's
 	// cold path, and an operator's way to force a recompute.
 	NoCache bool `json:"no_cache"`
@@ -92,7 +104,8 @@ type edfvdJSON struct {
 // assignmentJSON is the cached unit: the assignment and its analysis,
 // marshaled once per digest and spliced verbatim into every response
 // envelope — which is what makes cold, cached and post-restart responses
-// byte-identical.
+// byte-identical. Cores is only present for multicore assignments, so
+// single-core responses keep their historical byte layout.
 type assignmentJSON struct {
 	Policy    string      `json:"policy"`
 	NS        []jsonFloat `json:"ns"`
@@ -101,6 +114,21 @@ type assignmentJSON struct {
 	MaxULCLO  float64     `json:"max_u_lc_lo"`
 	Objective float64     `json:"objective"`
 	EDFVD     edfvdJSON   `json:"edfvd"`
+	Cores     []coreJSON  `json:"cores,omitempty"`
+}
+
+// coreJSON is one core's slice of a multicore assignment: which tasks it
+// carries, its own n vector and Eq. 10–13 metrics, and its Eq. 8
+// verdict.
+type coreJSON struct {
+	Core      int         `json:"core"`
+	Tasks     []int       `json:"tasks,omitempty"`
+	NS        []jsonFloat `json:"ns,omitempty"`
+	PMS       float64     `json:"p_ms"`
+	MaxULCLO  float64     `json:"max_u_lc_lo"`
+	Objective float64     `json:"objective"`
+	EDFVD     edfvdJSON   `json:"edfvd"`
+	Empty     bool        `json:"empty,omitempty"`
 }
 
 func marshalAssignment(policyName string, a core.Assignment, an edfvd.Analysis) ([]byte, error) {
@@ -121,6 +149,56 @@ func marshalAssignment(policyName string, a core.Assignment, an edfvd.Analysis) 
 			CondLO:      an.CondLO,
 			CondHI:      an.CondHI,
 		},
+	})
+}
+
+// marshalSystemAssignment renders a multicore assignment. The top level
+// keeps assignmentJSON's shape — NS in the merged set's HC order, the
+// composed P_sys^MS / summed max U_LC^LO / objective, and an EDF-VD
+// verdict folded across cores (X is the tightest per-core factor) — so
+// clients read single- and multicore responses uniformly; the per-core
+// breakdown rides in "cores".
+func marshalSystemAssignment(policyName string, a *multicore.Assignment) ([]byte, error) {
+	nsByID := make(map[int]float64)
+	cores := make([]coreJSON, len(a.Cores))
+	sys := edfvdJSON{Schedulable: a.Schedulable, X: 1, CondLO: true, CondHI: true}
+	for i, ca := range a.Cores {
+		cj := coreJSON{
+			Core: ca.Core, Tasks: ca.Tasks,
+			PMS: ca.Assignment.PMS, MaxULCLO: ca.Assignment.MaxULCLO,
+			Objective: ca.Assignment.Objective,
+			EDFVD: edfvdJSON{
+				Schedulable: ca.EDFVD.Schedulable,
+				X:           jsonFloat(ca.EDFVD.X),
+				CondLO:      ca.EDFVD.CondLO,
+				CondHI:      ca.EDFVD.CondHI,
+			},
+			Empty: ca.Empty,
+		}
+		if !ca.Empty {
+			hcs := ca.Assignment.TaskSet.ByCrit(mc.HC)
+			cj.NS = make([]jsonFloat, len(ca.Assignment.NS))
+			for k, v := range ca.Assignment.NS {
+				cj.NS[k] = jsonFloat(v)
+				nsByID[hcs[k].ID] = v
+			}
+		}
+		if float64(cj.EDFVD.X) < float64(sys.X) {
+			sys.X = cj.EDFVD.X
+		}
+		sys.CondLO = sys.CondLO && cj.EDFVD.CondLO
+		sys.CondHI = sys.CondHI && cj.EDFVD.CondHI
+		cores[i] = cj
+	}
+	hcs := a.TaskSet.ByCrit(mc.HC)
+	ns := make([]jsonFloat, len(hcs))
+	for i, t := range hcs {
+		ns[i] = jsonFloat(nsByID[t.ID])
+	}
+	return json.Marshal(assignmentJSON{
+		Policy: policyName, NS: ns, TaskSet: a.TaskSet,
+		PMS: a.PMS, MaxULCLO: a.MaxULCLO, Objective: a.Objective,
+		EDFVD: sys, Cores: cores,
 	})
 }
 
@@ -189,6 +267,33 @@ func (s *Service) resolvePolicy(req *assignRequest, bound stats.Bound) (policy.P
 	return nil, errUnknownPolicy(req.Policy)
 }
 
+// maxAssignCores caps the per-request core count: far above any real
+// platform, low enough that a hostile body cannot make the partitioner
+// allocate per-core state without bound.
+const maxAssignCores = 4096
+
+// resolveCores maps the request's multicore knobs onto their resolved
+// values, falling back to the server configuration where the body is
+// silent.
+func (s *Service) resolveCores(req *assignRequest) (int, partition.Heuristic, *apiError) {
+	cores := req.Cores
+	if cores == 0 {
+		cores = s.cfg.Cores
+	}
+	if cores < 0 || cores > maxAssignCores {
+		return 0, 0, errBadRequest("cores %d out of [1, %d]", cores, maxAssignCores)
+	}
+	name := req.Heuristic
+	if strings.TrimSpace(name) == "" {
+		name = s.cfg.Heuristic
+	}
+	h, err := partition.HeuristicByName(name)
+	if err != nil {
+		return 0, 0, errUnknownHeuristic(err)
+	}
+	return cores, h, nil
+}
+
 // handleAssign is POST /v1/assign. The path ordering is the performance
 // story: L1 (raw bytes) before decoding, L2 (canonical digest) after, the
 // admission gate and single-flight only in front of actual compute.
@@ -238,8 +343,13 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, aerr)
 		return
 	}
+	cores, heur, aerr := s.resolveCores(&req)
+	if aerr != nil {
+		s.fail(w, aerr)
+		return
+	}
 
-	key := assignKey(&req, ts, bound)
+	key := assignKey(&req, ts, bound, cores, heur)
 	hash := fnv64(key)
 	cached := !req.NoCache && s.l2 != nil
 	if cached {
@@ -262,10 +372,10 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		// result lands in the cache either way.
 		cctx := context.WithoutCancel(r.Context())
 		e, shared, err = s.flights.do(key, func() (*entry, error) {
-			return s.computeAssign(cctx, &req, ts, pol, hash, key)
+			return s.computeAssign(cctx, &req, ts, pol, cores, heur, hash, key)
 		})
 	} else {
-		e, err = s.computeAssign(r.Context(), &req, ts, pol, hash, nil)
+		e, err = s.computeAssign(r.Context(), &req, ts, pol, cores, heur, hash, nil)
 	}
 	if err != nil {
 		s.fail(w, err)
@@ -288,7 +398,7 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 // policy.AssignCtx, so an expired request abandons its search within one
 // generation instead of burning a slot to completion. A non-nil key
 // stores the result in the L2 cache under (hash, key).
-func (s *Service) computeAssign(ctx context.Context, req *assignRequest, ts *mc.TaskSet, pol policy.Policy, hash uint64, key []byte) (*entry, error) {
+func (s *Service) computeAssign(ctx context.Context, req *assignRequest, ts *mc.TaskSet, pol policy.Policy, cores int, heur partition.Heuristic, hash uint64, key []byte) (*entry, error) {
 	cctx, cancel := context.WithTimeout(ctx, s.cfg.Deadline)
 	defer cancel()
 	if err := s.gate.acquire(cctx); err != nil {
@@ -301,17 +411,40 @@ func (s *Service) computeAssign(ctx context.Context, req *assignRequest, ts *mc.
 	}
 	defer s.gate.release()
 
-	a, err := policy.AssignCtx(cctx, pol, ts, rand.New(rand.NewSource(req.Seed)))
-	if err != nil {
-		if cctx.Err() != nil {
-			return nil, errDeadline()
+	var body []byte
+	if cores <= 1 {
+		// The single-core path calls the policy exactly as it always has,
+		// so every historical response stays byte-identical.
+		a, err := policy.AssignCtx(cctx, pol, ts, rand.New(rand.NewSource(req.Seed)))
+		if err != nil {
+			if cctx.Err() != nil {
+				return nil, errDeadline()
+			}
+			return nil, errInfeasible(err)
 		}
-		return nil, errInfeasible(err)
-	}
-	an := edfvd.Schedulable(a.TaskSet)
-	body, err := marshalAssignment(pol.Name(), a, an)
-	if err != nil {
-		return nil, err
+		an := edfvd.Schedulable(a.TaskSet)
+		body, err = marshalAssignment(pol.Name(), a, an)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sys, err := multicore.New(multicore.Config{Cores: cores, Heuristic: heur, Policy: pol, Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		a, err := sys.AssignCtx(cctx, ts, rand.New(rand.NewSource(req.Seed)))
+		if err != nil {
+			if cctx.Err() != nil {
+				return nil, errDeadline()
+			}
+			// Partitioning failures (no core can take a task) and per-core
+			// search failures are both "valid request, no assignment".
+			return nil, errInfeasible(err)
+		}
+		body, err = marshalSystemAssignment(pol.Name(), &a)
+		if err != nil {
+			return nil, err
+		}
 	}
 	e := &entry{digestHex: digestHex(hash), body: body}
 	if key != nil {

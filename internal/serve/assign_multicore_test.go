@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// multicoreBody is testBody with the multicore knobs set: partition onto
+// four cores with the worst-fit rule (via its short alias, which must
+// resolve to the same cache entry as the canonical name).
+const multicoreBody = `{"policy":"uniform","n":5,"seed":42,"cores":4,"heuristic":"wf","tasks":[
+  {"id":0,"name":"nav","crit":"HC","c_hi":30,"period":100,"profile":{"acet":10,"sigma":2}},
+  {"id":1,"crit":"HC","c_hi":12,"period":40,"profile":{"acet":4,"sigma":1}},
+  {"id":2,"crit":"LC","c_lo":5,"period":50}]}`
+
+// assignmentView decodes the parts of an assignment body the multicore
+// tests assert on.
+type assignmentView struct {
+	NS    []float64 `json:"ns"`
+	PMS   float64   `json:"p_ms"`
+	EDFVD struct {
+		Schedulable bool    `json:"schedulable"`
+		X           float64 `json:"x"`
+	} `json:"edfvd"`
+	Cores []struct {
+		Core  int       `json:"core"`
+		Tasks []int     `json:"tasks"`
+		NS    []float64 `json:"ns"`
+		PMS   float64   `json:"p_ms"`
+		Empty bool      `json:"empty"`
+	} `json:"cores"`
+}
+
+func decodeAssignment(t *testing.T, e envelope) assignmentView {
+	t.Helper()
+	var v assignmentView
+	if err := json.Unmarshal(e.Assignment, &v); err != nil {
+		t.Fatalf("decoding assignment: %v (%s)", err, e.Assignment)
+	}
+	return v
+}
+
+// TestAssignCoresBreakdown: a cores=4 request returns the per-core
+// breakdown, caches like any other request, and composes the top level
+// from the cores.
+func TestAssignCoresBreakdown(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	first := decodeEnvelope(t, post(mux, "/v1/assign", multicoreBody))
+	if first.Cache != "miss" {
+		t.Fatalf("first request cache = %q, want miss", first.Cache)
+	}
+	v := decodeAssignment(t, first)
+	if len(v.Cores) != 4 {
+		t.Fatalf("got %d cores, want 4", len(v.Cores))
+	}
+	if len(v.NS) != 2 {
+		t.Fatalf("top-level ns %v, want one entry per HC task", v.NS)
+	}
+	placed := map[int]bool{}
+	noSwitch := 1.0
+	for _, c := range v.Cores {
+		noSwitch *= 1 - c.PMS
+		if c.Empty {
+			if len(c.Tasks) != 0 || len(c.NS) != 0 {
+				t.Errorf("empty core %d carries tasks %v ns %v", c.Core, c.Tasks, c.NS)
+			}
+			continue
+		}
+		for _, id := range c.Tasks {
+			if placed[id] {
+				t.Errorf("task %d placed twice", id)
+			}
+			placed[id] = true
+		}
+	}
+	for id := 0; id <= 2; id++ {
+		if !placed[id] {
+			t.Errorf("task %d not placed on any core", id)
+		}
+	}
+	if diff := v.PMS - (1 - noSwitch); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("top-level p_ms %g != composed %g", v.PMS, 1-noSwitch)
+	}
+	if !v.EDFVD.Schedulable {
+		t.Error("light set on 4 cores must be schedulable")
+	}
+
+	second := decodeEnvelope(t, post(mux, "/v1/assign", multicoreBody))
+	if second.Cache != "hit" || !bytes.Equal(first.Assignment, second.Assignment) {
+		t.Fatalf("repeat cores request: cache %q, bytes equal %v",
+			second.Cache, bytes.Equal(first.Assignment, second.Assignment))
+	}
+}
+
+// TestAssignCoresDigestDiscipline pins the L2 key contract: omitted
+// cores, an explicit cores=1, and a whitespace-reformatted cores=1 all
+// share the historical single-core entry and bytes, while cores=4 and a
+// different heuristic each key separately.
+func TestAssignCoresDigestDiscipline(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	base := decodeEnvelope(t, post(mux, "/v1/assign", testBody))
+
+	explicit := strings.Replace(testBody, `"seed":42,`, `"seed":42,"cores":1,`, 1)
+	e := decodeEnvelope(t, post(mux, "/v1/assign", explicit))
+	if e.Cache != "hit" {
+		t.Fatalf("explicit cores=1 cache = %q, want hit on the historical entry", e.Cache)
+	}
+	if e.Digest != base.Digest || !bytes.Equal(e.Assignment, base.Assignment) {
+		t.Fatal("explicit cores=1 not byte-identical to the omitted-knob entry")
+	}
+	// The default heuristic spelled out is still the single-core entry:
+	// heuristics are irrelevant at cores=1 and must not split the key.
+	named := strings.Replace(testBody, `"seed":42,`, `"seed":42,"cores":1,"heuristic":"worst-fit",`, 1)
+	n := decodeEnvelope(t, post(mux, "/v1/assign", named))
+	if n.Cache != "hit" || n.Digest != base.Digest {
+		t.Fatalf("cores=1 with heuristic: cache %q digest %q, want hit on %q", n.Cache, n.Digest, base.Digest)
+	}
+
+	multi := decodeEnvelope(t, post(mux, "/v1/assign", multicoreBody))
+	if multi.Digest == base.Digest {
+		t.Fatal("cores=4 shares the single-core digest")
+	}
+	// Alias and canonical heuristic names fold to one entry.
+	canonical := strings.Replace(multicoreBody, `"heuristic":"wf"`, `"heuristic":"worst-fit"`, 1)
+	c := decodeEnvelope(t, post(mux, "/v1/assign", canonical))
+	if c.Cache != "hit" || c.Digest != multi.Digest {
+		t.Fatalf("canonical heuristic name: cache %q digest %q, want hit on %q", c.Cache, c.Digest, multi.Digest)
+	}
+	// A different heuristic is a different computation.
+	ff := strings.Replace(multicoreBody, `"heuristic":"wf"`, `"heuristic":"first-fit"`, 1)
+	f := decodeEnvelope(t, post(mux, "/v1/assign", ff))
+	if f.Digest == multi.Digest {
+		t.Fatal("first-fit shares worst-fit's digest")
+	}
+}
+
+// TestAssignServerDefaultCores: the -cores/-heuristic daemon flags set
+// the default for requests that omit the knobs.
+func TestAssignServerDefaultCores(t *testing.T) {
+	_, mux := newTestMux(t, Config{Cores: 4, Heuristic: "worst-fit"})
+	v := decodeAssignment(t, decodeEnvelope(t, post(mux, "/v1/assign", testBody)))
+	if len(v.Cores) != 4 {
+		t.Fatalf("server default cores=4: got %d cores", len(v.Cores))
+	}
+	// An explicit cores=1 still selects the single-core path.
+	explicit := strings.Replace(testBody, `"seed":42,`, `"seed":42,"cores":1,`, 1)
+	s := decodeAssignment(t, decodeEnvelope(t, post(mux, "/v1/assign", explicit)))
+	if len(s.Cores) != 0 {
+		t.Fatalf("explicit cores=1: got %d cores, want no breakdown", len(s.Cores))
+	}
+}
+
+func TestAssignCoresErrors(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	bad := strings.Replace(testBody, `"seed":42,`, `"seed":42,"cores":-1,`, 1)
+	if w := post(mux, "/v1/assign", bad); errorCode(t, w) != CodeBadRequest {
+		t.Errorf("cores=-1: %s", w.Body.String())
+	}
+	huge := strings.Replace(testBody, `"seed":42,`, `"seed":42,"cores":100000,`, 1)
+	if w := post(mux, "/v1/assign", huge); errorCode(t, w) != CodeBadRequest {
+		t.Errorf("cores=100000: %s", w.Body.String())
+	}
+	unknown := strings.Replace(multicoreBody, `"heuristic":"wf"`, `"heuristic":"round-robin"`, 1)
+	w := post(mux, "/v1/assign", unknown)
+	if errorCode(t, w) != CodeUnknownHeuristic {
+		t.Errorf("unknown heuristic: %s", w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "worst-fit") {
+		t.Errorf("heuristic error does not list valid names: %s", w.Body.String())
+	}
+
+	// A set whose every task saturates a core is unplaceable: the
+	// multicore analogue of infeasible.
+	unplaceable := `{"policy":"uniform","n":1,"cores":2,"tasks":[
+	  {"id":1,"crit":"HC","c_hi":90,"period":100,"profile":{"acet":60,"sigma":2}},
+	  {"id":2,"crit":"HC","c_hi":90,"period":100,"profile":{"acet":60,"sigma":2}},
+	  {"id":3,"crit":"HC","c_hi":90,"period":100,"profile":{"acet":60,"sigma":2}},
+	  {"id":4,"crit":"HC","c_hi":90,"period":100,"profile":{"acet":60,"sigma":2}},
+	  {"id":5,"crit":"HC","c_hi":90,"period":100,"profile":{"acet":60,"sigma":2}}]}`
+	if w := post(mux, "/v1/assign", unplaceable); errorCode(t, w) != CodeInfeasible {
+		t.Errorf("unplaceable set: %s", w.Body.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"chebymc/internal/mc"
+	"chebymc/internal/partition"
 	"chebymc/internal/stats"
 )
 
@@ -76,8 +77,13 @@ func (d *digester) str(s string) {
 
 // assignKey builds the canonical key of a decoded, validated assign
 // request. bound is the resolved engine (its BoundDigest covers name and
-// parameters).
-func assignKey(req *assignRequest, ts *mc.TaskSet, bound stats.Bound) []byte {
+// parameters); cores and heur are the resolved multicore knobs. Those
+// two are folded only when cores > 1, as a suffix after the task loop:
+// single-core keys keep their historical bytes (cached entries survive
+// the multicore feature), and the key stays unambiguous — the task-count
+// prefix fixes where the records end, so "ends here" (cores = 1) and
+// "0xfe suffix follows" (cores > 1) can never serialise identically.
+func assignKey(req *assignRequest, ts *mc.TaskSet, bound stats.Bound, cores int, heur partition.Heuristic) []byte {
 	d := digester{buf: make([]byte, 0, 64+72*len(ts.Tasks))}
 	d.str(req.Policy)
 	d.f64(req.N)
@@ -107,6 +113,11 @@ func assignKey(req *assignRequest, ts *mc.TaskSet, bound stats.Bound) []byte {
 		if t.Crit == mc.LC {
 			d.f64(t.CLO)
 		}
+	}
+	if cores > 1 {
+		d.byte(0xfe)
+		d.i64(int64(cores))
+		d.str(heur.String())
 	}
 	return d.buf
 }

@@ -23,6 +23,9 @@ const (
 	CodeUnknownPolicy = "unknown_policy"
 	// CodeUnknownBound: the bound name is not a stats.BoundByName engine.
 	CodeUnknownBound = "unknown_bound"
+	// CodeUnknownHeuristic: the heuristic name is not a
+	// partition.HeuristicByName rule.
+	CodeUnknownHeuristic = "unknown_heuristic"
 	// CodeInvalidTaskSet: the task set fails mc.TaskSet.Validate — the
 	// request parsed, but no policy can assign budgets to it.
 	CodeInvalidTaskSet = "invalid_task_set"
@@ -80,6 +83,10 @@ func errUnknownPolicy(name string) *apiError {
 
 func errUnknownBound(err error) *apiError {
 	return &apiError{status: http.StatusBadRequest, code: CodeUnknownBound, msg: err.Error()}
+}
+
+func errUnknownHeuristic(err error) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodeUnknownHeuristic, msg: err.Error()}
 }
 
 func errInvalidTaskSet(err error) *apiError {

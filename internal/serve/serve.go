@@ -69,6 +69,14 @@ type Config struct {
 	GAWorkers int
 	// MaxBodyBytes caps a request body; default 1 MiB.
 	MaxBodyBytes int64
+	// Cores is the core count an assign request that omits "cores" is
+	// partitioned onto; default 1 (the single-core paper pipeline, with
+	// every historical response and cache key byte-identical).
+	Cores int
+	// Heuristic names the default partitioning rule for multicore
+	// assignments (partition.HeuristicByName); empty selects worst-fit.
+	// Requests may override both knobs per call.
+	Heuristic string
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Cores <= 0 {
+		c.Cores = 1
 	}
 	return c
 }

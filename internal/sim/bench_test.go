@@ -185,3 +185,27 @@ func BenchmarkRunWithEvents(b *testing.B) {
 		s.Run()
 	}
 }
+
+// BenchmarkReplicateSystem measures the multicore replication mode: a
+// four-core system, each core its own DES, replicated with per-(run,
+// core) derived seeds — the cores-scenario and mcopt -simulate hot path.
+func BenchmarkReplicateSystem(b *testing.B) {
+	var sets []*mc.TaskSet
+	for c := 0; c < 4; c++ {
+		ts, err := mc.NewTaskSet([]mc.Task{
+			{ID: 2 * c, Crit: mc.HC, CLO: 20, CHI: 60, Period: 100,
+				Profile: mc.Profile{ACET: 15, Sigma: 2.5}},
+			{ID: 2*c + 1, Crit: mc.LC, CLO: 10, CHI: 10, Period: 50},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets = append(sets, ts)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplicateSystem(sets, Config{Horizon: 1e4, Seed: 1}, 8, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

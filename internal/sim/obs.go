@@ -24,6 +24,11 @@ var (
 	obsDeadlineMisses = obs.Default.Counter("sim_deadline_misses_total",
 		"deadline misses of completed jobs, both criticalities")
 
+	// System (multicore) replication telemetry: one count per completed
+	// system replication, flushed after the whole fan-out.
+	obsSystemRuns = obs.Default.Counter("sim_system_runs_total",
+		"completed multicore system replications (all cores of one run)")
+
 	// Batch-engine telemetry, flushed once per lockstep batch (never from
 	// the inner loop): how many replications went through the fast path,
 	// and at what widths.
