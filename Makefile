@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build vet test test-race bench bench-json bench-compare profile profile-live experiments traces cover fmt serve loadtest
 
 # The PR counter for the benchmark-trajectory file written by bench-json.
-BENCH_N ?= 7
+BENCH_N ?= 8
 
 all: build vet test test-race
 

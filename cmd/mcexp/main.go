@@ -4,6 +4,7 @@
 //
 //	mcexp -exp table1,table2,fig2,fig3,fig45,fig6,headline [-sets N] [-samples N] [-seed S] [-workers W]
 //	      [-bound cantelli|chebyshev2|vp|moment4] [-cores 1,2,4,8,16] [-heuristic first-fit|best-fit|worst-fit]
+//	      [-protocol system-drop|liu-degrade|task-level] [-release periodic|sporadic]
 //	      [-csv|-json] [-plot] [-outdir DIR]
 //	      [-checkpoint DIR] [-resume] [-progress]
 //	      [-http ADDR] [-metrics] [-cpuprofile cpu.out] [-memprofile mem.out]
@@ -62,6 +63,8 @@ type options struct {
 	bound         string
 	cores         string
 	heuristic     string
+	protocol      string
+	release       string
 	batch         int
 	ciEps         float64
 	csv, json     bool
@@ -89,6 +92,8 @@ func main() {
 	flag.StringVar(&o.bound, "bound", "", "concentration bound engine: "+strings.Join(stats.BoundNames(), ", ")+" (default cantelli)")
 	flag.StringVar(&o.cores, "cores", "", "comma-separated core counts for the cores scenario (default 1,2,4,8,16)")
 	flag.StringVar(&o.heuristic, "heuristic", "", "partitioning heuristic for the cores scenario: "+strings.Join(partition.HeuristicNames(), ", ")+" (default: compare all)")
+	flag.StringVar(&o.protocol, "protocol", "", "mode-switch protocol for the modes scenario: system-drop, liu-degrade or task-level (default: compare all)")
+	flag.StringVar(&o.release, "release", "", "release model for the modes scenario: periodic or sporadic (default: compare both)")
 	flag.IntVar(&o.batch, "batch", 0, "lockstep batch width for simulating scenarios (0 = auto; results are identical for any value)")
 	flag.Float64Var(&o.ciEps, "ci-eps", 0, "adaptive sampling for simulating scenarios: stop replicating once the 95% CI half-width drops to this (0 = fixed budgets)")
 	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
@@ -195,6 +200,7 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		Plot:  o.plot && !o.json,
 		Bound: bound,
 		Cores: cores, Heuristic: o.heuristic,
+		Protocol: o.protocol, Release: o.release,
 		Batch: o.batch, CIEps: o.ciEps,
 		Eng: experiment.EngOpts{
 			Progress:      sink,

@@ -58,6 +58,8 @@ func main() {
 		bound     = flag.String("bound", "", "concentration bound engine: "+strings.Join(stats.BoundNames(), ", ")+" (default cantelli)")
 		cores     = flag.Int("cores", 1, "partition the set onto this many cores, one search per core (1 = single-core paper pipeline)")
 		heuristic = flag.String("heuristic", "", "partitioning rule (with -cores > 1): "+strings.Join(partition.HeuristicNames(), ", ")+" (default worst-fit)")
+		protocol  = flag.String("protocol", "", "simulator mode-switch protocol (with -simulate): system-level or task-level (default system-level)")
+		release   = flag.String("release", "", "simulator release model (with -simulate): periodic or sporadic (default periodic)")
 		out       = flag.String("out", "", "write the optimised task set to this JSON file")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the GA search and simulation (results are identical for any value)")
@@ -92,7 +94,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "mcopt: serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
 	}
-	runErr := run(ctx, *in, *polName, *n, *lambda, *bound, *cores, *heuristic, *out, *seed, *workers, *simulate, *runs, *batch, *ciEps)
+	runErr := run(ctx, *in, *polName, *n, *lambda, *bound, *cores, *heuristic, *protocol, *release, *out, *seed, *workers, *simulate, *runs, *batch, *ciEps)
 	if *metrics && runErr == nil {
 		fmt.Print(artifact.MetricsText(obs.Default.Snapshot()))
 	}
@@ -105,11 +107,19 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, in, polName string, n, lambda float64, boundName string, cores int, heurName, out string, seed int64, workers int, horizon float64, runs, batch int, ciEps float64) error {
+func run(ctx context.Context, in, polName string, n, lambda float64, boundName string, cores int, heurName, protoName, relName, out string, seed int64, workers int, horizon float64, runs, batch int, ciEps float64) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
 	bound, err := stats.BoundByName(boundName)
+	if err != nil {
+		return err
+	}
+	proto, err := sim.ProtocolByName(protoName)
+	if err != nil {
+		return err
+	}
+	relModel, err := sim.ReleaseByName(relName)
 	if err != nil {
 		return err
 	}
@@ -145,7 +155,7 @@ func run(ctx context.Context, in, polName string, n, lambda float64, boundName s
 	}
 
 	if cores > 1 {
-		return runMulticore(ctx, ts, pol, cores, heur, out, seed, workers, horizon, runs)
+		return runMulticore(ctx, ts, pol, cores, heur, proto, relModel, out, seed, workers, horizon, runs)
 	}
 
 	r := rand.New(rand.NewSource(seed))
@@ -197,7 +207,12 @@ func run(ctx context.Context, in, polName string, n, lambda float64, boundName s
 		if runs < 1 {
 			runs = 1
 		}
-		cfg := sim.Config{Horizon: horizon, Exec: exec, Seed: seed}
+		cfg := sim.Defaults()
+		cfg.Horizon = horizon
+		cfg.Exec = exec
+		cfg.Seed = seed
+		cfg.Protocol = proto
+		cfg.Release = relModel
 		if ciEps > 0 {
 			// Adaptive mode: spend replications only until the mode-switch
 			// estimate is pinned to the requested precision.
@@ -230,7 +245,7 @@ func run(ctx context.Context, in, polName string, n, lambda float64, boundName s
 
 // runMulticore is the -cores > 1 path: partition, one search per core,
 // composed verdicts, and (with -simulate) the per-core DES replication.
-func runMulticore(ctx context.Context, ts *mc.TaskSet, pol policy.Policy, cores int, heur partition.Heuristic, out string, seed int64, workers int, horizon float64, runs int) error {
+func runMulticore(ctx context.Context, ts *mc.TaskSet, pol policy.Policy, cores int, heur partition.Heuristic, proto sim.Protocol, relModel sim.ReleaseModel, out string, seed int64, workers int, horizon float64, runs int) error {
 	sys, err := multicore.New(multicore.Config{Cores: cores, Heuristic: heur, Policy: pol, Workers: workers})
 	if err != nil {
 		return err
@@ -292,8 +307,13 @@ func runMulticore(ctx context.Context, ts *mc.TaskSet, pol policy.Policy, cores 
 		if runs < 1 {
 			runs = 1
 		}
-		ms, serr := sim.ReplicateSystemCtx(ctx, a.CoreSets(),
-			sim.Config{Horizon: horizon, Exec: exec, Seed: seed}, runs, workers)
+		scfg := sim.Defaults()
+		scfg.Horizon = horizon
+		scfg.Exec = exec
+		scfg.Seed = seed
+		scfg.Protocol = proto
+		scfg.Release = relModel
+		ms, serr := sim.ReplicateSystemCtx(ctx, a.CoreSets(), scfg, runs, workers)
 		if serr != nil {
 			return serr
 		}

@@ -95,14 +95,14 @@ func run(in string, horizon float64, polName string, rho float64, distFam string
 	an := edfvd.Schedulable(ts)
 	fmt.Printf("EDF-VD analysis: %s\n", an)
 
-	s, err := sim.New(ts, sim.Config{
-		Horizon:       horizon,
-		Policy:        pol,
-		DegradeFactor: rho,
-		Exec:          exec,
-		Seed:          seed,
-		MaxEvents:     events,
-	})
+	scfg := sim.Defaults()
+	scfg.Horizon = horizon
+	scfg.Policy = pol
+	scfg.DegradeFactor = rho
+	scfg.Exec = exec
+	scfg.Seed = seed
+	scfg.MaxEvents = events
+	s, err := sim.New(ts, scfg)
 	if err != nil {
 		return err
 	}

@@ -107,12 +107,11 @@ func main() {
 		}
 		an := edfvd.Schedulable(a.TaskSet)
 
-		s, err := sim.New(a.TaskSet, sim.Config{
-			Horizon: horizon,
-			Policy:  sim.DropAll,
-			Exec:    exec,
-			Seed:    42,
-		})
+		scfg := sim.Defaults()
+		scfg.Horizon = horizon
+		scfg.Exec = exec
+		scfg.Seed = 42
+		s, err := sim.New(a.TaskSet, scfg)
 		if err != nil {
 			log.Fatalf("%s: %v", d.label, err)
 		}

@@ -95,8 +95,11 @@ func main() {
 		}
 		exec[t.ID] = d
 	}
-	ms, err := sim.ReplicateSystem(worstFit.CoreSets(),
-		sim.Config{Horizon: 200000, Exec: exec, Seed: *seed}, 1, 0)
+	scfg := sim.Defaults()
+	scfg.Horizon = 200000
+	scfg.Exec = exec
+	scfg.Seed = *seed
+	ms, err := sim.ReplicateSystem(worstFit.CoreSets(), scfg, 1, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -92,12 +92,11 @@ func TestMeasureToRuntimePipeline(t *testing.T) {
 
 	// 4. Runtime replay with bootstrap-resampled measured execution
 	// times.
-	s, err := sim.New(a.TaskSet, sim.Config{
-		Horizon: 2e9,
-		Policy:  sim.DropAll,
-		Exec:    exec,
-		Seed:    7,
-	})
+	scfg := sim.Defaults()
+	scfg.Horizon = 2e9
+	scfg.Exec = exec
+	scfg.Seed = 7
+	s, err := sim.New(a.TaskSet, scfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"chebymc/internal/edfvd"
 	"chebymc/internal/mc"
+	"chebymc/internal/mc/mctest"
 )
 
 func TestTaskValidate(t *testing.T) {
@@ -151,20 +152,8 @@ func TestQPAMatchesBruteForce(t *testing.T) {
 	}
 }
 
-func dualSet(t *testing.T) *mc.TaskSet {
-	t.Helper()
-	ts, err := mc.NewTaskSet([]mc.Task{
-		{ID: 1, Crit: mc.HC, CLO: 10, CHI: 30, Period: 100},
-		{ID: 2, Crit: mc.LC, CLO: 20, CHI: 20, Period: 80},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return ts
-}
-
 func TestLOTasksConversion(t *testing.T) {
-	ts := dualSet(t)
+	ts := mctest.DualSet(t)
 	tasks, err := LOTasks(ts, 0.5)
 	if err != nil {
 		t.Fatal(err)
@@ -188,14 +177,14 @@ func TestLOTasksConversion(t *testing.T) {
 }
 
 func TestHITasksConversion(t *testing.T) {
-	tasks := HITasks(dualSet(t))
+	tasks := HITasks(mctest.DualSet(t))
 	if len(tasks) != 1 || tasks[0].C != 30 || tasks[0].D != 100 {
 		t.Errorf("HI conversion wrong: %+v", tasks)
 	}
 }
 
 func TestSteadyModes(t *testing.T) {
-	ts := dualSet(t)
+	ts := mctest.DualSet(t)
 	an, err := SteadyModes(ts, 0.5)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,106 @@
+package dbf
+
+import (
+	"fmt"
+	"math"
+
+	"chebymc/internal/edfvd"
+	"chebymc/internal/mc"
+)
+
+// DemandTest implements edfvd.Test for sporadic task sets: the Eq. 8
+// utilisation verdict, tightened by the exact steady-mode demand checks
+// where Eq. 8 is merely sufficient. Utilisation tests charge every task
+// its worst-case density over the whole horizon; demand-bound functions
+// count only jobs with both release and deadline inside an interval, so
+// for sporadic sets (periods as minimum inter-arrival times) the QPA
+// feasibility test admits strictly more systems — Easwaran's observation
+// that demand-based tests dominate utilisation tests for sporadic MC
+// scheduling.
+//
+// Analyze first runs Eq. 8 (at ρ = Rho); when that accepts, its Analysis
+// is returned unchanged, so DemandTest is never less permissive and the
+// accepted region is a superset. When Eq. 8 rejects, the exact LO- and
+// HI-mode steady systems are checked (SteadyModes) at the Eq. 8
+// virtual-deadline factor and, failing that, at x = 1: LO-mode feasibility
+// against the shrunk deadlines guarantees every HC job that crosses the
+// switch holds ≥ (1−x)·T of its real deadline — the slack the HI-mode
+// check's full-deadline demand consumes.
+type DemandTest struct {
+	// Rho is the HI-mode LC budget scale fed to the Eq. 8 stage; the
+	// steady HI check always drops LC tasks (HITasks), so Rho > 0 only
+	// loosens the utilisation stage.
+	Rho float64
+}
+
+// Name implements edfvd.Test.
+func (DemandTest) Name() string { return "dbf-demand" }
+
+// Analyze implements edfvd.Test.
+func (d DemandTest) Analyze(ts *mc.TaskSet) edfvd.Analysis {
+	a := edfvd.SchedulableDegraded(ts, d.Rho)
+	if a.Schedulable {
+		return a
+	}
+	prev := math.NaN()
+	for _, x := range [...]float64{a.X, 1} {
+		if x <= 0 || x > 1 || x == prev {
+			continue
+		}
+		prev = x
+		st, err := SteadyModes(ts, x)
+		if err != nil || !st.LOFeasible || !st.HIFeasible {
+			continue
+		}
+		a.Schedulable = true
+		a.CondLO, a.CondHI = true, true
+		a.X = x
+		return a
+	}
+	return a
+}
+
+// MaxDemandPoint is the diagnostic companion of Feasible: it scans the
+// QPA deadline points below the analysis bound and returns the interval
+// length at which the demand is tightest — the minimiser of the slack
+// t − dbf(t) — together with the demand there. For an infeasible system
+// the point is a witness (demand > t); for a feasible one it shows how
+// much margin the binding interval leaves. Systems with total
+// utilisation ≥ 1 have no tightest point (slack decreases without
+// bound) and return an error, as does an invalid task.
+func MaxDemandPoint(tasks []Task) (at, demand float64, err error) {
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return 0, 0, err
+		}
+	}
+	if len(tasks) == 0 {
+		return 0, 0, nil
+	}
+	if u := TotalUtil(tasks); u >= 1 {
+		return 0, 0, fmt.Errorf("dbf: total utilisation %g ≥ 1: demand margin diverges", u)
+	}
+	bound := analysisBound(tasks)
+	bestSlack := math.Inf(1)
+	for _, t := range tasks {
+		for d := t.D; d < bound; d += t.T {
+			h := TotalDBF(tasks, d)
+			// Ties break toward the earliest point, so the result is
+			// independent of task order.
+			if slack := d - h; slack < bestSlack || (slack == bestSlack && d < at) {
+				bestSlack, at, demand = slack, d, h
+			}
+		}
+	}
+	if math.IsInf(bestSlack, 1) {
+		// Every deadline lies at or beyond the bound: demand is zero on
+		// the scanned range; report the earliest deadline as the point.
+		for _, t := range tasks {
+			if at == 0 || t.D < at {
+				at = t.D
+			}
+		}
+		demand = TotalDBF(tasks, at)
+	}
+	return at, demand, nil
+}

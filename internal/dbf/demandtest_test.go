@@ -1,0 +1,109 @@
+package dbf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chebymc/internal/edfvd"
+	"chebymc/internal/mc/mctest"
+)
+
+// The demand test must never reject a set Eq. 8 accepts: its accepted
+// region is a strict superset by construction.
+func TestDemandTestSupersetOfUtil(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		uHCLO := 0.05 + float64(a%80)/100
+		uHCHI := uHCLO + float64(b%20)/100
+		uLCLO := 0.05 + float64(c%80)/100
+		if uHCLO+uLCLO >= 1 || uHCHI > 1 {
+			return true
+		}
+		ts := mctest.UtilSet(uHCLO, uHCHI, uLCLO)
+		util := edfvd.UtilTest{}.Analyze(ts)
+		demand := DemandTest{}.Analyze(ts)
+		if util.Schedulable && !demand.Schedulable {
+			return false
+		}
+		// Agreement on acceptance keeps the Analysis bit-identical, so
+		// default-path callers see no change from routing through Test.
+		if util.Schedulable && demand != util {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// A set Eq. 8 rejects (HI utilisation clause) but whose steady LO and HI
+// demand are both exactly feasible: the demand test admits it.
+func TestDemandTestTighterThanUtil(t *testing.T) {
+	ts := mctest.UtilSet(0.3, 0.9, 0.35)
+	util := edfvd.Schedulable(ts)
+	if util.Schedulable {
+		t.Fatal("expected Eq. 8 to reject this set")
+	}
+	a := DemandTest{}.Analyze(ts)
+	if !a.Schedulable {
+		t.Fatalf("demand test must admit: %v", a)
+	}
+	if a.X <= 0 || a.X > 1 {
+		t.Errorf("x = %g out of (0, 1]", a.X)
+	}
+	st, err := SteadyModes(ts, a.X)
+	if err != nil || !st.LOFeasible || !st.HIFeasible {
+		t.Fatalf("reported x must be steady-feasible: %v %v", st, err)
+	}
+}
+
+func TestDemandTestName(t *testing.T) {
+	if n := (DemandTest{}).Name(); n != "dbf-demand" {
+		t.Errorf("name %q", n)
+	}
+	var _ edfvd.Test = DemandTest{}
+}
+
+func TestMaxDemandPointFeasible(t *testing.T) {
+	tasks := []Task{{C: 3, D: 5, T: 10}, {C: 2, D: 6, T: 8}}
+	at, demand, err := MaxDemandPoint(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 5 || demand != 3 {
+		t.Errorf("tightest point (%g, %g), want (5, 3)", at, demand)
+	}
+	if demand > at {
+		t.Error("feasible system must have demand ≤ t at the tightest point")
+	}
+}
+
+func TestMaxDemandPointWitness(t *testing.T) {
+	// Two jobs due at t = 5 demand 8 units: infeasible, and the point is
+	// the witness Feasible's boolean hides.
+	tasks := []Task{{C: 4, D: 5, T: 20}, {C: 4, D: 5, T: 30}}
+	if ok, err := Feasible(tasks); err != nil || ok {
+		t.Fatalf("expected infeasible, got ok=%v err=%v", ok, err)
+	}
+	at, demand, err := MaxDemandPoint(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 5 || demand != 8 {
+		t.Errorf("witness (%g, %g), want (5, 8)", at, demand)
+	}
+}
+
+func TestMaxDemandPointEdges(t *testing.T) {
+	if _, _, err := MaxDemandPoint([]Task{{C: 6, D: 10, T: 10}, {C: 5, D: 10, T: 10}}); err == nil {
+		t.Error("U > 1 must error")
+	}
+	if _, _, err := MaxDemandPoint([]Task{{C: 0, D: 5, T: 10}}); err == nil {
+		t.Error("invalid task must error")
+	}
+	if at, demand, err := MaxDemandPoint(nil); err != nil || at != 0 || demand != 0 {
+		t.Errorf("empty system: (%g, %g, %v)", at, demand, err)
+	}
+}

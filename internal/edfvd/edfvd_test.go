@@ -8,26 +8,13 @@ import (
 
 	"chebymc/internal/core"
 	"chebymc/internal/mc"
+	"chebymc/internal/mc/mctest"
 )
-
-// set builds a two-task system with the given utilisations via unit
-// periods.
-func set(t *testing.T, uHCLO, uHCHI, uLCLO float64) *mc.TaskSet {
-	t.Helper()
-	ts, err := mc.NewTaskSet([]mc.Task{
-		{ID: 1, Crit: mc.HC, CLO: uHCLO * 100, CHI: uHCHI * 100, Period: 100},
-		{ID: 2, Crit: mc.LC, CLO: uLCLO * 100, CHI: uLCLO * 100, Period: 100},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return ts
-}
 
 func TestSchedulableAccepts(t *testing.T) {
 	// U^LO_HC = 0.2, U^HI_HC = 0.5, U^LO_LC = 0.4:
 	// cond1: 0.6 ≤ 1 ✓; cond2: 0.5 + 0.2·0.4/0.6 = 0.633 ≤ 1 ✓.
-	a := Schedulable(set(t, 0.2, 0.5, 0.4))
+	a := Schedulable(mctest.UtilSet(0.2, 0.5, 0.4))
 	if !a.Schedulable || !a.CondLO || !a.CondHI {
 		t.Fatalf("expected schedulable, got %v", a)
 	}
@@ -37,7 +24,7 @@ func TestSchedulableAccepts(t *testing.T) {
 }
 
 func TestSchedulableRejectsLOOverload(t *testing.T) {
-	a := Schedulable(set(t, 0.7, 0.8, 0.4))
+	a := Schedulable(mctest.UtilSet(0.7, 0.8, 0.4))
 	if a.CondLO {
 		t.Error("cond LO must fail at U^LO total 1.1")
 	}
@@ -48,7 +35,7 @@ func TestSchedulableRejectsLOOverload(t *testing.T) {
 
 func TestSchedulableRejectsHIOverload(t *testing.T) {
 	// cond1 passes (0.4+0.5=0.9) but cond2: 0.9 + 0.4·0.5/0.5 = 1.3 > 1.
-	a := Schedulable(set(t, 0.4, 0.9, 0.5))
+	a := Schedulable(mctest.UtilSet(0.4, 0.9, 0.5))
 	if !a.CondLO {
 		t.Error("cond LO should pass")
 	}
@@ -73,7 +60,7 @@ func TestVDFactor(t *testing.T) {
 }
 
 func TestDegradedReducesToBaruahAtRhoZero(t *testing.T) {
-	ts := set(t, 0.3, 0.7, 0.35)
+	ts := mctest.UtilSet(0.3, 0.7, 0.35)
 	a := Schedulable(ts)
 	b := SchedulableDegraded(ts, 0)
 	if a != b {
@@ -112,16 +99,16 @@ func TestDegradedIsHarderThanDropping(t *testing.T) {
 }
 
 func TestPlainEDF(t *testing.T) {
-	if !PlainEDF(set(t, 0.2, 0.5, 0.4)) {
+	if !PlainEDF(mctest.UtilSet(0.2, 0.5, 0.4)) {
 		t.Error("total HI utilisation 0.9 must pass plain EDF")
 	}
-	if PlainEDF(set(t, 0.2, 0.7, 0.4)) {
+	if PlainEDF(mctest.UtilSet(0.2, 0.7, 0.4)) {
 		t.Error("total HI utilisation 1.1 must fail plain EDF")
 	}
 }
 
 func TestAnalysisString(t *testing.T) {
-	s := Schedulable(set(t, 0.2, 0.5, 0.4)).String()
+	s := Schedulable(mctest.UtilSet(0.2, 0.5, 0.4)).String()
 	if !strings.Contains(s, "schedulable=true") || !strings.Contains(s, "x=") {
 		t.Errorf("String() = %q", s)
 	}
@@ -140,8 +127,8 @@ func TestConsistencyWithMaxULCLO(t *testing.T) {
 		if bound <= 0.01 {
 			return true
 		}
-		at := Schedulable(setRaw(uHCLO, uHCHI, bound*0.999))
-		above := Schedulable(setRaw(uHCLO, uHCHI, math.Min(bound*1.05, 0.99)))
+		at := Schedulable(mctest.UtilSet(uHCLO, uHCHI, bound*0.999))
+		above := Schedulable(mctest.UtilSet(uHCLO, uHCHI, math.Min(bound*1.05, 0.99)))
 		if !at.Schedulable {
 			return false
 		}
@@ -154,15 +141,4 @@ func TestConsistencyWithMaxULCLO(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
-}
-
-func setRaw(uHCLO, uHCHI, uLCLO float64) *mc.TaskSet {
-	ts, err := mc.NewTaskSet([]mc.Task{
-		{ID: 1, Crit: mc.HC, CLO: uHCLO * 100, CHI: uHCHI * 100, Period: 100},
-		{ID: 2, Crit: mc.LC, CLO: uLCLO * 100, CHI: uLCLO * 100, Period: 100},
-	})
-	if err != nil {
-		panic(err)
-	}
-	return ts
 }

@@ -1,0 +1,30 @@
+package edfvd
+
+import "chebymc/internal/mc"
+
+// Test is a pluggable schedulability test producing the full Analysis —
+// the interface that lets sporadic workloads route admission through the
+// exact demand-bound checks of internal/dbf (dbf.DemandTest) while
+// periodic ones keep the paper's Eq. 8 utilisation test. Implementations
+// must be pure functions of the task set: the experiment sweeps and the
+// serve digest treat a (test name, task set) pair as a cache identity.
+type Test interface {
+	// Name identifies the test for flags, tables and digests.
+	Name() string
+	// Analyze runs the test.
+	Analyze(ts *mc.TaskSet) Analysis
+}
+
+// UtilTest is the paper's Eq. 8 utilisation test (its degraded
+// generalisation at ρ = Rho; Rho = 0 is Baruah's drop test) as a Test —
+// the default engine, bit-identical to calling SchedulableDegraded.
+type UtilTest struct {
+	// Rho is the HI-mode LC budget scale, as in SchedulableDegraded.
+	Rho float64
+}
+
+// Name implements Test.
+func (UtilTest) Name() string { return "eq8-util" }
+
+// Analyze implements Test.
+func (u UtilTest) Analyze(ts *mc.TaskSet) Analysis { return SchedulableDegraded(ts, u.Rho) }

@@ -1,0 +1,22 @@
+package edfvd
+
+import (
+	"testing"
+
+	"chebymc/internal/mc/mctest"
+)
+
+func TestUtilTestMatchesSchedulable(t *testing.T) {
+	for _, u := range [][3]float64{{0.2, 0.5, 0.4}, {0.7, 0.8, 0.4}, {0.3, 0.95, 0.3}} {
+		ts := mctest.UtilSet(u[0], u[1], u[2])
+		if got, want := (UtilTest{}).Analyze(ts), Schedulable(ts); got != want {
+			t.Errorf("UtilTest{} diverged from Schedulable on %v: %v vs %v", u, got, want)
+		}
+		if got, want := (UtilTest{Rho: 0.5}).Analyze(ts), SchedulableDegraded(ts, 0.5); got != want {
+			t.Errorf("UtilTest{0.5} diverged on %v: %v vs %v", u, got, want)
+		}
+	}
+	if n := (UtilTest{}).Name(); n != "eq8-util" {
+		t.Errorf("name %q", n)
+	}
+}

@@ -308,11 +308,11 @@ func (r *CoresResult) runSim(ctx context.Context) error {
 			}
 			exec[t.ID] = d
 		}
-		ms, err := sim.ReplicateSystemCtx(ctx, a.CoreSets(), sim.Config{
-			Horizon: cfg.SimHorizon,
-			Exec:    exec,
-			Seed:    rng.Derive(cfg.Seed, streamCores, -1, int64(m)),
-		}, cfg.SimRuns, cfg.Workers)
+		scfg := sim.Defaults()
+		scfg.Horizon = cfg.SimHorizon
+		scfg.Exec = exec
+		scfg.Seed = rng.Derive(cfg.Seed, streamCores, -1, int64(m))
+		ms, err := sim.ReplicateSystemCtx(ctx, a.CoreSets(), scfg, cfg.SimRuns, cfg.Workers)
 		if err != nil {
 			return fmt.Errorf("experiment: cores sim m=%d: %w", m, err)
 		}

@@ -176,11 +176,11 @@ func RunSimValCtx(ctx context.Context, cfg SimValConfig, eo EngOpts) (*SimVal, e
 				}
 				exec[t.ID] = d
 			}
-			res, err := mlmc.AdaptiveAlloc(ctx, a.TaskSet, sim.Config{
-				Horizon: horizon,
-				Exec:    exec,
-				Seed:    r.Int63(),
-			}, func(m sim.Metrics) bool { return m.Overruns > 0 }, mlmc.AdaptiveOptions{
+			scfg := sim.Defaults()
+			scfg.Horizon = horizon
+			scfg.Exec = exec
+			scfg.Seed = r.Int63()
+			res, err := mlmc.AdaptiveAlloc(ctx, a.TaskSet, scfg, func(m sim.Metrics) bool { return m.Overruns > 0 }, mlmc.AdaptiveOptions{
 				Eps:     cfg.CIEps,
 				MaxRuns: cfg.Runs,
 				Batch:   cfg.Batch,

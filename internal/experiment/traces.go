@@ -34,6 +34,7 @@ const (
 	streamBounds
 	streamSimVal
 	streamCores
+	streamModes
 )
 
 // BenchApps lists the benchmark kernels of the paper's Table I in

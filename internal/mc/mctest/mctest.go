@@ -1,0 +1,40 @@
+// Package mctest provides the small canonical task sets the analysis
+// test suites share. dbf and edfvd each grew a private copy of these
+// constructors; keeping one here means a change to the canonical sets
+// (or to mc.NewTaskSet validation) breaks loudly in one place.
+package mctest
+
+import (
+	"testing"
+
+	"chebymc/internal/mc"
+)
+
+// DualSet builds the light two-task HC/LC set used by the conversion and
+// steady-mode tests: HC (C^LO 10, C^HI 30, T 100) + LC (C 20, T 80).
+func DualSet(tb testing.TB) *mc.TaskSet {
+	tb.Helper()
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: 10, CHI: 30, Period: 100},
+		{ID: 2, Crit: mc.LC, CLO: 20, CHI: 20, Period: 80},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ts
+}
+
+// UtilSet builds a two-task system realising the given utilisations over
+// a common period of 100 — the shape the Eq. 8 boundary tests sweep. It
+// panics on invalid utilisations so property-test closures (which have
+// no testing.TB) can call it directly.
+func UtilSet(uHCLO, uHCHI, uLCLO float64) *mc.TaskSet {
+	ts, err := mc.NewTaskSet([]mc.Task{
+		{ID: 1, Crit: mc.HC, CLO: uHCLO * 100, CHI: uHCHI * 100, Period: 100},
+		{ID: 2, Crit: mc.LC, CLO: uLCLO * 100, CHI: uLCLO * 100, Period: 100},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}

@@ -24,11 +24,11 @@ func adaptiveFixture(t *testing.T) (*mc.TaskSet, sim.Config) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return ts, sim.Config{
-		Horizon: 2000,
-		Exec:    map[int]dist.Dist{1: d},
-		Seed:    11,
-	}
+	cfg := sim.Defaults()
+	cfg.Horizon = 2000
+	cfg.Exec = map[int]dist.Dist{1: d}
+	cfg.Seed = 11
+	return ts, cfg
 }
 
 func overran(m sim.Metrics) bool { return m.Overruns > 0 }

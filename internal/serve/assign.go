@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"chebymc/internal/core"
+	"chebymc/internal/dbf"
 	"chebymc/internal/edfvd"
 	"chebymc/internal/ga"
 	"chebymc/internal/mc"
@@ -17,6 +18,7 @@ import (
 	"chebymc/internal/obs"
 	"chebymc/internal/partition"
 	"chebymc/internal/policy"
+	"chebymc/internal/sim"
 	"chebymc/internal/stats"
 )
 
@@ -59,6 +61,17 @@ type assignRequest struct {
 	// empty keeps the server default (worst-fit). Ignored when the
 	// resolved core count is 1.
 	Heuristic string `json:"heuristic"`
+	// Protocol names the mode-switch protocol the assignment is meant to
+	// run under ("system-level" default, or "task-level"). The analysis
+	// is protocol-independent — EDF-VD's test covers both — so this is
+	// echoed (and keyed) rather than recomputed; non-default values get
+	// their own cache entries.
+	Protocol string `json:"protocol"`
+	// Release names the release model ("periodic" default, or
+	// "sporadic"). Sporadic requests swap the Eq. 8 verdict for the
+	// demand-bound test — periods as minimum inter-arrival times — which
+	// admits a strict superset of Eq. 8's sets.
+	Release string `json:"release"`
 	// NoCache bypasses the result cache for this request — the loadtest's
 	// cold path, and an operator's way to force a recompute.
 	NoCache bool `json:"no_cache"`
@@ -115,6 +128,13 @@ type assignmentJSON struct {
 	Objective float64     `json:"objective"`
 	EDFVD     edfvdJSON   `json:"edfvd"`
 	Cores     []coreJSON  `json:"cores,omitempty"`
+	// Protocol and Release echo the request's non-default mode axes;
+	// Test names the schedulability test behind EDFVD when it is not
+	// Eq. 8. All omitted on default requests, keeping historical
+	// response bytes frozen.
+	Protocol string `json:"protocol,omitempty"`
+	Release  string `json:"release,omitempty"`
+	Test     string `json:"test,omitempty"`
 }
 
 // coreJSON is one core's slice of a multicore assignment: which tasks it
@@ -131,12 +151,49 @@ type coreJSON struct {
 	Empty     bool        `json:"empty,omitempty"`
 }
 
-func marshalAssignment(policyName string, a core.Assignment, an edfvd.Analysis) ([]byte, error) {
+// modeAxes is a request's resolved protocol/release pair, held as the
+// canonical spellings so echo and digest agree ("task" and "task-level"
+// are one cache entry).
+type modeAxes struct {
+	protocol string
+	release  string
+}
+
+func (m modeAxes) isDefault() bool { return m.protocol == "system-level" && m.release == "periodic" }
+func (m modeAxes) sporadic() bool  { return m.release == "sporadic" }
+
+// resolveModes validates and canonicalises the request's protocol and
+// release spellings; unknown values answer 400 before any compute.
+func resolveModes(req *assignRequest) (modeAxes, *apiError) {
+	p, err := sim.ProtocolByName(strings.TrimSpace(req.Protocol))
+	if err != nil {
+		return modeAxes{}, errBadRequest("%v", err)
+	}
+	rel, err := sim.ReleaseByName(strings.TrimSpace(req.Release))
+	if err != nil {
+		return modeAxes{}, errBadRequest("%v", err)
+	}
+	return modeAxes{protocol: p.String(), release: rel.String()}, nil
+}
+
+// stamp echoes the non-default axes into the response, leaving default
+// responses byte-identical to their historical form.
+func (m modeAxes) stamp(aj *assignmentJSON) {
+	if m.protocol != "system-level" {
+		aj.Protocol = m.protocol
+	}
+	if m.sporadic() {
+		aj.Release = m.release
+		aj.Test = dbf.DemandTest{}.Name()
+	}
+}
+
+func marshalAssignment(policyName string, a core.Assignment, an edfvd.Analysis, axes modeAxes) ([]byte, error) {
 	ns := make([]jsonFloat, len(a.NS))
 	for i, v := range a.NS {
 		ns[i] = jsonFloat(v)
 	}
-	return json.Marshal(assignmentJSON{
+	aj := assignmentJSON{
 		Policy:    policyName,
 		NS:        ns,
 		TaskSet:   a.TaskSet,
@@ -149,7 +206,9 @@ func marshalAssignment(policyName string, a core.Assignment, an edfvd.Analysis) 
 			CondLO:      an.CondLO,
 			CondHI:      an.CondHI,
 		},
-	})
+	}
+	axes.stamp(&aj)
+	return json.Marshal(aj)
 }
 
 // marshalSystemAssignment renders a multicore assignment. The top level
@@ -158,22 +217,34 @@ func marshalAssignment(policyName string, a core.Assignment, an edfvd.Analysis) 
 // verdict folded across cores (X is the tightest per-core factor) — so
 // clients read single- and multicore responses uniformly; the per-core
 // breakdown rides in "cores".
-func marshalSystemAssignment(policyName string, a *multicore.Assignment) ([]byte, error) {
+func marshalSystemAssignment(policyName string, a *multicore.Assignment, axes modeAxes) ([]byte, error) {
 	nsByID := make(map[int]float64)
 	cores := make([]coreJSON, len(a.Cores))
 	sys := edfvdJSON{Schedulable: a.Schedulable, X: 1, CondLO: true, CondHI: true}
+	if axes.sporadic() {
+		// Per-core verdicts come from the demand-bound test below; the
+		// system verdict is their conjunction, refolded in the loop.
+		sys.Schedulable = true
+	}
 	for i, ca := range a.Cores {
+		an := ca.EDFVD
+		if axes.sporadic() && !ca.Empty {
+			an = dbf.DemandTest{}.Analyze(ca.Assignment.TaskSet)
+		}
 		cj := coreJSON{
 			Core: ca.Core, Tasks: ca.Tasks,
 			PMS: ca.Assignment.PMS, MaxULCLO: ca.Assignment.MaxULCLO,
 			Objective: ca.Assignment.Objective,
 			EDFVD: edfvdJSON{
-				Schedulable: ca.EDFVD.Schedulable,
-				X:           jsonFloat(ca.EDFVD.X),
-				CondLO:      ca.EDFVD.CondLO,
-				CondHI:      ca.EDFVD.CondHI,
+				Schedulable: an.Schedulable,
+				X:           jsonFloat(an.X),
+				CondLO:      an.CondLO,
+				CondHI:      an.CondHI,
 			},
 			Empty: ca.Empty,
+		}
+		if axes.sporadic() && !ca.Empty {
+			sys.Schedulable = sys.Schedulable && an.Schedulable
 		}
 		if !ca.Empty {
 			hcs := ca.Assignment.TaskSet.ByCrit(mc.HC)
@@ -195,11 +266,13 @@ func marshalSystemAssignment(policyName string, a *multicore.Assignment) ([]byte
 	for i, t := range hcs {
 		ns[i] = jsonFloat(nsByID[t.ID])
 	}
-	return json.Marshal(assignmentJSON{
+	aj := assignmentJSON{
 		Policy: policyName, NS: ns, TaskSet: a.TaskSet,
 		PMS: a.PMS, MaxULCLO: a.MaxULCLO, Objective: a.Objective,
 		EDFVD: sys, Cores: cores,
-	})
+	}
+	axes.stamp(&aj)
+	return json.Marshal(aj)
 }
 
 // normalizeTasks fills the request-side conveniences: an HC task's C^LO
@@ -348,8 +421,13 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, aerr)
 		return
 	}
+	axes, aerr := resolveModes(&req)
+	if aerr != nil {
+		s.fail(w, aerr)
+		return
+	}
 
-	key := assignKey(&req, ts, bound, cores, heur)
+	key := assignKey(&req, ts, bound, cores, heur, axes)
 	hash := fnv64(key)
 	cached := !req.NoCache && s.l2 != nil
 	if cached {
@@ -372,10 +450,10 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		// result lands in the cache either way.
 		cctx := context.WithoutCancel(r.Context())
 		e, shared, err = s.flights.do(key, func() (*entry, error) {
-			return s.computeAssign(cctx, &req, ts, pol, cores, heur, hash, key)
+			return s.computeAssign(cctx, &req, ts, pol, cores, heur, axes, hash, key)
 		})
 	} else {
-		e, err = s.computeAssign(r.Context(), &req, ts, pol, cores, heur, hash, nil)
+		e, err = s.computeAssign(r.Context(), &req, ts, pol, cores, heur, axes, hash, nil)
 	}
 	if err != nil {
 		s.fail(w, err)
@@ -398,7 +476,7 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 // policy.AssignCtx, so an expired request abandons its search within one
 // generation instead of burning a slot to completion. A non-nil key
 // stores the result in the L2 cache under (hash, key).
-func (s *Service) computeAssign(ctx context.Context, req *assignRequest, ts *mc.TaskSet, pol policy.Policy, cores int, heur partition.Heuristic, hash uint64, key []byte) (*entry, error) {
+func (s *Service) computeAssign(ctx context.Context, req *assignRequest, ts *mc.TaskSet, pol policy.Policy, cores int, heur partition.Heuristic, axes modeAxes, hash uint64, key []byte) (*entry, error) {
 	cctx, cancel := context.WithTimeout(ctx, s.cfg.Deadline)
 	defer cancel()
 	if err := s.gate.acquire(cctx); err != nil {
@@ -423,7 +501,12 @@ func (s *Service) computeAssign(ctx context.Context, req *assignRequest, ts *mc.
 			return nil, errInfeasible(err)
 		}
 		an := edfvd.Schedulable(a.TaskSet)
-		body, err = marshalAssignment(pol.Name(), a, an)
+		if axes.sporadic() {
+			// Sporadic verdict: the demand-bound test, a strict superset
+			// of Eq. 8 (never rejects a set Eq. 8 accepts).
+			an = dbf.DemandTest{}.Analyze(a.TaskSet)
+		}
+		body, err = marshalAssignment(pol.Name(), a, an, axes)
 		if err != nil {
 			return nil, err
 		}
@@ -441,7 +524,7 @@ func (s *Service) computeAssign(ctx context.Context, req *assignRequest, ts *mc.
 			// search failures are both "valid request, no assignment".
 			return nil, errInfeasible(err)
 		}
-		body, err = marshalSystemAssignment(pol.Name(), &a)
+		body, err = marshalSystemAssignment(pol.Name(), &a, axes)
 		if err != nil {
 			return nil, err
 		}

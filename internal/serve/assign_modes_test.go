@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// modesView decodes the parts of an assignment body the mode-axes tests
+// assert on.
+type modesView struct {
+	Protocol string `json:"protocol"`
+	Release  string `json:"release"`
+	Test     string `json:"test"`
+	EDFVD    struct {
+		Schedulable bool    `json:"schedulable"`
+		X           float64 `json:"x"`
+	} `json:"edfvd"`
+}
+
+func decodeModes(t *testing.T, e envelope) modesView {
+	t.Helper()
+	var v modesView
+	if err := json.Unmarshal(e.Assignment, &v); err != nil {
+		t.Fatalf("decoding assignment: %v (%s)", err, e.Assignment)
+	}
+	return v
+}
+
+// TestAssignModesDigestDiscipline pins the L2 key contract for the mode
+// axes: omitted knobs, explicit defaults, and alias spellings all share
+// the historical entry and bytes; non-default values key separately and
+// canonicalise ("task" = "task-level").
+func TestAssignModesDigestDiscipline(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	base := decodeEnvelope(t, post(mux, "/v1/assign", testBody))
+	v := decodeModes(t, base)
+	if v.Protocol != "" || v.Release != "" || v.Test != "" {
+		t.Fatalf("default response grew mode fields: %+v", v)
+	}
+
+	// Explicit defaults are the historical entry, byte for byte.
+	explicit := strings.Replace(testBody, `"seed":42,`,
+		`"seed":42,"protocol":"system-level","release":"periodic",`, 1)
+	e := decodeEnvelope(t, post(mux, "/v1/assign", explicit))
+	if e.Cache != "hit" || e.Digest != base.Digest || !bytes.Equal(e.Assignment, base.Assignment) {
+		t.Fatalf("explicit default axes: cache %q digest %q, want hit on the historical entry", e.Cache, e.Digest)
+	}
+
+	// A non-default protocol keys separately and echoes itself.
+	taskLevel := strings.Replace(testBody, `"seed":42,`, `"seed":42,"protocol":"task-level",`, 1)
+	tl := decodeEnvelope(t, post(mux, "/v1/assign", taskLevel))
+	if tl.Digest == base.Digest {
+		t.Fatal("task-level shares the default digest")
+	}
+	if got := decodeModes(t, tl); got.Protocol != "task-level" || got.Release != "" {
+		t.Fatalf("task-level echo = %+v", got)
+	}
+
+	// The short alias canonicalises onto the same entry.
+	alias := strings.Replace(testBody, `"seed":42,`, `"seed":42,"protocol":"task",`, 1)
+	al := decodeEnvelope(t, post(mux, "/v1/assign", alias))
+	if al.Cache != "hit" || al.Digest != tl.Digest || !bytes.Equal(al.Assignment, tl.Assignment) {
+		t.Fatalf("alias spelling: cache %q digest %q, want hit on %q", al.Cache, al.Digest, tl.Digest)
+	}
+
+	// Repeat non-default POST is a cache hit with identical bytes.
+	again := decodeEnvelope(t, post(mux, "/v1/assign", taskLevel))
+	if again.Cache != "hit" || !bytes.Equal(again.Assignment, tl.Assignment) {
+		t.Fatalf("repeat task-level request: cache %q", again.Cache)
+	}
+}
+
+// TestAssignSporadicDemandVerdict: release=sporadic swaps the Eq. 8
+// verdict for the demand-bound test and stamps the response; the verdict
+// can only widen (superset), never reject an Eq. 8 accept.
+func TestAssignSporadicDemandVerdict(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	base := decodeEnvelope(t, post(mux, "/v1/assign", testBody))
+	bv := decodeModes(t, base)
+
+	sporadic := strings.Replace(testBody, `"seed":42,`, `"seed":42,"release":"sporadic",`, 1)
+	sp := decodeEnvelope(t, post(mux, "/v1/assign", sporadic))
+	if sp.Digest == base.Digest {
+		t.Fatal("sporadic shares the periodic digest")
+	}
+	v := decodeModes(t, sp)
+	if v.Release != "sporadic" || v.Test != "dbf-demand" || v.Protocol != "" {
+		t.Fatalf("sporadic echo = %+v", v)
+	}
+	if bv.EDFVD.Schedulable && !v.EDFVD.Schedulable {
+		t.Fatal("demand test rejected a set Eq. 8 accepts (superset violated)")
+	}
+
+	// Multicore sporadic: per-core verdicts also come from the demand
+	// test, and the response stamps the axes.
+	mcs := strings.Replace(multicoreBody, `"seed":42,`, `"seed":42,"release":"sporadic",`, 1)
+	m := decodeEnvelope(t, post(mux, "/v1/assign", mcs))
+	if got := decodeModes(t, m); got.Release != "sporadic" || got.Test != "dbf-demand" {
+		t.Fatalf("multicore sporadic echo = %+v", got)
+	}
+}
+
+// TestAssignModesErrors: unknown axis values answer 400 before compute.
+func TestAssignModesErrors(t *testing.T) {
+	_, mux := newTestMux(t, Config{})
+	for _, frag := range []string{`"protocol":"per-task"`, `"release":"bursty"`} {
+		body := strings.Replace(testBody, `"seed":42,`, `"seed":42,`+frag+`,`, 1)
+		w := post(mux, "/v1/assign", body)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", frag, w.Code, w.Body.String())
+		}
+	}
+}

@@ -83,7 +83,7 @@ func (d *digester) str(s string) {
 // the multicore feature), and the key stays unambiguous — the task-count
 // prefix fixes where the records end, so "ends here" (cores = 1) and
 // "0xfe suffix follows" (cores > 1) can never serialise identically.
-func assignKey(req *assignRequest, ts *mc.TaskSet, bound stats.Bound, cores int, heur partition.Heuristic) []byte {
+func assignKey(req *assignRequest, ts *mc.TaskSet, bound stats.Bound, cores int, heur partition.Heuristic, axes modeAxes) []byte {
 	d := digester{buf: make([]byte, 0, 64+72*len(ts.Tasks))}
 	d.str(req.Policy)
 	d.f64(req.N)
@@ -118,6 +118,16 @@ func assignKey(req *assignRequest, ts *mc.TaskSet, bound stats.Bound, cores int,
 		d.byte(0xfe)
 		d.i64(int64(cores))
 		d.str(heur.String())
+	}
+	// The mode axes follow the same suffix discipline as the multicore
+	// knobs: folded only when non-default (tag 0xfd, after any 0xfe
+	// suffix), so every historical key — and with it every cached entry
+	// and response byte — survives the feature. Canonical spellings go
+	// in, so "task" and "task-level" share one entry.
+	if !axes.isDefault() {
+		d.byte(0xfd)
+		d.str(axes.protocol)
+		d.str(axes.release)
 	}
 	return d.buf
 }

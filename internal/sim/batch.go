@@ -95,7 +95,11 @@ func ReplicateInto(ctx context.Context, ts *mc.TaskSet, cfg Config, from, to, wo
 		return err
 	}
 	base := probe.cfg
-	fast := base.MaxEvents == 0
+	// The lockstep engine models the system-level protocol over a shared
+	// periodic release skeleton; task-level groups and sporadic gaps are
+	// per-replication state, so those configurations delegate to the
+	// scalar path chunk-by-chunk (still bit-identical to ReplicateCtx).
+	fast := base.MaxEvents == 0 && base.Protocol == SystemLevel && releaseIsPeriodic(base.Release)
 	for _, d := range probe.jitter {
 		if d != nil {
 			fast = false

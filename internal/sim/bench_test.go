@@ -209,3 +209,42 @@ func BenchmarkReplicateSystem(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReplicateTaskLevel measures the task-level protocol on the
+// replication hot path. Task-level overruns degrade only the overrunning
+// task's interference set, so the simulator tracks per-group mode state;
+// this pins the cost of that bookkeeping against the system-level
+// numbers above (same workload, jitter stripped for comparability).
+func BenchmarkReplicateTaskLevel(b *testing.B) {
+	const runs = 128
+	ts, cfg := benchSet(b, 20)
+	cfg.Jitter = nil
+	cfg.Horizon = 2e4
+	cfg.Protocol = TaskLevel
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplicateBatchCtx(ctx, ts, cfg, runs, 1, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicateSporadic measures the sporadic release model on the
+// replication path. A non-periodic release model forces the scalar
+// fallback inside ReplicateBatchCtx and adds one gap draw per release,
+// so this tracks the price of sporadic workloads end to end.
+func BenchmarkReplicateSporadic(b *testing.B) {
+	const runs = 128
+	ts, cfg := benchSet(b, 20)
+	cfg.Jitter = nil
+	cfg.Horizon = 2e4
+	cfg.Release = DefaultSporadic()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplicateBatchCtx(ctx, ts, cfg, runs, 1, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

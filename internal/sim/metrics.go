@@ -19,6 +19,12 @@ type TaskMetrics struct {
 	// MaxResponse is the largest observed response time (completion −
 	// release) among completed jobs.
 	MaxResponse float64
+	// TimeInHI is this task's degraded time under the TaskLevel
+	// protocol: for an HC task, the time its own overrun group was
+	// open; for an LC task, the time at least one group covered it.
+	// Always zero under SystemLevel, where Metrics.TimeInHI carries the
+	// single system mode.
+	TimeInHI float64
 	// sumResponse accumulates response times for MeanResponse.
 	sumResponse float64
 }

@@ -72,11 +72,18 @@ type Config struct {
 	// MaxEvents caps the schedule-event log; 0 disables logging.
 	MaxEvents int
 	// Jitter maps task ID → an inter-release jitter distribution:
-	// successive releases are separated by Period + max(0, draw),
-	// modelling sporadic tasks (the paper's periods are minimum
-	// separations). Tasks without an entry release strictly
-	// periodically.
+	// successive releases are separated by the release model's gap +
+	// max(0, draw). Tasks without an entry follow the release model
+	// exactly.
 	Jitter map[int]dist.Dist
+	// Protocol selects the mode-switch protocol. The zero value,
+	// SystemLevel, is the paper's whole-system switch and is
+	// bit-identical to the pre-protocol simulator.
+	Protocol Protocol
+	// Release generates inter-release separations. nil and Periodic{}
+	// both mean strictly periodic releases with no RNG draw — the zero
+	// value keeps every frozen golden bit-identical.
+	Release ReleaseModel
 }
 
 // Metrics aggregates what happened during a run.
@@ -97,10 +104,18 @@ type Metrics struct {
 	LCDegraded int
 	// Overruns counts HC jobs whose execution exceeded C^LO.
 	Overruns int
-	// ModeSwitches counts LO→HI transitions.
+	// ModeSwitches counts LO→HI transitions (under TaskLevel: group
+	// openings).
 	ModeSwitches int
-	// TimeInHI is the total time spent in HI mode.
+	// TimeInHI is the total time spent in HI mode (under TaskLevel: time
+	// with at least one degraded group active).
 	TimeInHI float64
+	// DegradedGroups is the TaskLevel histogram of time spent with
+	// exactly k+1 groups simultaneously degraded; the last bucket
+	// saturates (≥ 4 groups). All-zero under SystemLevel, and a
+	// fixed-size array so Metrics stays comparable — the golden suites
+	// compare runs with ==.
+	DegradedGroups [4]float64
 	// BusyTime is the total time the processor was executing jobs.
 	BusyTime float64
 }
@@ -166,6 +181,22 @@ type Simulator struct {
 	ready   readyHeap
 	order   []*job // ready jobs in insertion order (swap-remove on exit)
 	relHeap releaseHeap
+
+	// TaskLevel protocol state (nil slices under SystemLevel, so the
+	// system-level loop pays nothing for the axis). interf[i] holds the
+	// dense indices of the LC tasks in HC task i's interference set:
+	// those with Period ≥ T_i, the tasks whose slack an overrunning job
+	// of i actually consumes (shorter-period LC jobs are due before the
+	// extra demand lands). cover[l] counts the open groups covering LC
+	// task l; hcReadyBy[i] counts ready jobs of task i so each group can
+	// detect its own idle instant.
+	interf     [][]int32
+	taskHI     []bool
+	hcReadyBy  []int
+	cover      []int
+	groupEnter []float64
+	coverEnter []float64
+	newCover   []bool
 }
 
 // New validates the configuration and returns a Simulator.
@@ -194,6 +225,12 @@ func New(ts *mc.TaskSet, cfg Config) (*Simulator, error) {
 	if cfg.X <= 0 || cfg.X > 1 {
 		return nil, fmt.Errorf("sim: virtual-deadline factor %g out of (0, 1]", cfg.X)
 	}
+	if cfg.Protocol != SystemLevel && cfg.Protocol != TaskLevel {
+		return nil, fmt.Errorf("sim: unknown protocol %d", int(cfg.Protocol))
+	}
+	if sp, ok := cfg.Release.(Sporadic); ok && sp.MinSep != 0 && sp.MinSep < 1 {
+		return nil, fmt.Errorf("sim: sporadic MinSep %g must be ≥ 1 — periods are minimum inter-arrival times", sp.MinSep)
+	}
 	s := &Simulator{
 		ts:      ts,
 		cfg:     cfg,
@@ -205,6 +242,26 @@ func New(ts *mc.TaskSet, cfg Config) (*Simulator, error) {
 		s.exec[i] = cfg.Exec[t.ID]
 		s.jitter[i] = cfg.Jitter[t.ID]
 		s.idIndex[t.ID] = i
+	}
+	if cfg.Protocol == TaskLevel {
+		n := len(ts.Tasks)
+		s.interf = make([][]int32, n)
+		s.taskHI = make([]bool, n)
+		s.hcReadyBy = make([]int, n)
+		s.cover = make([]int, n)
+		s.groupEnter = make([]float64, n)
+		s.coverEnter = make([]float64, n)
+		s.newCover = make([]bool, n)
+		for i := range ts.Tasks {
+			if ts.Tasks[i].Crit != mc.HC {
+				continue
+			}
+			for l := range ts.Tasks {
+				if ts.Tasks[l].Crit == mc.LC && ts.Tasks[l].Period >= ts.Tasks[i].Period {
+					s.interf[i] = append(s.interf[i], int32(l))
+				}
+			}
+		}
 	}
 	return s, nil
 }
@@ -241,6 +298,32 @@ func (s *Simulator) Run() Metrics {
 	now := 0.0
 	lastHIEnter := 0.0
 
+	// TaskLevel accounting: activeGroups counts simultaneously degraded
+	// groups; histAt marks the last histogram advance; sysEnter marks the
+	// 0→1 transition so Metrics.TimeInHI means "some group active".
+	taskLevel := s.cfg.Protocol == TaskLevel
+	if taskLevel {
+		for i := range tasks {
+			s.taskHI[i] = false
+			s.hcReadyBy[i] = 0
+			s.cover[i] = 0
+		}
+	}
+	activeGroups := 0
+	histAt := 0.0
+	sysEnter := 0.0
+
+	histAdvance := func(at float64) {
+		if activeGroups > 0 {
+			k := activeGroups
+			if k > len(m.DegradedGroups) {
+				k = len(m.DegradedGroups)
+			}
+			m.DegradedGroups[k-1] += at - histAt
+		}
+		histAt = at
+	}
+
 	// Preemption accounting for the run-level telemetry (recordRun): when
 	// a release interrupts the running job, the job is remembered and
 	// compared against the next selection. Kept out of Metrics so the
@@ -273,6 +356,9 @@ func (s *Simulator) Run() Metrics {
 		s.ready.push(j)
 		if j.task.Crit == mc.HC {
 			hcReady++
+			if taskLevel {
+				s.hcReadyBy[j.taskIdx]++
+			}
 		}
 	}
 
@@ -288,12 +374,20 @@ func (s *Simulator) Run() Metrics {
 		s.ready.remove(j.heapIdx)
 		if j.task.Crit == mc.HC {
 			hcReady--
+			if taskLevel {
+				s.hcReadyBy[j.taskIdx]--
+			}
 		}
 	}
 
 	release := func(i int, at float64) {
 		t := &tasks[i]
+		// Release-model draw first, per-task jitter draw second — a fixed
+		// order so a seed means the same draws under every configuration.
 		gap := t.Period
+		if s.cfg.Release != nil {
+			gap = s.cfg.Release.Gap(r, t)
+		}
 		if jd := s.jitter[i]; jd != nil {
 			if j := jd.Sample(r); j > 0 {
 				gap += j
@@ -319,12 +413,20 @@ func (s *Simulator) Run() Metrics {
 				m.Overruns++
 				tm.Overruns++
 			}
-			if mode == mc.LO {
+			inHI := mode == mc.HI
+			if taskLevel {
+				inHI = s.taskHI[i]
+			}
+			if !inHI {
 				j.virtDL = at + s.cfg.X*t.Period
 			}
 		} else {
 			m.LCReleased++
-			if mode == mc.HI {
+			covered := mode == mc.HI
+			if taskLevel {
+				covered = s.cover[i] > 0
+			}
+			if covered {
 				switch s.cfg.Policy {
 				case DropAll:
 					m.LCDropped++
@@ -390,6 +492,84 @@ func (s *Simulator) Run() Metrics {
 		// keep their real deadlines (they were admitted under HI).
 	}
 
+	// enterGroupHI opens HC task ti's degraded group (TaskLevel): ti's
+	// pending jobs recover their real deadlines, the LC tasks its switch
+	// newly covers are dropped or degraded, and everything else keeps
+	// running untouched. The switch event carries the task's ID (the
+	// system-level events carry 0).
+	enterGroupHI := func(ti int) {
+		s.taskHI[ti] = true
+		m.ModeSwitches++
+		s.groupEnter[ti] = now
+		s.record(now, EvSwitchHI, tasks[ti].ID)
+		histAdvance(now)
+		if activeGroups == 0 {
+			sysEnter = now
+		}
+		activeGroups++
+		for i := range s.newCover {
+			s.newCover[i] = false
+		}
+		for _, l := range s.interf[ti] {
+			s.cover[l]++
+			if s.cover[l] == 1 {
+				s.coverEnter[l] = now
+				s.newCover[l] = true
+			}
+		}
+		// Same shape as enterHI: walk the insertion-order view so drop
+		// events stay in release order, then one O(n) re-heapify.
+		kept := s.order[:0]
+		for _, j := range s.order {
+			if j.taskIdx == ti {
+				j.virtDL = j.absDL
+			}
+			if j.task.Crit == mc.LC && s.newCover[j.taskIdx] {
+				switch s.cfg.Policy {
+				case DropAll:
+					m.LCDropped++
+					s.perTask[j.taskIdx].Dropped++
+					s.record(now, EvDrop, j.task.ID)
+					arena.put(j)
+					continue
+				case Degrade:
+					if !j.degraded {
+						j.degraded = true
+						m.LCDegraded++
+						j.remaining *= s.cfg.DegradeFactor
+					}
+				}
+			}
+			j.orderIdx = len(kept)
+			kept = append(kept, j)
+		}
+		for i := len(kept); i < len(s.order); i++ {
+			s.order[i] = nil
+		}
+		s.order = kept
+		s.ready.reinit(s.order)
+	}
+
+	// exitGroupHI closes ti's group at its idle instant: covered LC
+	// tasks shed one cover, and per-task/system degraded-time accounting
+	// settles.
+	exitGroupHI := func(ti int) {
+		s.taskHI[ti] = false
+		s.record(now, EvSwitchLO, tasks[ti].ID)
+		s.perTask[ti].TimeInHI += now - s.groupEnter[ti]
+		for _, l := range s.interf[ti] {
+			s.cover[l]--
+			if s.cover[l] == 0 {
+				s.perTask[l].TimeInHI += now - s.coverEnter[l]
+			}
+		}
+		histAdvance(now)
+		activeGroups--
+		if activeGroups == 0 {
+			m.TimeInHI += now - sysEnter
+		}
+	}
+
 	for now < s.cfg.Horizon {
 		// Release everything due now, in (time, task index) order — the
 		// same order as a task-array scan, since each task has at most
@@ -433,11 +613,17 @@ func (s *Simulator) Run() Metrics {
 		// budget exhaustion that triggers the mode switch.
 		milestone := run.remaining
 		budgetSwitch := false
-		if mode == mc.LO && run.task.Crit == mc.HC {
-			budgetLeft := run.task.CLO - run.consumed
-			if budgetLeft < milestone {
-				milestone = budgetLeft
-				budgetSwitch = true
+		if run.task.Crit == mc.HC {
+			onBudget := mode == mc.LO
+			if taskLevel {
+				onBudget = !s.taskHI[run.taskIdx]
+			}
+			if onBudget {
+				budgetLeft := run.task.CLO - run.consumed
+				if budgetLeft < milestone {
+					milestone = budgetLeft
+					budgetSwitch = true
+				}
 			}
 		}
 		end := now + milestone
@@ -466,10 +652,15 @@ func (s *Simulator) Run() Metrics {
 		now = end
 
 		if budgetSwitch && run.remaining > 0 {
-			enterHI()
+			if taskLevel {
+				enterGroupHI(run.taskIdx)
+			} else {
+				enterHI()
+			}
 			continue
 		}
 		if run.remaining <= 1e-12 {
+			doneIdx, doneHC := run.taskIdx, run.task.Crit == mc.HC
 			removeReady(run)
 			tm := &s.perTask[run.taskIdx]
 			tm.Completed++
@@ -497,12 +688,29 @@ func (s *Simulator) Run() Metrics {
 				}
 			}
 			arena.put(run)
-			if mode == mc.HI && hcReady == 0 {
+			if taskLevel {
+				if doneHC && s.taskHI[doneIdx] && s.hcReadyBy[doneIdx] == 0 {
+					exitGroupHI(doneIdx)
+				}
+			} else if mode == mc.HI && hcReady == 0 {
 				exitHI()
 			}
 		}
 	}
-	if mode == mc.HI {
+	if taskLevel {
+		histAdvance(s.cfg.Horizon)
+		if activeGroups > 0 {
+			m.TimeInHI += s.cfg.Horizon - sysEnter
+		}
+		for i := range tasks {
+			if s.taskHI[i] {
+				s.perTask[i].TimeInHI += s.cfg.Horizon - s.groupEnter[i]
+			}
+			if s.cover[i] > 0 {
+				s.perTask[i].TimeInHI += s.cfg.Horizon - s.coverEnter[i]
+			}
+		}
+	} else if mode == mc.HI {
 		m.TimeInHI += s.cfg.Horizon - lastHIEnter
 	}
 	recordRun(m, preemptions)
